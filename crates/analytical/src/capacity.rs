@@ -1,0 +1,194 @@
+//! Back-of-envelope capacity planning for vehicular open-Wi-Fi service.
+//!
+//! The paper's closing question (§4.7) is whether open Wi-Fi, as delivered
+//! by a Spider-class client, can cover real users' needs. This module
+//! turns the geometry and protocol costs into the planner's quantities:
+//! encounters per kilometre, usable seconds per encounter after the join,
+//! expected bytes per encounter, and the long-run average rate — as
+//! closed-form functions of speed, AP density, range, join time, and
+//! per-AP bandwidth.
+//!
+//! The model is deliberately first-order (it is the envelope the full
+//! simulator is checked against): encounters are independent, chords are
+//! averaged over a uniform lateral offset, and a join consumes a fixed
+//! expected time at the start of each encounter.
+
+/// Inputs to the planner.
+#[derive(Debug, Clone, Copy)]
+pub struct CapacityPlan {
+    /// Vehicle speed, m/s.
+    pub speed_mps: f64,
+    /// Usable (joinable) open APs per kilometre of road.
+    pub aps_per_km: f64,
+    /// Radio range, metres.
+    pub range_m: f64,
+    /// Maximum lateral offset of APs from the road, metres (< range).
+    pub lateral_max_m: f64,
+    /// Expected time from entering range to flowing data (join cost), s.
+    pub join_time_s: f64,
+    /// Probability a join attempt succeeds within the encounter.
+    pub join_success: f64,
+    /// Mean end-to-end bandwidth per joined AP, bytes/s.
+    pub per_ap_bps: f64,
+}
+
+impl CapacityPlan {
+    fn validate(&self) {
+        assert!(self.speed_mps > 0.0, "speed must be positive");
+        assert!(self.aps_per_km >= 0.0, "negative density");
+        assert!(self.range_m > 0.0, "range must be positive");
+        assert!(
+            (0.0..self.range_m).contains(&self.lateral_max_m),
+            "lateral offset must be within range"
+        );
+        assert!(self.join_time_s >= 0.0, "negative join time");
+        assert!((0.0..=1.0).contains(&self.join_success), "bad success probability");
+        assert!(self.per_ap_bps >= 0.0, "negative bandwidth");
+    }
+
+    /// Mean chord length through an AP's coverage disc, averaged over a
+    /// uniform lateral offset in `[0, lateral_max]`:
+    /// `E[2·√(r² − y²)]`.
+    pub fn mean_chord_m(&self) -> f64 {
+        self.validate();
+        let r = self.range_m;
+        let w = self.lateral_max_m;
+        if w == 0.0 {
+            return 2.0 * r;
+        }
+        // ∫₀ʷ 2√(r²−y²) dy / w  =  [y√(r²−y²) + r²·asin(y/r)]₀ʷ / w
+        (w * (r * r - w * w).sqrt() + r * r * (w / r).asin()) / w
+    }
+
+    /// Mean encounter duration, seconds.
+    pub fn mean_encounter_s(&self) -> f64 {
+        self.mean_chord_m() / self.speed_mps
+    }
+
+    /// Encounters per hour of driving.
+    pub fn encounters_per_hour(&self) -> f64 {
+        self.validate();
+        self.speed_mps * 3.6 * self.aps_per_km
+    }
+
+    /// Usable seconds per *successful* encounter (after paying the join).
+    pub fn usable_seconds(&self) -> f64 {
+        (self.mean_encounter_s() - self.join_time_s).max(0.0)
+    }
+
+    /// Expected bytes per encounter (join success × usable time × rate).
+    pub fn bytes_per_encounter(&self) -> f64 {
+        self.join_success * self.usable_seconds() * self.per_ap_bps
+    }
+
+    /// Long-run average delivered rate, bytes/s of wall-clock driving.
+    pub fn average_rate_bps(&self) -> f64 {
+        self.bytes_per_encounter() * self.encounters_per_hour() / 3600.0
+    }
+
+    /// Coverage fraction: share of drive time spent inside *some* AP's
+    /// range (capped at 1; overlaps make it an upper bound).
+    pub fn coverage_fraction(&self) -> f64 {
+        (self.mean_chord_m() * self.aps_per_km / 1000.0).min(1.0)
+    }
+
+    /// The speed at which the mean encounter equals the join time — beyond
+    /// it, the average encounter yields nothing. The planner's version of
+    /// the paper's dividing-speed intuition.
+    pub fn breakeven_speed_mps(&self) -> f64 {
+        self.validate();
+        if self.join_time_s == 0.0 {
+            return f64::INFINITY;
+        }
+        self.mean_chord_m() / self.join_time_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> CapacityPlan {
+        CapacityPlan {
+            speed_mps: 10.0,
+            aps_per_km: 3.5,
+            range_m: 90.0,
+            lateral_max_m: 45.0,
+            join_time_s: 2.0,
+            join_success: 0.85,
+            per_ap_bps: 150_000.0,
+        }
+    }
+
+    #[test]
+    fn chord_bounds() {
+        let p = plan();
+        let chord = p.mean_chord_m();
+        // Between the chord at the max offset and the full diameter.
+        let min_chord = 2.0 * (90.0f64 * 90.0 - 45.0 * 45.0).sqrt();
+        assert!(chord > min_chord && chord < 180.0, "chord {chord}");
+        // Zero offset degenerates to the diameter.
+        let on_road = CapacityPlan { lateral_max_m: 0.0, ..p };
+        assert_eq!(on_road.mean_chord_m(), 180.0);
+    }
+
+    #[test]
+    fn chord_matches_numeric_integration() {
+        let p = plan();
+        let (r, w) = (p.range_m, p.lateral_max_m);
+        let n = 100_000;
+        let numeric: f64 = (0..n)
+            .map(|i| {
+                let y = w * (i as f64 + 0.5) / n as f64;
+                2.0 * (r * r - y * y).sqrt()
+            })
+            .sum::<f64>()
+            / n as f64;
+        assert!((p.mean_chord_m() - numeric).abs() < 0.01);
+    }
+
+    #[test]
+    fn faster_is_worse_per_encounter_but_not_per_hour_count() {
+        let slow = plan();
+        let fast = CapacityPlan { speed_mps: 25.0, ..plan() };
+        assert!(fast.mean_encounter_s() < slow.mean_encounter_s());
+        assert!(fast.encounters_per_hour() > slow.encounters_per_hour());
+        assert!(fast.bytes_per_encounter() < slow.bytes_per_encounter());
+    }
+
+    #[test]
+    fn join_cost_vanishes_at_breakeven() {
+        let p = plan();
+        let v = p.breakeven_speed_mps();
+        let at_breakeven = CapacityPlan { speed_mps: v, ..p };
+        assert!(at_breakeven.usable_seconds() < 1e-9);
+        // Just below it, something is usable again.
+        let below = CapacityPlan { speed_mps: v * 0.9, ..p };
+        assert!(below.usable_seconds() > 0.0);
+    }
+
+    #[test]
+    fn average_rate_is_consistent() {
+        let p = plan();
+        // rate = bytes/encounter × encounters/second.
+        let per_sec = p.encounters_per_hour() / 3600.0;
+        assert!((p.average_rate_bps() - p.bytes_per_encounter() * per_sec).abs() < 1e-9);
+        // And lands in the simulator's observed decade (tens of kB/s).
+        let kbps = p.average_rate_bps() / 1000.0;
+        assert!((5.0..200.0).contains(&kbps), "planned {kbps} kB/s");
+    }
+
+    #[test]
+    fn coverage_fraction_saturates() {
+        let dense = CapacityPlan { aps_per_km: 50.0, ..plan() };
+        assert_eq!(dense.coverage_fraction(), 1.0);
+        let sparse = CapacityPlan { aps_per_km: 1.0, ..plan() };
+        assert!(sparse.coverage_fraction() < 0.2);
+    }
+
+    #[test]
+    fn instant_joins_have_infinite_breakeven() {
+        let p = CapacityPlan { join_time_s: 0.0, ..plan() };
+        assert!(p.breakeven_speed_mps().is_infinite());
+    }
+}

@@ -1,0 +1,147 @@
+//! Monte-Carlo corroboration of the join model (the "Simulation" series of
+//! the paper's Fig. 2).
+//!
+//! The simulator makes the same assumptions as the closed form — one-shot
+//! join, uniform `β`, per-message loss `h`, round-robin schedule — but
+//! plays out the physical process draw by draw, which internally validates
+//! the derivation of Eq. 7 exactly as the paper does.
+
+use sim_engine::rng::Rng;
+
+use crate::join_model::JoinModelParams;
+
+/// One simulated stay of `t` seconds in range: did any join request
+/// complete inside an on-channel window?
+pub fn simulate_one_stay(params: &JoinModelParams, t: f64, rng: &mut Rng) -> bool {
+    let d = params.period;
+    let fi = params.fraction;
+    let w = params.switch_delay;
+    let c = params.request_interval;
+    let rounds = (t / d).ceil() as u32;
+    let requests = params.requests_per_round();
+    let on_window = |n: u32| {
+        // Round n (0-based) is on-channel during [n·D + w, n·D + fi·D].
+        let start = n as f64 * d + w;
+        let end = n as f64 * d + fi * d;
+        (start, end)
+    };
+    for m in 0..rounds {
+        for k in 0..requests {
+            let (win_start, win_end) = on_window(m);
+            let send = win_start + k as f64 * c;
+            if send > win_end || send > t {
+                continue;
+            }
+            // Both the request and the response must survive loss.
+            if !rng.chance((1.0 - params.loss) * (1.0 - params.loss)) {
+                continue;
+            }
+            let beta = rng.range_f64(params.beta_min, params.beta_max.max(params.beta_min + 1e-12));
+            let arrival = send + beta;
+            if arrival > t {
+                continue;
+            }
+            // Does the response land inside some later on-channel window?
+            let n = (arrival / d).floor() as u32;
+            let (ws, we) = on_window(n);
+            if arrival >= ws && arrival <= we {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Monte-Carlo estimate of the join probability over `trials` stays.
+pub fn simulate_join_probability(
+    params: &JoinModelParams,
+    t: f64,
+    trials: u32,
+    rng: &mut Rng,
+) -> f64 {
+    assert!(trials > 0, "simulate_join_probability: zero trials");
+    let mut successes = 0u32;
+    for _ in 0..trials {
+        if simulate_one_stay(params, t, rng) {
+            successes += 1;
+        }
+    }
+    successes as f64 / trials as f64
+}
+
+/// Replication of the paper's Fig. 2 protocol: `runs` independent estimates
+/// of `trials` stays each; returns `(mean, std_dev)` of the estimates.
+pub fn simulate_runs(
+    params: &JoinModelParams,
+    t: f64,
+    runs: u32,
+    trials: u32,
+    rng: &mut Rng,
+) -> (f64, f64) {
+    let mut stats = sim_engine::stats::Summary::new();
+    for _ in 0..runs {
+        stats.record(simulate_join_probability(params, t, trials, rng));
+    }
+    (stats.mean(), stats.std_dev())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The headline internal-validation property: simulation ≈ model
+    /// (Fig. 2). Checked across the fraction axis for both βmax values the
+    /// paper plots.
+    #[test]
+    fn simulation_matches_model_across_fractions() {
+        let mut rng = Rng::new(2024);
+        for beta_max in [5.0, 10.0] {
+            for f in [0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0] {
+                let params = JoinModelParams::figure2(f, beta_max);
+                let model = params.p_join(4.0);
+                let (sim, _sd) = simulate_runs(&params, 4.0, 20, 100, &mut rng);
+                assert!(
+                    (model - sim).abs() < 0.08,
+                    "model {model:.3} vs sim {sim:.3} at f={f}, βmax={beta_max}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_fraction_never_joins_in_simulation() {
+        let params = JoinModelParams::figure2(0.0, 5.0);
+        let mut rng = Rng::new(1);
+        assert_eq!(simulate_join_probability(&params, 4.0, 200, &mut rng), 0.0);
+    }
+
+    #[test]
+    fn lossless_full_time_short_beta_always_joins() {
+        let params = JoinModelParams {
+            loss: 0.0,
+            ..JoinModelParams::figure2(1.0, 0.6)
+        };
+        let mut rng = Rng::new(2);
+        // β ∈ [0.5, 0.6] s, 4 s in range, always on channel.
+        let p = simulate_join_probability(&params, 4.0, 200, &mut rng);
+        assert!(p > 0.99, "p = {p}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let params = JoinModelParams::figure2(0.4, 5.0);
+        let a = simulate_join_probability(&params, 4.0, 500, &mut Rng::new(7));
+        let b = simulate_join_probability(&params, 4.0, 500, &mut Rng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn run_spread_is_reported() {
+        let params = JoinModelParams::figure2(0.3, 5.0);
+        let mut rng = Rng::new(3);
+        let (mean, sd) = simulate_runs(&params, 4.0, 30, 100, &mut rng);
+        assert!((0.0..=1.0).contains(&mean));
+        assert!(sd > 0.0, "independent runs must show sampling spread");
+        assert!(sd < 0.2, "spread of 100-trial estimates should be modest: {sd}");
+    }
+}

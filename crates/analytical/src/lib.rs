@@ -1,0 +1,34 @@
+//! # analytical
+//!
+//! The analytical framework of the Spider paper (CoNEXT 2011, §2.1):
+//!
+//! * [`join_model`] — Eqs. 1–7: the probability a mobile node under a
+//!   fractional channel schedule obtains a DHCP lease within its time in
+//!   range, plus the expected join time `g_T(f)`.
+//! * [`join_sim`] — the Monte-Carlo corroborator behind Fig. 2's
+//!   "Simulation" series.
+//! * [`optimizer`] — Eqs. 8–10: the throughput-maximization framework and
+//!   the **dividing speed** above which a mobile client should stay on a
+//!   single channel.
+//! * [`scenarios`] — the three named Fig. 4 scenarios and the full sweep.
+//! * [`sensitivity`] — which of the model's constants (`h`, `c`, `D`,
+//!   `w`, `βmin`) actually move the answer.
+//! * [`capacity`] — the §4.7 back-of-envelope: encounters, usable seconds,
+//!   and long-run rate as closed forms over speed/density/join cost.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod join_model;
+pub mod join_sim;
+pub mod optimizer;
+pub mod scenarios;
+pub mod sensitivity;
+
+pub use capacity::CapacityPlan;
+pub use join_model::JoinModelParams;
+pub use join_sim::{simulate_join_probability, simulate_runs};
+pub use optimizer::{dividing_speed, figure4_inputs, solve, ChannelOffer, OptimizerInputs, Schedule};
+pub use scenarios::{figure4_sweep, Fig4Scenario};
+pub use sensitivity::{panel, Sensitivity};

@@ -1,0 +1,144 @@
+//! The named scenarios of the paper's Fig. 4 and helpers for composing
+//! new ones.
+//!
+//! §2.1.3 evaluates three two-channel bandwidth splits at a wireless
+//! capacity of 11 Mb/s and a 100 m range:
+//!
+//! 1. `B¹ⱼ = 0.75·Bw`, `B²ₐ = 0.25·Bw`
+//! 2. `B¹ⱼ = 0.25·Bw`, `B²ₐ = 0.75·Bw`
+//! 3. `B¹ⱼ = 0.50·Bw`, `B²ₐ = 0.50·Bw`
+//!
+//! (channel 1 already joined, channel 2 still to be joined).
+
+use crate::join_model::JoinModelParams;
+use crate::optimizer::{solve, ChannelOffer, OptimizerInputs, Schedule};
+
+/// The paper's wireless capacity, bits/s.
+pub const WIRELESS_BPS: f64 = 11_000_000.0;
+/// The paper's assumed Wi-Fi range, metres.
+pub const RANGE_M: f64 = 100.0;
+
+/// A named Fig. 4 scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig4Scenario {
+    /// 75 % of `Bw` already joined on channel 1; 25 % available on 2.
+    JoinedHeavy,
+    /// 25 % joined; 75 % available — the strongest pull toward switching.
+    AvailableHeavy,
+    /// The even split.
+    Balanced,
+}
+
+impl Fig4Scenario {
+    /// All three, in the paper's presentation order (left to right:
+    /// (25, 75), (50, 50), (75, 25)).
+    pub const ALL: [Fig4Scenario; 3] =
+        [Fig4Scenario::AvailableHeavy, Fig4Scenario::Balanced, Fig4Scenario::JoinedHeavy];
+
+    /// The share of `Bw` already joined on channel 1.
+    pub fn joined_share(self) -> f64 {
+        match self {
+            Fig4Scenario::JoinedHeavy => 0.75,
+            Fig4Scenario::AvailableHeavy => 0.25,
+            Fig4Scenario::Balanced => 0.50,
+        }
+    }
+
+    /// Display label matching the paper's figure captions.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig4Scenario::JoinedHeavy => "(75%,25%)",
+            Fig4Scenario::AvailableHeavy => "(25%,75%)",
+            Fig4Scenario::Balanced => "(50%,50%)",
+        }
+    }
+
+    /// Optimizer inputs for this scenario at `speed_mps` with the given
+    /// `βmax` (the paper's Fig. 4 uses βmax = 10 s, βmin = 500 ms).
+    pub fn inputs(self, speed_mps: f64, beta_max: f64) -> OptimizerInputs {
+        assert!(speed_mps > 0.0, "non-positive speed");
+        let share = self.joined_share();
+        OptimizerInputs {
+            channels: vec![
+                ChannelOffer { joined_bps: share * WIRELESS_BPS, available_bps: 0.0 },
+                ChannelOffer {
+                    joined_bps: 0.0,
+                    available_bps: (1.0 - share) * WIRELESS_BPS,
+                },
+            ],
+            wireless_bps: WIRELESS_BPS,
+            horizon: 2.0 * RANGE_M / speed_mps,
+            join: JoinModelParams::figure2(0.0, beta_max),
+            grid: 50,
+        }
+    }
+
+    /// Solve the scenario at `speed_mps`.
+    pub fn solve_at(self, speed_mps: f64, beta_max: f64) -> Schedule {
+        solve(&self.inputs(speed_mps, beta_max))
+    }
+}
+
+/// The full Fig. 4 sweep: for each scenario and each of the paper's six
+/// speeds, the optimal per-channel bandwidth in bits/s.
+pub fn figure4_sweep(beta_max: f64) -> Vec<(Fig4Scenario, f64, Schedule)> {
+    let speeds = [2.5, 3.3, 5.0, 6.6, 10.0, 20.0];
+    let mut out = Vec::with_capacity(Fig4Scenario::ALL.len() * speeds.len());
+    for scenario in Fig4Scenario::ALL {
+        for &v in &speeds {
+            out.push((scenario, v, scenario.solve_at(v, beta_max)));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_are_the_papers() {
+        assert_eq!(Fig4Scenario::JoinedHeavy.joined_share(), 0.75);
+        assert_eq!(Fig4Scenario::AvailableHeavy.joined_share(), 0.25);
+        assert_eq!(Fig4Scenario::Balanced.joined_share(), 0.50);
+    }
+
+    #[test]
+    fn horizon_follows_speed() {
+        let slow = Fig4Scenario::Balanced.inputs(2.5, 10.0);
+        let fast = Fig4Scenario::Balanced.inputs(20.0, 10.0);
+        assert!((slow.horizon - 80.0).abs() < 1e-9);
+        assert!((fast.horizon - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn joined_channel_offer_matches_share() {
+        for s in Fig4Scenario::ALL {
+            let inputs = s.inputs(10.0, 10.0);
+            assert!((inputs.channels[0].joined_bps - s.joined_share() * WIRELESS_BPS).abs() < 1e-6);
+            assert!(
+                (inputs.channels[1].available_bps - (1.0 - s.joined_share()) * WIRELESS_BPS).abs()
+                    < 1e-6
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_covers_all_cells() {
+        let sweep = figure4_sweep(10.0);
+        assert_eq!(sweep.len(), 18);
+        // Channel-2 recovery declines with speed within each scenario.
+        for scenario in Fig4Scenario::ALL {
+            let series: Vec<f64> = sweep
+                .iter()
+                .filter(|(s, _, _)| *s == scenario)
+                .map(|(_, _, sched)| sched.per_channel_bps[1])
+                .collect();
+            assert_eq!(series.len(), 6);
+            assert!(
+                series.first() >= series.last(),
+                "{scenario:?}: ch2 bandwidth should not grow with speed"
+            );
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Sensitivity analysis of the join model.
+//!
+//! The paper fixes `D = 500 ms`, `c = 100 ms`, `w = 7 ms`, `h = 10 %` and
+//! varies only `f` and `βmax`. This module asks the follow-up questions a
+//! systems reader has — *which* of those constants actually moves the
+//! answer — by sweeping each parameter around the paper's operating point
+//! and reporting the change in join probability and in the expected join
+//! time `g_T`.
+
+use crate::join_model::JoinModelParams;
+
+/// One parameter's sensitivity around the operating point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sensitivity {
+    /// Parameter name.
+    pub parameter: &'static str,
+    /// The swept values.
+    pub values: Vec<f64>,
+    /// `p_join(t)` at each value.
+    pub p_join: Vec<f64>,
+    /// `g_T` (expected join time, truncated at the horizon) at each value.
+    pub expected_join_time: Vec<f64>,
+}
+
+impl Sensitivity {
+    /// Total swing of `p_join` across the sweep (max − min).
+    pub fn p_swing(&self) -> f64 {
+        let max = self.p_join.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = self.p_join.iter().copied().fold(f64::INFINITY, f64::min);
+        max - min
+    }
+}
+
+fn evaluate(params: &JoinModelParams, t: f64) -> (f64, f64) {
+    (params.p_join(t), params.expected_join_time(t))
+}
+
+/// Sweep one field of the operating point.
+fn sweep(
+    base: &JoinModelParams,
+    t: f64,
+    parameter: &'static str,
+    values: Vec<f64>,
+    apply: impl Fn(&JoinModelParams, f64) -> JoinModelParams,
+) -> Sensitivity {
+    let mut p_join = Vec::with_capacity(values.len());
+    let mut g = Vec::with_capacity(values.len());
+    for &v in &values {
+        let params = apply(base, v);
+        let (p, gt) = evaluate(&params, t);
+        p_join.push(p);
+        g.push(gt);
+    }
+    Sensitivity { parameter, values, p_join, expected_join_time: g }
+}
+
+/// The full sensitivity panel around the paper's operating point
+/// (`fraction`, `βmax` fixed by the caller; `t` the time in range).
+pub fn panel(fraction: f64, beta_max: f64, t: f64) -> Vec<Sensitivity> {
+    let base = JoinModelParams::figure2(fraction, beta_max);
+    vec![
+        sweep(&base, t, "loss h", vec![0.0, 0.05, 0.10, 0.20, 0.35, 0.50], |b, v| {
+            JoinModelParams { loss: v, ..*b }
+        }),
+        sweep(
+            &base,
+            t,
+            "request interval c (s)",
+            vec![0.05, 0.10, 0.20, 0.40],
+            |b, v| JoinModelParams { request_interval: v, ..*b },
+        ),
+        sweep(
+            &base,
+            t,
+            "scheduling period D (s)",
+            vec![0.25, 0.50, 1.00, 2.00],
+            |b, v| JoinModelParams { period: v, ..*b },
+        ),
+        // Realistic hardware range (Table 1 measures ≈ 5 ms; 20 ms is a
+        // pessimistic chipset). Beyond that, w starts eating whole request
+        // slots and stops being second-order.
+        sweep(
+            &base,
+            t,
+            "switch delay w (s)",
+            vec![0.0, 0.004, 0.007, 0.014, 0.020],
+            |b, v| JoinModelParams { switch_delay: v, ..*b },
+        ),
+        sweep(
+            &base,
+            t,
+            "beta_min (s)",
+            vec![0.1, 0.5, 1.0, 2.0],
+            |b, v| JoinModelParams { beta_min: v, ..*b },
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn panel_at_op_point() -> Vec<Sensitivity> {
+        panel(0.3, 10.0, 4.0)
+    }
+
+    #[test]
+    fn panel_covers_five_parameters() {
+        let p = panel_at_op_point();
+        let names: Vec<&str> = p.iter().map(|s| s.parameter).collect();
+        assert_eq!(names.len(), 5);
+        assert!(names.contains(&"loss h"));
+        assert!(names.contains(&"switch delay w (s)"));
+    }
+
+    #[test]
+    fn all_probabilities_valid() {
+        for s in panel_at_op_point() {
+            for (&p, &g) in s.p_join.iter().zip(&s.expected_join_time) {
+                assert!((0.0..=1.0).contains(&p), "{}: p = {p}", s.parameter);
+                assert!((0.0..=4.0 + 1e-9).contains(&g), "{}: g = {g}", s.parameter);
+            }
+        }
+    }
+
+    #[test]
+    fn loss_hurts_monotonically() {
+        let p = panel_at_op_point();
+        let loss = p.iter().find(|s| s.parameter == "loss h").unwrap();
+        for w in loss.p_join.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "more loss cannot help joining");
+        }
+    }
+
+    #[test]
+    fn switch_delay_is_second_order() {
+        // The paper's Fig. 3 remark: w barely matters next to β and the
+        // schedule. Its swing must be small compared to the loss swing.
+        let p = panel_at_op_point();
+        let w = p.iter().find(|s| s.parameter == "switch delay w (s)").unwrap();
+        let loss = p.iter().find(|s| s.parameter == "loss h").unwrap();
+        assert!(
+            w.p_swing() < loss.p_swing(),
+            "w swing {} should be below loss swing {}",
+            w.p_swing(),
+            loss.p_swing()
+        );
+        assert!(w.p_swing() < 0.2, "w swing {} should be second-order", w.p_swing());
+    }
+
+    #[test]
+    fn expected_join_time_moves_opposite_to_p() {
+        // Within each sweep, higher join probability should not come with a
+        // (much) higher expected join time.
+        for s in panel_at_op_point() {
+            for i in 1..s.values.len() {
+                if s.p_join[i] > s.p_join[i - 1] + 0.05 {
+                    assert!(
+                        s.expected_join_time[i] <= s.expected_join_time[i - 1] + 1e-6,
+                        "{}: p rose but g rose too",
+                        s.parameter
+                    );
+                }
+            }
+        }
+    }
+}

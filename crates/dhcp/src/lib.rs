@@ -1,0 +1,27 @@
+//! # dhcp
+//!
+//! The DHCP substrate of the Spider (CoNEXT 2011) reproduction.
+//!
+//! The paper's central observation is that the DHCP join — not channel
+//! switching — is what breaks virtualized Wi-Fi at vehicular speed: the
+//! exchange cannot be PSM-buffered, its pacing is set by the *server*
+//! (`β ∈ [βmin, βmax]`), and its failure handling is set by *client timers*
+//! (1 s/3 s/60 s stock; 100–600 ms reduced). All three knobs are first-class
+//! here:
+//!
+//! * [`message`] — RFC 2131/2132 wire format (BOOTP header + options).
+//! * [`client`] — the acquisition state machine with stock/reduced timer
+//!   policies and Spider's lease-cache INIT-REBOOT shortcut.
+//! * [`server`] — per-AP lease pools with a configurable response-delay
+//!   distribution (the paper's `β`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod message;
+pub mod server;
+
+pub use client::{DhcpAction, DhcpClient, DhcpClientConfig, Lease};
+pub use message::{DhcpError, DhcpMessage, MessageType};
+pub use server::{DhcpServer, DhcpServerConfig, ServerCounters};

@@ -1,0 +1,285 @@
+//! Beyond the paper's figures: ablations of Spider's design choices, a
+//! system-level speed sweep (the dividing speed measured end-to-end rather
+//! than analytically), and the §4.8 future-work extension — adaptive
+//! channel selection — evaluated head-to-head.
+
+use sim_engine::time::Duration;
+use spider_core::config::SpiderConfig;
+use wifi_mac::channel::Channel;
+
+use crate::common::{amherst_sites, header, run_all, vehicular_world, Scale};
+
+/// Ablation study: remove one Spider design choice at a time.
+pub fn ablation(scale: Scale) {
+    header("Ablation — what each Spider design choice is worth");
+    let mk = |label: &str, spider: SpiderConfig| {
+        (
+            label.to_string(),
+            vehicular_world(
+                scale.seed,
+                amherst_sites(scale.seed),
+                spider,
+                scale.duration(1_800),
+                10.0,
+            ),
+        )
+    };
+    // On a single channel (with the −85 dBm join floor) joins are easy and
+    // several mechanisms stop binding; the multi-channel schedule is where
+    // the paper's join pathologies live, so ablate under both.
+    let multi = |mut cfg: SpiderConfig| {
+        cfg.schedule = spider_core::config::SchedulePolicy::equal_three(
+            Duration::from_millis(200),
+        );
+        cfg
+    };
+    let results = run_all(vec![
+        mk("full Spider (ch1, multi-AP)", SpiderConfig::single_channel_multi_ap(Channel::CH1)),
+        mk("— join-history selection (best-RSSI)", SpiderConfig::ablate_history(Channel::CH1)),
+        mk("— lease cache (full DHCP every join)", SpiderConfig::ablate_lease_cache(Channel::CH1)),
+        mk("— reduced timers (stock 1s/3s/60s)", SpiderConfig::ablate_reduced_timers(Channel::CH1)),
+        mk("— parallel joins (one interface)", SpiderConfig::ablate_parallel_join(Channel::CH1)),
+        mk("full Spider (3 channels)", multi(SpiderConfig::single_channel_multi_ap(Channel::CH1))),
+        mk("— lease cache (3 channels)", multi(SpiderConfig::ablate_lease_cache(Channel::CH1))),
+        mk("— reduced timers (3 channels)", multi(SpiderConfig::ablate_reduced_timers(Channel::CH1))),
+        mk("— parallel joins (3 channels)", multi(SpiderConfig::ablate_parallel_join(Channel::CH1))),
+    ]);
+    println!(
+        "\n  {:<42} {:>11} {:>13} {:>7} {:>9} {:>10}",
+        "variant", "tput KB/s", "connectivity", "joins", "failures", "med join"
+    );
+    for (label, r) in &results {
+        println!(
+            "  {:<42} {:>11.1} {:>12.1}% {:>7} {:>9} {:>8.2}s",
+            label,
+            r.avg_throughput_kbps(),
+            100.0 * r.connectivity,
+            r.join_times.count(),
+            r.assoc_failures + r.dhcp_failures,
+            r.join_times.clone().median()
+        );
+    }
+    println!("\n  Reading: each row disables one mechanism. The gap to the full system");
+    println!("  is that mechanism's contribution in this environment.");
+}
+
+/// System-level speed sweep: the dividing-speed story measured end-to-end.
+pub fn speed_sweep(scale: Scale) {
+    header("Speed sweep — throughput vs vehicle speed, single- vs multi-channel");
+    let mut configs = Vec::new();
+    for &speed in &[2.5, 5.0, 10.0, 15.0, 20.0, 30.0] {
+        configs.push((
+            format!("{speed:>4} m/s — 1 channel"),
+            vehicular_world(
+                scale.seed,
+                amherst_sites(scale.seed),
+                SpiderConfig::single_channel_multi_ap(Channel::CH1),
+                scale.duration(900),
+                speed,
+            ),
+        ));
+        configs.push((
+            format!("{speed:>4} m/s — 3 channels"),
+            vehicular_world(
+                scale.seed,
+                amherst_sites(scale.seed),
+                SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)),
+                scale.duration(900),
+                speed,
+            ),
+        ));
+    }
+    let results = run_all(configs);
+    println!(
+        "\n  {:<26} {:>11} {:>13} {:>7} {:>9}",
+        "speed / schedule", "tput KB/s", "connectivity", "joins", "failures"
+    );
+    for (label, r) in &results {
+        println!(
+            "  {:<26} {:>11.1} {:>12.1}% {:>7} {:>9}",
+            label,
+            r.avg_throughput_kbps(),
+            100.0 * r.connectivity,
+            r.join_times.count(),
+            r.assoc_failures + r.dhcp_failures
+        );
+    }
+    println!("\n  Expected shape: throughput falls with speed for both; the single-channel");
+    println!("  advantage persists across vehicular speeds (the paper's main result).");
+}
+
+/// §4.8 extension: adaptive channel selection vs fixed channels.
+pub fn adaptive(scale: Scale) {
+    header("Extension (§4.8) — adaptive channel selection");
+    let mk = |label: &str, spider: SpiderConfig| {
+        (
+            label.to_string(),
+            vehicular_world(
+                scale.seed,
+                amherst_sites(scale.seed),
+                spider,
+                scale.duration(1_800),
+                10.0,
+            ),
+        )
+    };
+    let results = run_all(vec![
+        mk("fixed channel 1", SpiderConfig::single_channel_multi_ap(Channel::CH1)),
+        mk("fixed channel 6", SpiderConfig::single_channel_multi_ap(Channel::CH6)),
+        mk("fixed channel 11", SpiderConfig::single_channel_multi_ap(Channel::CH11)),
+        mk("adaptive channel (extension)", SpiderConfig::adaptive_channel()),
+        mk("3-channel static schedule", SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200))),
+    ]);
+    println!(
+        "\n  {:<34} {:>11} {:>13} {:>7} {:>10}",
+        "policy", "tput KB/s", "connectivity", "joins", "switches"
+    );
+    let mut best_fixed = 0.0f64;
+    let mut adaptive_tput = 0.0f64;
+    for (label, r) in &results {
+        println!(
+            "  {:<34} {:>11.1} {:>12.1}% {:>7} {:>10}",
+            label,
+            r.avg_throughput_kbps(),
+            100.0 * r.connectivity,
+            r.join_times.count(),
+            r.switch_count
+        );
+        if label.starts_with("fixed") {
+            best_fixed = best_fixed.max(r.avg_throughput_kbps());
+        }
+        if label.starts_with("adaptive") {
+            adaptive_tput = r.avg_throughput_kbps();
+        }
+    }
+    println!(
+        "\n  Adaptive recovers {:.0}% of the best fixed channel's throughput without",
+        100.0 * adaptive_tput / best_fixed.max(1e-9)
+    );
+    println!("  knowing in advance which channel that is — the paper's §4.8 wish.");
+}
+
+/// Encounter calibration: the simulated town vs the paper's §2.3 figures
+/// (median ≈ 8 s, mean ≈ 22 s at vehicular speed).
+pub fn encounters(scale: Scale) {
+    use mobility::encounter::EncounterStats;
+    use mobility::route::Vehicle;
+    use sim_engine::time::Instant;
+    use wifi_mac::phy::PhyConfig;
+
+    header("Encounter calibration — in-range windows vs the paper's town");
+    let route = crate::common::amherst_route();
+    let sites = amherst_sites(scale.seed);
+    let phy = PhyConfig::default();
+    // "In range" at the PHY's 50% management-frame distance (joins gate
+    // here; data with MAC retries reaches further).
+    let range = phy.range_at_per(0.5);
+    println!(
+        "\n  {} APs on a {:.1} km loop; range = {range:.0} m (50% mgmt PER)",
+        sites.len(),
+        route.length() / 1000.0
+    );
+    println!("  {:>28} {:>12} {:>12} {:>12}", "profile", "encounters", "median (s)", "mean (s)");
+    let mut profiles: Vec<(String, mobility::route::SpeedProfile)> = vec![];
+    for speed in [5.0, 10.0, 15.0] {
+        profiles.push((
+            format!("constant {speed} m/s"),
+            mobility::route::SpeedProfile::Constant(speed),
+        ));
+    }
+    // Urban stop-and-go: lights every 300 m, 20 s dwell, 13 m/s cruise
+    // (mean ≈ 7 m/s) — the skew generator real towns have.
+    profiles.push((
+        "stop-and-go 13 m/s / 20 s".into(),
+        mobility::route::SpeedProfile::StopAndGo {
+            cruise: 13.0,
+            stop_every: 300.0,
+            stop_for: 20.0,
+        },
+    ));
+    for (label, profile) in profiles {
+        let vehicle = Vehicle::with_profile(route.clone(), profile, Instant::ZERO);
+        let stats = EncounterStats::collect(
+            &vehicle,
+            sites.iter().map(|s| s.position),
+            range,
+            Instant::ZERO + scale.duration(1_800),
+        );
+        println!(
+            "  {label:>28} {:>12} {:>12.1} {:>12.1}",
+            stats.count(),
+            stats.median().as_secs_f64(),
+            stats.mean().as_secs_f64()
+        );
+    }
+    println!("\n  Paper (§2.3): median ≈ 8 s, mean ≈ 22 s. Our windows are in the same");
+    println!("  band but less skewed: the synthetic town lacks the real one's many");
+    println!("  grazing encounters (deep-set APs) and stop-and-go dwells.");
+}
+
+/// Capacity planning vs the simulator: the §4.7 envelope checked against
+/// Table 2's measured numbers.
+pub fn capacity(scale: Scale) {
+    use analytical::capacity::CapacityPlan;
+    header("Capacity planning — the closed-form envelope vs the simulator");
+    // Parameters read off the *actual* deployed world (same seed the
+    // simulator gets) plus the committed calibration (DESIGN.md §7).
+    let sites = amherst_sites(scale.seed);
+    let route = crate::common::amherst_route();
+    let ch1: Vec<_> = sites
+        .iter()
+        .filter(|s| s.channel == Channel::CH1)
+        .collect();
+    let mean_backhaul_bps: f64 = if ch1.is_empty() {
+        0.0
+    } else {
+        ch1.iter().map(|s| s.backhaul_bps as f64).sum::<f64>() / ch1.len() as f64
+    };
+    // Service range: where a data frame still gets through within the MAC
+    // retry budget (joins gate at the shorter mgmt range, but an existing
+    // association keeps delivering well past it).
+    let phy = wifi_mac::phy::PhyConfig::default();
+    let service_range = phy.range_at_per(0.5f64.powf(1.0 / (phy.data_retries + 1) as f64));
+    let plan = CapacityPlan {
+        speed_mps: 10.0,
+        aps_per_km: ch1.len() as f64 / (route.length() / 1000.0),
+        range_m: service_range,
+        lateral_max_m: 45.0,
+        join_time_s: 1.2,
+        join_success: 0.9,
+        per_ap_bps: mean_backhaul_bps / 8.0,
+    };
+    println!(
+        "\n  world: {} channel-1 APs on {:.1} km ({:.2}/km), mean backhaul {:.2} Mb/s",
+        ch1.len(),
+        route.length() / 1000.0,
+        plan.aps_per_km,
+        mean_backhaul_bps / 1e6
+    );
+    println!("\n  channel-1 plan at 10 m/s:");
+    println!("    mean encounter        : {:>8.1} s", plan.mean_encounter_s());
+    println!("    encounters per hour   : {:>8.1}", plan.encounters_per_hour());
+    println!("    usable s / encounter  : {:>8.1}", plan.usable_seconds());
+    println!("    bytes / encounter     : {:>8.0} kB", plan.bytes_per_encounter() / 1000.0);
+    println!("    planned average rate  : {:>8.1} KB/s", plan.average_rate_bps() / 1000.0);
+    println!("    coverage bound        : {:>8.1} %", 100.0 * plan.coverage_fraction());
+    println!("    break-even speed      : {:>8.1} m/s", plan.breakeven_speed_mps());
+
+    // The simulator's answer for the same channel-1 world.
+    let measured = run_all(vec![(
+        "ch1 multi-AP".into(),
+        vehicular_world(
+            scale.seed,
+            amherst_sites(scale.seed),
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            scale.duration(1_800),
+            10.0,
+        ),
+    )]);
+    let r = &measured[0].1;
+    println!("\n  simulator (same world)  : {:>8.1} KB/s at {:>4.1} % connectivity",
+        r.avg_throughput_kbps(), 100.0 * r.connectivity);
+    println!("\n  Reading: the two should agree to within a small factor — the envelope");
+    println!("  ignores multi-AP overlap (which helps) and join failures at the");
+    println!("  encounter edges (which hurt).");
+}

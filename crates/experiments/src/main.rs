@@ -1,0 +1,117 @@
+//! Regenerates every table and figure of "Concurrent Wi-Fi for Mobile
+//! Users: Analysis and Measurements" (CoNEXT 2011).
+//!
+//! ```text
+//! experiments <target> [--seed N] [--scale K] [--json DIR]
+//!
+//! targets: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//!          fig13 fig14 table1 table2 table3 table4 density
+//!          sensitivity ablation speed adaptive encounters capacity all
+//! ```
+//!
+//! `--scale K` multiplies run lengths by `K` (1 = quick pass; the paper's
+//! 30–60 minute drives correspond to roughly `--scale 4`).
+
+mod common;
+mod eval_figs;
+mod extensions;
+mod join_figs;
+mod model_figs;
+mod tcp_figs;
+
+use common::{Scale, DEFAULT_SEED};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target = String::from("all");
+    let mut scale = Scale { factor: 1, seed: DEFAULT_SEED };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                i += 1;
+                scale.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--seed needs an integer"));
+            }
+            "--scale" => {
+                i += 1;
+                scale.factor = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs an integer"));
+            }
+            "--json" => {
+                i += 1;
+                let dir = std::path::PathBuf::from(
+                    args.get(i).unwrap_or_else(|| usage("--json needs a directory")),
+                );
+                std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+                    usage(&format!("cannot create {}: {e}", dir.display()))
+                });
+                let _ = common::JSON_DIR.set(Some(dir));
+            }
+            t if !t.starts_with('-') => target = t.to_string(),
+            other => usage(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    println!("Spider (CoNEXT 2011) reproduction — seed {} scale {}", scale.seed, scale.factor);
+    match target.as_str() {
+        "fig2" => model_figs::fig2(scale.seed),
+        "fig3" => model_figs::fig3(),
+        "fig4" => model_figs::fig4(),
+        "fig5" => join_figs::fig5(scale),
+        "fig6" => join_figs::fig6(scale),
+        "fig7" => tcp_figs::fig7(scale),
+        "fig8" => tcp_figs::fig8(scale),
+        "fig9" => tcp_figs::fig9(scale),
+        "fig10" | "table2" => eval_figs::table2_fig10(scale),
+        "fig11" | "table3" => join_figs::table3_fig11(scale),
+        "fig12" => join_figs::fig12(scale),
+        "fig13" | "fig14" | "usability" => eval_figs::usability(scale),
+        "table1" => tcp_figs::table1(scale),
+        "table4" => eval_figs::table4(scale),
+        "density" => eval_figs::density(scale),
+        "sensitivity" => model_figs::sensitivity_panel(),
+        "ablation" => extensions::ablation(scale),
+        "speed" => extensions::speed_sweep(scale),
+        "adaptive" => extensions::adaptive(scale),
+        "encounters" => extensions::encounters(scale),
+        "capacity" => extensions::capacity(scale),
+        "all" => {
+            model_figs::fig2(scale.seed);
+            model_figs::fig3();
+            model_figs::fig4();
+            join_figs::fig5(scale);
+            join_figs::fig6(scale);
+            tcp_figs::fig7(scale);
+            tcp_figs::fig8(scale);
+            tcp_figs::table1(scale);
+            tcp_figs::fig9(scale);
+            eval_figs::table2_fig10(scale);
+            eval_figs::density(scale);
+            join_figs::table3_fig11(scale);
+            join_figs::fig12(scale);
+            eval_figs::table4(scale);
+            eval_figs::usability(scale);
+            model_figs::sensitivity_panel();
+            extensions::ablation(scale);
+            extensions::speed_sweep(scale);
+            extensions::adaptive(scale);
+            extensions::encounters(scale);
+            extensions::capacity(scale);
+        }
+        other => usage(&format!("unknown target {other}")),
+    }
+}
+
+fn usage(err: &str) -> ! {
+    eprintln!("error: {err}");
+    eprintln!(
+        "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|table4|density|sensitivity|ablation|speed|adaptive|encounters|capacity|all> [--seed N] [--scale K] [--json DIR]"
+    );
+    std::process::exit(2);
+}

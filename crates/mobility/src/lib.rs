@@ -1,0 +1,31 @@
+//! # mobility
+//!
+//! Vehicular mobility and AP deployment for the Spider (CoNEXT 2011)
+//! reproduction: the substitute for the paper's five cars driving Amherst
+//! and Boston.
+//!
+//! * [`geometry`] — points, distances, segment–circle intersection.
+//! * [`route`] — polyline routes (the paper's repeated fixed loops) and
+//!   constant-speed vehicles.
+//! * [`deployment`] — open-AP placement with the paper's measured channel
+//!   mixes (Amherst 28/33/34 % on 1/6/11; Boston per Cabernet), per-AP
+//!   backhaul and DHCP-responsiveness draws.
+//! * [`encounter`] — analytic in-range windows; the paper's town yields a
+//!   median ≈ 8 s / mean ≈ 22 s encounter, which calibrations target.
+//! * [`waypoints`] — plain-text route import/export, so real street
+//!   polylines can be driven.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod encounter;
+pub mod geometry;
+pub mod route;
+pub mod waypoints;
+
+pub use deployment::{deploy_along, deploy_custom, deploy_evenly, ApSite, ChannelMix, CustomDeployment, DeploymentConfig};
+pub use encounter::{encounters, range_intervals, Encounter, EncounterStats};
+pub use geometry::Point;
+pub use route::{Route, SpeedProfile, Vehicle};
+pub use waypoints::{format_route, parse_route, WaypointError};

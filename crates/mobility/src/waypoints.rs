@@ -1,0 +1,152 @@
+//! Route import/export as plain waypoint text.
+//!
+//! The paper's vehicles drove real streets; users reproducing on their own
+//! maps want to feed their own polylines in. The format is as small as a
+//! format can be — one `x,y` pair per line (metres, `#` comments, blank
+//! lines ignored), with an optional `loop` directive:
+//!
+//! ```text
+//! # downtown circuit
+//! loop
+//! 0, 0
+//! 1000, 0
+//! 1000, 500
+//! 0, 500
+//! ```
+
+use core::fmt;
+
+use crate::geometry::Point;
+use crate::route::Route;
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WaypointError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for WaypointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "waypoint parse error on line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for WaypointError {}
+
+/// Parse waypoint text into a [`Route`].
+pub fn parse_route(text: &str) -> Result<Route, WaypointError> {
+    let mut looped = false;
+    let mut points = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("loop") {
+            looped = true;
+            continue;
+        }
+        let mut parts = line.split(',');
+        let x = parts
+            .next()
+            .map(str::trim)
+            .ok_or_else(|| WaypointError { line: line_no, reason: "missing x".into() })?;
+        let y = parts
+            .next()
+            .map(str::trim)
+            .ok_or_else(|| WaypointError { line: line_no, reason: "missing y".into() })?;
+        if parts.next().is_some() {
+            return Err(WaypointError { line: line_no, reason: "too many fields".into() });
+        }
+        let parse = |s: &str, which: &str| {
+            s.parse::<f64>().map_err(|_| WaypointError {
+                line: line_no,
+                reason: format!("bad {which} coordinate {s:?}"),
+            })
+        };
+        let (x, y) = (parse(x, "x")?, parse(y, "y")?);
+        if !x.is_finite() || !y.is_finite() {
+            return Err(WaypointError { line: line_no, reason: "non-finite coordinate".into() });
+        }
+        points.push(Point::new(x, y));
+    }
+    if points.len() < 2 {
+        return Err(WaypointError {
+            line: text.lines().count().max(1),
+            reason: format!("need at least 2 waypoints, found {}", points.len()),
+        });
+    }
+    Ok(Route::new(points, looped))
+}
+
+/// Render a [`Route`] back to waypoint text (a parse/format round-trip is
+/// identity up to whitespace).
+pub fn format_route(route: &Route) -> String {
+    let mut out = String::new();
+    if route.is_loop() {
+        out.push_str("loop\n");
+    }
+    for p in route.vertices() {
+        out.push_str(&format!("{}, {}\n", p.x, p.y));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_doc_example() {
+        let text = "# downtown circuit\nloop\n0, 0\n1000, 0\n1000, 500\n0, 500\n";
+        let route = parse_route(text).unwrap();
+        assert!(route.is_loop());
+        assert_eq!(route.vertices().len(), 4);
+        assert_eq!(route.length(), 3_000.0);
+    }
+
+    #[test]
+    fn comments_blank_lines_and_inline_comments_ignored() {
+        let text = "\n# header\n0,0   # start\n\n100, 0\n";
+        let route = parse_route(text).unwrap();
+        assert_eq!(route.vertices().len(), 2);
+        assert!(!route.is_loop());
+    }
+
+    #[test]
+    fn roundtrip_is_identity() {
+        let text = "loop\n0, 0\n250, 0\n250, 125\n";
+        let route = parse_route(text).unwrap();
+        let again = parse_route(&format_route(&route)).unwrap();
+        assert_eq!(again.vertices(), route.vertices());
+        assert_eq!(again.is_loop(), route.is_loop());
+        assert_eq!(again.length(), route.length());
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let err = parse_route("0,0\nnonsense,5\n10,10\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("bad x"));
+
+        let err = parse_route("0,0\n1,2,3\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("too many"));
+
+        let err = parse_route("0,0\n").unwrap_err();
+        assert!(err.reason.contains("at least 2"));
+
+        let err = parse_route("0,0\n1,inf\n").unwrap_err();
+        assert!(err.reason.contains("non-finite") || err.reason.contains("bad y"));
+    }
+
+    #[test]
+    fn loop_directive_is_case_insensitive() {
+        let route = parse_route("LOOP\n0,0\n10,0\n10,10\n").unwrap();
+        assert!(route.is_loop());
+    }
+}

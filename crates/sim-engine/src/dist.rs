@@ -1,0 +1,182 @@
+//! Configurable probability distributions.
+//!
+//! Deployment generators and workload synthesizers take distribution
+//! *parameters* from config; [`Dist`] gives those configs a single,
+//! serializable-friendly vocabulary instead of hard-coding a family per
+//! knob. All sampling goes through the deterministic [`Rng`].
+
+use crate::rng::Rng;
+use crate::time::Duration;
+
+/// A parametric distribution over non-negative reals.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Dist {
+    /// Always `value`.
+    Constant(f64),
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (inclusive).
+        lo: f64,
+        /// Upper bound (exclusive).
+        hi: f64,
+    },
+    /// Exponential with the given mean.
+    Exponential {
+        /// Mean.
+        mean: f64,
+    },
+    /// Log-normal: `exp(N(mu, sigma))`.
+    LogNormal {
+        /// Mean of the underlying normal.
+        mu: f64,
+        /// Standard deviation of the underlying normal.
+        sigma: f64,
+    },
+    /// Pareto with scale `xm` and shape `alpha`.
+    Pareto {
+        /// Scale (minimum value).
+        xm: f64,
+        /// Shape.
+        alpha: f64,
+    },
+    /// Normal clamped below at zero.
+    NormalClamped {
+        /// Mean.
+        mu: f64,
+        /// Standard deviation.
+        sigma: f64,
+    },
+}
+
+impl Dist {
+    /// Draw one sample.
+    pub fn sample(&self, rng: &mut Rng) -> f64 {
+        match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, hi } => rng.range_f64(lo, hi),
+            Dist::Exponential { mean } => rng.exp(mean),
+            Dist::LogNormal { mu, sigma } => rng.log_normal(mu, sigma),
+            Dist::Pareto { xm, alpha } => rng.pareto(xm, alpha),
+            Dist::NormalClamped { mu, sigma } => rng.normal(mu, sigma).max(0.0),
+        }
+    }
+
+    /// Draw a [`Duration`] (sample interpreted as seconds, clamped at 0).
+    pub fn sample_duration(&self, rng: &mut Rng) -> Duration {
+        Duration::from_secs_f64(self.sample(rng).max(0.0))
+    }
+
+    /// The distribution's mean, where it exists in closed form.
+    /// (Pareto with `alpha ≤ 1` has no mean; returns `None`.)
+    pub fn mean(&self) -> Option<f64> {
+        Some(match *self {
+            Dist::Constant(v) => v,
+            Dist::Uniform { lo, hi } => 0.5 * (lo + hi),
+            Dist::Exponential { mean } => mean,
+            Dist::LogNormal { mu, sigma } => (mu + 0.5 * sigma * sigma).exp(),
+            Dist::Pareto { xm, alpha } => {
+                if alpha <= 1.0 {
+                    return None;
+                }
+                alpha * xm / (alpha - 1.0)
+            }
+            // The clamp truncates; the unclamped mean is close when
+            // mu ≫ sigma, which is the config regime — report that.
+            Dist::NormalClamped { mu, .. } => mu.max(0.0),
+        })
+    }
+
+    /// Validate parameters, returning a description of the first problem.
+    pub fn validate(&self) -> Result<(), String> {
+        match *self {
+            Dist::Constant(v) if v.is_finite() && v >= 0.0 => Ok(()),
+            Dist::Constant(v) => Err(format!("constant {v} must be finite and ≥ 0")),
+            Dist::Uniform { lo, hi } if lo < hi && lo.is_finite() && hi.is_finite() && lo >= 0.0 => {
+                Ok(())
+            }
+            Dist::Uniform { lo, hi } => Err(format!("bad uniform range [{lo}, {hi})")),
+            Dist::Exponential { mean } if mean > 0.0 && mean.is_finite() => Ok(()),
+            Dist::Exponential { mean } => Err(format!("bad exponential mean {mean}")),
+            Dist::LogNormal { sigma, .. } if sigma >= 0.0 && sigma.is_finite() => Ok(()),
+            Dist::LogNormal { sigma, .. } => Err(format!("bad log-normal sigma {sigma}")),
+            Dist::Pareto { xm, alpha } if xm > 0.0 && alpha > 0.0 => Ok(()),
+            Dist::Pareto { xm, alpha } => Err(format!("bad pareto (xm={xm}, alpha={alpha})")),
+            Dist::NormalClamped { sigma, .. } if sigma >= 0.0 && sigma.is_finite() => Ok(()),
+            Dist::NormalClamped { sigma, .. } => Err(format!("bad normal sigma {sigma}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn empirical_mean(d: &Dist, n: u32) -> f64 {
+        let mut rng = Rng::new(77);
+        (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn closed_form_means_match_samples() {
+        let cases = [
+            Dist::Constant(4.2),
+            Dist::Uniform { lo: 1.0, hi: 5.0 },
+            Dist::Exponential { mean: 2.0 },
+            Dist::LogNormal { mu: 0.5, sigma: 0.4 },
+            Dist::Pareto { xm: 1.0, alpha: 3.0 },
+        ];
+        for d in cases {
+            let expect = d.mean().expect("mean exists");
+            let got = empirical_mean(&d, 200_000);
+            assert!(
+                (got - expect).abs() / expect < 0.03,
+                "{d:?}: empirical {got} vs {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_pareto_has_no_mean() {
+        assert_eq!(Dist::Pareto { xm: 1.0, alpha: 0.9 }.mean(), None);
+    }
+
+    #[test]
+    fn clamped_normal_never_negative() {
+        let d = Dist::NormalClamped { mu: 0.5, sigma: 2.0 };
+        let mut rng = Rng::new(3);
+        for _ in 0..10_000 {
+            assert!(d.sample(&mut rng) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn durations_are_seconds() {
+        let d = Dist::Constant(1.5);
+        let mut rng = Rng::new(1);
+        assert_eq!(d.sample_duration(&mut rng), Duration::from_millis(1500));
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(Dist::Uniform { lo: 5.0, hi: 5.0 }.validate().is_err());
+        assert!(Dist::Exponential { mean: 0.0 }.validate().is_err());
+        assert!(Dist::Pareto { xm: 0.0, alpha: 1.0 }.validate().is_err());
+        assert!(Dist::Constant(f64::NAN).validate().is_err());
+        assert!(Dist::Uniform { lo: 0.0, hi: 1.0 }.validate().is_ok());
+        assert!(Dist::LogNormal { mu: -1.0, sigma: 0.5 }.validate().is_ok());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = Dist::LogNormal { mu: 1.0, sigma: 1.0 };
+        let a: Vec<f64> = {
+            let mut rng = Rng::new(9);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = Rng::new(9);
+            (0..10).map(|_| d.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

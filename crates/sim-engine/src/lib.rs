@@ -1,0 +1,44 @@
+//! # sim-engine
+//!
+//! Deterministic discrete-event simulation kernel used by the Spider
+//! (CoNEXT 2011) reproduction.
+//!
+//! The paper's evaluation ran on real cars, radios, and access points; this
+//! workspace reproduces it in simulation, so the kernel's job is to make
+//! every run an exact, seedable function of its inputs:
+//!
+//! * [`time`] — integer-nanosecond virtual clock ([`time::Instant`],
+//!   [`time::Duration`]).
+//! * [`queue`] — future-event list with strict total order and O(1) timer
+//!   cancellation.
+//! * [`runner`] — the event pump ([`runner::Handler`],
+//!   [`runner::run_until`]).
+//! * [`rng`] — self-contained xoshiro256** PRNG with forkable streams and
+//!   the distributions the paper's models need.
+//! * [`dist`] — a parametric distribution vocabulary for configs.
+//! * [`stats`] — the estimators behind every reported number: streaming
+//!   moments, percentiles/ECDFs, time-weighted averages.
+//! * [`trace`] — bounded, category-filtered event tracing for debugging
+//!   multi-million-event runs.
+//!
+//! Nothing here knows about Wi-Fi; higher crates (`wifi-mac`, `dhcp`,
+//! `tcp-lite`, `spider-core`) compose on top.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dist;
+pub mod queue;
+pub mod rng;
+pub mod runner;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use dist::Dist;
+pub use queue::{EventId, EventQueue};
+pub use rng::Rng;
+pub use runner::{run_to_quiescence, run_until, Handler};
+pub use stats::{Histogram, Samples, Summary, TimeWeighted};
+pub use time::{Duration, Instant};
+pub use trace::{Category, Trace};

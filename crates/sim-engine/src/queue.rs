@@ -1,0 +1,279 @@
+//! The event queue at the heart of the discrete-event simulator.
+//!
+//! [`EventQueue`] is a priority queue of `(Instant, E)` pairs with a strict
+//! total order: events at the same instant fire in insertion order
+//! (a monotone sequence number breaks ties). This makes simulation runs
+//! deterministic — the property everything else in this workspace leans on.
+//!
+//! Timers that may need to be rearmed (DHCP retransmits, TCP RTO, channel
+//! scheduler ticks) are handled by *cancellation tokens*: `push` returns an
+//! [`EventId`], and [`EventQueue::cancel`] marks it dead; dead events are
+//! skipped on pop. This is O(1) per cancel and avoids the classic
+//! decrease-key problem.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashSet};
+
+use crate::time::Instant;
+
+/// Opaque handle identifying a scheduled event, used for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: Instant,
+    seq: u64,
+    event: E,
+}
+
+// BinaryHeap is a max-heap; invert the ordering to pop the earliest event.
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+/// A deterministic future-event list.
+///
+/// ```
+/// use sim_engine::queue::EventQueue;
+/// use sim_engine::time::Instant;
+///
+/// let mut q = EventQueue::new();
+/// q.push(Instant::from_millis(20), "b");
+/// q.push(Instant::from_millis(10), "a");
+/// let id = q.push(Instant::from_millis(15), "cancelled");
+/// q.cancel(id);
+/// assert_eq!(q.pop(), Some((Instant::from_millis(10), "a")));
+/// assert_eq!(q.pop(), Some((Instant::from_millis(20), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: HashSet<u64>,
+    next_seq: u64,
+    /// Time of the most recently popped event; pops are monotone.
+    now: Instant,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at [`Instant::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            next_seq: 0,
+            now: Instant::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The time of the last popped event — "now" from the perspective of the
+    /// code currently handling an event.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// Total number of events delivered so far (diagnostics).
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedule `event` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is earlier than the current queue time: an event
+    /// handler may only schedule into the present or future.
+    pub fn push(&mut self, at: Instant, event: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "EventQueue::push: scheduling into the past ({at} < now {})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Idempotent; cancelling an event
+    /// that already fired is a harmless no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Pop the earliest live event, advancing the queue clock to its time.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now, "event queue time went backwards");
+            self.now = entry.at;
+            self.popped += 1;
+            return Some((entry.at, entry.event));
+        }
+        None
+    }
+
+    /// Time of the earliest live event, without popping it.
+    pub fn peek_time(&mut self) -> Option<Instant> {
+        // Drain dead entries from the top so peek is accurate.
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.seq) {
+                let seq = self.heap.pop().expect("peeked entry vanished").seq;
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(top.at);
+            }
+        }
+        None
+    }
+
+    /// Number of scheduled events, *including* cancelled tombstones still in
+    /// the heap. Use [`EventQueue::has_live_events`] for an accurate
+    /// emptiness test.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if the heap holds nothing at all (not even tombstones).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// True if at least one non-cancelled event remains.
+    pub fn has_live_events(&mut self) -> bool {
+        self.peek_time().is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(Instant::from_millis(30), 3);
+        q.push(Instant::from_millis(10), 1);
+        q.push(Instant::from_millis(20), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = Instant::from_millis(5);
+        for i in 0..10 {
+            q.push(t, i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn now_tracks_pops() {
+        let mut q = EventQueue::new();
+        q.push(Instant::from_millis(7), ());
+        assert_eq!(q.now(), Instant::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Instant::from_millis(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduling into the past")]
+    fn pushing_into_past_panics() {
+        let mut q = EventQueue::new();
+        q.push(Instant::from_millis(10), ());
+        q.pop();
+        q.push(Instant::from_millis(5), ());
+    }
+
+    #[test]
+    fn cancellation_skips_events() {
+        let mut q = EventQueue::new();
+        let a = q.push(Instant::from_millis(1), "a");
+        let _b = q.push(Instant::from_millis(2), "b");
+        q.cancel(a);
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_after_fire_is_noop() {
+        let mut q = EventQueue::new();
+        let a = q.push(Instant::from_millis(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        q.cancel(a);
+        q.push(Instant::from_millis(2), "b");
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(Instant::from_millis(1), "a");
+        q.push(Instant::from_millis(9), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(Instant::from_millis(9)));
+        assert!(q.has_live_events());
+        q.pop();
+        assert!(!q.has_live_events());
+    }
+
+    #[test]
+    fn delivered_counts_only_live_events() {
+        let mut q = EventQueue::new();
+        let a = q.push(Instant::from_millis(1), ());
+        q.push(Instant::from_millis(2), ());
+        q.cancel(a);
+        while q.pop().is_some() {}
+        assert_eq!(q.delivered(), 1);
+    }
+
+    #[test]
+    fn randomized_ordering_matches_sorted_reference() {
+        let mut rng = Rng::new(1234);
+        let mut q = EventQueue::new();
+        let mut reference: Vec<(u64, u64)> = Vec::new(); // (time_ms, seq)
+        for seq in 0..2_000 {
+            let t = rng.range_u64(0, 500);
+            q.push(Instant::from_millis(t), seq);
+            reference.push((t, seq));
+        }
+        reference.sort(); // (time, insertion seq) — exactly the queue's order
+        for &(t, seq) in &reference {
+            let (at, got) = q.pop().unwrap();
+            assert_eq!(at, Instant::from_millis(t));
+            assert_eq!(got, seq);
+        }
+        assert!(q.pop().is_none());
+    }
+}

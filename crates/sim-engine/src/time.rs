@@ -1,0 +1,457 @@
+//! Virtual time for the discrete-event simulator.
+//!
+//! The simulator owns its clock: nothing in the workspace reads the wall
+//! clock. Time is an absolute [`Instant`] measured in integer nanoseconds
+//! since simulation start, and a [`Duration`] is the difference between two
+//! instants. Integer nanoseconds give us:
+//!
+//! * exact, platform-independent reproducibility (no floating-point drift in
+//!   the event queue ordering), and
+//! * enough range (u64 nanoseconds ≈ 584 years) for any experiment.
+//!
+//! The API deliberately mirrors `std::time` where that makes sense, per the
+//! Tokio/std naming convention, so call sites read naturally.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// Nanoseconds in one microsecond.
+pub const NANOS_PER_MICRO: u64 = 1_000;
+/// Nanoseconds in one millisecond.
+pub const NANOS_PER_MILLI: u64 = 1_000_000;
+/// Nanoseconds in one second.
+pub const NANOS_PER_SEC: u64 = 1_000_000_000;
+
+/// A point in virtual time, in nanoseconds since simulation start.
+///
+/// `Instant` is `Copy`, totally ordered, and starts at [`Instant::ZERO`].
+///
+/// ```
+/// use sim_engine::time::{Duration, Instant};
+/// let t = Instant::ZERO + Duration::from_millis(400);
+/// assert_eq!(t.as_millis(), 400);
+/// assert!(t > Instant::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant {
+    nanos: u64,
+}
+
+impl Instant {
+    /// The start of simulated time.
+    pub const ZERO: Instant = Instant { nanos: 0 };
+
+    /// Construct from whole nanoseconds since simulation start.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Instant { nanos }
+    }
+
+    /// Construct from whole microseconds since simulation start.
+    pub const fn from_micros(micros: u64) -> Self {
+        Instant { nanos: micros * NANOS_PER_MICRO }
+    }
+
+    /// Construct from whole milliseconds since simulation start.
+    pub const fn from_millis(millis: u64) -> Self {
+        Instant { nanos: millis * NANOS_PER_MILLI }
+    }
+
+    /// Construct from whole seconds since simulation start.
+    pub const fn from_secs(secs: u64) -> Self {
+        Instant { nanos: secs * NANOS_PER_SEC }
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Whole microseconds since simulation start (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.nanos / NANOS_PER_MICRO
+    }
+
+    /// Whole milliseconds since simulation start (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.nanos / NANOS_PER_MILLI
+    }
+
+    /// Seconds since simulation start as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// Elapsed time since `earlier`, saturating to zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: Instant) -> Duration {
+        Duration::from_nanos(self.nanos.saturating_sub(earlier.nanos))
+    }
+
+    /// Elapsed time since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is after `self`; use [`Instant::saturating_since`]
+    /// when that can legitimately happen.
+    pub fn since(self, earlier: Instant) -> Duration {
+        assert!(
+            self.nanos >= earlier.nanos,
+            "Instant::since: earlier ({earlier}) is after self ({self})"
+        );
+        Duration::from_nanos(self.nanos - earlier.nanos)
+    }
+
+    /// The later of two instants.
+    pub fn max(self, other: Instant) -> Instant {
+        if self.nanos >= other.nanos { self } else { other }
+    }
+
+    /// The earlier of two instants.
+    pub fn min(self, other: Instant) -> Instant {
+        if self.nanos <= other.nanos { self } else { other }
+    }
+
+    /// Add a duration, saturating at the maximum representable instant.
+    pub fn saturating_add(self, d: Duration) -> Instant {
+        Instant { nanos: self.nanos.saturating_add(d.nanos) }
+    }
+}
+
+impl Add<Duration> for Instant {
+    type Output = Instant;
+    fn add(self, rhs: Duration) -> Instant {
+        Instant {
+            nanos: self
+                .nanos
+                .checked_add(rhs.nanos)
+                .expect("Instant + Duration overflowed u64 nanoseconds"),
+        }
+    }
+}
+
+impl AddAssign<Duration> for Instant {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Duration> for Instant {
+    type Output = Instant;
+    fn sub(self, rhs: Duration) -> Instant {
+        Instant {
+            nanos: self
+                .nanos
+                .checked_sub(rhs.nanos)
+                .expect("Instant - Duration underflowed simulation start"),
+        }
+    }
+}
+
+impl Sub<Instant> for Instant {
+    type Output = Duration;
+    fn sub(self, rhs: Instant) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for Instant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+/// A span of virtual time, in integer nanoseconds.
+///
+/// ```
+/// use sim_engine::time::Duration;
+/// let d = Duration::from_millis(400) * 3;
+/// assert_eq!(d.as_millis(), 1200);
+/// assert_eq!(d / 2, Duration::from_millis(600));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration {
+    nanos: u64,
+}
+
+impl Duration {
+    /// Zero-length span.
+    pub const ZERO: Duration = Duration { nanos: 0 };
+    /// The largest representable span (≈ 584 years).
+    pub const MAX: Duration = Duration { nanos: u64::MAX };
+
+    /// Construct from whole nanoseconds.
+    pub const fn from_nanos(nanos: u64) -> Self {
+        Duration { nanos }
+    }
+
+    /// Construct from whole microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        Duration { nanos: micros * NANOS_PER_MICRO }
+    }
+
+    /// Construct from whole milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        Duration { nanos: millis * NANOS_PER_MILLI }
+    }
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        Duration { nanos: secs * NANOS_PER_SEC }
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    /// Panics on negative, NaN, or out-of-range input.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "Duration::from_secs_f64: invalid seconds {secs}"
+        );
+        let nanos = secs * NANOS_PER_SEC as f64;
+        assert!(nanos <= u64::MAX as f64, "Duration::from_secs_f64: {secs}s overflows");
+        Duration { nanos: nanos.round() as u64 }
+    }
+
+    /// Whole nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Whole microseconds (truncating).
+    pub const fn as_micros(self) -> u64 {
+        self.nanos / NANOS_PER_MICRO
+    }
+
+    /// Whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.nanos / NANOS_PER_MILLI
+    }
+
+    /// Whole seconds (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.nanos / NANOS_PER_SEC
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / NANOS_PER_SEC as f64
+    }
+
+    /// True if this span is zero.
+    pub const fn is_zero(self) -> bool {
+        self.nanos == 0
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Duration) -> Duration {
+        Duration { nanos: self.nanos.saturating_sub(rhs.nanos) }
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Duration) -> Duration {
+        Duration { nanos: self.nanos.saturating_add(rhs.nanos) }
+    }
+
+    /// Checked multiplication by an integer factor.
+    pub fn checked_mul(self, factor: u64) -> Option<Duration> {
+        self.nanos.checked_mul(factor).map(|nanos| Duration { nanos })
+    }
+
+    /// Scale by a non-negative float, rounding to the nearest nanosecond.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite factors.
+    pub fn mul_f64(self, factor: f64) -> Duration {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "Duration::mul_f64: invalid factor {factor}"
+        );
+        Duration { nanos: (self.nanos as f64 * factor).round() as u64 }
+    }
+
+    /// The larger of two spans.
+    pub fn max(self, other: Duration) -> Duration {
+        if self.nanos >= other.nanos { self } else { other }
+    }
+
+    /// The smaller of two spans.
+    pub fn min(self, other: Duration) -> Duration {
+        if self.nanos <= other.nanos { self } else { other }
+    }
+
+    /// Clamp this span into `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics if `lo > hi`.
+    pub fn clamp(self, lo: Duration, hi: Duration) -> Duration {
+        assert!(lo <= hi, "Duration::clamp: lo {lo} > hi {hi}");
+        self.max(lo).min(hi)
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration {
+            nanos: self
+                .nanos
+                .checked_add(rhs.nanos)
+                .expect("Duration + Duration overflowed"),
+        }
+    }
+}
+
+impl AddAssign for Duration {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration {
+            nanos: self
+                .nanos
+                .checked_sub(rhs.nanos)
+                .expect("Duration - Duration underflowed"),
+        }
+    }
+}
+
+impl SubAssign for Duration {
+    fn sub_assign(&mut self, rhs: Duration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        self.checked_mul(rhs).expect("Duration * u64 overflowed")
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration { nanos: self.nanos / rhs }
+    }
+}
+
+impl Div<Duration> for Duration {
+    type Output = f64;
+    /// Ratio of two spans as a float (e.g. a schedule fraction).
+    fn div(self, rhs: Duration) -> f64 {
+        assert!(!rhs.is_zero(), "Duration / Duration: divide by zero span");
+        self.nanos as f64 / rhs.nanos as f64
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nanos >= NANOS_PER_SEC {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.nanos >= NANOS_PER_MILLI {
+            write!(f, "{:.3}ms", self.nanos as f64 / NANOS_PER_MILLI as f64)
+        } else if self.nanos >= NANOS_PER_MICRO {
+            write!(f, "{:.3}us", self.nanos as f64 / NANOS_PER_MICRO as f64)
+        } else {
+            write!(f, "{}ns", self.nanos)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instant_roundtrips_units() {
+        assert_eq!(Instant::from_secs(2).as_millis(), 2_000);
+        assert_eq!(Instant::from_millis(5).as_micros(), 5_000);
+        assert_eq!(Instant::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(Instant::ZERO.as_nanos(), 0);
+    }
+
+    #[test]
+    fn duration_roundtrips_units() {
+        assert_eq!(Duration::from_secs(3).as_millis(), 3_000);
+        assert_eq!(Duration::from_millis(400).as_secs_f64(), 0.4);
+        assert_eq!(Duration::from_secs_f64(0.0005), Duration::from_micros(500));
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t0 = Instant::from_millis(100);
+        let t1 = t0 + Duration::from_millis(50);
+        assert_eq!(t1, Instant::from_millis(150));
+        assert_eq!(t1 - t0, Duration::from_millis(50));
+        assert_eq!(t1 - Duration::from_millis(150), Instant::ZERO);
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = Instant::from_millis(10);
+        let late = Instant::from_millis(20);
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+        assert_eq!(late.saturating_since(early), Duration::from_millis(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "earlier")]
+    fn since_panics_when_reversed() {
+        let _ = Instant::from_millis(1).since(Instant::from_millis(2));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = Duration::from_millis(200);
+        assert_eq!(d * 3, Duration::from_millis(600));
+        assert_eq!(d / 4, Duration::from_millis(50));
+        assert_eq!(d.mul_f64(0.5), Duration::from_millis(100));
+        assert!((Duration::from_millis(100) / Duration::from_millis(400) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duration_clamp_and_minmax() {
+        let d = Duration::from_millis(500);
+        assert_eq!(d.clamp(Duration::from_millis(100), Duration::from_millis(300)), Duration::from_millis(300));
+        assert_eq!(d.clamp(Duration::from_millis(600), Duration::from_millis(900)), Duration::from_millis(600));
+        assert_eq!(d.max(Duration::from_secs(1)), Duration::from_secs(1));
+        assert_eq!(d.min(Duration::from_secs(1)), d);
+    }
+
+    #[test]
+    fn duration_saturating_ops() {
+        assert_eq!(Duration::from_millis(1).saturating_sub(Duration::from_millis(2)), Duration::ZERO);
+        assert_eq!(Duration::MAX.saturating_add(Duration::from_secs(1)), Duration::MAX);
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(format!("{}", Duration::from_secs(2)), "2.000s");
+        assert_eq!(format!("{}", Duration::from_millis(7)), "7.000ms");
+        assert_eq!(format!("{}", Duration::from_micros(9)), "9.000us");
+        assert_eq!(format!("{}", Duration::from_nanos(3)), "3ns");
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            Instant::from_millis(5),
+            Instant::ZERO,
+            Instant::from_secs(1),
+            Instant::from_micros(1),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                Instant::ZERO,
+                Instant::from_micros(1),
+                Instant::from_millis(5),
+                Instant::from_secs(1)
+            ]
+        );
+    }
+}

@@ -1,0 +1,250 @@
+//! Lightweight simulation tracing.
+//!
+//! Debugging a discrete-event simulation means asking "what happened around
+//! t = 41.2 s?" — a question print-debugging answers badly once runs involve
+//! millions of events. [`Trace`] is a bounded ring of timestamped,
+//! categorized records: cheap to keep on (a few allocations per record,
+//! nothing when filtered out), bounded in memory, and dumpable on demand.
+//!
+//! ```
+//! use sim_engine::trace::{Category, Trace};
+//! use sim_engine::time::Instant;
+//!
+//! let mut trace = Trace::new(1024);
+//! trace.enable(Category::Mac);
+//! trace.record(Instant::from_millis(5), Category::Mac, || "assoc-req -> ap3".into());
+//! trace.record(Instant::from_millis(6), Category::Tcp, || "ignored".into());
+//! assert_eq!(trace.len(), 1); // Tcp was not enabled
+//! let dump = trace.dump();
+//! assert!(dump.contains("assoc-req"));
+//! ```
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::time::Instant;
+
+/// Trace record categories, mirroring the simulation's layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Category {
+    /// Radio and channel scheduling.
+    Radio,
+    /// 802.11 management (probe/auth/assoc/PSM).
+    Mac,
+    /// DHCP exchanges.
+    Dhcp,
+    /// TCP events.
+    Tcp,
+    /// Driver policy decisions (selection, teardown, scanning).
+    Driver,
+    /// Mobility milestones (encounters, laps).
+    Mobility,
+}
+
+impl Category {
+    const ALL: [Category; 6] = [
+        Category::Radio,
+        Category::Mac,
+        Category::Dhcp,
+        Category::Tcp,
+        Category::Driver,
+        Category::Mobility,
+    ];
+
+    fn bit(self) -> u8 {
+        match self {
+            Category::Radio => 1 << 0,
+            Category::Mac => 1 << 1,
+            Category::Dhcp => 1 << 2,
+            Category::Tcp => 1 << 3,
+            Category::Driver => 1 << 4,
+            Category::Mobility => 1 << 5,
+        }
+    }
+
+    fn tag(self) -> &'static str {
+        match self {
+            Category::Radio => "radio",
+            Category::Mac => "mac",
+            Category::Dhcp => "dhcp",
+            Category::Tcp => "tcp",
+            Category::Driver => "driver",
+            Category::Mobility => "mobility",
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// When it happened (virtual time).
+    pub at: Instant,
+    /// Which layer produced it.
+    pub category: Category,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// A bounded, category-filtered ring of simulation records.
+#[derive(Debug)]
+pub struct Trace {
+    ring: VecDeque<Record>,
+    capacity: usize,
+    enabled_mask: u8,
+    recorded: u64,
+    dropped: u64,
+}
+
+impl Trace {
+    /// A trace holding at most `capacity` records (oldest evicted first),
+    /// with every category disabled.
+    pub fn new(capacity: usize) -> Trace {
+        assert!(capacity > 0, "Trace::new: zero capacity");
+        Trace {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled_mask: 0,
+            recorded: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A trace with every category enabled.
+    pub fn all(capacity: usize) -> Trace {
+        let mut t = Trace::new(capacity);
+        for c in Category::ALL {
+            t.enable(c);
+        }
+        t
+    }
+
+    /// Enable a category.
+    pub fn enable(&mut self, category: Category) {
+        self.enabled_mask |= category.bit();
+    }
+
+    /// Disable a category.
+    pub fn disable(&mut self, category: Category) {
+        self.enabled_mask &= !category.bit();
+    }
+
+    /// True if `category` records are kept.
+    pub fn is_enabled(&self, category: Category) -> bool {
+        self.enabled_mask & category.bit() != 0
+    }
+
+    /// Record an event; `message` is only evaluated when the category is
+    /// enabled, so disabled tracing costs one branch.
+    pub fn record(&mut self, at: Instant, category: Category, message: impl FnOnce() -> String) {
+        if !self.is_enabled(category) {
+            return;
+        }
+        if self.ring.len() >= self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(Record { at, category, message: message() });
+        self.recorded += 1;
+    }
+
+    /// Records currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True if nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Total records accepted (including ones since evicted).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Records evicted by the ring bound.
+    pub fn evicted(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterate over held records, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Record> {
+        self.ring.iter()
+    }
+
+    /// Records within `[from, to)`.
+    pub fn window(&self, from: Instant, to: Instant) -> Vec<&Record> {
+        self.ring.iter().filter(|r| r.at >= from && r.at < to).collect()
+    }
+
+    /// Render the whole ring as text, one record per line.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for r in &self.ring {
+            let _ = writeln!(out, "{} [{}] {}", r.at, r.category.tag(), r.message);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_categories_cost_nothing() {
+        let mut t = Trace::new(8);
+        let mut evaluated = false;
+        t.record(Instant::ZERO, Category::Tcp, || {
+            evaluated = true;
+            "x".into()
+        });
+        assert!(!evaluated, "message closure must not run when disabled");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Trace::all(3);
+        for i in 0..5u64 {
+            t.record(Instant::from_millis(i), Category::Mac, || format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.evicted(), 2);
+        assert_eq!(t.recorded(), 5);
+        let msgs: Vec<&str> = t.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn window_filters_by_time() {
+        let mut t = Trace::all(16);
+        for i in 0..10u64 {
+            t.record(Instant::from_millis(i * 100), Category::Dhcp, || format!("e{i}"));
+        }
+        let w = t.window(Instant::from_millis(250), Instant::from_millis(550));
+        let msgs: Vec<&str> = w.iter().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["e3", "e4", "e5"]);
+    }
+
+    #[test]
+    fn enable_disable_roundtrip() {
+        let mut t = Trace::new(4);
+        assert!(!t.is_enabled(Category::Radio));
+        t.enable(Category::Radio);
+        assert!(t.is_enabled(Category::Radio));
+        assert!(!t.is_enabled(Category::Driver));
+        t.disable(Category::Radio);
+        assert!(!t.is_enabled(Category::Radio));
+    }
+
+    #[test]
+    fn dump_contains_tags_and_times() {
+        let mut t = Trace::all(4);
+        t.record(Instant::from_secs(2), Category::Driver, || "picked ap7".into());
+        let d = t.dump();
+        assert!(d.contains("[driver]"));
+        assert!(d.contains("picked ap7"));
+        assert!(d.contains("2.000000s"));
+    }
+}

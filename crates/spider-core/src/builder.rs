@@ -1,0 +1,242 @@
+//! A fluent builder over [`WorldConfig`].
+//!
+//! [`WorldConfig::new`] covers the common case; experiments that tweak the
+//! PHY, TCP, plan, or backhaul read better through [`WorldBuilder`]:
+//!
+//! ```
+//! use spider_core::builder::WorldBuilder;
+//! use spider_core::config::SpiderConfig;
+//! use mobility::deployment::ApSite;
+//! use mobility::geometry::Point;
+//! use sim_engine::time::Duration;
+//! use wifi_mac::channel::Channel;
+//!
+//! let site = ApSite {
+//!     id: 1,
+//!     position: Point::new(0.0, 0.0),
+//!     channel: Channel::CH1,
+//!     backhaul_bps: 2_000_000,
+//!     dhcp_delay_min: Duration::from_millis(100),
+//!     dhcp_delay_max: Duration::from_millis(400),
+//! };
+//! let result = WorldBuilder::new(42)
+//!     .sites(vec![site])
+//!     .fixed_client(Point::new(0.0, 10.0))
+//!     .driver(SpiderConfig::single_channel_multi_ap(Channel::CH1))
+//!     .duration(Duration::from_secs(10))
+//!     .run();
+//! assert!(result.total_bytes > 0);
+//! ```
+
+use mobility::deployment::ApSite;
+use mobility::geometry::Point;
+use mobility::route::Vehicle;
+use sim_engine::time::Duration;
+use tcp_lite::TcpConfig;
+use wifi_mac::phy::PhyConfig;
+use wifi_mac::radio::RadioConfig;
+use workload::downloads::DownloadPlan;
+
+use crate::config::SpiderConfig;
+use crate::world::{run, ClientMotion, RunResult, WorldConfig};
+
+/// Builder state; every field has a sensible default except the sites,
+/// the client motion, and the driver, which [`WorldBuilder::build`]
+/// requires.
+#[derive(Debug, Clone)]
+pub struct WorldBuilder {
+    seed: u64,
+    sites: Option<Vec<ApSite>>,
+    motion: Option<ClientMotion>,
+    driver: Option<SpiderConfig>,
+    duration: Duration,
+    phy: Option<PhyConfig>,
+    radio: Option<RadioConfig>,
+    tcp: Option<TcpConfig>,
+    backhaul_latency: Option<Duration>,
+    plan: Option<DownloadPlan>,
+}
+
+impl WorldBuilder {
+    /// Start a builder with the master `seed`.
+    pub fn new(seed: u64) -> WorldBuilder {
+        WorldBuilder {
+            seed,
+            sites: None,
+            motion: None,
+            driver: None,
+            duration: Duration::from_secs(60),
+            phy: None,
+            radio: None,
+            tcp: None,
+            backhaul_latency: None,
+            plan: None,
+        }
+    }
+
+    /// The deployed APs (required).
+    pub fn sites(mut self, sites: Vec<ApSite>) -> Self {
+        self.sites = Some(sites);
+        self
+    }
+
+    /// A stationary client (required: this or [`WorldBuilder::vehicle`]).
+    pub fn fixed_client(mut self, at: Point) -> Self {
+        self.motion = Some(ClientMotion::Fixed(at));
+        self
+    }
+
+    /// A moving client.
+    pub fn vehicle(mut self, vehicle: Vehicle) -> Self {
+        self.motion = Some(ClientMotion::Route(vehicle));
+        self
+    }
+
+    /// The driver under test (required).
+    pub fn driver(mut self, spider: SpiderConfig) -> Self {
+        self.driver = Some(spider);
+        self
+    }
+
+    /// Experiment length (default 60 s).
+    pub fn duration(mut self, d: Duration) -> Self {
+        self.duration = d;
+        self
+    }
+
+    /// Override the PHY model.
+    pub fn phy(mut self, phy: PhyConfig) -> Self {
+        self.phy = Some(phy);
+        self
+    }
+
+    /// Override the radio switch-cost model.
+    pub fn radio(mut self, radio: RadioConfig) -> Self {
+        self.radio = Some(radio);
+        self
+    }
+
+    /// Override TCP parameters.
+    pub fn tcp(mut self, tcp: TcpConfig) -> Self {
+        self.tcp = Some(tcp);
+        self
+    }
+
+    /// Override the one-way wired latency behind each AP.
+    pub fn backhaul_latency(mut self, latency: Duration) -> Self {
+        self.backhaul_latency = Some(latency);
+        self
+    }
+
+    /// Override the download plan (default: saturating bulk).
+    pub fn plan(mut self, plan: DownloadPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Materialize the [`WorldConfig`].
+    ///
+    /// # Panics
+    /// Panics if sites, motion, or driver were never provided.
+    pub fn build(self) -> WorldConfig {
+        let sites = self.sites.expect("WorldBuilder: sites(…) is required");
+        let motion = self
+            .motion
+            .expect("WorldBuilder: fixed_client(…) or vehicle(…) is required");
+        let driver = self.driver.expect("WorldBuilder: driver(…) is required");
+        let mut cfg = WorldConfig::new(self.seed, sites, motion, driver, self.duration);
+        if let Some(phy) = self.phy {
+            cfg.phy = phy;
+        }
+        if let Some(radio) = self.radio {
+            cfg.radio = radio;
+        }
+        if let Some(tcp) = self.tcp {
+            cfg.tcp = tcp;
+        }
+        if let Some(l) = self.backhaul_latency {
+            cfg.backhaul_latency = l;
+        }
+        if let Some(p) = self.plan {
+            cfg.plan = p;
+        }
+        cfg
+    }
+
+    /// Build and run in one step.
+    pub fn run(self) -> RunResult {
+        run(self.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wifi_mac::channel::Channel;
+
+    fn a_site() -> ApSite {
+        ApSite {
+            id: 1,
+            position: Point::new(0.0, 0.0),
+            channel: Channel::CH1,
+            backhaul_bps: 2_000_000,
+            dhcp_delay_min: Duration::from_millis(100),
+            dhcp_delay_max: Duration::from_millis(300),
+        }
+    }
+
+    #[test]
+    fn builder_matches_direct_construction() {
+        let direct = WorldConfig::new(
+            7,
+            vec![a_site()],
+            ClientMotion::Fixed(Point::new(0.0, 10.0)),
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            Duration::from_secs(12),
+        );
+        let built = WorldBuilder::new(7)
+            .sites(vec![a_site()])
+            .fixed_client(Point::new(0.0, 10.0))
+            .driver(SpiderConfig::single_channel_multi_ap(Channel::CH1))
+            .duration(Duration::from_secs(12))
+            .build();
+        // Same world ⇒ same deterministic outcome.
+        let a = run(direct);
+        let b = run(built);
+        assert_eq!(a.total_bytes, b.total_bytes);
+        assert_eq!(a.dhcp_attempts, b.dhcp_attempts);
+    }
+
+    #[test]
+    fn overrides_take_effect() {
+        let slow = WorldBuilder::new(7)
+            .sites(vec![a_site()])
+            .fixed_client(Point::new(0.0, 10.0))
+            .driver(SpiderConfig::single_channel_multi_ap(Channel::CH1))
+            .duration(Duration::from_secs(12))
+            .backhaul_latency(Duration::from_millis(500))
+            .run();
+        let fast = WorldBuilder::new(7)
+            .sites(vec![a_site()])
+            .fixed_client(Point::new(0.0, 10.0))
+            .driver(SpiderConfig::single_channel_multi_ap(Channel::CH1))
+            .duration(Duration::from_secs(12))
+            .backhaul_latency(Duration::from_millis(5))
+            .run();
+        assert!(
+            fast.total_bytes > slow.total_bytes,
+            "half-second RTTs must hurt: {} vs {}",
+            fast.total_bytes,
+            slow.total_bytes
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "driver(…) is required")]
+    fn missing_driver_panics() {
+        let _ = WorldBuilder::new(1)
+            .sites(vec![a_site()])
+            .fixed_client(Point::ORIGIN)
+            .build();
+    }
+}

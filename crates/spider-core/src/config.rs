@@ -1,0 +1,290 @@
+//! Spider driver configuration: the four evaluation configurations of §4
+//! plus the stock-driver baseline.
+
+use dhcp::DhcpClientConfig;
+use sim_engine::time::Duration;
+use wifi_mac::channel::Channel;
+use wifi_mac::client::JoinConfig;
+
+/// How the physical card's time is scheduled among channels.
+#[derive(Debug, Clone)]
+pub enum SchedulePolicy {
+    /// Park on one channel forever (Spider's best configuration).
+    SingleChannel(Channel),
+    /// Static round-robin over `(channel, slice)` pairs — the paper's
+    /// multi-channel configurations use equal slices over 1/6/11.
+    MultiChannel {
+        /// The cyclic schedule.
+        slices: Vec<(Channel, Duration)>,
+    },
+    /// Stock-driver behaviour: rotate channels with `dwell` per channel
+    /// while unassociated (scanning); once associated, stay on the AP's
+    /// channel until the link dies.
+    ScanWhenIdle {
+        /// Dwell per channel during idle scanning.
+        dwell: Duration,
+    },
+    /// The paper's §4.8 future-work extension, implemented here: dwell on
+    /// the channel whose candidate APs currently score best, re-evaluated
+    /// every `reconsider`; scan the orthogonal channels briefly while idle
+    /// to keep the candidate table fresh.
+    AdaptiveChannel {
+        /// How often the dwell channel is reconsidered.
+        reconsider: Duration,
+        /// Dwell per channel while idle-scanning for candidates.
+        scan_dwell: Duration,
+    },
+}
+
+impl SchedulePolicy {
+    /// Equal slices of `slice` over the three orthogonal channels.
+    pub fn equal_three(slice: Duration) -> SchedulePolicy {
+        SchedulePolicy::MultiChannel {
+            slices: vec![
+                (Channel::CH1, slice),
+                (Channel::CH6, slice),
+                (Channel::CH11, slice),
+            ],
+        }
+    }
+
+    /// Equal slices over channels 1 and 6 (Table 4's two-channel row).
+    pub fn equal_two(slice: Duration) -> SchedulePolicy {
+        SchedulePolicy::MultiChannel {
+            slices: vec![(Channel::CH1, slice), (Channel::CH6, slice)],
+        }
+    }
+
+    /// The channels this policy ever visits.
+    pub fn channels(&self) -> Vec<Channel> {
+        match self {
+            SchedulePolicy::SingleChannel(c) => vec![*c],
+            SchedulePolicy::MultiChannel { slices } => {
+                let mut out: Vec<Channel> = Vec::new();
+                for (c, _) in slices {
+                    if !out.contains(c) {
+                        out.push(*c);
+                    }
+                }
+                out
+            }
+            SchedulePolicy::ScanWhenIdle { .. }
+            | SchedulePolicy::AdaptiveChannel { .. } => {
+                vec![Channel::CH1, Channel::CH6, Channel::CH11]
+            }
+        }
+    }
+}
+
+/// How candidate APs are ranked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SelectionPolicy {
+    /// Spider's heuristic: best history of successful, fast joins (§3).
+    JoinHistory,
+    /// Stock behaviour: strongest signal.
+    BestRssi,
+}
+
+/// Full driver configuration.
+#[derive(Debug, Clone)]
+pub struct SpiderConfig {
+    /// Channel schedule.
+    pub schedule: SchedulePolicy,
+    /// Virtual interfaces available (the paper's driver exposes 7).
+    pub max_ifaces: usize,
+    /// Associate with at most one AP at a time (configurations 1 and 4).
+    pub single_ap: bool,
+    /// Link-layer join parameters.
+    pub join: JoinConfig,
+    /// DHCP client timer policy.
+    pub dhcp: DhcpClientConfig,
+    /// AP ranking policy.
+    pub selection: SelectionPolicy,
+    /// Cache DHCP leases per AP and rejoin via INIT-REBOOT.
+    pub lease_cache: bool,
+    /// How long an AP must stay unheard before its interface is torn down.
+    pub ap_loss_timeout: Duration,
+    /// How often the driver re-evaluates candidates and starts joins.
+    pub evaluate_every: Duration,
+    /// Cooldown before re-attempting an AP that just failed a join.
+    pub retry_backoff: Duration,
+    /// Candidates heard below this signal strength are not worth a join
+    /// attempt (the encounter is ending or barely starting).
+    pub min_join_rssi_dbm: f64,
+    /// Dead time between selecting a candidate and the first handshake
+    /// frame. Zero for Spider (its machinery is primed); several seconds
+    /// for the stock path, whose full 11-channel scan plus supplicant
+    /// state machine is what CarTel measured as a 12–15 s setup cost.
+    pub join_setup_delay: Duration,
+}
+
+impl SpiderConfig {
+    /// Common Spider substrate: 7 interfaces, reduced timers, history
+    /// selection, lease cache on.
+    fn base() -> SpiderConfig {
+        SpiderConfig {
+            schedule: SchedulePolicy::SingleChannel(Channel::CH1),
+            max_ifaces: 7,
+            single_ap: false,
+            join: JoinConfig::reduced(),
+            dhcp: DhcpClientConfig::reduced(Duration::from_millis(200)),
+            selection: SelectionPolicy::JoinHistory,
+            lease_cache: true,
+            ap_loss_timeout: Duration::from_secs(3),
+            evaluate_every: Duration::from_millis(200),
+            retry_backoff: Duration::from_secs(5),
+            min_join_rssi_dbm: -85.0,
+            join_setup_delay: Duration::ZERO,
+        }
+    }
+
+    /// Configuration (2) in §4.1: **single channel, multiple APs** — the
+    /// throughput winner.
+    pub fn single_channel_multi_ap(channel: Channel) -> SpiderConfig {
+        SpiderConfig { schedule: SchedulePolicy::SingleChannel(channel), ..Self::base() }
+    }
+
+    /// Configuration (1): single channel, single AP (Spider mimicking a
+    /// stock driver pinned to one channel, but with reduced timers).
+    pub fn single_channel_single_ap(channel: Channel) -> SpiderConfig {
+        SpiderConfig {
+            schedule: SchedulePolicy::SingleChannel(channel),
+            single_ap: true,
+            ..Self::base()
+        }
+    }
+
+    /// Configuration (3): **multiple channels, multiple APs** — the
+    /// connectivity winner. The paper's Table 2 uses a 600 ms period split
+    /// equally over channels 1/6/11 (200 ms each).
+    pub fn multi_channel_multi_ap(slice: Duration) -> SpiderConfig {
+        SpiderConfig { schedule: SchedulePolicy::equal_three(slice), ..Self::base() }
+    }
+
+    /// Configuration (4): multiple channels, single AP.
+    pub fn multi_channel_single_ap(slice: Duration) -> SpiderConfig {
+        SpiderConfig {
+            schedule: SchedulePolicy::equal_three(slice),
+            single_ap: true,
+            ..Self::base()
+        }
+    }
+
+    /// The §4.8 extension: Spider with **adaptive channel selection** — it
+    /// dwells on whichever orthogonal channel currently offers the
+    /// best-scoring AP candidates instead of a fixed channel.
+    pub fn adaptive_channel() -> SpiderConfig {
+        SpiderConfig {
+            schedule: SchedulePolicy::AdaptiveChannel {
+                reconsider: Duration::from_secs(5),
+                scan_dwell: Duration::from_millis(150),
+            },
+            ..Self::base()
+        }
+    }
+
+    /// Ablation: Spider without the join-history selection heuristic
+    /// (falls back to strongest signal).
+    pub fn ablate_history(channel: Channel) -> SpiderConfig {
+        SpiderConfig {
+            selection: SelectionPolicy::BestRssi,
+            ..Self::single_channel_multi_ap(channel)
+        }
+    }
+
+    /// Ablation: Spider without the DHCP lease cache (every rejoin pays
+    /// the full DISCOVER/OFFER/REQUEST/ACK exchange).
+    pub fn ablate_lease_cache(channel: Channel) -> SpiderConfig {
+        SpiderConfig { lease_cache: false, ..Self::single_channel_multi_ap(channel) }
+    }
+
+    /// Ablation: Spider with stock link-layer and DHCP timers (keeps the
+    /// multi-AP machinery, loses the reduced timeouts).
+    pub fn ablate_reduced_timers(channel: Channel) -> SpiderConfig {
+        SpiderConfig {
+            join: JoinConfig::default(),
+            dhcp: DhcpClientConfig::default(),
+            ..Self::single_channel_multi_ap(channel)
+        }
+    }
+
+    /// Ablation: a single virtual interface (no parallel per-channel
+    /// association).
+    pub fn ablate_parallel_join(channel: Channel) -> SpiderConfig {
+        SpiderConfig { max_ifaces: 1, ..Self::single_channel_multi_ap(channel) }
+    }
+
+    /// The unmodified-MadWiFi comparison point: one interface, best-RSSI
+    /// selection, stock 1 s link-layer and 3 s/60 s DHCP timers, no lease
+    /// cache, channel scanning while idle.
+    pub fn stock_madwifi() -> SpiderConfig {
+        SpiderConfig {
+            schedule: SchedulePolicy::ScanWhenIdle { dwell: Duration::from_millis(200) },
+            max_ifaces: 1,
+            single_ap: true,
+            join: JoinConfig::default(),
+            dhcp: DhcpClientConfig::default(),
+            selection: SelectionPolicy::BestRssi,
+            lease_cache: false,
+            // Stock drivers are sticky and slow to react: they hold a dying
+            // association for many seconds, and a full scan + supplicant
+            // decision cycle takes seconds (CarTel measured ~10 s from AP
+            // appearance to connectivity with stock tooling).
+            ap_loss_timeout: Duration::from_secs(8),
+            evaluate_every: Duration::from_millis(2_500),
+            retry_backoff: Duration::from_secs(10),
+            min_join_rssi_dbm: -92.0,
+            join_setup_delay: Duration::from_secs(10),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_three_covers_orthogonal_channels() {
+        let p = SchedulePolicy::equal_three(Duration::from_millis(200));
+        assert_eq!(p.channels(), vec![Channel::CH1, Channel::CH6, Channel::CH11]);
+    }
+
+    #[test]
+    fn single_channel_policy_reports_one() {
+        let p = SchedulePolicy::SingleChannel(Channel::CH6);
+        assert_eq!(p.channels(), vec![Channel::CH6]);
+    }
+
+    #[test]
+    fn paper_configurations_differ_where_expected() {
+        let c2 = SpiderConfig::single_channel_multi_ap(Channel::CH1);
+        assert!(!c2.single_ap);
+        assert_eq!(c2.max_ifaces, 7);
+
+        let c1 = SpiderConfig::single_channel_single_ap(Channel::CH1);
+        assert!(c1.single_ap);
+
+        let c3 = SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200));
+        assert_eq!(c3.schedule.channels().len(), 3);
+        assert!(!c3.single_ap);
+
+        let stock = SpiderConfig::stock_madwifi();
+        assert_eq!(stock.max_ifaces, 1);
+        assert_eq!(stock.selection, SelectionPolicy::BestRssi);
+        assert!(!stock.lease_cache);
+        // Stock keeps the 1 s link-layer timer; Spider reduces to 100 ms.
+        assert!(stock.join.link_layer_timeout > c2.join.link_layer_timeout);
+    }
+
+    #[test]
+    fn duplicate_channels_deduplicated_in_channels_list() {
+        let p = SchedulePolicy::MultiChannel {
+            slices: vec![
+                (Channel::CH1, Duration::from_millis(100)),
+                (Channel::CH6, Duration::from_millis(100)),
+                (Channel::CH1, Duration::from_millis(100)),
+            ],
+        };
+        assert_eq!(p.channels(), vec![Channel::CH1, Channel::CH6]);
+    }
+}

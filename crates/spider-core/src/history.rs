@@ -1,0 +1,232 @@
+//! Per-AP join history: the knowledge base behind Spider's AP selection.
+//!
+//! §3: "instead of choosing APs with maximum end-to-end bandwidth, we
+//! select APs that have the best history of successful joins." §2.1.2 adds
+//! that "techniques such as caching dhcp leases, maintaining a history of
+//! APs with short join times … are essential for multi-AP systems." The
+//! [`ApHistory`] table records both: join outcomes with an EWMA of join
+//! latency, and the last DHCP lease per AP for INIT-REBOOT rejoins.
+
+use std::collections::HashMap;
+
+use dhcp::client::Lease;
+use sim_engine::time::{Duration, Instant};
+use wifi_mac::addr::MacAddr;
+
+/// The record kept for one AP.
+#[derive(Debug, Clone)]
+pub struct ApRecord {
+    /// Successful joins (association + DHCP).
+    pub successes: u32,
+    /// Failed join attempts.
+    pub failures: u32,
+    /// EWMA of successful join latency.
+    pub join_time_ewma: Option<Duration>,
+    /// Most recent lease, for the cache shortcut.
+    pub lease: Option<Lease>,
+    /// Most recent failure (for retry backoff).
+    pub last_failure: Option<Instant>,
+}
+
+impl ApRecord {
+    fn new() -> ApRecord {
+        ApRecord {
+            successes: 0,
+            failures: 0,
+            join_time_ewma: None,
+            lease: None,
+            last_failure: None,
+        }
+    }
+
+    /// Total attempts recorded.
+    pub fn attempts(&self) -> u32 {
+        self.successes + self.failures
+    }
+}
+
+/// EWMA weight for new join-time samples.
+const EWMA_ALPHA: f64 = 0.3;
+
+/// The driver's per-AP knowledge base.
+#[derive(Debug, Clone, Default)]
+pub struct ApHistory {
+    records: HashMap<MacAddr, ApRecord>,
+}
+
+impl ApHistory {
+    /// Empty history.
+    pub fn new() -> ApHistory {
+        ApHistory { records: HashMap::new() }
+    }
+
+    /// The record for `bssid`, if any joins were attempted.
+    pub fn record(&self, bssid: MacAddr) -> Option<&ApRecord> {
+        self.records.get(&bssid)
+    }
+
+    /// Number of APs with any history.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no AP has history yet.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Record a successful join that took `join_time`.
+    pub fn record_success(&mut self, bssid: MacAddr, join_time: Duration) {
+        let rec = self.records.entry(bssid).or_insert_with(ApRecord::new);
+        rec.successes += 1;
+        rec.join_time_ewma = Some(match rec.join_time_ewma {
+            None => join_time,
+            Some(prev) => {
+                let blended = prev.as_secs_f64() * (1.0 - EWMA_ALPHA)
+                    + join_time.as_secs_f64() * EWMA_ALPHA;
+                Duration::from_secs_f64(blended)
+            }
+        });
+    }
+
+    /// Record a failed join attempt at `now`.
+    pub fn record_failure(&mut self, bssid: MacAddr, now: Instant) {
+        let rec = self.records.entry(bssid).or_insert_with(ApRecord::new);
+        rec.failures += 1;
+        rec.last_failure = Some(now);
+    }
+
+    /// Store a granted lease for the cache.
+    pub fn store_lease(&mut self, bssid: MacAddr, lease: Lease) {
+        self.records.entry(bssid).or_insert_with(ApRecord::new).lease = Some(lease);
+    }
+
+    /// A still-valid cached lease for `bssid`, if any.
+    pub fn cached_lease(&self, bssid: MacAddr, now: Instant) -> Option<Lease> {
+        self.records
+            .get(&bssid)
+            .and_then(|r| r.lease)
+            .filter(|l| l.is_valid(now))
+    }
+
+    /// True while `bssid` is inside its retry backoff after a failure.
+    pub fn in_backoff(&self, bssid: MacAddr, now: Instant, backoff: Duration) -> bool {
+        self.records
+            .get(&bssid)
+            .and_then(|r| r.last_failure)
+            .is_some_and(|t| now.saturating_since(t) < backoff)
+    }
+
+    /// Spider's selection score for `bssid`: higher is better.
+    ///
+    /// The score blends (a) the smoothed join success rate — with a prior
+    /// of one success and one failure so unknown APs rank mid-field and
+    /// still get explored — and (b) the inverse of the join-time EWMA,
+    /// because §2.1.2 shows short `β` is what makes a join land inside a
+    /// short encounter. A cached valid lease adds a bonus: the rejoin
+    /// skips half the DHCP exchange.
+    pub fn score(&self, bssid: MacAddr, now: Instant) -> f64 {
+        let Some(rec) = self.records.get(&bssid) else {
+            // Unknown AP: the neutral prior.
+            return 0.5;
+        };
+        let success_rate =
+            (rec.successes as f64 + 1.0) / (rec.attempts() as f64 + 2.0);
+        let speed_bonus = match rec.join_time_ewma {
+            // 1/(1+t): 0 s → 1, 1 s → 0.5, 4 s → 0.2.
+            Some(t) => 1.0 / (1.0 + t.as_secs_f64()),
+            None => 0.3,
+        };
+        let lease_bonus = if self.cached_lease(bssid, now).is_some() { 0.25 } else { 0.0 };
+        success_rate * (1.0 + speed_bonus) + lease_bonus
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::Ipv4Addr;
+
+    fn ap(i: u32) -> MacAddr {
+        MacAddr::ap(i)
+    }
+
+    #[test]
+    fn unknown_ap_gets_neutral_score() {
+        let h = ApHistory::new();
+        assert_eq!(h.score(ap(1), Instant::ZERO), 0.5);
+    }
+
+    #[test]
+    fn successes_beat_failures() {
+        let mut h = ApHistory::new();
+        h.record_success(ap(1), Duration::from_millis(800));
+        h.record_success(ap(1), Duration::from_millis(900));
+        h.record_failure(ap(2), Instant::ZERO);
+        h.record_failure(ap(2), Instant::ZERO);
+        let now = Instant::from_secs(100);
+        assert!(h.score(ap(1), now) > h.score(ap(2), now));
+        // And a proven AP beats an unknown one.
+        assert!(h.score(ap(1), now) > h.score(ap(3), now));
+        // An unknown AP beats a proven failure.
+        assert!(h.score(ap(3), now) > h.score(ap(2), now));
+    }
+
+    #[test]
+    fn faster_joins_score_higher() {
+        let mut h = ApHistory::new();
+        h.record_success(ap(1), Duration::from_millis(500));
+        h.record_success(ap(2), Duration::from_secs(5));
+        let now = Instant::ZERO;
+        assert!(h.score(ap(1), now) > h.score(ap(2), now));
+    }
+
+    #[test]
+    fn ewma_blends_join_times() {
+        let mut h = ApHistory::new();
+        h.record_success(ap(1), Duration::from_secs(1));
+        h.record_success(ap(1), Duration::from_secs(3));
+        let ewma = h.record(ap(1)).unwrap().join_time_ewma.unwrap();
+        // 1·0.7 + 3·0.3 = 1.6 s.
+        assert!((ewma.as_secs_f64() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lease_cache_roundtrip_and_expiry() {
+        let mut h = ApHistory::new();
+        let lease = Lease {
+            ip: Ipv4Addr::new(10, 0, 0, 5),
+            server: Ipv4Addr::new(10, 0, 0, 1),
+            expires: Instant::from_secs(100),
+        };
+        h.store_lease(ap(1), lease);
+        assert_eq!(h.cached_lease(ap(1), Instant::from_secs(50)), Some(lease));
+        assert_eq!(h.cached_lease(ap(1), Instant::from_secs(150)), None);
+        assert_eq!(h.cached_lease(ap(2), Instant::ZERO), None);
+    }
+
+    #[test]
+    fn cached_lease_raises_score() {
+        let mut h = ApHistory::new();
+        h.record_success(ap(1), Duration::from_secs(1));
+        h.record_success(ap(2), Duration::from_secs(1));
+        let lease = Lease {
+            ip: Ipv4Addr::new(10, 0, 0, 5),
+            server: Ipv4Addr::new(10, 0, 0, 1),
+            expires: Instant::from_secs(1_000),
+        };
+        h.store_lease(ap(1), lease);
+        let now = Instant::from_secs(10);
+        assert!(h.score(ap(1), now) > h.score(ap(2), now));
+    }
+
+    #[test]
+    fn backoff_window() {
+        let mut h = ApHistory::new();
+        h.record_failure(ap(1), Instant::from_secs(10));
+        let backoff = Duration::from_secs(5);
+        assert!(h.in_backoff(ap(1), Instant::from_secs(12), backoff));
+        assert!(!h.in_backoff(ap(1), Instant::from_secs(16), backoff));
+        assert!(!h.in_backoff(ap(2), Instant::from_secs(12), backoff));
+    }
+}

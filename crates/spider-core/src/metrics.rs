@@ -1,0 +1,255 @@
+//! Evaluation metrics (§4.3's four key metrics plus the join diagnostics
+//! of §4.5–4.6).
+//!
+//! * **Average throughput** — bytes to the sink per unit time across the
+//!   whole experiment.
+//! * **Average connectivity** — percentage of time a non-zero amount of
+//!   data was transferred. Binned at 1 s like the paper's notion of "time
+//!   with transfer".
+//! * **Connection / disruption lengths** — maximal runs of connected /
+//!   disconnected bins (Figs. 10a, 10b, 13, 14).
+//! * **Instantaneous bandwidth** — bytes per connected second (Fig. 10c).
+//! * Join bookkeeping: association times (Fig. 5), full join times
+//!   (Figs. 6, 11, 12), DHCP failure counts (Table 3).
+
+use sim_engine::stats::Samples;
+use sim_engine::time::{Duration, Instant};
+
+/// The bin width used to decide "was there connectivity this second".
+const BIN: Duration = Duration::from_secs(1);
+
+/// Collects per-run measurements; see module docs.
+#[derive(Debug, Clone)]
+pub struct Metrics {
+    /// Bytes delivered per 1-second bin.
+    bins: Vec<u64>,
+    total_bytes: u64,
+    /// Association (link-layer only) completion times.
+    pub assoc_times: Samples,
+    /// Full join (association + DHCP) completion times.
+    pub join_times: Samples,
+    /// Channel switch latencies (Table 1).
+    pub switch_latencies: Samples,
+    /// DHCP acquisition attempts started.
+    pub dhcp_attempts: u64,
+    /// DHCP acquisitions that failed.
+    pub dhcp_failures: u64,
+    /// Link-layer association attempts started.
+    pub assoc_attempts: u64,
+    /// Link-layer associations that failed.
+    pub assoc_failures: u64,
+    /// Peak simultaneous associations (AP-density diagnostics, §4.4).
+    pub max_concurrent_aps: usize,
+    /// Time-weighted per-association-count seconds (index = #APs).
+    pub concurrency_seconds: Vec<f64>,
+    last_concurrency_change: Instant,
+    current_concurrency: usize,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    /// Fresh collector.
+    pub fn new() -> Metrics {
+        Metrics {
+            bins: Vec::new(),
+            total_bytes: 0,
+            assoc_times: Samples::new(),
+            join_times: Samples::new(),
+            switch_latencies: Samples::new(),
+            dhcp_attempts: 0,
+            dhcp_failures: 0,
+            assoc_attempts: 0,
+            assoc_failures: 0,
+            max_concurrent_aps: 0,
+            concurrency_seconds: vec![0.0],
+            last_concurrency_change: Instant::ZERO,
+            current_concurrency: 0,
+        }
+    }
+
+    /// Record `bytes` delivered to the sink at `now`.
+    pub fn record_bytes(&mut self, now: Instant, bytes: u64) {
+        let bin = (now.as_nanos() / BIN.as_nanos()) as usize;
+        if self.bins.len() <= bin {
+            self.bins.resize(bin + 1, 0);
+        }
+        self.bins[bin] += bytes;
+        self.total_bytes += bytes;
+    }
+
+    /// Record a change in the number of concurrent associations.
+    pub fn record_concurrency(&mut self, now: Instant, count: usize) {
+        let elapsed = now.saturating_since(self.last_concurrency_change).as_secs_f64();
+        if self.concurrency_seconds.len() <= self.current_concurrency {
+            self.concurrency_seconds.resize(self.current_concurrency + 1, 0.0);
+        }
+        self.concurrency_seconds[self.current_concurrency] += elapsed;
+        self.last_concurrency_change = now;
+        self.current_concurrency = count;
+        self.max_concurrent_aps = self.max_concurrent_aps.max(count);
+    }
+
+    /// Total bytes delivered.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Average throughput over `duration`, bytes/s.
+    pub fn avg_throughput_bps(&self, duration: Duration) -> f64 {
+        if duration.is_zero() {
+            return 0.0;
+        }
+        self.total_bytes as f64 / duration.as_secs_f64()
+    }
+
+    fn bins_over(&self, duration: Duration) -> usize {
+        (duration.as_nanos() / BIN.as_nanos()) as usize
+    }
+
+    /// Fraction of 1-second bins with non-zero transfer over `duration`.
+    pub fn connectivity(&self, duration: Duration) -> f64 {
+        let n = self.bins_over(duration).max(1);
+        let connected = self.bins.iter().take(n).filter(|&&b| b > 0).count();
+        connected as f64 / n as f64
+    }
+
+    /// Lengths of maximal connected runs, seconds (Fig. 10a / 13).
+    pub fn connection_durations(&self, duration: Duration) -> Samples {
+        self.run_lengths(duration, true)
+    }
+
+    /// Lengths of maximal disconnected runs, seconds (Fig. 10b / 14).
+    pub fn disruption_durations(&self, duration: Duration) -> Samples {
+        self.run_lengths(duration, false)
+    }
+
+    fn run_lengths(&self, duration: Duration, connected: bool) -> Samples {
+        let n = self.bins_over(duration);
+        let mut out = Samples::new();
+        let mut run = 0u64;
+        for i in 0..n {
+            let has = self.bins.get(i).copied().unwrap_or(0) > 0;
+            if has == connected {
+                run += 1;
+            } else if run > 0 {
+                out.record(run as f64);
+                run = 0;
+            }
+        }
+        if run > 0 {
+            out.record(run as f64);
+        }
+        out
+    }
+
+    /// Bytes per *connected* second (Fig. 10c's instantaneous bandwidth).
+    pub fn instantaneous_bandwidth(&self, duration: Duration) -> Samples {
+        let n = self.bins_over(duration);
+        let mut out = Samples::new();
+        for i in 0..n {
+            let b = self.bins.get(i).copied().unwrap_or(0);
+            if b > 0 {
+                out.record(b as f64);
+            }
+        }
+        out
+    }
+
+    /// DHCP failure fraction (Table 3).
+    pub fn dhcp_failure_rate(&self) -> f64 {
+        if self.dhcp_attempts == 0 {
+            0.0
+        } else {
+            self.dhcp_failures as f64 / self.dhcp_attempts as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_and_connectivity() {
+        let mut m = Metrics::new();
+        // 3 connected seconds out of 10, 3000 bytes total.
+        m.record_bytes(Instant::from_millis(500), 1000);
+        m.record_bytes(Instant::from_millis(1_200), 1000);
+        m.record_bytes(Instant::from_millis(5_900), 1000);
+        let d = Duration::from_secs(10);
+        assert_eq!(m.total_bytes(), 3000);
+        assert!((m.avg_throughput_bps(d) - 300.0).abs() < 1e-9);
+        assert!((m.connectivity(d) - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn run_length_extraction() {
+        let mut m = Metrics::new();
+        // Connected bins: 0,1 then 4 then 8,9 — disruptions 2..=3, 5..=7.
+        for s in [0u64, 1, 4, 8, 9] {
+            m.record_bytes(Instant::from_millis(s * 1000 + 10), 10);
+        }
+        let d = Duration::from_secs(10);
+        let mut conns = m.connection_durations(d);
+        let mut gaps = m.disruption_durations(d);
+        let mut cv: Vec<f64> = conns.values().to_vec();
+        cv.sort_by(f64::total_cmp);
+        assert_eq!(cv, vec![1.0, 2.0, 2.0]);
+        let mut gv: Vec<f64> = gaps.values().to_vec();
+        gv.sort_by(f64::total_cmp);
+        assert_eq!(gv, vec![2.0, 3.0]);
+        // Quantiles work over them.
+        assert!(conns.median() >= 1.0);
+        assert!(gaps.median() >= 2.0);
+    }
+
+    #[test]
+    fn instantaneous_bandwidth_ignores_dead_air() {
+        let mut m = Metrics::new();
+        m.record_bytes(Instant::from_millis(100), 5000);
+        m.record_bytes(Instant::from_millis(200), 5000);
+        m.record_bytes(Instant::from_millis(3_500), 1000);
+        let mut s = m.instantaneous_bandwidth(Duration::from_secs(5));
+        assert_eq!(s.count(), 2); // bins 0 and 3
+        assert_eq!(s.quantile(1.0), 10_000.0);
+    }
+
+    #[test]
+    fn dhcp_failure_rate_math() {
+        let mut m = Metrics::new();
+        assert_eq!(m.dhcp_failure_rate(), 0.0);
+        m.dhcp_attempts = 10;
+        m.dhcp_failures = 3;
+        assert!((m.dhcp_failure_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrency_accounting() {
+        let mut m = Metrics::new();
+        m.record_concurrency(Instant::from_secs(0), 1);
+        m.record_concurrency(Instant::from_secs(4), 3);
+        m.record_concurrency(Instant::from_secs(6), 0);
+        assert_eq!(m.max_concurrent_aps, 3);
+        // 1 AP for 4 s, 3 APs for 2 s.
+        assert!((m.concurrency_seconds[1] - 4.0).abs() < 1e-9);
+        assert!((m.concurrency_seconds[3] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_metrics_are_zero() {
+        let m = Metrics::new();
+        let d = Duration::from_secs(60);
+        assert_eq!(m.avg_throughput_bps(d), 0.0);
+        assert_eq!(m.connectivity(d), 0.0);
+        assert_eq!(m.connection_durations(d).count(), 0);
+        // Fully disconnected: one disruption of the entire horizon.
+        let mut gaps = m.disruption_durations(d);
+        assert_eq!(gaps.count(), 1);
+        assert_eq!(gaps.quantile(1.0), 60.0);
+    }
+}

@@ -1,0 +1,221 @@
+//! Machine-readable run reports.
+//!
+//! [`RunResult`] holds raw sample sets; a
+//! [`Report`] flattens it into the summary numbers the experiments print,
+//! in a form that serializes cleanly — `serde` derives for downstream
+//! tooling, plus a dependency-free [`Report::to_json`] so the workspace
+//! itself needs no JSON crate.
+
+use serde::{Deserialize, Serialize};
+use sim_engine::stats::Samples;
+
+use crate::world::RunResult;
+
+/// A five-number summary of a sample set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quantiles {
+    /// Sample count.
+    pub n: usize,
+    /// 10th percentile.
+    pub p10: f64,
+    /// Median.
+    pub p50: f64,
+    /// 90th percentile.
+    pub p90: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Quantiles {
+    fn of(samples: &Samples) -> Quantiles {
+        let mut s = samples.clone();
+        Quantiles {
+            n: s.count(),
+            p10: s.quantile(0.10),
+            p50: s.quantile(0.50),
+            p90: s.quantile(0.90),
+            max: if s.is_empty() { 0.0 } else { s.quantile(1.0) },
+        }
+    }
+
+    fn json(&self) -> String {
+        format!(
+            r#"{{"n":{},"p10":{},"p50":{},"p90":{},"max":{}}}"#,
+            self.n,
+            fmt_f64(self.p10),
+            fmt_f64(self.p50),
+            fmt_f64(self.p90),
+            fmt_f64(self.max)
+        )
+    }
+}
+
+/// The flattened summary of one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment length, seconds.
+    pub duration_secs: f64,
+    /// Bytes delivered to the sink.
+    pub total_bytes: u64,
+    /// Average throughput, KB/s (the paper's unit).
+    pub avg_throughput_kbps: f64,
+    /// Fraction of seconds with non-zero transfer.
+    pub connectivity: f64,
+    /// Successful joins.
+    pub joins: usize,
+    /// Association attempts / failures.
+    pub assoc_attempts: u64,
+    /// See `assoc_attempts`.
+    pub assoc_failures: u64,
+    /// DHCP attempts / failures.
+    pub dhcp_attempts: u64,
+    /// See `dhcp_attempts`.
+    pub dhcp_failures: u64,
+    /// Channel switches performed.
+    pub switch_count: u64,
+    /// Peak simultaneous associations.
+    pub max_concurrent_aps: usize,
+    /// TCP retransmission timeouts.
+    pub tcp_rtos: u64,
+    /// Join-time distribution, seconds.
+    pub join_times_s: Quantiles,
+    /// Connection-run distribution, seconds (Fig. 10a).
+    pub connections_s: Quantiles,
+    /// Disruption-run distribution, seconds (Fig. 10b).
+    pub disruptions_s: Quantiles,
+    /// Instantaneous bandwidth, bytes per connected second (Fig. 10c).
+    pub instantaneous_bps: Quantiles,
+}
+
+impl Report {
+    /// Flatten a [`RunResult`].
+    pub fn from_run(result: &RunResult) -> Report {
+        Report {
+            duration_secs: result.duration.as_secs_f64(),
+            total_bytes: result.total_bytes,
+            avg_throughput_kbps: result.avg_throughput_kbps(),
+            connectivity: result.connectivity,
+            joins: result.join_times.count(),
+            assoc_attempts: result.assoc_attempts,
+            assoc_failures: result.assoc_failures,
+            dhcp_attempts: result.dhcp_attempts,
+            dhcp_failures: result.dhcp_failures,
+            switch_count: result.switch_count,
+            max_concurrent_aps: result.max_concurrent_aps,
+            tcp_rtos: result.tcp_rtos,
+            join_times_s: Quantiles::of(&result.join_times),
+            connections_s: Quantiles::of(&result.connection_durations),
+            disruptions_s: Quantiles::of(&result.disruption_durations),
+            instantaneous_bps: Quantiles::of(&result.instantaneous_bandwidth),
+        }
+    }
+
+    /// Serialize to a single JSON object (stable key order, no external
+    /// JSON dependency).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                r#"{{"duration_secs":{},"total_bytes":{},"avg_throughput_kbps":{},"#,
+                r#""connectivity":{},"joins":{},"assoc_attempts":{},"assoc_failures":{},"#,
+                r#""dhcp_attempts":{},"dhcp_failures":{},"switch_count":{},"#,
+                r#""max_concurrent_aps":{},"tcp_rtos":{},"join_times_s":{},"#,
+                r#""connections_s":{},"disruptions_s":{},"instantaneous_bps":{}}}"#
+            ),
+            fmt_f64(self.duration_secs),
+            self.total_bytes,
+            fmt_f64(self.avg_throughput_kbps),
+            fmt_f64(self.connectivity),
+            self.joins,
+            self.assoc_attempts,
+            self.assoc_failures,
+            self.dhcp_attempts,
+            self.dhcp_failures,
+            self.switch_count,
+            self.max_concurrent_aps,
+            self.tcp_rtos,
+            self.join_times_s.json(),
+            self.connections_s.json(),
+            self.disruptions_s.json(),
+            self.instantaneous_bps.json(),
+        )
+    }
+}
+
+/// JSON-safe float formatting (no NaN/inf; finite shortest-ish form).
+fn fmt_f64(v: f64) -> String {
+    if !v.is_finite() {
+        return "0".to_string();
+    }
+    // Limit precision for stable, diff-friendly output.
+    let s = format!("{v:.6}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    if s.is_empty() { "0".to_string() } else { s.to_string() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SpiderConfig;
+    use crate::world::{run, ClientMotion, WorldConfig};
+    use mobility::deployment::ApSite;
+    use mobility::geometry::Point;
+    use sim_engine::time::Duration;
+    use wifi_mac::channel::Channel;
+
+    fn sample_run() -> RunResult {
+        let site = ApSite {
+            id: 1,
+            position: Point::new(0.0, 0.0),
+            channel: Channel::CH1,
+            backhaul_bps: 2_000_000,
+            dhcp_delay_min: Duration::from_millis(100),
+            dhcp_delay_max: Duration::from_millis(300),
+        };
+        run(WorldConfig::new(
+            5,
+            vec![site],
+            ClientMotion::Fixed(Point::new(0.0, 10.0)),
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            Duration::from_secs(15),
+        ))
+    }
+
+    #[test]
+    fn report_reflects_the_run() {
+        let result = sample_run();
+        let report = Report::from_run(&result);
+        assert_eq!(report.total_bytes, result.total_bytes);
+        assert_eq!(report.joins, result.join_times.count());
+        assert!((report.duration_secs - 15.0).abs() < 1e-9);
+        assert!(report.avg_throughput_kbps > 0.0);
+    }
+
+    #[test]
+    fn json_is_wellformed_enough_to_roundtrip_keys() {
+        let report = Report::from_run(&sample_run());
+        let json = report.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        for key in [
+            "total_bytes",
+            "avg_throughput_kbps",
+            "connectivity",
+            "join_times_s",
+            "instantaneous_bps",
+        ] {
+            assert!(json.contains(&format!("\"{key}\"")), "missing key {key} in {json}");
+        }
+        // Balanced braces and no NaN/inf tokens.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn float_formatting_is_json_safe() {
+        assert_eq!(fmt_f64(1.5), "1.5");
+        assert_eq!(fmt_f64(2.0), "2");
+        assert_eq!(fmt_f64(0.0), "0");
+        assert_eq!(fmt_f64(f64::NAN), "0");
+        assert_eq!(fmt_f64(f64::INFINITY), "0");
+        assert_eq!(fmt_f64(0.333333333), "0.333333");
+    }
+}

@@ -1,0 +1,264 @@
+//! Multi-AP selection.
+//!
+//! # Why a heuristic (the NP-hardness argument)
+//!
+//! The tech report's Appendix A proves that selecting the utility-optimal
+//! *set* of APs is NP-hard. The essence of the reduction: each candidate
+//! AP `i` contributes utility `uᵢ` (expected bytes, a function of its
+//! backhaul and join probability) and costs `cᵢ` of a shared budget (the
+//! schedule time its joins and traffic consume within the encounter
+//! window); maximizing `Σ uᵢ` subject to `Σ cᵢ ≤ C` over subsets *is* the
+//! 0/1 knapsack problem, so any instance of knapsack can be encoded as an
+//! AP-selection instance. Spider therefore uses a greedy heuristic driven
+//! by the observation of §2 that **join time is the dominant factor** in
+//! mobile encounters: rank candidates by join history (success rate and
+//! join-latency EWMA, from [`crate::history::ApHistory`]) and fill the
+//! available interfaces in rank order.
+
+use sim_engine::time::{Duration, Instant};
+use wifi_mac::addr::MacAddr;
+use wifi_mac::channel::Channel;
+
+use crate::config::SelectionPolicy;
+use crate::history::ApHistory;
+
+/// A candidate AP observed by opportunistic scanning.
+#[derive(Debug, Clone, Copy)]
+pub struct Candidate {
+    /// The AP's BSSID.
+    pub bssid: MacAddr,
+    /// Operating channel (from the beacon's DS parameter set).
+    pub channel: Channel,
+    /// Last-heard signal strength, dBm.
+    pub rssi_dbm: f64,
+    /// When the AP was last heard.
+    pub last_heard: Instant,
+}
+
+/// Rank `candidates` and return up to `limit` BSSIDs to join, best first.
+///
+/// Filters: only APs on `channel`, heard within `freshness`, above
+/// `min_rssi_dbm` (no point joining an AP the encounter is already
+/// leaving), and not in failure backoff.
+#[allow(clippy::too_many_arguments)]
+pub fn select_aps(
+    candidates: &[Candidate],
+    channel: Channel,
+    policy: SelectionPolicy,
+    history: &ApHistory,
+    now: Instant,
+    freshness: Duration,
+    backoff: Duration,
+    min_rssi_dbm: f64,
+    limit: usize,
+) -> Vec<MacAddr> {
+    if limit == 0 {
+        return Vec::new();
+    }
+    let mut eligible: Vec<&Candidate> = candidates
+        .iter()
+        .filter(|c| c.channel == channel)
+        .filter(|c| now.saturating_since(c.last_heard) <= freshness)
+        .filter(|c| c.rssi_dbm >= min_rssi_dbm)
+        .filter(|c| !history.in_backoff(c.bssid, now, backoff))
+        .collect();
+    match policy {
+        SelectionPolicy::JoinHistory => {
+            eligible.sort_by(|a, b| {
+                let sa = history.score(a.bssid, now);
+                let sb = history.score(b.bssid, now);
+                sb.partial_cmp(&sa)
+                    .expect("scores are finite")
+                    // Deterministic tie-break: stronger signal, then BSSID.
+                    .then(
+                        b.rssi_dbm
+                            .partial_cmp(&a.rssi_dbm)
+                            .expect("rssi finite"),
+                    )
+                    .then(a.bssid.cmp(&b.bssid))
+            });
+        }
+        SelectionPolicy::BestRssi => {
+            eligible.sort_by(|a, b| {
+                b.rssi_dbm
+                    .partial_cmp(&a.rssi_dbm)
+                    .expect("rssi finite")
+                    .then(a.bssid.cmp(&b.bssid))
+            });
+        }
+    }
+    eligible.into_iter().take(limit).map(|c| c.bssid).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(id: u32, channel: Channel, rssi: f64, heard: Instant) -> Candidate {
+        Candidate { bssid: MacAddr::ap(id), channel, rssi_dbm: rssi, last_heard: heard }
+    }
+
+    fn fresh(id: u32, rssi: f64) -> Candidate {
+        cand(id, Channel::CH1, rssi, Instant::from_secs(10))
+    }
+
+    const NOW: Instant = Instant::from_secs(10);
+    const FRESHNESS: Duration = Duration::from_secs(2);
+    const BACKOFF: Duration = Duration::from_secs(5);
+
+    #[test]
+    fn filters_other_channels() {
+        let cands = [fresh(1, -60.0), cand(2, Channel::CH6, -50.0, NOW)];
+        let h = ApHistory::new();
+        let picked = select_aps(
+            &cands,
+            Channel::CH1,
+            SelectionPolicy::JoinHistory,
+            &h,
+            NOW,
+            FRESHNESS,
+            BACKOFF,
+            -200.0,
+            5,
+        );
+        assert_eq!(picked, vec![MacAddr::ap(1)]);
+    }
+
+    #[test]
+    fn filters_stale_candidates() {
+        let cands = [
+            fresh(1, -60.0),
+            cand(2, Channel::CH1, -50.0, Instant::from_secs(5)), // 5 s old
+        ];
+        let h = ApHistory::new();
+        let picked = select_aps(
+            &cands,
+            Channel::CH1,
+            SelectionPolicy::JoinHistory,
+            &h,
+            NOW,
+            FRESHNESS,
+            BACKOFF,
+            -200.0,
+            5,
+        );
+        assert_eq!(picked, vec![MacAddr::ap(1)]);
+    }
+
+    #[test]
+    fn filters_backoff_aps() {
+        let cands = [fresh(1, -60.0), fresh(2, -50.0)];
+        let mut h = ApHistory::new();
+        h.record_failure(MacAddr::ap(2), Instant::from_secs(8));
+        let picked = select_aps(
+            &cands,
+            Channel::CH1,
+            SelectionPolicy::JoinHistory,
+            &h,
+            NOW,
+            FRESHNESS,
+            BACKOFF,
+            -200.0,
+            5,
+        );
+        assert_eq!(picked, vec![MacAddr::ap(1)]);
+    }
+
+    #[test]
+    fn history_policy_prefers_proven_joiner_over_stronger_signal() {
+        let cands = [fresh(1, -80.0), fresh(2, -40.0)];
+        let mut h = ApHistory::new();
+        h.record_success(MacAddr::ap(1), Duration::from_millis(500));
+        h.record_failure(MacAddr::ap(2), Instant::ZERO); // long ago, not in backoff
+        let picked = select_aps(
+            &cands,
+            Channel::CH1,
+            SelectionPolicy::JoinHistory,
+            &h,
+            NOW,
+            FRESHNESS,
+            BACKOFF,
+            -200.0,
+            2,
+        );
+        assert_eq!(picked[0], MacAddr::ap(1));
+    }
+
+    #[test]
+    fn rssi_policy_prefers_stronger_signal_regardless_of_history() {
+        let cands = [fresh(1, -80.0), fresh(2, -40.0)];
+        let mut h = ApHistory::new();
+        h.record_success(MacAddr::ap(1), Duration::from_millis(500));
+        let picked = select_aps(
+            &cands,
+            Channel::CH1,
+            SelectionPolicy::BestRssi,
+            &h,
+            NOW,
+            FRESHNESS,
+            BACKOFF,
+            -200.0,
+            2,
+        );
+        assert_eq!(picked[0], MacAddr::ap(2));
+    }
+
+    #[test]
+    fn limit_is_respected() {
+        let cands: Vec<Candidate> = (0..10).map(|i| fresh(i, -50.0 - i as f64)).collect();
+        let h = ApHistory::new();
+        let picked = select_aps(
+            &cands,
+            Channel::CH1,
+            SelectionPolicy::JoinHistory,
+            &h,
+            NOW,
+            FRESHNESS,
+            BACKOFF,
+            -200.0,
+            3,
+        );
+        assert_eq!(picked.len(), 3);
+        let none = select_aps(
+            &cands,
+            Channel::CH1,
+            SelectionPolicy::JoinHistory,
+            &h,
+            NOW,
+            FRESHNESS,
+            BACKOFF,
+            -200.0,
+            0,
+        );
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn rssi_floor_filters_weak_candidates() {
+        let cands = [fresh(1, -85.0), fresh(2, -60.0)];
+        let h = ApHistory::new();
+        let picked = select_aps(
+            &cands,
+            Channel::CH1,
+            SelectionPolicy::JoinHistory,
+            &h,
+            NOW,
+            FRESHNESS,
+            BACKOFF,
+            -80.0,
+            5,
+        );
+        assert_eq!(picked, vec![MacAddr::ap(2)]);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        // Identical candidates except BSSID: order must be stable.
+        let cands = [fresh(5, -50.0), fresh(3, -50.0), fresh(4, -50.0)];
+        let h = ApHistory::new();
+        let a = select_aps(&cands, Channel::CH1, SelectionPolicy::JoinHistory, &h, NOW, FRESHNESS, BACKOFF, -200.0, 3);
+        let b = select_aps(&cands, Channel::CH1, SelectionPolicy::JoinHistory, &h, NOW, FRESHNESS, BACKOFF, -200.0, 3);
+        assert_eq!(a, b);
+        assert_eq!(a, vec![MacAddr::ap(3), MacAddr::ap(4), MacAddr::ap(5)]);
+    }
+}

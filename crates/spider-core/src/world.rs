@@ -1,0 +1,1753 @@
+//! The full-system simulation: one vehicle, many APs, and the Spider
+//! driver (or a baseline) in between.
+//!
+//! This module is the substitute for the paper's outdoor testbed. It wires
+//! together every substrate crate under a single deterministic event loop:
+//!
+//! * **Air interface** — frames pay airtime on a per-channel serialized
+//!   medium; delivery is evaluated *at arrival* against the client radio's
+//!   tuning (an AP's association or DHCP response that lands while the
+//!   radio serves another channel is simply lost — the paper's central
+//!   failure mode) and the PHY's distance-dependent loss.
+//! * **APs** — `wifi-mac::ApMac` (with honest PSM buffering) plus a
+//!   `dhcp::DhcpServer` with per-AP response delays, plus a shaped
+//!   backhaul (`workload::SerialLink`) behind which a `tcp_lite`
+//!   bulk sender plays the content server.
+//! * **Client** — a `wifi-mac::Radio` scheduled by the configured
+//!   [`SchedulePolicy`], up to seven
+//!   virtual interfaces each running the join FSM, DHCP client, and a TCP
+//!   receiver; opportunistic scanning feeds the selection heuristic.
+//!
+//! Protocol discrimination on the data path uses a 1-byte IP-protocol tag
+//! (17 = UDP/DHCP, 6 = TCP) prefixed to payloads — the moral equivalent of
+//! the IP header's protocol field.
+//!
+//! Deliberate simplification (see DESIGN.md): management and DHCP frames
+//! are single-shot (no MAC ARQ), matching the paper's join model where
+//! each lost handshake message costs a protocol timeout; TCP data frames
+//! get the standard 802.11 retry budget folded into an expected airtime
+//! and residual loss.
+//!
+//! Debug taps (stderr, env-gated, zero-cost when unset):
+//! `SPIDER_DEBUG_TCP` dumps per-second sender state, `SPIDER_DEBUG_RTO`
+//! logs every RTO event, `SPIDER_DEBUG_MEDIUM` logs per-second medium
+//! backlog, `SPIDER_DEBUG_REBUF` logs failed in-flight rebuffers, and
+//! `SPIDER_DEBUG_BH` prints per-AP backhaul drop totals at the end.
+
+use std::collections::HashMap;
+
+use bytes::{BufMut, Bytes, BytesMut};
+use dhcp::client::{DhcpAction, DhcpClient, Lease};
+use dhcp::message::DhcpMessage;
+use dhcp::server::{DhcpServer, DhcpServerConfig};
+use mobility::deployment::ApSite;
+use mobility::geometry::Point;
+use mobility::route::Vehicle;
+use sim_engine::queue::EventQueue;
+use sim_engine::rng::Rng;
+use sim_engine::runner::{run_until, Handler};
+use sim_engine::stats::Samples;
+use sim_engine::time::{Duration, Instant};
+use tcp_lite::connection::{BulkReceiver, BulkSender, ReceiverAction, SenderAction};
+use tcp_lite::segment::Segment;
+use tcp_lite::TcpConfig;
+use wifi_mac::addr::MacAddr;
+use wifi_mac::ap::{ApAction, ApConfig, ApMac};
+use wifi_mac::channel::Channel;
+use wifi_mac::client::{Action as MacAction, ClientMac, JoinConfig};
+use wifi_mac::frame::{Frame, FrameBody};
+use wifi_mac::phy::PhyConfig;
+use wifi_mac::radio::{Radio, RadioConfig};
+use workload::downloads::DownloadPlan;
+use workload::shaper::SerialLink;
+
+use crate::config::{SchedulePolicy, SpiderConfig};
+use crate::history::ApHistory;
+use crate::metrics::Metrics;
+use crate::selection::{select_aps, Candidate};
+
+/// IP protocol numbers used as payload tags.
+const PROTO_UDP: u8 = 17;
+const PROTO_TCP: u8 = 6;
+
+/// Where the client is over time.
+#[derive(Debug, Clone)]
+pub enum ClientMotion {
+    /// Stationary (the lab micro-benchmarks of §4.2 and Figs. 7–9).
+    Fixed(Point),
+    /// Driving a route (every outdoor experiment).
+    Route(Vehicle),
+}
+
+impl ClientMotion {
+    fn position(&self, now: Instant) -> Point {
+        match self {
+            ClientMotion::Fixed(p) => *p,
+            ClientMotion::Route(v) => v.position_at(now),
+        }
+    }
+}
+
+/// Everything a run needs.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed; every random draw derives from it.
+    pub seed: u64,
+    /// PHY model.
+    pub phy: PhyConfig,
+    /// Radio switch-cost model.
+    pub radio: RadioConfig,
+    /// The deployed APs.
+    pub sites: Vec<ApSite>,
+    /// Client mobility.
+    pub motion: ClientMotion,
+    /// Driver configuration under test.
+    pub spider: SpiderConfig,
+    /// TCP parameters.
+    pub tcp: TcpConfig,
+    /// Experiment length.
+    pub duration: Duration,
+    /// One-way wired latency between content server and AP.
+    pub backhaul_latency: Duration,
+    /// Bytes per saturating TCP connection before it completes and is
+    /// reopened (bounds per-connection sequence space).
+    pub bytes_per_connection: u64,
+    /// What the client fetches: saturating bulk (the paper's evaluation
+    /// workload) or segmented objects with think time (streaming-style).
+    pub plan: DownloadPlan,
+}
+
+impl WorldConfig {
+    /// Reasonable defaults around the given sites/motion/driver.
+    pub fn new(
+        seed: u64,
+        sites: Vec<ApSite>,
+        motion: ClientMotion,
+        spider: SpiderConfig,
+        duration: Duration,
+    ) -> WorldConfig {
+        WorldConfig {
+            seed,
+            phy: PhyConfig::default(),
+            radio: RadioConfig::default(),
+            sites,
+            motion,
+            spider,
+            tcp: TcpConfig::default(),
+            duration,
+            backhaul_latency: Duration::from_millis(20),
+            bytes_per_connection: 512 * 1024 * 1024,
+            plan: DownloadPlan::Saturating,
+        }
+    }
+}
+
+/// Aggregated outcome of one run; the raw material for every table/figure.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Experiment length.
+    pub duration: Duration,
+    /// Bytes delivered to the sink.
+    pub total_bytes: u64,
+    /// Average throughput, bytes/s.
+    pub avg_throughput_bps: f64,
+    /// Fraction of seconds with non-zero transfer.
+    pub connectivity: f64,
+    /// Maximal connected runs, seconds (Fig. 10a).
+    pub connection_durations: Samples,
+    /// Maximal disconnected runs, seconds (Fig. 10b).
+    pub disruption_durations: Samples,
+    /// Bytes per connected second (Fig. 10c).
+    pub instantaneous_bandwidth: Samples,
+    /// Link-layer association times, seconds (Fig. 5).
+    pub assoc_times: Samples,
+    /// Full join times (assoc + DHCP), seconds (Figs. 6/11/12).
+    pub join_times: Samples,
+    /// Channel-switch latencies, seconds (Table 1).
+    pub switch_latencies: Samples,
+    /// DHCP acquisitions started.
+    pub dhcp_attempts: u64,
+    /// DHCP acquisitions failed (Table 3).
+    pub dhcp_failures: u64,
+    /// Associations started.
+    pub assoc_attempts: u64,
+    /// Associations failed.
+    pub assoc_failures: u64,
+    /// Channel switches performed.
+    pub switch_count: u64,
+    /// Peak simultaneous associations (§4.4).
+    pub max_concurrent_aps: usize,
+    /// Seconds spent with exactly `i` concurrent associations.
+    pub concurrency_seconds: Vec<f64>,
+    /// TCP retransmission timeouts observed across all connections.
+    pub tcp_rtos: u64,
+    /// Packets dropped at backhaul queue bounds (down + up).
+    pub backhaul_drops: u64,
+    /// Downlink frames dropped on PSM buffer overflow.
+    pub psm_drops: u64,
+    /// Downlink frames dropped because the station was not associated.
+    pub unassociated_drops: u64,
+    /// Data frames dropped at the bounded air transmit queue.
+    pub air_drops: u64,
+}
+
+impl RunResult {
+    /// DHCP failure rate (Table 3).
+    pub fn dhcp_failure_rate(&self) -> f64 {
+        if self.dhcp_attempts == 0 {
+            0.0
+        } else {
+            self.dhcp_failures as f64 / self.dhcp_attempts as f64
+        }
+    }
+
+    /// Average throughput in the paper's KB/s units.
+    pub fn avg_throughput_kbps(&self) -> f64 {
+        self.avg_throughput_bps / 1000.0
+    }
+}
+
+/// Simulation events.
+#[derive(Debug)]
+enum Event {
+    /// An AP's periodic beacon timer.
+    BeaconTick { ap: usize },
+    /// A frame from AP `ap` reaches the client's antenna.
+    AirToClient { ap: usize, frame: Frame },
+    /// A frame from the client reaches AP `ap`.
+    AirToAp { ap: usize, frame: Frame },
+    /// Link-layer join timer for an interface.
+    MacTimer { iface: usize, gen: u64, token: u64 },
+    /// DHCP retransmit timer for an interface.
+    DhcpTimer { iface: usize, gen: u64, token: u64 },
+    /// TCP sender RTO at the content server behind AP `ap`.
+    SenderTimer { ap: usize, conn: u64, token: u64 },
+    /// A TCP segment from the server arrives at AP `ap`.
+    BackhaulToAp { ap: usize, payload: Bytes },
+    /// A client TCP segment (ACK) arrives at the server behind AP `ap`.
+    BackhaulToServer { ap: usize, payload: Bytes },
+    /// The AP's local DHCP server finished processing; deliver the reply
+    /// into the AP's downlink path.
+    DhcpReplyReady { ap: usize, station: MacAddr, payload: Bytes },
+    /// Move to schedule slice `idx`.
+    ScheduleSlice { idx: usize },
+    /// PSM announcements have drained; begin the hardware retune.
+    SwitchBegin { target: Channel },
+    /// The radio finished retuning.
+    SwitchDone,
+    /// Periodic driver evaluation: teardown dead links, start joins.
+    Evaluate,
+    /// Adaptive-channel policy: reconsider which channel to dwell on.
+    Reconsider,
+    /// A segmented download's think time elapsed: open the next object.
+    NextObject {
+        /// Interface whose stream continues.
+        iface: usize,
+        /// Generation guard.
+        gen: u64,
+        /// AP behind the stream.
+        ap: usize,
+    },
+    /// A deferred join begins (stock-path scan/supplicant setup elapsed).
+    BeginJoin {
+        /// Interface reserved for the join.
+        iface: usize,
+        /// Generation guard.
+        gen: u64,
+        /// Target AP index.
+        ap: usize,
+    },
+    /// Periodic housekeeping (AP idle expiry).
+    Maintenance,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum IfaceState {
+    Idle,
+    Associating,
+    Acquiring,
+    Connected,
+}
+
+/// One virtual interface of the client.
+struct Iface {
+    addr: MacAddr,
+    state: IfaceState,
+    /// Guards stale timers when the interface is re-purposed.
+    gen: u64,
+    mac: Option<ClientMac>,
+    dhcp: Option<DhcpClient>,
+    receiver: Option<BulkReceiver>,
+    ap: Option<usize>,
+    conn: Option<u64>,
+    join_started: Option<Instant>,
+}
+
+impl Iface {
+    fn new(addr: MacAddr) -> Iface {
+        Iface {
+            addr,
+            state: IfaceState::Idle,
+            gen: 0,
+            mac: None,
+            dhcp: None,
+            receiver: None,
+            ap: None,
+            conn: None,
+            join_started: None,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = IfaceState::Idle;
+        self.gen += 1;
+        self.mac = None;
+        self.dhcp = None;
+        self.receiver = None;
+        self.ap = None;
+        self.conn = None;
+        self.join_started = None;
+    }
+}
+
+/// One AP node: MAC + DHCP server + backhaul + content server.
+struct ApNode {
+    site: ApSite,
+    mac: ApMac,
+    dhcp: DhcpServer,
+    /// Server → AP pipe (the shaped backhaul).
+    downlink: SerialLink,
+    /// AP → server pipe for ACKs.
+    uplink: SerialLink,
+    senders: HashMap<u64, BulkSender>,
+}
+
+struct World {
+    cfg: WorldConfig,
+    aps: Vec<ApNode>,
+    bssid_to_ap: HashMap<MacAddr, usize>,
+    radio: Radio,
+    ifaces: Vec<Iface>,
+    scan: HashMap<MacAddr, Candidate>,
+    history: ApHistory,
+    metrics: Metrics,
+    /// Per-channel medium occupancy (next free instant).
+    medium: HashMap<Channel, Instant>,
+    /// Spider's per-channel transmit queues (§3): frames bound for an
+    /// off-channel AP wait here and flush when the radio arrives.
+    tx_queues: HashMap<Channel, Vec<(Instant, usize, Frame)>>,
+    rng_phy: Rng,
+    rng_ap: Rng,
+    rng_radio: Rng,
+    rng_misc: Rng,
+    next_conn: u64,
+    /// Stock-driver idle scan rotation index.
+    scan_channel_idx: usize,
+    client_drops_radio_busy: u64,
+    tcp_rtos: u64,
+    air_drops: u64,
+    dbg_down_airtime: Duration,
+    dbg_up_airtime: Duration,
+    dbg_down_frames: u64,
+    dbg_up_frames: u64,
+    /// Stock DHCP clients go idle after a failed acquisition ("idle for 60
+    /// seconds if it fails"); no joins start before this instant.
+    dhcp_idle_until: Instant,
+}
+
+impl World {
+    fn new(cfg: WorldConfig) -> (World, EventQueue<Event>) {
+        let mut master = Rng::new(cfg.seed);
+        let rng_phy = master.fork(1);
+        let rng_ap = master.fork(2);
+        let rng_radio = master.fork(3);
+        let mut rng_misc = master.fork(4);
+
+        let aps: Vec<ApNode> = cfg
+            .sites
+            .iter()
+            .map(|site| {
+                let ssid = format!("open-{}", site.id);
+                let ap_cfg = ApConfig::open(site.id, &ssid, site.channel);
+                let dhcp_cfg = DhcpServerConfig::for_ap(
+                    site.id,
+                    site.dhcp_delay_min,
+                    site.dhcp_delay_max,
+                );
+                ApNode {
+                    site: site.clone(),
+                    mac: ApMac::new(ap_cfg),
+                    dhcp: DhcpServer::new(dhcp_cfg),
+                    downlink: SerialLink::new(site.backhaul_bps, cfg.backhaul_latency),
+                    uplink: SerialLink::new(site.backhaul_bps, cfg.backhaul_latency),
+                    senders: HashMap::new(),
+                }
+            })
+            .collect();
+        let bssid_to_ap =
+            aps.iter().enumerate().map(|(i, a)| (a.mac.bssid(), i)).collect();
+
+        let initial_channel = match &cfg.spider.schedule {
+            SchedulePolicy::SingleChannel(c) => *c,
+            SchedulePolicy::MultiChannel { slices } => slices[0].0,
+            SchedulePolicy::ScanWhenIdle { .. } => Channel::CH1,
+            SchedulePolicy::AdaptiveChannel { .. } => Channel::CH1,
+        };
+        let radio = Radio::new(cfg.radio.clone(), initial_channel);
+        let ifaces = (0..cfg.spider.max_ifaces)
+            .map(|i| Iface::new(MacAddr::local(1_000 + i as u32)))
+            .collect();
+
+        let mut queue = EventQueue::new();
+        // Stagger beacons so the channel isn't beacon-synchronized.
+        for i in 0..aps.len() {
+            let offset = Duration::from_micros(rng_misc.range_u64(0, 102_400));
+            queue.push(Instant::ZERO + offset, Event::BeaconTick { ap: i });
+        }
+        // De-aligned from slice boundaries so periodic evaluation never
+        // lands at the instant the radio is about to leave the channel.
+        queue.push(Instant::from_millis(50), Event::Evaluate);
+        queue.push(Instant::from_secs(1), Event::Maintenance);
+        if let SchedulePolicy::MultiChannel { slices } = &cfg.spider.schedule {
+            assert!(!slices.is_empty(), "empty multi-channel schedule");
+            queue.push(Instant::ZERO, Event::ScheduleSlice { idx: 0 });
+        }
+        if let SchedulePolicy::AdaptiveChannel { reconsider, .. } = &cfg.spider.schedule {
+            queue.push(Instant::ZERO + *reconsider, Event::Reconsider);
+        }
+
+        let world = World {
+            cfg,
+            aps,
+            bssid_to_ap,
+            radio,
+            ifaces,
+            scan: HashMap::new(),
+            history: ApHistory::new(),
+            metrics: Metrics::new(),
+            medium: HashMap::new(),
+            tx_queues: HashMap::new(),
+            rng_phy,
+            rng_ap,
+            rng_radio,
+            rng_misc,
+            next_conn: 1,
+            scan_channel_idx: 0,
+            client_drops_radio_busy: 0,
+            tcp_rtos: 0,
+            air_drops: 0,
+            dbg_down_airtime: Duration::ZERO,
+            dbg_up_airtime: Duration::ZERO,
+            dbg_down_frames: 0,
+            dbg_up_frames: 0,
+            dhcp_idle_until: Instant::ZERO,
+        };
+        (world, queue)
+    }
+
+    fn client_pos(&self, now: Instant) -> Point {
+        self.cfg.motion.position(now)
+    }
+
+    fn distance_to(&self, ap: usize, now: Instant) -> f64 {
+        self.client_pos(now).distance(self.aps[ap].site.position)
+    }
+
+    /// Seize the channel medium for `airtime`; returns the arrival instant.
+    fn seize_medium(&mut self, channel: Channel, now: Instant, airtime: Duration) -> Instant {
+        let free = self.medium.entry(channel).or_insert(Instant::ZERO);
+        let start = now.max(*free);
+        let arrival = start + airtime;
+        *free = arrival;
+        arrival
+    }
+
+    /// Frames older than this are dropped from a per-channel TX queue
+    /// instead of being flushed (they are protocol-stale by then).
+    const TX_QUEUE_TTL: Duration = Duration::from_secs(1);
+    /// An AP's share of the air is a bounded transmit queue (a real AP's
+    /// TX ring is ~64 frames): data frames that would wait longer than
+    /// this for the medium are dropped, giving TCP its loss signal when
+    /// the backhaul outruns the on-channel airtime.
+    const AIR_QUEUE_BOUND: Duration = Duration::from_millis(500);
+    /// Per-channel TX queue depth cap.
+    const TX_QUEUE_CAP: usize = 128;
+
+    /// Client transmits `frame` toward AP `ap`. If the radio is on another
+    /// channel (or mid-switch), the frame goes into that channel's transmit
+    /// queue — Spider keeps "one packet queue per channel that is swapped
+    /// in and out of the driver" (§3) — and flushes when the radio arrives.
+    fn client_send(
+        &mut self,
+        ap: usize,
+        frame: Frame,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
+        let channel = self.aps[ap].site.channel;
+        if !self.radio.can_hear(channel, now) {
+            let q = self.tx_queues.entry(channel).or_default();
+            if q.len() < Self::TX_QUEUE_CAP {
+                q.push((now, ap, frame));
+            } else {
+                self.client_drops_radio_busy += 1;
+            }
+            return;
+        }
+        let len = frame.wire_len();
+        let is_data = matches!(frame.body, FrameBody::Data(_));
+        let dist = self.distance_to(ap, now);
+        let (airtime, delivery) = if is_data {
+            (
+                self.cfg.phy.expected_data_airtime(dist, len),
+                self.cfg.phy.data_delivery_prob(dist, len),
+            )
+        } else {
+            (self.cfg.phy.airtime(len), self.cfg.phy.mgmt_delivery_prob(dist, len))
+        };
+        // Uplink frames contend per-frame: the client wins the medium
+        // within a couple of frame airtimes even when the AP has a deep
+        // committed backlog (a FIFO pipe would wrongly park the client's
+        // PSM announcements behind the AP's entire queue).
+        let free = self.medium.entry(channel).or_insert(Instant::ZERO);
+        let contention = free
+            .saturating_since(now)
+            .min(Duration::from_millis(3));
+        let arrival = now + contention + airtime;
+        self.dbg_up_airtime += airtime;
+        self.dbg_up_frames += 1;
+        // The frame still consumes channel capacity.
+        *free = (*free).max(now) + airtime;
+        if self.rng_phy.chance(delivery) {
+            queue.push(arrival, Event::AirToAp { ap, frame });
+        }
+    }
+
+    /// AP transmits `frame` toward the client after `extra_delay`
+    /// (management processing time). Whether the client *hears* it is
+    /// decided at arrival.
+    fn ap_send(
+        &mut self,
+        ap: usize,
+        frame: Frame,
+        extra_delay: Duration,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
+        let channel = self.aps[ap].site.channel;
+        let len = frame.wire_len();
+        let is_data = matches!(frame.body, FrameBody::Data(_));
+        if is_data {
+            let backlog = self
+                .medium
+                .get(&channel)
+                .map(|&free| free.saturating_since(now))
+                .unwrap_or(Duration::ZERO);
+            if backlog > Self::AIR_QUEUE_BOUND {
+                self.air_drops += 1;
+                return;
+            }
+        }
+        let dist = self.distance_to(ap, now);
+        let airtime = if is_data {
+            self.cfg.phy.expected_data_airtime(dist, len)
+        } else {
+            self.cfg.phy.airtime(len)
+        };
+        self.dbg_down_airtime += airtime;
+        self.dbg_down_frames += 1;
+        let arrival = self.seize_medium(channel, now + extra_delay, airtime);
+        queue.push(arrival, Event::AirToClient { ap, frame });
+    }
+
+    fn process_ap_actions(
+        &mut self,
+        ap: usize,
+        actions: Vec<ApAction>,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
+        for action in actions {
+            match action {
+                ApAction::Send { delay, frame } => self.ap_send(ap, frame, delay, queue, now),
+                ApAction::ToUplink { from, payload } => {
+                    self.handle_uplink(ap, from, payload, queue, now)
+                }
+            }
+        }
+    }
+
+    /// An uplink payload arrived at the AP from the client: route by the
+    /// protocol tag.
+    fn handle_uplink(
+        &mut self,
+        ap: usize,
+        station: MacAddr,
+        payload: Bytes,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
+        let Some((proto, body)) = unwrap_proto(&payload) else {
+            return;
+        };
+        match proto {
+            PROTO_UDP => {
+                // DHCP: handled by the AP's embedded server.
+                let Ok(msg) = DhcpMessage::decode(&body) else {
+                    return;
+                };
+                let node = &mut self.aps[ap];
+                if let Some((delay, reply)) = node.dhcp.on_message(&msg, now, &mut self.rng_ap) {
+                    let reply_payload = wrap_proto(PROTO_UDP, &reply.encode());
+                    queue.push(
+                        now + delay,
+                        Event::DhcpReplyReady { ap, station, payload: reply_payload },
+                    );
+                }
+            }
+            PROTO_TCP => {
+                // ACK toward the content server: ride the uplink pipe.
+                if let Some(arrival) = self.aps[ap].uplink.transmit(now, body.len()) {
+                    queue.push(arrival, Event::BackhaulToServer { ap, payload: body });
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn process_sender_actions(
+        &mut self,
+        ap: usize,
+        conn: u64,
+        actions: Vec<SenderAction>,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
+        for action in actions {
+            match action {
+                SenderAction::Transmit(seg) => {
+                    if let Some(arrival) =
+                        self.aps[ap].downlink.transmit(now, seg.wire_len() as usize)
+                    {
+                        queue.push(
+                            arrival,
+                            Event::BackhaulToAp {
+                                ap,
+                                payload: wrap_proto(PROTO_TCP, &seg.encode()),
+                            },
+                        );
+                    }
+                }
+                SenderAction::ArmTimer { after, token } => {
+                    queue.push(now + after, Event::SenderTimer { ap, conn, token });
+                }
+                SenderAction::Connected => {}
+                SenderAction::Complete => {
+                    self.aps[ap].senders.remove(&conn);
+                    if let Some(iface_idx) = self.iface_for_conn(conn) {
+                        let think = self.cfg.plan.think_time();
+                        if think.is_zero() {
+                            // Saturating plan: reopen immediately.
+                            self.open_connection(iface_idx, ap, queue, now);
+                        } else {
+                            // Segmented plan: pause, then fetch the next
+                            // object.
+                            let gen = self.ifaces[iface_idx].gen;
+                            queue.push(
+                                now + think,
+                                Event::NextObject { iface: iface_idx, gen, ap },
+                            );
+                        }
+                    }
+                }
+                SenderAction::Aborted => {
+                    self.aps[ap].senders.remove(&conn);
+                    // If the client is still bound to this AP, retry with a
+                    // fresh connection (the old one died of timeouts).
+                    if let Some(iface_idx) = self.iface_for_conn(conn) {
+                        self.open_connection(iface_idx, ap, queue, now);
+                    }
+                }
+            }
+        }
+    }
+
+    fn iface_for_conn(&self, conn: u64) -> Option<usize> {
+        self.ifaces
+            .iter()
+            .position(|i| i.conn == Some(conn) && i.state == IfaceState::Connected)
+    }
+
+    /// Open a saturating TCP connection from the server behind `ap` toward
+    /// interface `iface_idx`.
+    fn open_connection(
+        &mut self,
+        iface_idx: usize,
+        ap: usize,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
+        let conn = self.next_conn;
+        self.next_conn += 1;
+        let isn = self.rng_misc.next_u64() as u32;
+        let object = self.cfg.plan.next_object().min(self.cfg.bytes_per_connection);
+        let mut sender = BulkSender::new(self.cfg.tcp.clone(), conn, object, isn);
+        let actions = sender.start(now);
+        self.aps[ap].senders.insert(conn, sender);
+        self.ifaces[iface_idx].conn = Some(conn);
+        self.ifaces[iface_idx].receiver = Some(BulkReceiver::new(conn));
+        self.process_sender_actions(ap, conn, actions, queue, now);
+    }
+
+    fn process_mac_actions(
+        &mut self,
+        iface_idx: usize,
+        actions: Vec<MacAction>,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
+        for action in actions {
+            match action {
+                MacAction::Send(frame) => {
+                    if let Some(ap) = self.ifaces[iface_idx].ap {
+                        self.client_send(ap, frame, queue, now);
+                    }
+                }
+                MacAction::ArmTimer { after, token } => {
+                    let gen = self.ifaces[iface_idx].gen;
+                    queue.push(now + after, Event::MacTimer { iface: iface_idx, gen, token });
+                }
+                MacAction::Joined { .. } => self.on_associated(iface_idx, queue, now),
+                MacAction::Failed(_) => {
+                    self.metrics.assoc_failures += 1;
+                    if let Some(ap) = self.ifaces[iface_idx].ap {
+                        self.history.record_failure(self.aps[ap].mac.bssid(), now);
+                    }
+                    self.teardown_iface(iface_idx, now);
+                }
+            }
+        }
+    }
+
+    fn on_associated(&mut self, iface_idx: usize, queue: &mut EventQueue<Event>, now: Instant) {
+        let started = self.ifaces[iface_idx]
+            .join_started
+            .expect("associated without a join start");
+        self.metrics.assoc_times.record_duration(now.saturating_since(started));
+        self.ifaces[iface_idx].state = IfaceState::Acquiring;
+        self.update_concurrency(now);
+        // Kick off DHCP.
+        let addr = self.ifaces[iface_idx].addr;
+        let ap = self.ifaces[iface_idx].ap.expect("associated without an AP");
+        let bssid = self.aps[ap].mac.bssid();
+        let cached = if self.cfg.spider.lease_cache {
+            self.history.cached_lease(bssid, now)
+        } else {
+            None
+        };
+        let xid_seed = self.rng_misc.next_u64() as u32;
+        let mut client = DhcpClient::new(self.cfg.spider.dhcp.clone(), addr.octets(), xid_seed);
+        self.metrics.dhcp_attempts += 1;
+        let actions = client.start(now, cached);
+        self.ifaces[iface_idx].dhcp = Some(client);
+        self.process_dhcp_actions(iface_idx, actions, queue, now);
+    }
+
+    fn process_dhcp_actions(
+        &mut self,
+        iface_idx: usize,
+        actions: Vec<DhcpAction>,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
+        for action in actions {
+            match action {
+                DhcpAction::Send(msg) => {
+                    let Some(ap) = self.ifaces[iface_idx].ap else {
+                        continue;
+                    };
+                    let station = self.ifaces[iface_idx].addr;
+                    let bssid = self.aps[ap].mac.bssid();
+                    let frame =
+                        Frame::data_to_ap(station, bssid, wrap_proto(PROTO_UDP, &msg.encode()));
+                    self.client_send(ap, frame, queue, now);
+                }
+                DhcpAction::ArmTimer { after, token } => {
+                    let gen = self.ifaces[iface_idx].gen;
+                    queue.push(now + after, Event::DhcpTimer { iface: iface_idx, gen, token });
+                }
+                DhcpAction::Bound(lease) => self.on_bound(iface_idx, lease, queue, now),
+                DhcpAction::Failed => {
+                    self.metrics.dhcp_failures += 1;
+                    self.dhcp_idle_until =
+                        self.dhcp_idle_until.max(now + self.cfg.spider.dhcp.idle_after_fail);
+                    if let Some(ap) = self.ifaces[iface_idx].ap {
+                        self.history.record_failure(self.aps[ap].mac.bssid(), now);
+                    }
+                    self.teardown_iface(iface_idx, now);
+                }
+            }
+        }
+    }
+
+    fn on_bound(
+        &mut self,
+        iface_idx: usize,
+        lease: Lease,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
+        let started = self.ifaces[iface_idx].join_started.expect("bound without a join start");
+        let join_time = now.saturating_since(started);
+        self.metrics.join_times.record_duration(join_time);
+        let ap = self.ifaces[iface_idx].ap.expect("bound without an AP");
+        let bssid = self.aps[ap].mac.bssid();
+        self.history.record_success(bssid, join_time);
+        self.history.store_lease(bssid, lease);
+        self.ifaces[iface_idx].state = IfaceState::Connected;
+        self.update_concurrency(now);
+        self.open_connection(iface_idx, ap, queue, now);
+    }
+
+    fn update_concurrency(&mut self, now: Instant) {
+        let connected =
+            self.ifaces.iter().filter(|i| i.state == IfaceState::Connected).count();
+        self.metrics.record_concurrency(now, connected);
+    }
+
+    fn teardown_iface(&mut self, iface_idx: usize, now: Instant) {
+        let iface = &mut self.ifaces[iface_idx];
+        if let (Some(ap), Some(conn)) = (iface.ap, iface.conn) {
+            self.aps[ap].senders.remove(&conn);
+        }
+        if let Some(dhcp) = iface.dhcp.as_mut() {
+            dhcp.abort();
+        }
+        iface.reset();
+        self.update_concurrency(now);
+    }
+
+    /// A frame arrived at the client's antenna: deliverable only if the
+    /// radio is tuned to the AP's channel and the PHY draw succeeds.
+    fn on_air_to_client(
+        &mut self,
+        ap: usize,
+        frame: Frame,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
+        let channel = self.aps[ap].site.channel;
+        if !self.radio.can_hear(channel, now) {
+            // The station left the channel while this frame was in flight.
+            // For a PSM station the AP's MAC-retry failure routes a data
+            // frame back into the power-save queue rather than dropping it.
+            if let FrameBody::Data(payload) = &frame.body {
+                let ok = self.aps[ap].mac.rebuffer_front(frame.addr1, payload.clone(), now);
+                if !ok && std::env::var("SPIDER_DEBUG_REBUF").is_ok() {
+                    eprintln!(
+                        "t={now} rebuffer FAILED ap={ap} assoc={} psm={} buffered={}",
+                        self.aps[ap].mac.is_associated(frame.addr1),
+                        self.aps[ap].mac.in_psm(frame.addr1),
+                        self.aps[ap].mac.buffered_for(frame.addr1)
+                    );
+                }
+            }
+            return;
+        }
+        let dist = self.distance_to(ap, now);
+        let len = frame.wire_len();
+        let is_data = matches!(frame.body, FrameBody::Data(_));
+        let delivery = if is_data {
+            self.cfg.phy.data_delivery_prob(dist, len)
+        } else {
+            self.cfg.phy.mgmt_delivery_prob(dist, len)
+        };
+        if !self.rng_phy.chance(delivery) {
+            return;
+        }
+        // Opportunistic scanning: every beacon/probe-response refreshes the
+        // candidate table.
+        if let FrameBody::Beacon(b) | FrameBody::ProbeResp(b) = &frame.body {
+            let rssi = self.cfg.phy.link_at(dist).rssi_dbm;
+            self.scan.insert(
+                frame.addr2,
+                Candidate { bssid: frame.addr2, channel: b.channel, rssi_dbm: rssi, last_heard: now },
+            );
+        }
+        // Route to the interface talking to this AP.
+        let Some(iface_idx) = self
+            .ifaces
+            .iter()
+            .position(|i| i.ap == Some(ap) && i.state != IfaceState::Idle)
+        else {
+            return;
+        };
+        if frame.addr1 != self.ifaces[iface_idx].addr && !frame.addr1.is_broadcast() {
+            return;
+        }
+        match &frame.body {
+            FrameBody::Data(payload) => {
+                let Some((proto, body)) = unwrap_proto(payload) else {
+                    return;
+                };
+                match proto {
+                    PROTO_UDP => {
+                        if let Ok(msg) = DhcpMessage::decode(&body) {
+                            if let Some(dhcp) = self.ifaces[iface_idx].dhcp.take() {
+                                let mut dhcp = dhcp;
+                                let actions = dhcp.handle_message(&msg, now);
+                                self.ifaces[iface_idx].dhcp = Some(dhcp);
+                                self.process_dhcp_actions(iface_idx, actions, queue, now);
+                            }
+                        }
+                    }
+                    PROTO_TCP => {
+                        if let Some(seg) = Segment::decode(&body) {
+                            self.on_client_segment(iface_idx, ap, seg, queue, now);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            _ => {
+                if let Some(mut mac) = self.ifaces[iface_idx].mac.take() {
+                    let actions = mac.handle_frame(&frame);
+                    self.ifaces[iface_idx].mac = Some(mac);
+                    self.process_mac_actions(iface_idx, actions, queue, now);
+                }
+            }
+        }
+    }
+
+    fn on_client_segment(
+        &mut self,
+        iface_idx: usize,
+        ap: usize,
+        seg: Segment,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
+        let Some(mut receiver) = self.ifaces[iface_idx].receiver.take() else {
+            return;
+        };
+        let actions = receiver.on_segment(&seg, now);
+        self.ifaces[iface_idx].receiver = Some(receiver);
+        for action in actions {
+            match action {
+                ReceiverAction::Transmit(ack) => {
+                    let station = self.ifaces[iface_idx].addr;
+                    let bssid = self.aps[ap].mac.bssid();
+                    let frame =
+                        Frame::data_to_ap(station, bssid, wrap_proto(PROTO_TCP, &ack.encode()));
+                    self.client_send(ap, frame, queue, now);
+                }
+                ReceiverAction::Deliver { bytes } => {
+                    self.metrics.record_bytes(now, bytes);
+                }
+                ReceiverAction::Finished => {}
+            }
+        }
+    }
+
+    /// Driver evaluation: tear down links to vanished APs, start new joins,
+    /// and (stock driver only) rotate channels while idle.
+    fn evaluate(&mut self, queue: &mut EventQueue<Event>, now: Instant) {
+        let loss_timeout = self.cfg.spider.ap_loss_timeout;
+        // 1. Teardown: APs unheard for too long (left range).
+        for idx in 0..self.ifaces.len() {
+            if self.ifaces[idx].state == IfaceState::Idle {
+                continue;
+            }
+            let Some(ap) = self.ifaces[idx].ap else {
+                continue;
+            };
+            let bssid = self.aps[ap].mac.bssid();
+            let heard_recently = self
+                .scan
+                .get(&bssid)
+                .is_some_and(|c| now.saturating_since(c.last_heard) <= loss_timeout);
+            if !heard_recently {
+                self.teardown_iface(idx, now);
+            }
+        }
+        // 2. Start joins on the current channel.
+        let started = self.try_start_joins(queue, now);
+        // 3. Idle scanning (stock driver and the adaptive extension): if
+        //    nothing is joined, joining, or joinable on this channel, move
+        //    the radio along to refresh the candidate table.
+        if matches!(
+            self.cfg.spider.schedule,
+            SchedulePolicy::ScanWhenIdle { .. } | SchedulePolicy::AdaptiveChannel { .. }
+        ) {
+            let any_busy = self.ifaces.iter().any(|i| i.state != IfaceState::Idle);
+            if !any_busy && started == 0 {
+                self.scan_channel_idx = (self.scan_channel_idx + 1) % wifi_mac::ORTHOGONAL.len();
+                let target = wifi_mac::ORTHOGONAL[self.scan_channel_idx];
+                let latency = self.radio.switch_to(target, now, 0, &mut self.rng_radio);
+                if !latency.is_zero() {
+                    self.metrics.switch_latencies.record_duration(latency);
+                }
+            }
+        }
+        queue.push(now + self.cfg.spider.evaluate_every, Event::Evaluate);
+    }
+
+    /// Begin joins toward the best unjoined candidates on the current
+    /// channel, within the interface budget. Returns how many started.
+    fn try_start_joins(&mut self, queue: &mut EventQueue<Event>, now: Instant) -> usize {
+        let budget = if self.cfg.spider.single_ap {
+            1usize.saturating_sub(
+                self.ifaces.iter().filter(|i| i.state != IfaceState::Idle).count(),
+            )
+        } else {
+            self.ifaces.iter().filter(|i| i.state == IfaceState::Idle).count()
+        };
+        if budget == 0 || self.radio.is_busy(now) || now < self.dhcp_idle_until {
+            return 0;
+        }
+        let candidates: Vec<Candidate> = self.scan.values().copied().collect();
+        let joined: Vec<MacAddr> = self
+            .ifaces
+            .iter()
+            .filter(|i| i.state != IfaceState::Idle)
+            .filter_map(|i| i.ap.map(|a| self.aps[a].mac.bssid()))
+            .collect();
+        let picks = select_aps(
+            &candidates,
+            self.radio.channel(),
+            self.cfg.spider.selection,
+            &self.history,
+            now,
+            Duration::from_secs(2),
+            self.cfg.spider.retry_backoff,
+            self.cfg.spider.min_join_rssi_dbm,
+            budget + joined.len(),
+        );
+        let mut started = 0;
+        for bssid in picks {
+            if started >= budget {
+                break;
+            }
+            if joined.contains(&bssid) {
+                continue;
+            }
+            let Some(&ap) = self.bssid_to_ap.get(&bssid) else {
+                continue;
+            };
+            let Some(idx) = self.ifaces.iter().position(|i| i.state == IfaceState::Idle)
+            else {
+                break;
+            };
+            let setup = self.cfg.spider.join_setup_delay;
+            if setup.is_zero() {
+                self.start_join(idx, ap, queue, now);
+            } else {
+                // Reserve the interface and defer the handshake by the
+                // scan/supplicant setup time (the stock path).
+                let iface = &mut self.ifaces[idx];
+                iface.state = IfaceState::Associating;
+                iface.gen += 1;
+                iface.ap = Some(ap);
+                iface.join_started = Some(now);
+                let gen = iface.gen;
+                queue.push(now + setup, Event::BeginJoin { iface: idx, gen, ap });
+            }
+            started += 1;
+        }
+        started
+    }
+
+    fn start_join(&mut self, iface_idx: usize, ap: usize, queue: &mut EventQueue<Event>, now: Instant) {
+        let bssid = self.aps[ap].mac.bssid();
+        let ssid = self.aps[ap].mac.config().ssid.clone();
+        // Opportunistic scanning just heard this AP; skip the probe phase.
+        let heard_just_now = self
+            .scan
+            .get(&bssid)
+            .is_some_and(|c| now.saturating_since(c.last_heard) <= Duration::from_secs(1));
+        let join_cfg = JoinConfig {
+            use_probe: !heard_just_now,
+            ..self.cfg.spider.join.clone()
+        };
+        let station = self.ifaces[iface_idx].addr;
+        let mut mac = ClientMac::new(station, bssid, ssid, join_cfg);
+        self.metrics.assoc_attempts += 1;
+        let actions = mac.start(now);
+        {
+            let iface = &mut self.ifaces[iface_idx];
+            iface.state = IfaceState::Associating;
+            iface.gen += 1;
+            iface.ap = Some(ap);
+            iface.join_started = Some(now);
+            iface.mac = Some(mac);
+        }
+        self.process_mac_actions(iface_idx, actions, queue, now);
+    }
+
+    /// Multi-channel schedule: enter PSM on the old channel, retune, wake
+    /// interfaces on the new channel.
+    fn schedule_slice(&mut self, idx: usize, queue: &mut EventQueue<Event>, now: Instant) {
+        let SchedulePolicy::MultiChannel { slices } = &self.cfg.spider.schedule else {
+            return;
+        };
+        let slices = slices.clone();
+        let (target, slice_len) = slices[idx % slices.len()];
+        let old = self.radio.channel();
+        if target != old {
+            // Announce power-save to every associated AP on the old channel.
+            // The radio keeps listening while these drain (the Table 1
+            // switch latency *includes* this phase), so the AP's in-flight
+            // downlink frames are not lost to the retune.
+            let psm_targets: Vec<(usize, MacAddr, MacAddr)> = self
+                .ifaces
+                .iter()
+                .filter(|i| i.state == IfaceState::Connected)
+                .filter_map(|i| i.ap.map(|a| (a, i.addr, self.aps[a].mac.bssid())))
+                .filter(|(a, _, _)| self.aps[*a].site.channel == old)
+                .collect();
+            let connected = psm_targets.len();
+            for (ap, station, bssid) in psm_targets {
+                let frame = Frame::psm_enter(station, bssid);
+                self.client_send(ap, frame, queue, now);
+            }
+            let grace =
+                Duration::from_micros(3_700) + Duration::from_micros(300) * connected as u64;
+            queue.push(now + grace, Event::SwitchBegin { target });
+        }
+        queue.push(now + slice_len, Event::ScheduleSlice { idx: idx + 1 });
+    }
+
+    fn on_switch_begin(
+        &mut self,
+        target: Channel,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
+        if target == self.radio.channel() {
+            return;
+        }
+        let connected = self
+            .ifaces
+            .iter()
+            .filter(|i| i.state == IfaceState::Connected)
+            .count();
+        let latency = self.radio.switch_to(target, now, connected, &mut self.rng_radio);
+        self.metrics.switch_latencies.record_duration(latency);
+        queue.push(now + latency, Event::SwitchDone);
+    }
+
+    fn on_switch_done(&mut self, queue: &mut EventQueue<Event>, now: Instant) {
+        // Wake every associated AP on the (new) current channel.
+        let channel = self.radio.channel();
+        let wake_targets: Vec<(usize, MacAddr, MacAddr)> = self
+            .ifaces
+            .iter()
+            .filter(|i| i.state == IfaceState::Connected)
+            .filter_map(|i| i.ap.map(|a| (a, i.addr, self.aps[a].mac.bssid())))
+            .filter(|(a, _, _)| self.aps[*a].site.channel == channel)
+            .collect();
+        for (ap, station, bssid) in wake_targets {
+            let frame = Frame::psm_exit(station, bssid);
+            self.client_send(ap, frame, queue, now);
+        }
+        // Swap in this channel's transmit queue: flush frames that waited
+        // out the off-channel period (dropping protocol-stale ones).
+        let pending = self.tx_queues.remove(&channel).unwrap_or_default();
+        for (queued_at, ap, frame) in pending {
+            if now.saturating_since(queued_at) <= Self::TX_QUEUE_TTL {
+                self.client_send(ap, frame, queue, now);
+            }
+        }
+        // Freshly on-channel with a whole slice ahead: the best moment to
+        // start joins (this is Spider's "parallel per-channel association").
+        self.try_start_joins(queue, now);
+    }
+
+    /// The §4.8 extension: periodically dwell on whichever orthogonal
+    /// channel offers the best-scoring fresh candidates. A switch tears
+    /// down current associations (we will not be coming back for their
+    /// PSM buffers), so the bar for moving is a strict improvement.
+    fn reconsider(&mut self, queue: &mut EventQueue<Event>, now: Instant) {
+        let SchedulePolicy::AdaptiveChannel { reconsider, .. } = self.cfg.spider.schedule
+        else {
+            return;
+        };
+        let freshness = Duration::from_secs(3);
+        let score_of = |ch: Channel, scan: &HashMap<MacAddr, Candidate>, history: &ApHistory| {
+            scan.values()
+                .filter(|c| c.channel == ch)
+                .filter(|c| now.saturating_since(c.last_heard) <= freshness)
+                .map(|c| history.score(c.bssid, now))
+                .sum::<f64>()
+        };
+        let current = self.radio.channel();
+        let current_score = score_of(current, &self.scan, &self.history);
+        let mut best = (current, current_score);
+        for ch in wifi_mac::ORTHOGONAL {
+            let s = score_of(ch, &self.scan, &self.history);
+            if s > best.1 {
+                best = (ch, s);
+            }
+        }
+        // Move only on a clear win: switching abandons live associations.
+        if best.0 != current && best.1 > current_score * 1.25 + 0.25 {
+            for idx in 0..self.ifaces.len() {
+                if self.ifaces[idx].state != IfaceState::Idle {
+                    self.teardown_iface(idx, now);
+                }
+            }
+            let latency = self.radio.switch_to(best.0, now, 0, &mut self.rng_radio);
+            self.metrics.switch_latencies.record_duration(latency);
+            queue.push(now + latency, Event::SwitchDone);
+        }
+        queue.push(now + reconsider, Event::Reconsider);
+    }
+
+    fn beacon_tick(&mut self, ap: usize, queue: &mut EventQueue<Event>, now: Instant) {
+        let dist = self.distance_to(ap, now);
+        let interval = self.aps[ap].mac.config().beacon_interval;
+        if dist <= 400.0 {
+            let frame = self.aps[ap].mac.beacon(now);
+            self.ap_send(ap, frame, Duration::ZERO, queue, now);
+            queue.push(now + interval, Event::BeaconTick { ap });
+        } else {
+            // Out of earshot: check back lazily instead of spamming events.
+            queue.push(now + Duration::from_secs(2), Event::BeaconTick { ap });
+        }
+    }
+
+    fn result(mut self) -> RunResult {
+        let d = self.cfg.duration;
+        self.metrics.record_concurrency(Instant::ZERO + d, 0);
+        let backhaul_drops: u64 =
+            self.aps.iter().map(|a| a.downlink.drops() + a.uplink.drops()).sum();
+        if std::env::var("SPIDER_DEBUG_BH").is_ok() {
+            for (i, a) in self.aps.iter().enumerate() {
+                eprintln!("ap={i} down_drops={} up_drops={}", a.downlink.drops(), a.uplink.drops());
+            }
+        }
+        let psm_drops: u64 = self.aps.iter().map(|a| a.mac.counters().psm_dropped).sum();
+        let unassociated_drops: u64 =
+            self.aps.iter().map(|a| a.mac.counters().unassociated_drops).sum();
+        RunResult {
+            duration: d,
+            total_bytes: self.metrics.total_bytes(),
+            avg_throughput_bps: self.metrics.avg_throughput_bps(d),
+            connectivity: self.metrics.connectivity(d),
+            connection_durations: self.metrics.connection_durations(d),
+            disruption_durations: self.metrics.disruption_durations(d),
+            instantaneous_bandwidth: self.metrics.instantaneous_bandwidth(d),
+            assoc_times: self.metrics.assoc_times.clone(),
+            join_times: self.metrics.join_times.clone(),
+            switch_latencies: self.metrics.switch_latencies.clone(),
+            dhcp_attempts: self.metrics.dhcp_attempts,
+            dhcp_failures: self.metrics.dhcp_failures,
+            assoc_attempts: self.metrics.assoc_attempts,
+            assoc_failures: self.metrics.assoc_failures,
+            switch_count: self.radio.switch_count(),
+            max_concurrent_aps: self.metrics.max_concurrent_aps,
+            concurrency_seconds: self.metrics.concurrency_seconds.clone(),
+            tcp_rtos: self.tcp_rtos,
+            backhaul_drops,
+            psm_drops,
+            unassociated_drops,
+            air_drops: self.air_drops,
+        }
+    }
+}
+
+impl Handler<Event> for World {
+    fn handle(&mut self, now: Instant, event: Event, queue: &mut EventQueue<Event>) {
+        match event {
+            Event::BeaconTick { ap } => self.beacon_tick(ap, queue, now),
+            Event::AirToClient { ap, frame } => self.on_air_to_client(ap, frame, queue, now),
+            Event::AirToAp { ap, frame } => {
+                let actions = {
+                    let node = &mut self.aps[ap];
+                    node.mac.on_frame(&frame, now, &mut self.rng_ap)
+                };
+                self.process_ap_actions(ap, actions, queue, now);
+            }
+            Event::MacTimer { iface, gen, token } => {
+                if self.ifaces[iface].gen != gen {
+                    return;
+                }
+                if let Some(mut mac) = self.ifaces[iface].mac.take() {
+                    let actions = mac.handle_timer(token);
+                    self.ifaces[iface].mac = Some(mac);
+                    self.process_mac_actions(iface, actions, queue, now);
+                }
+            }
+            Event::DhcpTimer { iface, gen, token } => {
+                if self.ifaces[iface].gen != gen {
+                    return;
+                }
+                if let Some(mut dhcp) = self.ifaces[iface].dhcp.take() {
+                    let actions = dhcp.handle_timer(token, now);
+                    self.ifaces[iface].dhcp = Some(dhcp);
+                    self.process_dhcp_actions(iface, actions, queue, now);
+                }
+            }
+            Event::SenderTimer { ap, conn, token } => {
+                let actions = match self.aps[ap].senders.get_mut(&conn) {
+                    Some(sender) => sender.on_timer(token, now),
+                    None => return,
+                };
+                if actions.iter().any(|a| matches!(a, SenderAction::Transmit(_))) {
+                    self.tcp_rtos += 1;
+                    if std::env::var("SPIDER_DEBUG_RTO").is_ok() {
+                        let s = self.aps[ap].senders.get(&conn);
+                        eprintln!("RTO at {now} conn={conn} srtt={:?} cwnd={:?}",
+                            s.and_then(|x| x.srtt()), s.map(|x| x.cwnd()));
+                    }
+                }
+                self.process_sender_actions(ap, conn, actions, queue, now);
+            }
+            Event::BackhaulToAp { ap, payload } => {
+                // A TCP segment for our client: find which interface.
+                let Some((_, body)) = unwrap_proto(&payload) else {
+                    return;
+                };
+                let Some(seg) = Segment::decode(&body) else {
+                    return;
+                };
+                let Some(iface_idx) = self
+                    .ifaces
+                    .iter()
+                    .position(|i| i.conn == Some(seg.conn) && i.ap == Some(ap))
+                else {
+                    return;
+                };
+                let station = self.ifaces[iface_idx].addr;
+                let actions = self.aps[ap].mac.deliver_downlink(station, payload, now);
+                self.process_ap_actions(ap, actions, queue, now);
+            }
+            Event::BackhaulToServer { ap, payload } => {
+                let Some(seg) = Segment::decode(&payload) else {
+                    return;
+                };
+                let actions = match self.aps[ap].senders.get_mut(&seg.conn) {
+                    Some(sender) => sender.on_segment(&seg, now),
+                    None => return,
+                };
+                self.process_sender_actions(ap, seg.conn, actions, queue, now);
+            }
+            Event::DhcpReplyReady { ap, station, payload } => {
+                let actions = self.aps[ap].mac.deliver_downlink(station, payload, now);
+                self.process_ap_actions(ap, actions, queue, now);
+            }
+            Event::ScheduleSlice { idx } => self.schedule_slice(idx, queue, now),
+            Event::SwitchBegin { target } => self.on_switch_begin(target, queue, now),
+            Event::SwitchDone => self.on_switch_done(queue, now),
+            Event::Evaluate => self.evaluate(queue, now),
+            Event::Reconsider => self.reconsider(queue, now),
+            Event::NextObject { iface, gen, ap } => {
+                if self.ifaces[iface].gen != gen
+                    || self.ifaces[iface].state != IfaceState::Connected
+                {
+                    return;
+                }
+                self.open_connection(iface, ap, queue, now);
+            }
+            Event::BeginJoin { iface, gen, ap } => {
+                if self.ifaces[iface].gen != gen {
+                    return;
+                }
+                // The candidate must still be around after the setup delay.
+                let bssid = self.aps[ap].mac.bssid();
+                let fresh = self
+                    .scan
+                    .get(&bssid)
+                    .is_some_and(|c| now.saturating_since(c.last_heard) <= Duration::from_secs(3));
+                if fresh {
+                    self.ifaces[iface].state = IfaceState::Idle;
+                    self.start_join(iface, ap, queue, now);
+                } else {
+                    self.teardown_iface(iface, now);
+                }
+            }
+            Event::Maintenance => {
+                if std::env::var("SPIDER_DEBUG_MEDIUM").is_ok() {
+                    for (ch, free) in &self.medium {
+                        eprintln!(
+                            "t={now} medium {ch} backlog={} down={}f/{} up={}f/{}",
+                            free.saturating_since(now),
+                            self.dbg_down_frames,
+                            self.dbg_down_airtime,
+                            self.dbg_up_frames,
+                            self.dbg_up_airtime
+                        );
+                    }
+                }
+                if std::env::var("SPIDER_DEBUG_TCP").is_ok() {
+                    for (i, apn) in self.aps.iter().enumerate() {
+                        for (c, snd) in &apn.senders {
+                            eprintln!(
+                                "t={now} ap={i} conn={c} cwnd={} flight={} srtt={:?} fr={} rto_cnt={} acked={} pump={} retx={}",
+                                snd.cwnd(), snd.flight_bytes(), snd.srtt(), snd.fast_retransmit_count(),
+                                snd.timeout_count(), snd.bytes_acked(), snd.dbg_pump, snd.dbg_retx
+                            );
+                        }
+                    }
+                }
+                for ap in 0..self.aps.len() {
+                    let actions = self.aps[ap].mac.expire_idle(now);
+                    self.process_ap_actions(ap, actions, queue, now);
+                }
+                queue.push(now + Duration::from_secs(1), Event::Maintenance);
+            }
+        }
+    }
+}
+
+fn wrap_proto(proto: u8, body: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 + body.len());
+    buf.put_u8(proto);
+    buf.put_slice(body);
+    buf.freeze()
+}
+
+fn unwrap_proto(payload: &[u8]) -> Option<(u8, Bytes)> {
+    if payload.is_empty() {
+        return None;
+    }
+    Some((payload[0], Bytes::copy_from_slice(&payload[1..])))
+}
+
+/// Run one experiment to completion.
+pub fn run(config: WorldConfig) -> RunResult {
+    let duration = config.duration;
+    let (mut world, mut queue) = World::new(config);
+    run_until(&mut queue, &mut world, Instant::ZERO + duration);
+    world.result()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobility::route::Route;
+
+    fn site(id: u32, x: f64, channel: Channel, backhaul_bps: u64) -> ApSite {
+        ApSite {
+            id,
+            position: Point::new(x, 0.0),
+            channel,
+            backhaul_bps,
+            dhcp_delay_min: Duration::from_millis(100),
+            dhcp_delay_max: Duration::from_millis(400),
+        }
+    }
+
+    fn static_world(sites: Vec<ApSite>, spider: SpiderConfig, secs: u64) -> WorldConfig {
+        WorldConfig::new(
+            42,
+            sites,
+            ClientMotion::Fixed(Point::new(0.0, 10.0)),
+            spider,
+            Duration::from_secs(secs),
+        )
+    }
+
+    #[test]
+    fn stationary_client_joins_and_transfers() {
+        let cfg = static_world(
+            vec![site(1, 0.0, Channel::CH1, 2_000_000)],
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            30,
+        );
+        let result = run(cfg);
+        assert_eq!(result.assoc_failures, 0, "clean channel at 10 m must associate");
+        assert!(result.join_times.count() >= 1, "no successful join");
+        assert!(result.total_bytes > 100_000, "only {} bytes", result.total_bytes);
+        // 2 Mb/s backhaul = 250 kB/s ceiling; TCP should get most of it.
+        let kbps = result.avg_throughput_kbps();
+        assert!((100.0..260.0).contains(&kbps), "throughput {kbps} kB/s");
+        assert!(result.connectivity > 0.8, "connectivity {}", result.connectivity);
+    }
+
+    #[test]
+    fn two_aps_on_one_channel_aggregate_backhaul() {
+        // The Fig. 9 effect: two 2 Mb/s backhauls on one channel ≈ double
+        // the single-AP throughput.
+        let one = run(static_world(
+            vec![site(1, 0.0, Channel::CH1, 2_000_000)],
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            30,
+        ));
+        let two = run(static_world(
+            vec![site(1, 0.0, Channel::CH1, 2_000_000), site(2, 5.0, Channel::CH1, 2_000_000)],
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            30,
+        ));
+        assert!(two.max_concurrent_aps >= 2, "did not hold 2 concurrent APs");
+        let ratio = two.avg_throughput_bps / one.avg_throughput_bps;
+        assert!(
+            (1.5..2.5).contains(&ratio),
+            "aggregation ratio {ratio}: one {} two {}",
+            one.avg_throughput_kbps(),
+            two.avg_throughput_kbps()
+        );
+    }
+
+    #[test]
+    fn single_ap_config_never_holds_two() {
+        let result = run(static_world(
+            vec![site(1, 0.0, Channel::CH1, 2_000_000), site(2, 5.0, Channel::CH1, 2_000_000)],
+            SpiderConfig::single_channel_single_ap(Channel::CH1),
+            20,
+        ));
+        assert_eq!(result.max_concurrent_aps, 1);
+    }
+
+    #[test]
+    fn wrong_channel_yields_nothing() {
+        let result = run(static_world(
+            vec![site(1, 0.0, Channel::CH6, 2_000_000)],
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            10,
+        ));
+        assert_eq!(result.total_bytes, 0);
+        assert_eq!(result.join_times.count(), 0);
+    }
+
+    #[test]
+    fn multi_channel_schedule_switches_and_transfers() {
+        let result = run(static_world(
+            vec![site(1, 0.0, Channel::CH1, 2_000_000), site(2, 5.0, Channel::CH6, 2_000_000)],
+            SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)),
+            30,
+        ));
+        assert!(result.switch_count > 50, "only {} switches", result.switch_count);
+        assert!(result.switch_latencies.count() > 0);
+        assert!(result.total_bytes > 0, "no data through a multi-channel schedule");
+    }
+
+    #[test]
+    fn stock_driver_scans_joins_and_transfers() {
+        let result = run(static_world(
+            vec![site(1, 0.0, Channel::CH6, 2_000_000)],
+            SpiderConfig::stock_madwifi(),
+            40,
+        ));
+        // The idle scan must find channel 6 and camp there.
+        assert!(result.join_times.count() >= 1, "stock driver never joined");
+        assert!(result.total_bytes > 0);
+        assert_eq!(result.max_concurrent_aps, 1);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            run(static_world(
+                vec![site(1, 0.0, Channel::CH1, 2_000_000), site(2, 5.0, Channel::CH1, 1_000_000)],
+                SpiderConfig::single_channel_multi_ap(Channel::CH1),
+                15,
+            ))
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.total_bytes, b.total_bytes);
+        assert_eq!(a.dhcp_attempts, b.dhcp_attempts);
+        assert_eq!(a.switch_count, b.switch_count);
+    }
+
+    #[test]
+    fn drive_by_produces_bounded_encounter() {
+        // A vehicle passing one AP at 10 m/s: data flows only near it.
+        let route = Route::straight(Point::new(-1000.0, 0.0), Point::new(1000.0, 0.0));
+        let vehicle = Vehicle::new(route, 10.0, Instant::ZERO);
+        let cfg = WorldConfig::new(
+            7,
+            vec![site(1, 0.0, Channel::CH1, 4_000_000)],
+            ClientMotion::Route(vehicle),
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            Duration::from_secs(200),
+        );
+        let result = run(cfg);
+        assert!(result.join_times.count() >= 1, "drive-by never joined");
+        assert!(result.total_bytes > 0);
+        // Connectivity is bounded by the encounter window (~20 s of 200 s).
+        assert!(
+            result.connectivity < 0.35,
+            "connectivity {} too high for a drive-by",
+            result.connectivity
+        );
+        let mut disruptions = result.disruption_durations.clone();
+        assert!(disruptions.quantile(1.0) > 50.0, "should see a long disruption");
+    }
+
+    #[test]
+    fn psm_aging_punishes_long_absences() {
+        // Same world, two slice lengths: short slices stay inside the AP's
+        // ~256 ms power-save aging horizon, long ones do not.
+        let mk = |slice_ms: u64| {
+            let mut spider = SpiderConfig::single_channel_multi_ap(Channel::CH1);
+            spider.schedule = SchedulePolicy::equal_three(Duration::from_millis(slice_ms));
+            run(static_world(
+                vec![site(1, 0.0, Channel::CH1, 4_000_000)],
+                spider,
+                40,
+            ))
+        };
+        let short = mk(66);
+        let long = mk(333);
+        assert!(
+            short.total_bytes > 3 * long.total_bytes,
+            "66 ms slices ({}) must far out-deliver 333 ms ({})",
+            short.total_bytes,
+            long.total_bytes
+        );
+        assert!(long.psm_drops > 0, "long absences must age PSM frames out");
+    }
+
+    #[test]
+    fn rssi_floor_gates_far_joins() {
+        // An AP at 120 m is audible (beacons decode sometimes) but below
+        // the −85 dBm join floor; the driver must not attempt it.
+        let far = ApSite {
+            id: 1,
+            position: Point::new(0.0, 120.0),
+            channel: Channel::CH1,
+            backhaul_bps: 2_000_000,
+            dhcp_delay_min: Duration::from_millis(100),
+            dhcp_delay_max: Duration::from_millis(300),
+        };
+        let gated = run(WorldConfig::new(
+            42,
+            vec![far.clone()],
+            ClientMotion::Fixed(Point::new(0.0, 0.0)),
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            Duration::from_secs(20),
+        ));
+        assert_eq!(gated.assoc_attempts, 0, "far AP must not be attempted");
+        // Lowering the floor re-enables the attempt.
+        let mut greedy_cfg = SpiderConfig::single_channel_multi_ap(Channel::CH1);
+        greedy_cfg.min_join_rssi_dbm = -200.0;
+        let greedy = run(WorldConfig::new(
+            42,
+            vec![far],
+            ClientMotion::Fixed(Point::new(0.0, 0.0)),
+            greedy_cfg,
+            Duration::from_secs(20),
+        ));
+        assert!(greedy.assoc_attempts > 0, "without the floor the driver tries");
+    }
+
+    #[test]
+    fn stock_setup_delay_postpones_the_join() {
+        // With a 10 s scan/supplicant dead time, no join can complete in
+        // the first 10 s.
+        let result = run(static_world(
+            vec![site(1, 0.0, Channel::CH6, 2_000_000)],
+            SpiderConfig::stock_madwifi(),
+            40,
+        ));
+        assert!(result.join_times.count() >= 1, "stock must eventually join");
+        // First delivery can't precede the setup delay: connectivity over
+        // 40 s is bounded accordingly.
+        assert!(
+            result.connectivity < 0.75,
+            "setup delay must cost early seconds: connectivity {}",
+            result.connectivity
+        );
+    }
+
+    #[test]
+    fn segmented_plan_paces_the_download() {
+        // A streaming plan (1 MB objects, 4 s think) must move data in
+        // bursts and far less of it than a saturating plan.
+        let mut cfg = static_world(
+            vec![site(1, 0.0, Channel::CH1, 4_000_000)],
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            40,
+        );
+        cfg.plan = workload::downloads::DownloadPlan::Segmented {
+            object_bytes: 1_000_000,
+            think: Duration::from_secs(4),
+        };
+        let segmented = run(cfg);
+        let saturating = run(static_world(
+            vec![site(1, 0.0, Channel::CH1, 4_000_000)],
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            40,
+        ));
+        assert!(segmented.total_bytes > 1_000_000, "streams some objects");
+        assert!(
+            segmented.total_bytes < saturating.total_bytes,
+            "think time must reduce volume: {} vs {}",
+            segmented.total_bytes,
+            saturating.total_bytes
+        );
+        // Think pauses show as sub-full connectivity.
+        assert!(segmented.connectivity < saturating.connectivity);
+    }
+
+    #[test]
+    fn adaptive_channel_follows_the_aps() {
+        // All APs on channel 11; the adaptive policy must discover that and
+        // move off its initial channel 1 to transfer data.
+        let result = run(static_world(
+            vec![site(1, 0.0, Channel::CH11, 2_000_000), site(2, 5.0, Channel::CH11, 2_000_000)],
+            SpiderConfig::adaptive_channel(),
+            40,
+        ));
+        assert!(result.join_times.count() >= 1, "adaptive policy never joined");
+        assert!(result.total_bytes > 0, "adaptive policy moved no data");
+    }
+
+    #[test]
+    fn adaptive_channel_stays_when_home_is_best() {
+        // Candidates only on channel 1: the policy must not wander off and
+        // lose throughput relative to a pinned single channel.
+        let pinned = run(static_world(
+            vec![site(1, 0.0, Channel::CH1, 2_000_000)],
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            40,
+        ));
+        let adaptive = run(static_world(
+            vec![site(1, 0.0, Channel::CH1, 2_000_000)],
+            SpiderConfig::adaptive_channel(),
+            40,
+        ));
+        assert!(
+            adaptive.total_bytes as f64 > 0.7 * pinned.total_bytes as f64,
+            "adaptive {} vs pinned {} bytes",
+            adaptive.total_bytes,
+            pinned.total_bytes
+        );
+    }
+
+    #[test]
+    fn ablation_configs_run() {
+        for spider in [
+            SpiderConfig::ablate_history(Channel::CH1),
+            SpiderConfig::ablate_lease_cache(Channel::CH1),
+            SpiderConfig::ablate_reduced_timers(Channel::CH1),
+            SpiderConfig::ablate_parallel_join(Channel::CH1),
+        ] {
+            let result = run(static_world(
+                vec![site(1, 0.0, Channel::CH1, 2_000_000)],
+                spider,
+                20,
+            ));
+            assert!(result.total_bytes > 0, "ablation config moved no data");
+        }
+    }
+
+    #[test]
+    fn backhaul_is_the_bottleneck_not_the_air() {
+        // 500 kb/s backhaul vs 11 Mb/s air: throughput pins near the
+        // backhaul rate (Reno over a 64-packet drop-tail queue with a
+        // 256 kB window runs in persistent deep congestion, so utilization
+        // sits well below 100% — but far above what the air would limit).
+        let result = run(static_world(
+            vec![site(1, 0.0, Channel::CH1, 500_000)],
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            30,
+        ));
+        let kbps = result.avg_throughput_kbps();
+        assert!((15.0..70.0).contains(&kbps), "throughput {kbps} kB/s vs 62.5 cap");
+        // The air could carry ~20× more; the wired side is the bottleneck.
+        assert!(result.backhaul_drops > 0 || kbps > 40.0);
+    }
+}

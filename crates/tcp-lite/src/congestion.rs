@@ -1,0 +1,258 @@
+//! Reno congestion control (RFC 5681).
+//!
+//! Slow start, congestion avoidance, fast retransmit / fast recovery, and
+//! the timeout collapse to one segment. The collapse + slow-start restart
+//! is the mechanism behind Fig. 8's non-monotonic throughput curve: longer
+//! off-channel absences don't just pause a flow, they reset its window.
+
+/// Congestion-control phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Exponential window growth below `ssthresh`.
+    SlowStart,
+    /// Linear (AIMD) growth above `ssthresh`.
+    CongestionAvoidance,
+    /// Between a fast retransmit and the ACK of the recovery point.
+    FastRecovery,
+}
+
+/// Reno congestion controller, windows in bytes.
+#[derive(Debug, Clone)]
+pub struct Reno {
+    mss: u32,
+    cwnd: u64,
+    ssthresh: u64,
+    phase: Phase,
+    dup_acks: u32,
+}
+
+/// What the controller tells the sender to do after an ACK event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CcAction {
+    /// Keep sending within the (possibly grown) window.
+    None,
+    /// Retransmit the first unacknowledged segment now (3rd duplicate ACK).
+    FastRetransmit,
+}
+
+impl Reno {
+    /// Initial window per RFC 5681 (min(4·MSS, max(2·MSS, 4380)) ≈ 3·MSS
+    /// for a 1460 MSS; we use the common 2·MSS for an 802.11-era stack).
+    pub fn new(mss: u32) -> Reno {
+        assert!(mss > 0, "Reno: zero MSS");
+        Reno {
+            mss,
+            cwnd: 2 * mss as u64,
+            // A bounded initial threshold (many stacks use ~64 kB) keeps
+            // the first slow-start burst from blowing straight through a
+            // small drop-tail queue.
+            ssthresh: 64 * 1024,
+            phase: Phase::SlowStart,
+            dup_acks: 0,
+        }
+    }
+
+    /// Current congestion window in bytes.
+    pub fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    /// Current slow-start threshold in bytes.
+    pub fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Consecutive duplicate-ACK count.
+    pub fn dup_acks(&self) -> u32 {
+        self.dup_acks
+    }
+
+    /// A new cumulative ACK arrived covering `acked_bytes` fresh bytes,
+    /// with `flight` bytes outstanding before the ACK.
+    pub fn on_new_ack(&mut self, acked_bytes: u64) -> CcAction {
+        self.dup_acks = 0;
+        match self.phase {
+            Phase::SlowStart => {
+                self.cwnd += acked_bytes.min(self.mss as u64);
+                if self.cwnd >= self.ssthresh {
+                    self.phase = Phase::CongestionAvoidance;
+                }
+            }
+            Phase::CongestionAvoidance => {
+                // cwnd += MSS·MSS/cwnd per ACK ≈ one MSS per RTT.
+                let inc = (self.mss as u64 * self.mss as u64 / self.cwnd).max(1);
+                self.cwnd += inc;
+            }
+            Phase::FastRecovery => {
+                // Recovery point acknowledged: deflate to ssthresh.
+                self.cwnd = self.ssthresh;
+                self.phase = Phase::CongestionAvoidance;
+            }
+        }
+        CcAction::None
+    }
+
+    /// NewReno (RFC 6582): a *partial* ACK during fast recovery — it
+    /// acknowledges new data but not the whole pre-loss window, meaning
+    /// another segment was lost. Deflate by the acknowledged amount,
+    /// re-inflate by one MSS, and stay in recovery; the caller retransmits
+    /// the next hole immediately instead of waiting for an RTO.
+    pub fn on_partial_ack(&mut self, acked_bytes: u64) {
+        debug_assert_eq!(self.phase, Phase::FastRecovery, "partial ACK outside recovery");
+        self.cwnd = self.cwnd.saturating_sub(acked_bytes).max(self.mss as u64)
+            + self.mss as u64;
+    }
+
+    /// A duplicate ACK arrived with `flight` bytes outstanding.
+    pub fn on_dup_ack(&mut self, flight: u64) -> CcAction {
+        match self.phase {
+            Phase::FastRecovery => {
+                // Window inflation: each dup ACK signals a departure.
+                self.cwnd += self.mss as u64;
+                CcAction::None
+            }
+            _ => {
+                self.dup_acks += 1;
+                if self.dup_acks == 3 {
+                    self.ssthresh = (flight / 2).max(2 * self.mss as u64);
+                    self.cwnd = self.ssthresh + 3 * self.mss as u64;
+                    self.phase = Phase::FastRecovery;
+                    CcAction::FastRetransmit
+                } else {
+                    CcAction::None
+                }
+            }
+        }
+    }
+
+    /// A retransmission timeout fired with `flight` bytes outstanding:
+    /// collapse to one segment and restart slow start (RFC 5681 §3.1).
+    pub fn on_timeout(&mut self, flight: u64) {
+        self.ssthresh = (flight / 2).max(2 * self.mss as u64);
+        self.cwnd = self.mss as u64;
+        self.phase = Phase::SlowStart;
+        self.dup_acks = 0;
+    }
+
+    /// Undo a timeout that F-RTO detection proved spurious: restore the
+    /// saved window state and resume congestion avoidance (RFC 5682's
+    /// response, simplified).
+    pub fn undo_timeout(&mut self, cwnd: u64, ssthresh: u64) {
+        self.cwnd = cwnd;
+        self.ssthresh = ssthresh;
+        self.phase = Phase::CongestionAvoidance;
+        self.dup_acks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1460;
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut cc = Reno::new(MSS);
+        let start = cc.cwnd();
+        // One RTT's worth of ACKs: every in-flight segment acknowledged.
+        let segments = start / MSS as u64;
+        for _ in 0..segments {
+            cc.on_new_ack(MSS as u64);
+        }
+        assert_eq!(cc.cwnd(), 2 * start);
+        assert_eq!(cc.phase(), Phase::SlowStart);
+    }
+
+    #[test]
+    fn slow_start_exits_at_ssthresh() {
+        let mut cc = Reno::new(MSS);
+        cc.ssthresh = 8 * MSS as u64;
+        while cc.phase() == Phase::SlowStart {
+            cc.on_new_ack(MSS as u64);
+        }
+        assert!(cc.cwnd() >= cc.ssthresh());
+        assert_eq!(cc.phase(), Phase::CongestionAvoidance);
+    }
+
+    #[test]
+    fn congestion_avoidance_grows_one_mss_per_rtt() {
+        let mut cc = Reno::new(MSS);
+        cc.ssthresh = 2 * MSS as u64; // immediately in CA
+        cc.on_new_ack(MSS as u64);
+        assert_eq!(cc.phase(), Phase::CongestionAvoidance);
+        let w0 = cc.cwnd();
+        let acks_per_rtt = w0 / MSS as u64;
+        for _ in 0..acks_per_rtt {
+            cc.on_new_ack(MSS as u64);
+        }
+        let grown = cc.cwnd() - w0;
+        assert!(
+            (grown as i64 - MSS as i64).abs() <= MSS as i64 / 4,
+            "grew {grown} bytes in one RTT, want ≈ {MSS}"
+        );
+    }
+
+    #[test]
+    fn triple_dup_ack_triggers_fast_retransmit() {
+        let mut cc = Reno::new(MSS);
+        let flight = 10 * MSS as u64;
+        assert_eq!(cc.on_dup_ack(flight), CcAction::None);
+        assert_eq!(cc.on_dup_ack(flight), CcAction::None);
+        assert_eq!(cc.on_dup_ack(flight), CcAction::FastRetransmit);
+        assert_eq!(cc.phase(), Phase::FastRecovery);
+        assert_eq!(cc.ssthresh(), 5 * MSS as u64);
+        assert_eq!(cc.cwnd(), (5 + 3) * MSS as u64);
+    }
+
+    #[test]
+    fn fast_recovery_inflates_then_deflates() {
+        let mut cc = Reno::new(MSS);
+        let flight = 10 * MSS as u64;
+        for _ in 0..3 {
+            cc.on_dup_ack(flight);
+        }
+        let inflated = cc.cwnd();
+        cc.on_dup_ack(flight);
+        assert_eq!(cc.cwnd(), inflated + MSS as u64);
+        cc.on_new_ack(4 * MSS as u64);
+        assert_eq!(cc.cwnd(), cc.ssthresh());
+        assert_eq!(cc.phase(), Phase::CongestionAvoidance);
+    }
+
+    #[test]
+    fn timeout_collapses_to_one_mss() {
+        let mut cc = Reno::new(MSS);
+        for _ in 0..20 {
+            cc.on_new_ack(MSS as u64);
+        }
+        let flight = cc.cwnd();
+        cc.on_timeout(flight);
+        assert_eq!(cc.cwnd(), MSS as u64);
+        assert_eq!(cc.ssthresh(), flight / 2);
+        assert_eq!(cc.phase(), Phase::SlowStart);
+    }
+
+    #[test]
+    fn ssthresh_floor_is_two_mss() {
+        let mut cc = Reno::new(MSS);
+        cc.on_timeout(MSS as u64); // tiny flight
+        assert_eq!(cc.ssthresh(), 2 * MSS as u64);
+    }
+
+    #[test]
+    fn new_ack_resets_dup_count() {
+        let mut cc = Reno::new(MSS);
+        cc.on_dup_ack(10 * MSS as u64);
+        cc.on_dup_ack(10 * MSS as u64);
+        cc.on_new_ack(MSS as u64);
+        assert_eq!(cc.dup_acks(), 0);
+        // Needs three more dups to retransmit again.
+        assert_eq!(cc.on_dup_ack(10 * MSS as u64), CcAction::None);
+    }
+}

@@ -1,0 +1,33 @@
+//! # tcp-lite
+//!
+//! A lightweight but real Reno TCP for the Spider (CoNEXT 2011)
+//! reproduction.
+//!
+//! The paper's throughput results (Figs. 7–8 and every Table 2 number) are
+//! shaped by TCP mechanics interacting with the channel schedule: time
+//! spent off-channel stalls ACK clocks, fires retransmission timeouts,
+//! collapses congestion windows, and restarts slow start. This crate
+//! implements exactly those mechanics:
+//!
+//! * [`seq`] — RFC 793 circular sequence arithmetic.
+//! * [`segment`] — segments with virtual payloads and honest wire sizes.
+//! * [`rtt`] — RFC 6298 SRTT/RTTVAR/RTO with exponential backoff.
+//! * [`congestion`] — RFC 5681 Reno: slow start, congestion avoidance,
+//!   fast retransmit/recovery, timeout collapse.
+//! * [`connection`] — the bulk-download sender/receiver pair used by every
+//!   experiment's workload.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod congestion;
+pub mod connection;
+pub mod rtt;
+pub mod segment;
+pub mod seq;
+
+pub use congestion::{CcAction, Phase, Reno};
+pub use connection::{BulkReceiver, BulkSender, ReceiverAction, SenderAction, TcpConfig};
+pub use rtt::RttEstimator;
+pub use segment::Segment;
+pub use seq::SeqNum;

@@ -1,0 +1,168 @@
+//! Round-trip-time estimation and retransmission timeout (RFC 6298).
+//!
+//! The paper's Figs. 7–8 hinge on exactly this machinery: a channel
+//! schedule that parks the radio elsewhere for longer than the RTO makes
+//! the sender time out, collapse its window, and back the timer off
+//! exponentially — "10–15 TCP timeouts" fit inside one median DHCP join.
+
+use sim_engine::time::Duration;
+
+/// RTT estimator state.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<Duration>,
+    rttvar: Duration,
+    rto: Duration,
+    /// Exponential backoff multiplier applied after timeouts (reset by a
+    /// fresh sample).
+    backoff: u32,
+    min_rto: Duration,
+    max_rto: Duration,
+}
+
+impl RttEstimator {
+    /// RFC 6298 initial RTO of 1 s; Linux-style 200 ms floor by default.
+    pub fn new() -> RttEstimator {
+        RttEstimator::with_bounds(Duration::from_millis(200), Duration::from_secs(60))
+    }
+
+    /// Estimator with explicit RTO clamps.
+    pub fn with_bounds(min_rto: Duration, max_rto: Duration) -> RttEstimator {
+        RttEstimator {
+            srtt: None,
+            rttvar: Duration::ZERO,
+            rto: Duration::from_secs(1),
+            backoff: 0,
+            min_rto,
+            max_rto,
+        }
+    }
+
+    /// Smoothed RTT, if at least one sample was taken.
+    pub fn srtt(&self) -> Option<Duration> {
+        self.srtt
+    }
+
+    /// The current retransmission timeout (with backoff applied).
+    pub fn rto(&self) -> Duration {
+        let shift = self.backoff.min(16);
+        let backed_off = self
+            .rto
+            .checked_mul(1u64 << shift)
+            .unwrap_or(self.max_rto);
+        backed_off.clamp(self.min_rto, self.max_rto)
+    }
+
+    /// Incorporate a new RTT sample (Karn-safe: callers must only sample
+    /// segments that were not retransmitted). Resets timeout backoff.
+    pub fn sample(&mut self, rtt: Duration) {
+        match self.srtt {
+            None => {
+                // First measurement: SRTT = R, RTTVAR = R/2.
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2;
+            }
+            Some(srtt) => {
+                // RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − R|
+                let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
+                self.rttvar = (self.rttvar * 3 + err) / 4;
+                // SRTT = 7/8·SRTT + 1/8·R
+                self.srtt = Some((srtt * 7 + rtt) / 8);
+            }
+        }
+        let srtt = self.srtt.expect("just set");
+        // RTO = SRTT + max(floor, 4·RTTVAR). Like Linux, the floor applies
+        // to the *margin*, not the whole RTO — otherwise a low-variance
+        // flow ends up with RTO ≈ SRTT and any scheduling hiccup (e.g. a
+        // PSM absence) fires a spurious timeout.
+        self.rto = (srtt + (self.rttvar * 4).max(self.min_rto)).min(self.max_rto);
+        self.backoff = 0;
+    }
+
+    /// Register a retransmission timeout: double the RTO (exponential
+    /// backoff), up to the maximum.
+    pub fn on_timeout(&mut self) {
+        self.backoff = self.backoff.saturating_add(1);
+    }
+
+    /// Current backoff exponent (diagnostics).
+    pub fn backoff(&self) -> u32 {
+        self.backoff
+    }
+}
+
+impl Default for RttEstimator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        let est = RttEstimator::new();
+        assert_eq!(est.rto(), Duration::from_secs(1));
+        assert!(est.srtt().is_none());
+    }
+
+    #[test]
+    fn first_sample_sets_srtt_and_var() {
+        let mut est = RttEstimator::new();
+        est.sample(Duration::from_millis(100));
+        assert_eq!(est.srtt(), Some(Duration::from_millis(100)));
+        // RTO = 100 + 4·50 = 300 ms.
+        assert_eq!(est.rto(), Duration::from_millis(300));
+    }
+
+    #[test]
+    fn steady_rtt_keeps_margin_floor() {
+        let mut est = RttEstimator::new();
+        for _ in 0..100 {
+            est.sample(Duration::from_millis(40));
+        }
+        // RTTVAR decays toward 0; the RTO keeps the 200 ms margin above
+        // SRTT (Linux semantics), so RTO → 40 + 200 = 240 ms.
+        assert_eq!(est.rto(), Duration::from_millis(240));
+        let srtt = est.srtt().unwrap();
+        assert!((srtt.as_millis() as i64 - 40).abs() <= 1);
+    }
+
+    #[test]
+    fn variance_tracks_jitter() {
+        let mut est = RttEstimator::new();
+        for i in 0..50 {
+            let rtt = if i % 2 == 0 { 50 } else { 250 };
+            est.sample(Duration::from_millis(rtt));
+        }
+        // High jitter ⇒ RTO well above the mean RTT.
+        assert!(est.rto() > Duration::from_millis(300));
+    }
+
+    #[test]
+    fn timeout_backoff_doubles_and_sample_resets() {
+        let mut est = RttEstimator::new();
+        est.sample(Duration::from_millis(100)); // RTO 300 ms
+        est.on_timeout();
+        assert_eq!(est.rto(), Duration::from_millis(600));
+        est.on_timeout();
+        assert_eq!(est.rto(), Duration::from_millis(1200));
+        est.sample(Duration::from_millis(100));
+        // RTTVAR decayed to 37.5 ms; the margin floor holds at 200 ms:
+        // RTO = 100 + max(200, 150) = 300 ms, and the backoff is gone.
+        assert_eq!(est.rto(), Duration::from_millis(300));
+        assert_eq!(est.backoff(), 0);
+    }
+
+    #[test]
+    fn backoff_saturates_at_max_rto() {
+        let mut est = RttEstimator::new();
+        est.sample(Duration::from_millis(500));
+        for _ in 0..40 {
+            est.on_timeout();
+        }
+        assert_eq!(est.rto(), Duration::from_secs(60));
+    }
+}

@@ -1,0 +1,128 @@
+//! TCP sequence-number arithmetic (RFC 793 §3.3).
+//!
+//! Sequence numbers live on a 2³²-circle; comparisons are only meaningful
+//! within a half-window, which [`SeqNum`]'s ordering helpers implement with
+//! wrapping signed distance.
+
+use core::fmt;
+use core::ops::{Add, Sub};
+
+/// A 32-bit TCP sequence number with circular comparison semantics.
+///
+/// ```
+/// use tcp_lite::seq::SeqNum;
+/// let a = SeqNum::new(u32::MAX - 1);
+/// let b = a + 4; // wraps
+/// assert!(a < b);
+/// assert_eq!(b - a, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SeqNum(u32);
+
+impl SeqNum {
+    /// Construct from the raw 32-bit value.
+    pub const fn new(v: u32) -> SeqNum {
+        SeqNum(v)
+    }
+
+    /// The raw 32-bit value.
+    pub const fn value(self) -> u32 {
+        self.0
+    }
+
+    /// Signed circular distance from `other` to `self`
+    /// (positive if `self` is ahead).
+    pub fn distance(self, other: SeqNum) -> i32 {
+        self.0.wrapping_sub(other.0) as i32
+    }
+
+    /// The larger (further ahead) of two sequence numbers.
+    pub fn max(self, other: SeqNum) -> SeqNum {
+        if self >= other { self } else { other }
+    }
+
+    /// True if `self` lies in the half-open circular interval
+    /// `[start, start+len)`.
+    pub fn within(self, start: SeqNum, len: u32) -> bool {
+        let off = self.0.wrapping_sub(start.0);
+        off < len
+    }
+}
+
+impl PartialOrd for SeqNum {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SeqNum {
+    fn cmp(&self, other: &Self) -> core::cmp::Ordering {
+        self.distance(*other).cmp(&0)
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    fn add(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(rhs))
+    }
+}
+
+impl Sub<SeqNum> for SeqNum {
+    type Output = u32;
+    /// Circular distance, assuming `self` is at or ahead of `rhs`.
+    fn sub(self, rhs: SeqNum) -> u32 {
+        self.0.wrapping_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_without_wrap() {
+        assert!(SeqNum::new(5) < SeqNum::new(10));
+        assert!(SeqNum::new(10) > SeqNum::new(5));
+        assert!(SeqNum::new(7) == SeqNum::new(7));
+    }
+
+    #[test]
+    fn ordering_across_wrap() {
+        let before = SeqNum::new(u32::MAX - 10);
+        let after = before + 20;
+        assert!(before < after);
+        assert!(after > before);
+        assert_eq!(after - before, 20);
+    }
+
+    #[test]
+    fn distance_signs() {
+        let a = SeqNum::new(100);
+        assert_eq!((a + 5).distance(a), 5);
+        assert_eq!(a.distance(a + 5), -5);
+    }
+
+    #[test]
+    fn within_interval() {
+        let start = SeqNum::new(u32::MAX - 2);
+        assert!(start.within(start, 1));
+        assert!((start + 4).within(start, 5));
+        assert!(!(start + 5).within(start, 5));
+        assert!(!SeqNum::new(0).within(SeqNum::new(1), 10));
+    }
+
+    #[test]
+    fn max_picks_ahead() {
+        let a = SeqNum::new(u32::MAX);
+        let b = a + 3;
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+}

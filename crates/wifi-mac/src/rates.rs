@@ -1,0 +1,295 @@
+//! 802.11b multi-rate support and Auto Rate Fallback (ARF).
+//!
+//! The paper's analysis assumes the 11 Mb/s DSSS rate throughout
+//! (`Bw = 11 Mbps`), which the simulator's default PHY mirrors. Real
+//! MadWiFi, however, ran a rate-adaptation algorithm, and a vehicular
+//! client spends much of each encounter at ranges where 11 Mb/s barely
+//! decodes while 1–2 Mb/s still would. This module provides the machinery
+//! to study that: the four DSSS/CCK rates with their differing SNR
+//! requirements and airtimes, plus the classic ARF controller (step down
+//! after consecutive failures, probe upward after a success run).
+//!
+//! Kept separate from the default experiment pipeline so the paper's
+//! fixed-rate assumption stays intact; `examples` and future experiments
+//! can opt in.
+
+use sim_engine::time::Duration;
+
+use crate::phy::PhyConfig;
+
+/// The 802.11b DSSS/CCK rate set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rate {
+    /// 1 Mb/s DBPSK — the most robust.
+    R1,
+    /// 2 Mb/s DQPSK.
+    R2,
+    /// 5.5 Mb/s CCK.
+    R5_5,
+    /// 11 Mb/s CCK — the paper's assumed rate.
+    R11,
+}
+
+impl Rate {
+    /// All rates, slowest first (the ARF ladder).
+    pub const LADDER: [Rate; 4] = [Rate::R1, Rate::R2, Rate::R5_5, Rate::R11];
+
+    /// Payload bit rate, bits/s.
+    pub const fn bps(self) -> u64 {
+        match self {
+            Rate::R1 => 1_000_000,
+            Rate::R2 => 2_000_000,
+            Rate::R5_5 => 5_500_000,
+            Rate::R11 => 11_000_000,
+        }
+    }
+
+    /// How many dB *less* SNR this rate needs than 11 Mb/s for the same
+    /// error probability (DSSS robustness of the slower modulations).
+    pub const fn snr_relief_db(self) -> f64 {
+        match self {
+            Rate::R1 => 8.0,
+            Rate::R2 => 6.0,
+            Rate::R5_5 => 3.0,
+            Rate::R11 => 0.0,
+        }
+    }
+
+    /// The next faster rate, if any.
+    pub fn up(self) -> Option<Rate> {
+        match self {
+            Rate::R1 => Some(Rate::R2),
+            Rate::R2 => Some(Rate::R5_5),
+            Rate::R5_5 => Some(Rate::R11),
+            Rate::R11 => None,
+        }
+    }
+
+    /// The next slower rate, if any.
+    pub fn down(self) -> Option<Rate> {
+        match self {
+            Rate::R1 => None,
+            Rate::R2 => Some(Rate::R1),
+            Rate::R5_5 => Some(Rate::R2),
+            Rate::R11 => Some(Rate::R5_5),
+        }
+    }
+}
+
+/// Rate-aware PHY queries, layered over [`PhyConfig`].
+pub trait RatedPhy {
+    /// Per-attempt frame error probability at `rate`.
+    fn frame_error_prob_at(&self, distance_m: f64, len: usize, rate: Rate) -> f64;
+    /// Single-attempt airtime at `rate` (preamble is always 1 Mb/s DSSS,
+    /// so only the payload time scales).
+    fn airtime_at(&self, len: usize, rate: Rate) -> Duration;
+    /// Expected goodput of `len`-byte frames at `rate` and `distance_m`,
+    /// bits/s, accounting for error probability and airtime.
+    fn goodput_at(&self, distance_m: f64, len: usize, rate: Rate) -> f64 {
+        let p = 1.0 - self.frame_error_prob_at(distance_m, len, rate);
+        let t = self.airtime_at(len, rate).as_secs_f64();
+        p * (len as f64 * 8.0) / t
+    }
+    /// The rate with the highest expected goodput at `distance_m` — the
+    /// target a good adaptation algorithm converges to.
+    fn best_rate(&self, distance_m: f64, len: usize) -> Rate {
+        *Rate::LADDER
+            .iter()
+            .max_by(|a, b| {
+                self.goodput_at(distance_m, len, **a)
+                    .partial_cmp(&self.goodput_at(distance_m, len, **b))
+                    .expect("goodput finite")
+            })
+            .expect("ladder non-empty")
+    }
+}
+
+impl RatedPhy for PhyConfig {
+    fn frame_error_prob_at(&self, distance_m: f64, len: usize, rate: Rate) -> f64 {
+        // Shift the logistic's midpoint down by the rate's SNR relief.
+        let q = self.link_at(distance_m);
+        let mid = self.per_midpoint_snr_db - rate.snr_relief_db();
+        let per = 1.0 / (1.0 + ((q.snr_db - mid) / self.per_slope_db).exp());
+        let exponent = len as f64 / self.reference_frame_len as f64;
+        1.0 - (1.0 - per).powf(exponent)
+    }
+
+    fn airtime_at(&self, len: usize, rate: Rate) -> Duration {
+        let payload_ns = (len as u64 * 8).saturating_mul(1_000_000_000) / rate.bps();
+        self.difs + self.mean_backoff + self.preamble + Duration::from_nanos(payload_ns)
+    }
+}
+
+/// Auto Rate Fallback: the adaptation algorithm of the era's drivers.
+///
+/// Step down after `down_after` consecutive failures; after `up_after`
+/// consecutive successes, probe one rate up — and fall straight back if
+/// the probe's first transmission fails.
+#[derive(Debug, Clone)]
+pub struct Arf {
+    rate: Rate,
+    successes: u32,
+    failures: u32,
+    /// The last transition was an upward probe; one failure reverts it.
+    probing: bool,
+    up_after: u32,
+    down_after: u32,
+}
+
+impl Arf {
+    /// Standard ARF: probe up after 10 successes, drop after 2 failures.
+    pub fn new(initial: Rate) -> Arf {
+        Arf { rate: initial, successes: 0, failures: 0, probing: false, up_after: 10, down_after: 2 }
+    }
+
+    /// The current transmission rate.
+    pub fn rate(&self) -> Rate {
+        self.rate
+    }
+
+    /// Record a delivered frame.
+    pub fn on_success(&mut self) {
+        self.failures = 0;
+        self.probing = false;
+        self.successes += 1;
+        if self.successes >= self.up_after {
+            if let Some(up) = self.rate.up() {
+                self.rate = up;
+                self.probing = true;
+            }
+            self.successes = 0;
+        }
+    }
+
+    /// Record a failed frame (all MAC retries exhausted).
+    pub fn on_failure(&mut self) {
+        self.successes = 0;
+        if self.probing {
+            // The upward probe failed immediately: revert.
+            self.rate = self.rate.down().expect("probe implies a lower rate exists");
+            self.probing = false;
+            self.failures = 0;
+            return;
+        }
+        self.failures += 1;
+        if self.failures >= self.down_after {
+            if let Some(down) = self.rate.down() {
+                self.rate = down;
+            }
+            self.failures = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_engine::rng::Rng;
+
+    #[test]
+    fn ladder_is_ordered() {
+        for pair in Rate::LADDER.windows(2) {
+            assert!(pair[0].bps() < pair[1].bps());
+            assert!(pair[0].snr_relief_db() > pair[1].snr_relief_db());
+        }
+        assert_eq!(Rate::R11.up(), None);
+        assert_eq!(Rate::R1.down(), None);
+        assert_eq!(Rate::R2.up(), Some(Rate::R5_5));
+    }
+
+    #[test]
+    fn slower_rates_survive_longer_ranges() {
+        let phy = PhyConfig::default();
+        for d in [60.0, 100.0, 140.0] {
+            let e11 = phy.frame_error_prob_at(d, 1000, Rate::R11);
+            let e1 = phy.frame_error_prob_at(d, 1000, Rate::R1);
+            assert!(e1 < e11, "at {d} m: 1 Mb/s {e1} must beat 11 Mb/s {e11}");
+        }
+        // The 11 Mb/s column matches the base PHY (zero relief).
+        let base = phy.frame_error_prob(90.0, 1000);
+        let at11 = phy.frame_error_prob_at(90.0, 1000, Rate::R11);
+        assert!((base - at11).abs() < 1e-12);
+    }
+
+    #[test]
+    fn airtime_orders_inversely_with_rate() {
+        let phy = PhyConfig::default();
+        let mut last = Duration::MAX;
+        for r in Rate::LADDER {
+            let t = phy.airtime_at(1500, r);
+            assert!(t < last, "{r:?} airtime must shrink as rate grows");
+            last = t;
+        }
+    }
+
+    #[test]
+    fn best_rate_falls_with_distance() {
+        let phy = PhyConfig::default();
+        let near = phy.best_rate(10.0, 1500);
+        let far = phy.best_rate(130.0, 1500);
+        assert_eq!(near, Rate::R11, "close range should pick 11 Mb/s");
+        assert!(far < near, "far range must pick a slower rate, got {far:?}");
+    }
+
+    #[test]
+    fn arf_steps_down_after_two_failures() {
+        let mut arf = Arf::new(Rate::R11);
+        arf.on_failure();
+        assert_eq!(arf.rate(), Rate::R11);
+        arf.on_failure();
+        assert_eq!(arf.rate(), Rate::R5_5);
+    }
+
+    #[test]
+    fn arf_probes_up_after_ten_successes_and_reverts_on_probe_failure() {
+        let mut arf = Arf::new(Rate::R2);
+        for _ in 0..10 {
+            arf.on_success();
+        }
+        assert_eq!(arf.rate(), Rate::R5_5, "should probe upward");
+        arf.on_failure();
+        assert_eq!(arf.rate(), Rate::R2, "failed probe reverts immediately");
+        // A successful probe sticks.
+        for _ in 0..10 {
+            arf.on_success();
+        }
+        assert_eq!(arf.rate(), Rate::R5_5);
+        arf.on_success();
+        assert_eq!(arf.rate(), Rate::R5_5);
+    }
+
+    #[test]
+    fn arf_converges_near_the_goodput_optimal_rate() {
+        // Drive ARF with stochastic successes drawn from the PHY at a
+        // mid-range distance; its steady-state rate should sit at (or one
+        // step around) the goodput-optimal rate.
+        let phy = PhyConfig::default();
+        let d = 115.0;
+        let best = phy.best_rate(d, 1500);
+        let mut arf = Arf::new(Rate::R11);
+        let mut rng = Rng::new(99);
+        let mut counts = [0u32; 4];
+        for _ in 0..20_000 {
+            let e = phy.frame_error_prob_at(d, 1500, arf.rate());
+            if rng.chance(e) {
+                arf.on_failure();
+            } else {
+                arf.on_success();
+            }
+            let idx = Rate::LADDER.iter().position(|r| *r == arf.rate()).expect("in ladder");
+            counts[idx] += 1;
+        }
+        let modal = Rate::LADDER[counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, c)| **c)
+            .expect("non-empty")
+            .0];
+        let best_idx = Rate::LADDER.iter().position(|r| *r == best).unwrap() as i32;
+        let modal_idx = Rate::LADDER.iter().position(|r| *r == modal).unwrap() as i32;
+        assert!(
+            (best_idx - modal_idx).abs() <= 1,
+            "ARF modal rate {modal:?} should be within one step of optimal {best:?} ({counts:?})"
+        );
+    }
+}

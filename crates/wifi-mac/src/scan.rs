@@ -1,0 +1,328 @@
+//! Active scanning: the probe sweep a client runs to discover APs.
+//!
+//! Spider relies on *opportunistic* scanning (harvesting beacons while
+//! parked on a channel), but two paths still need the classic active scan:
+//! the stock driver's discovery cycle, and any client arriving in an area
+//! cold. [`ScanProcedure`] is the standard state machine: for each channel
+//! in the plan, switch, broadcast a probe request, listen for
+//! `min_dwell`; extend to `max_dwell` if anything answered (802.11's
+//! MinChannelTime / MaxChannelTime).
+//!
+//! Like every machine in this crate it is pure: the caller owns the radio
+//! and the clock, feeds in responses and timer expiries, and receives
+//! [`ScanAction`]s.
+
+use sim_engine::time::{Duration, Instant};
+
+use crate::addr::MacAddr;
+use crate::channel::Channel;
+use crate::frame::{Frame, FrameBody};
+
+/// Scan timing parameters.
+#[derive(Debug, Clone)]
+pub struct ScanConfig {
+    /// Channels to visit, in order.
+    pub plan: Vec<Channel>,
+    /// Listen time on a channel with no answers (MinChannelTime ≈ 20 ms).
+    pub min_dwell: Duration,
+    /// Listen time once something answered (MaxChannelTime ≈ 100 ms).
+    pub max_dwell: Duration,
+}
+
+impl ScanConfig {
+    /// The typical 2.4 GHz sweep over the three orthogonal channels.
+    pub fn orthogonal() -> ScanConfig {
+        ScanConfig {
+            plan: crate::channel::ORTHOGONAL.to_vec(),
+            min_dwell: Duration::from_millis(20),
+            max_dwell: Duration::from_millis(100),
+        }
+    }
+
+    /// A full 11-channel sweep (what stock drivers actually do, and why
+    /// their scans take over a second).
+    pub fn full() -> ScanConfig {
+        ScanConfig {
+            plan: (1..=11).map(Channel::from_number).collect(),
+            min_dwell: Duration::from_millis(20),
+            max_dwell: Duration::from_millis(100),
+        }
+    }
+
+    /// Worst-case sweep time (every channel extends to `max_dwell`).
+    pub fn worst_case(&self) -> Duration {
+        self.max_dwell.checked_mul(self.plan.len() as u64).unwrap_or(Duration::MAX)
+    }
+}
+
+/// One discovered network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScanHit {
+    /// The AP.
+    pub bssid: MacAddr,
+    /// The channel it answered on.
+    pub channel: Channel,
+    /// When it answered.
+    pub heard_at: Instant,
+}
+
+/// Outputs of the scan machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanAction {
+    /// Retune the radio to `channel`, then transmit `probe` and arm the
+    /// dwell timer with `token`.
+    VisitChannel {
+        /// The channel to switch to.
+        channel: Channel,
+        /// The broadcast probe to send once tuned.
+        probe: Frame,
+        /// Listen this long before the next timer callback.
+        dwell: Duration,
+        /// Timer generation token.
+        token: u64,
+    },
+    /// Extend listening on the current channel (something answered).
+    ExtendDwell {
+        /// Additional listen time.
+        dwell: Duration,
+        /// Timer generation token.
+        token: u64,
+    },
+    /// The sweep finished; `hits` holds everything heard.
+    Done {
+        /// All discovered networks, in hearing order.
+        hits: Vec<ScanHit>,
+    },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Idle,
+    /// Visiting `plan[idx]`, not yet extended.
+    Listening { idx: usize, extended: bool },
+    Finished,
+}
+
+/// The active-scan state machine.
+#[derive(Debug, Clone)]
+pub struct ScanProcedure {
+    config: ScanConfig,
+    station: MacAddr,
+    phase: Phase,
+    hits: Vec<ScanHit>,
+    timer_gen: u64,
+}
+
+impl ScanProcedure {
+    /// A new scanner for `station`.
+    ///
+    /// # Panics
+    /// Panics on an empty channel plan.
+    pub fn new(station: MacAddr, config: ScanConfig) -> ScanProcedure {
+        assert!(!config.plan.is_empty(), "ScanProcedure: empty channel plan");
+        ScanProcedure { config, station, phase: Phase::Idle, hits: Vec::new(), timer_gen: 0 }
+    }
+
+    /// True while the sweep is running.
+    pub fn is_scanning(&self) -> bool {
+        matches!(self.phase, Phase::Listening { .. })
+    }
+
+    /// Hits collected so far.
+    pub fn hits(&self) -> &[ScanHit] {
+        &self.hits
+    }
+
+    fn visit(&mut self, idx: usize) -> ScanAction {
+        self.phase = Phase::Listening { idx, extended: false };
+        self.timer_gen += 1;
+        ScanAction::VisitChannel {
+            channel: self.config.plan[idx],
+            probe: Frame::probe_request(self.station),
+            dwell: self.config.min_dwell,
+            token: self.timer_gen,
+        }
+    }
+
+    /// Begin the sweep.
+    ///
+    /// # Panics
+    /// Panics if a sweep is already running.
+    pub fn start(&mut self) -> ScanAction {
+        assert!(!self.is_scanning(), "ScanProcedure::start while scanning");
+        self.hits.clear();
+        self.visit(0)
+    }
+
+    /// Feed a frame received while scanning. Probe responses and beacons
+    /// on the current channel are recorded.
+    pub fn handle_frame(&mut self, frame: &Frame, now: Instant) {
+        let Phase::Listening { idx, .. } = self.phase else {
+            return;
+        };
+        let current = self.config.plan[idx];
+        let heard_channel = match &frame.body {
+            FrameBody::ProbeResp(b) | FrameBody::Beacon(b) => b.channel,
+            _ => return,
+        };
+        if heard_channel != current {
+            return; // adjacent-channel bleed is ignored
+        }
+        if self.hits.iter().any(|h| h.bssid == frame.addr2) {
+            return;
+        }
+        self.hits.push(ScanHit { bssid: frame.addr2, channel: current, heard_at: now });
+    }
+
+    /// Feed a dwell-timer expiry. Stale tokens are ignored (returns
+    /// `None`).
+    pub fn handle_timer(&mut self, token: u64) -> Option<ScanAction> {
+        if token != self.timer_gen {
+            return None;
+        }
+        let Phase::Listening { idx, extended } = self.phase else {
+            return None;
+        };
+        let current = self.config.plan[idx];
+        let answered_here = self.hits.iter().any(|h| h.channel == current);
+        if answered_here && !extended {
+            // Something lives here: stay for the long dwell.
+            self.phase = Phase::Listening { idx, extended: true };
+            self.timer_gen += 1;
+            return Some(ScanAction::ExtendDwell {
+                dwell: self.config.max_dwell - self.config.min_dwell,
+                token: self.timer_gen,
+            });
+        }
+        // Move on, or finish.
+        if idx + 1 < self.config.plan.len() {
+            Some(self.visit(idx + 1))
+        } else {
+            self.phase = Phase::Finished;
+            self.timer_gen += 1;
+            Some(ScanAction::Done { hits: self.hits.clone() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Ssid;
+
+    fn scanner() -> ScanProcedure {
+        ScanProcedure::new(MacAddr::local(1), ScanConfig::orthogonal())
+    }
+
+    fn resp(ap: u32, channel: Channel) -> Frame {
+        Frame::probe_response(MacAddr::ap(ap), MacAddr::local(1), Ssid::new("x"), channel, 0)
+    }
+
+    fn token_of(action: &ScanAction) -> u64 {
+        match action {
+            ScanAction::VisitChannel { token, .. } | ScanAction::ExtendDwell { token, .. } => {
+                *token
+            }
+            ScanAction::Done { .. } => panic!("done has no token"),
+        }
+    }
+
+    #[test]
+    fn empty_sweep_visits_every_channel_once() {
+        let mut s = scanner();
+        let mut action = s.start();
+        let mut visited = Vec::new();
+        loop {
+            match &action {
+                ScanAction::VisitChannel { channel, dwell, probe, .. } => {
+                    visited.push(*channel);
+                    assert_eq!(*dwell, Duration::from_millis(20));
+                    assert!(matches!(probe.body, FrameBody::ProbeReq { .. }));
+                }
+                ScanAction::ExtendDwell { .. } => panic!("nothing answered"),
+                ScanAction::Done { hits } => {
+                    assert!(hits.is_empty());
+                    break;
+                }
+            }
+            action = s.handle_timer(token_of(&action)).expect("live token");
+        }
+        assert_eq!(visited, crate::channel::ORTHOGONAL.to_vec());
+        assert!(!s.is_scanning());
+    }
+
+    #[test]
+    fn answers_extend_the_dwell_and_are_collected() {
+        let mut s = scanner();
+        let a1 = s.start(); // on ch1
+        s.handle_frame(&resp(7, Channel::CH1), Instant::from_millis(5));
+        let a2 = s.handle_timer(token_of(&a1)).expect("live");
+        match &a2 {
+            ScanAction::ExtendDwell { dwell, .. } => {
+                assert_eq!(*dwell, Duration::from_millis(80));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Another AP answers during the extension.
+        s.handle_frame(&resp(8, Channel::CH1), Instant::from_millis(60));
+        // Extension expires: move to ch6; no second extension of ch1.
+        let a3 = s.handle_timer(token_of(&a2)).expect("live");
+        assert!(matches!(a3, ScanAction::VisitChannel { channel: Channel::CH6, .. }));
+        // Drain the rest.
+        let mut action = a3;
+        let hits = loop {
+            match s.handle_timer(token_of(&action)).expect("live") {
+                ScanAction::Done { hits } => break hits,
+                next => action = next,
+            }
+        };
+        assert_eq!(hits.len(), 2);
+        assert!(hits.iter().all(|h| h.channel == Channel::CH1));
+    }
+
+    #[test]
+    fn off_channel_and_duplicate_answers_ignored() {
+        let mut s = scanner();
+        let _ = s.start(); // on ch1
+        s.handle_frame(&resp(7, Channel::CH6), Instant::ZERO); // wrong channel
+        assert!(s.hits().is_empty());
+        s.handle_frame(&resp(7, Channel::CH1), Instant::ZERO);
+        s.handle_frame(&resp(7, Channel::CH1), Instant::ZERO); // duplicate
+        assert_eq!(s.hits().len(), 1);
+    }
+
+    #[test]
+    fn stale_timer_tokens_ignored() {
+        let mut s = scanner();
+        let a1 = s.start();
+        let old = token_of(&a1);
+        let _a2 = s.handle_timer(old).expect("live");
+        assert!(s.handle_timer(old).is_none(), "consumed token must be stale");
+    }
+
+    #[test]
+    fn full_sweep_worst_case_exceeds_a_second() {
+        // The stock-driver reality: 11 channels × 100 ms.
+        let cfg = ScanConfig::full();
+        assert_eq!(cfg.plan.len(), 11);
+        assert!(cfg.worst_case() >= Duration::from_secs(1));
+    }
+
+    #[test]
+    fn restart_clears_previous_hits() {
+        let mut s = scanner();
+        let a1 = s.start();
+        s.handle_frame(&resp(7, Channel::CH1), Instant::ZERO);
+        // Finish the sweep.
+        let mut action = s.handle_timer(token_of(&a1)).expect("live");
+        loop {
+            match s.handle_timer(token_of(&action)) {
+                Some(ScanAction::Done { .. }) => break,
+                Some(next) => action = next,
+                None => panic!("lost the token"),
+            }
+        }
+        let _ = s.start();
+        assert!(s.hits().is_empty());
+    }
+}

@@ -1,0 +1,85 @@
+//! Download plans: what the vehicle is trying to fetch.
+//!
+//! The paper's evaluation transfers "large files over HTTP" toward a sink,
+//! measuring bytes per unit time. [`DownloadPlan`] describes that traffic:
+//! either one endless bulk stream (the evaluation default) or a sequence
+//! of finite objects with think times (a streaming/browsing flavour used
+//! by the examples).
+
+use sim_engine::rng::Rng;
+use sim_engine::time::Duration;
+
+/// A description of the client's offered load.
+#[derive(Debug, Clone)]
+pub enum DownloadPlan {
+    /// One connection per AP, each pushing unlimited data (the paper's
+    /// evaluation workload: saturate whatever the APs offer).
+    Saturating,
+    /// Fetch objects of `object_bytes` with `think` pauses between them
+    /// (e.g. media segments — the Pandora/Netflix motivation of §1).
+    Segmented {
+        /// Size of each fetched object.
+        object_bytes: u64,
+        /// Pause between completions.
+        think: Duration,
+    },
+}
+
+impl DownloadPlan {
+    /// Bytes for the next connection: `u64::MAX` for saturating plans.
+    pub fn next_object(&self) -> u64 {
+        match self {
+            DownloadPlan::Saturating => u64::MAX,
+            DownloadPlan::Segmented { object_bytes, .. } => *object_bytes,
+        }
+    }
+
+    /// Think time before the next object (zero for saturating plans).
+    pub fn think_time(&self) -> Duration {
+        match self {
+            DownloadPlan::Saturating => Duration::ZERO,
+            DownloadPlan::Segmented { think, .. } => *think,
+        }
+    }
+}
+
+/// Sizes of web-ish objects for mixed workloads: a log-normal body with a
+/// clamp, approximating classic HTTP response-size distributions.
+pub fn web_object_bytes(rng: &mut Rng) -> u64 {
+    let kb = rng.log_normal(2.8, 1.5); // median ≈ 16 kB
+    (kb * 1024.0).clamp(512.0, 50.0 * 1024.0 * 1024.0) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturating_plan_is_endless() {
+        let p = DownloadPlan::Saturating;
+        assert_eq!(p.next_object(), u64::MAX);
+        assert_eq!(p.think_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn segmented_plan_round_trips() {
+        let p = DownloadPlan::Segmented { object_bytes: 2_000_000, think: Duration::from_secs(4) };
+        assert_eq!(p.next_object(), 2_000_000);
+        assert_eq!(p.think_time(), Duration::from_secs(4));
+    }
+
+    #[test]
+    fn web_objects_in_clamped_range() {
+        let mut rng = Rng::new(8);
+        let mut small = 0;
+        for _ in 0..10_000 {
+            let b = web_object_bytes(&mut rng);
+            assert!((512..=50 * 1024 * 1024).contains(&(b as usize)));
+            if b < 100 * 1024 {
+                small += 1;
+            }
+        }
+        // Most web objects are small.
+        assert!(small > 7_000, "small objects {small}/10000");
+    }
+}

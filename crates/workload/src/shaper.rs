@@ -1,0 +1,258 @@
+//! Backhaul links and traffic shaping.
+//!
+//! The paper's Fig. 9 micro-benchmark used "a traffic shaper … to adjust
+//! the backhaul bandwidth available through each AP", and its §4.3
+//! observation that urban backhaul is rarely faster than the wireless link
+//! is why multi-AP aggregation pays at all. [`SerialLink`] models a
+//! store-and-forward backhaul pipe (rate + propagation delay, FIFO);
+//! [`TokenBucket`] models a shaper with burst tolerance.
+
+use sim_engine::time::{Duration, Instant};
+
+/// A FIFO serializing link: bytes occupy the pipe at `rate_bps` and then
+/// propagate for `latency`. The standard model for a DSL/cable backhaul.
+///
+/// The queue is **bounded**: when the backlog exceeds `max_backlog` of
+/// queueing delay, new packets are dropped (drop-tail), as any real shaper
+/// or modem does — an unbounded queue would let TCP inflate the RTT
+/// without bound instead of finding its rate through loss.
+#[derive(Debug, Clone)]
+pub struct SerialLink {
+    rate_bps: u64,
+    latency: Duration,
+    max_backlog: Duration,
+    /// The instant the transmitter becomes free.
+    next_free: Instant,
+    bytes_carried: u64,
+    drops: u64,
+}
+
+impl SerialLink {
+    /// Default queue bound: 200 ms of queueing delay at line rate.
+    pub const DEFAULT_BACKLOG: Duration = Duration::from_millis(200);
+
+    /// A link of `rate_bps` with one-way propagation `latency` and the
+    /// default queue bound.
+    ///
+    /// # Panics
+    /// Panics on a zero rate.
+    pub fn new(rate_bps: u64, latency: Duration) -> SerialLink {
+        SerialLink::with_backlog(rate_bps, latency, Self::DEFAULT_BACKLOG)
+    }
+
+    /// A link with an explicit queue bound.
+    pub fn with_backlog(rate_bps: u64, latency: Duration, max_backlog: Duration) -> SerialLink {
+        assert!(rate_bps > 0, "SerialLink: zero rate");
+        SerialLink {
+            rate_bps,
+            latency,
+            max_backlog,
+            next_free: Instant::ZERO,
+            bytes_carried: 0,
+            drops: 0,
+        }
+    }
+
+    /// Link rate, bits/s.
+    pub fn rate_bps(&self) -> u64 {
+        self.rate_bps
+    }
+
+    /// Serialization time of `bytes` at the link rate.
+    pub fn serialization(&self, bytes: usize) -> Duration {
+        Duration::from_nanos((bytes as u64 * 8).saturating_mul(1_000_000_000) / self.rate_bps)
+    }
+
+    /// Number of packets a drop-tail queue holds regardless of rate (the
+    /// classic 64-packet modem ring); on slow links this dominates the
+    /// time-based bound, exactly the way real DSL gear bufferbloats.
+    const MIN_QUEUE_PACKETS: u64 = 64;
+
+    /// Enqueue `bytes` at `now`; returns the instant the last bit arrives
+    /// at the far end, or `None` if the bounded queue drops the packet.
+    /// FIFO: a busy pipe delays later arrivals.
+    pub fn transmit(&mut self, now: Instant, bytes: usize) -> Option<Instant> {
+        let packet_bound = self
+            .serialization(bytes.max(1))
+            .checked_mul(Self::MIN_QUEUE_PACKETS)
+            .unwrap_or(Duration::MAX);
+        if self.backlog(now) > self.max_backlog.max(packet_bound) {
+            self.drops += 1;
+            return None;
+        }
+        let start = now.max(self.next_free);
+        let done = start + self.serialization(bytes);
+        self.next_free = done;
+        self.bytes_carried += bytes as u64;
+        Some(done + self.latency)
+    }
+
+    /// Total bytes pushed through.
+    pub fn bytes_carried(&self) -> u64 {
+        self.bytes_carried
+    }
+
+    /// Packets dropped at the queue bound.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Queue backlog at `now` (how long until the pipe frees).
+    pub fn backlog(&self, now: Instant) -> Duration {
+        self.next_free.saturating_since(now)
+    }
+}
+
+/// A token-bucket shaper: sustained `rate_bps` with a `burst_bytes`
+/// allowance.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_bps: u64,
+    burst_bytes: u64,
+    tokens: f64,
+    last_refill: Instant,
+}
+
+impl TokenBucket {
+    /// A bucket that starts full.
+    ///
+    /// # Panics
+    /// Panics on zero rate or zero burst.
+    pub fn new(rate_bps: u64, burst_bytes: u64) -> TokenBucket {
+        assert!(rate_bps > 0, "TokenBucket: zero rate");
+        assert!(burst_bytes > 0, "TokenBucket: zero burst");
+        TokenBucket { rate_bps, burst_bytes, tokens: burst_bytes as f64, last_refill: Instant::ZERO }
+    }
+
+    fn refill(&mut self, now: Instant) {
+        let elapsed = now.saturating_since(self.last_refill).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * self.rate_bps as f64 / 8.0)
+            .min(self.burst_bytes as f64);
+        self.last_refill = now;
+    }
+
+    /// Try to send `bytes` at `now`: `true` consumes tokens, `false` means
+    /// the packet must wait (see [`TokenBucket::earliest`]).
+    pub fn try_consume(&mut self, now: Instant, bytes: usize) -> bool {
+        self.refill(now);
+        if self.tokens >= bytes as f64 {
+            self.tokens -= bytes as f64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The earliest instant `bytes` could be sent.
+    pub fn earliest(&mut self, now: Instant, bytes: usize) -> Instant {
+        self.refill(now);
+        if self.tokens >= bytes as f64 {
+            now
+        } else {
+            let deficit = bytes as f64 - self.tokens;
+            let wait = deficit * 8.0 / self.rate_bps as f64;
+            now + Duration::from_secs_f64(wait)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_is_rate_accurate() {
+        let link = SerialLink::new(1_000_000, Duration::ZERO); // 1 Mb/s
+        assert_eq!(link.serialization(125_000), Duration::from_secs(1));
+        assert_eq!(link.serialization(1_250), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn fifo_backpressure_delays_later_packets() {
+        let mut link =
+            SerialLink::with_backlog(1_000_000, Duration::from_millis(5), Duration::from_secs(10));
+        let t0 = Instant::ZERO;
+        let a = link.transmit(t0, 125_000).unwrap(); // 1 s + 5 ms
+        let b = link.transmit(t0, 125_000).unwrap(); // queued behind a
+        assert_eq!(a, Instant::from_millis(1_005));
+        assert_eq!(b, Instant::from_millis(2_005));
+        assert_eq!(link.bytes_carried(), 250_000);
+    }
+
+    #[test]
+    fn idle_link_transmits_immediately() {
+        let mut link = SerialLink::new(8_000_000, Duration::from_millis(20));
+        let arrive = link.transmit(Instant::from_secs(10), 1_000).unwrap();
+        // 1000 B at 8 Mb/s = 1 ms, plus 20 ms propagation.
+        assert_eq!(arrive, Instant::from_secs(10) + Duration::from_millis(21));
+        assert_eq!(link.backlog(Instant::from_secs(10) + Duration::from_millis(1)), Duration::ZERO);
+    }
+
+    #[test]
+    fn bounded_queue_drops_when_backlogged() {
+        // 1 Mb/s link: the 64-packet floor dominates the 200 ms bound
+        // (64 × 12 ms = 768 ms of queue).
+        let mut link = SerialLink::new(1_000_000, Duration::ZERO);
+        let t0 = Instant::ZERO;
+        let mut delivered = 0;
+        let mut dropped = 0;
+        for _ in 0..200 {
+            match link.transmit(t0, 1_500) {
+                Some(_) => delivered += 1,
+                None => dropped += 1,
+            }
+        }
+        assert!(dropped > 0, "bounded queue must drop under overload");
+        assert!((60..70).contains(&delivered), "delivered {delivered}");
+        assert_eq!(link.drops(), dropped);
+        // Once the queue drains, transmission works again.
+        let later = Instant::from_secs(10);
+        assert!(link.transmit(later, 1_500).is_some());
+    }
+
+    #[test]
+    fn fast_links_use_time_bound() {
+        // 100 Mb/s link: 200 ms = 1667 packets, far above the 64-packet
+        // floor; the time bound governs.
+        let mut link = SerialLink::new(100_000_000, Duration::ZERO);
+        let t0 = Instant::ZERO;
+        let mut delivered = 0;
+        for _ in 0..3_000 {
+            if link.transmit(t0, 1_500).is_some() {
+                delivered += 1;
+            }
+        }
+        assert!((1_500..1_800).contains(&delivered), "delivered {delivered}");
+    }
+
+    #[test]
+    fn token_bucket_allows_burst_then_throttles() {
+        let mut tb = TokenBucket::new(1_000_000, 10_000);
+        let t0 = Instant::ZERO;
+        assert!(tb.try_consume(t0, 10_000)); // full burst
+        assert!(!tb.try_consume(t0, 1)); // drained
+        // After 80 ms, 10 kB·(0.08·125000/10000)… rate is 125 kB/s: 10 ms
+        // buys 1250 B.
+        assert!(tb.try_consume(t0 + Duration::from_millis(10), 1_250));
+        assert!(!tb.try_consume(t0 + Duration::from_millis(10), 10));
+    }
+
+    #[test]
+    fn earliest_predicts_admission() {
+        let mut tb = TokenBucket::new(8_000_000, 1_000); // 1 MB/s, 1 kB burst
+        let t0 = Instant::ZERO;
+        assert!(tb.try_consume(t0, 1_000));
+        let at = tb.earliest(t0, 500);
+        // Needs 500 B at 1 MB/s = 0.5 ms.
+        assert_eq!(at, t0 + Duration::from_micros(500));
+        assert!(tb.try_consume(at, 500));
+    }
+
+    #[test]
+    fn bucket_never_exceeds_burst() {
+        let mut tb = TokenBucket::new(1_000_000, 2_000);
+        // A long idle period must not bank more than the burst.
+        assert!(!tb.try_consume(Instant::from_secs(100), 2_001));
+        assert!(tb.try_consume(Instant::from_secs(100), 2_000));
+    }
+}

@@ -1,0 +1,50 @@
+//! Explore the paper's **dividing speed** with the analytical framework
+//! (§2.1): at what speed does chasing APs on a second channel stop paying?
+//!
+//! Sweeps vehicle speed and AP responsiveness (βmax) through the Eq. 8–10
+//! optimizer and prints where the second channel's recoverable bandwidth
+//! collapses.
+//!
+//! ```text
+//! cargo run --release --example dividing_speed
+//! ```
+
+use spider_repro::model::{dividing_speed, figure4_inputs, solve, JoinModelParams};
+
+fn main() {
+    println!("The dividing speed (CoNEXT 2011, §2.1.3)\n");
+    println!("Setting: channel 1 already joined with 75% of Bw; channel 2 offers the");
+    println!("remaining 25% behind a join whose response time is β ~ U[0.5s, βmax].\n");
+
+    // How much of channel 2's bandwidth can each speed recover?
+    println!("{:>10} {:>16} {:>16}", "speed m/s", "ch2 recovered", "of available");
+    for speed in [2.0, 4.0, 6.0, 8.0, 10.0, 14.0, 20.0, 30.0] {
+        let inputs = figure4_inputs(0.75, speed, 10.0);
+        let available = inputs.channels[1].available_bps;
+        let sched = solve(&inputs);
+        println!(
+            "{:>10.1} {:>13.0} kb/s {:>15.0}%",
+            speed,
+            sched.per_channel_bps[1] / 1000.0,
+            100.0 * sched.per_channel_bps[1] / available
+        );
+    }
+
+    // The dividing speed as a function of AP responsiveness.
+    println!("\nDividing speed (second channel recovers < 50% of its offer):");
+    println!("{:>10} {:>16}", "βmax (s)", "divide (m/s)");
+    for beta_max in [2.0, 4.0, 6.0, 8.0, 10.0] {
+        let v = dividing_speed(0.75, beta_max, 0.5, 60.0, 0.5);
+        println!("{beta_max:>10.1} {v:>16.1}");
+    }
+
+    // And the underlying join probabilities driving it.
+    println!("\nWhy: p(join within t) collapses with the schedule fraction —");
+    let t = 4.0;
+    for f in [0.1, 0.3, 0.5, 1.0] {
+        let p = JoinModelParams::figure2(f, 10.0).p_join(t);
+        println!("  f = {f:>4}: p(join in {t} s) = {p:.2}");
+    }
+    println!("\nPaper: \"users traveling at an average speed of 10 m/s (~22 mph) or faster");
+    println!("should form concurrent Wi-Fi connections only within a single channel.\"");
+}

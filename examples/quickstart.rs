@@ -1,0 +1,51 @@
+//! Quickstart: drive one vehicle past a handful of open APs with Spider's
+//! best configuration (single channel, multiple APs) and print what the
+//! paper's §4.3 metrics look like for the run.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use spider_repro::engine::{Duration, Instant, Rng};
+use spider_repro::mobility::{deploy_evenly, ChannelMix, DeploymentConfig, Point, Route, Vehicle};
+use spider_repro::spider::{run, ClientMotion, SpiderConfig, WorldConfig};
+use spider_repro::wifi::Channel;
+
+fn main() {
+    // A 3 km straight road with ten open APs, everything on channel 1.
+    let road = Route::straight(Point::new(0.0, 0.0), Point::new(3_000.0, 0.0));
+    let mut rng = Rng::new(7);
+    let mut deployment = DeploymentConfig::amherst();
+    deployment.channel_mix = ChannelMix::single(Channel::CH1);
+    let sites = deploy_evenly(&road, 10, &deployment, &mut rng);
+    println!("Deployed {} open APs along a 3 km road (channel 1).", sites.len());
+
+    // Drive it once at 10 m/s (≈ 22 mph — the paper's dividing speed).
+    let vehicle = Vehicle::new(road, 10.0, Instant::ZERO);
+    let world = WorldConfig::new(
+        42,
+        sites,
+        ClientMotion::Route(vehicle),
+        SpiderConfig::single_channel_multi_ap(Channel::CH1),
+        Duration::from_secs(300),
+    );
+    println!("Driving for 300 s at 10 m/s with Spider (single-channel, multi-AP)...\n");
+    let result = run(world);
+
+    println!("bytes delivered        : {}", result.total_bytes);
+    println!("average throughput     : {:.1} KB/s", result.avg_throughput_kbps());
+    println!("connectivity           : {:.1} %", 100.0 * result.connectivity);
+    println!("successful joins       : {}", result.join_times.count());
+    println!(
+        "median join time       : {:.2} s",
+        result.join_times.clone().median()
+    );
+    println!("association failures   : {}", result.assoc_failures);
+    println!("dhcp failures          : {}", result.dhcp_failures);
+    println!("peak concurrent APs    : {}", result.max_concurrent_aps);
+    let mut disruptions = result.disruption_durations.clone();
+    if !disruptions.is_empty() {
+        println!("median disruption      : {:.0} s", disruptions.median());
+    }
+    println!("\nTry examples/vehicular_commute.rs for the four-configuration comparison.");
+}

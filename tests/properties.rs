@@ -1,0 +1,479 @@
+//! Property-based tests (proptest) on the workspace's core invariants:
+//! wire-format round-trips, sequence arithmetic, statistics estimators,
+//! geometry, and protocol state machines under arbitrary inputs.
+
+use proptest::prelude::*;
+
+use spider_repro::dhcp::{DhcpMessage, MessageType};
+use spider_repro::engine::{Duration, Instant, Rng, Samples, Summary};
+use spider_repro::mobility::{Point, Route};
+use spider_repro::model::JoinModelParams;
+use spider_repro::tcp::{segment::Segment, seq::SeqNum};
+use spider_repro::wifi::frame::{Frame, FrameBody, Ssid};
+use spider_repro::wifi::{Channel, MacAddr, PhyConfig};
+
+// ---------------------------------------------------------------- frames
+
+fn arb_mac() -> impl Strategy<Value = MacAddr> {
+    any::<[u8; 6]>().prop_map(MacAddr)
+}
+
+fn arb_ssid() -> impl Strategy<Value = Ssid> {
+    proptest::collection::vec(any::<u8>(), 0..=32)
+        .prop_map(|b| Ssid::from_bytes(&b).expect("≤32 bytes"))
+}
+
+fn arb_channel() -> impl Strategy<Value = Channel> {
+    (1u8..=14).prop_map(Channel::from_number)
+}
+
+proptest! {
+    #[test]
+    fn beacon_frames_roundtrip(
+        bssid in arb_mac(),
+        ssid in arb_ssid(),
+        channel in arb_channel(),
+        ts in any::<u64>(),
+        seq in 0u16..0x0FFF,
+    ) {
+        let mut f = Frame::beacon(bssid, ssid, channel, ts);
+        f.seq = seq;
+        prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn data_frames_roundtrip(
+        sta in arb_mac(),
+        bssid in arb_mac(),
+        payload in proptest::collection::vec(any::<u8>(), 0..512),
+        pm in any::<bool>(),
+        md in any::<bool>(),
+    ) {
+        let mut f = Frame::data_to_ap(sta, bssid, payload.into());
+        f.power_mgmt = pm;
+        f.more_data = md;
+        prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+    }
+
+    #[test]
+    fn frame_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Frame::decode(&bytes); // may Err, must not panic
+    }
+
+    #[test]
+    fn psm_control_frames_roundtrip(sta in arb_mac(), bssid in arb_mac(), aid in 0u16..0x3FFF) {
+        let enter = Frame::psm_enter(sta, bssid);
+        prop_assert_eq!(Frame::decode(&enter.encode()).unwrap(), enter);
+        let poll = Frame::ps_poll(sta, bssid, aid);
+        let decoded = Frame::decode(&poll.encode()).unwrap();
+        prop_assert_eq!(decoded.body, FrameBody::PsPoll { aid });
+    }
+}
+
+// ---------------------------------------------------------------- dhcp
+
+proptest! {
+    #[test]
+    fn dhcp_messages_roundtrip(
+        xid in any::<u32>(),
+        chaddr in any::<[u8; 6]>(),
+        ip in any::<[u8; 4]>(),
+        server in any::<[u8; 4]>(),
+        lease in 1u32..86_400,
+        kind in 0usize..4,
+    ) {
+        let ip = std::net::Ipv4Addr::from(ip);
+        let server = std::net::Ipv4Addr::from(server);
+        let msg = match kind {
+            0 => DhcpMessage::discover(xid, chaddr),
+            1 => DhcpMessage::offer(xid, chaddr, ip, server, lease),
+            2 => DhcpMessage::request(xid, chaddr, ip, server),
+            _ => DhcpMessage::ack(xid, chaddr, ip, server, lease),
+        };
+        let decoded = DhcpMessage::decode(&msg.encode()).unwrap();
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn dhcp_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = DhcpMessage::decode(&bytes);
+    }
+
+    #[test]
+    fn dhcp_type_is_preserved(xid in any::<u32>(), chaddr in any::<[u8; 6]>()) {
+        let d = DhcpMessage::discover(xid, chaddr);
+        prop_assert_eq!(DhcpMessage::decode(&d.encode()).unwrap().msg_type, MessageType::Discover);
+    }
+}
+
+// ---------------------------------------------------------------- tcp
+
+proptest! {
+    #[test]
+    fn seqnum_ordering_is_antisymmetric(a in any::<u32>(), delta in 1u32..(1 << 30)) {
+        let x = SeqNum::new(a);
+        let y = x + delta;
+        prop_assert!(x < y);
+        prop_assert!(y > x);
+        prop_assert_eq!(y - x, delta);
+    }
+
+    #[test]
+    fn seqnum_within_respects_bounds(start in any::<u32>(), len in 1u32..(1 << 20), off in 0u32..(1 << 20)) {
+        let s = SeqNum::new(start);
+        let p = s + off;
+        prop_assert_eq!(p.within(s, len), off < len);
+    }
+
+    #[test]
+    fn segments_roundtrip(
+        conn in any::<u64>(),
+        seq in any::<u32>(),
+        len in 0u32..65_536,
+        ts in any::<u64>(),
+    ) {
+        let mut seg = Segment::data(conn, SeqNum::new(seq), len);
+        seg.ts_us = ts;
+        prop_assert_eq!(Segment::decode(&seg.encode()), Some(seg));
+    }
+
+    #[test]
+    fn segments_with_sack_roundtrip(
+        conn in any::<u64>(),
+        ack in any::<u32>(),
+        blocks in proptest::collection::vec((any::<u32>(), 1u32..100_000), 0..=3),
+        echo in proptest::option::of(any::<u64>()),
+    ) {
+        let mut seg = Segment::ack_only(conn, SeqNum::new(1), SeqNum::new(ack));
+        for (slot, (s, l)) in seg.sack.iter_mut().zip(blocks.into_iter()) {
+            *slot = Some((SeqNum::new(s), l));
+        }
+        seg.ts_echo_us = echo;
+        prop_assert_eq!(Segment::decode(&seg.encode()), Some(seg));
+    }
+
+    #[test]
+    fn segment_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = Segment::decode(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------- engine
+
+proptest! {
+    #[test]
+    fn summary_mean_is_bounded_by_extremes(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let mut s = Summary::new();
+        for &v in &values {
+            s.record(v);
+        }
+        prop_assert!(s.mean() >= s.min() - 1e-9);
+        prop_assert!(s.mean() <= s.max() + 1e-9);
+        prop_assert!(s.variance() >= 0.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone(values in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+        let mut s = Samples::new();
+        for &v in &values {
+            s.record(v);
+        }
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=10 {
+            let q = s.quantile(i as f64 / 10.0);
+            prop_assert!(q >= last - 1e-9, "quantiles must be monotone");
+            last = q;
+        }
+    }
+
+    #[test]
+    fn rng_below_is_always_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
+        let mut rng = Rng::new(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn duration_roundtrip_secs(ms in 0u64..10_000_000) {
+        let d = Duration::from_millis(ms);
+        let back = Duration::from_secs_f64(d.as_secs_f64());
+        // Round-trip through f64 is exact at millisecond granularity here.
+        prop_assert_eq!(back, d);
+    }
+}
+
+// ---------------------------------------------------------------- mobility
+
+proptest! {
+    #[test]
+    fn route_positions_lie_on_or_near_route(
+        w in 50f64..2_000.0,
+        h in 50f64..2_000.0,
+        d in 0f64..50_000.0,
+    ) {
+        let r = Route::rectangle(w, h);
+        let p = r.position_at_distance(d);
+        // Every point on the rectangle has x ∈ [0, w], y ∈ [0, h].
+        prop_assert!((-1e-6..=w + 1e-6).contains(&p.x));
+        prop_assert!((-1e-6..=h + 1e-6).contains(&p.y));
+    }
+
+    #[test]
+    fn route_distance_is_periodic(w in 50f64..500.0, h in 50f64..500.0, d in 0f64..5_000.0) {
+        let r = Route::rectangle(w, h);
+        let a = r.position_at_distance(d);
+        let b = r.position_at_distance(d + r.length());
+        prop_assert!(a.distance(b) < 1e-6);
+    }
+
+    #[test]
+    fn point_distance_is_a_metric(
+        ax in -1e4f64..1e4, ay in -1e4f64..1e4,
+        bx in -1e4f64..1e4, by in -1e4f64..1e4,
+        cx in -1e4f64..1e4, cy in -1e4f64..1e4,
+    ) {
+        let (a, b, c) = (Point::new(ax, ay), Point::new(bx, by), Point::new(cx, cy));
+        prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
+        prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-6);
+        prop_assert!(a.distance(a) < 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------- models
+
+proptest! {
+    #[test]
+    fn join_probability_is_a_probability(
+        f in 0f64..=1.0,
+        beta_max in 0.6f64..12.0,
+        t in 0f64..20.0,
+    ) {
+        let p = JoinModelParams::figure2(f, beta_max).p_join(t);
+        prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
+    }
+
+    #[test]
+    fn phy_delivery_probabilities_valid(d in 0f64..2_000.0, len in 1usize..3_000) {
+        let phy = PhyConfig::default();
+        let m = phy.mgmt_delivery_prob(d, len);
+        let dd = phy.data_delivery_prob(d, len);
+        prop_assert!((0.0..=1.0).contains(&m));
+        prop_assert!((0.0..=1.0).contains(&dd));
+        prop_assert!(dd >= m - 1e-12, "ARQ can only help");
+    }
+
+    #[test]
+    fn phy_airtime_monotone_in_length(d in 1f64..300.0, len in 1usize..1_400) {
+        let phy = PhyConfig::default();
+        prop_assert!(phy.airtime(len + 100) > phy.airtime(len));
+        prop_assert!(phy.expected_data_airtime(d, len) >= phy.airtime(len));
+    }
+}
+
+// ------------------------------------------------- protocol state machines
+
+proptest! {
+    /// The DHCP client survives arbitrary (well-formed) message storms
+    /// without panicking and without binding to mismatched transactions.
+    #[test]
+    fn dhcp_client_is_storm_proof(
+        seed in any::<u64>(),
+        msgs in proptest::collection::vec((0usize..5, any::<u32>(), any::<[u8;6]>()), 0..60),
+    ) {
+        use spider_repro::dhcp::{DhcpClient, DhcpClientConfig};
+        let mut c = DhcpClient::new(DhcpClientConfig::default(), [2, 0, 0, 0, 0, 1], 1);
+        c.start(Instant::ZERO, None);
+        let ip = std::net::Ipv4Addr::new(10, 0, 0, 50);
+        let srv = std::net::Ipv4Addr::new(10, 0, 0, 1);
+        let mut now = Instant::ZERO;
+        for (kind, xid, chaddr) in msgs {
+            now += Duration::from_millis(10);
+            let m = match kind {
+                0 => DhcpMessage::offer(xid, chaddr, ip, srv, 60),
+                1 => DhcpMessage::ack(xid, chaddr, ip, srv, 60),
+                2 => DhcpMessage::nak(xid, chaddr, srv),
+                3 => DhcpMessage::discover(xid, chaddr),
+                _ => DhcpMessage::request(xid, chaddr, ip, srv),
+            };
+            let _ = c.handle_message(&m, now);
+        }
+        // If it bound, the lease must be internally consistent.
+        if let Some(lease) = c.lease() {
+            prop_assert_eq!(lease.ip, ip);
+            prop_assert!(lease.expires > now);
+        }
+        let _ = seed;
+    }
+}
+
+// ------------------------------------------------ stateful model checks
+
+proptest! {
+    /// The event queue agrees with a sorted-vector reference model under
+    /// arbitrary interleavings of pushes, pops, and cancellations.
+    #[test]
+    fn event_queue_matches_reference_model(
+        ops in proptest::collection::vec((0u8..3, 0u64..1_000), 1..200),
+    ) {
+        use spider_repro::engine::EventQueue;
+        let mut q: EventQueue<u64> = EventQueue::new();
+        // Reference: Vec of (time_ms, insertion_seq, value, cancelled).
+        let mut model: Vec<(u64, u64, u64, bool)> = Vec::new();
+        let mut ids = Vec::new();
+        let mut seq = 0u64;
+        let mut now_ms = 0u64;
+        for (op, arg) in ops {
+            match op {
+                0 => {
+                    // Push at now + arg.
+                    let t = now_ms + arg;
+                    let id = q.push(Instant::from_millis(t), seq);
+                    ids.push((id, seq));
+                    model.push((t, seq, seq, false));
+                    seq += 1;
+                }
+                1 => {
+                    // Cancel a random-ish previously returned id.
+                    if !ids.is_empty() {
+                        let (id, s) = ids[(arg as usize) % ids.len()];
+                        q.cancel(id);
+                        if let Some(e) = model.iter_mut().find(|e| e.1 == s) {
+                            e.3 = true;
+                        }
+                    }
+                }
+                _ => {
+                    // Pop once; must match the earliest live model entry.
+                    let expected = model
+                        .iter()
+                        .filter(|e| !e.3)
+                        .min_by_key(|e| (e.0, e.1))
+                        .cloned();
+                    let got = q.pop();
+                    match (expected, got) {
+                        (None, None) => {}
+                        (Some(e), Some((at, v))) => {
+                            prop_assert_eq!(at, Instant::from_millis(e.0));
+                            prop_assert_eq!(v, e.2);
+                            now_ms = e.0;
+                            model.retain(|m| m.1 != e.1);
+                        }
+                        (e, g) => prop_assert!(false, "model {e:?} vs queue {g:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// TCP end-to-end over a pipe with random loss, reordering, and delay:
+    /// the receiver must deliver every payload byte exactly once (no gaps,
+    /// no duplicates reach the application), and the transfer completes.
+    #[test]
+    fn tcp_survives_lossy_reordering_pipe(
+        seed in any::<u64>(),
+        total in 1u64..200_000,
+        loss_pct in 0u32..30,
+    ) {
+        use spider_repro::tcp::{BulkReceiver, BulkSender, ReceiverAction, SenderAction, TcpConfig};
+        use spider_repro::tcp::Segment;
+
+        let cfg = TcpConfig { max_timeouts: 200, ..TcpConfig::default() };
+        let mut sender = BulkSender::new(cfg, 1, total, seed as u32);
+        let mut receiver = BulkReceiver::new(1);
+        let mut rng = Rng::new(seed);
+
+        // A tiny deterministic event loop: segments in flight with delivery
+        // times; timers for the sender.
+        let mut now = Instant::ZERO;
+        let mut flights: Vec<(Instant, bool, Segment)> = Vec::new(); // (arrival, to_receiver, seg)
+        let mut timer: Option<(Instant, u64)> = None;
+        let mut delivered = 0u64;
+
+        let push_sender_actions = |acts: Vec<SenderAction>,
+                                       now: Instant,
+                                       rng: &mut Rng,
+                                       flights: &mut Vec<(Instant, bool, Segment)>,
+                                       timer: &mut Option<(Instant, u64)>|
+         -> bool {
+            let mut complete = false;
+            for a in acts {
+                match a {
+                    SenderAction::Transmit(seg) if !rng.chance(loss_pct as f64 / 100.0) => {
+                        let delay = Duration::from_millis(rng.range_u64(10, 80));
+                        flights.push((now + delay, true, seg));
+                    }
+                    SenderAction::Transmit(_) => {} // lost
+                    SenderAction::ArmTimer { after, token } => *timer = Some((now + after, token)),
+                    SenderAction::Complete => complete = true,
+                    _ => {}
+                }
+            }
+            complete
+        };
+
+        let acts = sender.start(now);
+        let mut complete = push_sender_actions(acts, now, &mut rng, &mut flights, &mut timer);
+
+        let mut steps = 0u32;
+        while !complete {
+            steps += 1;
+            prop_assert!(steps < 60_000, "transfer did not converge");
+            // Next event: earliest flight or timer.
+            let next_flight_at =
+                flights.iter().map(|f| f.0).min();
+            prop_assert!(
+                next_flight_at.is_some() || timer.is_some(),
+                "deadlock: no events"
+            );
+            let take_timer = match (next_flight_at, timer) {
+                (None, Some(_)) => true,
+                (Some(_), None) => false,
+                (Some(f), Some((t, _))) => t <= f,
+                (None, None) => unreachable!("asserted above"),
+            };
+            if take_timer {
+                let (t, token) = timer.take().expect("checked");
+                now = now.max(t);
+                let acts = sender.on_timer(token, now);
+                prop_assert!(
+                    !sender.is_aborted(),
+                    "sender aborted at {loss_pct}% loss"
+                );
+                complete = push_sender_actions(acts, now, &mut rng, &mut flights, &mut timer)
+                    || complete;
+            } else {
+                let target = next_flight_at.expect("checked");
+                let idx = flights
+                    .iter()
+                    .position(|f| f.0 == target)
+                    .expect("min exists");
+                let (at, to_receiver, seg) = flights.swap_remove(idx);
+                now = now.max(at);
+                if to_receiver {
+                    for a in receiver.on_segment(&seg, now) {
+                        match a {
+                            ReceiverAction::Transmit(ack) => {
+                                if !rng.chance(loss_pct as f64 / 100.0) {
+                                    let delay = Duration::from_millis(rng.range_u64(10, 80));
+                                    flights.push((now + delay, false, ack));
+                                }
+                            }
+                            ReceiverAction::Deliver { bytes } => delivered += bytes,
+                            ReceiverAction::Finished => {}
+                        }
+                    }
+                } else {
+                    let acts = sender.on_segment(&seg, now);
+                    complete =
+                        push_sender_actions(acts, now, &mut rng, &mut flights, &mut timer)
+                            || complete;
+                }
+            }
+        }
+        // Exactly-once delivery of the whole stream.
+        prop_assert_eq!(delivered, total, "delivered bytes mismatch");
+        prop_assert_eq!(receiver.delivered(), total);
+        prop_assert!(receiver.is_finished());
+    }
+}
