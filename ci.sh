@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Offline CI for the spider-repro workspace.
+#
+# The workspace's contract is hermeticity: a clean checkout must build and
+# test with an EMPTY registry and no network. Every step below therefore
+# runs with --offline; if any crate ever grows a registry dependency, the
+# build steps and the dependency-freeze check both fail.
+#
+# Usage: ./ci.sh            (from the repo root)
+
+set -euo pipefail
+cd "$(dirname "$0")"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "dependency freeze (no registry sources)"
+# Path-only dependencies serialize as "source": null in cargo metadata; any
+# quoted source string means a registry/git dependency sneaked in.
+metadata=$(cargo metadata --offline --format-version 1)
+if printf '%s' "$metadata" | grep -Eo '"source":"[^"]+"' | sort -u | grep .; then
+    echo "error: non-path dependency sources found (listed above)." >&2
+    echo "This workspace must stay registry-free; see Cargo.toml." >&2
+    exit 1
+fi
+echo "ok: every package source is null (path-only workspace)"
+
+step "cargo build --release --offline"
+cargo build --release --offline --workspace --all-targets
+
+step "cargo test --offline"
+cargo test -q --offline --workspace
+
+step "cargo fmt --check"
+if cargo fmt --version >/dev/null 2>&1; then
+    cargo fmt --all --check
+else
+    echo "skip: rustfmt not installed"
+fi
+
+step "cargo clippy -D warnings"
+if cargo clippy --version >/dev/null 2>&1; then
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+else
+    echo "skip: clippy not installed"
+fi
+
+printf '\nCI passed.\n'

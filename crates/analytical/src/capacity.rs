@@ -42,7 +42,10 @@ impl CapacityPlan {
             "lateral offset must be within range"
         );
         assert!(self.join_time_s >= 0.0, "negative join time");
-        assert!((0.0..=1.0).contains(&self.join_success), "bad success probability");
+        assert!(
+            (0.0..=1.0).contains(&self.join_success),
+            "bad success probability"
+        );
         assert!(self.per_ap_bps >= 0.0, "negative bandwidth");
     }
 
@@ -128,7 +131,10 @@ mod tests {
         let min_chord = 2.0 * (90.0f64 * 90.0 - 45.0 * 45.0).sqrt();
         assert!(chord > min_chord && chord < 180.0, "chord {chord}");
         // Zero offset degenerates to the diameter.
-        let on_road = CapacityPlan { lateral_max_m: 0.0, ..p };
+        let on_road = CapacityPlan {
+            lateral_max_m: 0.0,
+            ..p
+        };
         assert_eq!(on_road.mean_chord_m(), 180.0);
     }
 
@@ -150,7 +156,10 @@ mod tests {
     #[test]
     fn faster_is_worse_per_encounter_but_not_per_hour_count() {
         let slow = plan();
-        let fast = CapacityPlan { speed_mps: 25.0, ..plan() };
+        let fast = CapacityPlan {
+            speed_mps: 25.0,
+            ..plan()
+        };
         assert!(fast.mean_encounter_s() < slow.mean_encounter_s());
         assert!(fast.encounters_per_hour() > slow.encounters_per_hour());
         assert!(fast.bytes_per_encounter() < slow.bytes_per_encounter());
@@ -163,7 +172,10 @@ mod tests {
         let at_breakeven = CapacityPlan { speed_mps: v, ..p };
         assert!(at_breakeven.usable_seconds() < 1e-9);
         // Just below it, something is usable again.
-        let below = CapacityPlan { speed_mps: v * 0.9, ..p };
+        let below = CapacityPlan {
+            speed_mps: v * 0.9,
+            ..p
+        };
         assert!(below.usable_seconds() > 0.0);
     }
 
@@ -180,15 +192,24 @@ mod tests {
 
     #[test]
     fn coverage_fraction_saturates() {
-        let dense = CapacityPlan { aps_per_km: 50.0, ..plan() };
+        let dense = CapacityPlan {
+            aps_per_km: 50.0,
+            ..plan()
+        };
         assert_eq!(dense.coverage_fraction(), 1.0);
-        let sparse = CapacityPlan { aps_per_km: 1.0, ..plan() };
+        let sparse = CapacityPlan {
+            aps_per_km: 1.0,
+            ..plan()
+        };
         assert!(sparse.coverage_fraction() < 0.2);
     }
 
     #[test]
     fn instant_joins_have_infinite_breakeven() {
-        let p = CapacityPlan { join_time_s: 0.0, ..plan() };
+        let p = CapacityPlan {
+            join_time_s: 0.0,
+            ..plan()
+        };
         assert!(p.breakeven_speed_mps().is_infinite());
     }
 }

@@ -54,10 +54,19 @@ impl JoinModelParams {
 
     fn validate(&self) {
         assert!(self.period > 0.0, "period must be positive");
-        assert!((0.0..=1.0).contains(&self.fraction), "fraction out of [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&self.fraction),
+            "fraction out of [0,1]"
+        );
         assert!(self.switch_delay >= 0.0, "negative switch delay");
-        assert!(self.request_interval > 0.0, "request interval must be positive");
-        assert!(self.beta_min >= 0.0 && self.beta_max >= self.beta_min, "bad beta range");
+        assert!(
+            self.request_interval > 0.0,
+            "request interval must be positive"
+        );
+        assert!(
+            self.beta_min >= 0.0 && self.beta_max >= self.beta_min,
+            "bad beta range"
+        );
         assert!((0.0..=1.0).contains(&self.loss), "loss out of [0,1]");
     }
 
@@ -239,9 +248,15 @@ mod tests {
         let lo = JoinModelParams::figure2(0.1, 5.0).p_join(4.0);
         assert!((0.12..0.32).contains(&lo), "p(f=0.1) = {lo}, paper ≈ 0.20");
         let mid = JoinModelParams::figure2(0.3, 5.0).p_join(4.0);
-        assert!((0.65..0.88).contains(&mid), "p(f=0.3) = {mid}, paper ≈ 0.75");
+        assert!(
+            (0.65..0.88).contains(&mid),
+            "p(f=0.3) = {mid}, paper ≈ 0.75"
+        );
         let hi = JoinModelParams::figure2(1.0, 5.0).p_join(4.0);
-        assert!(hi > 0.95, "p(f=1) = {hi}: full time on channel assures the join");
+        assert!(
+            hi > 0.95,
+            "p(f=1) = {hi}: full time on channel assures the join"
+        );
     }
 
     #[test]
@@ -251,7 +266,10 @@ mod tests {
         let mut last = 2.0;
         for beta_max in [1.0f64, 2.0, 5.0, 10.0] {
             let p = JoinModelParams::figure2(0.25, beta_max).p_join(4.0);
-            assert!(p <= last + 1e-9, "p must fall as βmax grows: βmax={beta_max} p={p}");
+            assert!(
+                p <= last + 1e-9,
+                "p must fall as βmax grows: βmax={beta_max} p={p}"
+            );
             last = p;
         }
     }
@@ -260,8 +278,11 @@ mod tests {
     fn switch_delay_has_minor_effect() {
         // Fig. 3 also notes w = 0 barely helps: β and the schedule dominate.
         let with_w = JoinModelParams::figure2(0.5, 10.0).p_join(4.0);
-        let without_w =
-            JoinModelParams { switch_delay: 0.0, ..JoinModelParams::figure2(0.5, 10.0) }.p_join(4.0);
+        let without_w = JoinModelParams {
+            switch_delay: 0.0,
+            ..JoinModelParams::figure2(0.5, 10.0)
+        }
+        .p_join(4.0);
         assert!(without_w >= with_w);
         assert!(
             (without_w - with_w) < 0.15,

@@ -36,7 +36,10 @@ pub fn simulate_one_stay(params: &JoinModelParams, t: f64, rng: &mut Rng) -> boo
             if !rng.chance((1.0 - params.loss) * (1.0 - params.loss)) {
                 continue;
             }
-            let beta = rng.range_f64(params.beta_min, params.beta_max.max(params.beta_min + 1e-12));
+            let beta = rng.range_f64(
+                params.beta_min,
+                params.beta_max.max(params.beta_min + 1e-12),
+            );
             let arrival = send + beta;
             if arrival > t {
                 continue;
@@ -142,6 +145,9 @@ mod tests {
         let (mean, sd) = simulate_runs(&params, 4.0, 30, 100, &mut rng);
         assert!((0.0..=1.0).contains(&mean));
         assert!(sd > 0.0, "independent runs must show sampling spread");
-        assert!(sd < 0.2, "spread of 100-trial estimates should be modest: {sd}");
+        assert!(
+            sd < 0.2,
+            "spread of 100-trial estimates should be modest: {sd}"
+        );
     }
 }

@@ -29,6 +29,8 @@ pub mod sensitivity;
 pub use capacity::CapacityPlan;
 pub use join_model::JoinModelParams;
 pub use join_sim::{simulate_join_probability, simulate_runs};
-pub use optimizer::{dividing_speed, figure4_inputs, solve, ChannelOffer, OptimizerInputs, Schedule};
+pub use optimizer::{
+    dividing_speed, figure4_inputs, solve, ChannelOffer, OptimizerInputs, Schedule,
+};
 pub use scenarios::{figure4_sweep, Fig4Scenario};
 pub use sensitivity::{panel, Sensitivity};

@@ -67,7 +67,10 @@ impl Schedule {
 
 /// The per-channel cap of constraint (9) at fraction `f`.
 fn fraction_cap(offer: &ChannelOffer, inputs: &OptimizerInputs, f: f64) -> f64 {
-    let params = JoinModelParams { fraction: f, ..inputs.join };
+    let params = JoinModelParams {
+        fraction: f,
+        ..inputs.join
+    };
     let g = params.expected_join_time(inputs.horizon);
     let usable = offer.joined_bps + (1.0 - g / inputs.horizon) * offer.available_bps;
     (usable / inputs.wireless_bps).clamp(0.0, 1.0)
@@ -133,8 +136,7 @@ fn search(
         let total_bits = total_bps * inputs.horizon;
         if total_bits > best.total_bits {
             best.fractions = current.clone();
-            best.per_channel_bps =
-                current.iter().map(|&f| f * inputs.wireless_bps).collect();
+            best.per_channel_bps = current.iter().map(|&f| f * inputs.wireless_bps).collect();
             best.total_bits = total_bits;
         }
         return;
@@ -153,7 +155,15 @@ fn search(
             continue;
         }
         current[idx] = f;
-        search(inputs, feasible, idx + 1, budget - f - switch_cost, w_frac, current, best);
+        search(
+            inputs,
+            feasible,
+            idx + 1,
+            budget - f - switch_cost,
+            w_frac,
+            current,
+            best,
+        );
     }
     current[idx] = 0.0;
 }
@@ -168,8 +178,14 @@ pub fn figure4_inputs(joined_share: f64, speed_mps: f64, beta_max: f64) -> Optim
     let range_m = 100.0;
     OptimizerInputs {
         channels: vec![
-            ChannelOffer { joined_bps: joined_share * wireless, available_bps: 0.0 },
-            ChannelOffer { joined_bps: 0.0, available_bps: (1.0 - joined_share) * wireless },
+            ChannelOffer {
+                joined_bps: joined_share * wireless,
+                available_bps: 0.0,
+            },
+            ChannelOffer {
+                joined_bps: 0.0,
+                available_bps: (1.0 - joined_share) * wireless,
+            },
         ],
         wireless_bps: wireless,
         horizon: 2.0 * range_m / speed_mps,
@@ -190,13 +206,7 @@ pub fn figure4_inputs(joined_share: f64, speed_mps: f64, beta_max: f64) -> Optim
 /// of §2.2, which the full-system simulation reproduces — so the dividing
 /// speed is defined by this recovery threshold. Binary search over
 /// `[lo, hi]` m/s.
-pub fn dividing_speed(
-    joined_share: f64,
-    beta_max: f64,
-    lo: f64,
-    hi: f64,
-    threshold: f64,
-) -> f64 {
+pub fn dividing_speed(joined_share: f64, beta_max: f64, lo: f64, hi: f64, threshold: f64) -> f64 {
     assert!(lo > 0.0 && hi > lo, "bad speed bracket");
     assert!((0.0..=1.0).contains(&threshold), "bad threshold");
     let second_channel_worthwhile = |v: f64| -> bool {
@@ -234,7 +244,11 @@ mod tests {
         // 2.5 m/s ⇒ T = 80 s: plenty of time to pay the join cost on
         // channel 2 and harvest its 75 % of Bw.
         let sched = solve(&figure4_inputs(0.25, 2.5, 10.0));
-        assert!(sched.fractions[1] > 0.3, "f2 = {} should be large", sched.fractions[1]);
+        assert!(
+            sched.fractions[1] > 0.3,
+            "f2 = {} should be large",
+            sched.fractions[1]
+        );
         assert!(sched.fractions[0] > 0.0);
     }
 
@@ -287,7 +301,10 @@ mod tests {
         let mut last = f64::INFINITY;
         for v in [2.5, 3.3, 5.0, 6.6, 10.0, 20.0] {
             let sched = solve(&figure4_inputs(0.5, v, 10.0));
-            assert!(sched.total_bits <= last + 1e-6, "total bits must shrink with speed");
+            assert!(
+                sched.total_bits <= last + 1e-6,
+                "total bits must shrink with speed"
+            );
             last = sched.total_bits;
         }
     }
@@ -321,9 +338,18 @@ mod tests {
         let wireless = 11_000_000.0;
         let inputs = OptimizerInputs {
             channels: vec![
-                ChannelOffer { joined_bps: 0.4 * wireless, available_bps: 0.0 },
-                ChannelOffer { joined_bps: 0.0, available_bps: 0.3 * wireless },
-                ChannelOffer { joined_bps: 0.0, available_bps: 0.3 * wireless },
+                ChannelOffer {
+                    joined_bps: 0.4 * wireless,
+                    available_bps: 0.0,
+                },
+                ChannelOffer {
+                    joined_bps: 0.0,
+                    available_bps: 0.3 * wireless,
+                },
+                ChannelOffer {
+                    joined_bps: 0.0,
+                    available_bps: 0.3 * wireless,
+                },
             ],
             wireless_bps: wireless,
             horizon: 60.0,
@@ -342,8 +368,14 @@ mod tests {
         let wireless = 11_000_000.0;
         let inputs = OptimizerInputs {
             channels: vec![
-                ChannelOffer { joined_bps: 0.5 * wireless, available_bps: 0.0 },
-                ChannelOffer { joined_bps: 0.0, available_bps: 0.0 },
+                ChannelOffer {
+                    joined_bps: 0.5 * wireless,
+                    available_bps: 0.0,
+                },
+                ChannelOffer {
+                    joined_bps: 0.0,
+                    available_bps: 0.0,
+                },
             ],
             wireless_bps: wireless,
             horizon: 30.0,

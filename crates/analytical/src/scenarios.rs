@@ -32,8 +32,11 @@ pub enum Fig4Scenario {
 impl Fig4Scenario {
     /// All three, in the paper's presentation order (left to right:
     /// (25, 75), (50, 50), (75, 25)).
-    pub const ALL: [Fig4Scenario; 3] =
-        [Fig4Scenario::AvailableHeavy, Fig4Scenario::Balanced, Fig4Scenario::JoinedHeavy];
+    pub const ALL: [Fig4Scenario; 3] = [
+        Fig4Scenario::AvailableHeavy,
+        Fig4Scenario::Balanced,
+        Fig4Scenario::JoinedHeavy,
+    ];
 
     /// The share of `Bw` already joined on channel 1.
     pub fn joined_share(self) -> f64 {
@@ -60,7 +63,10 @@ impl Fig4Scenario {
         let share = self.joined_share();
         OptimizerInputs {
             channels: vec![
-                ChannelOffer { joined_bps: share * WIRELESS_BPS, available_bps: 0.0 },
+                ChannelOffer {
+                    joined_bps: share * WIRELESS_BPS,
+                    available_bps: 0.0,
+                },
                 ChannelOffer {
                     joined_bps: 0.0,
                     available_bps: (1.0 - share) * WIRELESS_BPS,

@@ -25,7 +25,11 @@ pub struct Sensitivity {
 impl Sensitivity {
     /// Total swing of `p_join` across the sweep (max − min).
     pub fn p_swing(&self) -> f64 {
-        let max = self.p_join.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let max = self
+            .p_join
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
         let min = self.p_join.iter().copied().fold(f64::INFINITY, f64::min);
         max - min
     }
@@ -51,7 +55,12 @@ fn sweep(
         p_join.push(p);
         g.push(gt);
     }
-    Sensitivity { parameter, values, p_join, expected_join_time: g }
+    Sensitivity {
+        parameter,
+        values,
+        p_join,
+        expected_join_time: g,
+    }
 }
 
 /// The full sensitivity panel around the paper's operating point
@@ -59,15 +68,22 @@ fn sweep(
 pub fn panel(fraction: f64, beta_max: f64, t: f64) -> Vec<Sensitivity> {
     let base = JoinModelParams::figure2(fraction, beta_max);
     vec![
-        sweep(&base, t, "loss h", vec![0.0, 0.05, 0.10, 0.20, 0.35, 0.50], |b, v| {
-            JoinModelParams { loss: v, ..*b }
-        }),
+        sweep(
+            &base,
+            t,
+            "loss h",
+            vec![0.0, 0.05, 0.10, 0.20, 0.35, 0.50],
+            |b, v| JoinModelParams { loss: v, ..*b },
+        ),
         sweep(
             &base,
             t,
             "request interval c (s)",
             vec![0.05, 0.10, 0.20, 0.40],
-            |b, v| JoinModelParams { request_interval: v, ..*b },
+            |b, v| JoinModelParams {
+                request_interval: v,
+                ..*b
+            },
         ),
         sweep(
             &base,
@@ -84,7 +100,10 @@ pub fn panel(fraction: f64, beta_max: f64, t: f64) -> Vec<Sensitivity> {
             t,
             "switch delay w (s)",
             vec![0.0, 0.004, 0.007, 0.014, 0.020],
-            |b, v| JoinModelParams { switch_delay: v, ..*b },
+            |b, v| JoinModelParams {
+                switch_delay: v,
+                ..*b
+            },
         ),
         sweep(
             &base,
@@ -137,7 +156,10 @@ mod tests {
         // The paper's Fig. 3 remark: w barely matters next to β and the
         // schedule. Its swing must be small compared to the loss swing.
         let p = panel_at_op_point();
-        let w = p.iter().find(|s| s.parameter == "switch delay w (s)").unwrap();
+        let w = p
+            .iter()
+            .find(|s| s.parameter == "switch delay w (s)")
+            .unwrap();
         let loss = p.iter().find(|s| s.parameter == "loss h").unwrap();
         assert!(
             w.p_swing() < loss.p_swing(),
@@ -145,7 +167,11 @@ mod tests {
             w.p_swing(),
             loss.p_swing()
         );
-        assert!(w.p_swing() < 0.2, "w swing {} should be second-order", w.p_swing());
+        assert!(
+            w.p_swing() < 0.2,
+            "w swing {} should be second-order",
+            w.p_swing()
+        );
     }
 
     #[test]

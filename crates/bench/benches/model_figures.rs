@@ -1,7 +1,7 @@
 //! Benchmarks of the analytical artifacts: regenerating (scaled versions
 //! of) Fig. 2, Fig. 3, Fig. 4 and Table 1.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use bench::timer::Harness;
 
 use analytical::join_model::JoinModelParams;
 use analytical::join_sim::simulate_join_probability;
@@ -10,84 +10,69 @@ use sim_engine::rng::Rng;
 use sim_engine::stats::Summary;
 use wifi_mac::radio::RadioConfig;
 
-/// Fig. 2 (model side): Eq. 7 across the fraction axis.
-fn fig02_join_model(c: &mut Criterion) {
-    c.bench_function("fig02_join_model_curve", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for step in 1..=20 {
-                let f = step as f64 / 20.0;
-                acc += JoinModelParams::figure2(f, 10.0).p_join(4.0);
+fn main() {
+    let mut h = Harness::from_env("model_figures");
+
+    // Fig. 2 (model side): Eq. 7 across the fraction axis.
+    h.bench("fig02_join_model_curve", || {
+        let mut acc = 0.0;
+        for step in 1..=20 {
+            let f = step as f64 / 20.0;
+            acc += JoinModelParams::figure2(f, 10.0).p_join(4.0);
+        }
+        acc
+    });
+
+    // Fig. 2 (simulation side): the Monte-Carlo corroborator.
+    let params = JoinModelParams::figure2(0.4, 10.0);
+    let mut rng = Rng::new(7);
+    h.bench("fig02_join_simulation_1k_trials", || {
+        simulate_join_probability(&params, 4.0, 1_000, &mut rng)
+    });
+
+    // Fig. 3: the βmax sweep for all six plotted curves.
+    h.bench("fig03_beta_sweep", || {
+        let mut acc = 0.0;
+        for (f, w) in [
+            (0.10, 0.0),
+            (0.10, 0.007),
+            (0.25, 0.007),
+            (0.40, 0.007),
+            (0.50, 0.007),
+            (0.50, 0.0),
+        ] {
+            let mut beta = 0.6;
+            while beta <= 10.0 {
+                let p = JoinModelParams {
+                    switch_delay: w,
+                    ..JoinModelParams::figure2(f, beta)
+                };
+                acc += p.p_join(4.0);
+                beta += 0.8;
             }
-            black_box(acc)
-        })
+        }
+        acc
     });
-}
 
-/// Fig. 2 (simulation side): the Monte-Carlo corroborator.
-fn fig02_join_simulation(c: &mut Criterion) {
-    c.bench_function("fig02_join_simulation_1k_trials", |b| {
-        let params = JoinModelParams::figure2(0.4, 10.0);
-        let mut rng = Rng::new(7);
-        b.iter(|| black_box(simulate_join_probability(&params, 4.0, 1_000, &mut rng)))
+    // Fig. 4: one full optimizer solve (the unit the speed sweep repeats).
+    h.bench("fig04_optimizer_solve", || {
+        solve(&figure4_inputs(0.25, 5.0, 10.0))
     });
-}
 
-/// Fig. 3: the βmax sweep for all six plotted curves.
-fn fig03_beta_sweep(c: &mut Criterion) {
-    c.bench_function("fig03_beta_sweep", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for (f, w) in [(0.10, 0.0), (0.10, 0.007), (0.25, 0.007), (0.40, 0.007), (0.50, 0.007), (0.50, 0.0)]
-            {
-                let mut beta = 0.6;
-                while beta <= 10.0 {
-                    let p = JoinModelParams {
-                        switch_delay: w,
-                        ..JoinModelParams::figure2(f, beta)
-                    };
-                    acc += p.p_join(4.0);
-                    beta += 0.8;
-                }
+    // Table 1: the switch-latency distribution (mean ± σ, 0–4 interfaces).
+    let cfg = RadioConfig::default();
+    let mut rng = Rng::new(42);
+    h.bench("table1_switch_latency_model", || {
+        let mut out = Vec::with_capacity(5);
+        for connected in 0..=4usize {
+            let mut s = Summary::new();
+            for _ in 0..1_000 {
+                s.record(cfg.switch_latency(connected, &mut rng).as_secs_f64());
             }
-            black_box(acc)
-        })
+            out.push((s.mean(), s.std_dev()));
+        }
+        out
     });
-}
 
-/// Fig. 4: one full optimizer solve (the unit the speed sweep repeats).
-fn fig04_optimizer(c: &mut Criterion) {
-    c.bench_function("fig04_optimizer_solve", |b| {
-        b.iter(|| black_box(solve(&figure4_inputs(0.25, 5.0, 10.0))))
-    });
+    h.finish();
 }
-
-/// Table 1: the switch-latency distribution (mean ± σ for 0–4 interfaces).
-fn table1_switch_latency(c: &mut Criterion) {
-    c.bench_function("table1_switch_latency_model", |b| {
-        let cfg = RadioConfig::default();
-        let mut rng = Rng::new(42);
-        b.iter(|| {
-            let mut out = Vec::with_capacity(5);
-            for connected in 0..=4usize {
-                let mut s = Summary::new();
-                for _ in 0..1_000 {
-                    s.record(cfg.switch_latency(connected, &mut rng).as_secs_f64());
-                }
-                out.push((s.mean(), s.std_dev()));
-            }
-            black_box(out)
-        })
-    });
-}
-
-criterion_group!(
-    name = model_figures;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = fig02_join_model,
-        fig02_join_simulation,
-        fig03_beta_sweep,
-        fig04_optimizer,
-        table1_switch_latency
-);
-criterion_main!(model_figures);

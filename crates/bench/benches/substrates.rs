@@ -1,8 +1,9 @@
 //! Micro-benchmarks of the substrate hot paths: the costs every experiment
 //! pays millions of times.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
 
+use bench::timer::Harness;
 use dhcp::message::DhcpMessage;
 use sim_engine::queue::EventQueue;
 use sim_engine::rng::Rng;
@@ -13,58 +14,44 @@ use wifi_mac::frame::{Frame, Ssid};
 use wifi_mac::phy::PhyConfig;
 use wifi_mac::MacAddr;
 
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            let mut rng = Rng::new(1);
-            for i in 0..10_000u64 {
-                q.push(Instant::from_micros(rng.range_u64(0, 1_000_000)), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        })
-    });
-}
+fn main() {
+    let mut h = Harness::from_env("substrates");
 
-fn bench_rng(c: &mut Criterion) {
-    c.bench_function("rng_next_u64_x1M", |b| {
-        let mut rng = Rng::new(7);
-        b.iter(|| {
-            let mut acc = 0u64;
-            for _ in 0..1_000_000 {
-                acc = acc.wrapping_add(rng.next_u64());
-            }
-            black_box(acc)
-        })
+    h.bench("event_queue_push_pop_10k", || {
+        let mut q = EventQueue::new();
+        let mut rng = Rng::new(1);
+        for i in 0..10_000u64 {
+            q.push(Instant::from_micros(rng.range_u64(0, 1_000_000)), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
     });
-    c.bench_function("rng_normal_x100k", |b| {
-        let mut rng = Rng::new(7);
-        b.iter(|| {
-            let mut acc = 0.0;
-            for _ in 0..100_000 {
-                acc += rng.normal(0.0, 1.0);
-            }
-            black_box(acc)
-        })
-    });
-}
 
-fn bench_frame_codec(c: &mut Criterion) {
+    let mut rng = Rng::new(7);
+    h.bench("rng_next_u64_x1M", || {
+        let mut acc = 0u64;
+        for _ in 0..1_000_000 {
+            acc = acc.wrapping_add(rng.next_u64());
+        }
+        acc
+    });
+    let mut rng = Rng::new(7);
+    h.bench("rng_normal_x100k", || {
+        let mut acc = 0.0;
+        for _ in 0..100_000 {
+            acc += rng.normal(0.0, 1.0);
+        }
+        acc
+    });
+
     let beacon = Frame::beacon(MacAddr::ap(1), Ssid::new("open-net"), Channel::CH6, 12345);
     let encoded = beacon.encode();
-    c.bench_function("frame_encode_beacon", |b| {
-        b.iter(|| black_box(beacon.encode()))
-    });
-    c.bench_function("frame_decode_beacon", |b| {
-        b.iter(|| black_box(Frame::decode(&encoded).unwrap()))
-    });
-}
+    h.bench("frame_encode_beacon", || beacon.encode());
+    h.bench("frame_decode_beacon", || Frame::decode(&encoded).unwrap());
 
-fn bench_dhcp_codec(c: &mut Criterion) {
     let msg = DhcpMessage::ack(
         7,
         [2, 0, 0, 0, 0, 1],
@@ -72,125 +59,107 @@ fn bench_dhcp_codec(c: &mut Criterion) {
         std::net::Ipv4Addr::new(10, 0, 0, 1),
         3600,
     );
-    let encoded = msg.encode();
-    c.bench_function("dhcp_encode_ack", |b| b.iter(|| black_box(msg.encode())));
-    c.bench_function("dhcp_decode_ack", |b| {
-        b.iter(|| black_box(DhcpMessage::decode(&encoded).unwrap()))
+    let dhcp_encoded = msg.encode();
+    h.bench("dhcp_encode_ack", || msg.encode());
+    h.bench("dhcp_decode_ack", || {
+        DhcpMessage::decode(&dhcp_encoded).unwrap()
     });
-}
 
-fn bench_phy_math(c: &mut Criterion) {
     let phy = PhyConfig::default();
-    c.bench_function("phy_delivery_curve_x10k", |b| {
-        b.iter(|| {
-            let mut acc = 0.0;
-            for i in 0..10_000 {
-                acc += phy.data_delivery_prob(black_box(i as f64 / 50.0), 1500);
-            }
-            black_box(acc)
-        })
+    h.bench("phy_delivery_curve_x10k", || {
+        let mut acc = 0.0;
+        for i in 0..10_000 {
+            acc += phy.data_delivery_prob(black_box(i as f64 / 50.0), 1500);
+        }
+        acc
     });
+
+    h.bench("tcp_lossless_1MB_transfer", tcp_lossless_transfer);
+    h.bench("mac_join_handshake", mac_join_handshake);
+
+    h.finish();
 }
 
-fn bench_tcp_transfer(c: &mut Criterion) {
-    c.bench_function("tcp_lossless_1MB_transfer", |b| {
-        b.iter(|| {
-            let mut sender = BulkSender::new(TcpConfig::default(), 1, 1_000_000, 42);
-            let mut receiver = BulkReceiver::new(1);
-            let now = Instant::ZERO;
-            let mut to_recv: Vec<_> = sender
-                .start(now)
-                .into_iter()
-                .filter_map(|a| match a {
-                    SenderAction::Transmit(s) => Some(s),
-                    _ => None,
-                })
-                .collect();
-            let mut delivered = 0u64;
-            let mut guard = 0u32;
-            while !to_recv.is_empty() {
-                guard += 1;
-                assert!(guard < 100_000);
-                let mut to_send = Vec::new();
-                for seg in to_recv.drain(..) {
-                    for a in receiver.on_segment(&seg, now) {
-                        match a {
-                            ReceiverAction::Transmit(ack) => to_send.push(ack),
-                            ReceiverAction::Deliver { bytes } => delivered += bytes,
-                            ReceiverAction::Finished => {}
-                        }
-                    }
-                }
-                for ack in to_send {
-                    for a in sender.on_segment(&ack, now) {
-                        if let SenderAction::Transmit(seg) = a {
-                            to_recv.push(seg);
-                        }
-                    }
+fn tcp_lossless_transfer() -> u64 {
+    let mut sender = BulkSender::new(TcpConfig::default(), 1, 1_000_000, 42);
+    let mut receiver = BulkReceiver::new(1);
+    let now = Instant::ZERO;
+    let mut to_recv: Vec<_> = sender
+        .start(now)
+        .into_iter()
+        .filter_map(|a| match a {
+            SenderAction::Transmit(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    let mut delivered = 0u64;
+    let mut guard = 0u32;
+    while !to_recv.is_empty() {
+        guard += 1;
+        assert!(guard < 100_000);
+        let mut to_send = Vec::new();
+        for seg in to_recv.drain(..) {
+            for a in receiver.on_segment(&seg, now) {
+                match a {
+                    ReceiverAction::Transmit(ack) => to_send.push(ack),
+                    ReceiverAction::Deliver { bytes } => delivered += bytes,
+                    ReceiverAction::Finished => {}
                 }
             }
-            black_box(delivered)
-        })
-    });
+        }
+        for ack in to_send {
+            for a in sender.on_segment(&ack, now) {
+                if let SenderAction::Transmit(seg) = a {
+                    to_recv.push(seg);
+                }
+            }
+        }
+    }
+    delivered
 }
 
-fn bench_join_handshake(c: &mut Criterion) {
-    use sim_engine::rng::Rng;
+fn mac_join_handshake() -> Option<u16> {
     use wifi_mac::ap::{ApConfig, ApMac};
     use wifi_mac::client::{Action, ClientMac, JoinConfig};
-    c.bench_function("mac_join_handshake", |b| {
-        b.iter(|| {
-            let mut ap = ApMac::new(ApConfig::open(1, "open", Channel::CH1));
-            let mut client = ClientMac::new(
-                MacAddr::local(1),
-                ap.bssid(),
-                Ssid::new("open"),
-                JoinConfig { use_probe: false, ..JoinConfig::reduced() },
-            );
-            let mut rng = Rng::new(1);
-            let now = Instant::ZERO;
-            let mut to_ap: Vec<Frame> = client
-                .start(now)
-                .into_iter()
-                .filter_map(|a| match a {
-                    Action::Send(f) => Some(f),
-                    _ => None,
-                })
-                .collect();
-            let mut guard = 0;
-            while !client.is_associated() {
-                guard += 1;
-                assert!(guard < 100, "handshake did not converge");
-                let mut to_client = Vec::new();
-                for f in to_ap.drain(..) {
-                    for act in ap.on_frame(&f, now, &mut rng) {
-                        if let wifi_mac::ap::ApAction::Send { frame, .. } = act {
-                            to_client.push(frame);
-                        }
-                    }
-                }
-                for f in to_client {
-                    for act in client.handle_frame(&f) {
-                        if let Action::Send(out) = act {
-                            to_ap.push(out);
-                        }
-                    }
+    let mut ap = ApMac::new(ApConfig::open(1, "open", Channel::CH1));
+    let mut client = ClientMac::new(
+        MacAddr::local(1),
+        ap.bssid(),
+        Ssid::new("open"),
+        JoinConfig {
+            use_probe: false,
+            ..JoinConfig::reduced()
+        },
+    );
+    let mut rng = Rng::new(1);
+    let now = Instant::ZERO;
+    let mut to_ap: Vec<Frame> = client
+        .start(now)
+        .into_iter()
+        .filter_map(|a| match a {
+            Action::Send(f) => Some(f),
+            _ => None,
+        })
+        .collect();
+    let mut guard = 0;
+    while !client.is_associated() {
+        guard += 1;
+        assert!(guard < 100, "handshake did not converge");
+        let mut to_client = Vec::new();
+        for f in to_ap.drain(..) {
+            for act in ap.on_frame(&f, now, &mut rng) {
+                if let wifi_mac::ap::ApAction::Send { frame, .. } = act {
+                    to_client.push(frame);
                 }
             }
-            black_box(client.aid())
-        })
-    });
+        }
+        for f in to_client {
+            for act in client.handle_frame(&f) {
+                if let Action::Send(out) = act {
+                    to_ap.push(out);
+                }
+            }
+        }
+    }
+    client.aid()
 }
-
-criterion_group!(
-    name = substrates;
-    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_event_queue,
-        bench_rng,
-        bench_frame_codec,
-        bench_dhcp_codec,
-        bench_phy_math,
-        bench_tcp_transfer,
-        bench_join_handshake
-);
-criterion_main!(substrates);

@@ -10,103 +10,81 @@
 //! * `table2_fig10_eval` — the outdoor evaluation drive behind Table 2,
 //!   Fig. 10, Table 4 and Figs. 13–14.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-
+use bench::timer::Harness;
 use bench::{bench_lab, bench_vehicular};
 use sim_engine::time::Duration;
 use spider_core::config::{SchedulePolicy, SpiderConfig};
 use spider_core::world::run;
 use wifi_mac::channel::Channel;
 
-fn fig05_06_join_cdfs(c: &mut Criterion) {
-    c.bench_function("fig05_06_join_measurement_drive_60s", |b| {
-        b.iter(|| {
-            let mut spider = SpiderConfig::multi_channel_multi_ap(Duration::from_millis(133));
-            spider.schedule = SchedulePolicy::MultiChannel {
-                slices: vec![
-                    (Channel::CH6, Duration::from_millis(200)),
-                    (Channel::CH1, Duration::from_millis(100)),
-                    (Channel::CH11, Duration::from_millis(100)),
-                ],
-            };
-            let result = run(bench_vehicular(11, spider, 60));
-            black_box((result.assoc_times.count(), result.join_times.count()))
-        })
-    });
-}
+fn main() {
+    let mut h = Harness::from_env("system_figures");
 
-fn fig07_tcp_fraction(c: &mut Criterion) {
-    c.bench_function("fig07_tcp_fraction_point_30s", |b| {
-        b.iter(|| {
-            let mut spider = SpiderConfig::single_channel_multi_ap(Channel::CH1);
-            spider.schedule = SchedulePolicy::MultiChannel {
-                slices: vec![
-                    (Channel::CH1, Duration::from_millis(280)),
-                    (Channel::CH6, Duration::from_millis(60)),
-                    (Channel::CH11, Duration::from_millis(60)),
-                ],
-            };
-            let result = run(bench_lab(7, spider, 30, 50_000_000));
-            black_box(result.total_bytes)
-        })
+    h.bench("fig05_06_join_measurement_drive_60s", || {
+        let mut spider = SpiderConfig::multi_channel_multi_ap(Duration::from_millis(133));
+        spider.schedule = SchedulePolicy::MultiChannel {
+            slices: vec![
+                (Channel::CH6, Duration::from_millis(200)),
+                (Channel::CH1, Duration::from_millis(100)),
+                (Channel::CH11, Duration::from_millis(100)),
+            ],
+        };
+        let result = run(bench_vehicular(11, spider, 60));
+        (result.assoc_times.count(), result.join_times.count())
     });
-}
 
-fn fig08_tcp_slices(c: &mut Criterion) {
-    c.bench_function("fig08_tcp_slice_point_30s", |b| {
-        b.iter(|| {
-            let mut spider = SpiderConfig::single_channel_multi_ap(Channel::CH1);
-            spider.schedule = SchedulePolicy::equal_three(Duration::from_millis(200));
-            let result = run(bench_lab(7, spider, 30, 50_000_000));
-            black_box((result.total_bytes, result.tcp_rtos))
-        })
+    h.bench("fig07_tcp_fraction_point_30s", || {
+        let mut spider = SpiderConfig::single_channel_multi_ap(Channel::CH1);
+        spider.schedule = SchedulePolicy::MultiChannel {
+            slices: vec![
+                (Channel::CH1, Duration::from_millis(280)),
+                (Channel::CH6, Duration::from_millis(60)),
+                (Channel::CH11, Duration::from_millis(60)),
+            ],
+        };
+        let result = run(bench_lab(7, spider, 30, 50_000_000));
+        result.total_bytes
     });
-}
 
-fn fig09_backhaul_sweep(c: &mut Criterion) {
-    c.bench_function("fig09_two_ap_aggregation_point_20s", |b| {
-        b.iter(|| {
-            let mut cfg = bench_lab(
-                9,
-                SpiderConfig::single_channel_multi_ap(Channel::CH1),
-                20,
-                2_000_000,
-            );
-            // Second AP on the same channel, like Fig. 9's (100,0,0) row.
-            let mut second = cfg.sites[0].clone();
-            second.id = 2;
-            second.position = mobility::geometry::Point::new(8.0, 0.0);
-            cfg.sites.push(second);
-            let result = run(cfg);
-            black_box(result.total_bytes)
-        })
+    h.bench("fig08_tcp_slice_point_30s", || {
+        let mut spider = SpiderConfig::single_channel_multi_ap(Channel::CH1);
+        spider.schedule = SchedulePolicy::equal_three(Duration::from_millis(200));
+        let result = run(bench_lab(7, spider, 30, 50_000_000));
+        (result.total_bytes, result.tcp_rtos)
     });
-}
 
-fn table2_fig10_eval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table2_fig10");
+    h.bench("fig09_two_ap_aggregation_point_20s", || {
+        let mut cfg = bench_lab(
+            9,
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            20,
+            2_000_000,
+        );
+        // Second AP on the same channel, like Fig. 9's (100,0,0) row.
+        let mut second = cfg.sites[0].clone();
+        second.id = 2;
+        second.position = mobility::geometry::Point::new(8.0, 0.0);
+        cfg.sites.push(second);
+        let result = run(cfg);
+        result.total_bytes
+    });
+
     for (label, spider) in [
-        ("single_channel_multi_ap", SpiderConfig::single_channel_multi_ap(Channel::CH1)),
-        ("multi_channel_multi_ap", SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200))),
+        (
+            "single_channel_multi_ap",
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+        ),
+        (
+            "multi_channel_multi_ap",
+            SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)),
+        ),
         ("stock_madwifi", SpiderConfig::stock_madwifi()),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let result = run(bench_vehicular(42, spider.clone(), 120));
-                black_box((result.total_bytes, result.connectivity))
-            })
+        h.bench(&format!("table2_fig10/{label}"), || {
+            let result = run(bench_vehicular(42, spider.clone(), 120));
+            (result.total_bytes, result.connectivity)
         });
     }
-    group.finish();
-}
 
-criterion_group!(
-    name = system_figures;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = fig05_06_join_cdfs,
-        fig07_tcp_fraction,
-        fig08_tcp_slices,
-        fig09_backhaul_sweep,
-        table2_fig10_eval
-);
-criterion_main!(system_figures);
+    h.finish();
+}

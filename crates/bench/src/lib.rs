@@ -1,7 +1,8 @@
 //! # bench
 //!
-//! Criterion benchmarks for the Spider (CoNEXT 2011) reproduction. The
-//! benches live in `benches/`:
+//! Offline benchmarks for the Spider (CoNEXT 2011) reproduction, run on
+//! the in-tree std-only [`timer`] harness (`cargo bench` works with an
+//! empty registry). The benches live in `benches/`:
 //!
 //! * `substrates` — micro-benchmarks of the hot paths: event queue, PRNG,
 //!   frame and DHCP codecs, TCP lossless transfer, PHY math.
@@ -12,8 +13,12 @@
 //!   experiment family: the lab TCP benches behind Figs. 7–9 and the
 //!   vehicular drives behind Tables 2–4 / Figs. 5, 6, 10–14.
 //!
-//! This library crate hosts shared scenario builders so the bench targets
-//! stay small.
+//! This library crate hosts the harness plus shared scenario builders so
+//! the bench targets stay small. The non-default `external-bench` feature
+//! is the sanctioned hook for wiring a registry framework (criterion)
+//! back in for statistically rigorous runs; default builds stay hermetic.
+
+pub mod timer;
 
 use mobility::deployment::{deploy_along, ApSite, DeploymentConfig};
 use mobility::geometry::Point;

@@ -1,0 +1,171 @@
+//! A std-only micro-benchmark harness for `harness = false` bench targets.
+//!
+//! Deliberately small: warm up, then time whole-iteration batches until a
+//! wall-clock budget is spent, and report min / median / mean ns per
+//! iteration. That is enough signal to catch order-of-magnitude
+//! regressions in the simulator's hot paths without any registry
+//! dependency. For statistically rigorous comparisons, wire criterion
+//! back in behind the crate's `external-bench` feature.
+//!
+//! CLI (matches what `cargo bench` passes): any `--flag` is ignored, the
+//! first bare argument is a substring filter on bench names. The
+//! per-bench time budget defaults to two seconds; override it with the
+//! `SPIDER_BENCH_BUDGET_MS` environment variable.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Default per-bench measurement budget.
+const DEFAULT_BUDGET_MS: u64 = 2_000;
+
+/// Warm-up share of the budget (also caps warm-up iterations).
+const WARMUP_DIVISOR: u32 = 10;
+
+/// One bench target's runner: parses the CLI once, then times each
+/// registered closure.
+pub struct Harness {
+    filter: Option<String>,
+    budget: Duration,
+    ran: usize,
+}
+
+impl Harness {
+    /// Build from `std::env::args` and `SPIDER_BENCH_BUDGET_MS`.
+    pub fn from_env(target: &str) -> Harness {
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        let budget_ms = std::env::var("SPIDER_BENCH_BUDGET_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(DEFAULT_BUDGET_MS);
+        println!("{target}: {budget_ms} ms budget per bench");
+        Harness {
+            filter,
+            budget: Duration::from_millis(budget_ms),
+            ran: 0,
+        }
+    }
+
+    /// Time `f`, printing one summary line. The closure's return value is
+    /// passed through [`black_box`] so the work is not optimized away.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, name: &str, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        self.ran += 1;
+
+        // Warm-up: at least one iteration, at most a slice of the budget.
+        // Batch size comes from the *fastest* warm-up observation — one
+        // scheduling hiccup must not collapse batches to single calls.
+        let warmup_deadline = Instant::now() + self.budget / WARMUP_DIVISOR;
+        let mut fastest = Duration::MAX;
+        loop {
+            let start = Instant::now();
+            black_box(f());
+            fastest = fastest.min(start.elapsed());
+            if Instant::now() >= warmup_deadline {
+                break;
+            }
+        }
+        // Size batches so each one runs ~1/20 of the budget, keeping timer
+        // overhead negligible for nanosecond-scale bodies.
+        let target = (self.budget / 20).as_nanos().max(1);
+        let iters_per_batch = (target / fastest.as_nanos().max(1)).clamp(1, 1 << 20) as u64;
+
+        let mut batches: Vec<f64> = Vec::new(); // ns per iteration
+        let mut total_iters = 0u64;
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline || batches.is_empty() {
+            let start = Instant::now();
+            for _ in 0..iters_per_batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            batches.push(elapsed.as_nanos() as f64 / iters_per_batch as f64);
+            total_iters += iters_per_batch;
+        }
+
+        batches.sort_by(|a, b| a.total_cmp(b));
+        let min = batches[0];
+        let median = batches[batches.len() / 2];
+        let mean = batches.iter().sum::<f64>() / batches.len() as f64;
+        println!(
+            "  {name:<44} min {:>12}  med {:>12}  mean {:>12}  ({} iters, {} batches)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            total_iters,
+            batches.len(),
+        );
+    }
+
+    /// Final line; warns when a filter matched nothing (a typo'd filter
+    /// silently benching nothing is worse than noise).
+    pub fn finish(self) {
+        if self.ran == 0 {
+            if let Some(filter) = &self.filter {
+                eprintln!("warning: filter {filter:?} matched no benches");
+            }
+        }
+        println!("done ({} benches)", self.ran);
+    }
+}
+
+/// Render nanoseconds with an adaptive unit, e.g. `12.3 µs`.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert_eq!(fmt_ns(12.34), "12.3 ns");
+        assert_eq!(fmt_ns(12_340.0), "12.34 µs");
+        assert_eq!(fmt_ns(12_340_000.0), "12.34 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.50 s");
+    }
+
+    #[test]
+    fn bench_runs_the_closure_and_counts_it() {
+        let mut h = Harness {
+            filter: None,
+            budget: Duration::from_millis(20),
+            ran: 0,
+        };
+        let mut calls = 0u64;
+        h.bench("tiny", || {
+            calls += 1;
+            calls
+        });
+        assert!(calls > 0, "closure never ran");
+        assert_eq!(h.ran, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_names() {
+        let mut h = Harness {
+            filter: Some("match-me".into()),
+            budget: Duration::from_millis(20),
+            ran: 0,
+        };
+        let mut calls = 0u64;
+        h.bench("other", || calls += 1);
+        assert_eq!(calls, 0);
+        assert_eq!(h.ran, 0);
+        h.bench("does-match-me-yes", || calls += 1);
+        assert!(calls > 0);
+        assert_eq!(h.ran, 1);
+    }
+}

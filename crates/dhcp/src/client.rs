@@ -105,13 +105,22 @@ enum State {
     /// DISCOVER sent, waiting for OFFER.
     Selecting,
     /// REQUEST sent for a fresh offer, waiting for ACK.
-    Requesting { ip: Ipv4Addr, server: Ipv4Addr },
+    Requesting {
+        ip: Ipv4Addr,
+        server: Ipv4Addr,
+    },
     /// INIT-REBOOT REQUEST sent from a cached lease, waiting for ACK.
-    Rebooting { ip: Ipv4Addr, server: Ipv4Addr },
+    Rebooting {
+        ip: Ipv4Addr,
+        server: Ipv4Addr,
+    },
     Bound,
     /// Bound, with a unicast renewal REQUEST in flight (RFC 2131 T1/T2):
     /// the lease stays usable while renewing.
-    Renewing { ip: Ipv4Addr, server: Ipv4Addr },
+    Renewing {
+        ip: Ipv4Addr,
+        server: Ipv4Addr,
+    },
     Failed,
 }
 
@@ -150,7 +159,11 @@ impl DhcpClient {
     /// The active lease, if bound (renewal in flight still counts: the
     /// current lease remains valid until it expires).
     pub fn lease(&self) -> Option<Lease> {
-        if self.is_bound() { self.lease } else { None }
+        if self.is_bound() {
+            self.lease
+        } else {
+            None
+        }
     }
 
     /// True once bound (including while a renewal is in flight).
@@ -182,7 +195,10 @@ impl DhcpClient {
             self.timer_gen += 1;
             return vec![DhcpAction::Failed];
         }
-        self.state = State::Renewing { ip: lease.ip, server: lease.server };
+        self.state = State::Renewing {
+            ip: lease.ip,
+            server: lease.server,
+        };
         self.attempt_started = Some(now);
         let xid = self.next_xid();
         let mut req = DhcpMessage::request(xid, self.chaddr, lease.ip, lease.server);
@@ -223,7 +239,10 @@ impl DhcpClient {
 
     fn arm(&mut self) -> DhcpAction {
         self.timer_gen += 1;
-        DhcpAction::ArmTimer { after: self.config.retx_timeout, token: self.timer_gen }
+        DhcpAction::ArmTimer {
+            after: self.config.retx_timeout,
+            token: self.timer_gen,
+        }
     }
 
     fn secs_elapsed(&self, now: Instant) -> u16 {
@@ -252,7 +271,10 @@ impl DhcpClient {
         let xid = self.next_xid();
         match cached.filter(|l| l.is_valid(now)) {
             Some(lease) => {
-                self.state = State::Rebooting { ip: lease.ip, server: lease.server };
+                self.state = State::Rebooting {
+                    ip: lease.ip,
+                    server: lease.server,
+                };
                 let mut req = DhcpMessage::request(xid, self.chaddr, lease.ip, lease.server);
                 req.server_id = None; // INIT-REBOOT carries no server id
                 vec![DhcpAction::Send(req), self.arm()]
@@ -452,7 +474,11 @@ mod tests {
     #[test]
     fn cached_lease_goes_straight_to_request() {
         let mut c = client(DhcpClientConfig::default());
-        let lease = Lease { ip: IP, server: SRV, expires: Instant::from_secs(100) };
+        let lease = Lease {
+            ip: IP,
+            server: SRV,
+            expires: Instant::from_secs(100),
+        };
         let acts = c.start(Instant::ZERO, Some(lease));
         match &acts[0] {
             DhcpAction::Send(m) => {
@@ -472,7 +498,11 @@ mod tests {
     #[test]
     fn expired_cache_ignored() {
         let mut c = client(DhcpClientConfig::default());
-        let stale = Lease { ip: IP, server: SRV, expires: Instant::from_secs(1) };
+        let stale = Lease {
+            ip: IP,
+            server: SRV,
+            expires: Instant::from_secs(1),
+        };
         let acts = c.start(Instant::from_secs(5), Some(stale));
         assert!(matches!(&acts[0], DhcpAction::Send(m) if m.msg_type == MessageType::Discover));
     }
@@ -480,7 +510,11 @@ mod tests {
     #[test]
     fn nak_on_reboot_falls_back_to_discover() {
         let mut c = client(DhcpClientConfig::default());
-        let lease = Lease { ip: IP, server: SRV, expires: Instant::from_secs(100) };
+        let lease = Lease {
+            ip: IP,
+            server: SRV,
+            expires: Instant::from_secs(100),
+        };
         let acts = c.start(Instant::ZERO, Some(lease));
         let xid = sent_xid(&acts);
         let nak = DhcpMessage::nak(xid, CH, SRV);

@@ -10,8 +10,8 @@
 //! (1), router (3), end (255). Unknown options are skipped on decode, as a
 //! real client does.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use core::fmt;
+use sim_engine::wire::{Bytes, Reader, WireError, Writer};
 use std::net::Ipv4Addr;
 
 /// BOOTP op: client request.
@@ -110,6 +110,12 @@ impl fmt::Display for DhcpError {
 }
 
 impl std::error::Error for DhcpError {}
+
+impl From<WireError> for DhcpError {
+    fn from(_: WireError) -> DhcpError {
+        DhcpError::Truncated
+    }
+}
 
 /// A DHCP message.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -253,7 +259,7 @@ impl DhcpMessage {
 
     /// Encode to wire bytes (BOOTP header + magic + options).
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(280);
+        let mut buf = Writer::with_capacity(280);
         buf.put_u8(self.op);
         buf.put_u8(1); // htype: Ethernet
         buf.put_u8(6); // hlen
@@ -304,25 +310,23 @@ impl DhcpMessage {
     }
 
     /// Decode from wire bytes.
-    pub fn decode(mut buf: &[u8]) -> Result<DhcpMessage, DhcpError> {
-        if buf.remaining() < 236 + 4 {
-            return Err(DhcpError::Truncated);
-        }
-        let op = buf.get_u8();
-        let _htype = buf.get_u8();
-        let _hlen = buf.get_u8();
-        let _hops = buf.get_u8();
-        let xid = buf.get_u32();
-        let secs = buf.get_u16();
-        let _flags = buf.get_u16();
-        let ciaddr = take_ip(&mut buf);
-        let yiaddr = take_ip(&mut buf);
-        let _siaddr = take_ip(&mut buf);
-        let _giaddr = take_ip(&mut buf);
+    pub fn decode(bytes: &[u8]) -> Result<DhcpMessage, DhcpError> {
+        let mut buf = Reader::new(bytes);
+        let op = buf.get_u8()?;
+        let _htype = buf.get_u8()?;
+        let _hlen = buf.get_u8()?;
+        let _hops = buf.get_u8()?;
+        let xid = buf.get_u32()?;
+        let secs = buf.get_u16()?;
+        let _flags = buf.get_u16()?;
+        let ciaddr = take_ip(&mut buf)?;
+        let yiaddr = take_ip(&mut buf)?;
+        let _siaddr = take_ip(&mut buf)?;
+        let _giaddr = take_ip(&mut buf)?;
         let mut chaddr = [0u8; 6];
-        buf.copy_to_slice(&mut chaddr);
-        buf.advance(10 + 64 + 128);
-        if buf.get_u32() != MAGIC_COOKIE {
+        buf.read_exact(&mut chaddr)?;
+        buf.advance(10 + 64 + 128)?;
+        if buf.get_u32()? != MAGIC_COOKIE {
             return Err(DhcpError::BadCookie);
         }
 
@@ -333,22 +337,16 @@ impl DhcpMessage {
         let mut subnet_mask = None;
         let mut router = None;
         while buf.remaining() > 0 {
-            let code = buf.get_u8();
+            let code = buf.get_u8()?;
             if code == OPT_END {
                 break;
             }
             if code == OPT_PAD {
                 continue;
             }
-            if buf.remaining() < 1 {
-                return Err(DhcpError::BadOption);
-            }
-            let len = buf.get_u8() as usize;
-            if buf.remaining() < len {
-                return Err(DhcpError::BadOption);
-            }
-            let (payload, rest) = buf.split_at(len);
-            buf = rest;
+            // A truncated option is a malformed option, not a short packet.
+            let len = buf.get_u8().map_err(|_| DhcpError::BadOption)? as usize;
+            let payload = buf.take(len).map_err(|_| DhcpError::BadOption)?;
             match code {
                 OPT_MSG_TYPE => {
                     if len != 1 {
@@ -365,8 +363,9 @@ impl DhcpMessage {
                     if len != 4 {
                         return Err(DhcpError::BadOption);
                     }
-                    lease_secs =
-                        Some(u32::from_be_bytes([payload[0], payload[1], payload[2], payload[3]]));
+                    lease_secs = Some(u32::from_be_bytes([
+                        payload[0], payload[1], payload[2], payload[3],
+                    ]));
                 }
                 OPT_SUBNET => subnet_mask = Some(ip_from(payload)?),
                 OPT_ROUTER => router = Some(ip_from(payload)?),
@@ -395,17 +394,19 @@ impl DhcpMessage {
     }
 }
 
-fn take_ip(buf: &mut &[u8]) -> Ipv4Addr {
+fn take_ip(buf: &mut Reader<'_>) -> Result<Ipv4Addr, DhcpError> {
     let mut o = [0u8; 4];
-    buf.copy_to_slice(&mut o);
-    Ipv4Addr::from(o)
+    buf.read_exact(&mut o)?;
+    Ok(Ipv4Addr::from(o))
 }
 
 fn ip_from(payload: &[u8]) -> Result<Ipv4Addr, DhcpError> {
     if payload.len() != 4 {
         return Err(DhcpError::BadOption);
     }
-    Ok(Ipv4Addr::new(payload[0], payload[1], payload[2], payload[3]))
+    Ok(Ipv4Addr::new(
+        payload[0], payload[1], payload[2], payload[3],
+    ))
 }
 
 #[cfg(test)]
@@ -460,7 +461,10 @@ mod tests {
     #[test]
     fn truncated_fails_cleanly() {
         let bytes = DhcpMessage::discover(1, CH).encode();
-        assert_eq!(DhcpMessage::decode(&bytes[..200]), Err(DhcpError::Truncated));
+        assert_eq!(
+            DhcpMessage::decode(&bytes[..200]),
+            Err(DhcpError::Truncated)
+        );
         assert_eq!(DhcpMessage::decode(&[]), Err(DhcpError::Truncated));
     }
 

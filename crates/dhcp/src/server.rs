@@ -86,7 +86,12 @@ pub struct DhcpServer {
 impl DhcpServer {
     /// A fresh server with an empty lease table.
     pub fn new(config: DhcpServerConfig) -> DhcpServer {
-        DhcpServer { config, leases: HashMap::new(), next_offset: 0, counters: ServerCounters::default() }
+        DhcpServer {
+            config,
+            leases: HashMap::new(),
+            next_offset: 0,
+            counters: ServerCounters::default(),
+        }
     }
 
     /// Server configuration.
@@ -106,7 +111,12 @@ impl DhcpServer {
 
     fn addr_at(&self, offset: usize) -> Ipv4Addr {
         let base = self.config.server_ip.octets();
-        Ipv4Addr::new(base[0], base[1], base[2], self.config.pool_start.wrapping_add(offset as u8))
+        Ipv4Addr::new(
+            base[0],
+            base[1],
+            base[2],
+            self.config.pool_start.wrapping_add(offset as u8),
+        )
     }
 
     /// Find (or allocate) the address for `chaddr`. Stable: a returning
@@ -164,7 +174,10 @@ impl DhcpServer {
                 // The offer provisionally reserves the address.
                 self.leases.insert(
                     msg.chaddr,
-                    LeaseEntry { ip, expires: now + Duration::from_secs(30) },
+                    LeaseEntry {
+                        ip,
+                        expires: now + Duration::from_secs(30),
+                    },
                 );
                 self.counters.offers += 1;
                 let reply = DhcpMessage::offer(
@@ -210,13 +223,20 @@ impl DhcpServer {
                                 && (o[3] as usize)
                                     < self.config.pool_start as usize + self.config.pool_size
                         };
-                        in_pool && !self.leases.values().any(|l| l.ip == requested && l.expires > now)
+                        in_pool
+                            && !self
+                                .leases
+                                .values()
+                                .any(|l| l.ip == requested && l.expires > now)
                     }
                 };
                 if honour {
                     self.leases.insert(
                         msg.chaddr,
-                        LeaseEntry { ip: requested, expires: now + self.config.lease },
+                        LeaseEntry {
+                            ip: requested,
+                            expires: now + self.config.lease,
+                        },
                     );
                     self.counters.acks += 1;
                     let reply = DhcpMessage::ack(
@@ -263,7 +283,9 @@ mod tests {
         let mut s = server((100, 500));
         let mut rng = Rng::new(1);
         let now = Instant::ZERO;
-        let (d1, offer) = s.on_message(&DhcpMessage::discover(1, CH1), now, &mut rng).unwrap();
+        let (d1, offer) = s
+            .on_message(&DhcpMessage::discover(1, CH1), now, &mut rng)
+            .unwrap();
         assert!(d1 >= Duration::from_millis(100) && d1 < Duration::from_millis(500));
         assert_eq!(offer.msg_type, MessageType::Offer);
         let ip = offer.yiaddr;
@@ -281,9 +303,16 @@ mod tests {
     fn same_client_reoffered_same_address() {
         let mut s = server((1, 2));
         let mut rng = Rng::new(2);
-        let (_, o1) = s.on_message(&DhcpMessage::discover(1, CH1), Instant::ZERO, &mut rng).unwrap();
-        let (_, o2) =
-            s.on_message(&DhcpMessage::discover(2, CH1), Instant::from_secs(1), &mut rng).unwrap();
+        let (_, o1) = s
+            .on_message(&DhcpMessage::discover(1, CH1), Instant::ZERO, &mut rng)
+            .unwrap();
+        let (_, o2) = s
+            .on_message(
+                &DhcpMessage::discover(2, CH1),
+                Instant::from_secs(1),
+                &mut rng,
+            )
+            .unwrap();
         assert_eq!(o1.yiaddr, o2.yiaddr);
     }
 
@@ -291,8 +320,12 @@ mod tests {
     fn distinct_clients_distinct_addresses() {
         let mut s = server((1, 2));
         let mut rng = Rng::new(3);
-        let (_, o1) = s.on_message(&DhcpMessage::discover(1, CH1), Instant::ZERO, &mut rng).unwrap();
-        let (_, o2) = s.on_message(&DhcpMessage::discover(1, CH2), Instant::ZERO, &mut rng).unwrap();
+        let (_, o1) = s
+            .on_message(&DhcpMessage::discover(1, CH1), Instant::ZERO, &mut rng)
+            .unwrap();
+        let (_, o2) = s
+            .on_message(&DhcpMessage::discover(1, CH2), Instant::ZERO, &mut rng)
+            .unwrap();
         assert_ne!(o1.yiaddr, o2.yiaddr);
     }
 
@@ -300,7 +333,9 @@ mod tests {
     fn request_for_wrong_address_nakked() {
         let mut s = server((1, 2));
         let mut rng = Rng::new(4);
-        let (_, offer) = s.on_message(&DhcpMessage::discover(1, CH1), Instant::ZERO, &mut rng).unwrap();
+        let (_, offer) = s
+            .on_message(&DhcpMessage::discover(1, CH1), Instant::ZERO, &mut rng)
+            .unwrap();
         let wrong = Ipv4Addr::new(10, 0, 5, 250);
         let req = DhcpMessage::request(1, CH1, wrong, offer.server_id.unwrap());
         let (_, reply) = s.on_message(&req, Instant::ZERO, &mut rng).unwrap();
@@ -324,7 +359,8 @@ mod tests {
     fn init_reboot_for_foreign_subnet_nakked() {
         let mut s = server((1, 2));
         let mut rng = Rng::new(6);
-        let mut req = DhcpMessage::request(9, CH1, Ipv4Addr::new(192, 168, 1, 5), Ipv4Addr::UNSPECIFIED);
+        let mut req =
+            DhcpMessage::request(9, CH1, Ipv4Addr::new(192, 168, 1, 5), Ipv4Addr::UNSPECIFIED);
         req.server_id = None;
         let (_, reply) = s.on_message(&req, Instant::ZERO, &mut rng).unwrap();
         assert_eq!(reply.msg_type, MessageType::Nak);
@@ -334,8 +370,14 @@ mod tests {
     fn request_selecting_other_server_is_silent() {
         let mut s = server((1, 2));
         let mut rng = Rng::new(7);
-        s.on_message(&DhcpMessage::discover(1, CH1), Instant::ZERO, &mut rng).unwrap();
-        let req = DhcpMessage::request(1, CH1, Ipv4Addr::new(10, 9, 9, 5), Ipv4Addr::new(10, 9, 9, 1));
+        s.on_message(&DhcpMessage::discover(1, CH1), Instant::ZERO, &mut rng)
+            .unwrap();
+        let req = DhcpMessage::request(
+            1,
+            CH1,
+            Ipv4Addr::new(10, 9, 9, 5),
+            Ipv4Addr::new(10, 9, 9, 1),
+        );
         assert!(s.on_message(&req, Instant::ZERO, &mut rng).is_none());
         // The provisional reservation was dropped.
         assert_eq!(s.live_leases(Instant::ZERO), 0);
@@ -343,33 +385,51 @@ mod tests {
 
     #[test]
     fn pool_exhaustion_goes_silent() {
-        let mut cfg = DhcpServerConfig::for_ap(1, Duration::from_millis(1), Duration::from_millis(2));
+        let mut cfg =
+            DhcpServerConfig::for_ap(1, Duration::from_millis(1), Duration::from_millis(2));
         cfg.pool_size = 2;
         let mut s = DhcpServer::new(cfg);
         let mut rng = Rng::new(8);
         for i in 0..2u8 {
             let ch = [2, 0, 0, 0, 1, i];
-            assert!(s.on_message(&DhcpMessage::discover(1, ch), Instant::ZERO, &mut rng).is_some());
+            assert!(s
+                .on_message(&DhcpMessage::discover(1, ch), Instant::ZERO, &mut rng)
+                .is_some());
         }
         let ch3 = [2, 0, 0, 0, 1, 9];
-        assert!(s.on_message(&DhcpMessage::discover(1, ch3), Instant::ZERO, &mut rng).is_none());
+        assert!(s
+            .on_message(&DhcpMessage::discover(1, ch3), Instant::ZERO, &mut rng)
+            .is_none());
         assert_eq!(s.counters().ignored, 1);
     }
 
     #[test]
     fn expired_leases_reclaimed() {
-        let mut cfg = DhcpServerConfig::for_ap(1, Duration::from_millis(1), Duration::from_millis(2));
+        let mut cfg =
+            DhcpServerConfig::for_ap(1, Duration::from_millis(1), Duration::from_millis(2));
         cfg.pool_size = 1;
         cfg.lease = Duration::from_secs(10);
         let mut s = DhcpServer::new(cfg);
         let mut rng = Rng::new(9);
-        let (_, offer) = s.on_message(&DhcpMessage::discover(1, CH1), Instant::ZERO, &mut rng).unwrap();
+        let (_, offer) = s
+            .on_message(&DhcpMessage::discover(1, CH1), Instant::ZERO, &mut rng)
+            .unwrap();
         let req = DhcpMessage::request(1, CH1, offer.yiaddr, offer.server_id.unwrap());
         s.on_message(&req, Instant::ZERO, &mut rng).unwrap();
         // Other client blocked while the lease lives…
-        assert!(s.on_message(&DhcpMessage::discover(1, CH2), Instant::from_secs(5), &mut rng).is_none());
+        assert!(s
+            .on_message(
+                &DhcpMessage::discover(1, CH2),
+                Instant::from_secs(5),
+                &mut rng
+            )
+            .is_none());
         // …and served after expiry.
-        let got = s.on_message(&DhcpMessage::discover(2, CH2), Instant::from_secs(11), &mut rng);
+        let got = s.on_message(
+            &DhcpMessage::discover(2, CH2),
+            Instant::from_secs(11),
+            &mut rng,
+        );
         assert!(got.is_some());
     }
 
@@ -377,7 +437,9 @@ mod tests {
     fn release_frees_address() {
         let mut s = server((1, 2));
         let mut rng = Rng::new(10);
-        let (_, offer) = s.on_message(&DhcpMessage::discover(1, CH1), Instant::ZERO, &mut rng).unwrap();
+        let (_, offer) = s
+            .on_message(&DhcpMessage::discover(1, CH1), Instant::ZERO, &mut rng)
+            .unwrap();
         let req = DhcpMessage::request(1, CH1, offer.yiaddr, offer.server_id.unwrap());
         s.on_message(&req, Instant::ZERO, &mut rng).unwrap();
         assert_eq!(s.live_leases(Instant::ZERO), 1);
@@ -388,11 +450,14 @@ mod tests {
 
     #[test]
     fn ignore_prob_one_never_answers() {
-        let mut cfg = DhcpServerConfig::for_ap(1, Duration::from_millis(1), Duration::from_millis(2));
+        let mut cfg =
+            DhcpServerConfig::for_ap(1, Duration::from_millis(1), Duration::from_millis(2));
         cfg.ignore_prob = 1.0;
         let mut s = DhcpServer::new(cfg);
         let mut rng = Rng::new(11);
-        assert!(s.on_message(&DhcpMessage::discover(1, CH1), Instant::ZERO, &mut rng).is_none());
+        assert!(s
+            .on_message(&DhcpMessage::discover(1, CH1), Instant::ZERO, &mut rng)
+            .is_none());
         assert_eq!(s.counters().ignored, 1);
     }
 
@@ -404,7 +469,9 @@ mod tests {
         let mut hi = Duration::ZERO;
         for xid in 0..200 {
             let ch = [2, 0, 0, (xid >> 8) as u8, xid as u8, 0];
-            let (d, _) = s.on_message(&DhcpMessage::discover(1, ch), Instant::ZERO, &mut rng).unwrap();
+            let (d, _) = s
+                .on_message(&DhcpMessage::discover(1, ch), Instant::ZERO, &mut rng)
+                .unwrap();
             lo = lo.min(d);
             hi = hi.max(d);
             // Release so the pool never exhausts.
@@ -413,6 +480,9 @@ mod tests {
         }
         assert!(lo >= Duration::from_millis(500));
         assert!(hi < Duration::from_millis(5000));
-        assert!(hi > Duration::from_millis(2500), "should explore the upper half");
+        assert!(
+            hi > Duration::from_millis(2500),
+            "should explore the upper half"
+        );
     }
 }

@@ -68,8 +68,13 @@ pub fn lab_world(
     duration: Duration,
     dist: f64,
 ) -> WorldConfig {
-    let mut cfg =
-        WorldConfig::new(seed, sites, ClientMotion::Fixed(Point::new(0.0, dist)), spider, duration);
+    let mut cfg = WorldConfig::new(
+        seed,
+        sites,
+        ClientMotion::Fixed(Point::new(0.0, dist)),
+        spider,
+        duration,
+    );
     cfg.backhaul_latency = Duration::from_millis(90);
     cfg
 }
@@ -111,8 +116,7 @@ pub fn split_schedule(primary: Channel, f: f64, period: Duration) -> SchedulePol
 }
 
 /// Where JSON reports are written, when `--json <dir>` was passed.
-pub static JSON_DIR: std::sync::OnceLock<Option<std::path::PathBuf>> =
-    std::sync::OnceLock::new();
+pub static JSON_DIR: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
 
 fn export_json(label: &str, result: &RunResult) {
     let Some(Some(dir)) = JSON_DIR.get().map(|d| d.as_ref()) else {
@@ -120,7 +124,13 @@ fn export_json(label: &str, result: &RunResult) {
     };
     let file = label
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect::<String>();
     let path = dir.join(format!("{file}.json"));
     let report = spider_core::report::Report::from_run(result);
@@ -129,21 +139,13 @@ fn export_json(label: &str, result: &RunResult) {
     }
 }
 
-/// Run many labelled configurations in parallel (one OS thread each; the
-/// simulations are pure CPU and independent). With `--json <dir>`, each
-/// result is also written as `<dir>/<label>.json`.
+/// Run many labelled configurations in parallel across the in-tree worker
+/// pool (the simulations are pure CPU and independent; each carries its own
+/// seed in its `WorldConfig`, so results are identical at any worker
+/// count). With `--json <dir>`, each result is also written as
+/// `<dir>/<label>.json`.
 pub fn run_all(configs: Vec<(String, WorldConfig)>) -> Vec<(String, RunResult)> {
-    let results: Vec<(String, RunResult)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = configs
-            .into_iter()
-            .map(|(label, cfg)| scope.spawn(move |_| (label, run(cfg))))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sim thread panicked"))
-            .collect()
-    })
-    .expect("scope panicked");
+    let results = sim_engine::par::map(configs, |_, (label, cfg)| (label, run(cfg)));
     for (label, result) in &results {
         export_json(label, result);
     }
@@ -161,11 +163,7 @@ pub fn print_cdf(name: &str, samples: &Samples, probes: &[f64], unit: &str) {
     for &p in probes {
         print!(" {:>5.2}@{p}{unit}", s.cdf_at(p));
     }
-    println!(
-        "  [n={} med={:.2}{unit}]",
-        s.count(),
-        s.median()
-    );
+    println!("  [n={} med={:.2}{unit}]", s.count(), s.median());
 }
 
 /// Print the standard quantile summary of a sample set.
@@ -192,4 +190,45 @@ pub fn header(title: &str) {
     println!("================================================================");
     println!("{title}");
     println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spider_core::report::Report;
+
+    fn small_batch() -> Vec<(String, WorldConfig)> {
+        let spider = SpiderConfig::single_channel_multi_ap(Channel::CH1);
+        (0..4)
+            .map(|i| {
+                let sites = vec![lab_site(1, 0.0, Channel::CH1, 2_000_000)];
+                let cfg = lab_world(
+                    DEFAULT_SEED + i,
+                    sites,
+                    spider.clone(),
+                    Duration::from_secs(10),
+                    10.0,
+                );
+                (format!("world-{i}"), cfg)
+            })
+            .collect()
+    }
+
+    /// The fan-out must be byte-identical at any worker count: each run's
+    /// randomness comes from its own `WorldConfig` seed, never from
+    /// scheduling.
+    #[test]
+    fn fan_out_is_byte_identical_across_worker_counts() {
+        let serial: Vec<(String, String)> =
+            sim_engine::par::map_with_workers(small_batch(), 1, |_, (label, cfg)| {
+                (label, Report::from_run(&run(cfg)).to_json())
+            });
+        for workers in [2, 4] {
+            let parallel: Vec<(String, String)> =
+                sim_engine::par::map_with_workers(small_batch(), workers, |_, (label, cfg)| {
+                    (label, Report::from_run(&run(cfg)).to_json())
+                });
+            assert_eq!(parallel, serial, "{workers} workers diverged from serial");
+        }
+    }
 }

@@ -178,7 +178,10 @@ pub fn density(scale: Scale) {
     ]);
     for (label, r) in &results {
         let connected_time: f64 = r.concurrency_seconds.iter().skip(1).sum();
-        println!("\n  {label}: throughput {:.1} KB/s", r.avg_throughput_kbps());
+        println!(
+            "\n  {label}: throughput {:.1} KB/s",
+            r.avg_throughput_kbps()
+        );
         if connected_time > 0.0 {
             for (n, secs) in r.concurrency_seconds.iter().enumerate().skip(1) {
                 if *secs > 0.0 {
@@ -214,10 +217,19 @@ pub fn table4(scale: Scale) {
     };
     let results = run_all(vec![
         mk("1 channel", SchedulePolicy::SingleChannel(Channel::CH1)),
-        mk("2 channels (equal schedule)", SchedulePolicy::equal_two(Duration::from_millis(200))),
-        mk("3 channels (equal schedule)", SchedulePolicy::equal_three(Duration::from_millis(200))),
+        mk(
+            "2 channels (equal schedule)",
+            SchedulePolicy::equal_two(Duration::from_millis(200)),
+        ),
+        mk(
+            "3 channels (equal schedule)",
+            SchedulePolicy::equal_three(Duration::from_millis(200)),
+        ),
     ]);
-    println!("\n  {:<32} {:>14} {:>14}", "schedule", "tput (KB/s)", "connectivity");
+    println!(
+        "\n  {:<32} {:>14} {:>14}",
+        "schedule", "tput (KB/s)", "connectivity"
+    );
     for (label, r) in &results {
         println!(
             "  {:<32} {:>14.1} {:>13.1}%",
@@ -247,13 +259,43 @@ pub fn fig13_14(scale: Scale, spider_single: &RunResult, spider_multi: &RunResul
         100 * mesh::capture::HTTP_CONNECTIONS / mesh::capture::TCP_CONNECTIONS
     );
     println!("\n  Figure 13 — connection duration CDFs:");
-    print_cdf("users (synthetic mesh capture)", &user_durations, &[10.0, 30.0, 60.0], "s");
-    print_cdf("Spider multi-AP (ch1)", &spider_single.connection_durations, &[10.0, 30.0, 60.0], "s");
-    print_cdf("Spider multi-AP (multi-channel)", &spider_multi.connection_durations, &[10.0, 30.0, 60.0], "s");
+    print_cdf(
+        "users (synthetic mesh capture)",
+        &user_durations,
+        &[10.0, 30.0, 60.0],
+        "s",
+    );
+    print_cdf(
+        "Spider multi-AP (ch1)",
+        &spider_single.connection_durations,
+        &[10.0, 30.0, 60.0],
+        "s",
+    );
+    print_cdf(
+        "Spider multi-AP (multi-channel)",
+        &spider_multi.connection_durations,
+        &[10.0, 30.0, 60.0],
+        "s",
+    );
     println!("\n  Figure 14 — disruption / inter-connection CDFs:");
-    print_cdf("users inter-connection (synthetic)", &user_gaps, &[30.0, 120.0, 300.0], "s");
-    print_cdf("Spider multi-AP (ch1) disruptions", &spider_single.disruption_durations, &[30.0, 120.0, 300.0], "s");
-    print_cdf("Spider multi-AP (multi-ch) disruptions", &spider_multi.disruption_durations, &[30.0, 120.0, 300.0], "s");
+    print_cdf(
+        "users inter-connection (synthetic)",
+        &user_gaps,
+        &[30.0, 120.0, 300.0],
+        "s",
+    );
+    print_cdf(
+        "Spider multi-AP (ch1) disruptions",
+        &spider_single.disruption_durations,
+        &[30.0, 120.0, 300.0],
+        "s",
+    );
+    print_cdf(
+        "Spider multi-AP (multi-ch) disruptions",
+        &spider_multi.disruption_durations,
+        &[30.0, 120.0, 300.0],
+        "s",
+    );
     println!("\n  Expected shape: Spider's connection lengths cover the users' flow");
     println!("  lengths; multi-channel disruptions are comparable to user gaps.");
 }
@@ -266,7 +308,15 @@ pub fn usability(scale: Scale) {
             .filter(|(l, _)| l.starts_with("(1)") || l.starts_with("(3)"))
             .collect(),
     );
-    let single = &results.iter().find(|(l, _)| l.starts_with("(1)")).expect("cfg 1").1;
-    let multi = &results.iter().find(|(l, _)| l.starts_with("(3)")).expect("cfg 3").1;
+    let single = &results
+        .iter()
+        .find(|(l, _)| l.starts_with("(1)"))
+        .expect("cfg 1")
+        .1;
+    let multi = &results
+        .iter()
+        .find(|(l, _)| l.starts_with("(3)"))
+        .expect("cfg 3")
+        .1;
     fig13_14(scale, single, multi);
 }

@@ -28,21 +28,46 @@ pub fn ablation(scale: Scale) {
     // several mechanisms stop binding; the multi-channel schedule is where
     // the paper's join pathologies live, so ablate under both.
     let multi = |mut cfg: SpiderConfig| {
-        cfg.schedule = spider_core::config::SchedulePolicy::equal_three(
-            Duration::from_millis(200),
-        );
+        cfg.schedule = spider_core::config::SchedulePolicy::equal_three(Duration::from_millis(200));
         cfg
     };
     let results = run_all(vec![
-        mk("full Spider (ch1, multi-AP)", SpiderConfig::single_channel_multi_ap(Channel::CH1)),
-        mk("— join-history selection (best-RSSI)", SpiderConfig::ablate_history(Channel::CH1)),
-        mk("— lease cache (full DHCP every join)", SpiderConfig::ablate_lease_cache(Channel::CH1)),
-        mk("— reduced timers (stock 1s/3s/60s)", SpiderConfig::ablate_reduced_timers(Channel::CH1)),
-        mk("— parallel joins (one interface)", SpiderConfig::ablate_parallel_join(Channel::CH1)),
-        mk("full Spider (3 channels)", multi(SpiderConfig::single_channel_multi_ap(Channel::CH1))),
-        mk("— lease cache (3 channels)", multi(SpiderConfig::ablate_lease_cache(Channel::CH1))),
-        mk("— reduced timers (3 channels)", multi(SpiderConfig::ablate_reduced_timers(Channel::CH1))),
-        mk("— parallel joins (3 channels)", multi(SpiderConfig::ablate_parallel_join(Channel::CH1))),
+        mk(
+            "full Spider (ch1, multi-AP)",
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+        ),
+        mk(
+            "— join-history selection (best-RSSI)",
+            SpiderConfig::ablate_history(Channel::CH1),
+        ),
+        mk(
+            "— lease cache (full DHCP every join)",
+            SpiderConfig::ablate_lease_cache(Channel::CH1),
+        ),
+        mk(
+            "— reduced timers (stock 1s/3s/60s)",
+            SpiderConfig::ablate_reduced_timers(Channel::CH1),
+        ),
+        mk(
+            "— parallel joins (one interface)",
+            SpiderConfig::ablate_parallel_join(Channel::CH1),
+        ),
+        mk(
+            "full Spider (3 channels)",
+            multi(SpiderConfig::single_channel_multi_ap(Channel::CH1)),
+        ),
+        mk(
+            "— lease cache (3 channels)",
+            multi(SpiderConfig::ablate_lease_cache(Channel::CH1)),
+        ),
+        mk(
+            "— reduced timers (3 channels)",
+            multi(SpiderConfig::ablate_reduced_timers(Channel::CH1)),
+        ),
+        mk(
+            "— parallel joins (3 channels)",
+            multi(SpiderConfig::ablate_parallel_join(Channel::CH1)),
+        ),
     ]);
     println!(
         "\n  {:<42} {:>11} {:>13} {:>7} {:>9} {:>10}",
@@ -124,11 +149,26 @@ pub fn adaptive(scale: Scale) {
         )
     };
     let results = run_all(vec![
-        mk("fixed channel 1", SpiderConfig::single_channel_multi_ap(Channel::CH1)),
-        mk("fixed channel 6", SpiderConfig::single_channel_multi_ap(Channel::CH6)),
-        mk("fixed channel 11", SpiderConfig::single_channel_multi_ap(Channel::CH11)),
-        mk("adaptive channel (extension)", SpiderConfig::adaptive_channel()),
-        mk("3-channel static schedule", SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200))),
+        mk(
+            "fixed channel 1",
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+        ),
+        mk(
+            "fixed channel 6",
+            SpiderConfig::single_channel_multi_ap(Channel::CH6),
+        ),
+        mk(
+            "fixed channel 11",
+            SpiderConfig::single_channel_multi_ap(Channel::CH11),
+        ),
+        mk(
+            "adaptive channel (extension)",
+            SpiderConfig::adaptive_channel(),
+        ),
+        mk(
+            "3-channel static schedule",
+            SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)),
+        ),
     ]);
     println!(
         "\n  {:<34} {:>11} {:>13} {:>7} {:>10}",
@@ -179,7 +219,10 @@ pub fn encounters(scale: Scale) {
         sites.len(),
         route.length() / 1000.0
     );
-    println!("  {:>28} {:>12} {:>12} {:>12}", "profile", "encounters", "median (s)", "mean (s)");
+    println!(
+        "  {:>28} {:>12} {:>12} {:>12}",
+        "profile", "encounters", "median (s)", "mean (s)"
+    );
     let mut profiles: Vec<(String, mobility::route::SpeedProfile)> = vec![];
     for speed in [5.0, 10.0, 15.0] {
         profiles.push((
@@ -226,10 +269,7 @@ pub fn capacity(scale: Scale) {
     // simulator gets) plus the committed calibration (DESIGN.md §7).
     let sites = amherst_sites(scale.seed);
     let route = crate::common::amherst_route();
-    let ch1: Vec<_> = sites
-        .iter()
-        .filter(|s| s.channel == Channel::CH1)
-        .collect();
+    let ch1: Vec<_> = sites.iter().filter(|s| s.channel == Channel::CH1).collect();
     let mean_backhaul_bps: f64 = if ch1.is_empty() {
         0.0
     } else {
@@ -257,13 +297,31 @@ pub fn capacity(scale: Scale) {
         mean_backhaul_bps / 1e6
     );
     println!("\n  channel-1 plan at 10 m/s:");
-    println!("    mean encounter        : {:>8.1} s", plan.mean_encounter_s());
-    println!("    encounters per hour   : {:>8.1}", plan.encounters_per_hour());
+    println!(
+        "    mean encounter        : {:>8.1} s",
+        plan.mean_encounter_s()
+    );
+    println!(
+        "    encounters per hour   : {:>8.1}",
+        plan.encounters_per_hour()
+    );
     println!("    usable s / encounter  : {:>8.1}", plan.usable_seconds());
-    println!("    bytes / encounter     : {:>8.0} kB", plan.bytes_per_encounter() / 1000.0);
-    println!("    planned average rate  : {:>8.1} KB/s", plan.average_rate_bps() / 1000.0);
-    println!("    coverage bound        : {:>8.1} %", 100.0 * plan.coverage_fraction());
-    println!("    break-even speed      : {:>8.1} m/s", plan.breakeven_speed_mps());
+    println!(
+        "    bytes / encounter     : {:>8.0} kB",
+        plan.bytes_per_encounter() / 1000.0
+    );
+    println!(
+        "    planned average rate  : {:>8.1} KB/s",
+        plan.average_rate_bps() / 1000.0
+    );
+    println!(
+        "    coverage bound        : {:>8.1} %",
+        100.0 * plan.coverage_fraction()
+    );
+    println!(
+        "    break-even speed      : {:>8.1} m/s",
+        plan.breakeven_speed_mps()
+    );
 
     // The simulator's answer for the same channel-1 world.
     let measured = run_all(vec![(
@@ -277,8 +335,11 @@ pub fn capacity(scale: Scale) {
         ),
     )]);
     let r = &measured[0].1;
-    println!("\n  simulator (same world)  : {:>8.1} KB/s at {:>4.1} % connectivity",
-        r.avg_throughput_kbps(), 100.0 * r.connectivity);
+    println!(
+        "\n  simulator (same world)  : {:>8.1} KB/s at {:>4.1} % connectivity",
+        r.avg_throughput_kbps(),
+        100.0 * r.connectivity
+    );
     println!("\n  Reading: the two should agree to within a small factor — the envelope");
     println!("  ignores multi-AP overlap (which helps) and join failures at the");
     println!("  encounter edges (which hurt).");

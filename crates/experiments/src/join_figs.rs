@@ -113,10 +113,26 @@ pub fn table3_fig11(scale: Scale) {
     let one = SchedulePolicy::SingleChannel(Channel::CH1);
     let three = SchedulePolicy::equal_three(Duration::from_millis(200));
     let cases: Vec<(String, SchedulePolicy, Option<Duration>)> = vec![
-        ("ch1, ll=100ms, dhcp=600ms, 7 ifaces".into(), one.clone(), Some(Duration::from_millis(600))),
-        ("ch1, ll=100ms, dhcp=400ms, 7 ifaces".into(), one.clone(), Some(Duration::from_millis(400))),
-        ("ch1, ll=100ms, dhcp=200ms, 7 ifaces".into(), one.clone(), Some(Duration::from_millis(200))),
-        ("3 chans 1/3 sched, ll=100ms, dhcp=200ms".into(), three.clone(), Some(Duration::from_millis(200))),
+        (
+            "ch1, ll=100ms, dhcp=600ms, 7 ifaces".into(),
+            one.clone(),
+            Some(Duration::from_millis(600)),
+        ),
+        (
+            "ch1, ll=100ms, dhcp=400ms, 7 ifaces".into(),
+            one.clone(),
+            Some(Duration::from_millis(400)),
+        ),
+        (
+            "ch1, ll=100ms, dhcp=200ms, 7 ifaces".into(),
+            one.clone(),
+            Some(Duration::from_millis(200)),
+        ),
+        (
+            "3 chans 1/3 sched, ll=100ms, dhcp=200ms".into(),
+            three.clone(),
+            Some(Duration::from_millis(200)),
+        ),
         ("ch1, default timers, 7 ifaces".into(), one, None),
         ("3 chans 1/3 sched, default timers".into(), three, None),
     ];
@@ -142,7 +158,10 @@ pub fn table3_fig11(scale: Scale) {
         })
         .collect();
     let results = run_all(configs);
-    println!("\n  {:<44} {:>9} {:>9} {:>9}", "configuration", "attempts", "failed", "failed %");
+    println!(
+        "\n  {:<44} {:>9} {:>9} {:>9}",
+        "configuration", "attempts", "failed", "failed %"
+    );
     for (label, r) in &results {
         println!(
             "  {:<44} {:>9} {:>9} {:>8.1}%",
@@ -167,7 +186,13 @@ pub fn fig12(scale: Scale) {
     let mk = |label: &str, spider: SpiderConfig| {
         (
             label.to_string(),
-            vehicular_world(scale.seed, amherst_sites(scale.seed), spider, scale.duration(900), 10.0),
+            vehicular_world(
+                scale.seed,
+                amherst_sites(scale.seed),
+                spider,
+                scale.duration(900),
+                10.0,
+            ),
         )
     };
     let mut one_iface = SpiderConfig::single_channel_single_ap(Channel::CH1);
@@ -197,7 +222,10 @@ pub fn fig12(scale: Scale) {
         mk("7 ifaces, ch1 100%, dhcp=200ms ll=100ms", seven_reduced),
         mk("7 ifaces, ch1/ch6 50/50, default timers", two_ch),
         mk("7 ifaces, 3 chans equal, default timers", three_default),
-        mk("7 ifaces, 3 chans equal, dhcp=200ms ll=100ms", three_reduced),
+        mk(
+            "7 ifaces, 3 chans equal, dhcp=200ms ll=100ms",
+            three_reduced,
+        ),
     ]);
     for (label, r) in &results {
         print_cdf(label, &r.join_times, &[1.0, 3.0, 8.0], "s");

@@ -24,7 +24,10 @@ use common::{Scale, DEFAULT_SEED};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut target = String::from("all");
-    let mut scale = Scale { factor: 1, seed: DEFAULT_SEED };
+    let mut scale = Scale {
+        factor: 1,
+        seed: DEFAULT_SEED,
+    };
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -45,11 +48,11 @@ fn main() {
             "--json" => {
                 i += 1;
                 let dir = std::path::PathBuf::from(
-                    args.get(i).unwrap_or_else(|| usage("--json needs a directory")),
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--json needs a directory")),
                 );
-                std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
-                    usage(&format!("cannot create {}: {e}", dir.display()))
-                });
+                std::fs::create_dir_all(&dir)
+                    .unwrap_or_else(|e| usage(&format!("cannot create {}: {e}", dir.display())));
                 let _ = common::JSON_DIR.set(Some(dir));
             }
             t if !t.starts_with('-') => target = t.to_string(),
@@ -58,7 +61,10 @@ fn main() {
         i += 1;
     }
 
-    println!("Spider (CoNEXT 2011) reproduction — seed {} scale {}", scale.seed, scale.factor);
+    println!(
+        "Spider (CoNEXT 2011) reproduction — seed {} scale {}",
+        scale.seed, scale.factor
+    );
     match target.as_str() {
         "fig2" => model_figs::fig2(scale.seed),
         "fig3" => model_figs::fig3(),

@@ -18,7 +18,10 @@ pub fn fig2(seed: u64) {
     let mut rng = Rng::new(seed);
     for beta_max in [5.0, 10.0] {
         println!("\n  βmax = {beta_max} s");
-        println!("  {:>6} {:>12} {:>12} {:>10}", "f_i", "model p", "sim mean", "sim σ");
+        println!(
+            "  {:>6} {:>12} {:>12} {:>10}",
+            "f_i", "model p", "sim mean", "sim σ"
+        );
         for step in 1..=20 {
             let f = step as f64 / 20.0;
             let params = JoinModelParams::figure2(f, beta_max);
@@ -44,7 +47,10 @@ pub fn fig3() {
     ];
     print!("  {:>8}", "βmax(s)");
     for (f, w) in curves {
-        print!(" {:>14}", format!("f={f}{}", if w == 0.0 { ",w=0" } else { "" }));
+        print!(
+            " {:>14}",
+            format!("f={f}{}", if w == 0.0 { ",w=0" } else { "" })
+        );
     }
     println!();
     let mut beta = 0.6;
@@ -75,7 +81,10 @@ pub fn fig4() {
             scenario.label(),
             1.0 - share
         );
-        println!("  {:>10} {:>14} {:>14} {:>10} {:>10}", "speed m/s", "ch1 kb/s", "ch2 kb/s", "f1", "f2");
+        println!(
+            "  {:>10} {:>14} {:>14} {:>10} {:>10}",
+            "speed m/s", "ch1 kb/s", "ch2 kb/s", "f1", "f2"
+        );
         for speed in [2.5, 3.3, 5.0, 6.6, 10.0, 20.0] {
             let sched = scenario.solve_at(speed, 10.0);
             println!(
@@ -87,12 +96,13 @@ pub fn fig4() {
             );
         }
         let divide = dividing_speed(share, 10.0, 1.0, 60.0, 0.5);
-        println!("  dividing speed (ch2 recovers <50% of its available bandwidth): {divide:.1} m/s");
+        println!(
+            "  dividing speed (ch2 recovers <50% of its available bandwidth): {divide:.1} m/s"
+        );
     }
     println!("\n  Expected shape: ch2's recovered bandwidth falls with speed; the paper's");
     println!("  hard single-channel rule additionally rests on the DHCP/TCP penalties of §2.2.");
 }
-
 
 /// Sensitivity panel: which model constant actually moves the answer.
 pub fn sensitivity_panel() {

@@ -64,7 +64,10 @@ pub fn fig8(scale: Scale) {
         })
         .collect();
     let results = run_all(configs);
-    println!("\n  {:>8} {:>18} {:>12}", "slice", "avg tput (kb/s)", "switches");
+    println!(
+        "\n  {:>8} {:>18} {:>12}",
+        "slice", "avg tput (kb/s)", "switches"
+    );
     for (label, r) in &results {
         println!(
             "  {label:>8} {:>18.0} {:>12}",
@@ -84,9 +87,17 @@ pub fn fig9(scale: Scale) {
     let backhauls_mbps = [0.5, 1.0, 2.0, 3.0, 4.0, 5.0];
     println!(
         "\n  {:>8} {:>12} {:>12} {:>16} {:>16} {:>18}",
-        "backhaul", "one stock", "two cards*", "Spider(100,0,0)", "Spider(50,0,50)", "Spider(100,0,100)"
+        "backhaul",
+        "one stock",
+        "two cards*",
+        "Spider(100,0,0)",
+        "Spider(50,0,50)",
+        "Spider(100,0,100)"
     );
-    println!("  {:>8} {:>12} {:>12} {:>16} {:>16} {:>18}", "(Mb/s)", "(KB/s)", "(KB/s)", "(KB/s)", "(KB/s)", "(KB/s)");
+    println!(
+        "  {:>8} {:>12} {:>12} {:>16} {:>16} {:>18}",
+        "(Mb/s)", "(KB/s)", "(KB/s)", "(KB/s)", "(KB/s)", "(KB/s)"
+    );
     for mbps in backhauls_mbps {
         let bps = (mbps * 1_000_000.0) as u64;
         let one_stock = lab_world(
@@ -100,7 +111,10 @@ pub fn fig9(scale: Scale) {
         // physical cards with stock drivers.
         let same_channel = lab_world(
             scale.seed,
-            vec![lab_site(1, 0.0, Channel::CH1, bps), lab_site(2, 8.0, Channel::CH1, bps)],
+            vec![
+                lab_site(1, 0.0, Channel::CH1, bps),
+                lab_site(2, 8.0, Channel::CH1, bps),
+            ],
             SpiderConfig::single_channel_multi_ap(Channel::CH1),
             scale.duration(40),
             10.0,
@@ -115,7 +129,10 @@ pub fn fig9(scale: Scale) {
             };
             lab_world(
                 scale.seed,
-                vec![lab_site(1, 0.0, Channel::CH1, bps), lab_site(2, 8.0, Channel::CH11, bps)],
+                vec![
+                    lab_site(1, 0.0, Channel::CH1, bps),
+                    lab_site(2, 8.0, Channel::CH11, bps),
+                ],
                 spider,
                 scale.duration(40),
                 10.0,
@@ -153,7 +170,10 @@ pub fn table1(scale: Scale) {
     header("Table 1 — channel switching latency (ms) of the Spider driver");
     let cfg = RadioConfig::default();
     let mut rng = Rng::new(scale.seed);
-    println!("\n  {:<24} {:>10} {:>10}", "connected interfaces", "mean", "std dev");
+    println!(
+        "\n  {:<24} {:>10} {:>10}",
+        "connected interfaces", "mean", "std dev"
+    );
     for connected in 0..=4usize {
         let mut s = Summary::new();
         for _ in 0..4_000 {

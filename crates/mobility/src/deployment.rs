@@ -59,7 +59,9 @@ impl ChannelMix {
 
     /// Everything on a single channel (for controlled micro-benchmarks).
     pub fn single(channel: Channel) -> ChannelMix {
-        ChannelMix { weights: vec![(channel, 1.0)] }
+        ChannelMix {
+            weights: vec![(channel, 1.0)],
+        }
     }
 
     /// Draw a channel.
@@ -122,8 +124,8 @@ impl DeploymentConfig {
             density_per_km: 3.5,
             lateral_offset_max: 45.0,
             channel_mix: ChannelMix::amherst(),
-            backhaul_bps_min: 512_000,      // DSL-era downlinks
-            backhaul_bps_max: 4_000_000,    // entry cable
+            backhaul_bps_min: 512_000,   // DSL-era downlinks
+            backhaul_bps_max: 4_000_000, // entry cable
             dhcp_floor_min: Duration::from_millis(100),
             dhcp_floor_max: Duration::from_millis(400),
             dhcp_ceiling_min: Duration::from_millis(400),
@@ -144,7 +146,10 @@ impl DeploymentConfig {
 /// Deploy APs along a route: a Poisson-like process at the configured
 /// density, with lateral offsets and per-AP channel/backhaul/DHCP draws.
 pub fn deploy_along(route: &Route, config: &DeploymentConfig, rng: &mut Rng) -> Vec<ApSite> {
-    assert!(config.density_per_km > 0.0, "deploy_along: non-positive density");
+    assert!(
+        config.density_per_km > 0.0,
+        "deploy_along: non-positive density"
+    );
     let mean_gap_m = 1_000.0 / config.density_per_km;
     let mut sites = Vec::new();
     let mut along = rng.exp(mean_gap_m);
@@ -219,7 +224,10 @@ mod tests {
             total += deploy_along(&route, &cfg, &mut rng).len();
         }
         let mean = total as f64 / runs as f64;
-        assert!((28.0..42.0).contains(&mean), "mean APs {mean}, expected ≈ 35");
+        assert!(
+            (28.0..42.0).contains(&mean),
+            "mean APs {mean}, expected ≈ 35"
+        );
     }
 
     #[test]
@@ -376,7 +384,10 @@ mod custom_tests {
             spacing_m: Dist::Exponential { mean: 250.0 },
             lateral_m: Dist::Uniform { lo: 0.0, hi: 60.0 },
             channel_mix: ChannelMix::amherst(),
-            backhaul_bps: Dist::LogNormal { mu: 14.2, sigma: 0.6 }, // ≈ 1.8 Mb/s median
+            backhaul_bps: Dist::LogNormal {
+                mu: 14.2,
+                sigma: 0.6,
+            }, // ≈ 1.8 Mb/s median
             dhcp_floor_s: Dist::Uniform { lo: 0.1, hi: 0.4 },
             dhcp_ceiling_s: Dist::Uniform { lo: 0.4, hi: 2.0 },
         }

@@ -205,8 +205,20 @@ mod tests {
     fn offset_ap_has_shorter_chord() {
         let route = Route::straight(Point::new(0.0, 0.0), Point::new(1000.0, 0.0));
         let vehicle = Vehicle::new(route, 10.0, Instant::ZERO);
-        let on_road = encounters(&vehicle, Point::new(500.0, 0.0), 100.0, Instant::ZERO, Instant::from_secs(200));
-        let offset = encounters(&vehicle, Point::new(500.0, 80.0), 100.0, Instant::ZERO, Instant::from_secs(200));
+        let on_road = encounters(
+            &vehicle,
+            Point::new(500.0, 0.0),
+            100.0,
+            Instant::ZERO,
+            Instant::from_secs(200),
+        );
+        let offset = encounters(
+            &vehicle,
+            Point::new(500.0, 80.0),
+            100.0,
+            Instant::ZERO,
+            Instant::from_secs(200),
+        );
         assert_eq!(offset.len(), 1);
         assert!(offset[0].duration() < on_road[0].duration());
         // Chord at 80 m offset with r = 100: 2·√(100²−80²) = 120 m → 12 s.
@@ -217,7 +229,13 @@ mod tests {
     fn out_of_range_ap_never_encountered() {
         let route = Route::straight(Point::new(0.0, 0.0), Point::new(1000.0, 0.0));
         let vehicle = Vehicle::new(route, 10.0, Instant::ZERO);
-        let es = encounters(&vehicle, Point::new(500.0, 200.0), 100.0, Instant::ZERO, Instant::from_secs(200));
+        let es = encounters(
+            &vehicle,
+            Point::new(500.0, 200.0),
+            100.0,
+            Instant::ZERO,
+            Instant::from_secs(200),
+        );
         assert!(es.is_empty());
     }
 
@@ -262,7 +280,13 @@ mod tests {
     fn horizon_clips_windows() {
         let route = Route::straight(Point::new(0.0, 0.0), Point::new(1000.0, 0.0));
         let vehicle = Vehicle::new(route, 10.0, Instant::ZERO);
-        let es = encounters(&vehicle, Point::new(500.0, 0.0), 100.0, Instant::ZERO, Instant::from_secs(50));
+        let es = encounters(
+            &vehicle,
+            Point::new(500.0, 0.0),
+            100.0,
+            Instant::ZERO,
+            Instant::from_secs(50),
+        );
         assert_eq!(es.len(), 1);
         assert_eq!(es[0].exit, Instant::from_secs(50));
     }
@@ -273,8 +297,20 @@ mod tests {
             let route = Route::straight(Point::new(0.0, 0.0), Point::new(2000.0, 0.0));
             Vehicle::new(route, speed, Instant::ZERO)
         };
-        let slow = encounters(&mk(5.0), Point::new(1000.0, 30.0), 100.0, Instant::ZERO, Instant::from_secs(1000));
-        let fast = encounters(&mk(20.0), Point::new(1000.0, 30.0), 100.0, Instant::ZERO, Instant::from_secs(1000));
+        let slow = encounters(
+            &mk(5.0),
+            Point::new(1000.0, 30.0),
+            100.0,
+            Instant::ZERO,
+            Instant::from_secs(1000),
+        );
+        let fast = encounters(
+            &mk(20.0),
+            Point::new(1000.0, 30.0),
+            100.0,
+            Instant::ZERO,
+            Instant::from_secs(1000),
+        );
         assert_eq!(slow[0].duration(), fast[0].duration() * 4);
     }
 
@@ -285,15 +321,29 @@ mod tests {
         // Stop line at 500 m — dead centre of the AP's footprint — for 30 s.
         let stopper = Vehicle::with_profile(
             route.clone(),
-            SpeedProfile::StopAndGo { cruise: 10.0, stop_every: 500.0, stop_for: 30.0 },
+            SpeedProfile::StopAndGo {
+                cruise: 10.0,
+                stop_every: 500.0,
+                stop_for: 30.0,
+            },
             Instant::ZERO,
         );
         let cruiser = Vehicle::new(route, 10.0, Instant::ZERO);
         let horizon = Instant::from_secs(400);
-        let stopped =
-            encounters(&stopper, Point::new(500.0, 0.0), 100.0, Instant::ZERO, horizon);
-        let cruised =
-            encounters(&cruiser, Point::new(500.0, 0.0), 100.0, Instant::ZERO, horizon);
+        let stopped = encounters(
+            &stopper,
+            Point::new(500.0, 0.0),
+            100.0,
+            Instant::ZERO,
+            horizon,
+        );
+        let cruised = encounters(
+            &cruiser,
+            Point::new(500.0, 0.0),
+            100.0,
+            Instant::ZERO,
+            horizon,
+        );
         assert_eq!(stopped.len(), 1);
         assert_eq!(cruised.len(), 1);
         // The cruiser gets the 20 s chord; the stopper adds its 30 s dwell.
@@ -312,7 +362,10 @@ mod tests {
             .map(|_| {
                 let along = rng.range_f64(0.0, 6000.0);
                 let p = vehicle.route().position_at_distance(along);
-                Point::new(p.x + rng.range_f64(-60.0, 60.0), p.y + rng.range_f64(-60.0, 60.0))
+                Point::new(
+                    p.x + rng.range_f64(-60.0, 60.0),
+                    p.y + rng.range_f64(-60.0, 60.0),
+                )
             })
             .collect();
         let stats = EncounterStats::collect(&vehicle, sites, 100.0, Instant::from_secs(600));

@@ -47,28 +47,40 @@ impl Point {
 
     /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
     pub fn lerp(self, other: Point, t: f64) -> Point {
-        Point { x: self.x + (other.x - self.x) * t, y: self.y + (other.y - self.y) * t }
+        Point {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
     }
 }
 
 impl Add for Point {
     type Output = Point;
     fn add(self, rhs: Point) -> Point {
-        Point { x: self.x + rhs.x, y: self.y + rhs.y }
+        Point {
+            x: self.x + rhs.x,
+            y: self.y + rhs.y,
+        }
     }
 }
 
 impl Sub for Point {
     type Output = Point;
     fn sub(self, rhs: Point) -> Point {
-        Point { x: self.x - rhs.x, y: self.y - rhs.y }
+        Point {
+            x: self.x - rhs.x,
+            y: self.y - rhs.y,
+        }
     }
 }
 
 impl Mul<f64> for Point {
     type Output = Point;
     fn mul(self, rhs: f64) -> Point {
-        Point { x: self.x * rhs, y: self.y * rhs }
+        Point {
+            x: self.x * rhs,
+            y: self.y * rhs,
+        }
     }
 }
 

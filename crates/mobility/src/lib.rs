@@ -24,7 +24,10 @@ pub mod geometry;
 pub mod route;
 pub mod waypoints;
 
-pub use deployment::{deploy_along, deploy_custom, deploy_evenly, ApSite, ChannelMix, CustomDeployment, DeploymentConfig};
+pub use deployment::{
+    deploy_along, deploy_custom, deploy_evenly, ApSite, ChannelMix, CustomDeployment,
+    DeploymentConfig,
+};
 pub use encounter::{encounters, range_intervals, Encounter, EncounterStats};
 pub use geometry::Point;
 pub use route::{Route, SpeedProfile, Vehicle};

@@ -38,7 +38,11 @@ impl Route {
         }
         let total = *cum.last().expect("non-empty");
         assert!(total > 0.0, "Route::new: zero-length route");
-        Route { points, cum, looped }
+        Route {
+            points,
+            cum,
+            looped,
+        }
     }
 
     /// A straight road from `a` to `b` (driven once, then parked at `b`).
@@ -76,7 +80,11 @@ impl Route {
 
     fn vertex(&self, i: usize) -> Point {
         // With `looped`, index len() refers back to vertex 0.
-        if i < self.points.len() { self.points[i] } else { self.points[0] }
+        if i < self.points.len() {
+            self.points[i]
+        } else {
+            self.points[0]
+        }
     }
 
     /// Number of segments (including the closing one when looped).
@@ -103,7 +111,10 @@ impl Route {
             dist.max(0.0)
         };
         // Find the segment containing d.
-        let idx = match self.cum.binary_search_by(|c| c.partial_cmp(&d).expect("no NaN")) {
+        let idx = match self
+            .cum
+            .binary_search_by(|c| c.partial_cmp(&d).expect("no NaN"))
+        {
             Ok(i) => i.min(self.cum.len() - 2),
             Err(i) => i - 1,
         };
@@ -141,7 +152,11 @@ impl SpeedProfile {
             SpeedProfile::Constant(v) => {
                 assert!(v > 0.0 && v.is_finite(), "SpeedProfile: bad speed {v}")
             }
-            SpeedProfile::StopAndGo { cruise, stop_every, stop_for } => {
+            SpeedProfile::StopAndGo {
+                cruise,
+                stop_every,
+                stop_for,
+            } => {
                 assert!(cruise > 0.0 && cruise.is_finite(), "bad cruise {cruise}");
                 assert!(stop_every > 0.0, "bad stop spacing {stop_every}");
                 assert!(stop_for >= 0.0, "bad stop dwell {stop_for}");
@@ -153,7 +168,11 @@ impl SpeedProfile {
     pub fn distance_after(&self, t: f64) -> f64 {
         match *self {
             SpeedProfile::Constant(v) => v * t,
-            SpeedProfile::StopAndGo { cruise, stop_every, stop_for } => {
+            SpeedProfile::StopAndGo {
+                cruise,
+                stop_every,
+                stop_for,
+            } => {
                 // One cycle = drive `stop_every` metres, then dwell.
                 let cycle_t = stop_every / cruise + stop_for;
                 let cycles = (t / cycle_t).floor();
@@ -169,7 +188,11 @@ impl SpeedProfile {
     pub fn time_to_distance(&self, d: f64) -> f64 {
         match *self {
             SpeedProfile::Constant(v) => d / v,
-            SpeedProfile::StopAndGo { cruise, stop_every, stop_for } => {
+            SpeedProfile::StopAndGo {
+                cruise,
+                stop_every,
+                stop_for,
+            } => {
                 let cycle_t = stop_every / cruise + stop_for;
                 let cycles = (d / stop_every).floor();
                 let rem = d - cycles * stop_every;
@@ -182,9 +205,11 @@ impl SpeedProfile {
     pub fn mean_speed(&self) -> f64 {
         match *self {
             SpeedProfile::Constant(v) => v,
-            SpeedProfile::StopAndGo { cruise, stop_every, stop_for } => {
-                stop_every / (stop_every / cruise + stop_for)
-            }
+            SpeedProfile::StopAndGo {
+                cruise,
+                stop_every,
+                stop_for,
+            } => stop_every / (stop_every / cruise + stop_for),
         }
     }
 }
@@ -211,7 +236,11 @@ impl Vehicle {
     /// A vehicle with an arbitrary speed profile.
     pub fn with_profile(route: Route, profile: SpeedProfile, departed: Instant) -> Vehicle {
         profile.validate();
-        Vehicle { route, profile, departed }
+        Vehicle {
+            route,
+            profile,
+            departed,
+        }
     }
 
     /// The route being driven.
@@ -238,8 +267,7 @@ impl Vehicle {
 
     /// The instant the vehicle reaches `d` metres along its drive.
     pub fn time_at_distance(&self, d: f64) -> Instant {
-        self.departed
-            + sim_engine::time::Duration::from_secs_f64(self.profile.time_to_distance(d))
+        self.departed + sim_engine::time::Duration::from_secs_f64(self.profile.time_to_distance(d))
     }
 
     /// Position at `now`.
@@ -271,7 +299,10 @@ mod tests {
         assert_eq!(r.position_at_distance(100.0), Point::new(100.0, 0.0));
         assert_eq!(r.position_at_distance(150.0), Point::new(100.0, 50.0));
         // One full lap later, back at a known point.
-        assert_eq!(r.position_at_distance(300.0 + 150.0), Point::new(100.0, 50.0));
+        assert_eq!(
+            r.position_at_distance(300.0 + 150.0),
+            Point::new(100.0, 50.0)
+        );
         // Closing segment: from (0,50) back to (0,0).
         assert_eq!(r.position_at_distance(275.0), Point::new(0.0, 25.0));
     }
@@ -279,7 +310,11 @@ mod tests {
     #[test]
     fn multi_segment_interpolation() {
         let r = Route::new(
-            vec![Point::new(0.0, 0.0), Point::new(10.0, 0.0), Point::new(10.0, 10.0)],
+            vec![
+                Point::new(0.0, 0.0),
+                Point::new(10.0, 0.0),
+                Point::new(10.0, 10.0),
+            ],
             false,
         );
         assert_eq!(r.length(), 20.0);
@@ -292,7 +327,10 @@ mod tests {
         let r = Route::straight(Point::new(0.0, 0.0), Point::new(1000.0, 0.0));
         let v = Vehicle::new(r, 10.0, Instant::from_secs(5));
         assert_eq!(v.position_at(Instant::from_secs(5)), Point::new(0.0, 0.0));
-        assert_eq!(v.position_at(Instant::from_secs(15)), Point::new(100.0, 0.0));
+        assert_eq!(
+            v.position_at(Instant::from_secs(15)),
+            Point::new(100.0, 0.0)
+        );
         // Before departure: still at the start.
         assert_eq!(v.position_at(Instant::ZERO), Point::new(0.0, 0.0));
     }
@@ -308,7 +346,11 @@ mod tests {
 
     #[test]
     fn stop_and_go_distance_and_inverse_agree() {
-        let p = SpeedProfile::StopAndGo { cruise: 10.0, stop_every: 200.0, stop_for: 15.0 };
+        let p = SpeedProfile::StopAndGo {
+            cruise: 10.0,
+            stop_every: 200.0,
+            stop_for: 15.0,
+        };
         // One cycle: 20 s driving + 15 s stopped = 35 s per 200 m.
         assert!((p.distance_after(35.0) - 200.0).abs() < 1e-9);
         assert!((p.distance_after(20.0) - 200.0).abs() < 1e-9); // parked
@@ -331,13 +373,26 @@ mod tests {
         let route = Route::straight(Point::new(0.0, 0.0), Point::new(5_000.0, 0.0));
         let v = Vehicle::with_profile(
             route,
-            SpeedProfile::StopAndGo { cruise: 10.0, stop_every: 100.0, stop_for: 10.0 },
+            SpeedProfile::StopAndGo {
+                cruise: 10.0,
+                stop_every: 100.0,
+                stop_for: 10.0,
+            },
             Instant::ZERO,
         );
         // After 10 s: reached the 100 m stop line; stays there until 20 s.
-        assert_eq!(v.position_at(Instant::from_secs(12)), Point::new(100.0, 0.0));
-        assert_eq!(v.position_at(Instant::from_secs(19)), Point::new(100.0, 0.0));
-        assert_eq!(v.position_at(Instant::from_secs(25)), Point::new(150.0, 0.0));
+        assert_eq!(
+            v.position_at(Instant::from_secs(12)),
+            Point::new(100.0, 0.0)
+        );
+        assert_eq!(
+            v.position_at(Instant::from_secs(19)),
+            Point::new(100.0, 0.0)
+        );
+        assert_eq!(
+            v.position_at(Instant::from_secs(25)),
+            Point::new(150.0, 0.0)
+        );
         // Mean speed halves (10 s driving + 10 s stopped per 100 m).
         assert!((v.speed() - 5.0).abs() < 1e-9);
     }

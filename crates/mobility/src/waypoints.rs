@@ -30,7 +30,11 @@ pub struct WaypointError {
 
 impl fmt::Display for WaypointError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "waypoint parse error on line {}: {}", self.line, self.reason)
+        write!(
+            f,
+            "waypoint parse error on line {}: {}",
+            self.line, self.reason
+        )
     }
 }
 
@@ -51,16 +55,19 @@ pub fn parse_route(text: &str) -> Result<Route, WaypointError> {
             continue;
         }
         let mut parts = line.split(',');
-        let x = parts
-            .next()
-            .map(str::trim)
-            .ok_or_else(|| WaypointError { line: line_no, reason: "missing x".into() })?;
-        let y = parts
-            .next()
-            .map(str::trim)
-            .ok_or_else(|| WaypointError { line: line_no, reason: "missing y".into() })?;
+        let x = parts.next().map(str::trim).ok_or_else(|| WaypointError {
+            line: line_no,
+            reason: "missing x".into(),
+        })?;
+        let y = parts.next().map(str::trim).ok_or_else(|| WaypointError {
+            line: line_no,
+            reason: "missing y".into(),
+        })?;
         if parts.next().is_some() {
-            return Err(WaypointError { line: line_no, reason: "too many fields".into() });
+            return Err(WaypointError {
+                line: line_no,
+                reason: "too many fields".into(),
+            });
         }
         let parse = |s: &str, which: &str| {
             s.parse::<f64>().map_err(|_| WaypointError {
@@ -70,7 +77,10 @@ pub fn parse_route(text: &str) -> Result<Route, WaypointError> {
         };
         let (x, y) = (parse(x, "x")?, parse(y, "y")?);
         if !x.is_finite() || !y.is_finite() {
-            return Err(WaypointError { line: line_no, reason: "non-finite coordinate".into() });
+            return Err(WaypointError {
+                line: line_no,
+                reason: "non-finite coordinate".into(),
+            });
         }
         points.push(Point::new(x, y));
     }

@@ -1,0 +1,446 @@
+//! A compact in-tree property-testing harness.
+//!
+//! Replaces the external `proptest` dependency for the workspace's
+//! invariant tests. Three pieces:
+//!
+//! * [`Gen`] — a seeded case generator. Scalar draws cover their full
+//!   range; collection lengths are capped by the case's *size* budget, the
+//!   knob the shrinker turns.
+//! * [`check`] / [`check_with`] — the runner: a deterministic sweep of
+//!   seeded cases with sizes ramping from tiny to [`Config::max_size`].
+//!   On failure it *shrinks by halving* the size (regenerating from the
+//!   same case seed at size/2, size/4, … 1) and reports the smallest
+//!   still-failing case.
+//! * Failure-seed replay: every failure message prints a
+//!   `SPIDER_PROP_REPLAY=<name>:<seed>:<size>` incantation; setting that
+//!   environment variable makes the named property re-run exactly that
+//!   case first, so a CI failure reproduces locally in one run.
+//!
+//! Properties are closures returning `Result<(), String>`; the
+//! [`prop_assert!`](crate::prop_assert) and
+//! [`prop_assert_eq!`](crate::prop_assert_eq) macros provide the familiar
+//! early-return assertion style. Panics inside a property are caught and
+//! treated as failures, so "never panics" properties shrink too.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::par::fork_seed;
+use crate::rng::Rng;
+
+/// Environment variable consulted for failure replay
+/// (`<property-name>:<case-seed>:<size>`).
+pub const REPLAY_ENV: &str = "SPIDER_PROP_REPLAY";
+
+/// Runner configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+    /// Master seed; every case seed derives from it and the property name.
+    pub seed: u64,
+    /// Largest size budget (collection-length cap) the sweep reaches.
+    pub max_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            cases: 96,
+            seed: 0x5EED_CAFE,
+            max_size: 64,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration with `cases` cases and defaults elsewhere.
+    pub fn cases(cases: u32) -> Config {
+        Config {
+            cases,
+            ..Config::default()
+        }
+    }
+}
+
+/// A seeded case generator with a size budget.
+#[derive(Debug)]
+pub struct Gen {
+    rng: Rng,
+    size: usize,
+}
+
+impl Gen {
+    /// A generator for one case.
+    pub fn new(seed: u64, size: usize) -> Gen {
+        Gen {
+            rng: Rng::new(seed),
+            size: size.max(1),
+        }
+    }
+
+    /// The case's size budget (cap on generated collection lengths).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Direct access to the underlying RNG for distribution draws.
+    pub fn rng(&mut self) -> &mut Rng {
+        &mut self.rng
+    }
+
+    /// Uniform u64 over the full range.
+    pub fn u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// Uniform u32 over the full range.
+    pub fn u32(&mut self) -> u32 {
+        self.rng.next_u64() as u32
+    }
+
+    /// Uniform u16 over the full range.
+    pub fn u16(&mut self) -> u16 {
+        self.rng.next_u64() as u16
+    }
+
+    /// Uniform u8 over the full range.
+    pub fn u8(&mut self) -> u8 {
+        self.rng.next_u64() as u8
+    }
+
+    /// Fair coin.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// Uniform u64 in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.range_u64(lo, hi)
+    }
+
+    /// Uniform u32 in `[lo, hi)`.
+    pub fn u32_in(&mut self, lo: u32, hi: u32) -> u32 {
+        self.rng.range_u64(lo as u64, hi as u64) as u32
+    }
+
+    /// Uniform usize in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform f64 in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.range_f64(lo, hi)
+    }
+
+    /// A collection length in `[lo, hi)`, additionally capped by the size
+    /// budget — this is what makes shrink-by-halving shrink collections.
+    pub fn len_in(&mut self, lo: usize, hi: usize) -> usize {
+        let capped_hi = hi.min(lo + self.size + 1);
+        if capped_hi <= lo {
+            return lo;
+        }
+        self.usize_in(lo, capped_hi)
+    }
+
+    /// Fill `dst` with uniform bytes.
+    pub fn fill(&mut self, dst: &mut [u8]) {
+        for chunk in dst.chunks_mut(8) {
+            let v = self.rng.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&v[..chunk.len()]);
+        }
+    }
+
+    /// A byte vector with length in `[lo, hi)` (size-capped).
+    pub fn bytes(&mut self, lo: usize, hi: usize) -> Vec<u8> {
+        let n = self.len_in(lo, hi);
+        let mut v = vec![0u8; n];
+        self.fill(&mut v);
+        v
+    }
+
+    /// A vector of `f(self)` with length in `[lo, hi)` (size-capped).
+    pub fn vec<T>(&mut self, lo: usize, hi: usize, mut f: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = self.len_in(lo, hi);
+        (0..n).map(|_| f(self)).collect()
+    }
+
+    /// `Some(f(self))` half the time.
+    pub fn option<T>(&mut self, mut f: impl FnMut(&mut Gen) -> T) -> Option<T> {
+        if self.bool() {
+            Some(f(self))
+        } else {
+            None
+        }
+    }
+}
+
+/// The outcome of one property case.
+pub type CaseResult = Result<(), String>;
+
+/// Run `property` under the default [`Config`].
+///
+/// # Panics
+/// Panics (failing the enclosing test) if any generated case is falsified,
+/// reporting the smallest shrunk case and its replay incantation.
+pub fn check<F>(name: &str, property: F)
+where
+    F: Fn(&mut Gen) -> CaseResult,
+{
+    check_with(name, Config::default(), property)
+}
+
+/// Run one case, converting panics into failures.
+fn run_case<F>(property: &F, seed: u64, size: usize) -> CaseResult
+where
+    F: Fn(&mut Gen) -> CaseResult,
+{
+    match catch_unwind(AssertUnwindSafe(|| property(&mut Gen::new(seed, size)))) {
+        Ok(r) => r,
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".to_string());
+            Err(format!("property panicked: {msg}"))
+        }
+    }
+}
+
+/// Run `property` under an explicit [`Config`].
+///
+/// # Panics
+/// See [`check`].
+pub fn check_with<F>(name: &str, cfg: Config, property: F)
+where
+    F: Fn(&mut Gen) -> CaseResult,
+{
+    // Failure replay: if the caller pinned this property to a case, run
+    // that case first and report it directly.
+    if let Ok(replay) = std::env::var(REPLAY_ENV) {
+        if let Some((seed, size)) = parse_replay(&replay, name) {
+            match run_case(&property, seed, size) {
+                Ok(()) => eprintln!("{name}: replayed case (seed {seed:#x}, size {size}) passes"),
+                Err(msg) => panic!(
+                    "property '{name}' falsified on replayed case \
+                     (seed {seed:#x}, size {size}): {msg}"
+                ),
+            }
+            return;
+        }
+    }
+
+    let name_salt = fnv1a(name.as_bytes());
+    let cases = cfg.cases.max(1);
+    for case in 0..cases {
+        // Sizes ramp from 1 to max_size across the sweep so early cases
+        // are naturally tiny.
+        let size = 1 + (case as usize * cfg.max_size) / cases as usize;
+        let seed = fork_seed(cfg.seed ^ name_salt, case as u64);
+        if let Err(first_msg) = run_case(&property, seed, size) {
+            // Shrink by halving the size budget, keeping the same seed.
+            let mut best = (size, first_msg);
+            let mut s = size / 2;
+            while s >= 1 {
+                if let Err(msg) = run_case(&property, seed, s) {
+                    best = (s, msg);
+                }
+                if s == 1 {
+                    break;
+                }
+                s /= 2;
+            }
+            let (shrunk_size, msg) = best;
+            panic!(
+                "property '{name}' falsified at case {case}/{cases} \
+                 (seed {seed:#x}, size {shrunk_size}): {msg}\n\
+                 replay with: {REPLAY_ENV}='{name}:{seed}:{shrunk_size}'"
+            );
+        }
+    }
+}
+
+fn parse_replay(replay: &str, name: &str) -> Option<(u64, usize)> {
+    let rest = replay.strip_prefix(name)?.strip_prefix(':')?;
+    let (seed_s, size_s) = rest.split_once(':')?;
+    let seed = if let Some(hex) = seed_s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()?
+    } else {
+        seed_s.parse().ok()?
+    };
+    Some((seed, size_s.parse().ok()?))
+}
+
+/// Hash a property name into a seed salt (FNV-1a 64).
+fn fnv1a(data: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Early-return property assertion: `prop_assert!(cond)` or
+/// `prop_assert!(cond, "format", args…)`. Usable inside closures passed to
+/// [`check`](crate::check::check), which return
+/// [`CaseResult`](crate::check::CaseResult).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Early-return equality assertion for property closures.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "{:?} != {:?} ({}:{})",
+                l,
+                r,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        // Count via a Cell-free trick: check takes Fn, so use an atomic.
+        let counter = std::sync::atomic::AtomicU32::new(0);
+        check_with("always-true", Config::cases(40), |g| {
+            counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let _ = g.u64();
+            Ok(())
+        });
+        count += counter.load(std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(count, 40);
+    }
+
+    #[test]
+    fn failing_property_panics_with_replay_line() {
+        let err = catch_unwind(|| {
+            check_with(
+                "always-false",
+                Config::cases(8),
+                |_| Err("nope".to_string()),
+            )
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("always-false"), "{msg}");
+        assert!(msg.contains(REPLAY_ENV), "{msg}");
+        assert!(msg.contains("nope"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_property_is_caught_and_reported() {
+        let err = catch_unwind(|| {
+            check_with("panics", Config::cases(4), |_| -> CaseResult {
+                panic!("boom");
+            })
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn shrinking_reports_a_smaller_size() {
+        // Fails at every size (the vec is never empty), so halving must
+        // walk the reported size all the way down to 1.
+        let err = catch_unwind(|| {
+            check_with(
+                "shrinks",
+                Config {
+                    cases: 32,
+                    seed: 3,
+                    max_size: 64,
+                },
+                |g| {
+                    let v = g.bytes(1, 1_000);
+                    prop_assert!(v.is_empty(), "len {}", v.len());
+                    Ok(())
+                },
+            )
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        let size = msg
+            .split("size ")
+            .nth(1)
+            .and_then(|s| s.split(')').next())
+            .and_then(|s| s.parse::<usize>().ok())
+            .expect("size in message");
+        assert_eq!(size, 1, "expected the fully shrunk size: {msg}");
+    }
+
+    #[test]
+    fn same_config_generates_identical_cases() {
+        let record = |out: &std::sync::Mutex<Vec<u64>>| {
+            let out_ref = out;
+            check_with("determinism", Config::cases(16), move |g| {
+                out_ref.lock().unwrap().push(g.u64());
+                Ok(())
+            });
+        };
+        let a = std::sync::Mutex::new(Vec::new());
+        let b = std::sync::Mutex::new(Vec::new());
+        record(&a);
+        record(&b);
+        assert_eq!(*a.lock().unwrap(), *b.lock().unwrap());
+    }
+
+    #[test]
+    fn gen_ranges_are_respected() {
+        let mut g = Gen::new(9, 16);
+        for _ in 0..1_000 {
+            assert!((10..20).contains(&g.usize_in(10, 20)));
+            let f = g.f64_in(-1.5, 2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let n = g.len_in(2, 100);
+            assert!((2..=2 + 16).contains(&n), "len {n} over budget");
+        }
+        let v = g.bytes(0, 5);
+        assert!(v.len() < 5);
+        let opt = g.option(|g| g.u8());
+        let _ = opt;
+    }
+
+    #[test]
+    fn replay_string_parses() {
+        assert_eq!(parse_replay("name:0x10:3", "name"), Some((16, 3)));
+        assert_eq!(parse_replay("name:12:4", "name"), Some((12, 4)));
+        assert_eq!(parse_replay("other:12:4", "name"), None);
+        assert_eq!(parse_replay("name:bad:4", "name"), None);
+    }
+}

@@ -91,7 +91,9 @@ impl Dist {
         match *self {
             Dist::Constant(v) if v.is_finite() && v >= 0.0 => Ok(()),
             Dist::Constant(v) => Err(format!("constant {v} must be finite and ≥ 0")),
-            Dist::Uniform { lo, hi } if lo < hi && lo.is_finite() && hi.is_finite() && lo >= 0.0 => {
+            Dist::Uniform { lo, hi }
+                if lo < hi && lo.is_finite() && hi.is_finite() && lo >= 0.0 =>
+            {
                 Ok(())
             }
             Dist::Uniform { lo, hi } => Err(format!("bad uniform range [{lo}, {hi})")),
@@ -122,8 +124,14 @@ mod tests {
             Dist::Constant(4.2),
             Dist::Uniform { lo: 1.0, hi: 5.0 },
             Dist::Exponential { mean: 2.0 },
-            Dist::LogNormal { mu: 0.5, sigma: 0.4 },
-            Dist::Pareto { xm: 1.0, alpha: 3.0 },
+            Dist::LogNormal {
+                mu: 0.5,
+                sigma: 0.4,
+            },
+            Dist::Pareto {
+                xm: 1.0,
+                alpha: 3.0,
+            },
         ];
         for d in cases {
             let expect = d.mean().expect("mean exists");
@@ -137,12 +145,22 @@ mod tests {
 
     #[test]
     fn heavy_pareto_has_no_mean() {
-        assert_eq!(Dist::Pareto { xm: 1.0, alpha: 0.9 }.mean(), None);
+        assert_eq!(
+            Dist::Pareto {
+                xm: 1.0,
+                alpha: 0.9
+            }
+            .mean(),
+            None
+        );
     }
 
     #[test]
     fn clamped_normal_never_negative() {
-        let d = Dist::NormalClamped { mu: 0.5, sigma: 2.0 };
+        let d = Dist::NormalClamped {
+            mu: 0.5,
+            sigma: 2.0,
+        };
         let mut rng = Rng::new(3);
         for _ in 0..10_000 {
             assert!(d.sample(&mut rng) >= 0.0);
@@ -160,15 +178,28 @@ mod tests {
     fn validation_catches_bad_parameters() {
         assert!(Dist::Uniform { lo: 5.0, hi: 5.0 }.validate().is_err());
         assert!(Dist::Exponential { mean: 0.0 }.validate().is_err());
-        assert!(Dist::Pareto { xm: 0.0, alpha: 1.0 }.validate().is_err());
+        assert!(Dist::Pareto {
+            xm: 0.0,
+            alpha: 1.0
+        }
+        .validate()
+        .is_err());
         assert!(Dist::Constant(f64::NAN).validate().is_err());
         assert!(Dist::Uniform { lo: 0.0, hi: 1.0 }.validate().is_ok());
-        assert!(Dist::LogNormal { mu: -1.0, sigma: 0.5 }.validate().is_ok());
+        assert!(Dist::LogNormal {
+            mu: -1.0,
+            sigma: 0.5
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
     fn sampling_is_deterministic_per_seed() {
-        let d = Dist::LogNormal { mu: 1.0, sigma: 1.0 };
+        let d = Dist::LogNormal {
+            mu: 1.0,
+            sigma: 1.0,
+        };
         let a: Vec<f64> = {
             let mut rng = Rng::new(9);
             (0..10).map(|_| d.sample(&mut rng)).collect()

@@ -20,6 +20,15 @@
 //!   moments, percentiles/ECDFs, time-weighted averages.
 //! * [`trace`] — bounded, category-filtered event tracing for debugging
 //!   multi-million-event runs.
+//! * [`wire`] — zero-dependency byte buffers ([`wire::Bytes`],
+//!   [`wire::Writer`], [`wire::Reader`]) backing every protocol codec.
+//! * [`par`] — a std-only scoped worker pool with deterministic per-task
+//!   RNG forking, the experiment harness's fan-out engine.
+//! * [`check`] — the in-tree property-testing harness (seeded cases,
+//!   shrink-by-halving, failure-seed replay).
+//!
+//! The kernel is deliberately dependency-free: `cargo build --offline`
+//! from an empty registry cache must always succeed (enforced by `ci.sh`).
 //!
 //! Nothing here knows about Wi-Fi; higher crates (`wifi-mac`, `dhcp`,
 //! `tcp-lite`, `spider-core`) compose on top.
@@ -27,14 +36,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod check;
 pub mod dist;
+pub mod par;
 pub mod queue;
 pub mod rng;
 pub mod runner;
 pub mod stats;
 pub mod time;
 pub mod trace;
+pub mod wire;
 
+pub use check::{check, check_with, CaseResult, Gen};
 pub use dist::Dist;
 pub use queue::{EventId, EventQueue};
 pub use rng::Rng;
@@ -42,3 +55,4 @@ pub use runner::{run_to_quiescence, run_until, Handler};
 pub use stats::{Histogram, Samples, Summary, TimeWeighted};
 pub use time::{Duration, Instant};
 pub use trace::{Category, Trace};
+pub use wire::{Bytes, Reader, WireError, Writer};

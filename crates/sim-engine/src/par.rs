@@ -1,0 +1,215 @@
+//! Std-only scoped worker pool with deterministic per-task RNG forking.
+//!
+//! The experiment harness fans out over (scenario × seed) grids — the hot
+//! path behind every EXPERIMENTS.md figure. This module replaces the old
+//! external scoped-thread fan-out with `std::thread::scope` plus a
+//! work-stealing-free claim counter, so the workspace needs no external
+//! crate for parallelism.
+//!
+//! Determinism contract: results are a pure function of the task list.
+//! Each task is claimed by exactly one worker, computed independently, and
+//! written back to its input slot, so [`map`] returns the same `Vec` for 1
+//! worker and N workers (verified by tests). For tasks that need
+//! randomness, [`fork_seed`] derives a per-task seed from a master seed and
+//! the task index — a deterministic function of `(master, index)` only,
+//! never of scheduling order or worker count.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::rng::Rng;
+
+/// Number of workers [`map`] uses: the machine's available parallelism,
+/// or 1 if it cannot be determined.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Derive the seed for task `index` from a `master` seed.
+///
+/// A SplitMix64-style mix of the pair: deterministic, independent of
+/// worker count, and statistically independent across indices. Use it to
+/// give every task in a batch its own [`Rng`] stream:
+///
+/// ```
+/// use sim_engine::par::{fork_seed, map_with_workers};
+/// use sim_engine::rng::Rng;
+/// let master = 42;
+/// let draws = map_with_workers((0..8).collect::<Vec<u64>>(), 4, |i, _| {
+///     Rng::new(fork_seed(master, i as u64)).next_u64()
+/// });
+/// assert_eq!(draws[0], Rng::new(fork_seed(master, 0)).next_u64());
+/// ```
+pub fn fork_seed(master: u64, index: u64) -> u64 {
+    // Two rounds of SplitMix64 finalization over the combined pair; the
+    // golden-ratio stride decorrelates adjacent indices.
+    let mut z = master
+        .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Convenience: a ready-made generator for task `index` of a batch.
+pub fn task_rng(master: u64, index: u64) -> Rng {
+    Rng::new(fork_seed(master, index))
+}
+
+/// Run `f` over every task on [`available_workers`] OS threads, returning
+/// results in task order.
+///
+/// `f` receives `(index, task)`. Panics in `f` propagate to the caller
+/// once all workers have stopped.
+pub fn map<T, R, F>(tasks: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    map_with_workers(tasks, available_workers(), f)
+}
+
+/// [`map`] with an explicit worker count (1 = fully sequential; useful for
+/// determinism tests and debugging).
+///
+/// # Panics
+/// Panics if `workers == 0`, or if `f` panics on any task.
+pub fn map_with_workers<T, R, F>(tasks: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    assert!(
+        workers > 0,
+        "par::map_with_workers: need at least one worker"
+    );
+    let n = tasks.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // One slot per task. Slot mutexes are uncontended (each slot is touched
+    // by exactly one worker); the atomic counter hands out indices.
+    let task_slots: Vec<Mutex<Option<T>>> =
+        tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let result_slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    let task_slots = &task_slots;
+    let result_slots = &result_slots;
+    let next_ref = &next;
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n) {
+            scope.spawn(move || loop {
+                let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let task = task_slots[i]
+                    .lock()
+                    .expect("task slot poisoned")
+                    .take()
+                    .expect("task claimed twice");
+                let result = f(i, task);
+                *result_slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+
+    result_slots
+        .iter()
+        .enumerate()
+        .map(|(i, slot)| {
+            slot.lock()
+                .expect("result slot poisoned")
+                .take()
+                .unwrap_or_else(|| panic!("task {i} produced no result"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deliberately CPU-bound task: many RNG draws from a forked seed.
+    fn spin(master: u64, index: usize, draws: u32) -> u64 {
+        let mut rng = task_rng(master, index as u64);
+        let mut acc = 0u64;
+        for _ in 0..draws {
+            acc = acc.wrapping_add(rng.next_u64());
+        }
+        acc
+    }
+
+    #[test]
+    fn results_keep_task_order() {
+        let out = map_with_workers((0..100u64).collect(), 4, |i, t| {
+            assert_eq!(i as u64, t);
+            t * 2
+        });
+        assert_eq!(out, (0..100u64).map(|t| t * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn one_worker_and_many_workers_agree_on_same_seeds() {
+        // The determinism contract: identical output for any worker count.
+        let tasks: Vec<usize> = (0..24).collect();
+        let sequential = map_with_workers(tasks.clone(), 1, |i, _| spin(20111206, i, 10_000));
+        for workers in [2, 3, 8] {
+            let parallel =
+                map_with_workers(tasks.clone(), workers, |i, _| spin(20111206, i, 10_000));
+            assert_eq!(sequential, parallel, "output differs at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn fork_seed_is_deterministic_and_spread_out() {
+        assert_eq!(fork_seed(1, 2), fork_seed(1, 2));
+        let seeds: std::collections::HashSet<u64> = (0..1_000).map(|i| fork_seed(77, i)).collect();
+        assert_eq!(seeds.len(), 1_000, "per-task seeds must not collide");
+        // Different masters give different per-task streams.
+        assert_ne!(fork_seed(1, 0), fork_seed(2, 0));
+    }
+
+    #[test]
+    fn empty_and_single_task_batches() {
+        let empty: Vec<u64> = map(Vec::<u64>::new(), |_, t| t);
+        assert!(empty.is_empty());
+        assert_eq!(map_with_workers(vec![41u64], 8, |_, t| t + 1), vec![42]);
+    }
+
+    #[test]
+    fn more_workers_than_tasks_is_fine() {
+        let out = map_with_workers(vec![1u64, 2, 3], 64, |_, t| t);
+        assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn n_workers_beat_one_on_a_multi_task_batch() {
+        // Wall-clock smoke test; only meaningful with real parallelism.
+        let cores = available_workers();
+        if cores < 2 {
+            eprintln!("skipping parallel speedup smoke test: {cores} core(s) available");
+            return;
+        }
+        let tasks: Vec<usize> = (0..cores * 4).collect();
+        let draws = 3_000_000u32;
+        let t1 = std::time::Instant::now();
+        let seq = map_with_workers(tasks.clone(), 1, |i, _| spin(5, i, draws));
+        let sequential = t1.elapsed();
+        let t2 = std::time::Instant::now();
+        let par = map_with_workers(tasks, cores, |i, _| spin(5, i, draws));
+        let parallel = t2.elapsed();
+        assert_eq!(seq, par);
+        // Generous bound: any real speedup passes; scheduler noise does not.
+        assert!(
+            parallel < sequential,
+            "parallel {parallel:?} not faster than sequential {sequential:?} on {cores} cores"
+        );
+    }
+}

@@ -48,7 +48,10 @@ impl Rng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Rng { s, gauss_spare: None }
+        Rng {
+            s,
+            gauss_spare: None,
+        }
     }
 
     /// Derive an independent child generator.
@@ -66,15 +69,15 @@ impl Rng {
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        Rng { s, gauss_spare: None }
+        Rng {
+            s,
+            gauss_spare: None,
+        }
     }
 
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -132,7 +135,10 @@ impl Rng {
     /// # Panics
     /// Panics if the range is empty or not finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "Rng::range_f64: bad range [{lo}, {hi})");
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "Rng::range_f64: bad range [{lo}, {hi})"
+        );
         lo + (hi - lo) * self.f64()
     }
 
@@ -178,7 +184,10 @@ impl Rng {
     /// # Panics
     /// Panics if `sigma` is negative or not finite.
     pub fn normal(&mut self, mu: f64, sigma: f64) -> f64 {
-        assert!(sigma >= 0.0 && sigma.is_finite(), "Rng::normal: bad sigma {sigma}");
+        assert!(
+            sigma >= 0.0 && sigma.is_finite(),
+            "Rng::normal: bad sigma {sigma}"
+        );
         mu + sigma * self.standard_normal()
     }
 
@@ -190,7 +199,10 @@ impl Rng {
 
     /// Pareto draw with scale `xm > 0` and shape `alpha > 0`.
     pub fn pareto(&mut self, xm: f64, alpha: f64) -> f64 {
-        assert!(xm > 0.0 && alpha > 0.0, "Rng::pareto: bad parameters xm={xm} alpha={alpha}");
+        assert!(
+            xm > 0.0 && alpha > 0.0,
+            "Rng::pareto: bad parameters xm={xm} alpha={alpha}"
+        );
         xm / (1.0 - self.f64()).powf(1.0 / alpha)
     }
 
@@ -234,7 +246,10 @@ impl Rng {
         let total: f64 = weights
             .iter()
             .map(|&w| {
-                assert!(w >= 0.0 && w.is_finite(), "Rng::weighted_index: bad weight {w}");
+                assert!(
+                    w >= 0.0 && w.is_finite(),
+                    "Rng::weighted_index: bad weight {w}"
+                );
                 w
             })
             .sum();

@@ -75,7 +75,11 @@ mod tests {
     fn run_until_respects_deadline_inclusive() {
         let mut q = EventQueue::new();
         q.push(Instant::ZERO, ());
-        let mut t = Ticker { period: Duration::from_millis(100), remaining: 100, fired_at: vec![] };
+        let mut t = Ticker {
+            period: Duration::from_millis(100),
+            remaining: 100,
+            fired_at: vec![],
+        };
         let n = run_until(&mut q, &mut t, Instant::from_millis(300));
         assert_eq!(n, 4); // 0, 100, 200, 300 ms
         assert_eq!(*t.fired_at.last().unwrap(), Instant::from_millis(300));
@@ -86,7 +90,11 @@ mod tests {
     fn run_to_quiescence_drains() {
         let mut q = EventQueue::new();
         q.push(Instant::ZERO, ());
-        let mut t = Ticker { period: Duration::from_millis(10), remaining: 5, fired_at: vec![] };
+        let mut t = Ticker {
+            period: Duration::from_millis(10),
+            remaining: 5,
+            fired_at: vec![],
+        };
         let n = run_to_quiescence(&mut q, &mut t);
         assert_eq!(n, 6);
         assert!(q.pop().is_none());

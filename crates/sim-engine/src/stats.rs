@@ -25,7 +25,13 @@ pub struct Summary {
 impl Summary {
     /// Empty summary.
     pub fn new() -> Self {
-        Summary { n: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        Summary {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Incorporate one observation.
@@ -46,12 +52,20 @@ impl Summary {
 
     /// Arithmetic mean (0 when empty).
     pub fn mean(&self) -> f64 {
-        if self.n == 0 { 0.0 } else { self.mean }
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
     }
 
     /// Sample variance with Bessel's correction (0 when n < 2).
     pub fn variance(&self) -> f64 {
-        if self.n < 2 { 0.0 } else { self.m2 / (self.n - 1) as f64 }
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
     }
 
     /// Sample standard deviation.
@@ -100,7 +114,10 @@ pub struct Samples {
 impl Samples {
     /// Empty sample set.
     pub fn new() -> Self {
-        Samples { values: Vec::new(), sorted: true }
+        Samples {
+            values: Vec::new(),
+            sorted: true,
+        }
     }
 
     /// Record one observation.
@@ -127,7 +144,8 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+            self.values
+                .sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
             self.sorted = true;
         }
     }
@@ -135,7 +153,10 @@ impl Samples {
     /// The `p`-quantile for `p ∈ [0, 1]` using linear interpolation between
     /// order statistics. Returns 0 for an empty set.
     pub fn quantile(&mut self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "Samples::quantile: p out of range: {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "Samples::quantile: p out of range: {p}"
+        );
         self.ensure_sorted();
         match self.values.len() {
             0 => 0.0,
@@ -290,7 +311,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(lo < hi, "Histogram::new: empty range");
         assert!(bins > 0, "Histogram::new: zero bins");
-        Histogram { lo, hi, bins: vec![0; bins], count: 0 }
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            count: 0,
+        }
     }
 
     /// Record one observation.
@@ -325,7 +351,11 @@ impl Histogram {
             .enumerate()
             .map(|(i, &c)| {
                 let centre = self.lo + width * (i as f64 + 0.5);
-                let frac = if self.count == 0 { 0.0 } else { c as f64 / self.count as f64 };
+                let frac = if self.count == 0 {
+                    0.0
+                } else {
+                    c as f64 / self.count as f64
+                };
                 (centre, frac)
             })
             .collect()

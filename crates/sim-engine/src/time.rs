@@ -48,17 +48,23 @@ impl Instant {
 
     /// Construct from whole microseconds since simulation start.
     pub const fn from_micros(micros: u64) -> Self {
-        Instant { nanos: micros * NANOS_PER_MICRO }
+        Instant {
+            nanos: micros * NANOS_PER_MICRO,
+        }
     }
 
     /// Construct from whole milliseconds since simulation start.
     pub const fn from_millis(millis: u64) -> Self {
-        Instant { nanos: millis * NANOS_PER_MILLI }
+        Instant {
+            nanos: millis * NANOS_PER_MILLI,
+        }
     }
 
     /// Construct from whole seconds since simulation start.
     pub const fn from_secs(secs: u64) -> Self {
-        Instant { nanos: secs * NANOS_PER_SEC }
+        Instant {
+            nanos: secs * NANOS_PER_SEC,
+        }
     }
 
     /// Nanoseconds since simulation start.
@@ -101,17 +107,27 @@ impl Instant {
 
     /// The later of two instants.
     pub fn max(self, other: Instant) -> Instant {
-        if self.nanos >= other.nanos { self } else { other }
+        if self.nanos >= other.nanos {
+            self
+        } else {
+            other
+        }
     }
 
     /// The earlier of two instants.
     pub fn min(self, other: Instant) -> Instant {
-        if self.nanos <= other.nanos { self } else { other }
+        if self.nanos <= other.nanos {
+            self
+        } else {
+            other
+        }
     }
 
     /// Add a duration, saturating at the maximum representable instant.
     pub fn saturating_add(self, d: Duration) -> Instant {
-        Instant { nanos: self.nanos.saturating_add(d.nanos) }
+        Instant {
+            nanos: self.nanos.saturating_add(d.nanos),
+        }
     }
 }
 
@@ -184,17 +200,23 @@ impl Duration {
 
     /// Construct from whole microseconds.
     pub const fn from_micros(micros: u64) -> Self {
-        Duration { nanos: micros * NANOS_PER_MICRO }
+        Duration {
+            nanos: micros * NANOS_PER_MICRO,
+        }
     }
 
     /// Construct from whole milliseconds.
     pub const fn from_millis(millis: u64) -> Self {
-        Duration { nanos: millis * NANOS_PER_MILLI }
+        Duration {
+            nanos: millis * NANOS_PER_MILLI,
+        }
     }
 
     /// Construct from whole seconds.
     pub const fn from_secs(secs: u64) -> Self {
-        Duration { nanos: secs * NANOS_PER_SEC }
+        Duration {
+            nanos: secs * NANOS_PER_SEC,
+        }
     }
 
     /// Construct from fractional seconds, rounding to the nearest nanosecond.
@@ -207,8 +229,13 @@ impl Duration {
             "Duration::from_secs_f64: invalid seconds {secs}"
         );
         let nanos = secs * NANOS_PER_SEC as f64;
-        assert!(nanos <= u64::MAX as f64, "Duration::from_secs_f64: {secs}s overflows");
-        Duration { nanos: nanos.round() as u64 }
+        assert!(
+            nanos <= u64::MAX as f64,
+            "Duration::from_secs_f64: {secs}s overflows"
+        );
+        Duration {
+            nanos: nanos.round() as u64,
+        }
     }
 
     /// Whole nanoseconds.
@@ -243,17 +270,23 @@ impl Duration {
 
     /// Saturating subtraction.
     pub fn saturating_sub(self, rhs: Duration) -> Duration {
-        Duration { nanos: self.nanos.saturating_sub(rhs.nanos) }
+        Duration {
+            nanos: self.nanos.saturating_sub(rhs.nanos),
+        }
     }
 
     /// Saturating addition.
     pub fn saturating_add(self, rhs: Duration) -> Duration {
-        Duration { nanos: self.nanos.saturating_add(rhs.nanos) }
+        Duration {
+            nanos: self.nanos.saturating_add(rhs.nanos),
+        }
     }
 
     /// Checked multiplication by an integer factor.
     pub fn checked_mul(self, factor: u64) -> Option<Duration> {
-        self.nanos.checked_mul(factor).map(|nanos| Duration { nanos })
+        self.nanos
+            .checked_mul(factor)
+            .map(|nanos| Duration { nanos })
     }
 
     /// Scale by a non-negative float, rounding to the nearest nanosecond.
@@ -265,17 +298,27 @@ impl Duration {
             factor.is_finite() && factor >= 0.0,
             "Duration::mul_f64: invalid factor {factor}"
         );
-        Duration { nanos: (self.nanos as f64 * factor).round() as u64 }
+        Duration {
+            nanos: (self.nanos as f64 * factor).round() as u64,
+        }
     }
 
     /// The larger of two spans.
     pub fn max(self, other: Duration) -> Duration {
-        if self.nanos >= other.nanos { self } else { other }
+        if self.nanos >= other.nanos {
+            self
+        } else {
+            other
+        }
     }
 
     /// The smaller of two spans.
     pub fn min(self, other: Duration) -> Duration {
-        if self.nanos <= other.nanos { self } else { other }
+        if self.nanos <= other.nanos {
+            self
+        } else {
+            other
+        }
     }
 
     /// Clamp this span into `[lo, hi]`.
@@ -334,7 +377,9 @@ impl Mul<u64> for Duration {
 impl Div<u64> for Duration {
     type Output = Duration;
     fn div(self, rhs: u64) -> Duration {
-        Duration { nanos: self.nanos / rhs }
+        Duration {
+            nanos: self.nanos / rhs,
+        }
     }
 }
 
@@ -415,16 +460,28 @@ mod tests {
     #[test]
     fn duration_clamp_and_minmax() {
         let d = Duration::from_millis(500);
-        assert_eq!(d.clamp(Duration::from_millis(100), Duration::from_millis(300)), Duration::from_millis(300));
-        assert_eq!(d.clamp(Duration::from_millis(600), Duration::from_millis(900)), Duration::from_millis(600));
+        assert_eq!(
+            d.clamp(Duration::from_millis(100), Duration::from_millis(300)),
+            Duration::from_millis(300)
+        );
+        assert_eq!(
+            d.clamp(Duration::from_millis(600), Duration::from_millis(900)),
+            Duration::from_millis(600)
+        );
         assert_eq!(d.max(Duration::from_secs(1)), Duration::from_secs(1));
         assert_eq!(d.min(Duration::from_secs(1)), d);
     }
 
     #[test]
     fn duration_saturating_ops() {
-        assert_eq!(Duration::from_millis(1).saturating_sub(Duration::from_millis(2)), Duration::ZERO);
-        assert_eq!(Duration::MAX.saturating_add(Duration::from_secs(1)), Duration::MAX);
+        assert_eq!(
+            Duration::from_millis(1).saturating_sub(Duration::from_millis(2)),
+            Duration::ZERO
+        );
+        assert_eq!(
+            Duration::MAX.saturating_add(Duration::from_secs(1)),
+            Duration::MAX
+        );
     }
 
     #[test]

@@ -143,7 +143,11 @@ impl Trace {
             self.ring.pop_front();
             self.dropped += 1;
         }
-        self.ring.push_back(Record { at, category, message: message() });
+        self.ring.push_back(Record {
+            at,
+            category,
+            message: message(),
+        });
         self.recorded += 1;
     }
 
@@ -174,7 +178,10 @@ impl Trace {
 
     /// Records within `[from, to)`.
     pub fn window(&self, from: Instant, to: Instant) -> Vec<&Record> {
-        self.ring.iter().filter(|r| r.at >= from && r.at < to).collect()
+        self.ring
+            .iter()
+            .filter(|r| r.at >= from && r.at < to)
+            .collect()
     }
 
     /// Render the whole ring as text, one record per line.
@@ -220,7 +227,9 @@ mod tests {
     fn window_filters_by_time() {
         let mut t = Trace::all(16);
         for i in 0..10u64 {
-            t.record(Instant::from_millis(i * 100), Category::Dhcp, || format!("e{i}"));
+            t.record(Instant::from_millis(i * 100), Category::Dhcp, || {
+                format!("e{i}")
+            });
         }
         let w = t.window(Instant::from_millis(250), Instant::from_millis(550));
         let msgs: Vec<&str> = w.iter().map(|r| r.message.as_str()).collect();
@@ -241,7 +250,9 @@ mod tests {
     #[test]
     fn dump_contains_tags_and_times() {
         let mut t = Trace::all(4);
-        t.record(Instant::from_secs(2), Category::Driver, || "picked ap7".into());
+        t.record(Instant::from_secs(2), Category::Driver, || {
+            "picked ap7".into()
+        });
         let d = t.dump();
         assert!(d.contains("[driver]"));
         assert!(d.contains("picked ap7"));

@@ -68,8 +68,7 @@ impl SchedulePolicy {
                 }
                 out
             }
-            SchedulePolicy::ScanWhenIdle { .. }
-            | SchedulePolicy::AdaptiveChannel { .. } => {
+            SchedulePolicy::ScanWhenIdle { .. } | SchedulePolicy::AdaptiveChannel { .. } => {
                 vec![Channel::CH1, Channel::CH6, Channel::CH11]
             }
         }
@@ -141,7 +140,10 @@ impl SpiderConfig {
     /// Configuration (2) in §4.1: **single channel, multiple APs** — the
     /// throughput winner.
     pub fn single_channel_multi_ap(channel: Channel) -> SpiderConfig {
-        SpiderConfig { schedule: SchedulePolicy::SingleChannel(channel), ..Self::base() }
+        SpiderConfig {
+            schedule: SchedulePolicy::SingleChannel(channel),
+            ..Self::base()
+        }
     }
 
     /// Configuration (1): single channel, single AP (Spider mimicking a
@@ -158,7 +160,10 @@ impl SpiderConfig {
     /// connectivity winner. The paper's Table 2 uses a 600 ms period split
     /// equally over channels 1/6/11 (200 ms each).
     pub fn multi_channel_multi_ap(slice: Duration) -> SpiderConfig {
-        SpiderConfig { schedule: SchedulePolicy::equal_three(slice), ..Self::base() }
+        SpiderConfig {
+            schedule: SchedulePolicy::equal_three(slice),
+            ..Self::base()
+        }
     }
 
     /// Configuration (4): multiple channels, single AP.
@@ -195,7 +200,10 @@ impl SpiderConfig {
     /// Ablation: Spider without the DHCP lease cache (every rejoin pays
     /// the full DISCOVER/OFFER/REQUEST/ACK exchange).
     pub fn ablate_lease_cache(channel: Channel) -> SpiderConfig {
-        SpiderConfig { lease_cache: false, ..Self::single_channel_multi_ap(channel) }
+        SpiderConfig {
+            lease_cache: false,
+            ..Self::single_channel_multi_ap(channel)
+        }
     }
 
     /// Ablation: Spider with stock link-layer and DHCP timers (keeps the
@@ -211,7 +219,10 @@ impl SpiderConfig {
     /// Ablation: a single virtual interface (no parallel per-channel
     /// association).
     pub fn ablate_parallel_join(channel: Channel) -> SpiderConfig {
-        SpiderConfig { max_ifaces: 1, ..Self::single_channel_multi_ap(channel) }
+        SpiderConfig {
+            max_ifaces: 1,
+            ..Self::single_channel_multi_ap(channel)
+        }
     }
 
     /// The unmodified-MadWiFi comparison point: one interface, best-RSSI
@@ -219,7 +230,9 @@ impl SpiderConfig {
     /// cache, channel scanning while idle.
     pub fn stock_madwifi() -> SpiderConfig {
         SpiderConfig {
-            schedule: SchedulePolicy::ScanWhenIdle { dwell: Duration::from_millis(200) },
+            schedule: SchedulePolicy::ScanWhenIdle {
+                dwell: Duration::from_millis(200),
+            },
             max_ifaces: 1,
             single_ap: true,
             join: JoinConfig::default(),
@@ -246,7 +259,10 @@ mod tests {
     #[test]
     fn equal_three_covers_orthogonal_channels() {
         let p = SchedulePolicy::equal_three(Duration::from_millis(200));
-        assert_eq!(p.channels(), vec![Channel::CH1, Channel::CH6, Channel::CH11]);
+        assert_eq!(
+            p.channels(),
+            vec![Channel::CH1, Channel::CH6, Channel::CH11]
+        );
     }
 
     #[test]

@@ -57,7 +57,9 @@ pub struct ApHistory {
 impl ApHistory {
     /// Empty history.
     pub fn new() -> ApHistory {
-        ApHistory { records: HashMap::new() }
+        ApHistory {
+            records: HashMap::new(),
+        }
     }
 
     /// The record for `bssid`, if any joins were attempted.
@@ -82,8 +84,8 @@ impl ApHistory {
         rec.join_time_ewma = Some(match rec.join_time_ewma {
             None => join_time,
             Some(prev) => {
-                let blended = prev.as_secs_f64() * (1.0 - EWMA_ALPHA)
-                    + join_time.as_secs_f64() * EWMA_ALPHA;
+                let blended =
+                    prev.as_secs_f64() * (1.0 - EWMA_ALPHA) + join_time.as_secs_f64() * EWMA_ALPHA;
                 Duration::from_secs_f64(blended)
             }
         });
@@ -98,7 +100,10 @@ impl ApHistory {
 
     /// Store a granted lease for the cache.
     pub fn store_lease(&mut self, bssid: MacAddr, lease: Lease) {
-        self.records.entry(bssid).or_insert_with(ApRecord::new).lease = Some(lease);
+        self.records
+            .entry(bssid)
+            .or_insert_with(ApRecord::new)
+            .lease = Some(lease);
     }
 
     /// A still-valid cached lease for `bssid`, if any.
@@ -130,14 +135,17 @@ impl ApHistory {
             // Unknown AP: the neutral prior.
             return 0.5;
         };
-        let success_rate =
-            (rec.successes as f64 + 1.0) / (rec.attempts() as f64 + 2.0);
+        let success_rate = (rec.successes as f64 + 1.0) / (rec.attempts() as f64 + 2.0);
         let speed_bonus = match rec.join_time_ewma {
             // 1/(1+t): 0 s → 1, 1 s → 0.5, 4 s → 0.2.
             Some(t) => 1.0 / (1.0 + t.as_secs_f64()),
             None => 0.3,
         };
-        let lease_bonus = if self.cached_lease(bssid, now).is_some() { 0.25 } else { 0.0 };
+        let lease_bonus = if self.cached_lease(bssid, now).is_some() {
+            0.25
+        } else {
+            0.0
+        };
         success_rate * (1.0 + speed_bonus) + lease_bonus
     }
 }

@@ -84,9 +84,12 @@ impl Metrics {
 
     /// Record a change in the number of concurrent associations.
     pub fn record_concurrency(&mut self, now: Instant, count: usize) {
-        let elapsed = now.saturating_since(self.last_concurrency_change).as_secs_f64();
+        let elapsed = now
+            .saturating_since(self.last_concurrency_change)
+            .as_secs_f64();
         if self.concurrency_seconds.len() <= self.current_concurrency {
-            self.concurrency_seconds.resize(self.current_concurrency + 1, 0.0);
+            self.concurrency_seconds
+                .resize(self.current_concurrency + 1, 0.0);
         }
         self.concurrency_seconds[self.current_concurrency] += elapsed;
         self.last_concurrency_change = now;

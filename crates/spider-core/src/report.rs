@@ -1,18 +1,17 @@
 //! Machine-readable run reports.
 //!
 //! [`RunResult`] holds raw sample sets; a
-//! [`Report`] flattens it into the summary numbers the experiments print,
-//! in a form that serializes cleanly — `serde` derives for downstream
-//! tooling, plus a dependency-free [`Report::to_json`] so the workspace
-//! itself needs no JSON crate.
+//! [`Report`] flattens it into the summary numbers the experiments print.
+//! Serialization is fully in-tree: [`Report::to_json`] emits a stable
+//! flat object and [`Report::from_json`] reads it back, so downstream
+//! tooling can consume run output without any external JSON crate.
 
-use serde::{Deserialize, Serialize};
 use sim_engine::stats::Samples;
 
 use crate::world::RunResult;
 
 /// A five-number summary of a sample set.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Quantiles {
     /// Sample count.
     pub n: usize,
@@ -51,7 +50,7 @@ impl Quantiles {
 }
 
 /// The flattened summary of one run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Report {
     /// Experiment length, seconds.
     pub duration_secs: f64,
@@ -139,6 +138,198 @@ impl Report {
             self.instantaneous_bps.json(),
         )
     }
+
+    /// Parse a report previously emitted by [`Report::to_json`].
+    ///
+    /// Accepts any whitespace layout, so hand-edited or pretty-printed
+    /// variants of the same flat schema also load. Unknown keys are
+    /// ignored; a missing key is an error.
+    pub fn from_json(json: &str) -> Result<Report, ReportParseError> {
+        let mut p = Parser::new(json);
+        let fields = p.object()?;
+        p.end()?;
+        let num = |key: &'static str| -> Result<f64, ReportParseError> {
+            match fields.iter().find(|(k, _)| k == key) {
+                Some((_, JsonValue::Number(v))) => Ok(*v),
+                Some(_) => Err(ReportParseError::WrongType(key)),
+                None => Err(ReportParseError::MissingKey(key)),
+            }
+        };
+        let quantiles = |key: &'static str| -> Result<Quantiles, ReportParseError> {
+            let inner = match fields.iter().find(|(k, _)| k == key) {
+                Some((_, JsonValue::Object(fields))) => fields,
+                Some(_) => return Err(ReportParseError::WrongType(key)),
+                None => return Err(ReportParseError::MissingKey(key)),
+            };
+            let inner_num = |k: &'static str| match inner.iter().find(|(ik, _)| ik == k) {
+                Some((_, JsonValue::Number(v))) => Ok(*v),
+                Some(_) => Err(ReportParseError::WrongType(k)),
+                None => Err(ReportParseError::MissingKey(k)),
+            };
+            Ok(Quantiles {
+                n: inner_num("n")? as usize,
+                p10: inner_num("p10")?,
+                p50: inner_num("p50")?,
+                p90: inner_num("p90")?,
+                max: inner_num("max")?,
+            })
+        };
+        Ok(Report {
+            duration_secs: num("duration_secs")?,
+            total_bytes: num("total_bytes")? as u64,
+            avg_throughput_kbps: num("avg_throughput_kbps")?,
+            connectivity: num("connectivity")?,
+            joins: num("joins")? as usize,
+            assoc_attempts: num("assoc_attempts")? as u64,
+            assoc_failures: num("assoc_failures")? as u64,
+            dhcp_attempts: num("dhcp_attempts")? as u64,
+            dhcp_failures: num("dhcp_failures")? as u64,
+            switch_count: num("switch_count")? as u64,
+            max_concurrent_aps: num("max_concurrent_aps")? as usize,
+            tcp_rtos: num("tcp_rtos")? as u64,
+            join_times_s: quantiles("join_times_s")?,
+            connections_s: quantiles("connections_s")?,
+            disruptions_s: quantiles("disruptions_s")?,
+            instantaneous_bps: quantiles("instantaneous_bps")?,
+        })
+    }
+}
+
+/// Why [`Report::from_json`] rejected its input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReportParseError {
+    /// The text is not the flat numeric-object schema `to_json` emits.
+    Malformed(&'static str),
+    /// A required key was absent.
+    MissingKey(&'static str),
+    /// A key held a nested object where a number was expected (or vice
+    /// versa).
+    WrongType(&'static str),
+}
+
+impl core::fmt::Display for ReportParseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ReportParseError::Malformed(what) => write!(f, "malformed report JSON: {what}"),
+            ReportParseError::MissingKey(key) => write!(f, "report JSON missing key {key:?}"),
+            ReportParseError::WrongType(key) => write!(f, "report JSON key {key:?} has wrong type"),
+        }
+    }
+}
+
+impl std::error::Error for ReportParseError {}
+
+/// A value in the report schema: numbers at the leaves, one level of
+/// nesting for the quantile summaries. This is all `to_json` ever emits,
+/// so the parser does not model strings, booleans, or arrays.
+enum JsonValue {
+    Number(f64),
+    Object(Vec<(String, JsonValue)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Parser<'a> {
+        Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8, what: &'static str) -> Result<(), ReportParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(ReportParseError::Malformed(what))
+        }
+    }
+
+    fn object(&mut self) -> Result<Vec<(String, JsonValue)>, ReportParseError> {
+        self.expect(b'{', "expected '{'")?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(fields);
+        }
+        loop {
+            let key = self.key()?;
+            self.expect(b':', "expected ':' after key")?;
+            let value = match self.peek() {
+                Some(b'{') => JsonValue::Object(self.object()?),
+                _ => JsonValue::Number(self.number()?),
+            };
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(fields);
+                }
+                _ => return Err(ReportParseError::Malformed("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn key(&mut self) -> Result<String, ReportParseError> {
+        self.expect(b'"', "expected '\"' to open key")?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'"' {
+                let key = core::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| ReportParseError::Malformed("key is not UTF-8"))?
+                    .to_string();
+                self.pos += 1;
+                return Ok(key);
+            }
+            if b == b'\\' {
+                // `to_json` keys are plain identifiers; escapes are out of
+                // schema.
+                return Err(ReportParseError::Malformed("escape in key"));
+            }
+            self.pos += 1;
+        }
+        Err(ReportParseError::Malformed("unterminated key"))
+    }
+
+    fn number(&mut self) -> Result<f64, ReportParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        core::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|v| v.is_finite())
+            .ok_or(ReportParseError::Malformed("expected a finite number"))
+    }
+
+    fn end(&mut self) -> Result<(), ReportParseError> {
+        if self.peek().is_none() {
+            Ok(())
+        } else {
+            Err(ReportParseError::Malformed("trailing characters"))
+        }
+    }
 }
 
 /// JSON-safe float formatting (no NaN/inf; finite shortest-ish form).
@@ -149,7 +340,11 @@ fn fmt_f64(v: f64) -> String {
     // Limit precision for stable, diff-friendly output.
     let s = format!("{v:.6}");
     let s = s.trim_end_matches('0').trim_end_matches('.');
-    if s.is_empty() { "0".to_string() } else { s.to_string() }
+    if s.is_empty() {
+        "0".to_string()
+    } else {
+        s.to_string()
+    }
 }
 
 #[cfg(test)]
@@ -202,11 +397,62 @@ mod tests {
             "join_times_s",
             "instantaneous_bps",
         ] {
-            assert!(json.contains(&format!("\"{key}\"")), "missing key {key} in {json}");
+            assert!(
+                json.contains(&format!("\"{key}\"")),
+                "missing key {key} in {json}"
+            );
         }
         // Balanced braces and no NaN/inf tokens.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert!(!json.contains("NaN") && !json.contains("inf"));
+    }
+
+    #[test]
+    fn json_roundtrips_through_from_json() {
+        // `to_json` rounds floats to six decimals, so the roundtrip
+        // invariant is a serialization fixpoint, not bit-equality with the
+        // in-memory report.
+        let json = Report::from_run(&sample_run()).to_json();
+        let parsed = Report::from_json(&json).expect("parse");
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn from_json_accepts_whitespace_and_ignores_unknown_keys() {
+        let json = Report::from_run(&sample_run()).to_json();
+        let pretty = json.replace(',', ",\n  ").replace('{', "{ ").replacen(
+            '{',
+            "{\"schema_version\": 1,",
+            1,
+        );
+        let parsed = Report::from_json(&pretty).expect("parse pretty variant");
+        assert_eq!(parsed.to_json(), json);
+    }
+
+    #[test]
+    fn from_json_rejects_garbage() {
+        assert!(matches!(
+            Report::from_json("not json"),
+            Err(ReportParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            Report::from_json("{\"duration_secs\":1}"),
+            Err(ReportParseError::MissingKey(_))
+        ));
+        let truncated = Report::from_run(&sample_run()).to_json();
+        let truncated = &truncated[..truncated.len() - 2];
+        assert!(Report::from_json(truncated).is_err());
+    }
+
+    #[test]
+    fn from_json_rejects_wrong_types() {
+        let swapped = Report::from_run(&sample_run())
+            .to_json()
+            .replace("\"total_bytes\":", "\"total_bytes\":{\"n\":0,\"p10\":0,\"p50\":0,\"p90\":0,\"max\":0},\"was_total_bytes\":");
+        assert_eq!(
+            Report::from_json(&swapped),
+            Err(ReportParseError::WrongType("total_bytes"))
+        );
     }
 
     #[test]

@@ -70,11 +70,7 @@ pub fn select_aps(
                 sb.partial_cmp(&sa)
                     .expect("scores are finite")
                     // Deterministic tie-break: stronger signal, then BSSID.
-                    .then(
-                        b.rssi_dbm
-                            .partial_cmp(&a.rssi_dbm)
-                            .expect("rssi finite"),
-                    )
+                    .then(b.rssi_dbm.partial_cmp(&a.rssi_dbm).expect("rssi finite"))
                     .then(a.bssid.cmp(&b.bssid))
             });
         }
@@ -95,7 +91,12 @@ mod tests {
     use super::*;
 
     fn cand(id: u32, channel: Channel, rssi: f64, heard: Instant) -> Candidate {
-        Candidate { bssid: MacAddr::ap(id), channel, rssi_dbm: rssi, last_heard: heard }
+        Candidate {
+            bssid: MacAddr::ap(id),
+            channel,
+            rssi_dbm: rssi,
+            last_heard: heard,
+        }
     }
 
     fn fresh(id: u32, rssi: f64) -> Candidate {
@@ -256,8 +257,28 @@ mod tests {
         // Identical candidates except BSSID: order must be stable.
         let cands = [fresh(5, -50.0), fresh(3, -50.0), fresh(4, -50.0)];
         let h = ApHistory::new();
-        let a = select_aps(&cands, Channel::CH1, SelectionPolicy::JoinHistory, &h, NOW, FRESHNESS, BACKOFF, -200.0, 3);
-        let b = select_aps(&cands, Channel::CH1, SelectionPolicy::JoinHistory, &h, NOW, FRESHNESS, BACKOFF, -200.0, 3);
+        let a = select_aps(
+            &cands,
+            Channel::CH1,
+            SelectionPolicy::JoinHistory,
+            &h,
+            NOW,
+            FRESHNESS,
+            BACKOFF,
+            -200.0,
+            3,
+        );
+        let b = select_aps(
+            &cands,
+            Channel::CH1,
+            SelectionPolicy::JoinHistory,
+            &h,
+            NOW,
+            FRESHNESS,
+            BACKOFF,
+            -200.0,
+            3,
+        );
         assert_eq!(a, b);
         assert_eq!(a, vec![MacAddr::ap(3), MacAddr::ap(4), MacAddr::ap(5)]);
     }

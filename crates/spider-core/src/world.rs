@@ -36,7 +36,6 @@
 
 use std::collections::HashMap;
 
-use bytes::{BufMut, Bytes, BytesMut};
 use dhcp::client::{DhcpAction, DhcpClient, Lease};
 use dhcp::message::DhcpMessage;
 use dhcp::server::{DhcpServer, DhcpServerConfig};
@@ -48,6 +47,7 @@ use sim_engine::rng::Rng;
 use sim_engine::runner::{run_until, Handler};
 use sim_engine::stats::Samples;
 use sim_engine::time::{Duration, Instant};
+use sim_engine::wire::{Bytes, Writer};
 use tcp_lite::connection::{BulkReceiver, BulkSender, ReceiverAction, SenderAction};
 use tcp_lite::segment::Segment;
 use tcp_lite::TcpConfig;
@@ -228,7 +228,11 @@ enum Event {
     BackhaulToServer { ap: usize, payload: Bytes },
     /// The AP's local DHCP server finished processing; deliver the reply
     /// into the AP's downlink path.
-    DhcpReplyReady { ap: usize, station: MacAddr, payload: Bytes },
+    DhcpReplyReady {
+        ap: usize,
+        station: MacAddr,
+        payload: Bytes,
+    },
     /// Move to schedule slice `idx`.
     ScheduleSlice { idx: usize },
     /// PSM announcements have drained; begin the hardware retune.
@@ -369,11 +373,8 @@ impl World {
             .map(|site| {
                 let ssid = format!("open-{}", site.id);
                 let ap_cfg = ApConfig::open(site.id, &ssid, site.channel);
-                let dhcp_cfg = DhcpServerConfig::for_ap(
-                    site.id,
-                    site.dhcp_delay_min,
-                    site.dhcp_delay_max,
-                );
+                let dhcp_cfg =
+                    DhcpServerConfig::for_ap(site.id, site.dhcp_delay_min, site.dhcp_delay_max);
                 ApNode {
                     site: site.clone(),
                     mac: ApMac::new(ap_cfg),
@@ -384,8 +385,11 @@ impl World {
                 }
             })
             .collect();
-        let bssid_to_ap =
-            aps.iter().enumerate().map(|(i, a)| (a.mac.bssid(), i)).collect();
+        let bssid_to_ap = aps
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.mac.bssid(), i))
+            .collect();
 
         let initial_channel = match &cfg.spider.schedule {
             SchedulePolicy::SingleChannel(c) => *c,
@@ -503,16 +507,17 @@ impl World {
                 self.cfg.phy.data_delivery_prob(dist, len),
             )
         } else {
-            (self.cfg.phy.airtime(len), self.cfg.phy.mgmt_delivery_prob(dist, len))
+            (
+                self.cfg.phy.airtime(len),
+                self.cfg.phy.mgmt_delivery_prob(dist, len),
+            )
         };
         // Uplink frames contend per-frame: the client wins the medium
         // within a couple of frame airtimes even when the AP has a deep
         // committed backlog (a FIFO pipe would wrongly park the client's
         // PSM announcements behind the AP's entire queue).
         let free = self.medium.entry(channel).or_insert(Instant::ZERO);
-        let contention = free
-            .saturating_since(now)
-            .min(Duration::from_millis(3));
+        let contention = free.saturating_since(now).min(Duration::from_millis(3));
         let arrival = now + contention + airtime;
         self.dbg_up_airtime += airtime;
         self.dbg_up_frames += 1;
@@ -601,7 +606,11 @@ impl World {
                     let reply_payload = wrap_proto(PROTO_UDP, &reply.encode());
                     queue.push(
                         now + delay,
-                        Event::DhcpReplyReady { ap, station, payload: reply_payload },
+                        Event::DhcpReplyReady {
+                            ap,
+                            station,
+                            payload: reply_payload,
+                        },
                     );
                 }
             }
@@ -655,7 +664,11 @@ impl World {
                             let gen = self.ifaces[iface_idx].gen;
                             queue.push(
                                 now + think,
-                                Event::NextObject { iface: iface_idx, gen, ap },
+                                Event::NextObject {
+                                    iface: iface_idx,
+                                    gen,
+                                    ap,
+                                },
                             );
                         }
                     }
@@ -690,7 +703,11 @@ impl World {
         let conn = self.next_conn;
         self.next_conn += 1;
         let isn = self.rng_misc.next_u64() as u32;
-        let object = self.cfg.plan.next_object().min(self.cfg.bytes_per_connection);
+        let object = self
+            .cfg
+            .plan
+            .next_object()
+            .min(self.cfg.bytes_per_connection);
         let mut sender = BulkSender::new(self.cfg.tcp.clone(), conn, object, isn);
         let actions = sender.start(now);
         self.aps[ap].senders.insert(conn, sender);
@@ -715,7 +732,14 @@ impl World {
                 }
                 MacAction::ArmTimer { after, token } => {
                     let gen = self.ifaces[iface_idx].gen;
-                    queue.push(now + after, Event::MacTimer { iface: iface_idx, gen, token });
+                    queue.push(
+                        now + after,
+                        Event::MacTimer {
+                            iface: iface_idx,
+                            gen,
+                            token,
+                        },
+                    );
                 }
                 MacAction::Joined { .. } => self.on_associated(iface_idx, queue, now),
                 MacAction::Failed(_) => {
@@ -733,7 +757,9 @@ impl World {
         let started = self.ifaces[iface_idx]
             .join_started
             .expect("associated without a join start");
-        self.metrics.assoc_times.record_duration(now.saturating_since(started));
+        self.metrics
+            .assoc_times
+            .record_duration(now.saturating_since(started));
         self.ifaces[iface_idx].state = IfaceState::Acquiring;
         self.update_concurrency(now);
         // Kick off DHCP.
@@ -774,13 +800,21 @@ impl World {
                 }
                 DhcpAction::ArmTimer { after, token } => {
                     let gen = self.ifaces[iface_idx].gen;
-                    queue.push(now + after, Event::DhcpTimer { iface: iface_idx, gen, token });
+                    queue.push(
+                        now + after,
+                        Event::DhcpTimer {
+                            iface: iface_idx,
+                            gen,
+                            token,
+                        },
+                    );
                 }
                 DhcpAction::Bound(lease) => self.on_bound(iface_idx, lease, queue, now),
                 DhcpAction::Failed => {
                     self.metrics.dhcp_failures += 1;
-                    self.dhcp_idle_until =
-                        self.dhcp_idle_until.max(now + self.cfg.spider.dhcp.idle_after_fail);
+                    self.dhcp_idle_until = self
+                        .dhcp_idle_until
+                        .max(now + self.cfg.spider.dhcp.idle_after_fail);
                     if let Some(ap) = self.ifaces[iface_idx].ap {
                         self.history.record_failure(self.aps[ap].mac.bssid(), now);
                     }
@@ -797,7 +831,9 @@ impl World {
         queue: &mut EventQueue<Event>,
         now: Instant,
     ) {
-        let started = self.ifaces[iface_idx].join_started.expect("bound without a join start");
+        let started = self.ifaces[iface_idx]
+            .join_started
+            .expect("bound without a join start");
         let join_time = now.saturating_since(started);
         self.metrics.join_times.record_duration(join_time);
         let ap = self.ifaces[iface_idx].ap.expect("bound without an AP");
@@ -810,8 +846,11 @@ impl World {
     }
 
     fn update_concurrency(&mut self, now: Instant) {
-        let connected =
-            self.ifaces.iter().filter(|i| i.state == IfaceState::Connected).count();
+        let connected = self
+            .ifaces
+            .iter()
+            .filter(|i| i.state == IfaceState::Connected)
+            .count();
         self.metrics.record_concurrency(now, connected);
     }
 
@@ -842,7 +881,9 @@ impl World {
             // For a PSM station the AP's MAC-retry failure routes a data
             // frame back into the power-save queue rather than dropping it.
             if let FrameBody::Data(payload) = &frame.body {
-                let ok = self.aps[ap].mac.rebuffer_front(frame.addr1, payload.clone(), now);
+                let ok = self.aps[ap]
+                    .mac
+                    .rebuffer_front(frame.addr1, payload.clone(), now);
                 if !ok && std::env::var("SPIDER_DEBUG_REBUF").is_ok() {
                     eprintln!(
                         "t={now} rebuffer FAILED ap={ap} assoc={} psm={} buffered={}",
@@ -871,7 +912,12 @@ impl World {
             let rssi = self.cfg.phy.link_at(dist).rssi_dbm;
             self.scan.insert(
                 frame.addr2,
-                Candidate { bssid: frame.addr2, channel: b.channel, rssi_dbm: rssi, last_heard: now },
+                Candidate {
+                    bssid: frame.addr2,
+                    channel: b.channel,
+                    rssi_dbm: rssi,
+                    last_heard: now,
+                },
             );
         }
         // Route to the interface talking to this AP.
@@ -997,10 +1043,16 @@ impl World {
     fn try_start_joins(&mut self, queue: &mut EventQueue<Event>, now: Instant) -> usize {
         let budget = if self.cfg.spider.single_ap {
             1usize.saturating_sub(
-                self.ifaces.iter().filter(|i| i.state != IfaceState::Idle).count(),
+                self.ifaces
+                    .iter()
+                    .filter(|i| i.state != IfaceState::Idle)
+                    .count(),
             )
         } else {
-            self.ifaces.iter().filter(|i| i.state == IfaceState::Idle).count()
+            self.ifaces
+                .iter()
+                .filter(|i| i.state == IfaceState::Idle)
+                .count()
         };
         if budget == 0 || self.radio.is_busy(now) || now < self.dhcp_idle_until {
             return 0;
@@ -1034,8 +1086,7 @@ impl World {
             let Some(&ap) = self.bssid_to_ap.get(&bssid) else {
                 continue;
             };
-            let Some(idx) = self.ifaces.iter().position(|i| i.state == IfaceState::Idle)
-            else {
+            let Some(idx) = self.ifaces.iter().position(|i| i.state == IfaceState::Idle) else {
                 break;
             };
             let setup = self.cfg.spider.join_setup_delay;
@@ -1050,14 +1101,27 @@ impl World {
                 iface.ap = Some(ap);
                 iface.join_started = Some(now);
                 let gen = iface.gen;
-                queue.push(now + setup, Event::BeginJoin { iface: idx, gen, ap });
+                queue.push(
+                    now + setup,
+                    Event::BeginJoin {
+                        iface: idx,
+                        gen,
+                        ap,
+                    },
+                );
             }
             started += 1;
         }
         started
     }
 
-    fn start_join(&mut self, iface_idx: usize, ap: usize, queue: &mut EventQueue<Event>, now: Instant) {
+    fn start_join(
+        &mut self,
+        iface_idx: usize,
+        ap: usize,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
         let bssid = self.aps[ap].mac.bssid();
         let ssid = self.aps[ap].mac.config().ssid.clone();
         // Opportunistic scanning just heard this AP; skip the probe phase.
@@ -1117,12 +1181,7 @@ impl World {
         queue.push(now + slice_len, Event::ScheduleSlice { idx: idx + 1 });
     }
 
-    fn on_switch_begin(
-        &mut self,
-        target: Channel,
-        queue: &mut EventQueue<Event>,
-        now: Instant,
-    ) {
+    fn on_switch_begin(&mut self, target: Channel, queue: &mut EventQueue<Event>, now: Instant) {
         if target == self.radio.channel() {
             return;
         }
@@ -1131,7 +1190,9 @@ impl World {
             .iter()
             .filter(|i| i.state == IfaceState::Connected)
             .count();
-        let latency = self.radio.switch_to(target, now, connected, &mut self.rng_radio);
+        let latency = self
+            .radio
+            .switch_to(target, now, connected, &mut self.rng_radio);
         self.metrics.switch_latencies.record_duration(latency);
         queue.push(now + latency, Event::SwitchDone);
     }
@@ -1168,8 +1229,7 @@ impl World {
     /// down current associations (we will not be coming back for their
     /// PSM buffers), so the bar for moving is a strict improvement.
     fn reconsider(&mut self, queue: &mut EventQueue<Event>, now: Instant) {
-        let SchedulePolicy::AdaptiveChannel { reconsider, .. } = self.cfg.spider.schedule
-        else {
+        let SchedulePolicy::AdaptiveChannel { reconsider, .. } = self.cfg.spider.schedule else {
             return;
         };
         let freshness = Duration::from_secs(3);
@@ -1219,16 +1279,26 @@ impl World {
     fn result(mut self) -> RunResult {
         let d = self.cfg.duration;
         self.metrics.record_concurrency(Instant::ZERO + d, 0);
-        let backhaul_drops: u64 =
-            self.aps.iter().map(|a| a.downlink.drops() + a.uplink.drops()).sum();
+        let backhaul_drops: u64 = self
+            .aps
+            .iter()
+            .map(|a| a.downlink.drops() + a.uplink.drops())
+            .sum();
         if std::env::var("SPIDER_DEBUG_BH").is_ok() {
             for (i, a) in self.aps.iter().enumerate() {
-                eprintln!("ap={i} down_drops={} up_drops={}", a.downlink.drops(), a.uplink.drops());
+                eprintln!(
+                    "ap={i} down_drops={} up_drops={}",
+                    a.downlink.drops(),
+                    a.uplink.drops()
+                );
             }
         }
         let psm_drops: u64 = self.aps.iter().map(|a| a.mac.counters().psm_dropped).sum();
-        let unassociated_drops: u64 =
-            self.aps.iter().map(|a| a.mac.counters().unassociated_drops).sum();
+        let unassociated_drops: u64 = self
+            .aps
+            .iter()
+            .map(|a| a.mac.counters().unassociated_drops)
+            .sum();
         RunResult {
             duration: d,
             total_bytes: self.metrics.total_bytes(),
@@ -1293,12 +1363,18 @@ impl Handler<Event> for World {
                     Some(sender) => sender.on_timer(token, now),
                     None => return,
                 };
-                if actions.iter().any(|a| matches!(a, SenderAction::Transmit(_))) {
+                if actions
+                    .iter()
+                    .any(|a| matches!(a, SenderAction::Transmit(_)))
+                {
                     self.tcp_rtos += 1;
                     if std::env::var("SPIDER_DEBUG_RTO").is_ok() {
                         let s = self.aps[ap].senders.get(&conn);
-                        eprintln!("RTO at {now} conn={conn} srtt={:?} cwnd={:?}",
-                            s.and_then(|x| x.srtt()), s.map(|x| x.cwnd()));
+                        eprintln!(
+                            "RTO at {now} conn={conn} srtt={:?} cwnd={:?}",
+                            s.and_then(|x| x.srtt()),
+                            s.map(|x| x.cwnd())
+                        );
                     }
                 }
                 self.process_sender_actions(ap, conn, actions, queue, now);
@@ -1332,7 +1408,11 @@ impl Handler<Event> for World {
                 };
                 self.process_sender_actions(ap, seg.conn, actions, queue, now);
             }
-            Event::DhcpReplyReady { ap, station, payload } => {
+            Event::DhcpReplyReady {
+                ap,
+                station,
+                payload,
+            } => {
                 let actions = self.aps[ap].mac.deliver_downlink(station, payload, now);
                 self.process_ap_actions(ap, actions, queue, now);
             }
@@ -1401,7 +1481,7 @@ impl Handler<Event> for World {
 }
 
 fn wrap_proto(proto: u8, body: &[u8]) -> Bytes {
-    let mut buf = BytesMut::with_capacity(1 + body.len());
+    let mut buf = Writer::with_capacity(1 + body.len());
     buf.put_u8(proto);
     buf.put_slice(body);
     buf.freeze()
@@ -1456,13 +1536,24 @@ mod tests {
             30,
         );
         let result = run(cfg);
-        assert_eq!(result.assoc_failures, 0, "clean channel at 10 m must associate");
+        assert_eq!(
+            result.assoc_failures, 0,
+            "clean channel at 10 m must associate"
+        );
         assert!(result.join_times.count() >= 1, "no successful join");
-        assert!(result.total_bytes > 100_000, "only {} bytes", result.total_bytes);
+        assert!(
+            result.total_bytes > 100_000,
+            "only {} bytes",
+            result.total_bytes
+        );
         // 2 Mb/s backhaul = 250 kB/s ceiling; TCP should get most of it.
         let kbps = result.avg_throughput_kbps();
         assert!((100.0..260.0).contains(&kbps), "throughput {kbps} kB/s");
-        assert!(result.connectivity > 0.8, "connectivity {}", result.connectivity);
+        assert!(
+            result.connectivity > 0.8,
+            "connectivity {}",
+            result.connectivity
+        );
     }
 
     #[test]
@@ -1475,7 +1566,10 @@ mod tests {
             30,
         ));
         let two = run(static_world(
-            vec![site(1, 0.0, Channel::CH1, 2_000_000), site(2, 5.0, Channel::CH1, 2_000_000)],
+            vec![
+                site(1, 0.0, Channel::CH1, 2_000_000),
+                site(2, 5.0, Channel::CH1, 2_000_000),
+            ],
             SpiderConfig::single_channel_multi_ap(Channel::CH1),
             30,
         ));
@@ -1492,7 +1586,10 @@ mod tests {
     #[test]
     fn single_ap_config_never_holds_two() {
         let result = run(static_world(
-            vec![site(1, 0.0, Channel::CH1, 2_000_000), site(2, 5.0, Channel::CH1, 2_000_000)],
+            vec![
+                site(1, 0.0, Channel::CH1, 2_000_000),
+                site(2, 5.0, Channel::CH1, 2_000_000),
+            ],
             SpiderConfig::single_channel_single_ap(Channel::CH1),
             20,
         ));
@@ -1513,13 +1610,23 @@ mod tests {
     #[test]
     fn multi_channel_schedule_switches_and_transfers() {
         let result = run(static_world(
-            vec![site(1, 0.0, Channel::CH1, 2_000_000), site(2, 5.0, Channel::CH6, 2_000_000)],
+            vec![
+                site(1, 0.0, Channel::CH1, 2_000_000),
+                site(2, 5.0, Channel::CH6, 2_000_000),
+            ],
             SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)),
             30,
         ));
-        assert!(result.switch_count > 50, "only {} switches", result.switch_count);
+        assert!(
+            result.switch_count > 50,
+            "only {} switches",
+            result.switch_count
+        );
         assert!(result.switch_latencies.count() > 0);
-        assert!(result.total_bytes > 0, "no data through a multi-channel schedule");
+        assert!(
+            result.total_bytes > 0,
+            "no data through a multi-channel schedule"
+        );
     }
 
     #[test]
@@ -1539,7 +1646,10 @@ mod tests {
     fn deterministic_across_runs() {
         let mk = || {
             run(static_world(
-                vec![site(1, 0.0, Channel::CH1, 2_000_000), site(2, 5.0, Channel::CH1, 1_000_000)],
+                vec![
+                    site(1, 0.0, Channel::CH1, 2_000_000),
+                    site(2, 5.0, Channel::CH1, 1_000_000),
+                ],
                 SpiderConfig::single_channel_multi_ap(Channel::CH1),
                 15,
             ))
@@ -1573,7 +1683,10 @@ mod tests {
             result.connectivity
         );
         let mut disruptions = result.disruption_durations.clone();
-        assert!(disruptions.quantile(1.0) > 50.0, "should see a long disruption");
+        assert!(
+            disruptions.quantile(1.0) > 50.0,
+            "should see a long disruption"
+        );
     }
 
     #[test]
@@ -1630,7 +1743,10 @@ mod tests {
             greedy_cfg,
             Duration::from_secs(20),
         ));
-        assert!(greedy.assoc_attempts > 0, "without the floor the driver tries");
+        assert!(
+            greedy.assoc_attempts > 0,
+            "without the floor the driver tries"
+        );
     }
 
     #[test]
@@ -1687,11 +1803,17 @@ mod tests {
         // All APs on channel 11; the adaptive policy must discover that and
         // move off its initial channel 1 to transfer data.
         let result = run(static_world(
-            vec![site(1, 0.0, Channel::CH11, 2_000_000), site(2, 5.0, Channel::CH11, 2_000_000)],
+            vec![
+                site(1, 0.0, Channel::CH11, 2_000_000),
+                site(2, 5.0, Channel::CH11, 2_000_000),
+            ],
             SpiderConfig::adaptive_channel(),
             40,
         ));
-        assert!(result.join_times.count() >= 1, "adaptive policy never joined");
+        assert!(
+            result.join_times.count() >= 1,
+            "adaptive policy never joined"
+        );
         assert!(result.total_bytes > 0, "adaptive policy moved no data");
     }
 
@@ -1746,7 +1868,10 @@ mod tests {
             30,
         ));
         let kbps = result.avg_throughput_kbps();
-        assert!((15.0..70.0).contains(&kbps), "throughput {kbps} kB/s vs 62.5 cap");
+        assert!(
+            (15.0..70.0).contains(&kbps),
+            "throughput {kbps} kB/s vs 62.5 cap"
+        );
         // The air could carry ~20× more; the wired side is the bottleneck.
         assert!(result.backhaul_drops > 0 || kbps > 40.0);
     }

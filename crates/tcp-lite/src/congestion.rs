@@ -103,9 +103,12 @@ impl Reno {
     /// re-inflate by one MSS, and stay in recovery; the caller retransmits
     /// the next hole immediately instead of waiting for an RTO.
     pub fn on_partial_ack(&mut self, acked_bytes: u64) {
-        debug_assert_eq!(self.phase, Phase::FastRecovery, "partial ACK outside recovery");
-        self.cwnd = self.cwnd.saturating_sub(acked_bytes).max(self.mss as u64)
-            + self.mss as u64;
+        debug_assert_eq!(
+            self.phase,
+            Phase::FastRecovery,
+            "partial ACK outside recovery"
+        );
+        self.cwnd = self.cwnd.saturating_sub(acked_bytes).max(self.mss as u64) + self.mss as u64;
     }
 
     /// A duplicate ACK arrived with `flight` bytes outstanding.

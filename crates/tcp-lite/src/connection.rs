@@ -197,7 +197,10 @@ impl BulkSender {
 
     fn arm(&mut self) -> SenderAction {
         self.timer_gen += 1;
-        SenderAction::ArmTimer { after: self.rtt.rto(), token: self.timer_gen }
+        SenderAction::ArmTimer {
+            after: self.rtt.rto(),
+            token: self.timer_gen,
+        }
     }
 
     /// Open the connection: transmit SYN.
@@ -205,7 +208,11 @@ impl BulkSender {
     /// # Panics
     /// Panics unless the sender is freshly constructed.
     pub fn start(&mut self, now: Instant) -> Vec<SenderAction> {
-        assert_eq!(self.state, SenderState::Closed, "BulkSender::start: already started");
+        assert_eq!(
+            self.state,
+            SenderState::Closed,
+            "BulkSender::start: already started"
+        );
         self.state = SenderState::SynSent;
         self.cc = Reno::new(self.config.mss);
         let mut syn = Segment::data(self.conn, self.isn, 0);
@@ -273,7 +280,11 @@ impl BulkSender {
             if end.distance(self.snd_una) <= 0 {
                 continue; // entirely below the cumulative ACK
             }
-            let start = if start.distance(self.snd_una) < 0 { self.snd_una } else { start };
+            let start = if start.distance(self.snd_una) < 0 {
+                self.snd_una
+            } else {
+                start
+            };
             self.sacked.push((start, end));
         }
         // Normalize: clamp below snd_una, sort, merge overlaps.
@@ -282,7 +293,8 @@ impl BulkSender {
                 r.0 = self.snd_una;
             }
         }
-        self.sacked.retain(|&(st, e)| e.distance(st) > 0 && e.distance(self.snd_una) > 0);
+        self.sacked
+            .retain(|&(st, e)| e.distance(st) > 0 && e.distance(self.snd_una) > 0);
         self.sacked.sort_by_key(|r| r.0);
         let mut merged: Vec<(SeqNum, SeqNum)> = Vec::with_capacity(self.sacked.len());
         for &(st, e) in &self.sacked {
@@ -507,7 +519,10 @@ impl BulkSender {
     /// Feed a retransmission-timer expiry. Stale tokens are ignored.
     pub fn on_timer(&mut self, token: u64, now: Instant) -> Vec<SenderAction> {
         if token != self.timer_gen
-            || matches!(self.state, SenderState::Closed | SenderState::Done | SenderState::Aborted)
+            || matches!(
+                self.state,
+                SenderState::Closed | SenderState::Done | SenderState::Aborted
+            )
         {
             return Vec::new();
         }
@@ -898,7 +913,10 @@ mod tests {
 
     #[test]
     fn abort_after_max_timeouts() {
-        let cfg = TcpConfig { max_timeouts: 3, ..TcpConfig::default() };
+        let cfg = TcpConfig {
+            max_timeouts: 3,
+            ..TcpConfig::default()
+        };
         let mut s = BulkSender::new(cfg, 1, 1000, 1);
         let acts = s.start(Instant::ZERO);
         let mut token = match acts[1] {
@@ -973,7 +991,8 @@ mod tests {
         r.on_segment(&seg, now);
         let acts = r.on_segment(&seg, now);
         assert!(
-            acts.iter().all(|a| !matches!(a, ReceiverAction::Deliver { .. })),
+            acts.iter()
+                .all(|a| !matches!(a, ReceiverAction::Deliver { .. })),
             "duplicate must not deliver"
         );
         assert_eq!(r.delivered(), 500);
@@ -1027,7 +1046,11 @@ mod tests {
         // Drop the first TWO in-flight segments; deliver the rest. SACK
         // must retransmit both holes without waiting for an RTO.
         let (mut s, mut r, flight) = established_with_flight(1_000_000);
-        assert!(flight.len() >= 6, "need a deep flight, have {}", flight.len());
+        assert!(
+            flight.len() >= 6,
+            "need a deep flight, have {}",
+            flight.len()
+        );
         let now = Instant::from_secs(1);
         let mut retransmitted = Vec::new();
         for seg in &flight[2..] {
@@ -1165,7 +1188,11 @@ mod tests {
                 }
             }
         }
-        assert!(all.len() >= 6, "need at least 6 segments released, have {}", all.len());
+        assert!(
+            all.len() >= 6,
+            "need at least 6 segments released, have {}",
+            all.len()
+        );
         let hole = delivered; // drop all[hole]; feed the rest for dup ACKs.
         let mut retransmitted = false;
         let hole_seq = all[hole].seq;
@@ -1186,7 +1213,10 @@ mod tests {
                 break;
             }
         }
-        assert!(retransmitted, "triple dup ACK must fast-retransmit the hole");
+        assert!(
+            retransmitted,
+            "triple dup ACK must fast-retransmit the hole"
+        );
         assert_eq!(s.fast_retransmit_count(), 1);
     }
 }

@@ -46,10 +46,7 @@ impl RttEstimator {
     /// The current retransmission timeout (with backoff applied).
     pub fn rto(&self) -> Duration {
         let shift = self.backoff.min(16);
-        let backed_off = self
-            .rto
-            .checked_mul(1u64 << shift)
-            .unwrap_or(self.max_rto);
+        let backed_off = self.rto.checked_mul(1u64 << shift).unwrap_or(self.max_rto);
         backed_off.clamp(self.min_rto, self.max_rto)
     }
 

@@ -7,8 +7,8 @@
 //! IP + TCP + payload size so airtime and backhaul serialization are
 //! charged correctly.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use core::fmt;
+use sim_engine::wire::{Bytes, Reader, Writer};
 
 use crate::seq::SeqNum;
 
@@ -88,7 +88,7 @@ impl Segment {
 
     /// Encode to the compact simulation wire format (25 bytes).
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(25);
+        let mut buf = Writer::with_capacity(25);
         buf.put_u64(self.conn);
         buf.put_u32(self.seq.value());
         match self.ack {
@@ -122,39 +122,25 @@ impl Segment {
     }
 
     /// Decode from the simulation wire format.
-    pub fn decode(mut buf: &[u8]) -> Option<Segment> {
-        if buf.remaining() < 23 {
-            return None;
-        }
-        let conn = buf.get_u64();
-        let seq = SeqNum::new(buf.get_u32());
-        let has_ack = buf.get_u8() != 0;
-        let ack_raw = buf.get_u32();
-        let len = buf.get_u32();
-        let flags = buf.get_u8();
-        if buf.remaining() < 1 {
-            return None;
-        }
-        let blocks = buf.get_u8().min(3);
+    pub fn decode(bytes: &[u8]) -> Option<Segment> {
+        let mut buf = Reader::new(bytes);
+        let conn = buf.get_u64().ok()?;
+        let seq = SeqNum::new(buf.get_u32().ok()?);
+        let has_ack = buf.get_u8().ok()? != 0;
+        let ack_raw = buf.get_u32().ok()?;
+        let len = buf.get_u32().ok()?;
+        let flags = buf.get_u8().ok()?;
+        let blocks = buf.get_u8().ok()?.min(3);
         let mut sack = [None; 3];
         for slot in sack.iter_mut().take(blocks as usize) {
-            if buf.remaining() < 8 {
-                return None;
-            }
-            let start = SeqNum::new(buf.get_u32());
-            let block_len = buf.get_u32();
+            let start = SeqNum::new(buf.get_u32().ok()?);
+            let block_len = buf.get_u32().ok()?;
             *slot = Some((start, block_len));
         }
-        if buf.remaining() < 9 {
-            return None;
-        }
-        let ts_us = buf.get_u64();
-        let has_echo = buf.get_u8() != 0;
+        let ts_us = buf.get_u64().ok()?;
+        let has_echo = buf.get_u8().ok()? != 0;
         let ts_echo_us = if has_echo {
-            if buf.remaining() < 8 {
-                return None;
-            }
-            Some(buf.get_u64())
+            Some(buf.get_u64().ok()?)
         } else {
             None
         };
@@ -244,6 +230,9 @@ mod tests {
     #[test]
     fn wire_len_includes_headers() {
         assert_eq!(Segment::data(0, SeqNum::new(0), 1460).wire_len(), 1500);
-        assert_eq!(Segment::ack_only(0, SeqNum::new(0), SeqNum::new(1)).wire_len(), 40);
+        assert_eq!(
+            Segment::ack_only(0, SeqNum::new(0), SeqNum::new(1)).wire_len(),
+            40
+        );
     }
 }

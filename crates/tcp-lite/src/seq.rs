@@ -38,7 +38,11 @@ impl SeqNum {
 
     /// The larger (further ahead) of two sequence numbers.
     pub fn max(self, other: SeqNum) -> SeqNum {
-        if self >= other { self } else { other }
+        if self >= other {
+            self
+        } else {
+            other
+        }
     }
 
     /// True if `self` lies in the half-open circular interval

@@ -13,15 +13,13 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use bytes::Bytes;
 use sim_engine::rng::Rng;
 use sim_engine::time::{Duration, Instant};
+use sim_engine::wire::Bytes;
 
 use crate::addr::MacAddr;
 use crate::channel::Channel;
-use crate::frame::{
-    Frame, FrameBody, Ssid, REASON_INACTIVITY, STATUS_AP_FULL, STATUS_SUCCESS,
-};
+use crate::frame::{Frame, FrameBody, Ssid, REASON_INACTIVITY, STATUS_AP_FULL, STATUS_SUCCESS};
 
 /// AP parameters.
 #[derive(Debug, Clone)]
@@ -137,7 +135,13 @@ pub struct ApMac {
 impl ApMac {
     /// A new AP with no associated stations.
     pub fn new(config: ApConfig) -> ApMac {
-        ApMac { config, stations: HashMap::new(), next_aid: 1, seq: 0, counters: ApCounters::default() }
+        ApMac {
+            config,
+            stations: HashMap::new(),
+            next_aid: 1,
+            seq: 0,
+            counters: ApCounters::default(),
+        }
     }
 
     /// AP configuration.
@@ -191,12 +195,18 @@ impl ApMac {
 
     fn send_mgmt(&mut self, mut frame: Frame, rng: &mut Rng) -> ApAction {
         frame.seq = self.next_seq();
-        ApAction::Send { delay: self.proc_delay(rng), frame }
+        ApAction::Send {
+            delay: self.proc_delay(rng),
+            frame,
+        }
     }
 
     fn send_data(&mut self, mut frame: Frame) -> ApAction {
         frame.seq = self.next_seq();
-        ApAction::Send { delay: Duration::ZERO, frame }
+        ApAction::Send {
+            delay: Duration::ZERO,
+            frame,
+        }
     }
 
     /// The periodic beacon; callers schedule this every
@@ -317,7 +327,10 @@ impl ApMac {
             }
             FrameBody::Data(payload) if directed && frame.to_ds => {
                 if self.stations.contains_key(&station) {
-                    vec![ApAction::ToUplink { from: station, payload: payload.clone() }]
+                    vec![ApAction::ToUplink {
+                        from: station,
+                        payload: payload.clone(),
+                    }]
                 } else {
                     // Class-3 frame from an unassociated station.
                     Vec::new()
@@ -432,7 +445,9 @@ impl ApMac {
                     station,
                     me,
                     me,
-                    FrameBody::Deauth { reason: REASON_INACTIVITY },
+                    FrameBody::Deauth {
+                        reason: REASON_INACTIVITY,
+                    },
                 );
                 self.send_data(f)
             })
@@ -497,7 +512,9 @@ mod tests {
         let mut mac = ap();
         let mut r = rng();
         let mut probe = Frame::probe_request(sta(1));
-        probe.body = FrameBody::ProbeReq { ssid: Ssid::new("someone-else") };
+        probe.body = FrameBody::ProbeReq {
+            ssid: Ssid::new("someone-else"),
+        };
         assert!(mac.on_frame(&probe, Instant::ZERO, &mut r).is_empty());
     }
 
@@ -580,7 +597,11 @@ mod tests {
         let mut mac = ap();
         let mut r = rng();
         let aid = associate(&mut mac, sta(1), Instant::ZERO, &mut r);
-        mac.on_frame(&Frame::psm_enter(sta(1), mac.bssid()), Instant::ZERO, &mut r);
+        mac.on_frame(
+            &Frame::psm_enter(sta(1), mac.bssid()),
+            Instant::ZERO,
+            &mut r,
+        );
         mac.deliver_downlink(sta(1), Bytes::from_static(b"a"), Instant::ZERO);
         mac.deliver_downlink(sta(1), Bytes::from_static(b"b"), Instant::ZERO);
         let poll = Frame::ps_poll(sta(1), mac.bssid(), aid);
@@ -606,7 +627,11 @@ mod tests {
         let mut mac = ap();
         let mut r = rng();
         let aid = associate(&mut mac, sta(1), Instant::ZERO, &mut r);
-        mac.on_frame(&Frame::psm_enter(sta(1), mac.bssid()), Instant::ZERO, &mut r);
+        mac.on_frame(
+            &Frame::psm_enter(sta(1), mac.bssid()),
+            Instant::ZERO,
+            &mut r,
+        );
         mac.deliver_downlink(sta(1), Bytes::from_static(b"x"), Instant::ZERO);
         let poll = Frame::ps_poll(sta(1), mac.bssid(), aid + 1);
         assert!(mac.on_frame(&poll, Instant::ZERO, &mut r).is_empty());
@@ -620,7 +645,11 @@ mod tests {
         let mut mac = ApMac::new(cfg);
         let mut r = rng();
         associate(&mut mac, sta(1), Instant::ZERO, &mut r);
-        mac.on_frame(&Frame::psm_enter(sta(1), mac.bssid()), Instant::ZERO, &mut r);
+        mac.on_frame(
+            &Frame::psm_enter(sta(1), mac.bssid()),
+            Instant::ZERO,
+            &mut r,
+        );
         for i in 0..5u8 {
             mac.deliver_downlink(sta(1), Bytes::from(vec![i]), Instant::ZERO);
         }
@@ -646,7 +675,10 @@ mod tests {
         let acts = mac.on_frame(&data, Instant::ZERO, &mut r);
         assert_eq!(
             acts,
-            vec![ApAction::ToUplink { from: sta(1), payload: Bytes::from_static(b"up") }]
+            vec![ApAction::ToUplink {
+                from: sta(1),
+                payload: Bytes::from_static(b"up")
+            }]
         );
     }
 
@@ -659,7 +691,9 @@ mod tests {
             mac.bssid(),
             sta(1),
             mac.bssid(),
-            FrameBody::Disassoc { reason: crate::frame::REASON_LEAVING },
+            FrameBody::Disassoc {
+                reason: crate::frame::REASON_LEAVING,
+            },
         );
         mac.on_frame(&dis, Instant::ZERO, &mut r);
         assert!(!mac.is_associated(sta(1)));

@@ -44,7 +44,10 @@ impl Default for JoinConfig {
 impl JoinConfig {
     /// The reduced-timeout configuration studied in the paper (100 ms).
     pub fn reduced() -> Self {
-        JoinConfig { link_layer_timeout: Duration::from_millis(100), ..Self::default() }
+        JoinConfig {
+            link_layer_timeout: Duration::from_millis(100),
+            ..Self::default()
+        }
     }
 }
 
@@ -179,7 +182,10 @@ impl ClientMac {
 
     fn arm(&mut self) -> Action {
         self.timer_gen += 1;
-        Action::ArmTimer { after: self.config.link_layer_timeout, token: self.timer_gen }
+        Action::ArmTimer {
+            after: self.config.link_layer_timeout,
+            token: self.timer_gen,
+        }
     }
 
     fn send(&mut self, mut frame: Frame) -> Action {
@@ -204,7 +210,9 @@ impl ClientMac {
             // Directed probe: ask this SSID specifically.
             probe.addr1 = self.bssid;
             probe.addr3 = self.bssid;
-            probe.body = FrameBody::ProbeReq { ssid: self.ssid.clone() };
+            probe.body = FrameBody::ProbeReq {
+                ssid: self.ssid.clone(),
+            };
             vec![self.send(probe), self.arm()]
         } else {
             self.state = State::Authenticating { attempt: 1 };
@@ -225,7 +233,9 @@ impl ClientMac {
                 self.bssid,
                 self.station,
                 self.bssid,
-                FrameBody::Disassoc { reason: crate::frame::REASON_LEAVING },
+                FrameBody::Disassoc {
+                    reason: crate::frame::REASON_LEAVING,
+                },
             );
             vec![self.send(f)]
         } else {
@@ -248,8 +258,7 @@ impl ClientMac {
             (State::Authenticating { .. }, FrameBody::Auth(auth)) if auth.transaction == 2 => {
                 if auth.status == STATUS_SUCCESS {
                     self.state = State::Associating { attempt: 1 };
-                    let req =
-                        Frame::assoc_request(self.station, self.bssid, self.ssid.clone());
+                    let req = Frame::assoc_request(self.station, self.bssid, self.ssid.clone());
                     vec![self.send(req), self.arm()]
                 } else {
                     self.state = State::Failed;
@@ -273,7 +282,9 @@ impl ClientMac {
                 // Kicked by the AP; drop to idle so the driver can rejoin.
                 self.state = State::Idle;
                 self.started_at = None;
-                vec![Action::Failed(JoinFailure::Refused(crate::frame::STATUS_FAILURE))]
+                vec![Action::Failed(JoinFailure::Refused(
+                    crate::frame::STATUS_FAILURE,
+                ))]
             }
             _ => Vec::new(),
         }
@@ -291,11 +302,15 @@ impl ClientMac {
                 if attempt >= max {
                     self.fail(JoinPhase::Probe)
                 } else {
-                    self.state = State::Probing { attempt: attempt + 1 };
+                    self.state = State::Probing {
+                        attempt: attempt + 1,
+                    };
                     let mut probe = Frame::probe_request(self.station);
                     probe.addr1 = self.bssid;
                     probe.addr3 = self.bssid;
-                    probe.body = FrameBody::ProbeReq { ssid: self.ssid.clone() };
+                    probe.body = FrameBody::ProbeReq {
+                        ssid: self.ssid.clone(),
+                    };
                     probe.retry = true;
                     vec![self.send(probe), self.arm()]
                 }
@@ -304,7 +319,9 @@ impl ClientMac {
                 if attempt >= max {
                     self.fail(JoinPhase::Auth)
                 } else {
-                    self.state = State::Authenticating { attempt: attempt + 1 };
+                    self.state = State::Authenticating {
+                        attempt: attempt + 1,
+                    };
                     let mut auth = Frame::auth_request(self.station, self.bssid);
                     auth.retry = true;
                     vec![self.send(auth), self.arm()]
@@ -314,7 +331,9 @@ impl ClientMac {
                 if attempt >= max {
                     self.fail(JoinPhase::Assoc)
                 } else {
-                    self.state = State::Associating { attempt: attempt + 1 };
+                    self.state = State::Associating {
+                        attempt: attempt + 1,
+                    };
                     let mut req = Frame::assoc_request(self.station, self.bssid, self.ssid.clone());
                     req.retry = true;
                     vec![self.send(req), self.arm()]
@@ -379,7 +398,10 @@ mod tests {
 
     #[test]
     fn happy_path_without_probe() {
-        let mut m = machine(JoinConfig { use_probe: false, ..JoinConfig::default() });
+        let mut m = machine(JoinConfig {
+            use_probe: false,
+            ..JoinConfig::default()
+        });
         complete_join(&mut m);
         assert!(m.is_associated());
     }
@@ -400,7 +422,10 @@ mod tests {
 
     #[test]
     fn timer_retries_then_fails() {
-        let mut m = machine(JoinConfig { attempts_per_phase: 3, ..JoinConfig::default() });
+        let mut m = machine(JoinConfig {
+            attempts_per_phase: 3,
+            ..JoinConfig::default()
+        });
         let acts = m.start(Instant::ZERO);
         let mut token = match acts[1] {
             Action::ArmTimer { token, .. } => token,
@@ -417,7 +442,10 @@ mod tests {
         }
         // …third expiry exhausts the budget.
         let acts = m.handle_timer(token);
-        assert_eq!(acts, vec![Action::Failed(JoinFailure::Timeout(JoinPhase::Probe))]);
+        assert_eq!(
+            acts,
+            vec![Action::Failed(JoinFailure::Timeout(JoinPhase::Probe))]
+        );
         assert!(m.has_failed());
     }
 
@@ -437,32 +465,45 @@ mod tests {
 
     #[test]
     fn refusal_fails_immediately() {
-        let mut m = machine(JoinConfig { use_probe: false, ..JoinConfig::default() });
+        let mut m = machine(JoinConfig {
+            use_probe: false,
+            ..JoinConfig::default()
+        });
         m.start(Instant::ZERO);
         let refusal = Frame::auth_response(ap(), sta(), crate::frame::STATUS_FAILURE);
         let acts = m.handle_frame(&refusal);
         assert_eq!(
             acts,
-            vec![Action::Failed(JoinFailure::Refused(crate::frame::STATUS_FAILURE))]
+            vec![Action::Failed(JoinFailure::Refused(
+                crate::frame::STATUS_FAILURE
+            ))]
         );
     }
 
     #[test]
     fn assoc_refusal_when_ap_full() {
-        let mut m = machine(JoinConfig { use_probe: false, ..JoinConfig::default() });
+        let mut m = machine(JoinConfig {
+            use_probe: false,
+            ..JoinConfig::default()
+        });
         m.start(Instant::ZERO);
         m.handle_frame(&Frame::auth_response(ap(), sta(), STATUS_SUCCESS));
         let resp = Frame::assoc_response(ap(), sta(), crate::frame::STATUS_AP_FULL, 0);
         let acts = m.handle_frame(&resp);
         assert_eq!(
             acts,
-            vec![Action::Failed(JoinFailure::Refused(crate::frame::STATUS_AP_FULL))]
+            vec![Action::Failed(JoinFailure::Refused(
+                crate::frame::STATUS_AP_FULL
+            ))]
         );
     }
 
     #[test]
     fn frames_from_other_aps_ignored() {
-        let mut m = machine(JoinConfig { use_probe: false, ..JoinConfig::default() });
+        let mut m = machine(JoinConfig {
+            use_probe: false,
+            ..JoinConfig::default()
+        });
         m.start(Instant::ZERO);
         let other = Frame::auth_response(MacAddr::ap(99), sta(), STATUS_SUCCESS);
         assert!(m.handle_frame(&other).is_empty());
@@ -471,7 +512,10 @@ mod tests {
 
     #[test]
     fn frames_for_other_stations_ignored() {
-        let mut m = machine(JoinConfig { use_probe: false, ..JoinConfig::default() });
+        let mut m = machine(JoinConfig {
+            use_probe: false,
+            ..JoinConfig::default()
+        });
         m.start(Instant::ZERO);
         let other = Frame::auth_response(ap(), MacAddr::local(99), STATUS_SUCCESS);
         assert!(m.handle_frame(&other).is_empty());
@@ -497,7 +541,9 @@ mod tests {
             sta(),
             ap(),
             ap(),
-            FrameBody::Deauth { reason: crate::frame::REASON_INACTIVITY },
+            FrameBody::Deauth {
+                reason: crate::frame::REASON_INACTIVITY,
+            },
         );
         let acts = m.handle_frame(&deauth);
         assert!(matches!(acts[0], Action::Failed(_)));
@@ -530,7 +576,10 @@ mod tests {
 
     #[test]
     fn sequence_numbers_increase() {
-        let mut m = machine(JoinConfig { use_probe: false, ..JoinConfig::default() });
+        let mut m = machine(JoinConfig {
+            use_probe: false,
+            ..JoinConfig::default()
+        });
         let a1 = m.start(Instant::ZERO);
         let s1 = match &a1[0] {
             Action::Send(f) => f.seq,

@@ -17,8 +17,8 @@
 //! duration field; ACK has only a receiver address). FCS is not carried —
 //! frame loss is the PHY model's job, not a checksum's.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use core::fmt;
+use sim_engine::wire::{Bytes, Reader, WireError, Writer};
 
 use crate::addr::MacAddr;
 use crate::channel::Channel;
@@ -108,6 +108,12 @@ impl fmt::Display for FrameError {
 }
 
 impl std::error::Error for FrameError {}
+
+impl From<WireError> for FrameError {
+    fn from(_: WireError) -> FrameError {
+        FrameError::Truncated
+    }
+}
 
 /// An SSID: up to 32 octets, conventionally UTF-8.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -359,7 +365,9 @@ impl Frame {
             MacAddr::BROADCAST,
             station,
             MacAddr::BROADCAST,
-            FrameBody::ProbeReq { ssid: Ssid::wildcard() },
+            FrameBody::ProbeReq {
+                ssid: Ssid::wildcard(),
+            },
         )
     }
 
@@ -433,7 +441,11 @@ impl Frame {
             station,
             bssid,
             bssid,
-            FrameBody::AssocResp(AssocRespBody { capability: capability::ESS, status, aid }),
+            FrameBody::AssocResp(AssocRespBody {
+                capability: capability::ESS,
+                status,
+                aid,
+            }),
         )
     }
 
@@ -490,7 +502,7 @@ impl Frame {
 
     /// Encode to wire bytes.
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(64);
+        let mut buf = Writer::with_capacity(64);
         let (t, s) = self.body.type_subtype();
         let mut fc: u16 = ((t as u16) << 2) | ((s as u16) << 4);
         if self.to_ds {
@@ -578,11 +590,9 @@ impl Frame {
     /// Control frames fill their absent address fields from the present
     /// ones: a decoded ACK has `addr2 == addr3 == addr1`, and a decoded
     /// PS-Poll has `addr3 == addr1` (the BSSID).
-    pub fn decode(mut buf: &[u8]) -> Result<Frame, FrameError> {
-        if buf.remaining() < 4 {
-            return Err(FrameError::Truncated);
-        }
-        let fc = buf.get_u16_le();
+    pub fn decode(bytes: &[u8]) -> Result<Frame, FrameError> {
+        let mut buf = Reader::new(bytes);
+        let fc = buf.get_u16_le()?;
         let t = ((fc >> 2) & 0x3) as u8;
         let s = ((fc >> 4) & 0xF) as u8;
         let to_ds = fc & (1 << 8) != 0;
@@ -594,7 +604,7 @@ impl Frame {
         if t == ftype::CTRL {
             return match s {
                 subtype::PS_POLL => {
-                    let aid = buf.get_u16_le() & 0x3FFF;
+                    let aid = buf.get_u16_le()? & 0x3FFF;
                     let bssid = take_addr(&mut buf)?;
                     let ta = take_addr(&mut buf)?;
                     Ok(Frame {
@@ -612,7 +622,7 @@ impl Frame {
                     })
                 }
                 subtype::ACK => {
-                    let duration = buf.get_u16_le();
+                    let duration = buf.get_u16_le()?;
                     let ra = take_addr(&mut buf)?;
                     Ok(Frame {
                         addr1: ra,
@@ -628,18 +638,18 @@ impl Frame {
                         body: FrameBody::Ack,
                     })
                 }
-                _ => Err(FrameError::Unsupported { ftype: t, subtype: s }),
+                _ => Err(FrameError::Unsupported {
+                    ftype: t,
+                    subtype: s,
+                }),
             };
         }
 
-        let duration = buf.get_u16_le();
+        let duration = buf.get_u16_le()?;
         let addr1 = take_addr(&mut buf)?;
         let addr2 = take_addr(&mut buf)?;
         let addr3 = take_addr(&mut buf)?;
-        if buf.remaining() < 2 {
-            return Err(FrameError::Truncated);
-        }
-        let seq = buf.get_u16_le() >> 4;
+        let seq = buf.get_u16_le()? >> 4;
 
         let body = match (t, s) {
             (ftype::MGMT, subtype::BEACON) => FrameBody::Beacon(decode_beacon_body(&mut buf)?),
@@ -647,57 +657,45 @@ impl Frame {
                 FrameBody::ProbeResp(decode_beacon_body(&mut buf)?)
             }
             (ftype::MGMT, subtype::PROBE_REQ) => {
-                let elements = decode_elements(buf)?;
-                FrameBody::ProbeReq { ssid: elements.ssid.unwrap_or_else(Ssid::wildcard) }
-            }
-            (ftype::MGMT, subtype::AUTH) => {
-                if buf.remaining() < 6 {
-                    return Err(FrameError::Truncated);
+                let elements = decode_elements(buf.rest())?;
+                FrameBody::ProbeReq {
+                    ssid: elements.ssid.unwrap_or_else(Ssid::wildcard),
                 }
-                FrameBody::Auth(AuthBody {
-                    algorithm: buf.get_u16_le(),
-                    transaction: buf.get_u16_le(),
-                    status: buf.get_u16_le(),
-                })
             }
+            (ftype::MGMT, subtype::AUTH) => FrameBody::Auth(AuthBody {
+                algorithm: buf.get_u16_le()?,
+                transaction: buf.get_u16_le()?,
+                status: buf.get_u16_le()?,
+            }),
             (ftype::MGMT, subtype::ASSOC_REQ) => {
-                if buf.remaining() < 4 {
-                    return Err(FrameError::Truncated);
-                }
-                let cap = buf.get_u16_le();
-                let li = buf.get_u16_le();
-                let elements = decode_elements(buf)?;
+                let cap = buf.get_u16_le()?;
+                let li = buf.get_u16_le()?;
+                let elements = decode_elements(buf.rest())?;
                 FrameBody::AssocReq(AssocReqBody {
                     capability: cap,
                     listen_interval: li,
                     ssid: elements.ssid.ok_or(FrameError::BadElement)?,
                 })
             }
-            (ftype::MGMT, subtype::ASSOC_RESP) => {
-                if buf.remaining() < 6 {
-                    return Err(FrameError::Truncated);
-                }
-                FrameBody::AssocResp(AssocRespBody {
-                    capability: buf.get_u16_le(),
-                    status: buf.get_u16_le(),
-                    aid: buf.get_u16_le(),
+            (ftype::MGMT, subtype::ASSOC_RESP) => FrameBody::AssocResp(AssocRespBody {
+                capability: buf.get_u16_le()?,
+                status: buf.get_u16_le()?,
+                aid: buf.get_u16_le()?,
+            }),
+            (ftype::MGMT, subtype::DISASSOC) => FrameBody::Disassoc {
+                reason: buf.get_u16_le()?,
+            },
+            (ftype::MGMT, subtype::DEAUTH) => FrameBody::Deauth {
+                reason: buf.get_u16_le()?,
+            },
+            (ftype::DATA, subtype::DATA) => FrameBody::Data(Bytes::copy_from_slice(buf.rest())),
+            (ftype::DATA, subtype::NULL) => FrameBody::Null,
+            _ => {
+                return Err(FrameError::Unsupported {
+                    ftype: t,
+                    subtype: s,
                 })
             }
-            (ftype::MGMT, subtype::DISASSOC) => {
-                if buf.remaining() < 2 {
-                    return Err(FrameError::Truncated);
-                }
-                FrameBody::Disassoc { reason: buf.get_u16_le() }
-            }
-            (ftype::MGMT, subtype::DEAUTH) => {
-                if buf.remaining() < 2 {
-                    return Err(FrameError::Truncated);
-                }
-                FrameBody::Deauth { reason: buf.get_u16_le() }
-            }
-            (ftype::DATA, subtype::DATA) => FrameBody::Data(Bytes::copy_from_slice(buf)),
-            (ftype::DATA, subtype::NULL) => FrameBody::Null,
-            _ => return Err(FrameError::Unsupported { ftype: t, subtype: s }),
         };
 
         Ok(Frame {
@@ -721,16 +719,13 @@ impl Frame {
     }
 }
 
-fn take_addr(buf: &mut &[u8]) -> Result<MacAddr, FrameError> {
-    if buf.remaining() < 6 {
-        return Err(FrameError::Truncated);
-    }
+fn take_addr(buf: &mut Reader<'_>) -> Result<MacAddr, FrameError> {
     let mut octets = [0u8; 6];
-    buf.copy_to_slice(&mut octets);
+    buf.read_exact(&mut octets)?;
     Ok(MacAddr(octets))
 }
 
-fn put_ssid_ie(buf: &mut BytesMut, ssid: &Ssid) {
+fn put_ssid_ie(buf: &mut Writer, ssid: &Ssid) {
     buf.put_u8(ie::SSID);
     buf.put_u8(ssid.as_bytes().len() as u8);
     buf.put_slice(ssid.as_bytes());
@@ -741,16 +736,16 @@ struct Elements {
     channel: Option<Channel>,
 }
 
-fn decode_elements(mut buf: &[u8]) -> Result<Elements, FrameError> {
-    let mut out = Elements { ssid: None, channel: None };
+fn decode_elements(bytes: &[u8]) -> Result<Elements, FrameError> {
+    let mut buf = Reader::new(bytes);
+    let mut out = Elements {
+        ssid: None,
+        channel: None,
+    };
     while buf.remaining() >= 2 {
-        let id = buf.get_u8();
-        let len = buf.get_u8() as usize;
-        if buf.remaining() < len {
-            return Err(FrameError::BadElement);
-        }
-        let (payload, rest) = buf.split_at(len);
-        buf = rest;
+        let id = buf.get_u8()?;
+        let len = buf.get_u8()? as usize;
+        let payload = buf.take(len).map_err(|_| FrameError::BadElement)?;
         match id {
             ie::SSID => out.ssid = Some(Ssid::from_bytes(payload)?),
             ie::DS_PARAMS => {
@@ -771,15 +766,11 @@ fn decode_elements(mut buf: &[u8]) -> Result<Elements, FrameError> {
     Ok(out)
 }
 
-fn decode_beacon_body(buf: &mut &[u8]) -> Result<BeaconBody, FrameError> {
-    if buf.remaining() < 12 {
-        return Err(FrameError::Truncated);
-    }
-    let timestamp_us = buf.get_u64_le();
-    let interval_tu = buf.get_u16_le();
-    let capability = buf.get_u16_le();
-    let elements = decode_elements(buf)?;
-    *buf = &[];
+fn decode_beacon_body(buf: &mut Reader<'_>) -> Result<BeaconBody, FrameError> {
+    let timestamp_us = buf.get_u64_le()?;
+    let interval_tu = buf.get_u16_le()?;
+    let capability = buf.get_u16_le()?;
+    let elements = decode_elements(buf.rest())?;
     Ok(BeaconBody {
         timestamp_us,
         interval_tu,
@@ -864,7 +855,12 @@ mod tests {
     fn ps_poll_roundtrip_keeps_aid() {
         let f = Frame::ps_poll(sta(), ap(), 0x1234 & 0x3FFF);
         let g = roundtrip(&f);
-        assert_eq!(g.body, FrameBody::PsPoll { aid: 0x1234 & 0x3FFF });
+        assert_eq!(
+            g.body,
+            FrameBody::PsPoll {
+                aid: 0x1234 & 0x3FFF
+            }
+        );
         assert_eq!(g.addr1, ap()); // BSSID
         assert_eq!(g.addr2, sta()); // TA
         assert_eq!(g.addr3, ap()); // filled from BSSID
@@ -880,9 +876,18 @@ mod tests {
 
     #[test]
     fn disassoc_deauth_roundtrip() {
-        let mut d = Frame::new(ap(), sta(), ap(), FrameBody::Disassoc { reason: REASON_LEAVING });
+        let mut d = Frame::new(
+            ap(),
+            sta(),
+            ap(),
+            FrameBody::Disassoc {
+                reason: REASON_LEAVING,
+            },
+        );
         assert_eq!(roundtrip(&d), d);
-        d.body = FrameBody::Deauth { reason: REASON_INACTIVITY };
+        d.body = FrameBody::Deauth {
+            reason: REASON_INACTIVITY,
+        };
         assert_eq!(roundtrip(&d), d);
     }
 
@@ -913,7 +918,10 @@ mod tests {
         bytes.extend_from_slice(&[0u8; 22]); // duration + addrs + seq
         assert!(matches!(
             Frame::decode(&bytes),
-            Err(FrameError::Unsupported { ftype: 0, subtype: 6 })
+            Err(FrameError::Unsupported {
+                ftype: 0,
+                subtype: 6
+            })
         ));
     }
 

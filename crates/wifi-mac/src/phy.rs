@@ -93,7 +93,11 @@ impl PhyConfig {
         let rssi = self.tx_power_dbm - path_loss;
         let snr = rssi - self.noise_floor_dbm;
         let per = 1.0 / (1.0 + ((snr - self.per_midpoint_snr_db) / self.per_slope_db).exp());
-        LinkQuality { rssi_dbm: rssi, snr_db: snr, per }
+        LinkQuality {
+            rssi_dbm: rssi,
+            snr_db: snr,
+            per,
+        }
     }
 
     /// Per-attempt error probability for a frame of `len` bytes at
@@ -147,7 +151,10 @@ impl PhyConfig {
     /// practical "range" figure. The paper assumes a 100 m Wi-Fi range; the
     /// default calibration puts `range_at_per(0.5)` near there.
     pub fn range_at_per(&self, per: f64) -> f64 {
-        assert!((0.0..1.0).contains(&per) && per > 0.0, "range_at_per: per out of (0,1): {per}");
+        assert!(
+            (0.0..1.0).contains(&per) && per > 0.0,
+            "range_at_per: per out of (0,1): {per}"
+        );
         // Invert the logistic for the SNR, then the path-loss model for d.
         let snr = self.per_midpoint_snr_db + self.per_slope_db * ((1.0 - per) / per).ln();
         let rssi = snr + self.noise_floor_dbm;
@@ -203,7 +210,10 @@ mod tests {
         for per in [0.1, 0.3, 0.5, 0.9] {
             let d = phy.range_at_per(per);
             let back = phy.frame_error_prob(d, phy.reference_frame_len);
-            assert!((back - per).abs() < 1e-6, "per {per} -> d {d} -> per {back}");
+            assert!(
+                (back - per).abs() < 1e-6,
+                "per {per} -> d {d} -> per {back}"
+            );
         }
     }
 

@@ -190,7 +190,10 @@ mod tests {
         let mut radio = Radio::new(RadioConfig::default(), Channel::CH1);
         let mut now;
         let mut sum = Duration::ZERO;
-        for (i, ch) in [Channel::CH6, Channel::CH11, Channel::CH1].iter().enumerate() {
+        for (i, ch) in [Channel::CH6, Channel::CH11, Channel::CH1]
+            .iter()
+            .enumerate()
+        {
             now = Instant::from_secs(i as u64 + 1);
             sum += radio.switch_to(*ch, now, i, &mut rng);
         }

@@ -139,7 +139,14 @@ pub struct Arf {
 impl Arf {
     /// Standard ARF: probe up after 10 successes, drop after 2 failures.
     pub fn new(initial: Rate) -> Arf {
-        Arf { rate: initial, successes: 0, failures: 0, probing: false, up_after: 10, down_after: 2 }
+        Arf {
+            rate: initial,
+            successes: 0,
+            failures: 0,
+            probing: false,
+            up_after: 10,
+            down_after: 2,
+        }
     }
 
     /// The current transmission rate.
@@ -276,7 +283,10 @@ mod tests {
             } else {
                 arf.on_success();
             }
-            let idx = Rate::LADDER.iter().position(|r| *r == arf.rate()).expect("in ladder");
+            let idx = Rate::LADDER
+                .iter()
+                .position(|r| *r == arf.rate())
+                .expect("in ladder");
             counts[idx] += 1;
         }
         let modal = Rate::LADDER[counts

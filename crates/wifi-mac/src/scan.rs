@@ -51,7 +51,9 @@ impl ScanConfig {
 
     /// Worst-case sweep time (every channel extends to `max_dwell`).
     pub fn worst_case(&self) -> Duration {
-        self.max_dwell.checked_mul(self.plan.len() as u64).unwrap_or(Duration::MAX)
+        self.max_dwell
+            .checked_mul(self.plan.len() as u64)
+            .unwrap_or(Duration::MAX)
     }
 }
 
@@ -99,7 +101,10 @@ pub enum ScanAction {
 enum Phase {
     Idle,
     /// Visiting `plan[idx]`, not yet extended.
-    Listening { idx: usize, extended: bool },
+    Listening {
+        idx: usize,
+        extended: bool,
+    },
     Finished,
 }
 
@@ -120,7 +125,13 @@ impl ScanProcedure {
     /// Panics on an empty channel plan.
     pub fn new(station: MacAddr, config: ScanConfig) -> ScanProcedure {
         assert!(!config.plan.is_empty(), "ScanProcedure: empty channel plan");
-        ScanProcedure { config, station, phase: Phase::Idle, hits: Vec::new(), timer_gen: 0 }
+        ScanProcedure {
+            config,
+            station,
+            phase: Phase::Idle,
+            hits: Vec::new(),
+            timer_gen: 0,
+        }
     }
 
     /// True while the sweep is running.
@@ -134,7 +145,10 @@ impl ScanProcedure {
     }
 
     fn visit(&mut self, idx: usize) -> ScanAction {
-        self.phase = Phase::Listening { idx, extended: false };
+        self.phase = Phase::Listening {
+            idx,
+            extended: false,
+        };
         self.timer_gen += 1;
         ScanAction::VisitChannel {
             channel: self.config.plan[idx],
@@ -171,7 +185,11 @@ impl ScanProcedure {
         if self.hits.iter().any(|h| h.bssid == frame.addr2) {
             return;
         }
-        self.hits.push(ScanHit { bssid: frame.addr2, channel: current, heard_at: now });
+        self.hits.push(ScanHit {
+            bssid: frame.addr2,
+            channel: current,
+            heard_at: now,
+        });
     }
 
     /// Feed a dwell-timer expiry. Stale tokens are ignored (returns
@@ -187,7 +205,10 @@ impl ScanProcedure {
         let answered_here = self.hits.iter().any(|h| h.channel == current);
         if answered_here && !extended {
             // Something lives here: stay for the long dwell.
-            self.phase = Phase::Listening { idx, extended: true };
+            self.phase = Phase::Listening {
+                idx,
+                extended: true,
+            };
             self.timer_gen += 1;
             return Some(ScanAction::ExtendDwell {
                 dwell: self.config.max_dwell - self.config.min_dwell,
@@ -200,7 +221,9 @@ impl ScanProcedure {
         } else {
             self.phase = Phase::Finished;
             self.timer_gen += 1;
-            Some(ScanAction::Done { hits: self.hits.clone() })
+            Some(ScanAction::Done {
+                hits: self.hits.clone(),
+            })
         }
     }
 }
@@ -215,7 +238,13 @@ mod tests {
     }
 
     fn resp(ap: u32, channel: Channel) -> Frame {
-        Frame::probe_response(MacAddr::ap(ap), MacAddr::local(1), Ssid::new("x"), channel, 0)
+        Frame::probe_response(
+            MacAddr::ap(ap),
+            MacAddr::local(1),
+            Ssid::new("x"),
+            channel,
+            0,
+        )
     }
 
     fn token_of(action: &ScanAction) -> u64 {
@@ -234,7 +263,12 @@ mod tests {
         let mut visited = Vec::new();
         loop {
             match &action {
-                ScanAction::VisitChannel { channel, dwell, probe, .. } => {
+                ScanAction::VisitChannel {
+                    channel,
+                    dwell,
+                    probe,
+                    ..
+                } => {
                     visited.push(*channel);
                     assert_eq!(*dwell, Duration::from_millis(20));
                     assert!(matches!(probe.body, FrameBody::ProbeReq { .. }));
@@ -267,7 +301,13 @@ mod tests {
         s.handle_frame(&resp(8, Channel::CH1), Instant::from_millis(60));
         // Extension expires: move to ch6; no second extension of ch1.
         let a3 = s.handle_timer(token_of(&a2)).expect("live");
-        assert!(matches!(a3, ScanAction::VisitChannel { channel: Channel::CH6, .. }));
+        assert!(matches!(
+            a3,
+            ScanAction::VisitChannel {
+                channel: Channel::CH6,
+                ..
+            }
+        ));
         // Drain the rest.
         let mut action = a3;
         let hits = loop {
@@ -297,7 +337,10 @@ mod tests {
         let a1 = s.start();
         let old = token_of(&a1);
         let _a2 = s.handle_timer(old).expect("live");
-        assert!(s.handle_timer(old).is_none(), "consumed token must be stale");
+        assert!(
+            s.handle_timer(old).is_none(),
+            "consumed token must be stale"
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn segmented_plan_round_trips() {
-        let p = DownloadPlan::Segmented { object_bytes: 2_000_000, think: Duration::from_secs(4) };
+        let p = DownloadPlan::Segmented {
+            object_bytes: 2_000_000,
+            think: Duration::from_secs(4),
+        };
         assert_eq!(p.next_object(), 2_000_000);
         assert_eq!(p.think_time(), Duration::from_secs(4));
     }

@@ -57,10 +57,10 @@ impl Default for MeshWorkloadParams {
     /// inter-connection gaps are under 20 s with a tail past 100 s.
     fn default() -> Self {
         MeshWorkloadParams {
-            duration_mu: 1.8,    // e^1.8 ≈ 6 s median
+            duration_mu: 1.8, // e^1.8 ≈ 6 s median
             duration_sigma: 1.3,
             duration_cap: Duration::from_secs(600),
-            gap_mu: 2.7,         // e^2.7 ≈ 15 s median
+            gap_mu: 2.7, // e^2.7 ≈ 15 s median
             gap_sigma: 1.4,
             gap_cap: Duration::from_secs(600),
         }

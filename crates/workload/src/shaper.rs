@@ -121,13 +121,18 @@ impl TokenBucket {
     pub fn new(rate_bps: u64, burst_bytes: u64) -> TokenBucket {
         assert!(rate_bps > 0, "TokenBucket: zero rate");
         assert!(burst_bytes > 0, "TokenBucket: zero burst");
-        TokenBucket { rate_bps, burst_bytes, tokens: burst_bytes as f64, last_refill: Instant::ZERO }
+        TokenBucket {
+            rate_bps,
+            burst_bytes,
+            tokens: burst_bytes as f64,
+            last_refill: Instant::ZERO,
+        }
     }
 
     fn refill(&mut self, now: Instant) {
         let elapsed = now.saturating_since(self.last_refill).as_secs_f64();
-        self.tokens = (self.tokens + elapsed * self.rate_bps as f64 / 8.0)
-            .min(self.burst_bytes as f64);
+        self.tokens =
+            (self.tokens + elapsed * self.rate_bps as f64 / 8.0).min(self.burst_bytes as f64);
         self.last_refill = now;
     }
 
@@ -185,7 +190,10 @@ mod tests {
         let arrive = link.transmit(Instant::from_secs(10), 1_000).unwrap();
         // 1000 B at 8 Mb/s = 1 ms, plus 20 ms propagation.
         assert_eq!(arrive, Instant::from_secs(10) + Duration::from_millis(21));
-        assert_eq!(link.backlog(Instant::from_secs(10) + Duration::from_millis(1)), Duration::ZERO);
+        assert_eq!(
+            link.backlog(Instant::from_secs(10) + Duration::from_millis(1)),
+            Duration::ZERO
+        );
     }
 
     #[test]
@@ -231,8 +239,8 @@ mod tests {
         let t0 = Instant::ZERO;
         assert!(tb.try_consume(t0, 10_000)); // full burst
         assert!(!tb.try_consume(t0, 1)); // drained
-        // After 80 ms, 10 kB·(0.08·125000/10000)… rate is 125 kB/s: 10 ms
-        // buys 1250 B.
+                                         // After 80 ms, 10 kB·(0.08·125000/10000)… rate is 125 kB/s: 10 ms
+                                         // buys 1250 B.
         assert!(tb.try_consume(t0 + Duration::from_millis(10), 1_250));
         assert!(!tb.try_consume(t0 + Duration::from_millis(10), 10));
     }

@@ -17,7 +17,10 @@ fn main() {
     println!("remaining 25% behind a join whose response time is β ~ U[0.5s, βmax].\n");
 
     // How much of channel 2's bandwidth can each speed recover?
-    println!("{:>10} {:>16} {:>16}", "speed m/s", "ch2 recovered", "of available");
+    println!(
+        "{:>10} {:>16} {:>16}",
+        "speed m/s", "ch2 recovered", "of available"
+    );
     for speed in [2.0, 4.0, 6.0, 8.0, 10.0, 14.0, 20.0, 30.0] {
         let inputs = figure4_inputs(0.75, speed, 10.0);
         let available = inputs.channels[1].available_bps;

@@ -26,10 +26,12 @@ fn cdf_row(label: &str, samples: &Samples, points: &[f64]) {
 
 fn main() {
     let seed = 4711;
-    println!("Mesh capture (paper §4.7): {} users, {} TCP connections, {}% HTTP —",
+    println!(
+        "Mesh capture (paper §4.7): {} users, {} TCP connections, {}% HTTP —",
         mesh::capture::USERS,
         mesh::capture::TCP_CONNECTIONS,
-        100 * mesh::capture::HTTP_CONNECTIONS / mesh::capture::TCP_CONNECTIONS);
+        100 * mesh::capture::HTTP_CONNECTIONS / mesh::capture::TCP_CONNECTIONS
+    );
     println!("synthesized here from calibrated heavy-tailed distributions.\n");
 
     // The user side.
@@ -44,7 +46,10 @@ fn main() {
     let sites = deploy_along(&route, &DeploymentConfig::amherst(), &mut site_rng);
     let mut results = Vec::new();
     for (name, spider) in [
-        ("Spider multi-AP (ch1)", SpiderConfig::single_channel_multi_ap(Channel::CH1)),
+        (
+            "Spider multi-AP (ch1)",
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+        ),
         (
             "Spider multi-AP (3 channels)",
             SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)),
@@ -64,13 +69,21 @@ fn main() {
     println!("Figure 13 — connection durations (CDF at 10/30/60 s):");
     cdf_row("users need (flow lengths)", &user_conn, &[10.0, 30.0, 60.0]);
     for (name, r) in &results {
-        cdf_row(&format!("{name} provides"), &r.connection_durations, &[10.0, 30.0, 60.0]);
+        cdf_row(
+            &format!("{name} provides"),
+            &r.connection_durations,
+            &[10.0, 30.0, 60.0],
+        );
     }
 
     println!("\nFigure 14 — disruptions vs inter-connection gaps (CDF at 30/120/300 s):");
     cdf_row("users tolerate (gaps)", &user_gaps, &[30.0, 120.0, 300.0]);
     for (name, r) in &results {
-        cdf_row(&format!("{name} imposes"), &r.disruption_durations, &[30.0, 120.0, 300.0]);
+        cdf_row(
+            &format!("{name} imposes"),
+            &r.disruption_durations,
+            &[30.0, 120.0, 300.0],
+        );
     }
 
     println!("\nReading: Spider covers a user flow if its connections last at least as");

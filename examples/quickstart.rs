@@ -18,7 +18,10 @@ fn main() {
     let mut deployment = DeploymentConfig::amherst();
     deployment.channel_mix = ChannelMix::single(Channel::CH1);
     let sites = deploy_evenly(&road, 10, &deployment, &mut rng);
-    println!("Deployed {} open APs along a 3 km road (channel 1).", sites.len());
+    println!(
+        "Deployed {} open APs along a 3 km road (channel 1).",
+        sites.len()
+    );
 
     // Drive it once at 10 m/s (≈ 22 mph — the paper's dividing speed).
     let vehicle = Vehicle::new(road, 10.0, Instant::ZERO);
@@ -33,8 +36,14 @@ fn main() {
     let result = run(world);
 
     println!("bytes delivered        : {}", result.total_bytes);
-    println!("average throughput     : {:.1} KB/s", result.avg_throughput_kbps());
-    println!("connectivity           : {:.1} %", 100.0 * result.connectivity);
+    println!(
+        "average throughput     : {:.1} KB/s",
+        result.avg_throughput_kbps()
+    );
+    println!(
+        "connectivity           : {:.1} %",
+        100.0 * result.connectivity
+    );
     println!("successful joins       : {}", result.join_times.count());
     println!(
         "median join time       : {:.2} s",

@@ -31,7 +31,10 @@ fn main() {
 
     // A drive-by: distance sweeps 150 → 10 → 150 m while ARF adapts.
     println!("\nARF through a drive-by encounter (approach, pass, recede):\n");
-    println!("{:>8} {:>10} {:>12} {:>16}", "t (s)", "dist m", "ARF rate", "frames ok/sent");
+    println!(
+        "{:>8} {:>10} {:>12} {:>16}",
+        "t (s)", "dist m", "ARF rate", "frames ok/sent"
+    );
     let mut arf = Arf::new(Rate::R11);
     let mut rng = Rng::new(7);
     for step in 0..=14 {

@@ -52,8 +52,14 @@ fn main() {
 
     let slice = Duration::from_millis(200);
     let configs: Vec<(&str, SpiderConfig)> = vec![
-        ("ch1 multi-AP (throughput cfg)", SpiderConfig::single_channel_multi_ap(Channel::CH1)),
-        ("3-chan multi-AP (connectivity cfg)", SpiderConfig::multi_channel_multi_ap(slice)),
+        (
+            "ch1 multi-AP (throughput cfg)",
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+        ),
+        (
+            "3-chan multi-AP (connectivity cfg)",
+            SpiderConfig::multi_channel_multi_ap(slice),
+        ),
         ("stock MadWiFi", SpiderConfig::stock_madwifi()),
     ];
 

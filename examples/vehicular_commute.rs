@@ -30,10 +30,22 @@ fn main() {
 
     let slice = Duration::from_millis(200);
     let configs: Vec<(&str, SpiderConfig)> = vec![
-        ("(1) ch1, multi-AP  ", SpiderConfig::single_channel_multi_ap(Channel::CH1)),
-        ("(2) ch1, single-AP ", SpiderConfig::single_channel_single_ap(Channel::CH1)),
-        ("(3) 3 ch, multi-AP ", SpiderConfig::multi_channel_multi_ap(slice)),
-        ("(4) 3 ch, single-AP", SpiderConfig::multi_channel_single_ap(slice)),
+        (
+            "(1) ch1, multi-AP  ",
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+        ),
+        (
+            "(2) ch1, single-AP ",
+            SpiderConfig::single_channel_single_ap(Channel::CH1),
+        ),
+        (
+            "(3) 3 ch, multi-AP ",
+            SpiderConfig::multi_channel_multi_ap(slice),
+        ),
+        (
+            "(4) 3 ch, single-AP",
+            SpiderConfig::multi_channel_single_ap(slice),
+        ),
         ("stock MadWiFi      ", SpiderConfig::stock_madwifi()),
     ];
 

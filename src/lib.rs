@@ -92,6 +92,6 @@ pub mod traffic {
 
 /// Spider and the full-system simulation.
 pub mod spider {
-    pub use spider_core::*;
     pub use spider_core::world::{run, ClientMotion, RunResult, WorldConfig};
+    pub use spider_core::*;
 }

@@ -65,10 +65,11 @@ fn headline_spider_beats_stock_driver() {
     // configuration (3-channel multi-AP — stock also roams all three
     // channels, so a channel-pinned comparison would be apples-to-oranges
     // on random deployments) vs stock.
-    let (spider_tput, _) =
-        avg_drive(SpiderConfig::single_channel_multi_ap(Channel::CH1), 1_200);
-    let (_, spider_conn) =
-        avg_drive(SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)), 1_200);
+    let (spider_tput, _) = avg_drive(SpiderConfig::single_channel_multi_ap(Channel::CH1), 1_200);
+    let (_, spider_conn) = avg_drive(
+        SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)),
+        1_200,
+    );
     let (stock_tput, stock_conn) = avg_drive(SpiderConfig::stock_madwifi(), 1_200);
     assert!(
         spider_tput > 1.05 * stock_tput,
@@ -85,15 +86,21 @@ fn multi_channel_trades_throughput_for_ap_pool() {
     // Table 4's direction: a 3-channel schedule sacrifices throughput
     // relative to the single channel…
     let (one_tput, _) = avg_drive(SpiderConfig::single_channel_multi_ap(Channel::CH1), 900);
-    let (three_tput, _) =
-        avg_drive(SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)), 900);
+    let (three_tput, _) = avg_drive(
+        SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)),
+        900,
+    );
     assert!(
         one_tput > three_tput,
         "single channel {one_tput:.1} must out-deliver 3-channel {three_tput:.1} KB/s"
     );
     // …while drawing on a much larger AP pool (it joins more APs).
     let one = drive(11, SpiderConfig::single_channel_multi_ap(Channel::CH1), 900);
-    let three = drive(11, SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)), 900);
+    let three = drive(
+        11,
+        SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)),
+        900,
+    );
     assert!(
         three.join_times.count() + three.dhcp_failures as usize
             > one.join_times.count() + one.dhcp_failures as usize,
@@ -103,8 +110,16 @@ fn multi_channel_trades_throughput_for_ap_pool() {
 
 #[test]
 fn whole_pipeline_is_deterministic() {
-    let a = drive(77, SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)), 300);
-    let b = drive(77, SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)), 300);
+    let a = drive(
+        77,
+        SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)),
+        300,
+    );
+    let b = drive(
+        77,
+        SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)),
+        300,
+    );
     assert_eq!(a.total_bytes, b.total_bytes);
     assert_eq!(a.switch_count, b.switch_count);
     assert_eq!(a.dhcp_attempts, b.dhcp_attempts);
@@ -170,8 +185,9 @@ fn reduced_timers_join_faster_but_fail_more() {
             Duration::from_secs(1_800),
         ))
     };
-    let reduced =
-        run_with(spider_repro::dhcp::DhcpClientConfig::reduced(Duration::from_millis(200)));
+    let reduced = run_with(spider_repro::dhcp::DhcpClientConfig::reduced(
+        Duration::from_millis(200),
+    ));
     let stock = run_with(spider_repro::dhcp::DhcpClientConfig::default());
     assert!(
         reduced.join_times.count() >= 3 && stock.join_times.count() >= 3,
@@ -237,9 +253,17 @@ fn analytical_and_system_agree_on_single_channel_rule() {
     let sched = spider_repro::model::solve(&spider_repro::model::figure4_inputs(0.75, 20.0, 10.0));
     let model_prefers_single = sched.fractions[1] < 0.10;
     let (one_tput, _) = avg_drive(SpiderConfig::single_channel_multi_ap(Channel::CH1), 600);
-    let (three_tput, _) =
-        avg_drive(SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)), 600);
+    let (three_tput, _) = avg_drive(
+        SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)),
+        600,
+    );
     let system_prefers_single = one_tput > three_tput;
-    assert!(model_prefers_single, "model should park on one channel at 20 m/s");
-    assert!(system_prefers_single, "system should too: {one_tput:.1} vs {three_tput:.1}");
+    assert!(
+        model_prefers_single,
+        "model should park on one channel at 20 m/s"
+    );
+    assert!(
+        system_prefers_single,
+        "system should too: {one_tput:.1} vs {three_tput:.1}"
+    );
 }

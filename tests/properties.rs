@@ -1,8 +1,11 @@
-//! Property-based tests (proptest) on the workspace's core invariants:
-//! wire-format round-trips, sequence arithmetic, statistics estimators,
-//! geometry, and protocol state machines under arbitrary inputs.
+//! Property-based tests on the workspace's core invariants — wire-format
+//! round-trips, sequence arithmetic, statistics estimators, geometry, and
+//! protocol state machines under arbitrary inputs — driven by the in-tree
+//! `sim_engine::check` harness (seeded generation, shrink-by-halving,
+//! `SPIDER_PROP_REPLAY` for failure replay).
 
-use proptest::prelude::*;
+use sim_engine::check::{check, check_with, Config, Gen};
+use sim_engine::{prop_assert, prop_assert_eq};
 
 use spider_repro::dhcp::{DhcpMessage, MessageType};
 use spider_repro::engine::{Duration, Instant, Rng, Samples, Summary};
@@ -14,77 +17,94 @@ use spider_repro::wifi::{Channel, MacAddr, PhyConfig};
 
 // ---------------------------------------------------------------- frames
 
-fn arb_mac() -> impl Strategy<Value = MacAddr> {
-    any::<[u8; 6]>().prop_map(MacAddr)
+fn gen_mac(g: &mut Gen) -> MacAddr {
+    let mut octets = [0u8; 6];
+    g.fill(&mut octets);
+    MacAddr(octets)
 }
 
-fn arb_ssid() -> impl Strategy<Value = Ssid> {
-    proptest::collection::vec(any::<u8>(), 0..=32)
-        .prop_map(|b| Ssid::from_bytes(&b).expect("≤32 bytes"))
+fn gen_ssid(g: &mut Gen) -> Ssid {
+    Ssid::from_bytes(&g.bytes(0, 33)).expect("≤32 bytes")
 }
 
-fn arb_channel() -> impl Strategy<Value = Channel> {
-    (1u8..=14).prop_map(Channel::from_number)
+fn gen_channel(g: &mut Gen) -> Channel {
+    Channel::from_number(g.u32_in(1, 15) as u8)
 }
 
-proptest! {
-    #[test]
-    fn beacon_frames_roundtrip(
-        bssid in arb_mac(),
-        ssid in arb_ssid(),
-        channel in arb_channel(),
-        ts in any::<u64>(),
-        seq in 0u16..0x0FFF,
-    ) {
-        let mut f = Frame::beacon(bssid, ssid, channel, ts);
-        f.seq = seq;
+#[test]
+fn beacon_frames_roundtrip() {
+    check("beacon_frames_roundtrip", |g| {
+        let mut f = Frame::beacon(gen_mac(g), gen_ssid(g), gen_channel(g), g.u64());
+        f.seq = g.u32_in(0, 0x0FFF) as u16;
         prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn data_frames_roundtrip(
-        sta in arb_mac(),
-        bssid in arb_mac(),
-        payload in proptest::collection::vec(any::<u8>(), 0..512),
-        pm in any::<bool>(),
-        md in any::<bool>(),
-    ) {
-        let mut f = Frame::data_to_ap(sta, bssid, payload.into());
-        f.power_mgmt = pm;
-        f.more_data = md;
+#[test]
+fn data_frames_roundtrip() {
+    check("data_frames_roundtrip", |g| {
+        let mut f = Frame::data_to_ap(gen_mac(g), gen_mac(g), g.bytes(0, 512).into());
+        f.power_mgmt = g.bool();
+        f.more_data = g.bool();
         prop_assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn frame_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+#[test]
+fn frame_decode_never_panics() {
+    check("frame_decode_never_panics", |g| {
+        let bytes = g.bytes(0, 256);
         let _ = Frame::decode(&bytes); // may Err, must not panic
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn psm_control_frames_roundtrip(sta in arb_mac(), bssid in arb_mac(), aid in 0u16..0x3FFF) {
+#[test]
+fn frame_decode_survives_truncation() {
+    check("frame_decode_survives_truncation", |g| {
+        let mut f = Frame::beacon(gen_mac(g), gen_ssid(g), gen_channel(g), g.u64());
+        f.seq = g.u32_in(0, 0x0FFF) as u16;
+        let encoded = f.encode();
+        // Every strict prefix must decode to an error, never panic or
+        // yield a frame that round-trips differently.
+        let cut = g.usize_in(0, encoded.len());
+        prop_assert!(
+            Frame::decode(&encoded[..cut]).is_err(),
+            "truncated beacon at {cut}/{} decoded",
+            encoded.len()
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn psm_control_frames_roundtrip() {
+    check("psm_control_frames_roundtrip", |g| {
+        let (sta, bssid) = (gen_mac(g), gen_mac(g));
+        let aid = g.u32_in(0, 0x3FFF) as u16;
         let enter = Frame::psm_enter(sta, bssid);
         prop_assert_eq!(Frame::decode(&enter.encode()).unwrap(), enter);
         let poll = Frame::ps_poll(sta, bssid, aid);
         let decoded = Frame::decode(&poll.encode()).unwrap();
         prop_assert_eq!(decoded.body, FrameBody::PsPoll { aid });
-    }
+        Ok(())
+    });
 }
 
 // ---------------------------------------------------------------- dhcp
 
-proptest! {
-    #[test]
-    fn dhcp_messages_roundtrip(
-        xid in any::<u32>(),
-        chaddr in any::<[u8; 6]>(),
-        ip in any::<[u8; 4]>(),
-        server in any::<[u8; 4]>(),
-        lease in 1u32..86_400,
-        kind in 0usize..4,
-    ) {
-        let ip = std::net::Ipv4Addr::from(ip);
-        let server = std::net::Ipv4Addr::from(server);
-        let msg = match kind {
+#[test]
+fn dhcp_messages_roundtrip() {
+    check("dhcp_messages_roundtrip", |g| {
+        let xid = g.u32();
+        let mut chaddr = [0u8; 6];
+        g.fill(&mut chaddr);
+        let ip = std::net::Ipv4Addr::from(g.u32().to_be_bytes());
+        let server = std::net::Ipv4Addr::from(g.u32().to_be_bytes());
+        let lease = g.u32_in(1, 86_400);
+        let msg = match g.usize_in(0, 4) {
             0 => DhcpMessage::discover(xid, chaddr),
             1 => DhcpMessage::offer(xid, chaddr, ip, server, lease),
             2 => DhcpMessage::request(xid, chaddr, ip, server),
@@ -92,77 +112,136 @@ proptest! {
         };
         let decoded = DhcpMessage::decode(&msg.encode()).unwrap();
         prop_assert_eq!(decoded, msg);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dhcp_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+#[test]
+fn dhcp_decode_never_panics() {
+    check("dhcp_decode_never_panics", |g| {
+        let bytes = g.bytes(0, 512);
         let _ = DhcpMessage::decode(&bytes);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dhcp_type_is_preserved(xid in any::<u32>(), chaddr in any::<[u8; 6]>()) {
-        let d = DhcpMessage::discover(xid, chaddr);
-        prop_assert_eq!(DhcpMessage::decode(&d.encode()).unwrap().msg_type, MessageType::Discover);
-    }
+#[test]
+fn dhcp_decode_survives_truncation() {
+    check("dhcp_decode_survives_truncation", |g| {
+        let mut chaddr = [0u8; 6];
+        g.fill(&mut chaddr);
+        let ip = std::net::Ipv4Addr::new(10, 0, 0, 50);
+        let srv = std::net::Ipv4Addr::new(10, 0, 0, 1);
+        let encoded = DhcpMessage::offer(g.u32(), chaddr, ip, srv, 3600).encode();
+        // Truncation may still parse (e.g. only trailing pad/END options are
+        // cut), but it must never panic, and whatever parses must be
+        // self-consistent: re-encoding it round-trips.
+        let cut = g.usize_in(0, encoded.len());
+        if let Ok(m) = DhcpMessage::decode(&encoded[..cut]) {
+            prop_assert_eq!(DhcpMessage::decode(&m.encode()).unwrap(), m);
+        }
+        // Cutting inside the fixed BOOTP header always fails.
+        let header_cut = g.usize_in(0, 236);
+        prop_assert!(
+            DhcpMessage::decode(&encoded[..header_cut]).is_err(),
+            "header truncated at {header_cut} decoded"
+        );
+        Ok(())
+    });
+}
+
+#[test]
+fn dhcp_type_is_preserved() {
+    check("dhcp_type_is_preserved", |g| {
+        let mut chaddr = [0u8; 6];
+        g.fill(&mut chaddr);
+        let d = DhcpMessage::discover(g.u32(), chaddr);
+        prop_assert_eq!(
+            DhcpMessage::decode(&d.encode()).unwrap().msg_type,
+            MessageType::Discover
+        );
+        Ok(())
+    });
 }
 
 // ---------------------------------------------------------------- tcp
 
-proptest! {
-    #[test]
-    fn seqnum_ordering_is_antisymmetric(a in any::<u32>(), delta in 1u32..(1 << 30)) {
-        let x = SeqNum::new(a);
+#[test]
+fn seqnum_ordering_is_antisymmetric() {
+    check("seqnum_ordering_is_antisymmetric", |g| {
+        let x = SeqNum::new(g.u32());
+        let delta = g.u32_in(1, 1 << 30);
         let y = x + delta;
         prop_assert!(x < y);
         prop_assert!(y > x);
         prop_assert_eq!(y - x, delta);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn seqnum_within_respects_bounds(start in any::<u32>(), len in 1u32..(1 << 20), off in 0u32..(1 << 20)) {
-        let s = SeqNum::new(start);
+#[test]
+fn seqnum_within_respects_bounds() {
+    check("seqnum_within_respects_bounds", |g| {
+        let s = SeqNum::new(g.u32());
+        let len = g.u32_in(1, 1 << 20);
+        let off = g.u32_in(0, 1 << 20);
         let p = s + off;
         prop_assert_eq!(p.within(s, len), off < len);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn segments_roundtrip(
-        conn in any::<u64>(),
-        seq in any::<u32>(),
-        len in 0u32..65_536,
-        ts in any::<u64>(),
-    ) {
-        let mut seg = Segment::data(conn, SeqNum::new(seq), len);
-        seg.ts_us = ts;
+#[test]
+fn segments_roundtrip() {
+    check("segments_roundtrip", |g| {
+        let mut seg = Segment::data(g.u64(), SeqNum::new(g.u32()), g.u32_in(0, 65_536));
+        seg.ts_us = g.u64();
         prop_assert_eq!(Segment::decode(&seg.encode()), Some(seg));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn segments_with_sack_roundtrip(
-        conn in any::<u64>(),
-        ack in any::<u32>(),
-        blocks in proptest::collection::vec((any::<u32>(), 1u32..100_000), 0..=3),
-        echo in proptest::option::of(any::<u64>()),
-    ) {
-        let mut seg = Segment::ack_only(conn, SeqNum::new(1), SeqNum::new(ack));
-        for (slot, (s, l)) in seg.sack.iter_mut().zip(blocks.into_iter()) {
-            *slot = Some((SeqNum::new(s), l));
+#[test]
+fn segments_with_sack_roundtrip() {
+    check("segments_with_sack_roundtrip", |g| {
+        let mut seg = Segment::ack_only(g.u64(), SeqNum::new(1), SeqNum::new(g.u32()));
+        let blocks = g.vec(0, 4, |g| (SeqNum::new(g.u32()), g.u32_in(1, 100_000)));
+        for (slot, block) in seg.sack.iter_mut().zip(blocks) {
+            *slot = Some(block);
         }
-        seg.ts_echo_us = echo;
+        seg.ts_echo_us = g.option(|g| g.u64());
         prop_assert_eq!(Segment::decode(&seg.encode()), Some(seg));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn segment_decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+#[test]
+fn segment_decode_never_panics() {
+    check("segment_decode_never_panics", |g| {
+        let bytes = g.bytes(0, 128);
         let _ = Segment::decode(&bytes);
-    }
+        Ok(())
+    });
+}
+
+#[test]
+fn segment_decode_survives_truncation() {
+    check("segment_decode_survives_truncation", |g| {
+        let mut seg = Segment::data(g.u64(), SeqNum::new(g.u32()), g.u32_in(0, 65_536));
+        seg.ts_echo_us = g.option(|g| g.u64());
+        let encoded = seg.encode();
+        let cut = g.usize_in(0, encoded.len());
+        prop_assert_eq!(Segment::decode(&encoded[..cut]), None);
+        Ok(())
+    });
 }
 
 // ---------------------------------------------------------------- engine
 
-proptest! {
-    #[test]
-    fn summary_mean_is_bounded_by_extremes(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+#[test]
+fn summary_mean_is_bounded_by_extremes() {
+    check("summary_mean_is_bounded_by_extremes", |g| {
+        let values = g.vec(1, 200, |g| g.f64_in(-1e6, 1e6));
         let mut s = Summary::new();
         for &v in &values {
             s.record(v);
@@ -170,10 +249,14 @@ proptest! {
         prop_assert!(s.mean() >= s.min() - 1e-9);
         prop_assert!(s.mean() <= s.max() + 1e-9);
         prop_assert!(s.variance() >= 0.0);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn quantiles_are_monotone(values in proptest::collection::vec(-1e6f64..1e6, 2..200)) {
+#[test]
+fn quantiles_are_monotone() {
+    check("quantiles_are_monotone", |g| {
+        let values = g.vec(2, 200, |g| g.f64_in(-1e6, 1e6));
         let mut s = Samples::new();
         for &v in &values {
             s.record(v);
@@ -184,109 +267,137 @@ proptest! {
             prop_assert!(q >= last - 1e-9, "quantiles must be monotone");
             last = q;
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn rng_below_is_always_in_range(seed in any::<u64>(), n in 1u64..1_000_000) {
-        let mut rng = Rng::new(seed);
+#[test]
+fn rng_below_is_always_in_range() {
+    check("rng_below_is_always_in_range", |g| {
+        let mut rng = Rng::new(g.u64());
+        let n = g.u64_in(1, 1_000_000);
         for _ in 0..50 {
             prop_assert!(rng.below(n) < n);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn duration_roundtrip_secs(ms in 0u64..10_000_000) {
-        let d = Duration::from_millis(ms);
+#[test]
+fn duration_roundtrip_secs() {
+    check("duration_roundtrip_secs", |g| {
+        let d = Duration::from_millis(g.u64_in(0, 10_000_000));
         let back = Duration::from_secs_f64(d.as_secs_f64());
         // Round-trip through f64 is exact at millisecond granularity here.
         prop_assert_eq!(back, d);
-    }
+        Ok(())
+    });
 }
 
 // ---------------------------------------------------------------- mobility
 
-proptest! {
-    #[test]
-    fn route_positions_lie_on_or_near_route(
-        w in 50f64..2_000.0,
-        h in 50f64..2_000.0,
-        d in 0f64..50_000.0,
-    ) {
+#[test]
+fn route_positions_lie_on_or_near_route() {
+    check("route_positions_lie_on_or_near_route", |g| {
+        let w = g.f64_in(50.0, 2_000.0);
+        let h = g.f64_in(50.0, 2_000.0);
+        let d = g.f64_in(0.0, 50_000.0);
         let r = Route::rectangle(w, h);
         let p = r.position_at_distance(d);
         // Every point on the rectangle has x ∈ [0, w], y ∈ [0, h].
         prop_assert!((-1e-6..=w + 1e-6).contains(&p.x));
         prop_assert!((-1e-6..=h + 1e-6).contains(&p.y));
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn route_distance_is_periodic(w in 50f64..500.0, h in 50f64..500.0, d in 0f64..5_000.0) {
+#[test]
+fn route_distance_is_periodic() {
+    check("route_distance_is_periodic", |g| {
+        let w = g.f64_in(50.0, 500.0);
+        let h = g.f64_in(50.0, 500.0);
+        let d = g.f64_in(0.0, 5_000.0);
         let r = Route::rectangle(w, h);
         let a = r.position_at_distance(d);
         let b = r.position_at_distance(d + r.length());
         prop_assert!(a.distance(b) < 1e-6);
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn point_distance_is_a_metric(
-        ax in -1e4f64..1e4, ay in -1e4f64..1e4,
-        bx in -1e4f64..1e4, by in -1e4f64..1e4,
-        cx in -1e4f64..1e4, cy in -1e4f64..1e4,
-    ) {
-        let (a, b, c) = (Point::new(ax, ay), Point::new(bx, by), Point::new(cx, cy));
+#[test]
+fn point_distance_is_a_metric() {
+    check("point_distance_is_a_metric", |g| {
+        let coord = |g: &mut Gen| g.f64_in(-1e4, 1e4);
+        let a = Point::new(coord(g), coord(g));
+        let b = Point::new(coord(g), coord(g));
+        let c = Point::new(coord(g), coord(g));
         prop_assert!((a.distance(b) - b.distance(a)).abs() < 1e-9);
         prop_assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-6);
         prop_assert!(a.distance(a) < 1e-12);
-    }
+        Ok(())
+    });
 }
 
 // ---------------------------------------------------------------- models
 
-proptest! {
-    #[test]
-    fn join_probability_is_a_probability(
-        f in 0f64..=1.0,
-        beta_max in 0.6f64..12.0,
-        t in 0f64..20.0,
-    ) {
+#[test]
+fn join_probability_is_a_probability() {
+    check("join_probability_is_a_probability", |g| {
+        let f = g.f64_in(0.0, 1.0);
+        let beta_max = g.f64_in(0.6, 12.0);
+        let t = g.f64_in(0.0, 20.0);
         let p = JoinModelParams::figure2(f, beta_max).p_join(t);
         prop_assert!((0.0..=1.0).contains(&p), "p = {p}");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn phy_delivery_probabilities_valid(d in 0f64..2_000.0, len in 1usize..3_000) {
+#[test]
+fn phy_delivery_probabilities_valid() {
+    check("phy_delivery_probabilities_valid", |g| {
+        let d = g.f64_in(0.0, 2_000.0);
+        let len = g.usize_in(1, 3_000);
         let phy = PhyConfig::default();
         let m = phy.mgmt_delivery_prob(d, len);
         let dd = phy.data_delivery_prob(d, len);
         prop_assert!((0.0..=1.0).contains(&m));
         prop_assert!((0.0..=1.0).contains(&dd));
         prop_assert!(dd >= m - 1e-12, "ARQ can only help");
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn phy_airtime_monotone_in_length(d in 1f64..300.0, len in 1usize..1_400) {
+#[test]
+fn phy_airtime_monotone_in_length() {
+    check("phy_airtime_monotone_in_length", |g| {
+        let d = g.f64_in(1.0, 300.0);
+        let len = g.usize_in(1, 1_400);
         let phy = PhyConfig::default();
         prop_assert!(phy.airtime(len + 100) > phy.airtime(len));
         prop_assert!(phy.expected_data_airtime(d, len) >= phy.airtime(len));
-    }
+        Ok(())
+    });
 }
 
 // ------------------------------------------------- protocol state machines
 
-proptest! {
-    /// The DHCP client survives arbitrary (well-formed) message storms
-    /// without panicking and without binding to mismatched transactions.
-    #[test]
-    fn dhcp_client_is_storm_proof(
-        seed in any::<u64>(),
-        msgs in proptest::collection::vec((0usize..5, any::<u32>(), any::<[u8;6]>()), 0..60),
-    ) {
+/// The DHCP client survives arbitrary (well-formed) message storms without
+/// panicking and without binding to mismatched transactions.
+#[test]
+fn dhcp_client_is_storm_proof() {
+    check("dhcp_client_is_storm_proof", |g| {
         use spider_repro::dhcp::{DhcpClient, DhcpClientConfig};
         let mut c = DhcpClient::new(DhcpClientConfig::default(), [2, 0, 0, 0, 0, 1], 1);
         c.start(Instant::ZERO, None);
         let ip = std::net::Ipv4Addr::new(10, 0, 0, 50);
         let srv = std::net::Ipv4Addr::new(10, 0, 0, 1);
         let mut now = Instant::ZERO;
+        let msgs = g.vec(0, 60, |g| {
+            let mut chaddr = [0u8; 6];
+            g.fill(&mut chaddr);
+            (g.usize_in(0, 5), g.u32(), chaddr)
+        });
         for (kind, xid, chaddr) in msgs {
             now += Duration::from_millis(10);
             let m = match kind {
@@ -303,20 +414,19 @@ proptest! {
             prop_assert_eq!(lease.ip, ip);
             prop_assert!(lease.expires > now);
         }
-        let _ = seed;
-    }
+        Ok(())
+    });
 }
 
 // ------------------------------------------------ stateful model checks
 
-proptest! {
-    /// The event queue agrees with a sorted-vector reference model under
-    /// arbitrary interleavings of pushes, pops, and cancellations.
-    #[test]
-    fn event_queue_matches_reference_model(
-        ops in proptest::collection::vec((0u8..3, 0u64..1_000), 1..200),
-    ) {
+/// The event queue agrees with a sorted-vector reference model under
+/// arbitrary interleavings of pushes, pops, and cancellations.
+#[test]
+fn event_queue_matches_reference_model() {
+    check("event_queue_matches_reference_model", |g| {
         use spider_repro::engine::EventQueue;
+        let ops = g.vec(1, 200, |g| (g.usize_in(0, 3), g.u64_in(0, 1_000)));
         let mut q: EventQueue<u64> = EventQueue::new();
         // Reference: Vec of (time_ms, insertion_seq, value, cancelled).
         let mut model: Vec<(u64, u64, u64, bool)> = Vec::new();
@@ -359,121 +469,132 @@ proptest! {
                             now_ms = e.0;
                             model.retain(|m| m.1 != e.1);
                         }
-                        (e, g) => prop_assert!(false, "model {e:?} vs queue {g:?}"),
+                        (e, got) => return Err(format!("model {e:?} vs queue {got:?}")),
                     }
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// TCP end-to-end over a pipe with random loss, reordering, and delay:
-    /// the receiver must deliver every payload byte exactly once (no gaps,
-    /// no duplicates reach the application), and the transfer completes.
-    #[test]
-    fn tcp_survives_lossy_reordering_pipe(
-        seed in any::<u64>(),
-        total in 1u64..200_000,
-        loss_pct in 0u32..30,
-    ) {
-        use spider_repro::tcp::{BulkReceiver, BulkSender, ReceiverAction, SenderAction, TcpConfig};
-        use spider_repro::tcp::Segment;
+/// TCP end-to-end over a pipe with random loss, reordering, and delay: the
+/// receiver must deliver every payload byte exactly once (no gaps, no
+/// duplicates reach the application), and the transfer completes.
+#[test]
+fn tcp_survives_lossy_reordering_pipe() {
+    check_with(
+        "tcp_survives_lossy_reordering_pipe",
+        Config::cases(32),
+        |g| {
+            use spider_repro::tcp::Segment;
+            use spider_repro::tcp::{
+                BulkReceiver, BulkSender, ReceiverAction, SenderAction, TcpConfig,
+            };
 
-        let cfg = TcpConfig { max_timeouts: 200, ..TcpConfig::default() };
-        let mut sender = BulkSender::new(cfg, 1, total, seed as u32);
-        let mut receiver = BulkReceiver::new(1);
-        let mut rng = Rng::new(seed);
+            let seed = g.u64();
+            let total = g.u64_in(1, 200_000);
+            let loss_pct = g.u32_in(0, 30);
 
-        // A tiny deterministic event loop: segments in flight with delivery
-        // times; timers for the sender.
-        let mut now = Instant::ZERO;
-        let mut flights: Vec<(Instant, bool, Segment)> = Vec::new(); // (arrival, to_receiver, seg)
-        let mut timer: Option<(Instant, u64)> = None;
-        let mut delivered = 0u64;
+            let cfg = TcpConfig {
+                max_timeouts: 200,
+                ..TcpConfig::default()
+            };
+            let mut sender = BulkSender::new(cfg, 1, total, seed as u32);
+            let mut receiver = BulkReceiver::new(1);
+            let mut rng = Rng::new(seed);
 
-        let push_sender_actions = |acts: Vec<SenderAction>,
+            // A tiny deterministic event loop: segments in flight with delivery
+            // times; timers for the sender.
+            let mut now = Instant::ZERO;
+            let mut flights: Vec<(Instant, bool, Segment)> = Vec::new(); // (arrival, to_receiver, seg)
+            let mut timer: Option<(Instant, u64)> = None;
+            let mut delivered = 0u64;
+
+            let push_sender_actions = |acts: Vec<SenderAction>,
                                        now: Instant,
                                        rng: &mut Rng,
                                        flights: &mut Vec<(Instant, bool, Segment)>,
                                        timer: &mut Option<(Instant, u64)>|
-         -> bool {
-            let mut complete = false;
-            for a in acts {
-                match a {
-                    SenderAction::Transmit(seg) if !rng.chance(loss_pct as f64 / 100.0) => {
-                        let delay = Duration::from_millis(rng.range_u64(10, 80));
-                        flights.push((now + delay, true, seg));
-                    }
-                    SenderAction::Transmit(_) => {} // lost
-                    SenderAction::ArmTimer { after, token } => *timer = Some((now + after, token)),
-                    SenderAction::Complete => complete = true,
-                    _ => {}
-                }
-            }
-            complete
-        };
-
-        let acts = sender.start(now);
-        let mut complete = push_sender_actions(acts, now, &mut rng, &mut flights, &mut timer);
-
-        let mut steps = 0u32;
-        while !complete {
-            steps += 1;
-            prop_assert!(steps < 60_000, "transfer did not converge");
-            // Next event: earliest flight or timer.
-            let next_flight_at =
-                flights.iter().map(|f| f.0).min();
-            prop_assert!(
-                next_flight_at.is_some() || timer.is_some(),
-                "deadlock: no events"
-            );
-            let take_timer = match (next_flight_at, timer) {
-                (None, Some(_)) => true,
-                (Some(_), None) => false,
-                (Some(f), Some((t, _))) => t <= f,
-                (None, None) => unreachable!("asserted above"),
-            };
-            if take_timer {
-                let (t, token) = timer.take().expect("checked");
-                now = now.max(t);
-                let acts = sender.on_timer(token, now);
-                prop_assert!(
-                    !sender.is_aborted(),
-                    "sender aborted at {loss_pct}% loss"
-                );
-                complete = push_sender_actions(acts, now, &mut rng, &mut flights, &mut timer)
-                    || complete;
-            } else {
-                let target = next_flight_at.expect("checked");
-                let idx = flights
-                    .iter()
-                    .position(|f| f.0 == target)
-                    .expect("min exists");
-                let (at, to_receiver, seg) = flights.swap_remove(idx);
-                now = now.max(at);
-                if to_receiver {
-                    for a in receiver.on_segment(&seg, now) {
-                        match a {
-                            ReceiverAction::Transmit(ack) => {
-                                if !rng.chance(loss_pct as f64 / 100.0) {
-                                    let delay = Duration::from_millis(rng.range_u64(10, 80));
-                                    flights.push((now + delay, false, ack));
-                                }
-                            }
-                            ReceiverAction::Deliver { bytes } => delivered += bytes,
-                            ReceiverAction::Finished => {}
+             -> bool {
+                let mut complete = false;
+                for a in acts {
+                    match a {
+                        SenderAction::Transmit(seg) if !rng.chance(loss_pct as f64 / 100.0) => {
+                            let delay = Duration::from_millis(rng.range_u64(10, 80));
+                            flights.push((now + delay, true, seg));
                         }
+                        SenderAction::Transmit(_) => {} // lost
+                        SenderAction::ArmTimer { after, token } => {
+                            *timer = Some((now + after, token))
+                        }
+                        SenderAction::Complete => complete = true,
+                        _ => {}
                     }
+                }
+                complete
+            };
+
+            let acts = sender.start(now);
+            let mut complete = push_sender_actions(acts, now, &mut rng, &mut flights, &mut timer);
+
+            let mut steps = 0u32;
+            while !complete {
+                steps += 1;
+                prop_assert!(steps < 60_000, "transfer did not converge");
+                // Next event: earliest flight or timer.
+                let next_flight_at = flights.iter().map(|f| f.0).min();
+                prop_assert!(
+                    next_flight_at.is_some() || timer.is_some(),
+                    "deadlock: no events"
+                );
+                let take_timer = match (next_flight_at, timer) {
+                    (None, Some(_)) => true,
+                    (Some(_), None) => false,
+                    (Some(f), Some((t, _))) => t <= f,
+                    (None, None) => unreachable!("asserted above"),
+                };
+                if take_timer {
+                    let (t, token) = timer.take().expect("checked");
+                    now = now.max(t);
+                    let acts = sender.on_timer(token, now);
+                    prop_assert!(!sender.is_aborted(), "sender aborted at {loss_pct}% loss");
+                    complete = push_sender_actions(acts, now, &mut rng, &mut flights, &mut timer)
+                        || complete;
                 } else {
-                    let acts = sender.on_segment(&seg, now);
-                    complete =
-                        push_sender_actions(acts, now, &mut rng, &mut flights, &mut timer)
-                            || complete;
+                    let target = next_flight_at.expect("checked");
+                    let idx = flights
+                        .iter()
+                        .position(|f| f.0 == target)
+                        .expect("min exists");
+                    let (at, to_receiver, seg) = flights.swap_remove(idx);
+                    now = now.max(at);
+                    if to_receiver {
+                        for a in receiver.on_segment(&seg, now) {
+                            match a {
+                                ReceiverAction::Transmit(ack) => {
+                                    if !rng.chance(loss_pct as f64 / 100.0) {
+                                        let delay = Duration::from_millis(rng.range_u64(10, 80));
+                                        flights.push((now + delay, false, ack));
+                                    }
+                                }
+                                ReceiverAction::Deliver { bytes } => delivered += bytes,
+                                ReceiverAction::Finished => {}
+                            }
+                        }
+                    } else {
+                        let acts = sender.on_segment(&seg, now);
+                        complete =
+                            push_sender_actions(acts, now, &mut rng, &mut flights, &mut timer)
+                                || complete;
+                    }
                 }
             }
-        }
-        // Exactly-once delivery of the whole stream.
-        prop_assert_eq!(delivered, total, "delivered bytes mismatch");
-        prop_assert_eq!(receiver.delivered(), total);
-        prop_assert!(receiver.is_finished());
-    }
+            // Exactly-once delivery of the whole stream.
+            prop_assert_eq!(delivered, total, "delivered bytes mismatch");
+            prop_assert_eq!(receiver.delivered(), total);
+            prop_assert!(receiver.is_finished());
+            Ok(())
+        },
+    );
 }
