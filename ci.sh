@@ -30,6 +30,38 @@ cargo build --release --offline --workspace --all-targets
 step "cargo test --offline"
 cargo test -q --offline --workspace
 
+step "campaign cache smoke test (fig5 twice, second run must be all hits)"
+smoke_dir=$(mktemp -d target/campaign-smoke.XXXXXX)
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/experiments fig5 --scale 1 --cache-dir "$smoke_dir/cache" \
+    >"$smoke_dir/first.out" 2>"$smoke_dir/first.err"
+./target/release/experiments fig5 --scale 1 --cache-dir "$smoke_dir/cache" \
+    >"$smoke_dir/second.out" 2>"$smoke_dir/second.err"
+if ! cmp -s "$smoke_dir/first.out" "$smoke_dir/second.out"; then
+    echo "error: cached second fig5 run is not byte-identical to the first" >&2
+    diff "$smoke_dir/first.out" "$smoke_dir/second.out" >&2 || true
+    exit 1
+fi
+if ! grep -q 'campaign: [0-9]* shards — [0-9]* hits, 0 misses, 0 cancelled' \
+    "$smoke_dir/second.err"; then
+    echo "error: second fig5 run was not served 100% from cache:" >&2
+    cat "$smoke_dir/second.err" >&2
+    exit 1
+fi
+echo "ok: second run 100% cache hits, stdout byte-identical"
+
+step "bench artifact (non-gating)"
+# Archive a quick machine-readable bench summary; never fails the build.
+# cargo bench runs the binary with CWD set to the bench package dir, so
+# the artifact path must be absolute to land in the workspace target/.
+if SPIDER_BENCH_BUDGET_MS=50 SPIDER_BENCH_JSON="$PWD/target/BENCH_campaign.json" \
+    cargo bench --offline -p bench --bench substrates -- campaign \
+    >/dev/null 2>&1 && [ -s target/BENCH_campaign.json ]; then
+    echo "ok: wrote target/BENCH_campaign.json"
+else
+    echo "skip: bench artifact step failed (non-gating)"
+fi
+
 step "cargo fmt --check"
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --all --check

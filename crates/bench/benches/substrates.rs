@@ -77,6 +77,39 @@ fn main() {
     h.bench("tcp_lossless_1MB_transfer", tcp_lossless_transfer);
     h.bench("mac_join_handshake", mac_join_handshake);
 
+    // Campaign orchestrator hot paths: the per-shard costs a cached sweep
+    // pays instead of re-simulating.
+    let world = bench::bench_lab(
+        7,
+        spider_core::config::SpiderConfig::single_channel_multi_ap(Channel::CH1),
+        10,
+        2_000_000,
+    );
+    h.bench("campaign_shard_hash", || campaign::hash::shard_hash(&world));
+    let blob = vec![0xA5u8; 4096];
+    h.bench("campaign_content_hash_4k", || {
+        campaign::hash::content_hash(&blob)
+    });
+    let result = spider_core::world::run(world.clone());
+    let record = spider_core::report::RunRecord::to_json(&result).unwrap();
+    h.bench("run_record_to_json", || {
+        spider_core::report::RunRecord::to_json(&result).unwrap()
+    });
+    h.bench("run_record_from_json", || {
+        spider_core::report::RunRecord::from_json(&record).unwrap()
+    });
+    let entry = campaign::manifest::ManifestEntry {
+        shard: "(1) Channel 1, Multi-AP".to_string(),
+        hash: campaign::hash::shard_hash(&world),
+        wall_ms: 412,
+        cache_hit: false,
+        path: "reports/abc.json".to_string(),
+    };
+    let line = entry.to_line();
+    h.bench("manifest_line_roundtrip", || {
+        campaign::manifest::ManifestEntry::parse_line(black_box(&line)).unwrap()
+    });
+
     h.finish();
 }
 

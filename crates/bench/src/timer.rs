@@ -11,9 +11,25 @@
 //! first bare argument is a substring filter on bench names. The
 //! per-bench time budget defaults to two seconds; override it with the
 //! `SPIDER_BENCH_BUDGET_MS` environment variable.
+//!
+//! With `SPIDER_BENCH_JSON=<path>` set, [`Harness::finish`] also writes a
+//! machine-readable artifact (one JSON object: target, budget, and per
+//! bench min/median/mean ns plus sample counts) — ci.sh uses this to
+//! archive `BENCH_campaign.json` as a non-gating build artifact.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// One bench's measured summary, as archived in the JSON artifact.
+#[derive(Debug, Clone)]
+struct BenchStat {
+    name: String,
+    min_ns: f64,
+    median_ns: f64,
+    mean_ns: f64,
+    batches: usize,
+    iters: u64,
+}
 
 /// Default per-bench measurement budget.
 const DEFAULT_BUDGET_MS: u64 = 2_000;
@@ -24,24 +40,32 @@ const WARMUP_DIVISOR: u32 = 10;
 /// One bench target's runner: parses the CLI once, then times each
 /// registered closure.
 pub struct Harness {
+    target: String,
     filter: Option<String>,
     budget: Duration,
     ran: usize,
+    json_path: Option<std::path::PathBuf>,
+    stats: Vec<BenchStat>,
 }
 
 impl Harness {
-    /// Build from `std::env::args` and `SPIDER_BENCH_BUDGET_MS`.
+    /// Build from `std::env::args`, `SPIDER_BENCH_BUDGET_MS`, and
+    /// `SPIDER_BENCH_JSON`.
     pub fn from_env(target: &str) -> Harness {
         let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         let budget_ms = std::env::var("SPIDER_BENCH_BUDGET_MS")
             .ok()
             .and_then(|v| v.parse::<u64>().ok())
             .unwrap_or(DEFAULT_BUDGET_MS);
+        let json_path = std::env::var_os("SPIDER_BENCH_JSON").map(std::path::PathBuf::from);
         println!("{target}: {budget_ms} ms budget per bench");
         Harness {
+            target: target.to_string(),
             filter,
             budget: Duration::from_millis(budget_ms),
             ran: 0,
+            json_path,
+            stats: Vec::new(),
         }
     }
 
@@ -98,17 +122,52 @@ impl Harness {
             total_iters,
             batches.len(),
         );
+        self.stats.push(BenchStat {
+            name: name.to_string(),
+            min_ns: min,
+            median_ns: median,
+            mean_ns: mean,
+            batches: batches.len(),
+            iters: total_iters,
+        });
     }
 
     /// Final line; warns when a filter matched nothing (a typo'd filter
-    /// silently benching nothing is worse than noise).
+    /// silently benching nothing is worse than noise). Writes the JSON
+    /// artifact when `SPIDER_BENCH_JSON` names a path.
     pub fn finish(self) {
         if self.ran == 0 {
             if let Some(filter) = &self.filter {
                 eprintln!("warning: filter {filter:?} matched no benches");
             }
         }
+        if let Some(path) = &self.json_path {
+            match std::fs::write(path, self.json_artifact()) {
+                Ok(()) => println!("wrote {}", path.display()),
+                Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+            }
+        }
         println!("done ({} benches)", self.ran);
+    }
+
+    /// The machine-readable run summary (stable key order, one object).
+    fn json_artifact(&self) -> String {
+        let mut out = format!(
+            "{{\"target\":\"{}\",\"budget_ms\":{},\"benches\":[",
+            self.target,
+            self.budget.as_millis()
+        );
+        for (i, s) in self.stats.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"min_ns\":{:.1},\"median_ns\":{:.1},\"mean_ns\":{:.1},\"batches\":{},\"iters\":{}}}",
+                s.name, s.min_ns, s.median_ns, s.mean_ns, s.batches, s.iters
+            ));
+        }
+        out.push_str("]}\n");
+        out
     }
 }
 
@@ -137,13 +196,20 @@ mod tests {
         assert_eq!(fmt_ns(2_500_000_000.0), "2.50 s");
     }
 
-    #[test]
-    fn bench_runs_the_closure_and_counts_it() {
-        let mut h = Harness {
-            filter: None,
+    fn test_harness(filter: Option<&str>) -> Harness {
+        Harness {
+            target: "test".to_string(),
+            filter: filter.map(str::to_string),
             budget: Duration::from_millis(20),
             ran: 0,
-        };
+            json_path: None,
+            stats: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn bench_runs_the_closure_and_counts_it() {
+        let mut h = test_harness(None);
         let mut calls = 0u64;
         h.bench("tiny", || {
             calls += 1;
@@ -155,11 +221,7 @@ mod tests {
 
     #[test]
     fn filter_skips_non_matching_names() {
-        let mut h = Harness {
-            filter: Some("match-me".into()),
-            budget: Duration::from_millis(20),
-            ran: 0,
-        };
+        let mut h = test_harness(Some("match-me"));
         let mut calls = 0u64;
         h.bench("other", || calls += 1);
         assert_eq!(calls, 0);
@@ -167,5 +229,18 @@ mod tests {
         h.bench("does-match-me-yes", || calls += 1);
         assert!(calls > 0);
         assert_eq!(h.ran, 1);
+    }
+
+    #[test]
+    fn json_artifact_has_one_entry_per_bench() {
+        let mut h = test_harness(None);
+        h.bench("alpha", || 1u64);
+        h.bench("beta", || 2u64);
+        let json = h.json_artifact();
+        assert!(json.starts_with("{\"target\":\"test\",\"budget_ms\":20,\"benches\":["));
+        assert!(json.contains("\"name\":\"alpha\""));
+        assert!(json.contains("\"name\":\"beta\""));
+        assert!(json.trim_end().ends_with("]}"));
+        assert_eq!(json.matches("\"median_ns\":").count(), 2);
     }
 }

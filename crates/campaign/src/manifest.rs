@@ -1,0 +1,317 @@
+//! The append-only campaign manifest.
+//!
+//! One JSON object per line, written as each shard finishes:
+//!
+//! ```text
+//! {"shard":"(1) Channel 1, Multi-AP","hash":"9f…","wall_ms":412,"cache":"miss","path":"reports/9f….json"}
+//! ```
+//!
+//! The manifest is the campaign's durable progress log. Replay is
+//! deliberately forgiving: a process killed mid-append leaves a
+//! truncated final line, which replay skips — the corresponding shard
+//! simply re-runs. Replayed hashes are only trusted when the record
+//! file they point at actually exists, so deleting a record (or the
+//! whole `reports/` directory) also re-runs those shards.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// One completed shard, as logged.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ManifestEntry {
+    /// The shard's human-readable key (the experiment label).
+    pub shard: String,
+    /// The shard's content hash.
+    pub hash: String,
+    /// Wall-clock time the shard took, milliseconds (0 for cache hits).
+    pub wall_ms: u64,
+    /// Whether the shard was served from cache.
+    pub cache_hit: bool,
+    /// Record path relative to the cache directory.
+    pub path: String,
+}
+
+impl ManifestEntry {
+    /// Render as one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        format!(
+            r#"{{"shard":{},"hash":{},"wall_ms":{},"cache":{},"path":{}}}"#,
+            quote(&self.shard),
+            quote(&self.hash),
+            self.wall_ms,
+            if self.cache_hit {
+                "\"hit\""
+            } else {
+                "\"miss\""
+            },
+            quote(&self.path),
+        )
+    }
+
+    /// Parse one line; `None` for anything malformed (corrupt tail).
+    pub fn parse_line(line: &str) -> Option<ManifestEntry> {
+        let mut s = Scanner::new(line.trim());
+        s.eat('{')?;
+        let mut shard = None;
+        let mut hash = None;
+        let mut wall_ms = None;
+        let mut cache = None;
+        let mut path = None;
+        loop {
+            let key = s.string()?;
+            s.eat(':')?;
+            match key.as_str() {
+                "shard" => shard = Some(s.string()?),
+                "hash" => hash = Some(s.string()?),
+                "wall_ms" => wall_ms = Some(s.integer()?),
+                "cache" => cache = Some(s.string()?),
+                "path" => path = Some(s.string()?),
+                _ => return None,
+            }
+            match s.next_byte()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+        if !s.at_end() {
+            return None;
+        }
+        let cache_hit = match cache?.as_str() {
+            "hit" => true,
+            "miss" => false,
+            _ => return None,
+        };
+        Some(ManifestEntry {
+            shard: shard?,
+            hash: hash?,
+            wall_ms: wall_ms?,
+            cache_hit,
+            path: path?,
+        })
+    }
+}
+
+/// An open manifest, appendable from any worker thread.
+#[derive(Debug)]
+pub struct Manifest {
+    file: Mutex<File>,
+}
+
+/// The manifest's file name inside a campaign cache directory.
+pub const MANIFEST_FILE: &str = "manifest.jsonl";
+
+impl Manifest {
+    /// The manifest path for a cache directory.
+    pub fn path_in(cache_dir: &Path) -> PathBuf {
+        cache_dir.join(MANIFEST_FILE)
+    }
+
+    /// Open (creating if needed) for appending.
+    pub fn open(cache_dir: &Path) -> io::Result<Manifest> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(Self::path_in(cache_dir))?;
+        Ok(Manifest {
+            file: Mutex::new(file),
+        })
+    }
+
+    /// Append one entry and flush, so a kill right after a shard
+    /// completes still finds it logged on resume.
+    pub fn append(&self, entry: &ManifestEntry) -> io::Result<()> {
+        let mut file = self.file.lock().expect("manifest lock poisoned");
+        writeln!(file, "{}", entry.to_line())?;
+        file.flush()
+    }
+
+    /// Replay a manifest, skipping unparsable (truncated) lines. A
+    /// missing manifest is an empty campaign, not an error.
+    pub fn replay(cache_dir: &Path) -> io::Result<Vec<ManifestEntry>> {
+        let file = match File::open(Self::path_in(cache_dir)) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut entries = Vec::new();
+        for line in BufReader::new(file).lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            if let Some(entry) = ManifestEntry::parse_line(&line) {
+                entries.push(entry);
+            }
+        }
+        Ok(entries)
+    }
+}
+
+/// JSON-quote a string (escapes `"`, `\`, and control characters).
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A minimal scanner for the flat string/number objects the manifest
+/// emits.
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(text: &'a str) -> Scanner<'a> {
+        Scanner {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn next_byte(&mut self) -> Option<u8> {
+        let b = *self.bytes.get(self.pos)?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn eat(&mut self, expected: char) -> Option<()> {
+        (self.next_byte()? == expected as u8).then_some(())
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos == self.bytes.len()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.eat('"')?;
+        let mut out = String::new();
+        loop {
+            match self.next_byte()? {
+                b'"' => return Some(out),
+                b'\\' => match self.next_byte()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            code = code * 16 + (self.next_byte()? as char).to_digit(16)?;
+                        }
+                        out.push(char::from_u32(code)?);
+                    }
+                    _ => return None,
+                },
+                b => {
+                    // Re-scan from here as UTF-8: collect continuation bytes.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b)?;
+                    let end = start + len;
+                    let chunk = self.bytes.get(start..end)?;
+                    out.push_str(core::str::from_utf8(chunk).ok()?);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn integer(&mut self) -> Option<u64> {
+        let start = self.pos;
+        while matches!(self.bytes.get(self.pos), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        core::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()?
+            .parse()
+            .ok()
+    }
+}
+
+/// Byte length of a UTF-8 sequence from its first byte.
+fn utf8_len(first: u8) -> Option<usize> {
+    match first {
+        0x00..=0x7f => Some(1),
+        0xc0..=0xdf => Some(2),
+        0xe0..=0xef => Some(3),
+        0xf0..=0xf7 => Some(4),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(shard: &str, hash: &str, hit: bool) -> ManifestEntry {
+        ManifestEntry {
+            shard: shard.to_string(),
+            hash: hash.to_string(),
+            wall_ms: 412,
+            cache_hit: hit,
+            path: format!("reports/{hash}.json"),
+        }
+    }
+
+    #[test]
+    fn lines_roundtrip() {
+        for e in [
+            entry("(1) Channel 1, Multi-AP", "9f00aa", false),
+            entry(
+                "weird \"label\" with \\ and \n newline — ünïcode",
+                "00",
+                true,
+            ),
+        ] {
+            let line = e.to_line();
+            assert_eq!(ManifestEntry::parse_line(&line), Some(e), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn truncated_lines_are_skipped_not_fatal() {
+        let dir = std::env::temp_dir().join(format!(
+            "campaign-manifest-test-{}-truncated",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = Manifest::open(&dir).unwrap();
+        m.append(&entry("a", "h1", false)).unwrap();
+        m.append(&entry("b", "h2", true)).unwrap();
+        drop(m);
+        // Simulate a kill mid-append: a torn final line.
+        let path = Manifest::path_in(&dir);
+        let mut text = std::fs::read_to_string(&path).unwrap();
+        text.push_str("{\"shard\":\"c\",\"hash\":\"h3\",\"wall");
+        std::fs::write(&path, text).unwrap();
+        let replayed = Manifest::replay(&dir).unwrap();
+        assert_eq!(
+            replayed,
+            vec![entry("a", "h1", false), entry("b", "h2", true)]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_is_empty() {
+        let dir = std::env::temp_dir().join(format!(
+            "campaign-manifest-test-{}-missing",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert!(Manifest::replay(&dir).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

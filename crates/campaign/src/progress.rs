@@ -1,0 +1,128 @@
+//! Live progress and ETA reporting for a running campaign.
+//!
+//! Everything goes to **stderr**: stdout belongs to the experiment's
+//! figure text, which must stay byte-identical between a fresh run and a
+//! fully cached one (ci.sh asserts this), so the orchestrator never
+//! writes a byte there.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Shared progress state; every worker calls [`Progress::shard_done`].
+#[derive(Debug)]
+pub struct Progress {
+    total: usize,
+    done: AtomicUsize,
+    misses_done: AtomicUsize,
+    miss_wall_ms: AtomicU64,
+    started: Instant,
+    quiet: bool,
+}
+
+impl Progress {
+    /// A tracker for `total` scheduled shards.
+    pub fn new(total: usize, quiet: bool) -> Progress {
+        Progress {
+            total,
+            done: AtomicUsize::new(0),
+            misses_done: AtomicUsize::new(0),
+            miss_wall_ms: AtomicU64::new(0),
+            started: Instant::now(),
+            quiet,
+        }
+    }
+
+    /// Record one finished shard and print its progress line.
+    pub fn shard_done(
+        &self,
+        label: &str,
+        hash: &str,
+        cache_hit: bool,
+        wall_ms: u64,
+        workers: usize,
+    ) {
+        let done = self.done.fetch_add(1, Ordering::SeqCst) + 1;
+        if !cache_hit {
+            self.misses_done.fetch_add(1, Ordering::SeqCst);
+            self.miss_wall_ms.fetch_add(wall_ms, Ordering::SeqCst);
+        }
+        if self.quiet {
+            return;
+        }
+        let eta = self.eta_secs(done, workers);
+        eprintln!(
+            "  [{done:>3}/{:<3}] {} {:>6} ms  eta {:>5}  {}  {label}",
+            self.total,
+            if cache_hit { "hit " } else { "miss" },
+            wall_ms,
+            fmt_eta(eta),
+            &hash[..12.min(hash.len())],
+        );
+    }
+
+    /// Estimated seconds left: mean wall time of completed misses, spread
+    /// over the remaining shards and the worker count. `None` until a
+    /// first miss has finished (hits are ~free and carry no signal).
+    fn eta_secs(&self, done: usize, workers: usize) -> Option<f64> {
+        let misses = self.misses_done.load(Ordering::SeqCst);
+        if misses == 0 || done >= self.total {
+            return if done >= self.total { Some(0.0) } else { None };
+        }
+        let mean_ms = self.miss_wall_ms.load(Ordering::SeqCst) as f64 / misses as f64;
+        let remaining = (self.total - done) as f64;
+        Some(mean_ms * remaining / (workers.max(1) as f64) / 1000.0)
+    }
+
+    /// Print the campaign summary line (stderr). Stable prefix — ci.sh
+    /// greps for the `hits`/`misses` counts.
+    pub fn summary(&self, hits: usize, misses: usize, cancelled: usize) {
+        if self.quiet {
+            return;
+        }
+        eprintln!(
+            "campaign: {} shards — {hits} hits, {misses} misses, {cancelled} cancelled in {:.1}s",
+            self.total,
+            self.started.elapsed().as_secs_f64()
+        );
+    }
+}
+
+/// Render an ETA compactly (`--` before any signal exists).
+fn fmt_eta(eta: Option<f64>) -> String {
+    match eta {
+        None => "--".to_string(),
+        Some(s) if s >= 90.0 => format!("{:.1}m", s / 60.0),
+        Some(s) => format!("{s:.0}s"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eta_needs_a_first_miss() {
+        let p = Progress::new(4, true);
+        assert_eq!(p.eta_secs(0, 2), None);
+        p.shard_done("a", "0123456789abcdef", true, 0, 2);
+        assert_eq!(p.eta_secs(1, 2), None, "hits carry no ETA signal");
+        p.shard_done("b", "0123456789abcdef", false, 1_000, 2);
+        let eta = p.eta_secs(2, 2).expect("miss seen");
+        // Two shards left at ~1s each over 2 workers ≈ 1s.
+        assert!((eta - 1.0).abs() < 1e-9, "eta {eta}");
+    }
+
+    #[test]
+    fn eta_is_zero_when_done() {
+        let p = Progress::new(1, true);
+        p.shard_done("a", "00", false, 500, 1);
+        assert_eq!(p.eta_secs(1, 1), Some(0.0));
+    }
+
+    #[test]
+    fn fmt_eta_units() {
+        assert_eq!(fmt_eta(None), "--");
+        assert_eq!(fmt_eta(Some(42.0)), "42s");
+        assert_eq!(fmt_eta(Some(150.0)), "2.5m");
+    }
+}

@@ -118,6 +118,13 @@ pub fn split_schedule(primary: Channel, f: f64, period: Duration) -> SchedulePol
 /// Where JSON reports are written, when `--json <dir>` was passed.
 pub static JSON_DIR: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
 
+/// Worker-pool width, when `--workers N` was passed (default: all cores).
+pub static WORKERS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+
+/// Campaign cache override: `Some(dir)` from `--cache-dir`, `None` from
+/// `--no-cache`. Unset means the default `target/campaign`.
+pub static CACHE_DIR: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
+
 fn export_json(label: &str, result: &RunResult) {
     let Some(Some(dir)) = JSON_DIR.get().map(|d| d.as_ref()) else {
         return;
@@ -139,17 +146,50 @@ fn export_json(label: &str, result: &RunResult) {
     }
 }
 
-/// Run many labelled configurations in parallel across the in-tree worker
-/// pool (the simulations are pure CPU and independent; each carries its own
-/// seed in its `WorldConfig`, so results are identical at any worker
-/// count). With `--json <dir>`, each result is also written as
-/// `<dir>/<label>.json`.
+/// Run many labelled configurations through the campaign orchestrator:
+/// shards already in the content-addressed cache (`target/campaign` by
+/// default, `--cache-dir` to move it, `--no-cache` to bypass) replay
+/// instantly, the rest fan out over the in-tree worker pool (`--workers N`
+/// caps the width). The simulations are pure CPU and independent; each
+/// carries its own seed in its `WorldConfig`, so results — cached or
+/// fresh — are identical at any worker count. With `--json <dir>`, each
+/// result is also written as `<dir>/<label>.json`.
 pub fn run_all(configs: Vec<(String, WorldConfig)>) -> Vec<(String, RunResult)> {
-    let results = sim_engine::par::map(configs, |_, (label, cfg)| (label, run(cfg)));
+    let workers = WORKERS
+        .get()
+        .copied()
+        .unwrap_or_else(sim_engine::par::available_workers);
+    let cache_dir = match CACHE_DIR.get() {
+        Some(None) => None,
+        Some(Some(dir)) => Some(dir.clone()),
+        None => Some(std::path::PathBuf::from(campaign::DEFAULT_CACHE_DIR)),
+    };
+    let results = match cache_dir {
+        Some(dir) => match campaign::Campaign::new(&dir)
+            .with_workers(workers)
+            .run(configs.clone())
+        {
+            Ok(outcome) => outcome.into_results(),
+            // A broken cache directory (permissions, full disk) must not
+            // block figure regeneration — warn and run uncached.
+            Err(e) => {
+                eprintln!(
+                    "warning: campaign cache at {} unavailable ({e}); running uncached",
+                    dir.display()
+                );
+                run_uncached(configs, workers)
+            }
+        },
+        None => run_uncached(configs, workers),
+    };
     for (label, result) in &results {
         export_json(label, result);
     }
     results
+}
+
+fn run_uncached(configs: Vec<(String, WorldConfig)>, workers: usize) -> Vec<(String, RunResult)> {
+    sim_engine::par::map_with_workers(configs, workers, |_, (label, cfg)| (label, run(cfg)))
 }
 
 /// Print an ECDF as `value cumfrac` rows at the given probe points.

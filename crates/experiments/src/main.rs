@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! experiments <target> [--seed N] [--scale K] [--json DIR]
+//!             [--workers N] [--cache-dir DIR] [--no-cache]
 //!
 //! targets: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //!          fig13 fig14 table1 table2 table3 table4 density
@@ -11,6 +12,13 @@
 //!
 //! `--scale K` multiplies run lengths by `K` (1 = quick pass; the paper's
 //! 30–60 minute drives correspond to roughly `--scale 4`).
+//!
+//! Simulation shards run through the campaign orchestrator: results are
+//! cached by content hash under `target/campaign` (override with
+//! `--cache-dir`, bypass with `--no-cache`), so re-running an unchanged
+//! target replays from cache with byte-identical output. `--workers N`
+//! caps the worker pool (default: all cores); progress/ETA lines go to
+//! stderr, figure text to stdout.
 
 mod common;
 mod eval_figs;
@@ -54,6 +62,26 @@ fn main() {
                 std::fs::create_dir_all(&dir)
                     .unwrap_or_else(|e| usage(&format!("cannot create {}: {e}", dir.display())));
                 let _ = common::JSON_DIR.set(Some(dir));
+            }
+            "--workers" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| usage("--workers needs a positive integer"));
+                let _ = common::WORKERS.set(n);
+            }
+            "--cache-dir" => {
+                i += 1;
+                let dir = std::path::PathBuf::from(
+                    args.get(i)
+                        .unwrap_or_else(|| usage("--cache-dir needs a directory")),
+                );
+                let _ = common::CACHE_DIR.set(Some(dir));
+            }
+            "--no-cache" => {
+                let _ = common::CACHE_DIR.set(None);
             }
             t if !t.starts_with('-') => target = t.to_string(),
             other => usage(&format!("unknown flag {other}")),
@@ -117,7 +145,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|table4|density|sensitivity|ablation|speed|adaptive|encounters|capacity|all> [--seed N] [--scale K] [--json DIR]"
+        "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|table4|density|sensitivity|ablation|speed|adaptive|encounters|capacity|all> [--seed N] [--scale K] [--json DIR] [--workers N] [--cache-dir DIR] [--no-cache]"
     );
     std::process::exit(2);
 }

@@ -14,10 +14,40 @@
 //! the task index — a deterministic function of `(master, index)` only,
 //! never of scheduling order or worker count.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::rng::Rng;
+
+/// A shared cooperative-cancellation flag for [`map_cancellable`] batches.
+///
+/// Cloning is cheap (an `Arc` bump); any clone can cancel the batch from
+/// another thread — a signal handler, a watchdog, or a test that wants to
+/// interrupt a sweep mid-flight. Cancellation is *cooperative*: tasks that
+/// a worker already claimed run to completion, but no further task is
+/// claimed once the flag is raised, so a batch stops at the next task
+/// boundary rather than mid-simulation.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancelToken {
+        CancelToken::default()
+    }
+
+    /// Raise the flag: no new task will be claimed after this returns.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::SeqCst);
+    }
+
+    /// Has the flag been raised?
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::SeqCst)
+    }
+}
 
 /// Number of workers [`map`] uses: the machine's available parallelism,
 /// or 1 if it cannot be determined.
@@ -83,9 +113,40 @@ where
     R: Send,
     F: Fn(usize, T) -> R + Sync,
 {
+    map_cancellable(tasks, workers, &CancelToken::new(), f)
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} produced no result")))
+        .collect()
+}
+
+/// [`map_with_workers`] with cooperative cancellation.
+///
+/// Workers claim task indices dynamically from a shared counter (the
+/// work-stealing-style scheduling every `map` variant uses), but check
+/// `cancel` before every claim: once [`CancelToken::cancel`] is called, no
+/// further task starts. Already-running tasks finish and their results are
+/// kept, so the returned vector has `Some(result)` for every task that
+/// completed and `None` for every task that was never claimed. Without
+/// cancellation every slot is `Some`, and results are identical to
+/// [`map_with_workers`] at any worker count.
+///
+/// # Panics
+/// Panics if `workers == 0`, or if `f` panics on any task.
+pub fn map_cancellable<T, R, F>(
+    tasks: Vec<T>,
+    workers: usize,
+    cancel: &CancelToken,
+    f: F,
+) -> Vec<Option<R>>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
     assert!(
         workers > 0,
-        "par::map_with_workers: need at least one worker"
+        "par::map_cancellable: need at least one worker"
     );
     let n = tasks.len();
     if n == 0 {
@@ -105,6 +166,9 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers.min(n) {
             scope.spawn(move || loop {
+                if cancel.is_cancelled() {
+                    break;
+                }
                 let i = next_ref.fetch_add(1, Ordering::Relaxed);
                 if i >= n {
                     break;
@@ -122,13 +186,7 @@ where
 
     result_slots
         .iter()
-        .enumerate()
-        .map(|(i, slot)| {
-            slot.lock()
-                .expect("result slot poisoned")
-                .take()
-                .unwrap_or_else(|| panic!("task {i} produced no result"))
-        })
+        .map(|slot| slot.lock().expect("result slot poisoned").take())
         .collect()
 }
 
@@ -187,6 +245,72 @@ mod tests {
     fn more_workers_than_tasks_is_fine() {
         let out = map_with_workers(vec![1u64, 2, 3], 64, |_, t| t);
         assert_eq!(out, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn uncancelled_map_cancellable_matches_map() {
+        let tasks: Vec<usize> = (0..16).collect();
+        let plain = map_with_workers(tasks.clone(), 4, |i, _| spin(7, i, 1_000));
+        let cancellable = map_cancellable(tasks, 4, &CancelToken::new(), |i, _| spin(7, i, 1_000));
+        assert_eq!(cancellable, plain.into_iter().map(Some).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn pre_cancelled_batch_claims_nothing() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let out = map_cancellable((0..8u64).collect(), 4, &cancel, |_, t| t);
+        assert_eq!(out, vec![None; 8]);
+    }
+
+    #[test]
+    fn mid_batch_cancel_stops_new_claims_but_keeps_finished_results() {
+        // Cancel from inside task 3; with one worker the claim order is the
+        // task order, so tasks 0..=3 complete and the rest are never run.
+        let cancel = CancelToken::new();
+        let cancel_inside = cancel.clone();
+        let out = map_cancellable((0..10u64).collect(), 1, &cancel, move |i, t| {
+            if i == 3 {
+                cancel_inside.cancel();
+            }
+            t * 2
+        });
+        assert_eq!(
+            out,
+            vec![
+                Some(0),
+                Some(2),
+                Some(4),
+                Some(6),
+                None,
+                None,
+                None,
+                None,
+                None,
+                None
+            ]
+        );
+        assert!(cancel.is_cancelled());
+    }
+
+    #[test]
+    fn completed_prefix_is_deterministic_for_completed_tasks() {
+        // Whatever subset completes under cancellation, each completed
+        // task's result must equal the uncancelled run's result.
+        let reference = map_with_workers((0..12usize).collect(), 1, |i, _| spin(9, i, 2_000));
+        let cancel = CancelToken::new();
+        let cancel_inside = cancel.clone();
+        let partial = map_cancellable((0..12usize).collect(), 3, &cancel, move |i, _| {
+            if i == 5 {
+                cancel_inside.cancel();
+            }
+            spin(9, i, 2_000)
+        });
+        for (i, slot) in partial.iter().enumerate() {
+            if let Some(v) = slot {
+                assert_eq!(*v, reference[i], "task {i} diverged under cancellation");
+            }
+        }
     }
 
     #[test]

@@ -38,6 +38,6 @@ pub use builder::WorldBuilder;
 pub use config::{SchedulePolicy, SelectionPolicy, SpiderConfig};
 pub use history::ApHistory;
 pub use metrics::Metrics;
-pub use report::{Quantiles, Report};
+pub use report::{NonFiniteField, Quantiles, Report, ReportParseError, RunRecord};
 pub use selection::{select_aps, Candidate};
 pub use world::{run, ClientMotion, RunResult, WorldConfig};

@@ -5,8 +5,18 @@
 //! Serialization is fully in-tree: [`Report::to_json`] emits a stable
 //! flat object and [`Report::from_json`] reads it back, so downstream
 //! tooling can consume run output without any external JSON crate.
+//!
+//! Two serialization fidelities share one parser:
+//!
+//! * [`Report`] — the flattened *summary* (quantiles only), rounded to six
+//!   decimals for stable, diff-friendly artifact files.
+//! * [`RunRecord`] — the *full* run: every retained sample value at exact
+//!   (shortest-roundtrip) precision, so a `RunResult` reconstructed from
+//!   its record is bit-identical to the original and regenerates every
+//!   figure byte-for-byte. This is what the campaign cache stores.
 
 use sim_engine::stats::Samples;
+use sim_engine::time::Duration;
 
 use crate::world::RunResult;
 
@@ -151,6 +161,7 @@ impl Report {
         let num = |key: &'static str| -> Result<f64, ReportParseError> {
             match fields.iter().find(|(k, _)| k == key) {
                 Some((_, JsonValue::Number(v))) => Ok(*v),
+                Some((_, JsonValue::Int(v))) => Ok(*v as f64),
                 Some(_) => Err(ReportParseError::WrongType(key)),
                 None => Err(ReportParseError::MissingKey(key)),
             }
@@ -163,6 +174,7 @@ impl Report {
             };
             let inner_num = |k: &'static str| match inner.iter().find(|(ik, _)| ik == k) {
                 Some((_, JsonValue::Number(v))) => Ok(*v),
+                Some((_, JsonValue::Int(v))) => Ok(*v as f64),
                 Some(_) => Err(ReportParseError::WrongType(k)),
                 None => Err(ReportParseError::MissingKey(k)),
             };
@@ -205,6 +217,9 @@ pub enum ReportParseError {
     /// A key held a nested object where a number was expected (or vice
     /// versa).
     WrongType(&'static str),
+    /// A numeric token parsed to NaN or ±infinity (e.g. `1e999`); reports
+    /// are finite by construction, so such input is corrupt.
+    NonFinite,
 }
 
 impl core::fmt::Display for ReportParseError {
@@ -213,18 +228,192 @@ impl core::fmt::Display for ReportParseError {
             ReportParseError::Malformed(what) => write!(f, "malformed report JSON: {what}"),
             ReportParseError::MissingKey(key) => write!(f, "report JSON missing key {key:?}"),
             ReportParseError::WrongType(key) => write!(f, "report JSON key {key:?} has wrong type"),
+            ReportParseError::NonFinite => write!(f, "report JSON contains a non-finite number"),
         }
     }
 }
 
 impl std::error::Error for ReportParseError {}
 
+/// A non-finite value encountered while *writing* a record: the named
+/// field held NaN or ±infinity, which the JSON schema cannot represent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonFiniteField(pub &'static str);
+
+impl core::fmt::Display for NonFiniteField {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "run record field {:?} is not finite", self.0)
+    }
+}
+
+impl std::error::Error for NonFiniteField {}
+
+/// Full-fidelity serialization of a [`RunResult`].
+///
+/// Unlike [`Report`] (a rounded summary), a record retains **every sample
+/// value at exact precision**: floats are written in Rust's
+/// shortest-roundtrip decimal form and the duration as integer
+/// nanoseconds, so `from_json(to_json(r))` reconstructs a `RunResult`
+/// whose every statistic — quantiles, CDFs, means — is bit-identical to
+/// the original's. The campaign cache relies on this: a cache *hit* must
+/// regenerate a figure's text byte-for-byte as if the run had executed.
+pub struct RunRecord;
+
+/// Schema version stamped into every record (`"v"` key); bump when the
+/// field set changes so stale cache entries are rejected, not misread.
+pub const RUN_RECORD_VERSION: u64 = 1;
+
+impl RunRecord {
+    /// Serialize `result` losslessly.
+    ///
+    /// Errors if any float in the result is NaN or infinite (the
+    /// simulator never produces one; hitting this means corrupt state
+    /// that must not be cached).
+    pub fn to_json(result: &RunResult) -> Result<String, NonFiniteField> {
+        let mut out = String::with_capacity(4096);
+        out.push_str(&format!(
+            "{{\"v\":{RUN_RECORD_VERSION},\"duration_ns\":{}",
+            result.duration.as_nanos()
+        ));
+        for (key, value) in [
+            ("total_bytes", result.total_bytes),
+            ("dhcp_attempts", result.dhcp_attempts),
+            ("dhcp_failures", result.dhcp_failures),
+            ("assoc_attempts", result.assoc_attempts),
+            ("assoc_failures", result.assoc_failures),
+            ("switch_count", result.switch_count),
+            ("tcp_rtos", result.tcp_rtos),
+            ("backhaul_drops", result.backhaul_drops),
+            ("psm_drops", result.psm_drops),
+            ("unassociated_drops", result.unassociated_drops),
+            ("air_drops", result.air_drops),
+            ("max_concurrent_aps", result.max_concurrent_aps as u64),
+        ] {
+            out.push_str(&format!(",\"{key}\":{value}"));
+        }
+        out.push_str(",\"avg_throughput_bps\":");
+        out.push_str(&fmt_f64_exact(
+            result.avg_throughput_bps,
+            "avg_throughput_bps",
+        )?);
+        out.push_str(",\"connectivity\":");
+        out.push_str(&fmt_f64_exact(result.connectivity, "connectivity")?);
+        out.push_str(",\"concurrency_seconds\":");
+        push_array(&mut out, &result.concurrency_seconds, "concurrency_seconds")?;
+        for (key, samples) in [
+            ("connection_durations", &result.connection_durations),
+            ("disruption_durations", &result.disruption_durations),
+            ("instantaneous_bandwidth", &result.instantaneous_bandwidth),
+            ("assoc_times", &result.assoc_times),
+            ("join_times", &result.join_times),
+            ("switch_latencies", &result.switch_latencies),
+        ] {
+            out.push_str(&format!(",\"{key}\":"));
+            push_array(&mut out, samples.values(), key)?;
+        }
+        out.push('}');
+        Ok(out)
+    }
+
+    /// Reconstruct a [`RunResult`] from [`RunRecord::to_json`] output.
+    pub fn from_json(json: &str) -> Result<RunResult, ReportParseError> {
+        let mut p = Parser::new(json);
+        let fields = p.object()?;
+        p.end()?;
+        let num = |key: &'static str| -> Result<f64, ReportParseError> {
+            match fields.iter().find(|(k, _)| k == key) {
+                Some((_, JsonValue::Number(v))) => Ok(*v),
+                Some((_, JsonValue::Int(v))) => Ok(*v as f64),
+                Some(_) => Err(ReportParseError::WrongType(key)),
+                None => Err(ReportParseError::MissingKey(key)),
+            }
+        };
+        // Counters must come back exact — `as f64` rounds above 2^53.
+        let uint = |key: &'static str| -> Result<u64, ReportParseError> {
+            match fields.iter().find(|(k, _)| k == key) {
+                Some((_, JsonValue::Int(v))) => Ok(*v),
+                Some(_) => Err(ReportParseError::WrongType(key)),
+                None => Err(ReportParseError::MissingKey(key)),
+            }
+        };
+        let array = |key: &'static str| -> Result<&Vec<f64>, ReportParseError> {
+            match fields.iter().find(|(k, _)| k == key) {
+                Some((_, JsonValue::Array(v))) => Ok(v),
+                Some(_) => Err(ReportParseError::WrongType(key)),
+                None => Err(ReportParseError::MissingKey(key)),
+            }
+        };
+        let samples = |key: &'static str| -> Result<Samples, ReportParseError> {
+            let mut s = Samples::new();
+            for &v in array(key)? {
+                s.record(v);
+            }
+            Ok(s)
+        };
+        if uint("v")? != RUN_RECORD_VERSION {
+            return Err(ReportParseError::Malformed("unsupported record version"));
+        }
+        Ok(RunResult {
+            duration: Duration::from_nanos(uint("duration_ns")?),
+            total_bytes: uint("total_bytes")?,
+            avg_throughput_bps: num("avg_throughput_bps")?,
+            connectivity: num("connectivity")?,
+            connection_durations: samples("connection_durations")?,
+            disruption_durations: samples("disruption_durations")?,
+            instantaneous_bandwidth: samples("instantaneous_bandwidth")?,
+            assoc_times: samples("assoc_times")?,
+            join_times: samples("join_times")?,
+            switch_latencies: samples("switch_latencies")?,
+            dhcp_attempts: uint("dhcp_attempts")?,
+            dhcp_failures: uint("dhcp_failures")?,
+            assoc_attempts: uint("assoc_attempts")?,
+            assoc_failures: uint("assoc_failures")?,
+            switch_count: uint("switch_count")?,
+            max_concurrent_aps: uint("max_concurrent_aps")? as usize,
+            concurrency_seconds: array("concurrency_seconds")?.clone(),
+            tcp_rtos: uint("tcp_rtos")?,
+            backhaul_drops: uint("backhaul_drops")?,
+            psm_drops: uint("psm_drops")?,
+            unassociated_drops: uint("unassociated_drops")?,
+            air_drops: uint("air_drops")?,
+        })
+    }
+}
+
+/// Exact (shortest-roundtrip) float formatting; errors on non-finite.
+fn fmt_f64_exact(v: f64, field: &'static str) -> Result<String, NonFiniteField> {
+    if v.is_finite() {
+        Ok(format!("{v}"))
+    } else {
+        Err(NonFiniteField(field))
+    }
+}
+
+/// Append `values` as a JSON array at exact precision.
+fn push_array(out: &mut String, values: &[f64], field: &'static str) -> Result<(), NonFiniteField> {
+    out.push('[');
+    for (i, &v) in values.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&fmt_f64_exact(v, field)?);
+    }
+    out.push(']');
+    Ok(())
+}
+
 /// A value in the report schema: numbers at the leaves, one level of
-/// nesting for the quantile summaries. This is all `to_json` ever emits,
-/// so the parser does not model strings, booleans, or arrays.
+/// nesting for the quantile summaries, and flat numeric arrays for the
+/// full-fidelity sample sets of a [`RunRecord`]. This is all the two
+/// writers ever emit, so the parser does not model strings or booleans.
 enum JsonValue {
     Number(f64),
+    /// A pure digit-run token that fits `u64`, kept exact: counters like
+    /// `total_bytes` exceed 2^53 in long campaigns, where the `f64` path
+    /// would silently round.
+    Int(u64),
     Object(Vec<(String, JsonValue)>),
+    Array(Vec<f64>),
 }
 
 struct Parser<'a> {
@@ -272,7 +461,8 @@ impl<'a> Parser<'a> {
             self.expect(b':', "expected ':' after key")?;
             let value = match self.peek() {
                 Some(b'{') => JsonValue::Object(self.object()?),
-                _ => JsonValue::Number(self.number()?),
+                Some(b'[') => JsonValue::Array(self.array()?),
+                _ => self.scalar()?,
             };
             fields.push((key, value));
             match self.peek() {
@@ -307,6 +497,41 @@ impl<'a> Parser<'a> {
         Err(ReportParseError::Malformed("unterminated key"))
     }
 
+    fn array(&mut self) -> Result<Vec<f64>, ReportParseError> {
+        self.expect(b'[', "expected '['")?;
+        let mut values = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(values);
+        }
+        loop {
+            values.push(self.number()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(values);
+                }
+                _ => return Err(ReportParseError::Malformed("expected ',' or ']'")),
+            }
+        }
+    }
+
+    /// One scalar value: an exact [`JsonValue::Int`] when the token is a
+    /// pure digit run in `u64` range, a float otherwise.
+    fn scalar(&mut self) -> Result<JsonValue, ReportParseError> {
+        self.skip_ws();
+        let start = self.pos;
+        let value = self.number()?;
+        let token = &self.bytes[start..self.pos];
+        if token.iter().all(|b| b.is_ascii_digit()) {
+            if let Ok(i) = core::str::from_utf8(token).expect("digits").parse::<u64>() {
+                return Ok(JsonValue::Int(i));
+            }
+        }
+        Ok(JsonValue::Number(value))
+    }
+
     fn number(&mut self) -> Result<f64, ReportParseError> {
         self.skip_ws();
         let start = self.pos;
@@ -316,11 +541,17 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        core::str::from_utf8(&self.bytes[start..self.pos])
+        let value = core::str::from_utf8(&self.bytes[start..self.pos])
             .ok()
             .and_then(|s| s.parse::<f64>().ok())
-            .filter(|v| v.is_finite())
-            .ok_or(ReportParseError::Malformed("expected a finite number"))
+            .ok_or(ReportParseError::Malformed("expected a number"))?;
+        if value.is_finite() {
+            Ok(value)
+        } else {
+            // The token itself was numeric (e.g. `1e999`) but overflows to
+            // infinity — corrupt input, distinct from a syntax error.
+            Err(ReportParseError::NonFinite)
+        }
     }
 
     fn end(&mut self) -> Result<(), ReportParseError> {
@@ -452,6 +683,69 @@ mod tests {
         assert_eq!(
             Report::from_json(&swapped),
             Err(ReportParseError::WrongType("total_bytes"))
+        );
+    }
+
+    #[test]
+    fn nonfinite_numeric_tokens_get_the_typed_error() {
+        let json = Report::from_run(&sample_run()).to_json();
+        let poisoned = json.replacen("\"duration_secs\":", "\"duration_secs\":1e999,\"was\":", 1);
+        assert_eq!(
+            Report::from_json(&poisoned),
+            Err(ReportParseError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn run_record_roundtrip_is_exact() {
+        let result = sample_run();
+        let json = RunRecord::to_json(&result).expect("serialize");
+        let back = RunRecord::from_json(&json).expect("parse");
+        // Fixpoint: re-serializing the reconstruction is byte-identical.
+        assert_eq!(RunRecord::to_json(&back).expect("serialize"), json);
+        // Bit-exact sample values and scalars, so every derived statistic
+        // (quantiles, CDFs) matches the fresh run exactly.
+        assert_eq!(back.duration, result.duration);
+        assert_eq!(back.total_bytes, result.total_bytes);
+        assert_eq!(
+            back.avg_throughput_bps.to_bits(),
+            result.avg_throughput_bps.to_bits()
+        );
+        assert_eq!(back.connectivity.to_bits(), result.connectivity.to_bits());
+        assert_eq!(back.join_times.values(), result.join_times.values());
+        assert_eq!(back.assoc_times.values(), result.assoc_times.values());
+        assert_eq!(
+            back.instantaneous_bandwidth.values(),
+            result.instantaneous_bandwidth.values()
+        );
+        assert_eq!(back.concurrency_seconds, result.concurrency_seconds);
+        // The flattened summary agrees too.
+        assert_eq!(Report::from_run(&back), Report::from_run(&result));
+    }
+
+    #[test]
+    fn run_record_rejects_version_drift_and_truncation() {
+        let json = RunRecord::to_json(&sample_run()).expect("serialize");
+        let newer = json.replacen("{\"v\":1,", "{\"v\":2,", 1);
+        assert!(matches!(
+            RunRecord::from_json(&newer),
+            Err(ReportParseError::Malformed("unsupported record version"))
+        ));
+        for cut in [json.len() / 4, json.len() / 2, json.len() - 1] {
+            assert!(
+                RunRecord::from_json(&json[..cut]).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
+    }
+
+    #[test]
+    fn run_record_refuses_to_serialize_nonfinite_state() {
+        let mut result = sample_run();
+        result.avg_throughput_bps = f64::INFINITY;
+        assert_eq!(
+            RunRecord::to_json(&result),
+            Err(NonFiniteField("avg_throughput_bps"))
         );
     }
 

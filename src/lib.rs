@@ -20,6 +20,8 @@
 //!   throughput optimizer with its dividing speed.
 //! * [`traffic`] — backhaul shapers, download plans, mesh-user traces.
 //! * [`spider`] — the driver itself and the full-world simulation.
+//! * [`campaign`] — the resumable, content-addressed experiment-campaign
+//!   orchestrator (cached run records + replayable manifest).
 //!
 //! ## Quickstart
 //!
@@ -94,4 +96,9 @@ pub mod traffic {
 pub mod spider {
     pub use spider_core::world::{run, ClientMotion, RunResult, WorldConfig};
     pub use spider_core::*;
+}
+
+/// Campaign orchestration: content-addressed caching and resumable sweeps.
+pub mod campaign {
+    pub use campaign::*;
 }

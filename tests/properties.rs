@@ -380,6 +380,128 @@ fn phy_airtime_monotone_in_length() {
     });
 }
 
+// ---------------------------------------------------------------- reports
+
+fn gen_report_f64(g: &mut Gen) -> f64 {
+    // Mix magnitudes: zeros, subnormal-adjacent, huge, and everyday values
+    // all must survive the lossless record round-trip.
+    match g.usize_in(0, 5) {
+        0 => 0.0,
+        1 => g.f64_in(-1.0, 1.0) * 1e-300,
+        2 => g.f64_in(-1e18, 1e18),
+        _ => g.f64_in(-1e6, 1e6),
+    }
+}
+
+fn gen_samples(g: &mut Gen) -> Samples {
+    let mut s = Samples::new();
+    for _ in 0..g.usize_in(0, 20) {
+        s.record(gen_report_f64(g));
+    }
+    s
+}
+
+fn gen_run_result(g: &mut Gen) -> spider_repro::spider::RunResult {
+    spider_repro::spider::RunResult {
+        duration: Duration::from_nanos(g.u64()),
+        total_bytes: g.u64(),
+        avg_throughput_bps: gen_report_f64(g),
+        connectivity: g.f64_in(0.0, 1.0),
+        connection_durations: gen_samples(g),
+        disruption_durations: gen_samples(g),
+        instantaneous_bandwidth: gen_samples(g),
+        assoc_times: gen_samples(g),
+        join_times: gen_samples(g),
+        switch_latencies: gen_samples(g),
+        dhcp_attempts: g.u64(),
+        dhcp_failures: g.u64(),
+        assoc_attempts: g.u64(),
+        assoc_failures: g.u64(),
+        switch_count: g.u64(),
+        max_concurrent_aps: g.usize_in(0, 64),
+        concurrency_seconds: g.vec(0, 8, |g| g.f64_in(0.0, 1e5)),
+        tcp_rtos: g.u64(),
+        backhaul_drops: g.u64(),
+        psm_drops: g.u64(),
+        unassociated_drops: g.u64(),
+        air_drops: g.u64(),
+    }
+}
+
+/// The campaign cache's contract: a `RunRecord` round-trip is lossless —
+/// serializing the reconstructed run reproduces the exact same bytes.
+#[test]
+fn run_records_roundtrip_losslessly() {
+    use spider_repro::spider::RunRecord;
+    check("run_records_roundtrip_losslessly", |g| {
+        let result = gen_run_result(g);
+        let json = RunRecord::to_json(&result).expect("finite by construction");
+        let back = RunRecord::from_json(&json).map_err(|e| format!("parse: {e}"))?;
+        prop_assert_eq!(RunRecord::to_json(&back).unwrap(), json);
+        prop_assert_eq!(back.total_bytes, result.total_bytes);
+        prop_assert_eq!(back.duration, result.duration);
+        prop_assert_eq!(back.join_times.values(), result.join_times.values());
+        Ok(())
+    });
+}
+
+/// Any strict prefix of a record is rejected (the parser never panics and
+/// never accepts a torn cache file as a complete run).
+#[test]
+fn run_record_parser_rejects_truncation() {
+    use spider_repro::spider::RunRecord;
+    check("run_record_parser_rejects_truncation", |g| {
+        let json = RunRecord::to_json(&gen_run_result(g)).unwrap();
+        let cut = g.usize_in(0, json.len() - 1);
+        prop_assert!(
+            RunRecord::from_json(&json[..cut]).is_err(),
+            "truncated record at {cut}/{} parsed",
+            json.len()
+        );
+        Ok(())
+    });
+}
+
+/// Mutating any numeric field of a serialized record into an overflowing
+/// token is rejected with the typed non-finite error, for records and
+/// summary reports alike.
+#[test]
+fn serialized_reports_reject_nonfinite_mutations() {
+    use spider_repro::spider::{Report, ReportParseError, RunRecord};
+    check("serialized_reports_reject_nonfinite_mutations", |g| {
+        let result = gen_run_result(g);
+        let json = RunRecord::to_json(&result).unwrap();
+        // Pick one "key": position and replace its numeric value in place.
+        let colons: Vec<usize> = json
+            .char_indices()
+            .filter(|&(i, c)| {
+                c == ':' && json[i + 1..].starts_with(|c: char| c == '-' || c.is_ascii_digit())
+            })
+            .map(|(i, _)| i + 1)
+            .collect();
+        prop_assert!(!colons.is_empty());
+        let start = colons[g.usize_in(0, colons.len() - 1)];
+        let end = start
+            + json[start..]
+                .find([',', '}', ']'])
+                .expect("number is followed by a delimiter");
+        let mutated = format!("{}1e999{}", &json[..start], &json[end..]);
+        prop_assert!(matches!(
+            RunRecord::from_json(&mutated),
+            Err(ReportParseError::NonFinite)
+        ));
+
+        // The 6-decimal summary report enforces the same rule.
+        let report = Report::from_run(&result);
+        let rjson = report.to_json();
+        let poisoned = rjson.replacen(char::is_numeric, "1e999", 1);
+        if poisoned != rjson {
+            prop_assert!(Report::from_json(&poisoned).is_err());
+        }
+        Ok(())
+    });
+}
+
 // ------------------------------------------------- protocol state machines
 
 /// The DHCP client survives arbitrary (well-formed) message storms without
