@@ -24,6 +24,13 @@ if printf '%s' "$metadata" | grep -Eo '"source":"[^"]+"' | sort -u | grep .; the
 fi
 echo "ok: every package source is null (path-only workspace)"
 
+step "simlint (determinism & panic-path policy)"
+# Gating: unordered-map state, wall-clock reads, and unwaived panic paths
+# in the simulation core fail CI before anything else builds. The JSON
+# summary is archived next to the bench artifact.
+cargo run -q --release --offline -p simlint -- --json target/simlint.json
+echo "ok: simlint clean (archived target/simlint.json)"
+
 step "cargo build --release --offline"
 cargo build --release --offline --workspace --all-targets
 
@@ -33,9 +40,15 @@ cargo test -q --offline --workspace
 step "campaign cache smoke test (fig5 twice, second run must be all hits)"
 smoke_dir=$(mktemp -d target/campaign-smoke.XXXXXX)
 trap 'rm -rf "$smoke_dir"' EXIT
-./target/release/experiments fig5 --scale 1 --cache-dir "$smoke_dir/cache" \
+# Two separate OS processes with deliberately different irrelevant
+# environments: cache hits require byte-identical records, so this also
+# proves results don't depend on per-process state (hash-map iteration
+# order, env contents, ASLR).
+SPIDER_ORDER_PROBE=first-process-aaaa \
+    ./target/release/experiments fig5 --scale 1 --cache-dir "$smoke_dir/cache" \
     >"$smoke_dir/first.out" 2>"$smoke_dir/first.err"
-./target/release/experiments fig5 --scale 1 --cache-dir "$smoke_dir/cache" \
+SPIDER_ORDER_PROBE=second-process-zzzz-different-length \
+    ./target/release/experiments fig5 --scale 1 --cache-dir "$smoke_dir/cache" \
     >"$smoke_dir/second.out" 2>"$smoke_dir/second.err"
 if ! cmp -s "$smoke_dir/first.out" "$smoke_dir/second.out"; then
     echo "error: cached second fig5 run is not byte-identical to the first" >&2

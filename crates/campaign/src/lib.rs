@@ -46,7 +46,7 @@ pub mod hash;
 pub mod manifest;
 pub mod progress;
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 use std::io;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -161,7 +161,7 @@ impl Campaign {
         // Resume: a shard counts as done when the manifest says so AND its
         // record file still exists (the record is the artifact; the
         // manifest alone is just a claim).
-        let replayed: HashSet<String> = Manifest::replay(&self.cache_dir)?
+        let replayed: BTreeSet<String> = Manifest::replay(&self.cache_dir)?
             .into_iter()
             .map(|e| e.hash)
             .filter(|h| cache.contains(h))

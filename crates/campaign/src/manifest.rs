@@ -123,7 +123,10 @@ impl Manifest {
     /// Append one entry and flush, so a kill right after a shard
     /// completes still finds it logged on resume.
     pub fn append(&self, entry: &ManifestEntry) -> io::Result<()> {
-        let mut file = self.file.lock().expect("manifest lock poisoned");
+        // Poison recovery: a worker that panicked mid-append leaves at
+        // worst a truncated line, which `replay` already skips — keep
+        // logging the shards that do finish.
+        let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
         writeln!(file, "{}", entry.to_line())?;
         file.flush()
     }

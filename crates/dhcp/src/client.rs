@@ -394,7 +394,11 @@ impl DhcpClient {
         if token != self.timer_gen || !self.is_acquiring() {
             return Vec::new();
         }
-        let started = self.attempt_started.expect("acquiring without start time");
+        // `is_acquiring()` implies an attempt start was recorded; if the
+        // state machine ever breaks that, treat the timer as stale.
+        let Some(started) = self.attempt_started else {
+            return Vec::new();
+        };
         if now.saturating_since(started) >= self.config.attempt_budget {
             return self.fail(now);
         }

@@ -9,7 +9,7 @@
 //! models that as a uniform per-response delay, giving experiments direct
 //! control of the paper's key parameter.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::Ipv4Addr;
 
 use sim_engine::rng::Rng;
@@ -78,7 +78,7 @@ pub struct ServerCounters {
 #[derive(Debug, Clone)]
 pub struct DhcpServer {
     config: DhcpServerConfig,
-    leases: HashMap<[u8; 6], LeaseEntry>,
+    leases: BTreeMap<[u8; 6], LeaseEntry>,
     next_offset: usize,
     counters: ServerCounters,
 }
@@ -88,7 +88,7 @@ impl DhcpServer {
     pub fn new(config: DhcpServerConfig) -> DhcpServer {
         DhcpServer {
             config,
-            leases: HashMap::new(),
+            leases: BTreeMap::new(),
             next_offset: 0,
             counters: ServerCounters::default(),
         }

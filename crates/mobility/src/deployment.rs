@@ -343,6 +343,7 @@ impl CustomDeployment {
             ("dhcp_ceiling_s", &self.dhcp_ceiling_s),
         ] {
             if let Err(e) = d.validate() {
+                // simlint: allow(panic-path) — config validation at deployment construction: an invalid distribution is a caller error that must abort before any AP is placed
                 panic!("CustomDeployment.{name}: {e}");
             }
         }

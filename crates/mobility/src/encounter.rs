@@ -45,7 +45,7 @@ pub fn range_intervals(route: &Route, centre: Point, range: f64) -> Vec<(f64, f6
             intervals.push((start + t0 * len, start + t1 * len));
         }
     }
-    intervals.sort_by(|x, y| x.0.partial_cmp(&y.0).expect("no NaN"));
+    intervals.sort_by(|x, y| x.0.total_cmp(&y.0));
     // Merge touching intervals (shared vertices produce abutting pieces).
     let mut merged: Vec<(f64, f64)> = Vec::new();
     for (lo, hi) in intervals {
@@ -60,7 +60,7 @@ pub fn range_intervals(route: &Route, centre: Point, range: f64) -> Vec<(f64, f6
     if route.is_loop() && merged.len() >= 2 {
         let total = route.length();
         let first = merged[0];
-        let last = *merged.last().expect("len >= 2");
+        let last = merged[merged.len() - 1];
         if first.0 <= 1e-9 && (last.1 - total).abs() <= 1e-9 {
             merged.pop();
             merged.remove(0);

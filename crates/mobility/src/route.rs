@@ -27,16 +27,16 @@ impl Route {
     pub fn new(points: Vec<Point>, looped: bool) -> Route {
         assert!(points.len() >= 2, "Route::new: need at least 2 vertices");
         let mut cum = Vec::with_capacity(points.len() + 1);
-        cum.push(0.0);
+        let mut total = 0.0;
+        cum.push(total);
         for w in points.windows(2) {
-            let last = *cum.last().expect("non-empty");
-            cum.push(last + w[0].distance(w[1]));
+            total += w[0].distance(w[1]);
+            cum.push(total);
         }
         if looped {
-            let last = *cum.last().expect("non-empty");
-            cum.push(last + points[points.len() - 1].distance(points[0]));
+            total += points[points.len() - 1].distance(points[0]);
+            cum.push(total);
         }
-        let total = *cum.last().expect("non-empty");
         assert!(total > 0.0, "Route::new: zero-length route");
         Route {
             points,
@@ -65,7 +65,8 @@ impl Route {
 
     /// Total length of one traversal, m.
     pub fn length(&self) -> f64 {
-        *self.cum.last().expect("non-empty")
+        // `cum` always holds at least the leading 0.0.
+        self.cum.last().copied().unwrap_or(0.0)
     }
 
     /// True if the route loops.
@@ -111,10 +112,7 @@ impl Route {
             dist.max(0.0)
         };
         // Find the segment containing d.
-        let idx = match self
-            .cum
-            .binary_search_by(|c| c.partial_cmp(&d).expect("no NaN"))
-        {
+        let idx = match self.cum.binary_search_by(|c| c.total_cmp(&d)) {
             Ok(i) => i.min(self.cum.len() - 2),
             Err(i) => i - 1,
         };

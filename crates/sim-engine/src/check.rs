@@ -222,6 +222,7 @@ where
         if let Some((seed, size)) = parse_replay(&replay, name) {
             match run_case(&property, seed, size) {
                 Ok(()) => eprintln!("{name}: replayed case (seed {seed:#x}, size {size}) passes"),
+                // simlint: allow(panic-path) — test-harness failure reporting: a falsified replayed case must abort the test
                 Err(msg) => panic!(
                     "property '{name}' falsified on replayed case \
                      (seed {seed:#x}, size {size}): {msg}"
@@ -252,6 +253,7 @@ where
                 s /= 2;
             }
             let (shrunk_size, msg) = best;
+            // simlint: allow(panic-path) — test-harness failure reporting: a falsified property must abort the test with its replay line
             panic!(
                 "property '{name}' falsified at case {case}/{cases} \
                  (seed {seed:#x}, size {shrunk_size}): {msg}\n\

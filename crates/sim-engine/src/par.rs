@@ -116,6 +116,7 @@ where
     map_cancellable(tasks, workers, &CancelToken::new(), f)
         .into_iter()
         .enumerate()
+        // simlint: allow(panic-path) — documented contract: map_with_workers promises a result per task and propagates worker death as a panic
         .map(|(i, r)| r.unwrap_or_else(|| panic!("task {i} produced no result")))
         .collect()
 }
@@ -173,20 +174,27 @@ where
                 if i >= n {
                     break;
                 }
-                let task = task_slots[i]
+                // Poison recovery: another worker panicking while holding a
+                // slot must not cascade — the caller sees its missing result.
+                let Some(task) = task_slots[i]
                     .lock()
-                    .expect("task slot poisoned")
+                    .unwrap_or_else(|p| p.into_inner())
                     .take()
-                    .expect("task claimed twice");
+                else {
+                    // The fetch_add above hands each index to exactly one
+                    // worker, so the slot is always full; if that invariant
+                    // ever breaks, skip — the caller reports the hole.
+                    continue;
+                };
                 let result = f(i, task);
-                *result_slots[i].lock().expect("result slot poisoned") = Some(result);
+                *result_slots[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(result);
             });
         }
     });
 
     result_slots
         .iter()
-        .map(|slot| slot.lock().expect("result slot poisoned").take())
+        .map(|slot| slot.lock().unwrap_or_else(|p| p.into_inner()).take())
         .collect()
 }
 

@@ -12,7 +12,7 @@
 //! decrease-key problem.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashSet};
+use std::collections::{BTreeSet, BinaryHeap};
 
 use crate::time::Instant;
 
@@ -64,7 +64,7 @@ impl<E> Eq for Entry<E> {}
 /// ```
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
-    cancelled: HashSet<u64>,
+    cancelled: BTreeSet<u64>,
     next_seq: u64,
     /// Time of the most recently popped event; pops are monotone.
     now: Instant,
@@ -82,7 +82,7 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
+            cancelled: BTreeSet::new(),
             next_seq: 0,
             now: Instant::ZERO,
             popped: 0,
@@ -141,14 +141,23 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<Instant> {
         // Drain dead entries from the top so peek is accurate.
         while let Some(top) = self.heap.peek() {
-            if self.cancelled.contains(&top.seq) {
-                let seq = self.heap.pop().expect("peeked entry vanished").seq;
-                self.cancelled.remove(&seq);
-            } else {
+            if !self.cancelled.contains(&top.seq) {
                 return Some(top.at);
+            }
+            if let Some(dead) = self.heap.pop() {
+                self.cancelled.remove(&dead.seq);
             }
         }
         None
+    }
+
+    /// Pop the earliest live event if it fires at or before `deadline`,
+    /// advancing the clock; events strictly after `deadline` stay queued.
+    pub fn pop_at_or_before(&mut self, deadline: Instant) -> Option<(Instant, E)> {
+        if self.peek_time()? > deadline {
+            return None;
+        }
+        self.pop()
     }
 
     /// Number of scheduled events, *including* cancelled tombstones still in

@@ -24,11 +24,7 @@ pub fn run_until<E, H: Handler<E>>(
     deadline: Instant,
 ) -> u64 {
     let mut delivered = 0;
-    while let Some(at) = queue.peek_time() {
-        if at > deadline {
-            break;
-        }
-        let (at, event) = queue.pop().expect("peeked event vanished");
+    while let Some((at, event)) = queue.pop_at_or_before(deadline) {
         handler.handle(at, event, queue);
         delivered += 1;
     }

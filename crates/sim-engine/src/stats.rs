@@ -144,8 +144,9 @@ impl Samples {
 
     fn ensure_sorted(&mut self) {
         if !self.sorted {
-            self.values
-                .sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
+            // total_cmp is a total order, so even a stray NaN cannot make
+            // the sort nondeterministic (it lands at the high end).
+            self.values.sort_by(f64::total_cmp);
             self.sorted = true;
         }
     }
@@ -201,11 +202,9 @@ impl Samples {
     pub fn ecdf(&mut self, points: usize) -> Vec<(f64, f64)> {
         assert!(points >= 2, "Samples::ecdf: need at least 2 points");
         self.ensure_sorted();
-        if self.values.is_empty() {
+        let (Some(&lo), Some(&hi)) = (self.values.first(), self.values.last()) else {
             return Vec::new();
-        }
-        let lo = self.values[0];
-        let hi = *self.values.last().expect("non-empty");
+        };
         let span = (hi - lo).max(f64::MIN_POSITIVE);
         (0..points)
             .map(|i| {

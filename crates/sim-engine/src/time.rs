@@ -138,6 +138,7 @@ impl Add<Duration> for Instant {
             nanos: self
                 .nanos
                 .checked_add(rhs.nanos)
+                // simlint: allow(panic-path) — operator impls cannot return Result; virtual-time overflow is an unrecoverable config error that must be loud
                 .expect("Instant + Duration overflowed u64 nanoseconds"),
         }
     }
@@ -156,6 +157,7 @@ impl Sub<Duration> for Instant {
             nanos: self
                 .nanos
                 .checked_sub(rhs.nanos)
+                // simlint: allow(panic-path) — operator impls cannot return Result; going before simulation start is a logic error that must be loud
                 .expect("Instant - Duration underflowed simulation start"),
         }
     }
@@ -338,6 +340,7 @@ impl Add for Duration {
             nanos: self
                 .nanos
                 .checked_add(rhs.nanos)
+                // simlint: allow(panic-path) — operator impls cannot return Result; virtual-time overflow is an unrecoverable config error that must be loud
                 .expect("Duration + Duration overflowed"),
         }
     }
@@ -356,6 +359,7 @@ impl Sub for Duration {
             nanos: self
                 .nanos
                 .checked_sub(rhs.nanos)
+                // simlint: allow(panic-path) — operator impls cannot return Result; negative durations are unrepresentable and must fail loud
                 .expect("Duration - Duration underflowed"),
         }
     }
@@ -370,6 +374,7 @@ impl SubAssign for Duration {
 impl Mul<u64> for Duration {
     type Output = Duration;
     fn mul(self, rhs: u64) -> Duration {
+        // simlint: allow(panic-path) — operator impls cannot return Result; virtual-time overflow is an unrecoverable config error that must be loud
         self.checked_mul(rhs).expect("Duration * u64 overflowed")
     }
 }

@@ -308,17 +308,17 @@ impl<'a> Reader<'a> {
     /// Read a big-endian u64.
     pub fn get_u64(&mut self) -> Result<u64, WireError> {
         let b = self.take(8)?;
-        Ok(u64::from_be_bytes(
-            b.try_into().expect("take(8) returned 8 bytes"),
-        ))
+        Ok(u64::from_be_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 
     /// Read a little-endian u64.
     pub fn get_u64_le(&mut self) -> Result<u64, WireError> {
         let b = self.take(8)?;
-        Ok(u64::from_le_bytes(
-            b.try_into().expect("take(8) returned 8 bytes"),
-        ))
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
     }
 }
 

@@ -1,0 +1,480 @@
+//! A hand-rolled lexer that reduces a Rust source file to what the rule
+//! engine needs: per-line *code text* with every string, char literal, and
+//! comment blanked out, plus the comment text itself (where waivers live).
+//!
+//! The lexer understands exactly the constructs that would otherwise make a
+//! line-oriented scanner lie:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`),
+//! * string literals with escapes (`"a \" b"`), byte strings (`b"…"`),
+//! * raw strings with any hash depth (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! * char and byte-char literals (`'a'`, `'\n'`, `b'\''`) — disambiguated
+//!   from lifetimes (`'a`, `'static`),
+//! * numeric literals are passed through (they cannot confuse the rules).
+//!
+//! Blanking replaces every masked character with a space, so byte columns
+//! in diagnostics still line up with the original source.
+
+/// One physical source line after lexing.
+#[derive(Debug, Clone, Default)]
+pub struct LexedLine {
+    /// The line's code with comments, strings, and char literals blanked.
+    pub code: String,
+    /// Text of every comment that *starts* on this line (`//` body or
+    /// `/* … */` body, without the delimiters). Waivers are parsed from
+    /// these.
+    pub comments: Vec<String>,
+}
+
+/// A whole file, lexed line by line. Lines are 0-indexed here; diagnostics
+/// add 1 when printing.
+#[derive(Debug, Clone, Default)]
+pub struct LexedFile {
+    /// One entry per physical source line.
+    pub lines: Vec<LexedLine>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Ordinary code.
+    Code,
+    /// Inside `// …` until end of line.
+    LineComment,
+    /// Inside `/* … */`, tracking nesting depth.
+    BlockComment,
+    /// Inside `"…"`.
+    Str,
+    /// Inside `r##"…"##` with the given hash count.
+    RawStr(usize),
+    /// Inside `'…'`.
+    CharLit,
+}
+
+/// Lex `source` into per-line code/comment streams.
+pub fn lex(source: &str) -> LexedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut lines: Vec<LexedLine> = vec![LexedLine::default()];
+    let mut mode = Mode::Code;
+    let mut depth = 0usize; // block-comment nesting
+    let mut comment_buf = String::new();
+    let mut comment_start_line = 0usize;
+    let mut i = 0usize;
+
+    // `lines` starts non-empty and only grows, so `last_mut` always
+    // succeeds; the empty-vec arm keeps this free of panic paths.
+    macro_rules! cur {
+        () => {
+            match lines.last_mut() {
+                Some(line) => line,
+                None => unreachable!("lines is never empty"),
+            }
+        };
+    }
+
+    let flush_comment = |lines: &mut Vec<LexedLine>, buf: &mut String, start: usize| {
+        if !buf.is_empty() || start < lines.len() {
+            lines[start].comments.push(std::mem::take(buf));
+        }
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            match mode {
+                Mode::LineComment => {
+                    flush_comment(&mut lines, &mut comment_buf, comment_start_line);
+                    mode = Mode::Code;
+                }
+                Mode::BlockComment => comment_buf.push('\n'),
+                _ => {}
+            }
+            lines.push(LexedLine::default());
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => {
+                // Comment openers.
+                if c == '/' && chars.get(i + 1) == Some(&'/') {
+                    mode = Mode::LineComment;
+                    comment_buf.clear();
+                    comment_start_line = lines.len() - 1;
+                    cur!().code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment;
+                    depth = 1;
+                    comment_buf.clear();
+                    comment_start_line = lines.len() - 1;
+                    cur!().code.push_str("  ");
+                    i += 2;
+                    continue;
+                }
+                // Raw strings: r"…", r#"…"#, and the b-prefixed forms.
+                // (The optional `b` was already emitted as code; harmless.)
+                if c == 'r' && !prev_is_ident(&chars, i) {
+                    let mut j = i + 1;
+                    let mut hashes = 0usize;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if chars.get(j) == Some(&'"') {
+                        mode = Mode::RawStr(hashes);
+                        for _ in i..=j {
+                            cur!().code.push(' ');
+                        }
+                        i = j + 1;
+                        continue;
+                    }
+                }
+                if c == '"' {
+                    mode = Mode::Str;
+                    cur!().code.push(' ');
+                    i += 1;
+                    continue;
+                }
+                if c == '\'' {
+                    // Char literal or lifetime? A lifetime is `'` followed
+                    // by an identifier NOT closed by another `'` right after
+                    // one character. `'a'` is a char, `'a` / `'static` are
+                    // lifetimes, `'\n'` is a char.
+                    if chars.get(i + 1) == Some(&'\\')
+                        || (chars.get(i + 1).is_some() && chars.get(i + 2) == Some(&'\''))
+                    {
+                        mode = Mode::CharLit;
+                        cur!().code.push(' ');
+                        i += 1;
+                        continue;
+                    }
+                    // Lifetime (or stray quote): pass through as code.
+                    cur!().code.push(c);
+                    i += 1;
+                    continue;
+                }
+                cur!().code.push(c);
+                i += 1;
+            }
+            Mode::LineComment => {
+                comment_buf.push(c);
+                cur!().code.push(' ');
+                i += 1;
+            }
+            Mode::BlockComment => {
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    comment_buf.push_str("/*");
+                    cur!().code.push_str("  ");
+                    i += 2;
+                } else if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    cur!().code.push_str("  ");
+                    i += 2;
+                    if depth == 0 {
+                        flush_comment(&mut lines, &mut comment_buf, comment_start_line);
+                        mode = Mode::Code;
+                    } else {
+                        comment_buf.push_str("*/");
+                    }
+                } else {
+                    comment_buf.push(c);
+                    cur!().code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' && chars.get(i + 1).is_some() {
+                    cur!().code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    cur!().code.push(' ');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    cur!().code.push(' ');
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0usize;
+                    while seen < hashes && chars.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        for _ in i..j {
+                            cur!().code.push(' ');
+                        }
+                        mode = Mode::Code;
+                        i = j;
+                        continue;
+                    }
+                }
+                cur!().code.push(' ');
+                i += 1;
+            }
+            Mode::CharLit => {
+                if c == '\\' && chars.get(i + 1).is_some() {
+                    cur!().code.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    cur!().code.push(' ');
+                    mode = Mode::Code;
+                    i += 1;
+                } else {
+                    cur!().code.push(' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    // EOF inside a line comment still carries a (possible) waiver.
+    if mode == Mode::LineComment || mode == Mode::BlockComment {
+        flush_comment(&mut lines, &mut comment_buf, comment_start_line);
+    }
+    LexedFile { lines }
+}
+
+/// Is the character before `i` part of an identifier? Used so `r"` in
+/// `var"` (impossible) or `bar"` is not misread as a raw-string opener
+/// while `br"` still is (`b` is a prefix, not an identifier tail — but a
+/// preceding identifier character that is not exactly a `b`-prefix means
+/// `r` belongs to a name like `for` … `r`).
+fn prev_is_ident(chars: &[char], i: usize) -> bool {
+    if i == 0 {
+        return false;
+    }
+    let p = chars[i - 1];
+    if p == 'b' {
+        // A `b` prefix only counts as a prefix when it is itself not part
+        // of a longer identifier (`rb` in `verb"` can't occur; `abr"` would
+        // mean identifier `ab` + raw string, which is not valid Rust — err
+        // on the side of treating it as a raw string).
+        return i >= 2 && (chars[i - 2].is_alphanumeric() || chars[i - 2] == '_');
+    }
+    p.is_alphanumeric() || p == '_'
+}
+
+/// Compute, for every line, whether it falls inside a `#[cfg(test)]` item
+/// (module, function, impl, or `use`). Works on the blanked code, so
+/// braces inside strings or comments cannot derail the brace matching.
+pub fn test_scoped_lines(file: &LexedFile) -> Vec<bool> {
+    let n = file.lines.len();
+    let mut scoped = vec![false; n];
+    // Flatten to (line, char) stream of code.
+    let stream: Vec<(usize, char)> = file
+        .lines
+        .iter()
+        .enumerate()
+        .flat_map(|(ln, l)| l.code.chars().map(move |c| (ln, c)).chain([(ln, '\n')]))
+        .collect();
+    let mut i = 0usize;
+    while i < stream.len() {
+        if let Some(next) = match_cfg_test(&stream, i) {
+            // Skip any further attributes (`#[…]`) between the cfg and the
+            // item, then skip the item body: to the matching `}` of the
+            // first `{`, or to a `;` if one comes first (e.g. `use`).
+            let mut j = next;
+            loop {
+                while j < stream.len() && stream[j].1.is_whitespace() {
+                    j += 1;
+                }
+                if j + 1 < stream.len() && stream[j].1 == '#' && stream[j + 1].1 == '[' {
+                    let mut depth = 0i32;
+                    while j < stream.len() {
+                        match stream[j].1 {
+                            '[' => depth += 1,
+                            ']' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    j += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                } else {
+                    break;
+                }
+            }
+            let start_line = stream.get(i).map(|&(l, _)| l).unwrap_or(0);
+            let mut brace = 0i32;
+            let mut end = j;
+            while end < stream.len() {
+                match stream[end].1 {
+                    '{' => brace += 1,
+                    '}' => {
+                        brace -= 1;
+                        if brace == 0 {
+                            break;
+                        }
+                    }
+                    ';' if brace == 0 => break,
+                    _ => {}
+                }
+                end += 1;
+            }
+            let end_line = stream.get(end.min(stream.len() - 1)).map(|&(l, _)| l);
+            if let Some(end_line) = end_line {
+                for s in scoped.iter_mut().take(end_line + 1).skip(start_line) {
+                    *s = true;
+                }
+            }
+            i = end + 1;
+        } else {
+            i += 1;
+        }
+    }
+    scoped
+}
+
+/// If an attribute of the form `#[cfg(test)]` (or `#[cfg(all(test, …))]` —
+/// any cfg attribute whose argument mentions the bare token `test`) starts
+/// at `i`, return the stream index just past its closing `]`.
+fn match_cfg_test(stream: &[(usize, char)], i: usize) -> Option<usize> {
+    let mut j = i;
+    if stream.get(j)?.1 != '#' {
+        return None;
+    }
+    j += 1;
+    while stream.get(j)?.1.is_whitespace() {
+        j += 1;
+    }
+    if stream.get(j)?.1 != '[' {
+        return None;
+    }
+    // Collect the attribute text to its matching `]`.
+    let mut depth = 0i32;
+    let mut text = String::new();
+    while j < stream.len() {
+        let c = stream[j].1;
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        text.push(c);
+        j += 1;
+    }
+    if depth != 0 {
+        return None;
+    }
+    let inner = text.trim_start_matches('[').trim();
+    if !inner.starts_with("cfg") {
+        return None;
+    }
+    let args = inner["cfg".len()..].trim_start();
+    if !args.starts_with('(') {
+        return None;
+    }
+    if has_word(args, "test") {
+        Some(j + 1)
+    } else {
+        None
+    }
+}
+
+/// Whole-word search: `needle` present in `hay` with non-identifier
+/// characters (or boundaries) on both sides.
+pub fn has_word(hay: &str, needle: &str) -> bool {
+    find_word(hay, needle).is_some()
+}
+
+/// Byte offset of the first whole-word occurrence of `needle` in `hay`.
+pub fn find_word(hay: &str, needle: &str) -> Option<usize> {
+    let bytes = hay.as_bytes();
+    let mut from = 0usize;
+    while let Some(pos) = hay[from..].find(needle) {
+        let start = from + pos;
+        let end = start + needle.len();
+        let ok_before = start == 0 || !is_ident_byte(bytes[start - 1]);
+        let ok_after = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if ok_before && ok_after {
+            return Some(start);
+        }
+        from = start + 1;
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn code_of(src: &str) -> Vec<String> {
+        lex(src).lines.iter().map(|l| l.code.clone()).collect()
+    }
+
+    #[test]
+    fn line_comment_blanked_and_captured() {
+        let f = lex("let x = 1; // HashMap here\n");
+        assert!(!f.lines[0].code.contains("HashMap"));
+        assert!(f.lines[0].code.contains("let x = 1;"));
+        assert_eq!(f.lines[0].comments[0].trim(), "HashMap here");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* outer /* inner */ still comment */ b";
+        let c = code_of(src);
+        assert!(c[0].starts_with('a'));
+        assert!(c[0].ends_with('b'));
+        assert!(!c[0].contains("outer"));
+        assert!(!c[0].contains("still"));
+    }
+
+    #[test]
+    fn string_with_comment_marker_not_a_comment() {
+        let c = code_of(r#"let s = "// not a comment"; after()"#);
+        assert!(c[0].contains("after()"));
+        assert!(!c[0].contains("not a comment"));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_quote() {
+        let src = "let s = r#\"she said \"hi\" // x\"#; tail()";
+        let c = code_of(src);
+        assert!(c[0].contains("tail()"));
+        assert!(!c[0].contains("hi"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let c = code_of("fn f<'a>(x: &'a str) { let q = '\\''; let h = 'h'; g(x) }");
+        assert!(c[0].contains("<'a>"));
+        assert!(c[0].contains("&'a str"));
+        assert!(!c[0].contains("'h'"));
+        assert!(c[0].contains("g(x)"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(has_word("use std::collections::HashMap;", "HashMap"));
+        assert!(!has_word("MyHashMapLike", "HashMap"));
+        assert!(!has_word("unwrap_or(0)", "unwrap"));
+    }
+
+    #[test]
+    fn cfg_test_module_scoped() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let f = lex(src);
+        let scoped = test_scoped_lines(&f);
+        assert_eq!(scoped, vec![false, true, true, true, true, false, false]);
+    }
+}

@@ -1,0 +1,46 @@
+//! # simlint
+//!
+//! The workspace's in-tree determinism & panic-path linter. The campaign
+//! cache (`crates/campaign`) is content-addressed on the assumption that
+//! *same code + same `WorldConfig` ⇒ byte-identical `RunRecord`*; simlint
+//! is the static gate that keeps that assumption true:
+//!
+//! * no `HashMap`/`HashSet`/`RandomState` state in simulation crates
+//!   (iteration order is randomized per process),
+//! * no wall-clock reads (`SystemTime`, `std::time`, `Instant::now`) in
+//!   simulation crates,
+//! * no `unwrap()`/`expect()`/`panic!` panic paths in library crates
+//!   outside `#[cfg(test)]`.
+//!
+//! Every surviving exception must carry an in-diff justification:
+//! `simlint: allow(<rule>)` followed by a mandatory reason, written as a
+//! plain (non-doc) comment on the offending line or the line above.
+//!
+//! Run it from the workspace root:
+//!
+//! ```text
+//! cargo run -p simlint --release
+//! ```
+//!
+//! Diagnostics are rustc-style (`file:line: error[rule]: message`) on
+//! stderr; a machine-readable summary lands at `target/simlint.json`; the
+//! exit code is non-zero iff anything was flagged. `ci.sh` runs it as a
+//! gating step before the build.
+//!
+//! The implementation is deliberately zero-dependency: a hand-rolled lexer
+//! ([`lexer`]) that understands raw strings, char literals vs lifetimes,
+//! and nested block comments, plus a line-scoped rule engine ([`rules`])
+//! with a tiered per-crate policy, and a tree walker ([`walk`]) that
+//! classifies files exactly the way `ci.sh` needs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+pub mod walk;
+
+pub use report::{json_summary, Summary};
+pub use rules::{lint_file, tier_of, Rule, Tier, Violation};
+pub use walk::{lint_tree, rust_sources};

@@ -1,0 +1,113 @@
+//! The machine-readable summary written to `target/simlint.json`.
+//!
+//! Hand-rolled JSON (the workspace is registry-free); the schema is small
+//! and stable:
+//!
+//! ```json
+//! {
+//!   "files_checked": 97,
+//!   "errors": 0,
+//!   "violations": [
+//!     {"file": "…", "line": 12, "rule": "unordered-map", "message": "…"}
+//!   ]
+//! }
+//! ```
+
+use crate::rules::Violation;
+
+/// Aggregate lint outcome for one run.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Number of `.rs` files scanned.
+    pub files_checked: usize,
+    /// Everything flagged, sorted by file then line.
+    pub violations: Vec<Violation>,
+}
+
+impl Summary {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Render `summary` as the `target/simlint.json` document.
+pub fn json_summary(summary: &Summary) -> String {
+    let mut out = String::with_capacity(256 + summary.violations.len() * 128);
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"files_checked\": {},\n  \"errors\": {},\n  \"violations\": [",
+        summary.files_checked,
+        summary.violations.len()
+    ));
+    for (i, v) in summary.violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}}}",
+            json_string(&v.file),
+            v.line,
+            json_string(&v.code),
+            json_string(&v.message)
+        ));
+    }
+    if !summary.violations.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
+}
+
+/// Minimal JSON string escaping.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_summary_serializes() {
+        let s = Summary {
+            files_checked: 3,
+            violations: vec![],
+        };
+        let json = json_summary(&s);
+        assert!(json.contains("\"files_checked\": 3"));
+        assert!(json.contains("\"errors\": 0"));
+        assert!(json.contains("\"violations\": []"));
+    }
+
+    #[test]
+    fn violations_escape_cleanly() {
+        let s = Summary {
+            files_checked: 1,
+            violations: vec![Violation {
+                file: "a.rs".to_string(),
+                line: 9,
+                code: "panic-path".to_string(),
+                message: "uses `unwrap()` on \"stuff\"".to_string(),
+            }],
+        };
+        let json = json_summary(&s);
+        assert!(json.contains("\"errors\": 1"));
+        assert!(json.contains("\\\"stuff\\\""));
+        assert!(json.contains("\"line\": 9"));
+    }
+}

@@ -1,0 +1,505 @@
+//! The rule engine: tiered policy, per-line checks, and waiver handling.
+//!
+//! # Policy tiers
+//!
+//! | tier | crates | rules enforced |
+//! |------|--------|----------------|
+//! | **sim** | `sim-engine`, `wifi-mac`, `dhcp`, `tcp-lite`, `mobility`, `workload`, `analytical`, `spider-core` | `unordered-map`, `wall-clock`, `panic-path` |
+//! | **lib** | `campaign`, `simlint`, `bench`, the root `src/` facade | `panic-path` |
+//! | **bin** | `experiments` | *(none)* |
+//!
+//! Test code is exempt everywhere: files under `tests/`, `benches/`, or
+//! `examples/` directories, and `#[cfg(test)]` items inside `src/` files.
+//!
+//! # Rules
+//!
+//! * `unordered-map` — `HashMap`, `HashSet`, `hash_map`, `hash_set`, or
+//!   `RandomState`: iteration order is randomized per process, which breaks
+//!   the byte-identical-`RunRecord` contract the campaign cache depends on.
+//!   Use `BTreeMap`/`BTreeSet`.
+//! * `wall-clock` — `SystemTime`, `std::time`, or `Instant::now`: real time
+//!   must never leak into simulation state; use `sim_engine::time`.
+//! * `panic-path` — `unwrap(`, `expect(`, `panic!`, `todo!`,
+//!   `unimplemented!` outside test code: library crates surface typed
+//!   errors instead of crashing the whole campaign. (`assert!`,
+//!   `debug_assert!`, and `unreachable!` are *not* flagged: they state
+//!   invariants, and a deterministic simulation wants violated invariants
+//!   loud.)
+//!
+//! # Waivers
+//!
+//! A rule can be waived for one line with a comment, either trailing the
+//! line or on the line directly above it:
+//!
+//! ```text
+//! // simlint: allow(unordered-map) — membership-only set, never iterated
+//! ```
+//!
+//! The reason is mandatory (`waiver-missing-reason` otherwise), the rule
+//! name must exist (`waiver-unknown-rule`), and a waiver that suppresses
+//! nothing is itself an error (`waiver-unused`) so stale exceptions cannot
+//! linger.
+
+use crate::lexer::{find_word, LexedFile};
+
+/// Every deniable rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `HashMap`/`HashSet`/`RandomState` in simulation state.
+    UnorderedMap,
+    /// `SystemTime` / `std::time` / `Instant::now` in simulation code.
+    WallClock,
+    /// `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in library
+    /// code.
+    PanicPath,
+}
+
+impl Rule {
+    /// The rule's diagnostic name (what goes inside `error[...]` and
+    /// `allow(...)`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::UnorderedMap => "unordered-map",
+            Rule::WallClock => "wall-clock",
+            Rule::PanicPath => "panic-path",
+        }
+    }
+
+    /// Parse a rule name as written in a waiver.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "unordered-map" => Some(Rule::UnorderedMap),
+            "wall-clock" => Some(Rule::WallClock),
+            "panic-path" => Some(Rule::PanicPath),
+            _ => None,
+        }
+    }
+}
+
+/// Which rule set applies to a file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tier {
+    /// Simulation crates: full determinism + panic policy.
+    Sim,
+    /// Non-simulation library crates: panic policy only.
+    Lib,
+    /// Binary / harness crates: nothing enforced.
+    Bin,
+    /// Test code: exempt.
+    Test,
+}
+
+impl Tier {
+    /// The rules enforced at this tier.
+    pub fn rules(self) -> &'static [Rule] {
+        match self {
+            Tier::Sim => &[Rule::UnorderedMap, Rule::WallClock, Rule::PanicPath],
+            Tier::Lib => &[Rule::PanicPath],
+            Tier::Bin | Tier::Test => &[],
+        }
+    }
+}
+
+/// Crates whose state feeds the deterministic simulation.
+pub const SIM_CRATES: &[&str] = &[
+    "sim-engine",
+    "wifi-mac",
+    "dhcp",
+    "tcp-lite",
+    "mobility",
+    "workload",
+    "analytical",
+    "spider-core",
+];
+
+/// Classify a workspace-relative path (forward slashes) into a tier.
+pub fn tier_of(rel_path: &str) -> Tier {
+    let parts: Vec<&str> = rel_path.split('/').collect();
+    // Anything under a tests/, benches/, or examples/ directory is test
+    // code, wherever it lives.
+    if parts
+        .iter()
+        .any(|p| *p == "tests" || *p == "benches" || *p == "examples")
+    {
+        return Tier::Test;
+    }
+    if parts.first() == Some(&"crates") && parts.len() >= 2 {
+        let krate = parts[1];
+        if SIM_CRATES.contains(&krate) {
+            return Tier::Sim;
+        }
+        if krate == "experiments" {
+            return Tier::Bin;
+        }
+        return Tier::Lib;
+    }
+    // The root facade crate (src/lib.rs).
+    Tier::Lib
+}
+
+/// One diagnostic: either a rule violation or a bad waiver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Diagnostic code (`unordered-map`, …, or a `waiver-*` code).
+    pub code: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Violation {
+    /// `file:line: error[code]: message` — the rustc-style line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: error[{}]: {}",
+            self.file, self.line, self.code, self.message
+        )
+    }
+}
+
+/// A parsed `// simlint: allow(rule) — reason` comment.
+#[derive(Debug, Clone)]
+struct Waiver {
+    /// 0-based line the comment starts on.
+    line: usize,
+    rule: Rule,
+    used: bool,
+    /// True when the waiver's line has no code of its own, so it shields
+    /// the next line instead.
+    standalone: bool,
+}
+
+const WAIVER_MARKER: &str = "simlint:";
+
+/// Scan one comment for a waiver. Returns `Ok(None)` when the comment is
+/// not a waiver at all, `Err(violation-parts)` for malformed waivers.
+fn parse_waiver(comment: &str) -> Result<Option<(Rule, String)>, (String, String)> {
+    // A waiver must *begin* the comment. This deliberately excludes doc
+    // comments (their text starts with the extra `/` or `!`), so prose that
+    // merely quotes the syntax is never parsed as a waiver.
+    let trimmed = comment.trim_start();
+    let Some(rest) = trimmed.strip_prefix(WAIVER_MARKER) else {
+        return Ok(None);
+    };
+    let rest = rest.trim_start();
+    let Some(args) = rest.strip_prefix("allow") else {
+        return Err((
+            "waiver-unknown-rule".to_string(),
+            format!(
+                "malformed simlint comment (expected `simlint: allow(<rule>) — <reason>`): `{}`",
+                comment.trim()
+            ),
+        ));
+    };
+    let args = args.trim_start();
+    let Some(inner_start) = args.strip_prefix('(') else {
+        return Err((
+            "waiver-unknown-rule".to_string(),
+            "waiver missing `(<rule>)`".to_string(),
+        ));
+    };
+    let Some(close) = inner_start.find(')') else {
+        return Err((
+            "waiver-unknown-rule".to_string(),
+            "waiver missing closing `)`".to_string(),
+        ));
+    };
+    let rule_name = inner_start[..close].trim();
+    let Some(rule) = Rule::from_name(rule_name) else {
+        return Err((
+            "waiver-unknown-rule".to_string(),
+            format!("unknown rule `{rule_name}` in waiver"),
+        ));
+    };
+    // Everything after the `)` — minus separator punctuation — is the
+    // mandatory reason.
+    let reason = inner_start[close + 1..]
+        .trim_start_matches([' ', '\t', '—', '–', '-', ':', ','])
+        .trim();
+    if reason.is_empty() {
+        return Err((
+            "waiver-missing-reason".to_string(),
+            format!(
+                "waiver for `{}` has no reason; every exception must say why",
+                rule.name()
+            ),
+        ));
+    }
+    Ok(Some((rule, reason.to_string())))
+}
+
+/// Check one line of blanked code against `rule`. Returns the message of
+/// the first hit, if any.
+fn check_line(rule: Rule, code: &str) -> Option<String> {
+    match rule {
+        Rule::UnorderedMap => {
+            for word in ["HashMap", "HashSet", "RandomState", "hash_map", "hash_set"] {
+                if find_word(code, word).is_some() {
+                    return Some(format!(
+                        "`{word}` has process-randomized iteration order; use BTreeMap/BTreeSet \
+                         (or justify with `// simlint: allow(unordered-map) — <reason>`)"
+                    ));
+                }
+            }
+            None
+        }
+        Rule::WallClock => {
+            if find_word(code, "SystemTime").is_some() {
+                return Some(
+                    "`SystemTime` reads the wall clock; simulation code must use \
+                     `sim_engine::time`"
+                        .to_string(),
+                );
+            }
+            if let Some(pos) = find_word(code, "std") {
+                let after = code[pos + 3..].trim_start();
+                if let Some(t) = after.strip_prefix("::") {
+                    if t.trim_start().starts_with("time") {
+                        return Some(
+                            "`std::time` is wall-clock time; simulation code must use \
+                             `sim_engine::time`"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            if let Some(pos) = find_word(code, "Instant") {
+                let after = code[pos + "Instant".len()..].trim_start();
+                if let Some(t) = after.strip_prefix("::") {
+                    if t.trim_start().starts_with("now") {
+                        return Some(
+                            "`Instant::now()` reads the wall clock; virtual time comes from \
+                             the event queue"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            None
+        }
+        Rule::PanicPath => {
+            for word in ["unwrap", "expect"] {
+                if let Some(pos) = find_word(code, word) {
+                    let after = code[pos + word.len()..].trim_start();
+                    if after.starts_with('(') {
+                        return Some(format!(
+                            "`{word}()` panics on the error path; return a typed error \
+                             (or justify with `// simlint: allow(panic-path) — <reason>`)"
+                        ));
+                    }
+                }
+            }
+            for mac in ["panic", "todo", "unimplemented"] {
+                if let Some(pos) = find_word(code, mac) {
+                    let after = code[pos + mac.len()..].trim_start();
+                    if after.starts_with('!') {
+                        return Some(format!(
+                            "`{mac}!` aborts the campaign; return a typed error instead"
+                        ));
+                    }
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Lint one lexed file.
+///
+/// `rel_path` is the workspace-relative path (used for tier selection and
+/// diagnostics); `test_scoped` marks lines inside `#[cfg(test)]` items.
+pub fn lint_file(rel_path: &str, file: &LexedFile, test_scoped: &[bool]) -> Vec<Violation> {
+    let tier = tier_of(rel_path);
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut waivers: Vec<Waiver> = Vec::new();
+
+    // Pass 1: collect (and validate) waivers from every comment. Waiver
+    // syntax is validated even in exempt tiers/test code — a malformed
+    // waiver anywhere is noise worth rejecting.
+    for (ln, line) in file.lines.iter().enumerate() {
+        for comment in &line.comments {
+            match parse_waiver(comment) {
+                Ok(None) => {}
+                Ok(Some((rule, _reason))) => {
+                    let standalone = line.code.trim().is_empty();
+                    waivers.push(Waiver {
+                        line: ln,
+                        rule,
+                        used: false,
+                        standalone,
+                    });
+                }
+                Err((code, message)) => violations.push(Violation {
+                    file: rel_path.to_string(),
+                    line: ln + 1,
+                    code,
+                    message,
+                }),
+            }
+        }
+    }
+
+    // Pass 2: run the tier's rules over non-test lines.
+    for (ln, line) in file.lines.iter().enumerate() {
+        if test_scoped.get(ln).copied().unwrap_or(false) {
+            continue;
+        }
+        for &rule in tier.rules() {
+            let Some(message) = check_line(rule, &line.code) else {
+                continue;
+            };
+            // A waiver covers the hit when it names the rule and sits on
+            // the same line (trailing) or alone on the line above.
+            let waived = waivers
+                .iter_mut()
+                .find(|w| w.rule == rule && (w.line == ln || (w.standalone && w.line + 1 == ln)));
+            match waived {
+                Some(w) => w.used = true,
+                None => violations.push(Violation {
+                    file: rel_path.to_string(),
+                    line: ln + 1,
+                    code: rule.name().to_string(),
+                    message,
+                }),
+            }
+        }
+    }
+
+    // Pass 3: waivers that shielded nothing are stale — reject them so the
+    // exception list can only shrink. (Waivers inside test code are
+    // pointless but harmless; still flagged, to keep them out entirely.)
+    for w in &waivers {
+        if !w.used {
+            violations.push(Violation {
+                file: rel_path.to_string(),
+                line: w.line + 1,
+                code: "waiver-unused".to_string(),
+                message: format!(
+                    "waiver for `{}` suppresses nothing on its line{}; remove it",
+                    w.rule.name(),
+                    if w.standalone { " or the next" } else { "" }
+                ),
+            });
+        }
+    }
+
+    violations.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.code.cmp(&b.code)));
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::{lex, test_scoped_lines};
+
+    fn run(path: &str, src: &str) -> Vec<Violation> {
+        let lexed = lex(src);
+        let scoped = test_scoped_lines(&lexed);
+        lint_file(path, &lexed, &scoped)
+    }
+
+    const SIM: &str = "crates/spider-core/src/world.rs";
+
+    #[test]
+    fn hashmap_in_sim_crate_denied() {
+        let v = run(SIM, "use std::collections::HashMap;\n");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].code, "unordered-map");
+        assert_eq!(v[0].line, 1);
+    }
+
+    #[test]
+    fn hashmap_in_comment_or_string_ignored() {
+        let v = run(SIM, "// HashMap order notes\nlet s = \"HashMap\";\n");
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unwrap_denied_in_lib_but_not_bin() {
+        let src = "fn f() { x.unwrap(); }\n";
+        assert_eq!(run("crates/campaign/src/lib.rs", src).len(), 1);
+        assert!(run("crates/experiments/src/main.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_and_expect_err_not_flagged() {
+        let v = run(
+            SIM,
+            "let a = x.unwrap_or(0); let b = y.unwrap_or_default();\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn cfg_test_module_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() { x.unwrap(); }\n}\n";
+        assert!(run(SIM, src).is_empty());
+    }
+
+    #[test]
+    fn trailing_waiver_suppresses() {
+        let src = "use std::collections::HashMap; // simlint: allow(unordered-map) — docs only\n";
+        assert!(run(SIM, src).is_empty());
+    }
+
+    #[test]
+    fn standalone_waiver_covers_next_line() {
+        let src = "// simlint: allow(panic-path) — invariant: queue starts non-empty\nlet x = q.pop().unwrap();\n";
+        assert!(run("crates/campaign/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn waiver_without_reason_rejected() {
+        let src = "use std::collections::HashMap; // simlint: allow(unordered-map)\n";
+        let v = run(SIM, src);
+        assert!(v.iter().any(|x| x.code == "waiver-missing-reason"), "{v:?}");
+        // And the underlying violation still stands: a reasonless waiver
+        // waives nothing.
+        assert!(v.iter().any(|x| x.code == "unordered-map"), "{v:?}");
+    }
+
+    #[test]
+    fn unknown_rule_in_waiver_rejected() {
+        let v = run(SIM, "// simlint: allow(no-such-rule) — because\n");
+        assert!(v.iter().any(|x| x.code == "waiver-unknown-rule"), "{v:?}");
+    }
+
+    #[test]
+    fn unused_waiver_rejected() {
+        let v = run(
+            SIM,
+            "// simlint: allow(unordered-map) — stale excuse\nlet x = 1;\n",
+        );
+        assert!(v.iter().any(|x| x.code == "waiver-unused"), "{v:?}");
+    }
+
+    #[test]
+    fn wall_clock_denied_in_sim() {
+        let v = run(SIM, "let t = std::time::Instant::now();\n");
+        assert!(v.iter().any(|x| x.code == "wall-clock"), "{v:?}");
+        // sim_engine's virtual Instant is fine.
+        let ok = run(SIM, "let t: sim_engine::time::Instant = queue.now();\n");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn tests_dirs_fully_exempt() {
+        let src = "use std::collections::HashMap;\nfn f() { x.unwrap(); }\n";
+        assert!(run("crates/spider-core/tests/determinism.rs", src).is_empty());
+        assert!(run("tests/full_system.rs", src).is_empty());
+    }
+
+    #[test]
+    fn render_is_rustc_style() {
+        let v = run(SIM, "use std::collections::HashSet;\n");
+        assert_eq!(
+            v[0].render(),
+            "crates/spider-core/src/world.rs:1: error[unordered-map]: \
+             `HashSet` has process-randomized iteration order; use BTreeMap/BTreeSet \
+             (or justify with `// simlint: allow(unordered-map) — <reason>`)"
+        );
+    }
+}

@@ -1,0 +1,101 @@
+//! Workspace traversal: find every `.rs` file under a root, lint each one,
+//! and aggregate the results.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, test_scoped_lines};
+use crate::rules::{lint_file, Violation};
+
+/// Directories never descended into, wherever they appear.
+const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
+
+/// Collect every `.rs` file under `root`, workspace-relative with forward
+/// slashes, sorted for deterministic output.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = fs::read_dir(&dir)?
+            .collect::<io::Result<Vec<_>>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            if path.is_dir() {
+                if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if name.ends_with(".rs") {
+                out.push(path);
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Lint every `.rs` file under `root`. Returns `(files_checked, violations)`
+/// with violations sorted by file then line.
+pub fn lint_tree(root: &Path) -> io::Result<(usize, Vec<Violation>)> {
+    let mut violations = Vec::new();
+    let sources = rust_sources(root)?;
+    let checked = sources.len();
+    for path in &sources {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let source = fs::read_to_string(path)?;
+        let lexed = lex(&source);
+        let scoped = test_scoped_lines(&lexed);
+        violations.extend(lint_file(&rel, &lexed, &scoped));
+    }
+    violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok((checked, violations))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("simlint-walk-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn walks_and_flags_a_seeded_violation() {
+        let root = scratch("seeded");
+        let src_dir = root.join("crates/spider-core/src");
+        fs::create_dir_all(&src_dir).unwrap();
+        fs::write(
+            src_dir.join("bad.rs"),
+            "use std::collections::HashMap;\npub fn f() { Option::<u8>::None.unwrap(); }\n",
+        )
+        .unwrap();
+        // target/ content must be ignored.
+        let tgt = root.join("target/debug");
+        fs::create_dir_all(&tgt).unwrap();
+        fs::write(tgt.join("gen.rs"), "use std::collections::HashMap;\n").unwrap();
+
+        let (checked, violations) = lint_tree(&root).unwrap();
+        assert_eq!(checked, 1);
+        let codes: Vec<&str> = violations.iter().map(|v| v.code.as_str()).collect();
+        assert!(codes.contains(&"unordered-map"), "{violations:?}");
+        assert!(codes.contains(&"panic-path"), "{violations:?}");
+        assert!(violations
+            .iter()
+            .all(|v| v.file == "crates/spider-core/src/bad.rs"));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

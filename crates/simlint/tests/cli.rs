@@ -1,0 +1,159 @@
+//! End-to-end tests of the `simlint` binary: the acceptance criterion is
+//! that a seeded violation in a scratch tree produces a non-zero exit and
+//! a `file:line: error[rule]` diagnostic on stderr.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+/// A scratch tree under the target tmpdir, unique per test.
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("simlint-cli-{}-{test}", std::process::id()));
+    if dir.exists() {
+        fs::remove_dir_all(&dir).expect("clear stale scratch dir");
+    }
+    dir
+}
+
+fn write(root: &Path, rel: &str, contents: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().expect("rel path has a parent")).expect("mkdir");
+    fs::write(path, contents).expect("write scratch source");
+}
+
+fn run_simlint(root: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg("--root")
+        .arg(root)
+        .arg("--json")
+        .arg(root.join("simlint.json"))
+        .output()
+        .expect("spawn simlint binary")
+}
+
+#[test]
+fn seeded_violation_fails_with_rustc_style_diagnostic() {
+    let root = scratch("seeded");
+    write(
+        &root,
+        "crates/spider-core/src/bad.rs",
+        "use std::collections::HashMap;\n\
+         pub struct S {\n\
+         \x20   pub m: HashMap<u32, u32>,\n\
+         }\n\
+         pub fn f(v: Option<u32>) -> u32 {\n\
+         \x20   v.unwrap()\n\
+         }\n",
+    );
+    let out = run_simlint(&root);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        !out.status.success(),
+        "seeded violation must fail CI; stderr:\n{stderr}"
+    );
+    assert_eq!(out.status.code(), Some(1), "violations exit with code 1");
+    // rustc-style `file:line: error[rule]` diagnostics, one per site.
+    assert!(
+        stderr.contains("crates/spider-core/src/bad.rs:1: error[unordered-map]"),
+        "missing unordered-map diagnostic:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("crates/spider-core/src/bad.rs:6: error[panic-path]"),
+        "missing panic-path diagnostic:\n{stderr}"
+    );
+    // The machine-readable summary is written even on failure.
+    let json = fs::read_to_string(root.join("simlint.json")).expect("json summary");
+    assert!(
+        json.contains("\"unordered-map\""),
+        "json lists the rule: {json}"
+    );
+    assert!(json.contains("bad.rs"), "json names the file: {json}");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn clean_tree_passes() {
+    let root = scratch("clean");
+    write(
+        &root,
+        "crates/spider-core/src/good.rs",
+        "use std::collections::BTreeMap;\n\
+         pub struct S {\n\
+         \x20   pub m: BTreeMap<u32, u32>,\n\
+         }\n",
+    );
+    let out = run_simlint(&root);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "clean tree must pass; stderr:\n{stderr}"
+    );
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn waiver_without_reason_is_rejected() {
+    let root = scratch("waiver");
+    write(
+        &root,
+        "crates/sim-engine/src/w.rs",
+        "pub fn f(v: Option<u32>) -> u32 {\n\
+         \x20   // simlint: allow(panic-path)\n\
+         \x20   v.unwrap()\n\
+         }\n",
+    );
+    let out = run_simlint(&root);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr.contains("error[waiver-missing-reason]"),
+        "a reason-less waiver must be its own violation:\n{stderr}"
+    );
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn waiver_with_reason_suppresses_the_violation() {
+    let root = scratch("waived-ok");
+    write(
+        &root,
+        "crates/sim-engine/src/w.rs",
+        "pub fn f(v: Option<u32>) -> u32 {\n\
+         \x20   // simlint: allow(panic-path) — caller guarantees Some; a None is a harness bug\n\
+         \x20   v.unwrap()\n\
+         }\n",
+    );
+    let out = run_simlint(&root);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "a reasoned waiver must suppress the site; stderr:\n{stderr}"
+    );
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn bin_and_test_tiers_are_exempt() {
+    let root = scratch("tiers");
+    // Experiments (Bin tier): panic paths allowed.
+    write(
+        &root,
+        "crates/experiments/src/main.rs",
+        "fn main() { std::env::args().nth(1).unwrap(); }\n",
+    );
+    // tests/ directory: everything allowed.
+    write(
+        &root,
+        "crates/spider-core/tests/t.rs",
+        "use std::collections::HashMap;\n\
+         #[test]\n\
+         fn t() { let _m: HashMap<u32, u32> = HashMap::new(); }\n",
+    );
+    let out = run_simlint(&root);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "exempt tiers flagged; stderr:\n{stderr}"
+    );
+    fs::remove_dir_all(&root).ok();
+}

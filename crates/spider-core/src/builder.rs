@@ -139,10 +139,13 @@ impl WorldBuilder {
     /// # Panics
     /// Panics if sites, motion, or driver were never provided.
     pub fn build(self) -> WorldConfig {
+        // simlint: allow(panic-path) — documented builder contract: build() panics on missing required fields (see the # Panics section)
         let sites = self.sites.expect("WorldBuilder: sites(…) is required");
         let motion = self
             .motion
+            // simlint: allow(panic-path) — documented builder contract: build() panics on missing required fields (see the # Panics section)
             .expect("WorldBuilder: fixed_client(…) or vehicle(…) is required");
+        // simlint: allow(panic-path) — documented builder contract: build() panics on missing required fields (see the # Panics section)
         let driver = self.driver.expect("WorldBuilder: driver(…) is required");
         let mut cfg = WorldConfig::new(self.seed, sites, motion, driver, self.duration);
         if let Some(phy) = self.phy {

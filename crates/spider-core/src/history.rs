@@ -7,7 +7,7 @@
 //! [`ApHistory`] table records both: join outcomes with an EWMA of join
 //! latency, and the last DHCP lease per AP for INIT-REBOOT rejoins.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dhcp::client::Lease;
 use sim_engine::time::{Duration, Instant};
@@ -51,14 +51,14 @@ const EWMA_ALPHA: f64 = 0.3;
 /// The driver's per-AP knowledge base.
 #[derive(Debug, Clone, Default)]
 pub struct ApHistory {
-    records: HashMap<MacAddr, ApRecord>,
+    records: BTreeMap<MacAddr, ApRecord>,
 }
 
 impl ApHistory {
     /// Empty history.
     pub fn new() -> ApHistory {
         ApHistory {
-            records: HashMap::new(),
+            records: BTreeMap::new(),
         }
     }
 

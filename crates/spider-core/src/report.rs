@@ -440,7 +440,7 @@ impl<'a> Parser<'a> {
         self.bytes.get(self.pos).copied()
     }
 
-    fn expect(&mut self, byte: u8, what: &'static str) -> Result<(), ReportParseError> {
+    fn expect_byte(&mut self, byte: u8, what: &'static str) -> Result<(), ReportParseError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -450,7 +450,7 @@ impl<'a> Parser<'a> {
     }
 
     fn object(&mut self) -> Result<Vec<(String, JsonValue)>, ReportParseError> {
-        self.expect(b'{', "expected '{'")?;
+        self.expect_byte(b'{', "expected '{'")?;
         let mut fields = Vec::new();
         if self.peek() == Some(b'}') {
             self.pos += 1;
@@ -458,7 +458,7 @@ impl<'a> Parser<'a> {
         }
         loop {
             let key = self.key()?;
-            self.expect(b':', "expected ':' after key")?;
+            self.expect_byte(b':', "expected ':' after key")?;
             let value = match self.peek() {
                 Some(b'{') => JsonValue::Object(self.object()?),
                 Some(b'[') => JsonValue::Array(self.array()?),
@@ -477,7 +477,7 @@ impl<'a> Parser<'a> {
     }
 
     fn key(&mut self) -> Result<String, ReportParseError> {
-        self.expect(b'"', "expected '\"' to open key")?;
+        self.expect_byte(b'"', "expected '\"' to open key")?;
         let start = self.pos;
         while let Some(&b) = self.bytes.get(self.pos) {
             if b == b'"' {
@@ -498,7 +498,7 @@ impl<'a> Parser<'a> {
     }
 
     fn array(&mut self) -> Result<Vec<f64>, ReportParseError> {
-        self.expect(b'[', "expected '['")?;
+        self.expect_byte(b'[', "expected '['")?;
         let mut values = Vec::new();
         if self.peek() == Some(b']') {
             self.pos += 1;
@@ -525,7 +525,11 @@ impl<'a> Parser<'a> {
         let value = self.number()?;
         let token = &self.bytes[start..self.pos];
         if token.iter().all(|b| b.is_ascii_digit()) {
-            if let Ok(i) = core::str::from_utf8(token).expect("digits").parse::<u64>() {
+            // All-ASCII-digit tokens are valid UTF-8 by construction.
+            if let Some(i) = core::str::from_utf8(token)
+                .ok()
+                .and_then(|t| t.parse::<u64>().ok())
+            {
                 return Ok(JsonValue::Int(i));
             }
         }

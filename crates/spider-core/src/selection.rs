@@ -67,18 +67,16 @@ pub fn select_aps(
             eligible.sort_by(|a, b| {
                 let sa = history.score(a.bssid, now);
                 let sb = history.score(b.bssid, now);
-                sb.partial_cmp(&sa)
-                    .expect("scores are finite")
+                sb.total_cmp(&sa)
                     // Deterministic tie-break: stronger signal, then BSSID.
-                    .then(b.rssi_dbm.partial_cmp(&a.rssi_dbm).expect("rssi finite"))
+                    .then(b.rssi_dbm.total_cmp(&a.rssi_dbm))
                     .then(a.bssid.cmp(&b.bssid))
             });
         }
         SelectionPolicy::BestRssi => {
             eligible.sort_by(|a, b| {
                 b.rssi_dbm
-                    .partial_cmp(&a.rssi_dbm)
-                    .expect("rssi finite")
+                    .total_cmp(&a.rssi_dbm)
                     .then(a.bssid.cmp(&b.bssid))
             });
         }

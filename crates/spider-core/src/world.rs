@@ -34,7 +34,7 @@
 //! backlog, `SPIDER_DEBUG_REBUF` logs failed in-flight rebuffers, and
 //! `SPIDER_DEBUG_BH` prints per-AP backhaul drop totals at the end.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use dhcp::client::{DhcpAction, DhcpClient, Lease};
 use dhcp::message::DhcpMessage;
@@ -323,23 +323,23 @@ struct ApNode {
     downlink: SerialLink,
     /// AP → server pipe for ACKs.
     uplink: SerialLink,
-    senders: HashMap<u64, BulkSender>,
+    senders: BTreeMap<u64, BulkSender>,
 }
 
 struct World {
     cfg: WorldConfig,
     aps: Vec<ApNode>,
-    bssid_to_ap: HashMap<MacAddr, usize>,
+    bssid_to_ap: BTreeMap<MacAddr, usize>,
     radio: Radio,
     ifaces: Vec<Iface>,
-    scan: HashMap<MacAddr, Candidate>,
+    scan: BTreeMap<MacAddr, Candidate>,
     history: ApHistory,
     metrics: Metrics,
     /// Per-channel medium occupancy (next free instant).
-    medium: HashMap<Channel, Instant>,
+    medium: BTreeMap<Channel, Instant>,
     /// Spider's per-channel transmit queues (§3): frames bound for an
     /// off-channel AP wait here and flush when the radio arrives.
-    tx_queues: HashMap<Channel, Vec<(Instant, usize, Frame)>>,
+    tx_queues: BTreeMap<Channel, Vec<(Instant, usize, Frame)>>,
     rng_phy: Rng,
     rng_ap: Rng,
     rng_radio: Rng,
@@ -381,7 +381,7 @@ impl World {
                     dhcp: DhcpServer::new(dhcp_cfg),
                     downlink: SerialLink::new(site.backhaul_bps, cfg.backhaul_latency),
                     uplink: SerialLink::new(site.backhaul_bps, cfg.backhaul_latency),
-                    senders: HashMap::new(),
+                    senders: BTreeMap::new(),
                 }
             })
             .collect();
@@ -426,11 +426,11 @@ impl World {
             bssid_to_ap,
             radio,
             ifaces,
-            scan: HashMap::new(),
+            scan: BTreeMap::new(),
             history: ApHistory::new(),
             metrics: Metrics::new(),
-            medium: HashMap::new(),
-            tx_queues: HashMap::new(),
+            medium: BTreeMap::new(),
+            tx_queues: BTreeMap::new(),
             rng_phy,
             rng_ap,
             rng_radio,
@@ -756,6 +756,7 @@ impl World {
     fn on_associated(&mut self, iface_idx: usize, queue: &mut EventQueue<Event>, now: Instant) {
         let started = self.ifaces[iface_idx]
             .join_started
+            // simlint: allow(panic-path) — join FSM invariant: an Associating iface always has join_started; silent recovery would corrupt join-time metrics
             .expect("associated without a join start");
         self.metrics
             .assoc_times
@@ -764,6 +765,7 @@ impl World {
         self.update_concurrency(now);
         // Kick off DHCP.
         let addr = self.ifaces[iface_idx].addr;
+        // simlint: allow(panic-path) — join FSM invariant: an Associating iface always has a target AP; a hole here is a driver bug that must be loud
         let ap = self.ifaces[iface_idx].ap.expect("associated without an AP");
         let bssid = self.aps[ap].mac.bssid();
         let cached = if self.cfg.spider.lease_cache {
@@ -833,9 +835,11 @@ impl World {
     ) {
         let started = self.ifaces[iface_idx]
             .join_started
+            // simlint: allow(panic-path) — join FSM invariant: a Bound iface always has join_started; silent recovery would corrupt join-time metrics
             .expect("bound without a join start");
         let join_time = now.saturating_since(started);
         self.metrics.join_times.record_duration(join_time);
+        // simlint: allow(panic-path) — join FSM invariant: a Bound iface always has a target AP; a hole here is a driver bug that must be loud
         let ap = self.ifaces[iface_idx].ap.expect("bound without an AP");
         let bssid = self.aps[ap].mac.bssid();
         self.history.record_success(bssid, join_time);
@@ -1057,6 +1061,11 @@ impl World {
         if budget == 0 || self.radio.is_busy(now) || now < self.dhcp_idle_until {
             return 0;
         }
+        // `scan` is a BTreeMap precisely so this iteration is in MacAddr
+        // order: candidate order feeds tie-breaking in `select_aps`, and a
+        // process-randomized order here once meant two identical runs could
+        // join APs in different orders (the simlint `unordered-map` rule
+        // now rejects any such state).
         let candidates: Vec<Candidate> = self.scan.values().copied().collect();
         let joined: Vec<MacAddr> = self
             .ifaces
@@ -1233,7 +1242,7 @@ impl World {
             return;
         };
         let freshness = Duration::from_secs(3);
-        let score_of = |ch: Channel, scan: &HashMap<MacAddr, Candidate>, history: &ApHistory| {
+        let score_of = |ch: Channel, scan: &BTreeMap<MacAddr, Candidate>, history: &ApHistory| {
             scan.values()
                 .filter(|c| c.channel == ch)
                 .filter(|c| now.saturating_since(c.last_heard) <= freshness)

@@ -330,6 +330,7 @@ impl BulkSender {
                     .iter()
                     .find(|&&(st, e)| chunk.within(st, e - st))
                     .map(|&(_, e)| e)
+                    // simlint: allow(panic-path) — SACK scoreboard invariant: is_sacked(chunk) means some run covers it; a miss is scoreboard corruption that must be loud
                     .expect("is_sacked implies a covering run");
                 chunk = run_end;
                 continue;

@@ -53,21 +53,21 @@ impl RttEstimator {
     /// Incorporate a new RTT sample (Karn-safe: callers must only sample
     /// segments that were not retransmitted). Resets timeout backoff.
     pub fn sample(&mut self, rtt: Duration) {
-        match self.srtt {
+        let srtt = match self.srtt {
             None => {
                 // First measurement: SRTT = R, RTTVAR = R/2.
-                self.srtt = Some(rtt);
                 self.rttvar = rtt / 2;
+                rtt
             }
             Some(srtt) => {
                 // RTTVAR = 3/4·RTTVAR + 1/4·|SRTT − R|
                 let err = if srtt > rtt { srtt - rtt } else { rtt - srtt };
                 self.rttvar = (self.rttvar * 3 + err) / 4;
                 // SRTT = 7/8·SRTT + 1/8·R
-                self.srtt = Some((srtt * 7 + rtt) / 8);
+                (srtt * 7 + rtt) / 8
             }
-        }
-        let srtt = self.srtt.expect("just set");
+        };
+        self.srtt = Some(srtt);
         // RTO = SRTT + max(floor, 4·RTTVAR). Like Linux, the floor applies
         // to the *margin*, not the whole RTO — otherwise a low-variance
         // flow ends up with RTO ≈ SRTT and any scheduling hiccup (e.g. a

@@ -11,7 +11,7 @@
 //! the dominant component of the paper's `β` (join response time) is the
 //! DHCP server, modelled separately in the `dhcp` crate.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use sim_engine::rng::Rng;
 use sim_engine::time::{Duration, Instant};
@@ -126,7 +126,7 @@ pub struct ApCounters {
 #[derive(Debug, Clone)]
 pub struct ApMac {
     config: ApConfig,
-    stations: HashMap<MacAddr, StationEntry>,
+    stations: BTreeMap<MacAddr, StationEntry>,
     next_aid: u16,
     seq: u16,
     counters: ApCounters,
@@ -137,7 +137,7 @@ impl ApMac {
     pub fn new(config: ApConfig) -> ApMac {
         ApMac {
             config,
-            stations: HashMap::new(),
+            stations: BTreeMap::new(),
             next_aid: 1,
             seq: 0,
             counters: ApCounters::default(),
@@ -428,14 +428,15 @@ impl ApMac {
     /// the table tidy).
     pub fn expire_idle(&mut self, now: Instant) -> Vec<ApAction> {
         let timeout = self.config.idle_timeout;
-        let mut expired: Vec<MacAddr> = self
+        // `stations` is a BTreeMap, so this iteration — and therefore the
+        // downstream deauth event order — is already sorted by MacAddr; the
+        // defensive sort that papered over hash-map order is gone.
+        let expired: Vec<MacAddr> = self
             .stations
             .iter()
             .filter(|(_, e)| now.saturating_since(e.last_seen) > timeout)
             .map(|(m, _)| *m)
             .collect();
-        // Sorted so downstream event order never depends on HashMap order.
-        expired.sort();
         let me = self.config.bssid;
         expired
             .into_iter()

@@ -33,6 +33,7 @@ impl Channel {
 
     /// Construct a channel, panicking outside 1–14.
     pub fn from_number(num: u8) -> Channel {
+        // simlint: allow(panic-path) — documented panicking constructor; the fallible twin is Channel::new
         Channel::new(num).unwrap_or_else(|| panic!("invalid 2.4 GHz channel {num}"))
     }
 

@@ -97,10 +97,9 @@ pub trait RatedPhy {
             .iter()
             .max_by(|a, b| {
                 self.goodput_at(distance_m, len, **a)
-                    .partial_cmp(&self.goodput_at(distance_m, len, **b))
-                    .expect("goodput finite")
+                    .total_cmp(&self.goodput_at(distance_m, len, **b))
             })
-            .expect("ladder non-empty")
+            .unwrap_or(&Rate::LADDER[0])
     }
 }
 
@@ -172,8 +171,10 @@ impl Arf {
     pub fn on_failure(&mut self) {
         self.successes = 0;
         if self.probing {
-            // The upward probe failed immediately: revert.
-            self.rate = self.rate.down().expect("probe implies a lower rate exists");
+            // The upward probe failed immediately: revert. A probe is only
+            // armed after a successful `up()`, so a lower rate exists; stay
+            // put if that invariant ever breaks rather than panicking.
+            self.rate = self.rate.down().unwrap_or(self.rate);
             self.probing = false;
             self.failures = 0;
             return;
