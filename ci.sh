@@ -75,6 +75,19 @@ else
     echo "skip: bench artifact step failed (non-gating)"
 fi
 
+step "DES hot-path bench artifact (non-gating)"
+# Headline engine throughput: events/sec on the fig5-scale world, plus
+# queue/intern microbenches, archived next to the recorded pre-rework
+# baseline so the speedup is auditable from one JSON file.
+if des_out=$(SPIDER_BENCH_BUDGET_MS=200 SPIDER_BENCH_JSON="$PWD/target/BENCH_des.json" \
+    cargo bench --offline -p bench --bench des_core 2>/dev/null) \
+    && [ -s target/BENCH_des.json ]; then
+    echo "ok: wrote target/BENCH_des.json"
+    printf '%s\n' "$des_out" | grep "events/sec" || true
+else
+    echo "skip: DES bench artifact step failed (non-gating)"
+fi
+
 step "cargo fmt --check"
 if cargo fmt --version >/dev/null 2>&1; then
     cargo fmt --all --check

@@ -46,6 +46,7 @@ pub struct Harness {
     ran: usize,
     json_path: Option<std::path::PathBuf>,
     stats: Vec<BenchStat>,
+    extras: Vec<(String, String)>,
 }
 
 impl Harness {
@@ -66,7 +67,24 @@ impl Harness {
             ran: 0,
             json_path,
             stats: Vec::new(),
+            extras: Vec::new(),
         }
+    }
+
+    /// Median ns/iteration of the most recently completed bench, `None`
+    /// when nothing has run yet (filtered out or no `bench` call). Lets a
+    /// bench target derive headline numbers (events/sec) from a timing it
+    /// just took without re-measuring.
+    pub fn last_median_ns(&self) -> Option<f64> {
+        self.stats.last().map(|s| s.median_ns)
+    }
+
+    /// Attach an extra top-level field to the JSON artifact. `value` must
+    /// already be valid JSON (a number, string literal, or object) — it is
+    /// spliced in verbatim. Benches use this to record derived headline
+    /// numbers (e.g. events/sec) next to the raw per-bench timings.
+    pub fn annotate(&mut self, key: &str, value: impl Into<String>) {
+        self.extras.push((key.to_string(), value.into()));
     }
 
     /// Time `f`, printing one summary line. The closure's return value is
@@ -166,7 +184,11 @@ impl Harness {
                 s.name, s.min_ns, s.median_ns, s.mean_ns, s.batches, s.iters
             ));
         }
-        out.push_str("]}\n");
+        out.push(']');
+        for (key, value) in &self.extras {
+            out.push_str(&format!(",\"{key}\":{value}"));
+        }
+        out.push_str("}\n");
         out
     }
 }
@@ -204,6 +226,7 @@ mod tests {
             ran: 0,
             json_path: None,
             stats: Vec::new(),
+            extras: Vec::new(),
         }
     }
 
@@ -242,5 +265,15 @@ mod tests {
         assert!(json.contains("\"name\":\"beta\""));
         assert!(json.trim_end().ends_with("]}"));
         assert_eq!(json.matches("\"median_ns\":").count(), 2);
+    }
+
+    #[test]
+    fn annotations_become_top_level_json_fields() {
+        let mut h = test_harness(None);
+        h.bench("alpha", || 1u64);
+        h.annotate("events_per_sec", "123456.7");
+        h.annotate("scenario", "\"fig5\"");
+        let json = h.json_artifact();
+        assert!(json.contains("],\"events_per_sec\":123456.7,\"scenario\":\"fig5\"}"));
     }
 }

@@ -52,7 +52,7 @@ use std::path::PathBuf;
 use std::time::Instant;
 
 use sim_engine::par::{self, CancelToken};
-use spider_core::world::{run, RunResult, WorldConfig};
+use spider_core::world::{run_with_diagnostics, RunResult, WorldConfig};
 
 use cache::RecordCache;
 use manifest::{Manifest, ManifestEntry};
@@ -187,7 +187,7 @@ impl Campaign {
                         path: record_rel_path(&hash),
                     };
                     manifest.append(&entry)?;
-                    progress.shard_done(&label, &hash, true, 0, self.workers);
+                    progress.shard_done(&label, &hash, true, 0, self.workers, None);
                     slots[index] = Some(ShardOutcome {
                         label,
                         record_path: cache.record_path(&hash),
@@ -213,7 +213,7 @@ impl Campaign {
             &self.cancel,
             move |_, (index, label, hash, world)| {
                 let started = Instant::now();
-                let result = run(world);
+                let (result, diag) = run_with_diagnostics(world);
                 let wall_ms = started.elapsed().as_millis() as u64;
                 let record_path = cache_ref.store(&hash, &result)?;
                 manifest_ref.append(&ManifestEntry {
@@ -223,7 +223,14 @@ impl Campaign {
                     cache_hit: false,
                     path: record_rel_path(&hash),
                 })?;
-                progress_ref.shard_done(&label, &hash, false, wall_ms, self.workers);
+                progress_ref.shard_done(
+                    &label,
+                    &hash,
+                    false,
+                    wall_ms,
+                    self.workers,
+                    Some((diag.events_delivered, diag.peak_queue_depth)),
+                );
                 Ok::<_, io::Error>((
                     index,
                     ShardOutcome {

@@ -259,7 +259,15 @@ impl DhcpMessage {
 
     /// Encode to wire bytes (BOOTP header + magic + options).
     pub fn encode(&self) -> Bytes {
-        let mut buf = Writer::with_capacity(280);
+        let mut buf = Writer::with_capacity(self.wire_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encode into an existing [`Writer`], appending exactly
+    /// [`DhcpMessage::wire_len`] bytes; lets hot paths reuse one scratch
+    /// buffer across encodes.
+    pub fn encode_into(&self, buf: &mut Writer) {
         buf.put_u8(self.op);
         buf.put_u8(1); // htype: Ethernet
         buf.put_u8(6); // hlen
@@ -306,7 +314,6 @@ impl DhcpMessage {
             buf.put_slice(&ip.octets());
         }
         buf.put_u8(OPT_END);
-        buf.freeze()
     }
 
     /// Decode from wire bytes.
@@ -389,8 +396,24 @@ impl DhcpMessage {
     }
 
     /// Size on the wire (used for airtime accounting).
+    ///
+    /// Computed arithmetically — no encode, no allocation. Fixed cost is
+    /// the 236-byte BOOTP header, the 4-byte magic cookie, the 3-byte
+    /// message-type option and the END byte; each present optional option
+    /// adds its 6-byte TLV. A property test pins `wire_len()` to
+    /// `encode().len()` over generated messages.
     pub fn wire_len(&self) -> usize {
-        self.encode().len()
+        let optional = [
+            self.requested_ip.is_some(),
+            self.server_id.is_some(),
+            self.lease_secs.is_some(),
+            self.subnet_mask.is_some(),
+            self.router.is_some(),
+        ]
+        .iter()
+        .filter(|&&p| p)
+        .count();
+        236 + 4 + 3 + 6 * optional + 1
     }
 }
 

@@ -10,24 +10,56 @@
 //! [`EventId`], and [`EventQueue::cancel`] marks it dead; dead events are
 //! skipped on pop. This is O(1) per cancel and avoids the classic
 //! decrease-key problem.
+//!
+//! # Hot-path design: generation-tagged slots
+//!
+//! Cancellation is tracked by a slot arena, not an ordered tombstone set.
+//! Every scheduled event owns a slot (`u32` index into a `Vec`); the slot
+//! carries a generation counter and a live flag. An [`EventId`] is the
+//! `(slot, generation)` pair, so a stale handle — one whose event already
+//! fired, or whose slot was since recycled for a newer event — fails the
+//! generation check and cancels nothing. Pop checks one `Vec` element per
+//! entry instead of probing a `BTreeSet`, and slots are recycled through a
+//! free list, so a steady-state run performs no per-event allocation once
+//! the arena has grown to the peak number of outstanding events.
 
 use std::cmp::Ordering;
-use std::collections::{BTreeSet, BinaryHeap};
+use std::collections::BinaryHeap;
 
 use crate::time::Instant;
 
 /// Opaque handle identifying a scheduled event, used for cancellation.
+///
+/// Internally a `(slot, generation)` pair: cancelling a handle whose event
+/// already fired (and whose slot may have been recycled) is a harmless
+/// no-op because the generation no longer matches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct EventId(u64);
+pub struct EventId {
+    slot: u32,
+    gen: u32,
+}
 
-struct Entry<E> {
+/// Per-slot bookkeeping: the current generation, whether the event
+/// occupying the slot is still live (scheduled and not cancelled), and
+/// the event payload itself. Keeping the payload here — index-addressed
+/// by the 24-byte heap entries — means heap sift operations move small
+/// fixed-size keys instead of whole events.
+struct Slot<E> {
+    gen: u32,
+    live: bool,
+    event: Option<E>,
+}
+
+struct Entry {
     at: Instant,
     seq: u64,
-    event: E,
+    slot: u32,
 }
 
 // BinaryHeap is a max-heap; invert the ordering to pop the earliest event.
-impl<E> Ord for Entry<E> {
+// Ordering depends only on (at, seq) — slot assignment never affects the
+// pop order, which is what keeps the slot rewrite event-order-neutral.
+impl Ord for Entry {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .at
@@ -35,17 +67,17 @@ impl<E> Ord for Entry<E> {
             .then_with(|| other.seq.cmp(&self.seq))
     }
 }
-impl<E> PartialOrd for Entry<E> {
+impl PartialOrd for Entry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<E> PartialEq for Entry<E> {
+impl PartialEq for Entry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<E> Eq for Entry<E> {}
+impl Eq for Entry {}
 
 /// A deterministic future-event list.
 ///
@@ -58,17 +90,25 @@ impl<E> Eq for Entry<E> {}
 /// q.push(Instant::from_millis(10), "a");
 /// let id = q.push(Instant::from_millis(15), "cancelled");
 /// q.cancel(id);
+/// assert_eq!(q.live_len(), 2);
 /// assert_eq!(q.pop(), Some((Instant::from_millis(10), "a")));
 /// assert_eq!(q.pop(), Some((Instant::from_millis(20), "b")));
 /// assert_eq!(q.pop(), None);
 /// ```
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
-    cancelled: BTreeSet<u64>,
+    heap: BinaryHeap<Entry>,
+    /// Slot arena; entry `i` holds the event (if any) occupying slot `i`.
+    slots: Vec<Slot<E>>,
+    /// Recycled slot indices available for the next push.
+    free: Vec<u32>,
+    /// Number of cancelled entries still physically present in the heap.
+    cancelled: usize,
     next_seq: u64,
     /// Time of the most recently popped event; pops are monotone.
     now: Instant,
     popped: u64,
+    /// High-water mark of live (non-cancelled) scheduled events.
+    peak_live: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -82,10 +122,13 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: BTreeSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            cancelled: 0,
             next_seq: 0,
             now: Instant::ZERO,
             popped: 0,
+            peak_live: 0,
         }
     }
 
@@ -98,6 +141,12 @@ impl<E> EventQueue<E> {
     /// Total number of events delivered so far (diagnostics).
     pub fn delivered(&self) -> u64 {
         self.popped
+    }
+
+    /// High-water mark of live scheduled events over the queue's lifetime
+    /// (diagnostics; also the steady-state size of the slot arena).
+    pub fn peak_depth(&self) -> usize {
+        self.peak_live
     }
 
     /// Schedule `event` to fire at absolute time `at`.
@@ -113,42 +162,106 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Entry { at, seq, event });
-        EventId(seq)
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                let s = &mut self.slots[slot as usize];
+                s.live = true;
+                s.event = Some(event);
+                slot
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Slot {
+                    gen: 0,
+                    live: true,
+                    event: Some(event),
+                });
+                slot
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.heap.push(Entry { at, seq, slot });
+        let live = self.heap.len() - self.cancelled;
+        if live > self.peak_live {
+            self.peak_live = live;
+        }
+        EventId { slot, gen }
     }
 
     /// Cancel a previously scheduled event. Idempotent; cancelling an event
-    /// that already fired is a harmless no-op.
+    /// that already fired is a harmless no-op (the slot's generation has
+    /// moved on, so the stale handle matches nothing). O(1).
     pub fn cancel(&mut self, id: EventId) {
-        self.cancelled.insert(id.0);
+        if let Some(slot) = self.slots.get_mut(id.slot as usize) {
+            if slot.gen == id.gen && slot.live {
+                slot.live = false;
+                // Drop the payload now; the dead heap entry is just a key.
+                slot.event = None;
+                self.cancelled += 1;
+            }
+        }
+    }
+
+    /// Retire `slot` once its entry has left the heap: bump the generation
+    /// (invalidating outstanding handles) and recycle the index.
+    fn release_slot(&mut self, slot: u32) {
+        let s = &mut self.slots[slot as usize];
+        s.gen = s.gen.wrapping_add(1);
+        s.live = false;
+        s.event = None;
+        self.free.push(slot);
     }
 
     /// Pop the earliest live event, advancing the queue clock to its time.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            let event = self.slots[entry.slot as usize].event.take();
+            self.release_slot(entry.slot);
+            let Some(event) = event else {
+                // Cancelled: the payload was dropped at cancel time.
+                self.cancelled -= 1;
                 continue;
-            }
+            };
             debug_assert!(entry.at >= self.now, "event queue time went backwards");
             self.now = entry.at;
             self.popped += 1;
-            return Some((entry.at, entry.event));
+            return Some((entry.at, event));
         }
         None
     }
 
-    /// Time of the earliest live event, without popping it.
+    /// Time of the earliest live event, without popping it. Drains dead
+    /// entries from the top of the heap as a side effect, so repeated calls
+    /// are cheap; see [`EventQueue::next_live_time`] for a `&self` variant.
     pub fn peek_time(&mut self) -> Option<Instant> {
-        // Drain dead entries from the top so peek is accurate.
         while let Some(top) = self.heap.peek() {
-            if !self.cancelled.contains(&top.seq) {
+            if self.slots[top.slot as usize].live {
                 return Some(top.at);
             }
             if let Some(dead) = self.heap.pop() {
-                self.cancelled.remove(&dead.seq);
+                self.cancelled -= 1;
+                self.release_slot(dead.slot);
             }
         }
         None
+    }
+
+    /// Time of the earliest live event without mutating the queue.
+    ///
+    /// O(1) when the heap's top entry is live (the common case); falls back
+    /// to a full scan when cancelled entries are stacked on top. Prefer
+    /// [`EventQueue::peek_time`] in loops that also pop — it compacts as it
+    /// goes.
+    pub fn next_live_time(&self) -> Option<Instant> {
+        let top = self.heap.peek()?;
+        if self.slots[top.slot as usize].live {
+            return Some(top.at);
+        }
+        self.heap
+            .iter()
+            .filter(|e| self.slots[e.slot as usize].live)
+            .map(|e| e.at)
+            .min()
     }
 
     /// Pop the earliest live event if it fires at or before `deadline`,
@@ -160,14 +273,22 @@ impl<E> EventQueue<E> {
         self.pop()
     }
 
-    /// Number of scheduled events, *including* cancelled tombstones still in
-    /// the heap. Use [`EventQueue::has_live_events`] for an accurate
-    /// emptiness test.
+    /// Number of scheduled events **including cancelled entries** still
+    /// physically present in the heap. This over-counts after cancellations;
+    /// it exists because it is free. Use [`EventQueue::live_len`] for the
+    /// number of events that will actually fire, or
+    /// [`EventQueue::has_live_events`] for an emptiness test.
     pub fn len(&self) -> usize {
         self.heap.len()
     }
 
-    /// True if the heap holds nothing at all (not even tombstones).
+    /// Number of live (non-cancelled) scheduled events. O(1): maintained by
+    /// a cancelled-entry counter, not by scanning tombstones.
+    pub fn live_len(&self) -> usize {
+        self.heap.len() - self.cancelled
+    }
+
+    /// True if the heap holds nothing at all (not even cancelled entries).
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
@@ -246,6 +367,33 @@ mod tests {
     }
 
     #[test]
+    fn stale_handle_does_not_cancel_slot_reuser() {
+        // Event `a` fires; its slot is recycled by `b`. Cancelling the stale
+        // handle for `a` must not kill `b` — the generation tag prevents the
+        // ABA aliasing a bare slot index would suffer.
+        let mut q = EventQueue::new();
+        let a = q.push(Instant::from_millis(1), "a");
+        assert_eq!(q.pop().unwrap().1, "a");
+        let _b = q.push(Instant::from_millis(2), "b");
+        q.cancel(a); // stale: same slot, older generation
+        assert_eq!(q.live_len(), 1);
+        assert_eq!(q.pop().unwrap().1, "b");
+    }
+
+    #[test]
+    fn double_cancel_counts_once() {
+        let mut q = EventQueue::new();
+        let a = q.push(Instant::from_millis(1), ());
+        q.push(Instant::from_millis(2), ());
+        q.cancel(a);
+        q.cancel(a);
+        assert_eq!(q.live_len(), 1);
+        assert_eq!(q.len(), 2); // cancelled entry still physically queued
+        while q.pop().is_some() {}
+        assert_eq!(q.live_len(), 0);
+    }
+
+    #[test]
     fn peek_time_skips_cancelled() {
         let mut q = EventQueue::new();
         let a = q.push(Instant::from_millis(1), "a");
@@ -258,6 +406,19 @@ mod tests {
     }
 
     #[test]
+    fn next_live_time_is_non_draining() {
+        let mut q = EventQueue::new();
+        let a = q.push(Instant::from_millis(1), "a");
+        q.push(Instant::from_millis(9), "b");
+        q.cancel(a);
+        // &self peek sees through the cancelled top without compacting.
+        assert_eq!(q.next_live_time(), Some(Instant::from_millis(9)));
+        assert_eq!(q.len(), 2, "non-draining peek must not pop dead entries");
+        assert_eq!(q.pop().unwrap().1, "b");
+        assert_eq!(q.next_live_time(), None);
+    }
+
+    #[test]
     fn delivered_counts_only_live_events() {
         let mut q = EventQueue::new();
         let a = q.push(Instant::from_millis(1), ());
@@ -265,6 +426,36 @@ mod tests {
         q.cancel(a);
         while q.pop().is_some() {}
         assert_eq!(q.delivered(), 1);
+    }
+
+    #[test]
+    fn peak_depth_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.peak_depth(), 0);
+        for i in 0..5 {
+            q.push(Instant::from_millis(i), ());
+        }
+        while q.pop().is_some() {}
+        q.push(Instant::from_millis(10), ());
+        assert_eq!(q.peak_depth(), 5);
+    }
+
+    #[test]
+    fn slots_are_recycled_not_leaked() {
+        // Steady-state churn must not grow the arena past the peak number
+        // of outstanding events.
+        let mut q = EventQueue::new();
+        for round in 0..100u64 {
+            for i in 0..4 {
+                q.push(Instant::from_millis(round * 10 + i), i);
+            }
+            while q.pop().is_some() {}
+        }
+        assert!(
+            q.slots.len() <= 4,
+            "slot arena grew to {} for 4 outstanding events",
+            q.slots.len()
+        );
     }
 
     #[test]
@@ -284,5 +475,48 @@ mod tests {
             assert_eq!(got, seq);
         }
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn randomized_churn_with_cancels_matches_reference() {
+        // Interleaved push/cancel/pop against a sorted reference model,
+        // exercising slot recycling under realistic timer-rearm churn.
+        let mut rng = Rng::new(0xDE5);
+        let mut q = EventQueue::new();
+        let mut live: Vec<(u64, u64, EventId)> = Vec::new(); // (ms, payload, id)
+        let mut next_payload = 0u64;
+        for _ in 0..5_000 {
+            match rng.range_u64(0, 3) {
+                0 => {
+                    let t = q.now().as_micros() / 1000 + rng.range_u64(0, 50);
+                    let id = q.push(Instant::from_millis(t), next_payload);
+                    live.push((t, next_payload, id));
+                    next_payload += 1;
+                }
+                1 if !live.is_empty() => {
+                    let k = rng.range_u64(0, live.len() as u64) as usize;
+                    let (_, _, id) = live.swap_remove(k);
+                    q.cancel(id);
+                }
+                _ => {
+                    // Reference pop: earliest (time, payload) — payloads are
+                    // assigned in push order, so they mirror the seq tiebreak.
+                    live.sort_by_key(|&(t, payload, _)| (t, payload));
+                    let expect = live.first().copied();
+                    match (q.pop(), expect) {
+                        (Some((at, got)), Some((t, payload, _))) => {
+                            live.remove(0);
+                            assert_eq!(at, Instant::from_millis(t));
+                            assert_eq!(got, payload);
+                        }
+                        (None, None) => {}
+                        (got, want) => {
+                            panic!("queue {got:?} disagrees with reference {want:?}")
+                        }
+                    }
+                }
+            }
+            assert_eq!(q.live_len(), live.len());
+        }
     }
 }

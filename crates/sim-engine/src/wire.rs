@@ -210,6 +210,29 @@ impl Writer {
     pub fn into_vec(self) -> Vec<u8> {
         self.buf
     }
+
+    /// Reset to empty, keeping the allocation: the scratch-buffer mode.
+    ///
+    /// A long-lived `Writer` cleared between encodes amortizes its buffer
+    /// across every frame on a hot path — `clear` + [`Writer::to_bytes`]
+    /// performs exactly one allocation per encode (the shared `Bytes`),
+    /// where `Writer::new` + [`Writer::freeze`] pays a growth
+    /// reallocation on top.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// The bytes written so far, as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Copy the current contents into an immutable buffer **without**
+    /// consuming the writer; pair with [`Writer::clear`] to reuse the
+    /// scratch allocation for the next encode.
+    pub fn to_bytes(&self) -> Bytes {
+        Bytes::copy_from_slice(&self.buf)
+    }
 }
 
 /// A bounds-checked decode cursor over a byte slice.
@@ -411,6 +434,22 @@ mod tests {
         assert_eq!(out, [1, 2, 3]);
         let mut too_big = [0u8; 2];
         assert!(r.read_exact(&mut too_big).is_err());
+    }
+
+    #[test]
+    fn scratch_mode_reuses_allocation_across_encodes() {
+        let mut w = Writer::with_capacity(64);
+        w.put_slice(b"first frame");
+        let first = w.to_bytes();
+        assert_eq!(first.as_slice(), b"first frame");
+        assert_eq!(w.as_slice(), b"first frame", "to_bytes must not consume");
+
+        w.clear();
+        assert!(w.is_empty());
+        w.put_slice(b"second");
+        assert_eq!(w.to_bytes().as_slice(), b"second");
+        // The first snapshot is unaffected by the reuse.
+        assert_eq!(first.as_slice(), b"first frame");
     }
 
     #[test]

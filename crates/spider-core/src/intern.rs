@@ -1,0 +1,131 @@
+//! MacAddr interning: dense ids for the per-event hot path.
+//!
+//! The world knows every BSSID at build time (one per deployed AP), so all
+//! per-frame state keyed by `MacAddr` can live in plain `Vec`s indexed by a
+//! dense `usize` id instead of ordered maps. [`MacIntern`] is the bridge: it
+//! is built once from the AP list, resolves an address to its id with a
+//! binary search over a sorted table (cache-friendly, no per-node pointer
+//! chasing), and iterates ids **in MacAddr order** — the exact order the
+//! previous `BTreeMap`-keyed state iterated in, which event-order
+//! determinism depends on (candidate order feeds tie-breaking in
+//! `select_aps`, and score sums are floating-point order-sensitive).
+
+use wifi_mac::addr::MacAddr;
+
+/// An immutable `MacAddr → usize` table built at world construction.
+///
+/// Ids are the insertion positions of the build iterator (AP indices in
+/// practice). If the same address appears twice, the later id wins —
+/// mirroring the `insert` semantics of the map this replaces.
+///
+/// ```
+/// use spider_core::intern::MacIntern;
+/// use wifi_mac::addr::MacAddr;
+///
+/// let table = MacIntern::build([MacAddr::ap(7), MacAddr::ap(3)]);
+/// assert_eq!(table.get(MacAddr::ap(3)), Some(1));
+/// assert_eq!(table.get(MacAddr::ap(9)), None);
+/// // Iteration is in MacAddr order, not insertion order.
+/// let ids: Vec<usize> = table.iter_sorted().map(|(_, id)| id).collect();
+/// assert_eq!(ids, vec![1, 0]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MacIntern {
+    /// `(address, id)` pairs sorted by address, one entry per address.
+    sorted: Vec<(MacAddr, usize)>,
+}
+
+impl MacIntern {
+    /// Build from addresses in id order: the n-th yielded address gets id n.
+    pub fn build(addrs: impl IntoIterator<Item = MacAddr>) -> MacIntern {
+        let mut sorted: Vec<(MacAddr, usize)> = addrs
+            .into_iter()
+            .enumerate()
+            .map(|(id, addr)| (addr, id))
+            .collect();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.cmp(&b.1)));
+        // Duplicates: keep the highest id (map-insert "last wins").
+        sorted.dedup_by(|a, b| {
+            if a.0 == b.0 {
+                *b = *a;
+                true
+            } else {
+                false
+            }
+        });
+        MacIntern { sorted }
+    }
+
+    /// The dense id for `addr`, if interned. O(log n), no allocation.
+    pub fn get(&self, addr: MacAddr) -> Option<usize> {
+        self.sorted
+            .binary_search_by(|&(a, _)| a.cmp(&addr))
+            .ok()
+            .map(|pos| self.sorted[pos].1)
+    }
+
+    /// All `(address, id)` pairs in ascending MacAddr order.
+    pub fn iter_sorted(&self) -> impl Iterator<Item = (MacAddr, usize)> + '_ {
+        self.sorted.iter().copied()
+    }
+
+    /// Number of distinct interned addresses.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if nothing was interned.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_ids_and_misses() {
+        let table = MacIntern::build((0..6).map(MacAddr::ap));
+        for id in 0..6usize {
+            assert_eq!(table.get(MacAddr::ap(id as u32)), Some(id));
+        }
+        assert_eq!(table.get(MacAddr::local(0)), None);
+        assert_eq!(table.len(), 6);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_mac_ordered_like_a_btreemap() {
+        use std::collections::BTreeMap;
+        // Insertion order deliberately scrambled relative to MacAddr order.
+        let addrs = [
+            MacAddr::ap(42),
+            MacAddr::local(7),
+            MacAddr::ap(1),
+            MacAddr::local(900),
+        ];
+        let table = MacIntern::build(addrs);
+        let reference: BTreeMap<MacAddr, usize> =
+            addrs.iter().enumerate().map(|(id, &a)| (a, id)).collect();
+        let got: Vec<(MacAddr, usize)> = table.iter_sorted().collect();
+        let want: Vec<(MacAddr, usize)> = reference.into_iter().collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn duplicate_addresses_keep_the_last_id() {
+        let a = MacAddr::ap(5);
+        let table = MacIntern::build([a, MacAddr::ap(9), a]);
+        assert_eq!(table.get(a), Some(2), "later insert must win");
+        assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn empty_table() {
+        let table = MacIntern::build([]);
+        assert!(table.is_empty());
+        assert_eq!(table.get(MacAddr::ap(0)), None);
+        assert_eq!(table.iter_sorted().count(), 0);
+    }
+}

@@ -29,6 +29,7 @@
 pub mod builder;
 pub mod config;
 pub mod history;
+pub mod intern;
 pub mod metrics;
 pub mod report;
 pub mod selection;
@@ -37,7 +38,8 @@ pub mod world;
 pub use builder::WorldBuilder;
 pub use config::{SchedulePolicy, SelectionPolicy, SpiderConfig};
 pub use history::ApHistory;
+pub use intern::MacIntern;
 pub use metrics::Metrics;
 pub use report::{NonFiniteField, Quantiles, Report, ReportParseError, RunRecord};
 pub use selection::{select_aps, Candidate};
-pub use world::{run, ClientMotion, RunResult, WorldConfig};
+pub use world::{run, run_with_diagnostics, ClientMotion, RunDiagnostics, RunResult, WorldConfig};

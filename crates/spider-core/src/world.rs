@@ -34,7 +34,7 @@
 //! backlog, `SPIDER_DEBUG_REBUF` logs failed in-flight rebuffers, and
 //! `SPIDER_DEBUG_BH` prints per-AP backhaul drop totals at the end.
 
-use std::collections::BTreeMap;
+use std::cell::Cell;
 
 use dhcp::client::{DhcpAction, DhcpClient, Lease};
 use dhcp::message::DhcpMessage;
@@ -63,6 +63,7 @@ use workload::shaper::SerialLink;
 
 use crate::config::{SchedulePolicy, SpiderConfig};
 use crate::history::ApHistory;
+use crate::intern::MacIntern;
 use crate::metrics::Metrics;
 use crate::selection::{select_aps, Candidate};
 
@@ -323,23 +324,74 @@ struct ApNode {
     downlink: SerialLink,
     /// AP → server pipe for ACKs.
     uplink: SerialLink,
-    senders: BTreeMap<u64, BulkSender>,
+    /// Live content-server connections, sorted by connection id (ids are
+    /// minted monotonically, so pushes keep the order). A handful at most
+    /// per AP, so a linear scan beats an ordered map on the hot path.
+    senders: Vec<(u64, BulkSender)>,
+}
+
+impl ApNode {
+    fn sender_mut(&mut self, conn: u64) -> Option<&mut BulkSender> {
+        self.senders
+            .iter_mut()
+            .find(|(c, _)| *c == conn)
+            .map(|(_, s)| s)
+    }
+
+    fn sender(&self, conn: u64) -> Option<&BulkSender> {
+        self.senders
+            .iter()
+            .find(|(c, _)| *c == conn)
+            .map(|(_, s)| s)
+    }
+
+    fn remove_sender(&mut self, conn: u64) {
+        // `retain` keeps the remaining connections in id order.
+        self.senders.retain(|(c, _)| *c != conn);
+    }
 }
 
 struct World {
     cfg: WorldConfig,
     aps: Vec<ApNode>,
-    bssid_to_ap: BTreeMap<MacAddr, usize>,
+    /// BSSID → AP index, interned at build time; also drives every
+    /// MacAddr-ordered iteration over per-AP state (see [`MacIntern`]).
+    bssids: MacIntern,
     radio: Radio,
     ifaces: Vec<Iface>,
-    scan: BTreeMap<MacAddr, Candidate>,
+    /// Scan candidates, indexed by AP id (dense; `None` = never heard).
+    /// MacAddr-ordered iteration goes through `bssids.iter_sorted()`.
+    scan: Vec<Option<Candidate>>,
     history: ApHistory,
     metrics: Metrics,
-    /// Per-channel medium occupancy (next free instant).
-    medium: BTreeMap<Channel, Instant>,
+    /// Per-channel medium occupancy (next free instant), indexed by
+    /// [`Channel::index`]. `Instant::ZERO` means the channel was never
+    /// seized — the same default the old map's `or_insert` supplied.
+    medium: [Instant; Channel::COUNT],
     /// Spider's per-channel transmit queues (§3): frames bound for an
     /// off-channel AP wait here and flush when the radio arrives.
-    tx_queues: BTreeMap<Channel, Vec<(Instant, usize, Frame)>>,
+    /// Indexed by [`Channel::index`]; buffers are reused across swaps.
+    tx_queues: [Vec<(Instant, usize, Frame)>; Channel::COUNT],
+    /// Spare queue buffer swapped against `tx_queues` on channel switch so
+    /// steady-state flushes never allocate.
+    tx_spare: Vec<(Instant, usize, Frame)>,
+    /// Reusable encode buffer for the payload-wrapping hot path.
+    scratch: Writer,
+    /// Exact-key one-entry caches for the pure per-frame math. Keys are
+    /// the full bit patterns of the inputs, so a hit returns the *same*
+    /// f64 the recomputation would — determinism-safe by construction.
+    /// They earn their keep because one delivered frame touches the same
+    /// `(distance, len)` several times in a single event (send airtime +
+    /// delivery probability, then the ACK it triggers at the same `now`).
+    pos_cache: Cell<Option<(Instant, Point)>>,
+    /// Reusable per-event action buffers: the hot handlers `mem::take`
+    /// one, let the protocol layer push into it, drain it, and put it
+    /// back — steady state does zero action-Vec allocations per event.
+    ap_actions_scratch: Vec<ApAction>,
+    sender_actions_scratch: Vec<SenderAction>,
+    receiver_actions_scratch: Vec<ReceiverAction>,
+    fep_cache: Cell<Option<(u64, u32, f64)>>,
+    rssi_cache: Cell<Option<(u64, f64)>>,
     rng_phy: Rng,
     rng_ap: Rng,
     rng_radio: Rng,
@@ -381,15 +433,11 @@ impl World {
                     dhcp: DhcpServer::new(dhcp_cfg),
                     downlink: SerialLink::new(site.backhaul_bps, cfg.backhaul_latency),
                     uplink: SerialLink::new(site.backhaul_bps, cfg.backhaul_latency),
-                    senders: BTreeMap::new(),
+                    senders: Vec::new(),
                 }
             })
             .collect();
-        let bssid_to_ap = aps
-            .iter()
-            .enumerate()
-            .map(|(i, a)| (a.mac.bssid(), i))
-            .collect();
+        let bssids = MacIntern::build(aps.iter().map(|a| a.mac.bssid()));
 
         let initial_channel = match &cfg.spider.schedule {
             SchedulePolicy::SingleChannel(c) => *c,
@@ -420,17 +468,26 @@ impl World {
             queue.push(Instant::ZERO + *reconsider, Event::Reconsider);
         }
 
+        let scan = vec![None; aps.len()];
         let world = World {
             cfg,
             aps,
-            bssid_to_ap,
+            bssids,
             radio,
             ifaces,
-            scan: BTreeMap::new(),
+            scan,
             history: ApHistory::new(),
             metrics: Metrics::new(),
-            medium: BTreeMap::new(),
-            tx_queues: BTreeMap::new(),
+            medium: [Instant::ZERO; Channel::COUNT],
+            tx_queues: std::array::from_fn(|_| Vec::new()),
+            tx_spare: Vec::new(),
+            scratch: Writer::with_capacity(256),
+            pos_cache: Cell::new(None),
+            ap_actions_scratch: Vec::new(),
+            sender_actions_scratch: Vec::new(),
+            receiver_actions_scratch: Vec::new(),
+            fep_cache: Cell::new(None),
+            rssi_cache: Cell::new(None),
             rng_phy,
             rng_ap,
             rng_radio,
@@ -450,7 +507,54 @@ impl World {
     }
 
     fn client_pos(&self, now: Instant) -> Point {
-        self.cfg.motion.position(now)
+        if let Some((t, p)) = self.pos_cache.get() {
+            if t == now {
+                return p;
+            }
+        }
+        let p = self.cfg.motion.position(now);
+        self.pos_cache.set(Some((now, p)));
+        p
+    }
+
+    /// Per-attempt frame error at `dist` for a `len`-byte frame, memoized
+    /// on the exact input bits (see the cache fields' doc comment).
+    fn frame_error_at(&self, dist: f64, len: usize) -> f64 {
+        let key = (dist.to_bits(), len as u32);
+        if let Some((d, l, e)) = self.fep_cache.get() {
+            if (d, l) == key {
+                return e;
+            }
+        }
+        let e = self.cfg.phy.frame_error_prob(dist, len);
+        self.fep_cache.set(Some((key.0, key.1, e)));
+        e
+    }
+
+    /// RSSI at `dist`, memoized on the exact input bits.
+    fn rssi_at(&self, dist: f64) -> f64 {
+        if let Some((d, rssi)) = self.rssi_cache.get() {
+            if d == dist.to_bits() {
+                return rssi;
+            }
+        }
+        let rssi = self.cfg.phy.link_at(dist).rssi_dbm;
+        self.rssi_cache.set(Some((dist.to_bits(), rssi)));
+        rssi
+    }
+
+    /// Wrap an encoded payload behind a protocol tag using the world's
+    /// scratch buffer: one `Bytes` allocation, no intermediate vector.
+    fn wrap_scratch(scratch: &mut Writer, proto: u8, encode: impl FnOnce(&mut Writer)) -> Bytes {
+        scratch.clear();
+        scratch.put_u8(proto);
+        encode(scratch);
+        scratch.to_bytes()
+    }
+
+    /// The scan-table entry for `bssid`, if that AP has been heard.
+    fn candidate_for(&self, bssid: MacAddr) -> Option<&Candidate> {
+        self.bssids.get(bssid).and_then(|id| self.scan[id].as_ref())
     }
 
     fn distance_to(&self, ap: usize, now: Instant) -> f64 {
@@ -459,7 +563,7 @@ impl World {
 
     /// Seize the channel medium for `airtime`; returns the arrival instant.
     fn seize_medium(&mut self, channel: Channel, now: Instant, airtime: Duration) -> Instant {
-        let free = self.medium.entry(channel).or_insert(Instant::ZERO);
+        let free = &mut self.medium[channel.index()];
         let start = now.max(*free);
         let arrival = start + airtime;
         *free = arrival;
@@ -490,7 +594,7 @@ impl World {
     ) {
         let channel = self.aps[ap].site.channel;
         if !self.radio.can_hear(channel, now) {
-            let q = self.tx_queues.entry(channel).or_default();
+            let q = &mut self.tx_queues[channel.index()];
             if q.len() < Self::TX_QUEUE_CAP {
                 q.push((now, ap, frame));
             } else {
@@ -502,21 +606,22 @@ impl World {
         let is_data = matches!(frame.body, FrameBody::Data(_));
         let dist = self.distance_to(ap, now);
         let (airtime, delivery) = if is_data {
+            let e = self.frame_error_at(dist, len);
             (
-                self.cfg.phy.expected_data_airtime(dist, len),
-                self.cfg.phy.data_delivery_prob(dist, len),
+                self.cfg.phy.expected_data_airtime_from_error(e, len),
+                self.cfg.phy.data_delivery_prob_from_error(e),
             )
         } else {
             (
                 self.cfg.phy.airtime(len),
-                self.cfg.phy.mgmt_delivery_prob(dist, len),
+                1.0 - self.frame_error_at(dist, len),
             )
         };
         // Uplink frames contend per-frame: the client wins the medium
         // within a couple of frame airtimes even when the AP has a deep
         // committed backlog (a FIFO pipe would wrongly park the client's
         // PSM announcements behind the AP's entire queue).
-        let free = self.medium.entry(channel).or_insert(Instant::ZERO);
+        let free = &mut self.medium[channel.index()];
         let contention = free.saturating_since(now).min(Duration::from_millis(3));
         let arrival = now + contention + airtime;
         self.dbg_up_airtime += airtime;
@@ -543,19 +648,16 @@ impl World {
         let len = frame.wire_len();
         let is_data = matches!(frame.body, FrameBody::Data(_));
         if is_data {
-            let backlog = self
-                .medium
-                .get(&channel)
-                .map(|&free| free.saturating_since(now))
-                .unwrap_or(Duration::ZERO);
+            let backlog = self.medium[channel.index()].saturating_since(now);
             if backlog > Self::AIR_QUEUE_BOUND {
                 self.air_drops += 1;
                 return;
             }
         }
-        let dist = self.distance_to(ap, now);
         let airtime = if is_data {
-            self.cfg.phy.expected_data_airtime(dist, len)
+            let dist = self.distance_to(ap, now);
+            let e = self.frame_error_at(dist, len);
+            self.cfg.phy.expected_data_airtime_from_error(e, len)
         } else {
             self.cfg.phy.airtime(len)
         };
@@ -568,11 +670,11 @@ impl World {
     fn process_ap_actions(
         &mut self,
         ap: usize,
-        actions: Vec<ApAction>,
+        actions: &mut Vec<ApAction>,
         queue: &mut EventQueue<Event>,
         now: Instant,
     ) {
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 ApAction::Send { delay, frame } => self.ap_send(ap, frame, delay, queue, now),
                 ApAction::ToUplink { from, payload } => {
@@ -598,12 +700,13 @@ impl World {
         match proto {
             PROTO_UDP => {
                 // DHCP: handled by the AP's embedded server.
-                let Ok(msg) = DhcpMessage::decode(&body) else {
+                let Ok(msg) = DhcpMessage::decode(body) else {
                     return;
                 };
                 let node = &mut self.aps[ap];
                 if let Some((delay, reply)) = node.dhcp.on_message(&msg, now, &mut self.rng_ap) {
-                    let reply_payload = wrap_proto(PROTO_UDP, &reply.encode());
+                    let reply_payload =
+                        Self::wrap_scratch(&mut self.scratch, PROTO_UDP, |w| reply.encode_into(w));
                     queue.push(
                         now + delay,
                         Event::DhcpReplyReady {
@@ -615,9 +718,11 @@ impl World {
                 }
             }
             PROTO_TCP => {
-                // ACK toward the content server: ride the uplink pipe.
+                // ACK toward the content server: ride the uplink pipe. The
+                // event keeps the tagged payload (an O(1) Bytes clone); the
+                // handler strips the tag on arrival.
                 if let Some(arrival) = self.aps[ap].uplink.transmit(now, body.len()) {
-                    queue.push(arrival, Event::BackhaulToServer { ap, payload: body });
+                    queue.push(arrival, Event::BackhaulToServer { ap, payload });
                 }
             }
             _ => {}
@@ -628,23 +733,20 @@ impl World {
         &mut self,
         ap: usize,
         conn: u64,
-        actions: Vec<SenderAction>,
+        actions: &mut Vec<SenderAction>,
         queue: &mut EventQueue<Event>,
         now: Instant,
     ) {
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 SenderAction::Transmit(seg) => {
                     if let Some(arrival) =
                         self.aps[ap].downlink.transmit(now, seg.wire_len() as usize)
                     {
-                        queue.push(
-                            arrival,
-                            Event::BackhaulToAp {
-                                ap,
-                                payload: wrap_proto(PROTO_TCP, &seg.encode()),
-                            },
-                        );
+                        let payload = Self::wrap_scratch(&mut self.scratch, PROTO_TCP, |w| {
+                            seg.encode_into(w)
+                        });
+                        queue.push(arrival, Event::BackhaulToAp { ap, payload });
                     }
                 }
                 SenderAction::ArmTimer { after, token } => {
@@ -652,7 +754,7 @@ impl World {
                 }
                 SenderAction::Connected => {}
                 SenderAction::Complete => {
-                    self.aps[ap].senders.remove(&conn);
+                    self.aps[ap].remove_sender(conn);
                     if let Some(iface_idx) = self.iface_for_conn(conn) {
                         let think = self.cfg.plan.think_time();
                         if think.is_zero() {
@@ -674,7 +776,7 @@ impl World {
                     }
                 }
                 SenderAction::Aborted => {
-                    self.aps[ap].senders.remove(&conn);
+                    self.aps[ap].remove_sender(conn);
                     // If the client is still bound to this AP, retry with a
                     // fresh connection (the old one died of timeouts).
                     if let Some(iface_idx) = self.iface_for_conn(conn) {
@@ -709,11 +811,11 @@ impl World {
             .next_object()
             .min(self.cfg.bytes_per_connection);
         let mut sender = BulkSender::new(self.cfg.tcp.clone(), conn, object, isn);
-        let actions = sender.start(now);
-        self.aps[ap].senders.insert(conn, sender);
+        let mut actions = sender.start(now);
+        self.aps[ap].senders.push((conn, sender));
         self.ifaces[iface_idx].conn = Some(conn);
         self.ifaces[iface_idx].receiver = Some(BulkReceiver::new(conn));
-        self.process_sender_actions(ap, conn, actions, queue, now);
+        self.process_sender_actions(ap, conn, &mut actions, queue, now);
     }
 
     fn process_mac_actions(
@@ -796,8 +898,9 @@ impl World {
                     };
                     let station = self.ifaces[iface_idx].addr;
                     let bssid = self.aps[ap].mac.bssid();
-                    let frame =
-                        Frame::data_to_ap(station, bssid, wrap_proto(PROTO_UDP, &msg.encode()));
+                    let payload =
+                        Self::wrap_scratch(&mut self.scratch, PROTO_UDP, |w| msg.encode_into(w));
+                    let frame = Frame::data_to_ap(station, bssid, payload);
                     self.client_send(ap, frame, queue, now);
                 }
                 DhcpAction::ArmTimer { after, token } => {
@@ -861,7 +964,7 @@ impl World {
     fn teardown_iface(&mut self, iface_idx: usize, now: Instant) {
         let iface = &mut self.ifaces[iface_idx];
         if let (Some(ap), Some(conn)) = (iface.ap, iface.conn) {
-            self.aps[ap].senders.remove(&conn);
+            self.aps[ap].remove_sender(conn);
         }
         if let Some(dhcp) = iface.dhcp.as_mut() {
             dhcp.abort();
@@ -903,26 +1006,28 @@ impl World {
         let len = frame.wire_len();
         let is_data = matches!(frame.body, FrameBody::Data(_));
         let delivery = if is_data {
-            self.cfg.phy.data_delivery_prob(dist, len)
+            self.cfg
+                .phy
+                .data_delivery_prob_from_error(self.frame_error_at(dist, len))
         } else {
-            self.cfg.phy.mgmt_delivery_prob(dist, len)
+            1.0 - self.frame_error_at(dist, len)
         };
         if !self.rng_phy.chance(delivery) {
             return;
         }
         // Opportunistic scanning: every beacon/probe-response refreshes the
-        // candidate table.
+        // candidate table. `addr2` is always an interned AP bssid here; the
+        // lookup canonicalizes it to the dense slot the old map keyed by.
         if let FrameBody::Beacon(b) | FrameBody::ProbeResp(b) = &frame.body {
-            let rssi = self.cfg.phy.link_at(dist).rssi_dbm;
-            self.scan.insert(
-                frame.addr2,
-                Candidate {
+            if let Some(slot) = self.bssids.get(frame.addr2) {
+                let rssi = self.rssi_at(dist);
+                self.scan[slot] = Some(Candidate {
                     bssid: frame.addr2,
                     channel: b.channel,
                     rssi_dbm: rssi,
                     last_heard: now,
-                },
-            );
+                });
+            }
         }
         // Route to the interface talking to this AP.
         let Some(iface_idx) = self
@@ -942,7 +1047,7 @@ impl World {
                 };
                 match proto {
                     PROTO_UDP => {
-                        if let Ok(msg) = DhcpMessage::decode(&body) {
+                        if let Ok(msg) = DhcpMessage::decode(body) {
                             if let Some(dhcp) = self.ifaces[iface_idx].dhcp.take() {
                                 let mut dhcp = dhcp;
                                 let actions = dhcp.handle_message(&msg, now);
@@ -952,7 +1057,7 @@ impl World {
                         }
                     }
                     PROTO_TCP => {
-                        if let Some(seg) = Segment::decode(&body) {
+                        if let Some(seg) = Segment::decode(body) {
                             self.on_client_segment(iface_idx, ap, seg, queue, now);
                         }
                     }
@@ -980,15 +1085,17 @@ impl World {
         let Some(mut receiver) = self.ifaces[iface_idx].receiver.take() else {
             return;
         };
-        let actions = receiver.on_segment(&seg, now);
+        let mut actions = std::mem::take(&mut self.receiver_actions_scratch);
+        receiver.on_segment_into(&seg, now, &mut actions);
         self.ifaces[iface_idx].receiver = Some(receiver);
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 ReceiverAction::Transmit(ack) => {
                     let station = self.ifaces[iface_idx].addr;
                     let bssid = self.aps[ap].mac.bssid();
-                    let frame =
-                        Frame::data_to_ap(station, bssid, wrap_proto(PROTO_TCP, &ack.encode()));
+                    let payload =
+                        Self::wrap_scratch(&mut self.scratch, PROTO_TCP, |w| ack.encode_into(w));
+                    let frame = Frame::data_to_ap(station, bssid, payload);
                     self.client_send(ap, frame, queue, now);
                 }
                 ReceiverAction::Deliver { bytes } => {
@@ -997,6 +1104,7 @@ impl World {
                 ReceiverAction::Finished => {}
             }
         }
+        self.receiver_actions_scratch = actions;
     }
 
     /// Driver evaluation: tear down links to vanished APs, start new joins,
@@ -1013,8 +1121,7 @@ impl World {
             };
             let bssid = self.aps[ap].mac.bssid();
             let heard_recently = self
-                .scan
-                .get(&bssid)
+                .candidate_for(bssid)
                 .is_some_and(|c| now.saturating_since(c.last_heard) <= loss_timeout);
             if !heard_recently {
                 self.teardown_iface(idx, now);
@@ -1061,12 +1168,17 @@ impl World {
         if budget == 0 || self.radio.is_busy(now) || now < self.dhcp_idle_until {
             return 0;
         }
-        // `scan` is a BTreeMap precisely so this iteration is in MacAddr
-        // order: candidate order feeds tie-breaking in `select_aps`, and a
-        // process-randomized order here once meant two identical runs could
-        // join APs in different orders (the simlint `unordered-map` rule
-        // now rejects any such state).
-        let candidates: Vec<Candidate> = self.scan.values().copied().collect();
+        // Iterating through `bssids.iter_sorted()` keeps this in MacAddr
+        // order — exactly the order the old BTreeMap-keyed scan table
+        // produced: candidate order feeds tie-breaking in `select_aps`, and
+        // a process-randomized order here once meant two identical runs
+        // could join APs in different orders (the simlint `unordered-map`
+        // rule still rejects any hash-keyed state).
+        let candidates: Vec<Candidate> = self
+            .bssids
+            .iter_sorted()
+            .filter_map(|(_, id)| self.scan[id])
+            .collect();
         let joined: Vec<MacAddr> = self
             .ifaces
             .iter()
@@ -1092,7 +1204,7 @@ impl World {
             if joined.contains(&bssid) {
                 continue;
             }
-            let Some(&ap) = self.bssid_to_ap.get(&bssid) else {
+            let Some(ap) = self.bssids.get(bssid) else {
                 continue;
             };
             let Some(idx) = self.ifaces.iter().position(|i| i.state == IfaceState::Idle) else {
@@ -1135,8 +1247,7 @@ impl World {
         let ssid = self.aps[ap].mac.config().ssid.clone();
         // Opportunistic scanning just heard this AP; skip the probe phase.
         let heard_just_now = self
-            .scan
-            .get(&bssid)
+            .candidate_for(bssid)
             .is_some_and(|c| now.saturating_since(c.last_heard) <= Duration::from_secs(1));
         let join_cfg = JoinConfig {
             use_probe: !heard_just_now,
@@ -1221,13 +1332,19 @@ impl World {
             self.client_send(ap, frame, queue, now);
         }
         // Swap in this channel's transmit queue: flush frames that waited
-        // out the off-channel period (dropping protocol-stale ones).
-        let pending = self.tx_queues.remove(&channel).unwrap_or_default();
-        for (queued_at, ap, frame) in pending {
+        // out the off-channel period (dropping protocol-stale ones). The
+        // queue's buffer is swapped against the spare and handed back after
+        // the drain, so steady-state switches reuse the same allocations.
+        let mut pending = std::mem::replace(
+            &mut self.tx_queues[channel.index()],
+            std::mem::take(&mut self.tx_spare),
+        );
+        for (queued_at, ap, frame) in pending.drain(..) {
             if now.saturating_since(queued_at) <= Self::TX_QUEUE_TTL {
                 self.client_send(ap, frame, queue, now);
             }
         }
+        self.tx_spare = pending;
         // Freshly on-channel with a whole slice ahead: the best moment to
         // start joins (this is Spider's "parallel per-channel association").
         self.try_start_joins(queue, now);
@@ -1242,18 +1359,23 @@ impl World {
             return;
         };
         let freshness = Duration::from_secs(3);
-        let score_of = |ch: Channel, scan: &BTreeMap<MacAddr, Candidate>, history: &ApHistory| {
-            scan.values()
-                .filter(|c| c.channel == ch)
-                .filter(|c| now.saturating_since(c.last_heard) <= freshness)
-                .map(|c| history.score(c.bssid, now))
-                .sum::<f64>()
-        };
+        // MacAddr-ordered iteration (via the sorted id table) keeps the
+        // floating-point sum in the same order the BTreeMap produced.
+        let score_of =
+            |ch: Channel, bssids: &MacIntern, scan: &[Option<Candidate>], history: &ApHistory| {
+                bssids
+                    .iter_sorted()
+                    .filter_map(|(_, id)| scan[id].as_ref())
+                    .filter(|c| c.channel == ch)
+                    .filter(|c| now.saturating_since(c.last_heard) <= freshness)
+                    .map(|c| history.score(c.bssid, now))
+                    .sum::<f64>()
+            };
         let current = self.radio.channel();
-        let current_score = score_of(current, &self.scan, &self.history);
+        let current_score = score_of(current, &self.bssids, &self.scan, &self.history);
         let mut best = (current, current_score);
         for ch in wifi_mac::ORTHOGONAL {
-            let s = score_of(ch, &self.scan, &self.history);
+            let s = score_of(ch, &self.bssids, &self.scan, &self.history);
             if s > best.1 {
                 best = (ch, s);
             }
@@ -1341,11 +1463,14 @@ impl Handler<Event> for World {
             Event::BeaconTick { ap } => self.beacon_tick(ap, queue, now),
             Event::AirToClient { ap, frame } => self.on_air_to_client(ap, frame, queue, now),
             Event::AirToAp { ap, frame } => {
-                let actions = {
+                let mut actions = std::mem::take(&mut self.ap_actions_scratch);
+                {
                     let node = &mut self.aps[ap];
-                    node.mac.on_frame(&frame, now, &mut self.rng_ap)
-                };
-                self.process_ap_actions(ap, actions, queue, now);
+                    node.mac
+                        .on_frame_into(&frame, now, &mut self.rng_ap, &mut actions);
+                }
+                self.process_ap_actions(ap, &mut actions, queue, now);
+                self.ap_actions_scratch = actions;
             }
             Event::MacTimer { iface, gen, token } => {
                 if self.ifaces[iface].gen != gen {
@@ -1368,17 +1493,21 @@ impl Handler<Event> for World {
                 }
             }
             Event::SenderTimer { ap, conn, token } => {
-                let actions = match self.aps[ap].senders.get_mut(&conn) {
-                    Some(sender) => sender.on_timer(token, now),
-                    None => return,
-                };
+                let mut actions = std::mem::take(&mut self.sender_actions_scratch);
+                match self.aps[ap].sender_mut(conn) {
+                    Some(sender) => sender.on_timer_into(token, now, &mut actions),
+                    None => {
+                        self.sender_actions_scratch = actions;
+                        return;
+                    }
+                }
                 if actions
                     .iter()
                     .any(|a| matches!(a, SenderAction::Transmit(_)))
                 {
                     self.tcp_rtos += 1;
                     if std::env::var("SPIDER_DEBUG_RTO").is_ok() {
-                        let s = self.aps[ap].senders.get(&conn);
+                        let s = self.aps[ap].sender(conn);
                         eprintln!(
                             "RTO at {now} conn={conn} srtt={:?} cwnd={:?}",
                             s.and_then(|x| x.srtt()),
@@ -1386,14 +1515,15 @@ impl Handler<Event> for World {
                         );
                     }
                 }
-                self.process_sender_actions(ap, conn, actions, queue, now);
+                self.process_sender_actions(ap, conn, &mut actions, queue, now);
+                self.sender_actions_scratch = actions;
             }
             Event::BackhaulToAp { ap, payload } => {
                 // A TCP segment for our client: find which interface.
                 let Some((_, body)) = unwrap_proto(&payload) else {
                     return;
                 };
-                let Some(seg) = Segment::decode(&body) else {
+                let Some(seg) = Segment::decode(body) else {
                     return;
                 };
                 let Some(iface_idx) = self
@@ -1404,26 +1534,44 @@ impl Handler<Event> for World {
                     return;
                 };
                 let station = self.ifaces[iface_idx].addr;
-                let actions = self.aps[ap].mac.deliver_downlink(station, payload, now);
-                self.process_ap_actions(ap, actions, queue, now);
+                let mut actions = std::mem::take(&mut self.ap_actions_scratch);
+                self.aps[ap]
+                    .mac
+                    .deliver_downlink_into(station, payload, now, &mut actions);
+                self.process_ap_actions(ap, &mut actions, queue, now);
+                self.ap_actions_scratch = actions;
             }
             Event::BackhaulToServer { ap, payload } => {
-                let Some(seg) = Segment::decode(&payload) else {
+                // The payload still carries its protocol tag (kept to make
+                // the uplink enqueue copy-free); strip it here.
+                let Some((_, body)) = unwrap_proto(&payload) else {
                     return;
                 };
-                let actions = match self.aps[ap].senders.get_mut(&seg.conn) {
-                    Some(sender) => sender.on_segment(&seg, now),
-                    None => return,
+                let Some(seg) = Segment::decode(body) else {
+                    return;
                 };
-                self.process_sender_actions(ap, seg.conn, actions, queue, now);
+                let mut actions = std::mem::take(&mut self.sender_actions_scratch);
+                match self.aps[ap].sender_mut(seg.conn) {
+                    Some(sender) => sender.on_segment_into(&seg, now, &mut actions),
+                    None => {
+                        self.sender_actions_scratch = actions;
+                        return;
+                    }
+                }
+                self.process_sender_actions(ap, seg.conn, &mut actions, queue, now);
+                self.sender_actions_scratch = actions;
             }
             Event::DhcpReplyReady {
                 ap,
                 station,
                 payload,
             } => {
-                let actions = self.aps[ap].mac.deliver_downlink(station, payload, now);
-                self.process_ap_actions(ap, actions, queue, now);
+                let mut actions = std::mem::take(&mut self.ap_actions_scratch);
+                self.aps[ap]
+                    .mac
+                    .deliver_downlink_into(station, payload, now, &mut actions);
+                self.process_ap_actions(ap, &mut actions, queue, now);
+                self.ap_actions_scratch = actions;
             }
             Event::ScheduleSlice { idx } => self.schedule_slice(idx, queue, now),
             Event::SwitchBegin { target } => self.on_switch_begin(target, queue, now),
@@ -1445,8 +1593,7 @@ impl Handler<Event> for World {
                 // The candidate must still be around after the setup delay.
                 let bssid = self.aps[ap].mac.bssid();
                 let fresh = self
-                    .scan
-                    .get(&bssid)
+                    .candidate_for(bssid)
                     .is_some_and(|c| now.saturating_since(c.last_heard) <= Duration::from_secs(3));
                 if fresh {
                     self.ifaces[iface].state = IfaceState::Idle;
@@ -1457,7 +1604,14 @@ impl Handler<Event> for World {
             }
             Event::Maintenance => {
                 if std::env::var("SPIDER_DEBUG_MEDIUM").is_ok() {
-                    for (ch, free) in &self.medium {
+                    // Index order is channel-number order; never-seized
+                    // channels stay at ZERO, matching the old map's
+                    // "no entry" case.
+                    for (idx, free) in self.medium.iter().enumerate() {
+                        if *free == Instant::ZERO {
+                            continue;
+                        }
+                        let ch = Channel::from_number(idx as u8 + 1);
                         eprintln!(
                             "t={now} medium {ch} backlog={} down={}f/{} up={}f/{}",
                             free.saturating_since(now),
@@ -1470,6 +1624,7 @@ impl Handler<Event> for World {
                 }
                 if std::env::var("SPIDER_DEBUG_TCP").is_ok() {
                     for (i, apn) in self.aps.iter().enumerate() {
+                        // Vec order is connection-id order (monotone ids).
                         for (c, snd) in &apn.senders {
                             eprintln!(
                                 "t={now} ap={i} conn={c} cwnd={} flight={} srtt={:?} fr={} rto_cnt={} acked={} pump={} retx={}",
@@ -1480,8 +1635,8 @@ impl Handler<Event> for World {
                     }
                 }
                 for ap in 0..self.aps.len() {
-                    let actions = self.aps[ap].mac.expire_idle(now);
-                    self.process_ap_actions(ap, actions, queue, now);
+                    let mut actions = self.aps[ap].mac.expire_idle(now);
+                    self.process_ap_actions(ap, &mut actions, queue, now);
                 }
                 queue.push(now + Duration::from_secs(1), Event::Maintenance);
             }
@@ -1489,26 +1644,46 @@ impl Handler<Event> for World {
     }
 }
 
-fn wrap_proto(proto: u8, body: &[u8]) -> Bytes {
-    let mut buf = Writer::with_capacity(1 + body.len());
-    buf.put_u8(proto);
-    buf.put_slice(body);
-    buf.freeze()
+/// Split a tagged payload into its protocol tag and body. Borrows — the
+/// per-frame hot path must not copy payloads just to look at them.
+fn unwrap_proto(payload: &[u8]) -> Option<(u8, &[u8])> {
+    match payload {
+        [proto, body @ ..] => Some((*proto, body)),
+        [] => None,
+    }
 }
 
-fn unwrap_proto(payload: &[u8]) -> Option<(u8, Bytes)> {
-    if payload.is_empty() {
-        return None;
-    }
-    Some((payload[0], Bytes::copy_from_slice(&payload[1..])))
+/// Deterministic per-run performance counters, reported alongside the
+/// [`RunResult`] by [`run_with_diagnostics`].
+///
+/// These are intentionally **not** part of `RunRecord` JSON: the record is
+/// the content-addressed campaign cache format and must stay byte-identical
+/// for a given `WorldConfig`, while throughput-style numbers derived from
+/// these counters (events/sec) mix in wall-clock time. The campaign layer
+/// reports them on stderr instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunDiagnostics {
+    /// Events delivered by the queue over the run (deterministic).
+    pub events_delivered: u64,
+    /// High-water mark of scheduled events (deterministic).
+    pub peak_queue_depth: usize,
 }
 
 /// Run one experiment to completion.
 pub fn run(config: WorldConfig) -> RunResult {
+    run_with_diagnostics(config).0
+}
+
+/// Run one experiment to completion, also reporting engine counters.
+pub fn run_with_diagnostics(config: WorldConfig) -> (RunResult, RunDiagnostics) {
     let duration = config.duration;
     let (mut world, mut queue) = World::new(config);
     run_until(&mut queue, &mut world, Instant::ZERO + duration);
-    world.result()
+    let diagnostics = RunDiagnostics {
+        events_delivered: queue.delivered(),
+        peak_queue_depth: queue.peak_depth(),
+    };
+    (world.result(), diagnostics)
 }
 
 #[cfg(test)]

@@ -222,11 +222,10 @@ impl BulkSender {
         vec![SenderAction::Transmit(syn), self.arm()]
     }
 
-    /// Fill the window with new data segments.
-    fn pump(&mut self, now: Instant) -> Vec<SenderAction> {
-        let mut out = Vec::new();
+    /// Fill the window with new data segments, pushing into `out`.
+    fn pump_into(&mut self, now: Instant, out: &mut Vec<SenderAction>) {
         if self.state != SenderState::Established {
-            return out;
+            return;
         }
         let wnd = self.cc.cwnd().min(self.config.rwnd);
         while self.flight() < wnd && self.snd_nxt != self.data_end {
@@ -267,7 +266,6 @@ impl BulkSender {
             self.snd_nxt = self.snd_nxt + 1;
             out.push(SenderAction::Transmit(fin));
         }
-        out
     }
 
     /// Merge the segment's SACK blocks into the scoreboard.
@@ -315,14 +313,14 @@ impl BulkSender {
     /// holes below the highest SACKed byte (the core of RFC 6675 loss
     /// recovery: repair a whole burst within about one RTT instead of one
     /// hole per RTT).
-    fn sack_retransmits(&mut self, now: Instant, budget: usize) -> Vec<SenderAction> {
-        let mut out = Vec::new();
+    fn sack_retransmits_into(&mut self, now: Instant, budget: usize, out: &mut Vec<SenderAction>) {
         let Some(&(_, highest)) = self.sacked.last() else {
-            return out;
+            return;
         };
         let mss = self.config.mss;
         let mut chunk = self.snd_una;
-        while out.len() < budget && chunk.distance(highest) < 0 {
+        let mut emitted = 0usize;
+        while emitted < budget && chunk.distance(highest) < 0 {
             if self.is_sacked(chunk) {
                 // Jump to the end of the covering run.
                 let run_end = self
@@ -357,10 +355,10 @@ impl BulkSender {
                 self.holes_retransmitted.push(chunk);
                 self.dbg_retx += 1;
                 out.push(SenderAction::Transmit(seg));
+                emitted += 1;
             }
             chunk = chunk + len;
         }
-        out
     }
 
     /// Retransmit the earliest unacknowledged segment.
@@ -387,38 +385,43 @@ impl BulkSender {
 
     /// Feed an incoming segment (an ACK from the receiver).
     pub fn on_segment(&mut self, seg: &Segment, now: Instant) -> Vec<SenderAction> {
+        let mut out = Vec::new();
+        self.on_segment_into(seg, now, &mut out);
+        out
+    }
+
+    /// [`Self::on_segment`], pushing actions into a caller-owned buffer so
+    /// the per-event hot path reuses one allocation across segments.
+    pub fn on_segment_into(&mut self, seg: &Segment, now: Instant, out: &mut Vec<SenderAction>) {
         if seg.conn != self.conn {
-            return Vec::new();
+            return;
         }
         let Some(ack) = seg.ack else {
-            return Vec::new();
+            return;
         };
-        let mut out = Vec::new();
         if matches!(self.state, SenderState::Established | SenderState::FinSent) {
             self.absorb_sack(seg);
         }
         match self.state {
-            SenderState::SynSent => {
-                if seg.syn && ack == self.isn + 1 {
-                    self.snd_una = ack;
-                    if let Some(echo) = seg.ts_echo_us {
-                        self.rtt
-                            .sample(now.saturating_since(Instant::from_micros(echo)));
-                    }
-                    self.state = SenderState::Established;
-                    self.timeouts_in_a_row = 0;
-                    out.push(SenderAction::Connected);
-                    // ACK the SYN-ACK so the receiver also establishes.
-                    out.push(SenderAction::Transmit(Segment::ack_only(
-                        self.conn,
-                        self.snd_nxt,
-                        seg.seq_end(),
-                    )));
-                    out.extend(self.pump(now));
-                    out.push(self.arm());
+            SenderState::SynSent if seg.syn && ack == self.isn + 1 => {
+                self.snd_una = ack;
+                if let Some(echo) = seg.ts_echo_us {
+                    self.rtt
+                        .sample(now.saturating_since(Instant::from_micros(echo)));
                 }
-                out
+                self.state = SenderState::Established;
+                self.timeouts_in_a_row = 0;
+                out.push(SenderAction::Connected);
+                // ACK the SYN-ACK so the receiver also establishes.
+                out.push(SenderAction::Transmit(Segment::ack_only(
+                    self.conn,
+                    self.snd_nxt,
+                    seg.seq_end(),
+                )));
+                self.pump_into(now, out);
+                out.push(self.arm());
             }
+            SenderState::SynSent => {}
             SenderState::Established | SenderState::FinSent => {
                 if ack.distance(self.snd_una) > 0 {
                     // New cumulative ACK.
@@ -461,7 +464,7 @@ impl BulkSender {
                         self.cc.on_partial_ack(acked);
                         out.push(self.retransmit_front(now));
                         out.push(self.arm());
-                        return out;
+                        return;
                     }
                     if ack.distance(self.recover) >= 0 {
                         self.holes_retransmitted.clear();
@@ -472,9 +475,9 @@ impl BulkSender {
                         self.state = SenderState::Done;
                         self.timer_gen += 1; // disarm
                         out.push(SenderAction::Complete);
-                        return out;
+                        return;
                     }
-                    out.extend(self.pump(now));
+                    self.pump_into(now, out);
                     out.push(self.arm());
                 } else if ack == self.snd_una && self.flight() > 0 {
                     // Duplicate ACK.
@@ -484,11 +487,10 @@ impl BulkSender {
                             self.frto = None;
                             self.recover = self.snd_nxt;
                             self.holes_retransmitted.clear();
-                            let retx = self.sack_retransmits(now, 2);
-                            if retx.is_empty() {
+                            let mark = out.len();
+                            self.sack_retransmits_into(now, 2, out);
+                            if out.len() == mark {
                                 out.push(self.retransmit_front(now));
-                            } else {
-                                out.extend(retx);
                             }
                             out.push(self.arm());
                         }
@@ -506,37 +508,46 @@ impl BulkSender {
                                     let front = self.snd_una;
                                     self.holes_retransmitted.retain(|&h| h != front);
                                 }
-                                out.extend(self.sack_retransmits(now, 1));
+                                self.sack_retransmits_into(now, 1, out);
                             }
                         }
                     }
                 }
-                out
             }
-            _ => out,
+            _ => {}
         }
     }
 
     /// Feed a retransmission-timer expiry. Stale tokens are ignored.
     pub fn on_timer(&mut self, token: u64, now: Instant) -> Vec<SenderAction> {
+        let mut out = Vec::new();
+        self.on_timer_into(token, now, &mut out);
+        out
+    }
+
+    /// [`Self::on_timer`], pushing actions into a caller-owned buffer
+    /// (see [`Self::on_segment_into`]).
+    pub fn on_timer_into(&mut self, token: u64, now: Instant, out: &mut Vec<SenderAction>) {
         if token != self.timer_gen
             || matches!(
                 self.state,
                 SenderState::Closed | SenderState::Done | SenderState::Aborted
             )
         {
-            return Vec::new();
+            return;
         }
         if self.flight() == 0 {
             // Nothing outstanding (idle window); keep the timer parked.
-            return vec![self.arm()];
+            out.push(self.arm());
+            return;
         }
         self.timeouts_in_a_row += 1;
         self.total_timeouts += 1;
         if self.timeouts_in_a_row > self.config.max_timeouts {
             self.state = SenderState::Aborted;
             self.timer_gen += 1;
-            return vec![SenderAction::Aborted];
+            out.push(SenderAction::Aborted);
+            return;
         }
         self.rtt.on_timeout();
         // Keep the SACK scoreboard (RFC 6675): the receiver still holds
@@ -550,15 +561,15 @@ impl BulkSender {
             self.state = SenderState::Established;
         }
         self.snd_nxt = self.snd_una;
-        let mut out = vec![self.retransmit_front(now)];
-        self.snd_nxt = self.snd_una.max(out_seq_end(&out[0]));
+        let mark = out.len();
+        out.push(self.retransmit_front(now));
+        self.snd_nxt = self.snd_una.max(out_seq_end(&out[mark]));
         // Eifel detection: if the next advancing ACK echoes a timestamp
         // taken before this retransmission, the original flight was still
         // delivering and the timeout was spurious (e.g. the receiver was
         // briefly off-channel in power-save); remember enough to undo.
         self.frto = Some((saved.0, saved.1, saved.2, now.as_micros()));
         out.push(self.arm());
-        out
     }
 }
 
@@ -655,9 +666,17 @@ impl BulkReceiver {
     }
 
     /// Feed an incoming segment from the sender.
-    pub fn on_segment(&mut self, seg: &Segment, _now: Instant) -> Vec<ReceiverAction> {
+    pub fn on_segment(&mut self, seg: &Segment, now: Instant) -> Vec<ReceiverAction> {
+        let mut out = Vec::new();
+        self.on_segment_into(seg, now, &mut out);
+        out
+    }
+
+    /// [`Self::on_segment`], pushing actions into a caller-owned buffer so
+    /// the per-event hot path reuses one allocation across segments.
+    pub fn on_segment_into(&mut self, seg: &Segment, _now: Instant, out: &mut Vec<ReceiverAction>) {
         if seg.conn != self.conn {
-            return Vec::new();
+            return;
         }
         if seg.ts_us != 0 {
             self.ts_recent = Some(seg.ts_us);
@@ -672,9 +691,7 @@ impl BulkReceiver {
                     synack.ack = Some(self.rcv_nxt);
                     synack.ts_echo_us = self.ts_recent;
                     self.local_seq = self.local_seq + 1;
-                    vec![ReceiverAction::Transmit(synack)]
-                } else {
-                    Vec::new()
+                    out.push(ReceiverAction::Transmit(synack));
                 }
             }
             ReceiverState::Established => {
@@ -684,13 +701,13 @@ impl BulkReceiver {
                     synack.syn = true;
                     synack.ack = Some(self.rcv_nxt);
                     synack.ts_echo_us = self.ts_recent;
-                    return vec![ReceiverAction::Transmit(synack)];
+                    out.push(ReceiverAction::Transmit(synack));
+                    return;
                 }
                 if seg.seq_len() == 0 {
                     // Pure ACK from the sender's handshake; nothing to do.
-                    return Vec::new();
+                    return;
                 }
-                let mut out = Vec::new();
                 if seg.fin {
                     // The FIN occupies one unit of sequence space but no
                     // payload; remember where it sits so reassembly does
@@ -729,11 +746,10 @@ impl BulkReceiver {
                         out.push(ReceiverAction::Finished);
                     }
                 }
-                out
             }
             ReceiverState::Finished => {
                 // Re-ACK anything (e.g. retransmitted FIN).
-                vec![ReceiverAction::Transmit(self.ack_now())]
+                out.push(ReceiverAction::Transmit(self.ack_now()));
             }
         }
     }

@@ -88,7 +88,14 @@ impl Segment {
 
     /// Encode to the compact simulation wire format (25 bytes).
     pub fn encode(&self) -> Bytes {
-        let mut buf = Writer::with_capacity(25);
+        let mut buf = Writer::with_capacity(48);
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encode into an existing [`Writer`]; hot paths reuse one scratch
+    /// buffer across segments instead of allocating per encode.
+    pub fn encode_into(&self, buf: &mut Writer) {
         buf.put_u64(self.conn);
         buf.put_u32(self.seq.value());
         match self.ack {
@@ -118,7 +125,6 @@ impl Segment {
             }
             None => buf.put_u8(0),
         }
-        buf.freeze()
     }
 
     /// Decode from the simulation wire format.

@@ -225,6 +225,20 @@ impl ApMac {
     /// Process a received frame at `now`. Frames not addressed to this BSS
     /// produce no actions.
     pub fn on_frame(&mut self, frame: &Frame, now: Instant, rng: &mut Rng) -> Vec<ApAction> {
+        let mut out = Vec::new();
+        self.on_frame_into(frame, now, rng, &mut out);
+        out
+    }
+
+    /// [`Self::on_frame`], pushing actions into a caller-owned buffer so
+    /// the per-event hot path reuses one allocation across frames.
+    pub fn on_frame_into(
+        &mut self,
+        frame: &Frame,
+        now: Instant,
+        rng: &mut Rng,
+        out: &mut Vec<ApAction>,
+    ) {
         let me = self.config.bssid;
         // Probe requests are accepted broadcast or directed; everything else
         // must address this AP.
@@ -244,30 +258,30 @@ impl ApMac {
                         self.config.channel,
                         now.as_micros(),
                     );
-                    vec![self.send_mgmt(resp, rng)]
-                } else {
-                    Vec::new()
+                    out.push(self.send_mgmt(resp, rng));
                 }
             }
             FrameBody::Auth(auth) if directed && auth.transaction == 1 => {
                 // Open-system auth: always accept.
                 let resp = Frame::auth_response(me, station, STATUS_SUCCESS);
-                vec![self.send_mgmt(resp, rng)]
+                out.push(self.send_mgmt(resp, rng));
             }
             FrameBody::AssocReq(req) if directed => {
                 if req.ssid != self.config.ssid {
-                    return Vec::new();
+                    return;
                 }
                 if let Some(entry) = self.stations.get(&station) {
                     // Re-association refreshes the existing entry.
                     let aid = entry.aid;
                     let resp = Frame::assoc_response(me, station, STATUS_SUCCESS, aid);
-                    return vec![self.send_mgmt(resp, rng)];
+                    out.push(self.send_mgmt(resp, rng));
+                    return;
                 }
                 if self.stations.len() >= self.config.capacity {
                     self.counters.assocs_refused += 1;
                     let resp = Frame::assoc_response(me, station, STATUS_AP_FULL, 0);
-                    return vec![self.send_mgmt(resp, rng)];
+                    out.push(self.send_mgmt(resp, rng));
+                    return;
                 }
                 let aid = self.next_aid;
                 self.next_aid += 1;
@@ -283,29 +297,26 @@ impl ApMac {
                 );
                 self.counters.assocs_granted += 1;
                 let resp = Frame::assoc_response(me, station, STATUS_SUCCESS, aid);
-                vec![self.send_mgmt(resp, rng)]
+                out.push(self.send_mgmt(resp, rng));
             }
             FrameBody::Null if directed => {
                 if let Some(entry) = self.stations.get_mut(&station) {
                     if frame.power_mgmt {
                         entry.psm = true;
                         entry.rebuffer_cursor = 0;
-                        Vec::new()
                     } else {
                         entry.psm = false;
-                        self.flush_buffer(station, now)
+                        self.flush_buffer_into(station, now, out);
                     }
-                } else {
-                    Vec::new()
                 }
             }
             FrameBody::PsPoll { aid } if directed => {
                 let max_age = self.config.psm_frame_max_age;
                 let Some(entry) = self.stations.get_mut(&station) else {
-                    return Vec::new();
+                    return;
                 };
                 if entry.aid != *aid {
-                    return Vec::new();
+                    return;
                 }
                 entry.rebuffer_cursor = 0;
                 // Age out stale frames first.
@@ -318,36 +329,34 @@ impl ApMac {
                     }
                 }
                 let Some((_, payload)) = entry.buffer.pop_front() else {
-                    return Vec::new();
+                    return;
                 };
                 let more = !entry.buffer.is_empty();
                 let mut f = Frame::data_from_ap(me, station, payload);
                 f.more_data = more;
-                vec![self.send_data(f)]
+                out.push(self.send_data(f));
             }
-            FrameBody::Data(payload) if directed && frame.to_ds => {
-                if self.stations.contains_key(&station) {
-                    vec![ApAction::ToUplink {
-                        from: station,
-                        payload: payload.clone(),
-                    }]
-                } else {
-                    // Class-3 frame from an unassociated station.
-                    Vec::new()
-                }
+            // Class-3 frames from unassociated stations fall through to
+            // the catch-all and produce nothing.
+            FrameBody::Data(payload)
+                if directed && frame.to_ds && self.stations.contains_key(&station) =>
+            {
+                out.push(ApAction::ToUplink {
+                    from: station,
+                    payload: payload.clone(),
+                });
             }
             FrameBody::Disassoc { .. } | FrameBody::Deauth { .. } if directed => {
                 self.stations.remove(&station);
-                Vec::new()
             }
-            _ => Vec::new(),
+            _ => {}
         }
     }
 
-    fn flush_buffer(&mut self, station: MacAddr, now: Instant) -> Vec<ApAction> {
+    fn flush_buffer_into(&mut self, station: MacAddr, now: Instant, out: &mut Vec<ApAction>) {
         let max_age = self.config.psm_frame_max_age;
         let Some(entry) = self.stations.get_mut(&station) else {
-            return Vec::new();
+            return;
         };
         entry.rebuffer_cursor = 0;
         let mut drained: Vec<Bytes> = Vec::with_capacity(entry.buffer.len());
@@ -360,15 +369,12 @@ impl ApMac {
         }
         let n = drained.len();
         let me = self.config.bssid;
-        drained
-            .into_iter()
-            .enumerate()
-            .map(|(i, payload)| {
-                let mut f = Frame::data_from_ap(me, station, payload);
-                f.more_data = i + 1 < n;
-                self.send_data(f)
-            })
-            .collect()
+        for (i, payload) in drained.into_iter().enumerate() {
+            let mut f = Frame::data_from_ap(me, station, payload);
+            f.more_data = i + 1 < n;
+            let action = self.send_data(f);
+            out.push(action);
+        }
     }
 
     /// Return an undeliverable in-flight frame to the front of `station`'s
@@ -403,11 +409,25 @@ impl ApMac {
         payload: Bytes,
         now: Instant,
     ) -> Vec<ApAction> {
+        let mut out = Vec::new();
+        self.deliver_downlink_into(station, payload, now, &mut out);
+        out
+    }
+
+    /// [`Self::deliver_downlink`], pushing into a caller-owned buffer
+    /// (see [`Self::on_frame_into`]).
+    pub fn deliver_downlink_into(
+        &mut self,
+        station: MacAddr,
+        payload: Bytes,
+        now: Instant,
+        out: &mut Vec<ApAction>,
+    ) {
         let psm_cap = self.config.psm_buffer_frames;
         let me = self.config.bssid;
         let Some(entry) = self.stations.get_mut(&station) else {
             self.counters.unassociated_drops += 1;
-            return Vec::new();
+            return;
         };
         if entry.psm {
             if entry.buffer.len() >= psm_cap {
@@ -416,10 +436,10 @@ impl ApMac {
                 entry.buffer.push_back((now, payload));
                 self.counters.psm_buffered += 1;
             }
-            Vec::new()
         } else {
             let f = Frame::data_from_ap(me, station, payload);
-            vec![self.send_data(f)]
+            let action = self.send_data(f);
+            out.push(action);
         }
     }
 

@@ -42,6 +42,15 @@ impl Channel {
         self.0
     }
 
+    /// Dense 0-based index (`number() - 1`), always `< Channel::COUNT`.
+    /// Lets per-channel state live in fixed arrays instead of maps.
+    pub const fn index(self) -> usize {
+        (self.0 - 1) as usize
+    }
+
+    /// Number of distinct 2.4 GHz channels (valid `index()` values).
+    pub const COUNT: usize = 14;
+
     /// Centre frequency in MHz (channel 14 is the Japanese special case).
     pub const fn centre_mhz(self) -> u32 {
         if self.0 == 14 {
@@ -82,6 +91,15 @@ mod tests {
         assert!(Channel::new(1).is_some());
         assert!(Channel::new(14).is_some());
         assert!(Channel::new(15).is_none());
+    }
+
+    #[test]
+    fn index_is_dense_and_bounded() {
+        assert_eq!(Channel::CH1.index(), 0);
+        assert_eq!(Channel::from_number(14).index(), Channel::COUNT - 1);
+        for n in 1..=14u8 {
+            assert!(Channel::from_number(n).index() < Channel::COUNT);
+        }
     }
 
     #[test]

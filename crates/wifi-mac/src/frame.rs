@@ -502,7 +502,16 @@ impl Frame {
 
     /// Encode to wire bytes.
     pub fn encode(&self) -> Bytes {
-        let mut buf = Writer::with_capacity(64);
+        let mut buf = Writer::with_capacity(self.wire_len());
+        self.encode_into(&mut buf);
+        buf.freeze()
+    }
+
+    /// Encode into an existing [`Writer`], appending exactly
+    /// [`Frame::wire_len`] bytes. Hot paths keep one scratch `Writer` and
+    /// call this between [`Writer::clear`]s to avoid a per-frame buffer
+    /// allocation.
+    pub fn encode_into(&self, buf: &mut Writer) {
         let (t, s) = self.body.type_subtype();
         let mut fc: u16 = ((t as u16) << 2) | ((s as u16) << 4);
         if self.to_ds {
@@ -528,13 +537,13 @@ impl Frame {
                 buf.put_u16_le(*aid | 0xC000); // two MSBs set per the standard
                 buf.put_slice(&self.addr1.octets());
                 buf.put_slice(&self.addr2.octets());
-                return buf.freeze();
+                return;
             }
             FrameBody::Ack => {
                 // ACK: FC, duration, RA.
                 buf.put_u16_le(self.duration);
                 buf.put_slice(&self.addr1.octets());
-                return buf.freeze();
+                return;
             }
             _ => {}
         }
@@ -550,13 +559,13 @@ impl Frame {
                 buf.put_u64_le(b.timestamp_us);
                 buf.put_u16_le(b.interval_tu);
                 buf.put_u16_le(b.capability);
-                put_ssid_ie(&mut buf, &b.ssid);
+                put_ssid_ie(buf, &b.ssid);
                 buf.put_u8(ie::DS_PARAMS);
                 buf.put_u8(1);
                 buf.put_u8(b.channel.number());
             }
             FrameBody::ProbeReq { ssid } => {
-                put_ssid_ie(&mut buf, ssid);
+                put_ssid_ie(buf, ssid);
             }
             FrameBody::Auth(a) => {
                 buf.put_u16_le(a.algorithm);
@@ -566,7 +575,7 @@ impl Frame {
             FrameBody::AssocReq(a) => {
                 buf.put_u16_le(a.capability);
                 buf.put_u16_le(a.listen_interval);
-                put_ssid_ie(&mut buf, &a.ssid);
+                put_ssid_ie(buf, &a.ssid);
             }
             FrameBody::AssocResp(a) => {
                 buf.put_u16_le(a.capability);
@@ -582,7 +591,6 @@ impl Frame {
             FrameBody::Null => {}
             FrameBody::PsPoll { .. } | FrameBody::Ack => unreachable!("handled above"),
         }
-        buf.freeze()
     }
 
     /// Decode from wire bytes.
@@ -714,8 +722,37 @@ impl Frame {
     }
 
     /// The frame's size on the wire in bytes (header + body, no FCS).
+    ///
+    /// Computed arithmetically from the layout — no encode, no allocation —
+    /// so airtime accounting can ask for frame sizes on the per-event hot
+    /// path. Kept in lockstep with [`Frame::encode`] by a property test
+    /// (`wire_len() == encode().len()` over generated frames).
     pub fn wire_len(&self) -> usize {
-        self.encode().len()
+        // SSID information element: type byte, length byte, then the bytes.
+        let ssid_ie = |ssid: &Ssid| 2 + ssid.as_bytes().len();
+        match &self.body {
+            // Control frames carry short headers.
+            FrameBody::PsPoll { .. } => 2 + 2 + 6 + 6, // FC, AID, BSSID, TA
+            FrameBody::Ack => 2 + 2 + 6,               // FC, duration, RA
+            // Everything else: 24-byte header (FC, duration, three
+            // addresses, sequence control) plus the typed body.
+            body => {
+                24 + match body {
+                    FrameBody::Beacon(b) | FrameBody::ProbeResp(b) => {
+                        // Timestamp, interval, capability, SSID IE, DS IE.
+                        8 + 2 + 2 + ssid_ie(&b.ssid) + 3
+                    }
+                    FrameBody::ProbeReq { ssid } => ssid_ie(ssid),
+                    FrameBody::Auth(_) => 6,
+                    FrameBody::AssocReq(a) => 2 + 2 + ssid_ie(&a.ssid),
+                    FrameBody::AssocResp(_) => 6,
+                    FrameBody::Disassoc { .. } | FrameBody::Deauth { .. } => 2,
+                    FrameBody::Data(payload) => payload.len(),
+                    FrameBody::Null => 0,
+                    FrameBody::PsPoll { .. } | FrameBody::Ack => unreachable!("handled above"),
+                }
+            }
+        }
     }
 }
 

@@ -117,8 +117,16 @@ impl PhyConfig {
     /// Effective delivery probability of a **data** frame, including MAC
     /// retries.
     pub fn data_delivery_prob(&self, distance_m: f64, len: usize) -> f64 {
-        let e = self.frame_error_prob(distance_m, len);
-        self.delivery_prob(e, self.data_retries + 1)
+        self.data_delivery_prob_from_error(self.frame_error_prob(distance_m, len))
+    }
+
+    /// [`Self::data_delivery_prob`] from an already-computed per-attempt
+    /// error. The hot path computes `frame_error_prob` once per frame and
+    /// feeds it to both this and [`Self::expected_data_airtime_from_error`]
+    /// — the two must stay arithmetically identical to their
+    /// distance-taking twins (event timing is bit-sensitive).
+    pub fn data_delivery_prob_from_error(&self, per_attempt_error: f64) -> f64 {
+        self.delivery_prob(per_attempt_error, self.data_retries + 1)
     }
 
     /// Effective delivery probability of a **management** frame — a single
@@ -138,7 +146,13 @@ impl PhyConfig {
     /// `airtime × E[attempts]`, with `E[attempts]` the truncated-geometric
     /// mean `(1 − e^(r+1)) / (1 − e)` for per-attempt error `e`.
     pub fn expected_data_airtime(&self, distance_m: f64, len: usize) -> Duration {
-        let e = self.frame_error_prob(distance_m, len);
+        self.expected_data_airtime_from_error(self.frame_error_prob(distance_m, len), len)
+    }
+
+    /// [`Self::expected_data_airtime`] from an already-computed per-attempt
+    /// error (see [`Self::data_delivery_prob_from_error`]).
+    pub fn expected_data_airtime_from_error(&self, per_attempt_error: f64, len: usize) -> Duration {
+        let e = per_attempt_error;
         let attempts = if e >= 1.0 {
             (self.data_retries + 1) as f64
         } else {

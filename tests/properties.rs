@@ -548,11 +548,15 @@ fn dhcp_client_is_storm_proof() {
 fn event_queue_matches_reference_model() {
     check("event_queue_matches_reference_model", |g| {
         use spider_repro::engine::EventQueue;
-        let ops = g.vec(1, 200, |g| (g.usize_in(0, 3), g.u64_in(0, 1_000)));
+        let ops = g.vec(1, 200, |g| (g.usize_in(0, 4), g.u64_in(0, 1_000)));
         let mut q: EventQueue<u64> = EventQueue::new();
         // Reference: Vec of (time_ms, insertion_seq, value, cancelled).
         let mut model: Vec<(u64, u64, u64, bool)> = Vec::new();
         let mut ids = Vec::new();
+        // Handles whose events already fired or were cancelled: cancelling
+        // one must be a no-op even after its slot has been recycled by a
+        // later push (the generation tag defeats ABA aliasing).
+        let mut stale_ids = Vec::new();
         let mut seq = 0u64;
         let mut now_ms = 0u64;
         for (op, arg) in ops {
@@ -566,13 +570,22 @@ fn event_queue_matches_reference_model() {
                     seq += 1;
                 }
                 1 => {
-                    // Cancel a random-ish previously returned id.
+                    // Cancel a random-ish live id.
                     if !ids.is_empty() {
-                        let (id, s) = ids[(arg as usize) % ids.len()];
+                        let (id, s) = ids.swap_remove((arg as usize) % ids.len());
                         q.cancel(id);
+                        stale_ids.push(id);
                         if let Some(e) = model.iter_mut().find(|e| e.1 == s) {
                             e.3 = true;
                         }
+                    }
+                }
+                2 => {
+                    // Re-cancel a stale id: its event popped or was already
+                    // cancelled, and its slot may since have been recycled
+                    // for a live event above. Nothing may change.
+                    if !stale_ids.is_empty() {
+                        q.cancel(stale_ids[(arg as usize) % stale_ids.len()]);
                     }
                 }
                 _ => {
@@ -590,11 +603,21 @@ fn event_queue_matches_reference_model() {
                             prop_assert_eq!(v, e.2);
                             now_ms = e.0;
                             model.retain(|m| m.1 != e.1);
+                            ids.retain(|(_, s)| *s != e.1);
+                            // The popped handle is now stale too.
+                            // (Finding it costs nothing the model didn't
+                            // already pay.)
                         }
                         (e, got) => return Err(format!("model {e:?} vs queue {got:?}")),
                     }
                 }
             }
+            // After every op the queue's live count and non-draining peek
+            // must agree with the model exactly.
+            let live: Vec<&(u64, u64, u64, bool)> = model.iter().filter(|e| !e.3).collect();
+            prop_assert_eq!(q.live_len(), live.len());
+            let next = live.iter().map(|e| e.0).min().map(Instant::from_millis);
+            prop_assert_eq!(q.next_live_time(), next);
         }
         Ok(())
     });
@@ -719,4 +742,119 @@ fn tcp_survives_lossy_reordering_pipe() {
             Ok(())
         },
     );
+}
+
+// ------------------------------------------------- wire_len vs encoding
+
+/// `wire_len` must agree with the encoder for every frame shape: the hot
+/// path sizes airtime and backhaul transmissions arithmetically, without
+/// serializing, so a drift between the two silently changes event timing.
+#[test]
+fn frame_wire_len_matches_encoding() {
+    use spider_repro::engine::wire::Bytes;
+    use spider_repro::wifi::frame::{AssocReqBody, AssocRespBody, AuthBody};
+
+    check("frame_wire_len_matches_encoding", |g| {
+        let a = gen_mac(g);
+        let b = gen_mac(g);
+        let body = match g.usize_in(0, 11) {
+            0 => Frame::beacon(a, gen_ssid(g), gen_channel(g), g.u64()).body,
+            1 => FrameBody::ProbeReq { ssid: gen_ssid(g) },
+            2 => Frame::probe_response(a, b, gen_ssid(g), gen_channel(g), g.u64()).body,
+            3 => FrameBody::Auth(AuthBody {
+                algorithm: g.u32_in(0, 3) as u16,
+                transaction: g.u32_in(1, 2) as u16,
+                status: g.u32_in(0, 60) as u16,
+            }),
+            4 => FrameBody::AssocReq(AssocReqBody {
+                capability: g.u32() as u16,
+                listen_interval: g.u32() as u16,
+                ssid: gen_ssid(g),
+            }),
+            5 => FrameBody::AssocResp(AssocRespBody {
+                capability: g.u32() as u16,
+                status: g.u32_in(0, 60) as u16,
+                aid: g.u32_in(0, 2007) as u16,
+            }),
+            6 => FrameBody::Disassoc {
+                reason: g.u32_in(0, 99) as u16,
+            },
+            7 => FrameBody::Deauth {
+                reason: g.u32_in(0, 99) as u16,
+            },
+            8 => FrameBody::Data(Bytes::copy_from_slice(&g.bytes(0, 1500))),
+            9 => FrameBody::Null,
+            10 => FrameBody::PsPoll {
+                aid: g.u32_in(0, 2007) as u16,
+            },
+            _ => FrameBody::Ack,
+        };
+        let mut f = Frame::new(a, b, gen_mac(g), body);
+        f.seq = g.u32_in(0, 0x0FFF) as u16;
+        f.duration = g.u32() as u16;
+        f.power_mgmt = g.bool();
+        f.more_data = g.bool();
+        f.retry = g.bool();
+        f.to_ds = g.bool();
+        f.from_ds = g.bool();
+        prop_assert_eq!(f.wire_len(), f.encode().len());
+        Ok(())
+    });
+}
+
+/// Same contract for DHCP: the join pipeline budgets airtime from
+/// `wire_len` and only serializes when a frame actually departs.
+#[test]
+fn dhcp_wire_len_matches_encoding() {
+    check("dhcp_wire_len_matches_encoding", |g| {
+        let xid = g.u32();
+        let mut chaddr = [0u8; 6];
+        g.fill(&mut chaddr);
+        let ip = std::net::Ipv4Addr::from(g.u32().to_be_bytes());
+        let server = std::net::Ipv4Addr::from(g.u32().to_be_bytes());
+        let lease = g.u32_in(1, 86_400);
+        let msg = match g.usize_in(0, 4) {
+            0 => DhcpMessage::discover(xid, chaddr),
+            1 => DhcpMessage::offer(xid, chaddr, ip, server, lease),
+            2 => DhcpMessage::request(xid, chaddr, ip, server),
+            3 => DhcpMessage::nak(xid, chaddr, server),
+            _ => DhcpMessage::ack(xid, chaddr, ip, server, lease),
+        };
+        prop_assert_eq!(msg.wire_len(), msg.encode().len());
+        Ok(())
+    });
+}
+
+/// TCP segments carry a *virtual* payload: `wire_len` models link
+/// occupancy (header overhead + payload length) while `encode` emits a
+/// compact control record without payload bytes. The invariant the pipes
+/// depend on is that `wire_len` survives the encode/decode round-trip —
+/// both ends of a backhaul link must charge the same occupancy — and
+/// that the header overhead is a constant independent of segment shape.
+#[test]
+fn segment_wire_len_survives_roundtrip() {
+    check("segment_wire_len_survives_roundtrip", |g| {
+        let mut sack = [None; 3];
+        for slot in sack.iter_mut().take(g.usize_in(0, 3)) {
+            *slot = Some((SeqNum::new(g.u32()), g.u32_in(1, 65_535)));
+        }
+        let seg = Segment {
+            conn: g.u64(),
+            seq: SeqNum::new(g.u32()),
+            ack: g.bool().then(|| SeqNum::new(g.u32())),
+            len: g.u32_in(0, 65_535),
+            syn: g.bool(),
+            fin: g.bool(),
+            sack,
+            ts_us: g.u64(),
+            ts_echo_us: g.bool().then(|| g.u64()),
+        };
+        let decoded = Segment::decode(&seg.encode()).unwrap();
+        prop_assert_eq!(decoded.wire_len(), seg.wire_len());
+        prop_assert_eq!(
+            seg.wire_len() - seg.len,
+            spider_repro::tcp::segment::HEADER_OVERHEAD
+        );
+        Ok(())
+    });
 }
