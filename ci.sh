@@ -63,6 +63,29 @@ if ! grep -q 'campaign: [0-9]* shards — [0-9]* hits, 0 misses, 0 cancelled' \
 fi
 echo "ok: second run 100% cache hits, stdout byte-identical"
 
+step "fleet smoke test (fig5 --exec process: identical output, then all hits)"
+# The same fig5 campaign executed on worker OS processes over the framed
+# stdin/stdout protocol must be byte-identical to the threaded run above,
+# and a second process-mode pass must be served 100% from its own cache.
+./target/release/experiments fig5 --scale 1 --workers 4 --exec process \
+    --cache-dir "$smoke_dir/fleet-cache" \
+    >"$smoke_dir/fleet.out" 2>"$smoke_dir/fleet.err"
+if ! cmp -s "$smoke_dir/first.out" "$smoke_dir/fleet.out"; then
+    echo "error: --exec process fig5 output differs from the threaded run" >&2
+    diff "$smoke_dir/first.out" "$smoke_dir/fleet.out" >&2 || true
+    exit 1
+fi
+./target/release/experiments fig5 --scale 1 --workers 4 --exec process \
+    --cache-dir "$smoke_dir/fleet-cache" \
+    >"$smoke_dir/fleet2.out" 2>"$smoke_dir/fleet2.err"
+if ! grep -q 'campaign: [0-9]* shards — [0-9]* hits, 0 misses, 0 cancelled' \
+    "$smoke_dir/fleet2.err"; then
+    echo "error: second --exec process fig5 run was not served 100% from cache:" >&2
+    cat "$smoke_dir/fleet2.err" >&2
+    exit 1
+fi
+echo "ok: process-exec output byte-identical to threads, second pass all hits"
+
 step "bench artifact (non-gating)"
 # Archive a quick machine-readable bench summary; never fails the build.
 # cargo bench runs the binary with CWD set to the bench package dir, so

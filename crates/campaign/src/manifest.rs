@@ -94,6 +94,88 @@ impl ManifestEntry {
     }
 }
 
+/// One fleet scheduling event (assignment, completion, crash, retry,
+/// respawn), as logged by multi-process campaigns.
+///
+/// Fleet notes share the manifest file with [`ManifestEntry`] lines but
+/// lead with a `"fleet"` key, which [`ManifestEntry::parse_line`] rejects
+/// — so [`Manifest::replay`] (the resume path) skips them untouched and an
+/// interrupted campaign resumes exactly as before. They are the forensic
+/// record: [`Manifest::replay_fleet`] reconstructs what the fleet did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetNote {
+    /// Event kind: `"assigned"`, `"completed"`, `"worker-died"`,
+    /// `"requeued"`, `"respawned"`, `"worker-ready"`.
+    pub kind: String,
+    /// The shard involved, when the event concerns one.
+    pub shard: Option<String>,
+    /// The worker slot involved, when the event concerns one.
+    pub worker: Option<u64>,
+    /// 1-based attempt number, for assignments and requeues.
+    pub attempt: Option<u64>,
+    /// Free-form cause or context (crash reasons, backoff).
+    pub detail: Option<String>,
+}
+
+impl FleetNote {
+    /// Render as one JSONL line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let mut out = format!(r#"{{"fleet":{}"#, quote(&self.kind));
+        if let Some(shard) = &self.shard {
+            out.push_str(&format!(r#","shard":{}"#, quote(shard)));
+        }
+        if let Some(worker) = self.worker {
+            out.push_str(&format!(r#","worker":{worker}"#));
+        }
+        if let Some(attempt) = self.attempt {
+            out.push_str(&format!(r#","attempt":{attempt}"#));
+        }
+        if let Some(detail) = &self.detail {
+            out.push_str(&format!(r#","detail":{}"#, quote(detail)));
+        }
+        out.push('}');
+        out
+    }
+
+    /// Parse one line; `None` for non-fleet or malformed lines.
+    pub fn parse_line(line: &str) -> Option<FleetNote> {
+        let mut s = Scanner::new(line.trim());
+        s.eat('{')?;
+        let mut kind = None;
+        let mut shard = None;
+        let mut worker = None;
+        let mut attempt = None;
+        let mut detail = None;
+        loop {
+            let key = s.string()?;
+            s.eat(':')?;
+            match key.as_str() {
+                "fleet" => kind = Some(s.string()?),
+                "shard" => shard = Some(s.string()?),
+                "worker" => worker = Some(s.integer()?),
+                "attempt" => attempt = Some(s.integer()?),
+                "detail" => detail = Some(s.string()?),
+                _ => return None,
+            }
+            match s.next_byte()? {
+                b',' => continue,
+                b'}' => break,
+                _ => return None,
+            }
+        }
+        if !s.at_end() {
+            return None;
+        }
+        Some(FleetNote {
+            kind: kind?,
+            shard,
+            worker,
+            attempt,
+            detail,
+        })
+    }
+}
+
 /// An open manifest, appendable from any worker thread.
 #[derive(Debug)]
 pub struct Manifest {
@@ -129,6 +211,32 @@ impl Manifest {
         let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
         writeln!(file, "{}", entry.to_line())?;
         file.flush()
+    }
+
+    /// Append one fleet scheduling note and flush.
+    pub fn append_fleet(&self, note: &FleetNote) -> io::Result<()> {
+        // Same poison recovery as `append`: a torn line is skipped on replay.
+        let mut file = self.file.lock().unwrap_or_else(|p| p.into_inner());
+        writeln!(file, "{}", note.to_line())?;
+        file.flush()
+    }
+
+    /// Replay only the fleet scheduling notes (crash forensics; the
+    /// resume path uses [`Manifest::replay`], which skips these lines).
+    pub fn replay_fleet(cache_dir: &Path) -> io::Result<Vec<FleetNote>> {
+        let file = match File::open(Self::path_in(cache_dir)) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let mut notes = Vec::new();
+        for line in BufReader::new(file).lines() {
+            let line = line?;
+            if let Some(note) = FleetNote::parse_line(&line) {
+                notes.push(note);
+            }
+        }
+        Ok(notes)
     }
 
     /// Replay a manifest, skipping unparsable (truncated) lines. A
@@ -303,6 +411,63 @@ mod tests {
             replayed,
             vec![entry("a", "h1", false), entry("b", "h2", true)]
         );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn note(kind: &str) -> FleetNote {
+        FleetNote {
+            kind: kind.to_string(),
+            shard: Some("f6 = \"50%\"".to_string()),
+            worker: Some(3),
+            attempt: Some(2),
+            detail: Some("worker died mid-shard: clean EOF (exit status: 86)".to_string()),
+        }
+    }
+
+    #[test]
+    fn fleet_notes_roundtrip() {
+        for n in [
+            note("worker-died"),
+            FleetNote {
+                kind: "worker-ready".to_string(),
+                shard: None,
+                worker: Some(0),
+                attempt: None,
+                detail: None,
+            },
+        ] {
+            let line = n.to_line();
+            assert_eq!(FleetNote::parse_line(&line), Some(n), "line: {line}");
+        }
+    }
+
+    #[test]
+    fn fleet_notes_are_invisible_to_resume_replay() {
+        let dir = std::env::temp_dir().join(format!(
+            "campaign-manifest-test-{}-fleet",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let m = Manifest::open(&dir).unwrap();
+        m.append_fleet(&note("assigned")).unwrap();
+        m.append(&entry("a", "h1", false)).unwrap();
+        m.append_fleet(&note("worker-died")).unwrap();
+        m.append_fleet(&note("requeued")).unwrap();
+        m.append(&entry("b", "h2", true)).unwrap();
+        drop(m);
+        // Resume sees only the shard entries…
+        assert_eq!(
+            Manifest::replay(&dir).unwrap(),
+            vec![entry("a", "h1", false), entry("b", "h2", true)]
+        );
+        // …while forensics sees only the fleet notes, in order.
+        let kinds: Vec<String> = Manifest::replay_fleet(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|n| n.kind)
+            .collect();
+        assert_eq!(kinds, vec!["assigned", "worker-died", "requeued"]);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -80,6 +80,15 @@ impl Progress {
         );
     }
 
+    /// Print a one-line fleet lifecycle note (worker crash, retry,
+    /// respawn) on stderr, quiet-respecting like every other line here.
+    pub fn fleet_note(&self, text: &str) {
+        if self.quiet {
+            return;
+        }
+        eprintln!("  fleet: {text}");
+    }
+
     /// Estimated seconds left: mean wall time of completed misses, spread
     /// over the remaining shards and the worker count. `None` until a
     /// first miss has finished (hits are ~free and carry no signal).

@@ -4,6 +4,7 @@
 //! ```text
 //! experiments <target> [--seed N] [--scale K] [--json DIR]
 //!             [--workers N] [--cache-dir DIR] [--no-cache]
+//!             [--exec process|in-process]
 //!
 //! targets: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //!          fig13 fig14 table1 table2 table3 table4 density
@@ -12,6 +13,11 @@
 //!
 //! `--scale K` multiplies run lengths by `K` (1 = quick pass; the paper's
 //! 30–60 minute drives correspond to roughly `--scale 4`).
+//!
+//! `--exec process` runs uncached shards in worker OS processes (this
+//! same binary, re-invoked with the hidden `--worker` flag) instead of
+//! threads: a crashed shard is retried on a respawned worker rather than
+//! taking the whole run down. Output is byte-identical either way.
 //!
 //! Simulation shards run through the campaign orchestrator: results are
 //! cached by content hash under `target/campaign` (override with
@@ -31,6 +37,18 @@ use common::{Scale, DEFAULT_SEED};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Worker mode: speak the fleet protocol on stdin/stdout and nothing
+    // else. Checked before any output — stdout belongs to the protocol.
+    if args.first().map(String::as_str) == Some("--worker") {
+        let fingerprint = campaign::hash::code_fingerprint();
+        match fleet::worker::serve(std::io::stdin(), std::io::stdout(), &fingerprint) {
+            Ok(()) => return,
+            Err(e) => {
+                eprintln!("worker: protocol error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     let mut target = String::from("all");
     let mut scale = Scale {
         factor: 1,
@@ -82,6 +100,15 @@ fn main() {
             }
             "--no-cache" => {
                 let _ = common::CACHE_DIR.set(None);
+            }
+            "--exec" => {
+                i += 1;
+                let mode = match args.get(i).map(String::as_str) {
+                    Some("process") => common::ExecChoice::Process,
+                    Some("in-process") => common::ExecChoice::InProcess,
+                    _ => usage("--exec needs 'process' or 'in-process'"),
+                };
+                let _ = common::EXEC.set(mode);
             }
             t if !t.starts_with('-') => target = t.to_string(),
             other => usage(&format!("unknown flag {other}")),
@@ -145,7 +172,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|table4|density|sensitivity|ablation|speed|adaptive|encounters|capacity|all> [--seed N] [--scale K] [--json DIR] [--workers N] [--cache-dir DIR] [--no-cache]"
+        "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|table4|density|sensitivity|ablation|speed|adaptive|encounters|capacity|all> [--seed N] [--scale K] [--json DIR] [--workers N] [--cache-dir DIR] [--no-cache] [--exec process|in-process]"
     );
     std::process::exit(2);
 }

@@ -1,0 +1,167 @@
+//! Deterministic worker fault injection.
+//!
+//! `FLEET_FAULT=<action>:<shard-substring>:<marker-path>` makes a worker
+//! fail on the first shard whose label contains the substring — exactly
+//! once across the whole fleet. "Once" is enforced by atomically creating
+//! the marker file (`create_new`): the first worker to claim it fires the
+//! fault, every later attempt at the same shard — on this worker or a
+//! respawned one — runs normally. That is precisely the shape the
+//! crash-retry tests need: one injected death, then a clean retry.
+//!
+//! Actions:
+//! * `panic` — the worker panics mid-shard (abrupt protocol EOF).
+//! * `exit` — the worker exits with a non-zero status mid-shard.
+//! * `stall` — the worker sleeps forever, tripping the scheduler's
+//!   per-shard deadline.
+
+use std::fs::OpenOptions;
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// The environment variable the worker consults.
+pub const FLEET_FAULT_ENV: &str = "FLEET_FAULT";
+
+/// Exit status used by the `exit` action; distinctive enough to spot in
+/// scheduler crash reports.
+pub const FAULT_EXIT_CODE: i32 = 86;
+
+/// What the fault does to the worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Panic mid-shard.
+    Panic,
+    /// `process::exit(FAULT_EXIT_CODE)` mid-shard.
+    Exit,
+    /// Sleep forever mid-shard (deadline-kill path).
+    Stall,
+}
+
+/// A parsed `FLEET_FAULT` specification.
+#[derive(Debug, Clone)]
+pub struct FaultSpec {
+    /// What to do.
+    pub action: FaultAction,
+    /// Fire on the first shard whose label contains this substring.
+    pub shard_substring: String,
+    /// Atomically-created claim file bounding the fault to one firing.
+    pub marker: PathBuf,
+}
+
+impl FaultSpec {
+    /// Parse `"<action>:<substring>:<marker-path>"`. Returns `None` on any
+    /// malformed input — a worker must never die because of a typo in a
+    /// test harness variable.
+    pub fn parse(spec: &str) -> Option<FaultSpec> {
+        let mut parts = spec.splitn(3, ':');
+        let action = match parts.next()? {
+            "panic" => FaultAction::Panic,
+            "exit" => FaultAction::Exit,
+            "stall" => FaultAction::Stall,
+            _ => return None,
+        };
+        let shard_substring = parts.next()?.to_string();
+        let marker = parts.next()?;
+        if shard_substring.is_empty() || marker.is_empty() {
+            return None;
+        }
+        Some(FaultSpec {
+            action,
+            shard_substring,
+            marker: PathBuf::from(marker),
+        })
+    }
+
+    /// Read and parse [`FLEET_FAULT_ENV`].
+    pub fn from_env() -> Option<FaultSpec> {
+        std::env::var(FLEET_FAULT_ENV)
+            .ok()
+            .and_then(|s| FaultSpec::parse(&s))
+    }
+
+    /// Whether this spec targets `shard`.
+    pub fn matches(&self, shard: &str) -> bool {
+        shard.contains(&self.shard_substring)
+    }
+
+    /// Try to claim the single firing. True exactly once per marker path,
+    /// no matter how many workers race for it.
+    pub fn claim(&self) -> bool {
+        OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&self.marker)
+            .is_ok()
+    }
+
+    /// Fire the fault. Never returns for `Panic`/`Exit`; `Stall` sleeps
+    /// until the scheduler kills the process.
+    pub fn fire(&self, shard: &str) -> ! {
+        match self.action {
+            FaultAction::Panic => {
+                // simlint: allow(panic-path) — the entire point of this function is a deliberate, test-harness-requested panic
+                panic!("FLEET_FAULT: injected panic on shard {shard:?}")
+            }
+            FaultAction::Exit => std::process::exit(FAULT_EXIT_CODE),
+            FaultAction::Stall => loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_actions() {
+        for (text, action) in [
+            ("panic", FaultAction::Panic),
+            ("exit", FaultAction::Exit),
+            ("stall", FaultAction::Stall),
+        ] {
+            let spec = FaultSpec::parse(&format!("{text}:50%:/tmp/marker")).expect("parse");
+            assert_eq!(spec.action, action);
+            assert_eq!(spec.shard_substring, "50%");
+            assert_eq!(spec.marker, PathBuf::from("/tmp/marker"));
+        }
+    }
+
+    #[test]
+    fn marker_may_contain_colons() {
+        let spec = FaultSpec::parse("exit:s:/tmp/a:b:c").expect("parse");
+        assert_eq!(spec.marker, PathBuf::from("/tmp/a:b:c"));
+    }
+
+    #[test]
+    fn malformed_specs_rejected() {
+        for bad in [
+            "",
+            "panic",
+            "panic:s",
+            "boom:s:/tmp/m",
+            "exit::/tmp/m",
+            "exit:s:",
+        ] {
+            assert!(FaultSpec::parse(bad).is_none(), "{bad:?} parsed");
+        }
+    }
+
+    #[test]
+    fn matches_is_substring() {
+        let spec = FaultSpec::parse("exit:50%:/tmp/m").expect("parse");
+        assert!(spec.matches("f6 = 50%"));
+        assert!(!spec.matches("f6 = 25%"));
+    }
+
+    #[test]
+    fn claim_fires_exactly_once() {
+        let dir = std::env::temp_dir();
+        let marker = dir.join(format!("fleet-fault-claim-{}", std::process::id()));
+        let _ = std::fs::remove_file(&marker);
+        let spec = FaultSpec::parse(&format!("exit:s:{}", marker.display())).expect("parse");
+        assert!(spec.claim());
+        assert!(!spec.claim());
+        let _ = std::fs::remove_file(&marker);
+    }
+}

@@ -1,0 +1,29 @@
+//! Multi-process campaign shard execution.
+//!
+//! A campaign that outgrows one process's cores — or must survive a worker
+//! crash — runs its cache-miss shards on a fleet of OS worker processes.
+//! The pieces:
+//!
+//! * [`proto`] — the length-prefixed, versioned binary message protocol the
+//!   scheduler and workers speak over stdin/stdout, built on
+//!   [`sim_engine::wire`] and the [`spider_core::codec`] `WorldConfig`
+//!   round-trip codec.
+//! * [`worker`] — the worker side: handshake, run assigned shards through
+//!   [`spider_core::run_with_diagnostics`], stream back `RunRecord` JSON.
+//! * [`scheduler`] — the fleet side: spawn N workers, validate handshakes
+//!   (protocol version **and** code fingerprint, so a stale binary can
+//!   never poison the shared cache), assign shards, detect death by EOF /
+//!   non-zero exit / per-shard deadline, requeue orphans under a bounded
+//!   retry budget, and respawn workers with exponential backoff.
+//! * [`fault`] — the `FLEET_FAULT` env hook that makes a worker
+//!   deterministically panic, exit, or stall on a chosen shard exactly
+//!   once, so crash recovery is testable.
+//!
+//! The crate deliberately depends only on `sim-engine` and `spider-core`:
+//! `campaign` layers its content-addressed cache and manifest on top, not
+//! the other way around.
+
+pub mod fault;
+pub mod proto;
+pub mod scheduler;
+pub mod worker;

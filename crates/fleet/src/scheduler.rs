@@ -1,0 +1,735 @@
+//! The fleet side: spawn workers, assign shards, survive crashes.
+//!
+//! The scheduler owns N child processes speaking [`crate::proto`] over
+//! piped stdin/stdout. One reader thread per worker turns its stdout into
+//! messages on a shared channel; the scheduler loop multiplexes those with
+//! a coarse tick for deadline checks and backoff-delayed respawns.
+//!
+//! Failure handling, in order of escalation:
+//! * A worker `Error` reply (shard failed, worker alive): the shard is
+//!   requeued until its attempt budget runs out.
+//! * Worker death — protocol EOF, read error, or a per-shard deadline
+//!   overrun (the worker is killed) — orphans its shard, which is requeued
+//!   the same way; the fleet respawns a replacement after an exponentially
+//!   growing backoff, up to a respawn budget.
+//! * A `Hello` with the wrong protocol version or code fingerprint aborts
+//!   the whole run: a mismatched binary computing records for a shared
+//!   content-addressed cache is corruption, not an operational hiccup.
+
+use crate::proto::{read_msg, write_msg, Msg, PROTOCOL_VERSION};
+use sim_engine::par::CancelToken;
+use spider_core::WorldConfig;
+use std::collections::VecDeque;
+use std::io::{self, BufReader};
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// How the fleet is provisioned and how patient it is.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Worker executable (normally `current_exe()`).
+    pub program: PathBuf,
+    /// Arguments putting the executable in worker mode (e.g. `--worker`).
+    pub args: Vec<String>,
+    /// Worker processes to keep alive.
+    pub workers: usize,
+    /// Fingerprint every worker must present in its `Hello`.
+    pub code_fingerprint: String,
+    /// Attempts allowed per shard (first run + retries).
+    pub max_attempts: u32,
+    /// Wall-clock budget per shard attempt; overruns kill the worker.
+    pub shard_deadline: Duration,
+    /// Replacement workers allowed across the whole run.
+    pub max_respawns: u32,
+    /// Delay before the first respawn; doubles with each one.
+    pub respawn_backoff: Duration,
+}
+
+impl FleetConfig {
+    /// Defaults sized for local campaigns: 3 attempts per shard, a 10 min
+    /// per-shard deadline, respawn budget of `2 × workers`.
+    pub fn new(program: PathBuf, workers: usize, code_fingerprint: String) -> FleetConfig {
+        let workers = workers.max(1);
+        FleetConfig {
+            program,
+            args: Vec::new(),
+            workers,
+            code_fingerprint,
+            max_attempts: 3,
+            shard_deadline: Duration::from_secs(600),
+            max_respawns: (workers as u32) * 2,
+            respawn_backoff: Duration::from_millis(50),
+        }
+    }
+}
+
+/// One unit of work.
+#[derive(Debug, Clone)]
+pub struct ShardJob {
+    /// Label, echoed through the protocol and the event log.
+    pub name: String,
+    /// The configuration to run.
+    pub world: WorldConfig,
+}
+
+/// A completed shard.
+#[derive(Debug, Clone)]
+pub struct ShardDone {
+    /// Index into the submitted job list.
+    pub index: usize,
+    /// Lossless `RunRecord` JSON from the worker.
+    pub record_json: String,
+    /// Events delivered by the worker's DES run.
+    pub events_delivered: u64,
+    /// Peak live event-queue depth on the worker.
+    pub peak_queue_depth: u64,
+    /// Worker-side wall time, ms.
+    pub wall_ms: u64,
+    /// Attempts it took (1 = no retries).
+    pub attempts: u32,
+}
+
+/// The outcome of [`run_shards`].
+#[derive(Debug)]
+pub struct FleetRun {
+    /// Completed shards, in completion order.
+    pub done: Vec<ShardDone>,
+    /// True if the cancel token stopped the run early.
+    pub cancelled: bool,
+}
+
+/// Observable scheduler transitions, for manifest logging and progress.
+#[derive(Debug, Clone)]
+pub enum FleetEvent {
+    /// A worker passed its handshake.
+    WorkerReady {
+        /// Worker slot.
+        worker: usize,
+    },
+    /// A shard was written to a worker.
+    Assigned {
+        /// Worker slot.
+        worker: usize,
+        /// Shard label.
+        shard: String,
+        /// 1-based attempt number.
+        attempt: u32,
+    },
+    /// A worker returned `Done`. Carries the full result so the caller
+    /// can persist it the moment it lands (crash-resume durability),
+    /// rather than waiting for the whole fleet to drain.
+    Completed {
+        /// Worker slot.
+        worker: usize,
+        /// Shard label.
+        shard: String,
+        /// The completed shard.
+        done: ShardDone,
+    },
+    /// A worker died (EOF, read error, or deadline kill).
+    WorkerDied {
+        /// Worker slot.
+        worker: usize,
+        /// The shard it was running, if any.
+        shard: Option<String>,
+        /// Cause, human-readable.
+        reason: String,
+    },
+    /// A shard went back on the queue.
+    Requeued {
+        /// Shard label.
+        shard: String,
+        /// The attempt number it will run as.
+        attempt: u32,
+    },
+    /// A replacement worker was spawned.
+    Respawned {
+        /// Worker slot of the replacement.
+        worker: usize,
+        /// Backoff that preceded it, ms.
+        backoff_ms: u64,
+    },
+}
+
+/// Why the fleet gave up.
+#[derive(Debug)]
+pub enum FleetError {
+    /// A worker process could not be spawned at all.
+    Spawn(io::Error),
+    /// A worker's `Hello` did not match (version or fingerprint).
+    Handshake {
+        /// Worker slot.
+        worker: usize,
+        /// What mismatched.
+        detail: String,
+    },
+    /// A shard exhausted its attempt budget.
+    ShardFailed {
+        /// Shard label.
+        shard: String,
+        /// Attempts consumed.
+        attempts: u32,
+        /// Last failure cause.
+        reason: String,
+    },
+    /// Every worker is dead and the respawn budget is spent.
+    NoWorkers {
+        /// Context for the operator.
+        detail: String,
+    },
+    /// The caller's event sink failed (e.g. the manifest disk filled).
+    Sink(io::Error),
+}
+
+impl core::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FleetError::Spawn(e) => write!(f, "fleet: failed to spawn worker: {e}"),
+            FleetError::Handshake { worker, detail } => {
+                write!(f, "fleet: worker {worker} handshake rejected: {detail}")
+            }
+            FleetError::ShardFailed {
+                shard,
+                attempts,
+                reason,
+            } => write!(
+                f,
+                "fleet: shard {shard:?} failed after {attempts} attempts: {reason}"
+            ),
+            FleetError::NoWorkers { detail } => {
+                write!(
+                    f,
+                    "fleet: no live workers and respawn budget spent ({detail})"
+                )
+            }
+            FleetError::Sink(e) => write!(f, "fleet: event sink failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Check a worker's `Hello` against what this scheduler requires.
+///
+/// Split out (and public) because the mixed-binary rejection is a load-
+/// bearing safety property: records land in a *shared* content-addressed
+/// cache keyed by fingerprint, so a worker whose binary would fingerprint
+/// shards differently must be turned away before it runs anything.
+pub fn validate_hello(msg: &Msg, expected_fingerprint: &str) -> Result<(), String> {
+    match msg {
+        Msg::Hello {
+            protocol_version,
+            code_fingerprint,
+        } => {
+            if *protocol_version != PROTOCOL_VERSION {
+                return Err(format!(
+                    "protocol version mismatch: worker speaks v{protocol_version}, \
+                     scheduler speaks v{PROTOCOL_VERSION}"
+                ));
+            }
+            if code_fingerprint != expected_fingerprint {
+                return Err(format!(
+                    "code fingerprint mismatch: worker built as {code_fingerprint:?}, \
+                     scheduler expects {expected_fingerprint:?} — a stale worker binary \
+                     would poison the shared record cache"
+                ));
+            }
+            Ok(())
+        }
+        other => Err(format!("expected Hello, got {other:?}")),
+    }
+}
+
+enum WorkerState {
+    /// Spawned, `Hello` not yet validated.
+    Starting,
+    /// Handshake done, no shard assigned.
+    Idle,
+    /// Running a shard.
+    Busy {
+        job: usize,
+        attempt: u32,
+        since: Instant,
+    },
+    /// Reaped or written off; messages from it are ignored.
+    Dead,
+}
+
+struct Worker {
+    child: Child,
+    stdin: Option<ChildStdin>,
+    state: WorkerState,
+}
+
+enum FromWorker {
+    Msg(Msg),
+    /// Stream ended (cleanly or not); the string describes how.
+    Eof(String),
+}
+
+fn spawn_worker(
+    cfg: &FleetConfig,
+    wid: usize,
+    tx: &mpsc::Sender<(usize, FromWorker)>,
+) -> io::Result<Worker> {
+    let mut child = Command::new(&cfg.program)
+        .args(&cfg.args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()?;
+    let stdin = child.stdin.take();
+    let stdout = child
+        .stdout
+        .take()
+        .ok_or_else(|| io::Error::other("fleet: child stdout was not piped"))?;
+    let tx = tx.clone();
+    std::thread::spawn(move || {
+        let mut reader = BufReader::new(stdout);
+        loop {
+            match read_msg(&mut reader) {
+                Ok(Some(msg)) => {
+                    if tx.send((wid, FromWorker::Msg(msg))).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => {
+                    let _ = tx.send((wid, FromWorker::Eof("clean EOF".to_string())));
+                    return;
+                }
+                Err(e) => {
+                    let _ = tx.send((wid, FromWorker::Eof(format!("read error: {e}"))));
+                    return;
+                }
+            }
+        }
+    });
+    Ok(Worker {
+        child,
+        stdin,
+        state: WorkerState::Starting,
+    })
+}
+
+/// Exit-status suffix for a death report, once the child is reaped.
+fn exit_detail(child: &mut Child) -> String {
+    match child.wait() {
+        Ok(status) => format!(" ({status})"),
+        Err(_) => String::new(),
+    }
+}
+
+/// Run `jobs` over a fleet of worker processes.
+///
+/// `on_event` observes every scheduler transition (for the campaign
+/// manifest and progress lines). Completed shards come back in completion
+/// order; on cancellation the partial result is returned with
+/// `cancelled = true`.
+pub fn run_shards(
+    cfg: &FleetConfig,
+    jobs: &[ShardJob],
+    cancel: &CancelToken,
+    mut on_event: impl FnMut(&FleetEvent) -> io::Result<()>,
+) -> Result<FleetRun, FleetError> {
+    let mut run = FleetRun {
+        done: Vec::with_capacity(jobs.len()),
+        cancelled: false,
+    };
+    if jobs.is_empty() {
+        return Ok(run);
+    }
+
+    let (tx, rx) = mpsc::channel::<(usize, FromWorker)>();
+    let fleet_size = cfg.workers.min(jobs.len()).max(1);
+    let mut workers: Vec<Worker> = Vec::with_capacity(fleet_size);
+    for wid in 0..fleet_size {
+        workers.push(spawn_worker(cfg, wid, &tx).map_err(FleetError::Spawn)?);
+    }
+
+    // (job index, 1-based attempt) still to run.
+    let mut pending: VecDeque<(usize, u32)> = (0..jobs.len()).map(|j| (j, 1)).collect();
+    let mut respawns_used: u32 = 0;
+    let mut backoff = cfg.respawn_backoff;
+    let mut respawn_at: Option<Instant> = None;
+
+    let shutdown_all = |workers: &mut Vec<Worker>| {
+        for w in workers.iter_mut() {
+            if let Some(mut stdin) = w.stdin.take() {
+                let _ = write_msg(&mut stdin, &Msg::Shutdown);
+            }
+            if matches!(w.state, WorkerState::Busy { .. } | WorkerState::Starting) {
+                // Don't wait out a shard (or a stalled worker) on the way
+                // out — the caller has already decided the run is over.
+                let _ = w.child.kill();
+            }
+            let _ = w.child.wait();
+            w.state = WorkerState::Dead;
+        }
+    };
+
+    macro_rules! fail {
+        ($err:expr) => {{
+            shutdown_all(&mut workers);
+            return Err($err);
+        }};
+    }
+
+    macro_rules! emit {
+        ($event:expr) => {{
+            if let Err(e) = on_event(&$event) {
+                fail!(FleetError::Sink(e));
+            }
+        }};
+    }
+
+    // Put a shard back on the queue after a failed attempt, or give up if
+    // its budget is spent. Returns the error to raise, if any.
+    fn requeue(
+        cfg: &FleetConfig,
+        jobs: &[ShardJob],
+        pending: &mut VecDeque<(usize, u32)>,
+        job: usize,
+        attempt: u32,
+        reason: &str,
+        on_event: &mut impl FnMut(&FleetEvent) -> io::Result<()>,
+    ) -> Result<(), FleetError> {
+        if attempt >= cfg.max_attempts {
+            return Err(FleetError::ShardFailed {
+                shard: jobs[job].name.clone(),
+                attempts: attempt,
+                reason: reason.to_string(),
+            });
+        }
+        pending.push_back((job, attempt + 1));
+        on_event(&FleetEvent::Requeued {
+            shard: jobs[job].name.clone(),
+            attempt: attempt + 1,
+        })
+        .map_err(FleetError::Sink)
+    }
+
+    while run.done.len() < jobs.len() {
+        if cancel.is_cancelled() {
+            run.cancelled = true;
+            shutdown_all(&mut workers);
+            return Ok(run);
+        }
+
+        // Respawn a replacement once its backoff has elapsed.
+        if let Some(at) = respawn_at {
+            if Instant::now() >= at {
+                respawn_at = None;
+                let wid = workers.len();
+                match spawn_worker(cfg, wid, &tx) {
+                    Ok(w) => {
+                        workers.push(w);
+                        emit!(FleetEvent::Respawned {
+                            worker: wid,
+                            backoff_ms: backoff.as_millis() as u64 / 2,
+                        });
+                    }
+                    Err(e) => fail!(FleetError::Spawn(e)),
+                }
+            }
+        }
+
+        // Hand pending shards to idle workers.
+        for wid in 0..workers.len() {
+            if pending.is_empty() {
+                break;
+            }
+            if !matches!(workers[wid].state, WorkerState::Idle) {
+                continue;
+            }
+            let Some((job, attempt)) = pending.pop_front() else {
+                break;
+            };
+            let assign = Msg::Assign {
+                shard: jobs[job].name.clone(),
+                world: Box::new(jobs[job].world.clone()),
+            };
+            let wrote = match workers[wid].stdin.as_mut() {
+                Some(stdin) => write_msg(stdin, &assign),
+                None => Err(io::Error::other("stdin already closed")),
+            };
+            match wrote {
+                Ok(()) => {
+                    workers[wid].state = WorkerState::Busy {
+                        job,
+                        attempt,
+                        since: Instant::now(),
+                    };
+                    emit!(FleetEvent::Assigned {
+                        worker: wid,
+                        shard: jobs[job].name.clone(),
+                        attempt,
+                    });
+                }
+                Err(e) => {
+                    // The worker is gone; its reader thread will report the
+                    // EOF. Put the shard back (same attempt — it never ran)
+                    // and write the worker off now so it isn't re-picked.
+                    pending.push_front((job, attempt));
+                    let _ = workers[wid].child.kill();
+                    let detail = exit_detail(&mut workers[wid].child);
+                    workers[wid].state = WorkerState::Dead;
+                    workers[wid].stdin = None;
+                    emit!(FleetEvent::WorkerDied {
+                        worker: wid,
+                        shard: None,
+                        reason: format!("assign write failed: {e}{detail}"),
+                    });
+                    if respawns_used < cfg.max_respawns {
+                        respawns_used += 1;
+                        respawn_at = Some(Instant::now() + backoff);
+                        backoff *= 2;
+                    }
+                }
+            }
+        }
+
+        // Anything still to do but nobody to do it, and no respawn coming?
+        let live = workers
+            .iter()
+            .filter(|w| !matches!(w.state, WorkerState::Dead))
+            .count();
+        if live == 0 && respawn_at.is_none() {
+            fail!(FleetError::NoWorkers {
+                detail: format!(
+                    "{} shards incomplete, {respawns_used} respawns used",
+                    jobs.len() - run.done.len()
+                ),
+            });
+        }
+
+        match rx.recv_timeout(Duration::from_millis(25)) {
+            Ok((wid, FromWorker::Msg(msg))) => {
+                if matches!(workers[wid].state, WorkerState::Dead) {
+                    continue; // late message from a written-off worker
+                }
+                match msg {
+                    hello @ Msg::Hello { .. } => {
+                        if !matches!(workers[wid].state, WorkerState::Starting) {
+                            fail!(FleetError::Handshake {
+                                worker: wid,
+                                detail: "second Hello mid-session".to_string(),
+                            });
+                        }
+                        match validate_hello(&hello, &cfg.code_fingerprint) {
+                            Ok(()) => {
+                                workers[wid].state = WorkerState::Idle;
+                                emit!(FleetEvent::WorkerReady { worker: wid });
+                            }
+                            Err(detail) => fail!(FleetError::Handshake {
+                                worker: wid,
+                                detail,
+                            }),
+                        }
+                    }
+                    Msg::Done {
+                        shard,
+                        record_json,
+                        events_delivered,
+                        peak_queue_depth,
+                        wall_ms,
+                    } => {
+                        let WorkerState::Busy { job, attempt, .. } = workers[wid].state else {
+                            fail!(FleetError::Handshake {
+                                worker: wid,
+                                detail: "Done from a worker with no assignment".to_string(),
+                            });
+                        };
+                        if shard != jobs[job].name {
+                            fail!(FleetError::Handshake {
+                                worker: wid,
+                                detail: format!(
+                                    "Done for {shard:?} but {:?} was assigned",
+                                    jobs[job].name
+                                ),
+                            });
+                        }
+                        workers[wid].state = WorkerState::Idle;
+                        let done = ShardDone {
+                            index: job,
+                            record_json,
+                            events_delivered,
+                            peak_queue_depth,
+                            wall_ms,
+                            attempts: attempt,
+                        };
+                        run.done.push(done.clone());
+                        emit!(FleetEvent::Completed {
+                            worker: wid,
+                            shard,
+                            done,
+                        });
+                    }
+                    Msg::Error { shard, reason } => {
+                        let WorkerState::Busy { job, attempt, .. } = workers[wid].state else {
+                            fail!(FleetError::Handshake {
+                                worker: wid,
+                                detail: "Error from a worker with no assignment".to_string(),
+                            });
+                        };
+                        workers[wid].state = WorkerState::Idle;
+                        let reason = format!("worker error on {shard:?}: {reason}");
+                        if let Err(err) = requeue(
+                            cfg,
+                            jobs,
+                            &mut pending,
+                            job,
+                            attempt,
+                            &reason,
+                            &mut on_event,
+                        ) {
+                            fail!(err);
+                        }
+                    }
+                    Msg::Assign { .. } | Msg::Shutdown => {
+                        fail!(FleetError::Handshake {
+                            worker: wid,
+                            detail: "worker sent a scheduler-only message".to_string(),
+                        });
+                    }
+                }
+            }
+            Ok((wid, FromWorker::Eof(how))) => {
+                if matches!(workers[wid].state, WorkerState::Dead) {
+                    continue; // already handled (deadline kill or write failure)
+                }
+                let detail = exit_detail(&mut workers[wid].child);
+                let prev = std::mem::replace(&mut workers[wid].state, WorkerState::Dead);
+                workers[wid].stdin = None;
+                let (orphan, shard_name) = match prev {
+                    WorkerState::Busy { job, attempt, .. } => {
+                        (Some((job, attempt)), Some(jobs[job].name.clone()))
+                    }
+                    _ => (None, None),
+                };
+                emit!(FleetEvent::WorkerDied {
+                    worker: wid,
+                    shard: shard_name,
+                    reason: format!("{how}{detail}"),
+                });
+                if let Some((job, attempt)) = orphan {
+                    let reason = format!("worker died mid-shard: {how}{detail}");
+                    if let Err(err) = requeue(
+                        cfg,
+                        jobs,
+                        &mut pending,
+                        job,
+                        attempt,
+                        &reason,
+                        &mut on_event,
+                    ) {
+                        fail!(err);
+                    }
+                }
+                let unfinished = jobs.len() - run.done.len();
+                if unfinished > 0 && respawns_used < cfg.max_respawns {
+                    respawns_used += 1;
+                    respawn_at = Some(Instant::now() + backoff);
+                    backoff *= 2;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Deadline sweep: kill workers that have sat on a shard
+                // past the budget; the kill surfaces as EOF handled above,
+                // but the orphaned shard is requeued here so the cause is
+                // attributed correctly.
+                for wid in 0..workers.len() {
+                    let WorkerState::Busy {
+                        job,
+                        attempt,
+                        since,
+                    } = workers[wid].state
+                    else {
+                        continue;
+                    };
+                    if since.elapsed() <= cfg.shard_deadline {
+                        continue;
+                    }
+                    let _ = workers[wid].child.kill();
+                    let detail = exit_detail(&mut workers[wid].child);
+                    workers[wid].state = WorkerState::Dead;
+                    workers[wid].stdin = None;
+                    emit!(FleetEvent::WorkerDied {
+                        worker: wid,
+                        shard: Some(jobs[job].name.clone()),
+                        reason: format!(
+                            "per-shard deadline ({:?}) exceeded{detail}",
+                            cfg.shard_deadline
+                        ),
+                    });
+                    let reason = format!("deadline exceeded after {:?}", cfg.shard_deadline);
+                    if let Err(err) = requeue(
+                        cfg,
+                        jobs,
+                        &mut pending,
+                        job,
+                        attempt,
+                        &reason,
+                        &mut on_event,
+                    ) {
+                        fail!(err);
+                    }
+                    if respawns_used < cfg.max_respawns {
+                        respawns_used += 1;
+                        respawn_at = Some(Instant::now() + backoff);
+                        backoff *= 2;
+                    }
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                // All reader threads gone; the live-worker check at the top
+                // of the loop turns this into NoWorkers next iteration.
+            }
+        }
+    }
+
+    shutdown_all(&mut workers);
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_with_matching_identity_accepted() {
+        let msg = Msg::Hello {
+            protocol_version: PROTOCOL_VERSION,
+            code_fingerprint: "fp-1".into(),
+        };
+        assert!(validate_hello(&msg, "fp-1").is_ok());
+    }
+
+    #[test]
+    fn stale_fingerprint_rejected_with_cache_poisoning_explanation() {
+        let msg = Msg::Hello {
+            protocol_version: PROTOCOL_VERSION,
+            code_fingerprint: "spider-campaign/0.0.9/record-v1/rev-1".into(),
+        };
+        let err = validate_hello(&msg, "spider-campaign/0.1.0/record-v1/rev-1")
+            .expect_err("stale fingerprint must be rejected");
+        assert!(err.contains("fingerprint mismatch"), "{err}");
+        assert!(err.contains("poison"), "{err}");
+    }
+
+    #[test]
+    fn wrong_protocol_version_rejected() {
+        let msg = Msg::Hello {
+            protocol_version: PROTOCOL_VERSION + 1,
+            code_fingerprint: "fp".into(),
+        };
+        let err = validate_hello(&msg, "fp").expect_err("version mismatch must be rejected");
+        assert!(err.contains("protocol version mismatch"), "{err}");
+    }
+
+    #[test]
+    fn non_hello_rejected() {
+        assert!(validate_hello(&Msg::Shutdown, "fp").is_err());
+    }
+}

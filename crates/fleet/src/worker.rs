@@ -1,0 +1,174 @@
+//! The worker side of the fleet protocol.
+//!
+//! A worker process is the `experiments` binary in `--worker` mode: it
+//! speaks [`crate::proto`] over stdin/stdout and runs one shard at a time.
+//! Everything else (argument parsing, the banner, figures) is bypassed —
+//! stdout belongs to the protocol.
+
+use crate::fault::FaultSpec;
+use crate::proto::{read_msg, write_msg, Msg, PROTOCOL_VERSION};
+use spider_core::{run_with_diagnostics, RunRecord, WorldConfig};
+use std::io::{self, BufReader, BufWriter, Read, Write};
+
+/// Serve the worker protocol until `Shutdown` or clean EOF.
+///
+/// Sends `Hello{PROTOCOL_VERSION, code_fingerprint}` first, then answers
+/// each `Assign` with `Done` (the shard's lossless `RunRecord` JSON plus
+/// diagnostics) or `Error` (the shard failed but the worker survives).
+/// A `FLEET_FAULT` spec naming an assigned shard fires here, after the
+/// assignment is read and before the simulation runs — mid-shard from the
+/// scheduler's point of view.
+pub fn serve<R: Read, W: Write>(input: R, output: W, code_fingerprint: &str) -> io::Result<()> {
+    let mut input = BufReader::new(input);
+    let mut output = BufWriter::new(output);
+    write_msg(
+        &mut output,
+        &Msg::Hello {
+            protocol_version: PROTOCOL_VERSION,
+            code_fingerprint: code_fingerprint.to_string(),
+        },
+    )?;
+    let fault = FaultSpec::from_env();
+    loop {
+        match read_msg(&mut input)? {
+            None | Some(Msg::Shutdown) => return Ok(()),
+            Some(Msg::Assign { shard, world }) => {
+                if let Some(spec) = &fault {
+                    if spec.matches(&shard) && spec.claim() {
+                        spec.fire(&shard);
+                    }
+                }
+                let reply = run_shard(&shard, *world);
+                write_msg(&mut output, &reply)?;
+            }
+            Some(_) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "fleet worker: unexpected message (only Assign/Shutdown are valid)",
+                ))
+            }
+        }
+    }
+}
+
+fn run_shard(shard: &str, world: WorldConfig) -> Msg {
+    let started = std::time::Instant::now();
+    let (result, diagnostics) = run_with_diagnostics(world);
+    match RunRecord::to_json(&result) {
+        Ok(record_json) => Msg::Done {
+            shard: shard.to_string(),
+            record_json,
+            events_delivered: diagnostics.events_delivered,
+            peak_queue_depth: diagnostics.peak_queue_depth as u64,
+            wall_ms: started.elapsed().as_millis() as u64,
+        },
+        Err(e) => Msg::Error {
+            shard: shard.to_string(),
+            reason: format!("run record not serializable: {e}"),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobility::deployment::ApSite;
+    use mobility::geometry::Point;
+    use sim_engine::time::Duration;
+    use spider_core::config::SpiderConfig;
+    use spider_core::ClientMotion;
+    use wifi_mac::channel::Channel;
+
+    fn tiny_world(seed: u64) -> WorldConfig {
+        WorldConfig::new(
+            seed,
+            vec![ApSite {
+                id: 1,
+                position: Point::new(0.0, 15.0),
+                channel: Channel::CH1,
+                backhaul_bps: 2_000_000,
+                dhcp_delay_min: Duration::from_millis(10),
+                dhcp_delay_max: Duration::from_millis(30),
+            }],
+            ClientMotion::Fixed(Point::new(0.0, 0.0)),
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            Duration::from_secs(2),
+        )
+    }
+
+    fn feed(msgs: &[Msg]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for m in msgs {
+            write_msg(&mut buf, m).expect("write");
+        }
+        buf
+    }
+
+    fn replies(output: &[u8]) -> Vec<Msg> {
+        let mut cursor = io::Cursor::new(output);
+        let mut out = Vec::new();
+        while let Some(m) = read_msg(&mut cursor).expect("read") {
+            out.push(m);
+        }
+        out
+    }
+
+    #[test]
+    fn serve_answers_assign_with_done_and_record_matches_in_process() {
+        let input = feed(&[
+            Msg::Assign {
+                shard: "tiny".into(),
+                world: Box::new(tiny_world(4)),
+            },
+            Msg::Shutdown,
+        ]);
+        let mut output = Vec::new();
+        serve(input.as_slice(), &mut output, "fp-test").expect("serve");
+        let msgs = replies(&output);
+        assert_eq!(msgs.len(), 2);
+        match &msgs[0] {
+            Msg::Hello {
+                protocol_version,
+                code_fingerprint,
+            } => {
+                assert_eq!(*protocol_version, PROTOCOL_VERSION);
+                assert_eq!(code_fingerprint, "fp-test");
+            }
+            other => panic!("expected Hello, got {other:?}"),
+        }
+        match &msgs[1] {
+            Msg::Done {
+                shard, record_json, ..
+            } => {
+                assert_eq!(shard, "tiny");
+                let (in_process, _) = run_with_diagnostics(tiny_world(4));
+                let expected = RunRecord::to_json(&in_process).expect("json");
+                assert_eq!(record_json, &expected, "worker record diverged");
+            }
+            other => panic!("expected Done, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serve_exits_cleanly_on_eof() {
+        let mut output = Vec::new();
+        serve(&[][..], &mut output, "fp").expect("serve");
+        let msgs = replies(&output);
+        assert_eq!(msgs.len(), 1, "only the Hello should have been sent");
+    }
+
+    #[test]
+    fn serve_rejects_protocol_confusion() {
+        // A scheduler must never receive `Done` — a worker receiving one
+        // indicates crossed streams; it bails rather than guessing.
+        let input = feed(&[Msg::Done {
+            shard: "x".into(),
+            record_json: "{}".into(),
+            events_delivered: 0,
+            peak_queue_depth: 0,
+            wall_ms: 0,
+        }]);
+        let mut output = Vec::new();
+        assert!(serve(input.as_slice(), &mut output, "fp").is_err());
+    }
+}

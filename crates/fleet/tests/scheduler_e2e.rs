@@ -1,0 +1,200 @@
+//! End-to-end scheduler tests against real worker processes.
+//!
+//! `harness = false`: this binary is both the test driver and — when
+//! `FLEET_E2E_WORKER` is set — the worker child, so stdout stays clean for
+//! the protocol (libtest would otherwise print to it before `Hello`).
+//! The same pattern as `spider-core/tests/determinism.rs`.
+
+use fleet::fault::{FAULT_EXIT_CODE, FLEET_FAULT_ENV};
+use fleet::scheduler::{run_shards, FleetConfig, FleetError, FleetEvent, ShardJob};
+use mobility::deployment::ApSite;
+use mobility::geometry::Point;
+use sim_engine::par::CancelToken;
+use sim_engine::time::Duration;
+use spider_core::config::SpiderConfig;
+use spider_core::{run_with_diagnostics, ClientMotion, RunRecord, WorldConfig};
+use std::path::PathBuf;
+use std::time::Duration as StdDuration;
+use wifi_mac::channel::Channel;
+
+const WORKER_ENV: &str = "FLEET_E2E_WORKER";
+const GOOD_FINGERPRINT: &str = "fleet-e2e/fp-good";
+
+fn tiny_world(seed: u64) -> WorldConfig {
+    WorldConfig::new(
+        seed,
+        vec![ApSite {
+            id: 1,
+            position: Point::new(0.0, 15.0),
+            channel: Channel::CH1,
+            backhaul_bps: 2_000_000,
+            dhcp_delay_min: Duration::from_millis(10),
+            dhcp_delay_max: Duration::from_millis(30),
+        }],
+        ClientMotion::Fixed(Point::new(0.0, 0.0)),
+        SpiderConfig::single_channel_multi_ap(Channel::CH1),
+        Duration::from_secs(2),
+    )
+}
+
+fn jobs(n: u64) -> Vec<ShardJob> {
+    (0..n)
+        .map(|i| ShardJob {
+            name: format!("shard-{i}"),
+            world: tiny_world(100 + i),
+        })
+        .collect()
+}
+
+fn expected_json(seed: u64) -> String {
+    let (result, _) = run_with_diagnostics(tiny_world(seed));
+    RunRecord::to_json(&result).expect("record json")
+}
+
+fn fleet_config(workers: usize) -> FleetConfig {
+    let program = std::env::current_exe().expect("current_exe");
+    let mut cfg = FleetConfig::new(program, workers, GOOD_FINGERPRINT.to_string());
+    cfg.respawn_backoff = StdDuration::from_millis(10);
+    cfg
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("fleet-e2e-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn worker_main() -> ! {
+    let fingerprint =
+        std::env::var("FLEET_E2E_FINGERPRINT").unwrap_or_else(|_| GOOD_FINGERPRINT.to_string());
+    let result = fleet::worker::serve(std::io::stdin(), std::io::stdout(), &fingerprint);
+    std::process::exit(if result.is_ok() { 0 } else { 1 });
+}
+
+fn all_shards_complete_and_match_in_process() {
+    let cancel = CancelToken::new();
+    let run = run_shards(&fleet_config(3), &jobs(5), &cancel, |_| Ok(())).expect("fleet run");
+    assert!(!run.cancelled);
+    assert_eq!(run.done.len(), 5);
+    for done in &run.done {
+        assert_eq!(done.attempts, 1);
+        assert_eq!(
+            done.record_json,
+            expected_json(100 + done.index as u64),
+            "shard {} record diverged from in-process run",
+            done.index
+        );
+        assert!(done.events_delivered > 0);
+    }
+}
+
+fn injected_exit_is_retried(action: &str, check_status: bool) {
+    let marker = scratch(&format!("marker-{action}"));
+    std::env::set_var(
+        FLEET_FAULT_ENV,
+        format!("{action}:shard-2:{}", marker.display()),
+    );
+    let mut cfg = fleet_config(2);
+    if action == "stall" {
+        // Far above a tiny shard's wall time, far below the default.
+        cfg.shard_deadline = StdDuration::from_secs(2);
+    }
+    let cancel = CancelToken::new();
+    let mut died = Vec::new();
+    let mut requeued = Vec::new();
+    let run = run_shards(&cfg, &jobs(4), &cancel, |ev| {
+        match ev {
+            FleetEvent::WorkerDied { shard, reason, .. } => {
+                died.push((shard.clone(), reason.clone()));
+            }
+            FleetEvent::Requeued { shard, attempt } => requeued.push((shard.clone(), *attempt)),
+            _ => {}
+        }
+        Ok(())
+    })
+    .expect("fleet run survives one injected crash");
+    std::env::remove_var(FLEET_FAULT_ENV);
+
+    assert!(marker.exists(), "fault never fired");
+    let _ = std::fs::remove_file(&marker);
+    assert_eq!(run.done.len(), 4);
+    assert_eq!(
+        died.iter()
+            .filter(|(s, _)| s.as_deref() == Some("shard-2"))
+            .count(),
+        1,
+        "exactly one death on the target shard: {died:?}"
+    );
+    if check_status {
+        assert!(
+            died.iter()
+                .any(|(_, r)| r.contains(&FAULT_EXIT_CODE.to_string())),
+            "death reason should carry the exit status: {died:?}"
+        );
+    }
+    assert_eq!(requeued, vec![("shard-2".to_string(), 2)]);
+    let retried = run
+        .done
+        .iter()
+        .find(|d| d.index == 2)
+        .expect("shard-2 completed");
+    assert_eq!(retried.attempts, 2);
+    assert_eq!(retried.record_json, expected_json(102));
+}
+
+fn stale_fingerprint_aborts_the_run() {
+    std::env::set_var("FLEET_E2E_FINGERPRINT", "fleet-e2e/fp-stale");
+    let cancel = CancelToken::new();
+    let err = run_shards(&fleet_config(2), &jobs(2), &cancel, |_| Ok(()))
+        .expect_err("stale worker binary must be rejected");
+    std::env::remove_var("FLEET_E2E_FINGERPRINT");
+    match err {
+        FleetError::Handshake { detail, .. } => {
+            assert!(detail.contains("fingerprint mismatch"), "{detail}");
+        }
+        other => panic!("expected Handshake error, got {other}"),
+    }
+}
+
+fn cancellation_returns_partial() {
+    let cancel = CancelToken::new();
+    cancel.cancel();
+    let run = run_shards(&fleet_config(2), &jobs(3), &cancel, |_| Ok(())).expect("fleet run");
+    assert!(run.cancelled);
+    assert!(run.done.is_empty());
+}
+
+fn main() {
+    if std::env::var(WORKER_ENV).is_ok() {
+        worker_main();
+    }
+    // The children must take the worker branch; faults are targeted via
+    // FLEET_FAULT, which only child processes act on (serve() reads it).
+    std::env::set_var(WORKER_ENV, "1");
+
+    let tests: &[(&str, fn())] = &[
+        ("all_shards_complete_and_match_in_process", || {
+            all_shards_complete_and_match_in_process()
+        }),
+        ("injected_exit_is_retried", || {
+            injected_exit_is_retried("exit", true)
+        }),
+        ("injected_panic_is_retried", || {
+            injected_exit_is_retried("panic", false)
+        }),
+        ("injected_stall_hits_deadline_and_is_retried", || {
+            injected_exit_is_retried("stall", false)
+        }),
+        (
+            "stale_fingerprint_aborts_the_run",
+            stale_fingerprint_aborts_the_run,
+        ),
+        ("cancellation_returns_partial", cancellation_returns_partial),
+    ];
+    for (name, test) in tests {
+        eprintln!("scheduler_e2e: {name} ...");
+        test();
+        eprintln!("scheduler_e2e: {name} ok");
+    }
+    println!("scheduler_e2e: {} tests passed", tests.len());
+}

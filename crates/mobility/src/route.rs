@@ -251,6 +251,11 @@ impl Vehicle {
         &self.profile
     }
 
+    /// When the drive started.
+    pub fn departed(&self) -> Instant {
+        self.departed
+    }
+
     /// Long-run average speed, m/s (equals the constant speed for
     /// [`SpeedProfile::Constant`]).
     pub fn speed(&self) -> f64 {

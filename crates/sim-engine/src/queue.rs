@@ -145,6 +145,11 @@ impl<E> EventQueue<E> {
 
     /// High-water mark of live scheduled events over the queue's lifetime
     /// (diagnostics; also the steady-state size of the slot arena).
+    ///
+    /// Cancelled entries still physically queued in the heap are **not**
+    /// counted: this is the depth campaign progress lines report, and a
+    /// timer-heavy run that cancels most of what it schedules would
+    /// otherwise look far deeper than it ever was.
     pub fn peak_depth(&self) -> usize {
         self.peak_live
     }
@@ -438,6 +443,26 @@ mod tests {
         while q.pop().is_some() {}
         q.push(Instant::from_millis(10), ());
         assert_eq!(q.peak_depth(), 5);
+    }
+
+    #[test]
+    fn peak_depth_ignores_cancelled_but_queued_entries() {
+        // Cancelled events stay physically in the heap until popped past;
+        // the reported peak must count live events only, or campaigns that
+        // cancel most of their timers would report inflated depths.
+        let mut q = EventQueue::new();
+        let ids: Vec<_> = (0..10)
+            .map(|i| q.push(Instant::from_millis(i), ()))
+            .collect();
+        assert_eq!(q.peak_depth(), 10);
+        for id in ids {
+            q.cancel(id);
+        }
+        for i in 10..15 {
+            q.push(Instant::from_millis(i), ());
+        }
+        // The heap now physically holds 15 entries, but only 5 are live.
+        assert_eq!(q.peak_depth(), 10, "cancelled entries inflated the peak");
     }
 
     #[test]

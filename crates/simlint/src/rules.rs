@@ -131,6 +131,13 @@ pub fn tier_of(rel_path: &str) -> Tier {
         if krate == "experiments" {
             return Tier::Bin;
         }
+        if krate == "fleet" && parts.last() == Some(&"proto.rs") {
+            // The framed wire codec runs on both ends of the worker
+            // protocol, so it gets the full determinism tier; the
+            // scheduler/worker around it are process management (OS
+            // children, wall-clock deadlines) and stay at Lib.
+            return Tier::Sim;
+        }
         return Tier::Lib;
     }
     // The root facade crate (src/lib.rs).
@@ -490,6 +497,21 @@ mod tests {
         let src = "use std::collections::HashMap;\nfn f() { x.unwrap(); }\n";
         assert!(run("crates/spider-core/tests/determinism.rs", src).is_empty());
         assert!(run("tests/full_system.rs", src).is_empty());
+    }
+
+    #[test]
+    fn fleet_protocol_is_sim_tier_rest_is_lib() {
+        assert_eq!(tier_of("crates/fleet/src/proto.rs"), Tier::Sim);
+        assert_eq!(tier_of("crates/fleet/src/scheduler.rs"), Tier::Lib);
+        assert_eq!(tier_of("crates/fleet/src/worker.rs"), Tier::Lib);
+        assert_eq!(tier_of("crates/fleet/tests/scheduler_e2e.rs"), Tier::Test);
+        // The codec must not read wall clocks; the scheduler may (its
+        // deadlines are real time), but still answers for panic paths.
+        let clock = "let t = std::time::Instant::now();\n";
+        assert!(!run("crates/fleet/src/proto.rs", clock).is_empty());
+        assert!(run("crates/fleet/src/scheduler.rs", clock).is_empty());
+        let unwrap = "fn f() { x.unwrap(); }\n";
+        assert!(!run("crates/fleet/src/scheduler.rs", unwrap).is_empty());
     }
 
     #[test]

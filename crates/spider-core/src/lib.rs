@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod codec;
 pub mod config;
 pub mod history;
 pub mod intern;

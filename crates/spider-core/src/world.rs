@@ -1665,7 +1665,9 @@ fn unwrap_proto(payload: &[u8]) -> Option<(u8, &[u8])> {
 pub struct RunDiagnostics {
     /// Events delivered by the queue over the run (deterministic).
     pub events_delivered: u64,
-    /// High-water mark of scheduled events (deterministic).
+    /// High-water mark of **live** scheduled events (deterministic).
+    /// Cancelled-but-still-queued entries do not count — see
+    /// `EventQueue::peak_depth`.
     pub peak_queue_depth: usize,
 }
 

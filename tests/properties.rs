@@ -858,3 +858,127 @@ fn segment_wire_len_survives_roundtrip() {
         Ok(())
     });
 }
+
+// ---------------------------------------------------- world-config codec
+
+use spider_repro::campaign::hash::shard_hash;
+use spider_repro::mobility::{ApSite, SpeedProfile, Vehicle};
+use spider_repro::spider::codec::{decode_world, encode_world};
+use spider_repro::spider::{ClientMotion, SelectionPolicy, SpiderConfig, WorldConfig};
+use spider_repro::traffic::DownloadPlan;
+
+fn gen_site(g: &mut Gen, id: u32) -> ApSite {
+    ApSite {
+        id,
+        position: Point::new(g.f64_in(-500.0, 500.0), g.f64_in(-500.0, 500.0)),
+        channel: gen_channel(g),
+        backhaul_bps: g.u64_in(100_000, 20_000_000),
+        dhcp_delay_min: Duration::from_millis(g.u64_in(1, 100)),
+        dhcp_delay_max: Duration::from_millis(g.u64_in(100, 400)),
+    }
+}
+
+fn gen_motion(g: &mut Gen) -> ClientMotion {
+    if g.bool() {
+        return ClientMotion::Fixed(Point::new(g.f64_in(-100.0, 100.0), g.f64_in(-100.0, 100.0)));
+    }
+    let route = if g.bool() {
+        Route::rectangle(g.f64_in(100.0, 1_000.0), g.f64_in(100.0, 600.0))
+    } else {
+        // The x-range keeps the route length strictly positive.
+        Route::straight(
+            Point::new(0.0, 0.0),
+            Point::new(g.f64_in(10.0, 2_000.0), g.f64_in(-50.0, 50.0)),
+        )
+    };
+    let departed = Instant::from_nanos(g.u64_in(0, 1_000_000_000));
+    let vehicle = if g.bool() {
+        Vehicle::new(route, g.f64_in(1.0, 30.0), departed)
+    } else {
+        Vehicle::with_profile(
+            route,
+            SpeedProfile::StopAndGo {
+                cruise: g.f64_in(1.0, 30.0),
+                stop_every: g.f64_in(50.0, 500.0),
+                stop_for: g.f64_in(0.0, 30.0),
+            },
+            departed,
+        )
+    };
+    ClientMotion::Route(vehicle)
+}
+
+fn gen_spider(g: &mut Gen) -> SpiderConfig {
+    // One preset per schedule variant, then mutate the scalar knobs.
+    let mut s = match g.u32_in(0, 4) {
+        0 => SpiderConfig::single_channel_multi_ap(gen_channel(g)),
+        1 => SpiderConfig::multi_channel_multi_ap(Duration::from_millis(g.u64_in(50, 500))),
+        2 => SpiderConfig::stock_madwifi(),
+        _ => SpiderConfig::adaptive_channel(),
+    };
+    s.max_ifaces = g.usize_in(1, 5);
+    s.single_ap = g.bool();
+    s.lease_cache = g.bool();
+    s.selection = if g.bool() {
+        SelectionPolicy::JoinHistory
+    } else {
+        SelectionPolicy::BestRssi
+    };
+    s.min_join_rssi_dbm = g.f64_in(-95.0, -60.0);
+    s.ap_loss_timeout = Duration::from_millis(g.u64_in(100, 5_000));
+    s.join_setup_delay = Duration::from_millis(g.u64_in(0, 200));
+    s
+}
+
+fn gen_world(g: &mut Gen) -> WorldConfig {
+    let sites = (0..g.len_in(1, 6))
+        .map(|i| gen_site(g, i as u32 + 1))
+        .collect();
+    let mut w = WorldConfig::new(
+        g.u64(),
+        sites,
+        gen_motion(g),
+        gen_spider(g),
+        Duration::from_secs(g.u64_in(5, 120)),
+    );
+    w.backhaul_latency = Duration::from_millis(g.u64_in(0, 300));
+    w.bytes_per_connection = g.u64_in(1, 1 << 24);
+    w.phy.data_retries = g.u32_in(0, 8);
+    w.tcp.mss = g.u32_in(500, 1_500);
+    if g.bool() {
+        w.plan = DownloadPlan::Segmented {
+            object_bytes: g.u64_in(1, 1 << 22),
+            think: Duration::from_millis(g.u64_in(0, 2_000)),
+        };
+    }
+    w
+}
+
+/// The fleet protocol ships `WorldConfig`s to worker processes, and the
+/// campaign cache keys shards by the config's `Debug` string — so a codec
+/// round-trip must preserve that string exactly (and with it, the shard
+/// hash: a drifting codec would silently re-key the cache).
+#[test]
+fn world_codec_roundtrips_bit_exactly() {
+    check("world_codec_roundtrips_bit_exactly", |g| {
+        let world = gen_world(g);
+        let decoded = decode_world(&encode_world(&world)).expect("decode");
+        prop_assert_eq!(format!("{decoded:?}"), format!("{world:?}"));
+        prop_assert_eq!(shard_hash(&decoded), shard_hash(&world));
+        Ok(())
+    });
+}
+
+#[test]
+fn world_codec_rejects_every_strict_prefix() {
+    check("world_codec_rejects_every_strict_prefix", |g| {
+        let bytes = encode_world(&gen_world(g));
+        let cut = g.usize_in(0, bytes.len());
+        prop_assert!(
+            decode_world(&bytes[..cut]).is_err(),
+            "strict prefix {cut}/{} decoded",
+            bytes.len()
+        );
+        Ok(())
+    });
+}
