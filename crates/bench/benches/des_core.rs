@@ -1,156 +1,11 @@
-//! The DES hot-path benchmark: raw engine events/sec on a fig5-scale
-//! world, plus microbenches of the two structures the allocation-free
-//! hot path rests on (the slot-cancelling event queue and the interned
-//! MacAddr table).
-//!
-//! The headline number is `events_per_sec` — total events the engine
-//! delivers per wall-clock second while running the Fig. 5 vehicular
-//! drive (multi-channel Spider, Amherst-like AP deployment, 60 s of
-//! simulated time). It is derived from the median iteration time of the
-//! `fig5_scale_world_60s` bench and the run's `events_delivered`
-//! counter (identical every run — the event schedule is deterministic),
-//! and is written to the JSON artifact next to the recorded
-//! pre-optimization baseline so the speedup is visible in one file:
+//! The DES hot-path benchmark: engine events/sec on a fig5-scale world
+//! plus event-queue and intern-table microbenches; the bodies live in
+//! [`bench::suites::des_core`] so the `bench` bin can gate on them.
 //!
 //! ```text
 //! SPIDER_BENCH_JSON=$PWD/target/BENCH_des.json cargo bench -p bench --bench des_core
 //! ```
-//!
-//! The baseline can be re-measured on any machine by checking out the
-//! commit before the hot-path rework, timing the same scenario with
-//! `spider_core::world::run`, and exporting it as
-//! `SPIDER_BENCH_BASELINE_EPS` when running this bench.
-
-use bench::bench_vehicular;
-use bench::timer::Harness;
-use sim_engine::queue::EventQueue;
-use sim_engine::time::{Duration, Instant};
-use spider_core::config::{SchedulePolicy, SpiderConfig};
-use spider_core::world::{run_with_diagnostics, WorldConfig};
-use spider_core::MacIntern;
-use wifi_mac::addr::MacAddr;
-use wifi_mac::channel::Channel;
-
-/// Events/sec of the pre-rework engine (commit before the slot-queue +
-/// interning change) on this scenario: the best of three interleaved
-/// back-to-back runs against that commit's worktree, same batching
-/// harness, same machine as the committed artifact (best-of favors the
-/// baseline, so recorded speedups are conservative). Machine dependent —
-/// override with `SPIDER_BENCH_BASELINE_EPS` after re-measuring locally;
-/// `None` drops the baseline/speedup fields from the artifact rather
-/// than reporting a number from different hardware.
-const RECORDED_MAIN_BASELINE_EPS: Option<f64> = Some(3_050_000.0);
-
-/// The Fig. 5 join-measurement drive, exactly as `system_figures`
-/// benches it: multi-channel Spider over the three orthogonal channels,
-/// vehicular motion along an Amherst-like deployment, 60 s simulated.
-fn fig5_world() -> WorldConfig {
-    let mut spider = SpiderConfig::multi_channel_multi_ap(Duration::from_millis(133));
-    spider.schedule = SchedulePolicy::MultiChannel {
-        slices: vec![
-            (Channel::CH6, Duration::from_millis(200)),
-            (Channel::CH1, Duration::from_millis(100)),
-            (Channel::CH11, Duration::from_millis(100)),
-        ],
-    };
-    bench_vehicular(11, spider, 60)
-}
 
 fn main() {
-    let mut h = Harness::from_env("des_core");
-
-    // One untimed run pins the deterministic per-run counters.
-    let (_, probe) = run_with_diagnostics(fig5_world());
-
-    h.bench("fig5_scale_world_60s", || {
-        let (result, diag) = run_with_diagnostics(fig5_world());
-        (result.total_bytes, diag.events_delivered)
-    });
-    if let Some(median_ns) = h.last_median_ns() {
-        let eps = probe.events_delivered as f64 * 1e9 / median_ns;
-        println!(
-            "des_core: {} events per run, peak queue depth {}, {:.0} events/sec (median)",
-            probe.events_delivered, probe.peak_queue_depth, eps
-        );
-        h.annotate("scenario", "\"fig5_scale_world_60s\"");
-        h.annotate("events_delivered", format!("{}", probe.events_delivered));
-        h.annotate("peak_queue_depth", format!("{}", probe.peak_queue_depth));
-        h.annotate("events_per_sec", format!("{eps:.1}"));
-        let baseline = std::env::var("SPIDER_BENCH_BASELINE_EPS")
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-            .or(RECORDED_MAIN_BASELINE_EPS);
-        if let Some(base) = baseline {
-            println!(
-                "des_core: baseline {base:.0} events/sec, speedup {:.2}x",
-                eps / base
-            );
-            h.annotate("baseline_events_per_sec", format!("{base:.1}"));
-            h.annotate("speedup_vs_baseline", format!("{:.3}", eps / base));
-        }
-    }
-
-    // Steady-state heap churn: a queue holding ~1024 timers where every
-    // pop schedules a successor — the sim's dominant queue access
-    // pattern. No cancellations; measures pure push/pop + slot recycling.
-    h.bench("queue_churn_1024_timers", || {
-        let mut q: EventQueue<u32> = EventQueue::new();
-        let mut t = 0u64;
-        for i in 0..1024u32 {
-            t = t
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            q.push(Instant::from_micros(t % 10_000), i);
-        }
-        let mut acc = 0u64;
-        for _ in 0..4096 {
-            let (at, v) = q.pop().expect("queue stays full");
-            acc = acc.wrapping_add(v as u64);
-            t = t
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            q.push(at + Duration::from_micros(1 + t % 1_000), v);
-        }
-        acc
-    });
-
-    // Cancel-heavy churn: half of every generation of timers is
-    // cancelled before it fires (retransmission timers behave like
-    // this). Exercises O(1) slot cancellation plus dead-entry skipping.
-    h.bench("queue_cancel_heavy_churn_1024", || {
-        let mut q: EventQueue<u32> = EventQueue::new();
-        let mut t = 0u64;
-        let mut ids = Vec::with_capacity(1024);
-        let mut acc = 0u64;
-        for round in 0..4u64 {
-            ids.clear();
-            for i in 0..1024u32 {
-                t = t
-                    .wrapping_mul(6364136223846793005)
-                    .wrapping_add(1442695040888963407);
-                ids.push(q.push(Instant::from_micros(round * 20_000 + t % 10_000), i));
-            }
-            for id in ids.iter().skip(1).step_by(2) {
-                q.cancel(*id);
-            }
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v as u64);
-            }
-        }
-        acc
-    });
-
-    // BSSID resolution against a deployment-sized interned table: the
-    // per-beacon lookup the world does instead of a BTreeMap walk.
-    let table = MacIntern::build((0..64).map(MacAddr::ap));
-    let addrs: Vec<MacAddr> = (0..64).rev().map(MacAddr::ap).collect();
-    h.bench("intern_lookup_64_bssids", || {
-        let mut acc = 0usize;
-        for &a in &addrs {
-            acc += table.get(a).expect("interned at build");
-        }
-        acc
-    });
-
-    h.finish();
+    bench::bench_target_main("des_core");
 }

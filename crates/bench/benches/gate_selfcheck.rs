@@ -1,0 +1,8 @@
+//! The regression-gate self-check workload (a deterministic spin whose
+//! cost `SPIDER_GATE_INJECT_PCT` scales); the body lives in
+//! [`bench::suites::gate_selfcheck`]. ci.sh runs it via the `bench` bin
+//! to prove the gate detects an injected slowdown before trusting it.
+
+fn main() {
+    bench::bench_target_main("gate_selfcheck");
+}

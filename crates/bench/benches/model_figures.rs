@@ -1,78 +1,6 @@
-//! Benchmarks of the analytical artifacts: regenerating (scaled versions
-//! of) Fig. 2, Fig. 3, Fig. 4 and Table 1.
-
-use bench::timer::Harness;
-
-use analytical::join_model::JoinModelParams;
-use analytical::join_sim::simulate_join_probability;
-use analytical::optimizer::{figure4_inputs, solve};
-use sim_engine::rng::Rng;
-use sim_engine::stats::Summary;
-use wifi_mac::radio::RadioConfig;
+//! Benchmarks of the analytical artifacts (Figs. 2–4, Table 1); the
+//! bodies live in [`bench::suites::model_figures`].
 
 fn main() {
-    let mut h = Harness::from_env("model_figures");
-
-    // Fig. 2 (model side): Eq. 7 across the fraction axis.
-    h.bench("fig02_join_model_curve", || {
-        let mut acc = 0.0;
-        for step in 1..=20 {
-            let f = step as f64 / 20.0;
-            acc += JoinModelParams::figure2(f, 10.0).p_join(4.0);
-        }
-        acc
-    });
-
-    // Fig. 2 (simulation side): the Monte-Carlo corroborator.
-    let params = JoinModelParams::figure2(0.4, 10.0);
-    let mut rng = Rng::new(7);
-    h.bench("fig02_join_simulation_1k_trials", || {
-        simulate_join_probability(&params, 4.0, 1_000, &mut rng)
-    });
-
-    // Fig. 3: the βmax sweep for all six plotted curves.
-    h.bench("fig03_beta_sweep", || {
-        let mut acc = 0.0;
-        for (f, w) in [
-            (0.10, 0.0),
-            (0.10, 0.007),
-            (0.25, 0.007),
-            (0.40, 0.007),
-            (0.50, 0.007),
-            (0.50, 0.0),
-        ] {
-            let mut beta = 0.6;
-            while beta <= 10.0 {
-                let p = JoinModelParams {
-                    switch_delay: w,
-                    ..JoinModelParams::figure2(f, beta)
-                };
-                acc += p.p_join(4.0);
-                beta += 0.8;
-            }
-        }
-        acc
-    });
-
-    // Fig. 4: one full optimizer solve (the unit the speed sweep repeats).
-    h.bench("fig04_optimizer_solve", || {
-        solve(&figure4_inputs(0.25, 5.0, 10.0))
-    });
-
-    // Table 1: the switch-latency distribution (mean ± σ, 0–4 interfaces).
-    let cfg = RadioConfig::default();
-    let mut rng = Rng::new(42);
-    h.bench("table1_switch_latency_model", || {
-        let mut out = Vec::with_capacity(5);
-        for connected in 0..=4usize {
-            let mut s = Summary::new();
-            for _ in 0..1_000 {
-                s.record(cfg.switch_latency(connected, &mut rng).as_secs_f64());
-            }
-            out.push((s.mean(), s.std_dev()));
-        }
-        out
-    });
-
-    h.finish();
+    bench::bench_target_main("model_figures");
 }

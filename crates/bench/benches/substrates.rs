@@ -1,198 +1,6 @@
-//! Micro-benchmarks of the substrate hot paths: the costs every experiment
-//! pays millions of times.
-
-use std::hint::black_box;
-
-use bench::timer::Harness;
-use dhcp::message::DhcpMessage;
-use sim_engine::queue::EventQueue;
-use sim_engine::rng::Rng;
-use sim_engine::time::Instant;
-use tcp_lite::connection::{BulkReceiver, BulkSender, ReceiverAction, SenderAction, TcpConfig};
-use wifi_mac::channel::Channel;
-use wifi_mac::frame::{Frame, Ssid};
-use wifi_mac::phy::PhyConfig;
-use wifi_mac::MacAddr;
+//! Micro-benchmarks of the substrate hot paths; the bodies live in
+//! [`bench::suites::substrates`] so the `bench` bin can gate on them.
 
 fn main() {
-    let mut h = Harness::from_env("substrates");
-
-    h.bench("event_queue_push_pop_10k", || {
-        let mut q = EventQueue::new();
-        let mut rng = Rng::new(1);
-        for i in 0..10_000u64 {
-            q.push(Instant::from_micros(rng.range_u64(0, 1_000_000)), i);
-        }
-        let mut acc = 0u64;
-        while let Some((_, v)) = q.pop() {
-            acc = acc.wrapping_add(v);
-        }
-        acc
-    });
-
-    let mut rng = Rng::new(7);
-    h.bench("rng_next_u64_x1M", || {
-        let mut acc = 0u64;
-        for _ in 0..1_000_000 {
-            acc = acc.wrapping_add(rng.next_u64());
-        }
-        acc
-    });
-    let mut rng = Rng::new(7);
-    h.bench("rng_normal_x100k", || {
-        let mut acc = 0.0;
-        for _ in 0..100_000 {
-            acc += rng.normal(0.0, 1.0);
-        }
-        acc
-    });
-
-    let beacon = Frame::beacon(MacAddr::ap(1), Ssid::new("open-net"), Channel::CH6, 12345);
-    let encoded = beacon.encode();
-    h.bench("frame_encode_beacon", || beacon.encode());
-    h.bench("frame_decode_beacon", || Frame::decode(&encoded).unwrap());
-
-    let msg = DhcpMessage::ack(
-        7,
-        [2, 0, 0, 0, 0, 1],
-        std::net::Ipv4Addr::new(10, 0, 0, 50),
-        std::net::Ipv4Addr::new(10, 0, 0, 1),
-        3600,
-    );
-    let dhcp_encoded = msg.encode();
-    h.bench("dhcp_encode_ack", || msg.encode());
-    h.bench("dhcp_decode_ack", || {
-        DhcpMessage::decode(&dhcp_encoded).unwrap()
-    });
-
-    let phy = PhyConfig::default();
-    h.bench("phy_delivery_curve_x10k", || {
-        let mut acc = 0.0;
-        for i in 0..10_000 {
-            acc += phy.data_delivery_prob(black_box(i as f64 / 50.0), 1500);
-        }
-        acc
-    });
-
-    h.bench("tcp_lossless_1MB_transfer", tcp_lossless_transfer);
-    h.bench("mac_join_handshake", mac_join_handshake);
-
-    // Campaign orchestrator hot paths: the per-shard costs a cached sweep
-    // pays instead of re-simulating.
-    let world = bench::bench_lab(
-        7,
-        spider_core::config::SpiderConfig::single_channel_multi_ap(Channel::CH1),
-        10,
-        2_000_000,
-    );
-    h.bench("campaign_shard_hash", || campaign::hash::shard_hash(&world));
-    let blob = vec![0xA5u8; 4096];
-    h.bench("campaign_content_hash_4k", || {
-        campaign::hash::content_hash(&blob)
-    });
-    let result = spider_core::world::run(world.clone());
-    let record = spider_core::report::RunRecord::to_json(&result).unwrap();
-    h.bench("run_record_to_json", || {
-        spider_core::report::RunRecord::to_json(&result).unwrap()
-    });
-    h.bench("run_record_from_json", || {
-        spider_core::report::RunRecord::from_json(&record).unwrap()
-    });
-    let entry = campaign::manifest::ManifestEntry {
-        shard: "(1) Channel 1, Multi-AP".to_string(),
-        hash: campaign::hash::shard_hash(&world),
-        wall_ms: 412,
-        cache_hit: false,
-        path: "reports/abc.json".to_string(),
-    };
-    let line = entry.to_line();
-    h.bench("manifest_line_roundtrip", || {
-        campaign::manifest::ManifestEntry::parse_line(black_box(&line)).unwrap()
-    });
-
-    h.finish();
-}
-
-fn tcp_lossless_transfer() -> u64 {
-    let mut sender = BulkSender::new(TcpConfig::default(), 1, 1_000_000, 42);
-    let mut receiver = BulkReceiver::new(1);
-    let now = Instant::ZERO;
-    let mut to_recv: Vec<_> = sender
-        .start(now)
-        .into_iter()
-        .filter_map(|a| match a {
-            SenderAction::Transmit(s) => Some(s),
-            _ => None,
-        })
-        .collect();
-    let mut delivered = 0u64;
-    let mut guard = 0u32;
-    while !to_recv.is_empty() {
-        guard += 1;
-        assert!(guard < 100_000);
-        let mut to_send = Vec::new();
-        for seg in to_recv.drain(..) {
-            for a in receiver.on_segment(&seg, now) {
-                match a {
-                    ReceiverAction::Transmit(ack) => to_send.push(ack),
-                    ReceiverAction::Deliver { bytes } => delivered += bytes,
-                    ReceiverAction::Finished => {}
-                }
-            }
-        }
-        for ack in to_send {
-            for a in sender.on_segment(&ack, now) {
-                if let SenderAction::Transmit(seg) = a {
-                    to_recv.push(seg);
-                }
-            }
-        }
-    }
-    delivered
-}
-
-fn mac_join_handshake() -> Option<u16> {
-    use wifi_mac::ap::{ApConfig, ApMac};
-    use wifi_mac::client::{Action, ClientMac, JoinConfig};
-    let mut ap = ApMac::new(ApConfig::open(1, "open", Channel::CH1));
-    let mut client = ClientMac::new(
-        MacAddr::local(1),
-        ap.bssid(),
-        Ssid::new("open"),
-        JoinConfig {
-            use_probe: false,
-            ..JoinConfig::reduced()
-        },
-    );
-    let mut rng = Rng::new(1);
-    let now = Instant::ZERO;
-    let mut to_ap: Vec<Frame> = client
-        .start(now)
-        .into_iter()
-        .filter_map(|a| match a {
-            Action::Send(f) => Some(f),
-            _ => None,
-        })
-        .collect();
-    let mut guard = 0;
-    while !client.is_associated() {
-        guard += 1;
-        assert!(guard < 100, "handshake did not converge");
-        let mut to_client = Vec::new();
-        for f in to_ap.drain(..) {
-            for act in ap.on_frame(&f, now, &mut rng) {
-                if let wifi_mac::ap::ApAction::Send { frame, .. } = act {
-                    to_client.push(frame);
-                }
-            }
-        }
-        for f in to_client {
-            for act in client.handle_frame(&f) {
-                if let Action::Send(out) = act {
-                    to_ap.push(out);
-                }
-            }
-        }
-    }
-    client.aid()
+    bench::bench_target_main("substrates");
 }

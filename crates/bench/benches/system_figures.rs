@@ -1,90 +1,7 @@
-//! Benchmarks of scaled-down full-system runs — one per evaluation
-//! experiment family. Each bench is the inner unit the corresponding
-//! `experiments` target sweeps:
-//!
-//! * `fig05_06_join_cdfs` — the vehicular join-measurement drive behind
-//!   Figs. 5–6 (and, with other timer settings, Table 3 / Figs. 11–12).
-//! * `fig07_tcp_fraction` — the indoor one-AP TCP run of Fig. 7.
-//! * `fig08_tcp_slices` — the equal-3-channel TCP run of Fig. 8.
-//! * `fig09_backhaul_sweep` — the two-AP shaped-backhaul point of Fig. 9.
-//! * `table2_fig10_eval` — the outdoor evaluation drive behind Table 2,
-//!   Fig. 10, Table 4 and Figs. 13–14.
-
-use bench::timer::Harness;
-use bench::{bench_lab, bench_vehicular};
-use sim_engine::time::Duration;
-use spider_core::config::{SchedulePolicy, SpiderConfig};
-use spider_core::world::run;
-use wifi_mac::channel::Channel;
+//! Benchmarks of scaled-down full-system runs, one per evaluation
+//! experiment family; the bodies live in
+//! [`bench::suites::system_figures`].
 
 fn main() {
-    let mut h = Harness::from_env("system_figures");
-
-    h.bench("fig05_06_join_measurement_drive_60s", || {
-        let mut spider = SpiderConfig::multi_channel_multi_ap(Duration::from_millis(133));
-        spider.schedule = SchedulePolicy::MultiChannel {
-            slices: vec![
-                (Channel::CH6, Duration::from_millis(200)),
-                (Channel::CH1, Duration::from_millis(100)),
-                (Channel::CH11, Duration::from_millis(100)),
-            ],
-        };
-        let result = run(bench_vehicular(11, spider, 60));
-        (result.assoc_times.count(), result.join_times.count())
-    });
-
-    h.bench("fig07_tcp_fraction_point_30s", || {
-        let mut spider = SpiderConfig::single_channel_multi_ap(Channel::CH1);
-        spider.schedule = SchedulePolicy::MultiChannel {
-            slices: vec![
-                (Channel::CH1, Duration::from_millis(280)),
-                (Channel::CH6, Duration::from_millis(60)),
-                (Channel::CH11, Duration::from_millis(60)),
-            ],
-        };
-        let result = run(bench_lab(7, spider, 30, 50_000_000));
-        result.total_bytes
-    });
-
-    h.bench("fig08_tcp_slice_point_30s", || {
-        let mut spider = SpiderConfig::single_channel_multi_ap(Channel::CH1);
-        spider.schedule = SchedulePolicy::equal_three(Duration::from_millis(200));
-        let result = run(bench_lab(7, spider, 30, 50_000_000));
-        (result.total_bytes, result.tcp_rtos)
-    });
-
-    h.bench("fig09_two_ap_aggregation_point_20s", || {
-        let mut cfg = bench_lab(
-            9,
-            SpiderConfig::single_channel_multi_ap(Channel::CH1),
-            20,
-            2_000_000,
-        );
-        // Second AP on the same channel, like Fig. 9's (100,0,0) row.
-        let mut second = cfg.sites[0].clone();
-        second.id = 2;
-        second.position = mobility::geometry::Point::new(8.0, 0.0);
-        cfg.sites.push(second);
-        let result = run(cfg);
-        result.total_bytes
-    });
-
-    for (label, spider) in [
-        (
-            "single_channel_multi_ap",
-            SpiderConfig::single_channel_multi_ap(Channel::CH1),
-        ),
-        (
-            "multi_channel_multi_ap",
-            SpiderConfig::multi_channel_multi_ap(Duration::from_millis(200)),
-        ),
-        ("stock_madwifi", SpiderConfig::stock_madwifi()),
-    ] {
-        h.bench(&format!("table2_fig10/{label}"), || {
-            let result = run(bench_vehicular(42, spider.clone(), 120));
-            (result.total_bytes, result.connectivity)
-        });
-    }
-
-    h.finish();
+    bench::bench_target_main("system_figures");
 }

@@ -1,0 +1,299 @@
+//! Committed-baseline loading for `bench compare`.
+//!
+//! A baseline file is simply a bench JSON artifact written by
+//! [`crate::timer::Harness`] with per-batch sample arrays — capture one
+//! with `bench <suite> --capture benches/baselines/<suite>.json` and
+//! commit it. Keeping raw samples (not just summaries) is the point:
+//! the comparison re-bootstraps both sides, so the interval honestly
+//! reflects the baseline's own measurement noise instead of treating a
+//! recorded median as gospel.
+//!
+//! The parser below is a minimal recursive-descent JSON reader for that
+//! one schema (objects, strings, numbers, arrays). It is hand-rolled for
+//! the same reason as `spider_core::report`'s: the workspace is
+//! registry-free by contract.
+
+use std::path::Path;
+
+/// One bench's committed measurement: its name and raw per-batch
+/// samples in ns/iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselineBench {
+    /// Bench name as registered with the harness.
+    pub name: String,
+    /// Per-batch ns/iteration samples from the capture run.
+    pub samples_ns: Vec<f64>,
+}
+
+/// A parsed baseline artifact.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Baseline {
+    /// The bench target ("suite") the baseline was captured from.
+    pub target: String,
+    /// Every bench with a non-empty sample array.
+    pub benches: Vec<BaselineBench>,
+}
+
+impl Baseline {
+    /// Load and parse a baseline file.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read baseline {}: {e}", path.display()))?;
+        Baseline::from_json(&text)
+            .map_err(|e| format!("cannot parse baseline {}: {e}", path.display()))
+    }
+
+    /// Parse baseline JSON (the bench artifact schema).
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let root = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err("trailing characters after the root object".to_string());
+        }
+        let Value::Object(fields) = root else {
+            return Err("baseline root is not an object".to_string());
+        };
+        let target = match find(&fields, "target") {
+            Some(Value::String(s)) => s.clone(),
+            _ => return Err("baseline has no string \"target\" field".to_string()),
+        };
+        let Some(Value::Array(entries)) = find(&fields, "benches") else {
+            return Err("baseline has no \"benches\" array".to_string());
+        };
+        let mut benches = Vec::new();
+        for entry in entries {
+            let Value::Object(bench) = entry else {
+                return Err("\"benches\" entry is not an object".to_string());
+            };
+            let name = match find(bench, "name") {
+                Some(Value::String(s)) => s.clone(),
+                _ => return Err("bench entry has no string \"name\"".to_string()),
+            };
+            let samples_ns = match find(bench, "samples_ns") {
+                Some(Value::Array(vals)) => {
+                    let mut out = Vec::with_capacity(vals.len());
+                    for v in vals {
+                        match v {
+                            Value::Number(x) if x.is_finite() && *x > 0.0 => out.push(*x),
+                            Value::Number(_) => {
+                                return Err(format!(
+                                    "bench {name:?} has a non-finite or non-positive sample"
+                                ))
+                            }
+                            _ => return Err(format!("bench {name:?} samples are not numbers")),
+                        }
+                    }
+                    out
+                }
+                _ => {
+                    return Err(format!(
+                        "bench {name:?} has no \"samples_ns\" array — re-capture the baseline \
+                         with this harness version"
+                    ))
+                }
+            };
+            if samples_ns.is_empty() {
+                return Err(format!("bench {name:?} has an empty sample array"));
+            }
+            benches.push(BaselineBench { name, samples_ns });
+        }
+        if benches.is_empty() {
+            return Err("baseline contains no benches".to_string());
+        }
+        Ok(Baseline { target, benches })
+    }
+
+    /// The committed samples for one bench name, if present.
+    pub fn samples_for(&self, name: &str) -> Option<&[f64]> {
+        self.benches
+            .iter()
+            .find(|b| b.name == name)
+            .map(|b| b.samples_ns.as_slice())
+    }
+}
+
+/// Locate a key in an object's field list.
+fn find<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// The artifact schema's value space. Booleans/null never appear in what
+/// the harness writes, so they are parse errors — stricter is safer for
+/// a gating input.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, byte: u8, what: &'static str) -> Result<(), String> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {what} at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(_) => Ok(Value::Number(self.number()?)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.eat(b'{', "'{'")?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.eat(b':', "':' after key")?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.eat(b'[', "'['")?;
+        let mut values = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(values));
+        }
+        loop {
+            values.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(values));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"', "'\"'")?;
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'"' => {
+                    let s = core::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| "string is not UTF-8".to_string())?
+                        .to_string();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                // Harness-emitted names/targets are plain identifiers;
+                // escapes are out of schema.
+                b'\\' => return Err(format!("escape in string at byte {}", self.pos)),
+                _ => self.pos += 1,
+            }
+        }
+        Err("unterminated string".to_string())
+    }
+
+    fn number(&mut self) -> Result<f64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        core::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .ok_or_else(|| format!("expected a number at byte {start}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OK: &str = r#"{"target":"des_core","budget_ms":300,"benches":[
+        {"name":"fig5","min_ns":1.0,"median_ns":2.0,"mean_ns":2.1,"batches":3,"iters":9,
+         "samples_ns":[2400000.5,2500000.0,2600000.1]},
+        {"name":"intern","samples_ns":[900.1,905.2]}],
+        "events_per_sec":5719958.0,"scenario":"fig5_scale_world_60s"}"#;
+
+    #[test]
+    fn parses_the_artifact_schema() {
+        let b = Baseline::from_json(OK).expect("valid baseline");
+        assert_eq!(b.target, "des_core");
+        assert_eq!(b.benches.len(), 2);
+        assert_eq!(b.samples_for("fig5").map(<[f64]>::len), Some(3));
+        assert_eq!(b.samples_for("intern"), Some(&[900.1, 905.2][..]));
+        assert_eq!(b.samples_for("missing"), None);
+    }
+
+    #[test]
+    fn rejects_summary_only_baselines() {
+        let legacy = r#"{"target":"t","benches":[{"name":"a","median_ns":5.0}]}"#;
+        let err = Baseline::from_json(legacy).expect_err("no samples → error");
+        assert!(err.contains("samples_ns"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_inputs() {
+        for bad in [
+            "",
+            "[1,2,3]",
+            r#"{"target":"t"}"#,
+            r#"{"target":"t","benches":[]}"#,
+            r#"{"target":"t","benches":[{"name":"a","samples_ns":[]}]}"#,
+            r#"{"target":"t","benches":[{"name":"a","samples_ns":[1e999]}]}"#,
+            r#"{"target":"t","benches":[{"name":"a","samples_ns":[-3.0]}]}"#,
+            r#"{"target":"t","benches":[{"name":"a","samples_ns":[1.0]}] extra"#,
+            r#"{"target":5,"benches":[{"name":"a","samples_ns":[1.0]}]}"#,
+        ] {
+            assert!(Baseline::from_json(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn roundtrips_whitespace_variants() {
+        let spaced = OK.replace(',', " ,\n ");
+        assert!(Baseline::from_json(&spaced).is_ok());
+    }
+}

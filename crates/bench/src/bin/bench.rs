@@ -1,0 +1,131 @@
+//! The regression-gate CLI: runs bench suites as a first-class process
+//! whose exit code reaches the shell (unlike `cargo bench`, which
+//! swallows bench-target statuses behind its own).
+//!
+//! ```text
+//! bench list
+//! bench <suite> [filter] [--budget-ms N] [--capture out.json]
+//! bench <suite> --compare benches/baselines/<suite>.json \
+//!       [--confidence 99] [--min-effect 5] [--resamples 2000] \
+//!       [--trajectory target/BENCH_trajectory.jsonl] [--commit abc123]
+//! bench selftest [--budget-ms N] ...
+//! ```
+//!
+//! Exit codes: `0` ok / no regression, `1` could not run (bad args,
+//! unknown suite, unreadable baseline — always a CI failure), `2`
+//! regression confirmed at the configured confidence (gates CI), `3`
+//! measurement inconclusive (noisy machine; report, don't gate).
+//!
+//! `selftest` proves the machinery before it is trusted: an interleaved
+//! A/A of one identical closure must read "no difference", and an
+//! interleaved A/B with a genuinely injected +10 % workload must read
+//! "regression". Anything else exits 3 — the machine is too noisy to
+//! gate on, and ci.sh reports that loudly instead of flaking.
+
+use bench::stats::Verdict;
+use bench::suites::{self, spin, GATE_SPIN_ITERS};
+use bench::timer::{Harness, Options, EXIT_INCONCLUSIVE};
+
+fn usage() {
+    eprintln!("usage: bench <list|selftest|SUITE> [filter] [--flags]");
+    eprintln!("suites:");
+    for (name, _) in suites::SUITES {
+        eprintln!("  {name}");
+    }
+}
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut raw = std::env::args().skip(1).peekable();
+    let Some(cmd) = raw.next() else {
+        usage();
+        return 1;
+    };
+    let mut opts = Options::from_env();
+    if let Err(e) = opts.apply_args(raw) {
+        eprintln!("bench: bad arguments: {e}");
+        return 1;
+    }
+    match cmd.as_str() {
+        "list" => {
+            for (name, _) in suites::SUITES {
+                println!("{name}");
+            }
+            0
+        }
+        "selftest" => selftest(opts),
+        suite_name => {
+            let Some(suite) = suites::find(suite_name) else {
+                eprintln!("bench: unknown suite {suite_name:?}");
+                usage();
+                return 1;
+            };
+            let mut h = match Harness::with_options(suite_name, opts) {
+                Ok(h) => h,
+                Err(e) => {
+                    eprintln!("bench: {e}");
+                    return 1;
+                }
+            };
+            suite(&mut h);
+            h.finish()
+        }
+    }
+}
+
+/// The A/A + injected-slowdown self-test. Exit 0 when both expectations
+/// hold, [`EXIT_INCONCLUSIVE`] when the machine is too noisy to trust.
+fn selftest(mut opts: Options) -> i32 {
+    if opts.min_effect == 0.0 {
+        // A/A at exactly zero guard band has a (1 − confidence) false
+        // alarm rate by construction; the self-test wants "is this
+        // machine quiet enough to gate at the band ci.sh uses".
+        opts.min_effect = 0.05;
+    }
+    let mut h = match Harness::with_options("selftest", opts) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("bench selftest: {e}");
+            return 1;
+        }
+    };
+    let aa = h.bench_pair(
+        "aa_identical_closures",
+        || spin(GATE_SPIN_ITERS),
+        || spin(GATE_SPIN_ITERS),
+    );
+    let injected = GATE_SPIN_ITERS + GATE_SPIN_ITERS / 10;
+    let ab = h.bench_pair(
+        "ab_injected_10pct_slowdown",
+        || spin(GATE_SPIN_ITERS),
+        || spin(injected),
+    );
+    let _ = h.finish(); // no baseline loaded → always 0; artifacts still written
+
+    let aa_ok = matches!(&aa, Some(c) if c.verdict == Verdict::NoDifference);
+    let ab_ok = matches!(&ab, Some(c) if c.verdict == Verdict::Regression);
+    if aa_ok && ab_ok {
+        println!("selftest: PASS — A/A quiet, injected +10% slowdown detected");
+        0
+    } else {
+        if !aa_ok {
+            eprintln!(
+                "selftest: A/A of identical closures did not read no-difference: {:?}",
+                aa.map(|c| c.verdict)
+            );
+        }
+        if !ab_ok {
+            eprintln!(
+                "selftest: injected +10% slowdown was not flagged as a regression: {:?}",
+                ab.map(|c| c.verdict)
+            );
+        }
+        eprintln!(
+            "selftest: INCONCLUSIVE (exit {EXIT_INCONCLUSIVE}) — machine too noisy to gate on"
+        );
+        EXIT_INCONCLUSIVE
+    }
+}

@@ -13,12 +13,36 @@
 //!   experiment family: the lab TCP benches behind Figs. 7–9 and the
 //!   vehicular drives behind Tables 2–4 / Figs. 5, 6, 10–14.
 //!
-//! This library crate hosts the harness plus shared scenario builders so
-//! the bench targets stay small. The non-default `external-bench` feature
-//! is the sanctioned hook for wiring a registry framework (criterion)
-//! back in for statistically rigorous runs; default builds stay hermetic.
+//! This library crate hosts the harness ([`timer`]), its statistics
+//! ([`stats`]: percentile bootstrap CIs, Cliff's delta), the committed
+//! baseline format ([`baseline`]), and the suite bodies themselves
+//! ([`suites`]) so the bench targets stay thin wrappers. The `bench`
+//! binary (`src/bin/bench.rs`) runs the same suites with a regression
+//! gate ci.sh can act on: `cargo bench` swallows bench-target exit
+//! codes, a dedicated bin does not. The non-default `external-bench`
+//! feature is the sanctioned hook for wiring a registry framework
+//! (criterion) back in; default builds stay hermetic.
 
+pub mod baseline;
+pub mod stats;
+pub mod suites;
 pub mod timer;
+
+/// The shared entry point for `harness = false` bench targets: build a
+/// harness from the environment/CLI, run the named suite, and exit with
+/// the harness verdict. (Under `cargo bench` the exit code is swallowed
+/// by cargo; the `bench` bin exists so ci.sh can see it.)
+pub fn bench_target_main(target: &str) -> ! {
+    let mut h = timer::Harness::from_env(target);
+    match suites::find(target) {
+        Some(suite) => suite(&mut h),
+        None => {
+            eprintln!("bench: unknown suite {target:?}");
+            std::process::exit(1);
+        }
+    }
+    std::process::exit(h.finish());
+}
 
 use mobility::deployment::{deploy_along, ApSite, DeploymentConfig};
 use mobility::geometry::Point;

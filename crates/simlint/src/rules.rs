@@ -5,8 +5,14 @@
 //! | tier | crates | rules enforced |
 //! |------|--------|----------------|
 //! | **sim** | `sim-engine`, `wifi-mac`, `dhcp`, `tcp-lite`, `mobility`, `workload`, `analytical`, `spider-core` | `unordered-map`, `wall-clock`, `panic-path` |
-//! | **lib** | `campaign`, `simlint`, `bench`, the root `src/` facade | `panic-path` |
-//! | **bin** | `experiments` | *(none)* |
+//! | **lib** | `campaign`, `simlint`, `bench` (harness/baseline), the root `src/` facade | `panic-path` |
+//! | **bin** | `experiments`, `bench` suite bodies (`suites.rs`, `src/bin/`) | *(none)* |
+//!
+//! Two files get per-file overrides: `crates/fleet/src/proto.rs` and
+//! `crates/bench/src/stats.rs` are **sim**-tier — the wire codec and the
+//! bootstrap statistics both promise bit-identical results across
+//! machines, so wall clocks and unordered maps are banned there even
+//! though their crates are not simulation crates.
 //!
 //! Test code is exempt everywhere: files under `tests/`, `benches/`, or
 //! `examples/` directories, and `#[cfg(test)]` items inside `src/` files.
@@ -137,6 +143,19 @@ pub fn tier_of(rel_path: &str) -> Tier {
             // scheduler/worker around it are process management (OS
             // children, wall-clock deadlines) and stay at Lib.
             return Tier::Sim;
+        }
+        if krate == "bench" {
+            // The bootstrap statistics behind the regression gate promise
+            // bit-identical verdicts under a fixed seed, so they answer to
+            // the full determinism tier. The suite bodies and the gate CLI
+            // are harness code (wall-clock timing, unwrap-on-setup is
+            // fine); the timer/baseline plumbing stays at Lib.
+            if parts.last() == Some(&"stats.rs") {
+                return Tier::Sim;
+            }
+            if parts.last() == Some(&"suites.rs") || parts.contains(&"bin") {
+                return Tier::Bin;
+            }
         }
         return Tier::Lib;
     }
@@ -512,6 +531,25 @@ mod tests {
         assert!(run("crates/fleet/src/scheduler.rs", clock).is_empty());
         let unwrap = "fn f() { x.unwrap(); }\n";
         assert!(!run("crates/fleet/src/scheduler.rs", unwrap).is_empty());
+    }
+
+    #[test]
+    fn bench_stats_is_sim_tier_suites_and_bin_are_bin_tier() {
+        assert_eq!(tier_of("crates/bench/src/stats.rs"), Tier::Sim);
+        assert_eq!(tier_of("crates/bench/src/suites.rs"), Tier::Bin);
+        assert_eq!(tier_of("crates/bench/src/bin/bench.rs"), Tier::Bin);
+        assert_eq!(tier_of("crates/bench/src/timer.rs"), Tier::Lib);
+        assert_eq!(tier_of("crates/bench/src/baseline.rs"), Tier::Lib);
+        assert_eq!(tier_of("crates/bench/benches/des_core.rs"), Tier::Test);
+        // The statistics must be deterministic: no wall clock, no
+        // unordered maps; the harness may read real time (it measures
+        // it) but still answers for panic paths.
+        let clock = "let t = std::time::Instant::now();\n";
+        assert!(!run("crates/bench/src/stats.rs", clock).is_empty());
+        assert!(run("crates/bench/src/timer.rs", clock).is_empty());
+        let unwrap = "fn f() { x.unwrap(); }\n";
+        assert!(!run("crates/bench/src/timer.rs", unwrap).is_empty());
+        assert!(run("crates/bench/src/suites.rs", unwrap).is_empty());
     }
 
     #[test]

@@ -133,6 +133,58 @@ fn waiver_with_reason_suppresses_the_violation() {
 }
 
 #[test]
+fn bench_crate_tiering_matches_policy() {
+    let root = scratch("bench-tiers");
+    // stats.rs is sim tier: the wall clock is banned there.
+    write(
+        &root,
+        "crates/bench/src/stats.rs",
+        "pub fn now_ns() -> u128 {\n\
+         \x20   std::time::Instant::now().elapsed().as_nanos()\n\
+         }\n",
+    );
+    // timer.rs is lib tier: it may read the clock (it measures it) but
+    // answers for panic paths.
+    write(
+        &root,
+        "crates/bench/src/timer.rs",
+        "pub fn t() -> std::time::Instant { std::time::Instant::now() }\n\
+         pub fn f(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    );
+    // Suite bodies and the gate CLI are bin tier: nothing enforced.
+    write(
+        &root,
+        "crates/bench/src/suites.rs",
+        "pub fn setup(v: Option<u32>) -> u32 { v.unwrap() }\n",
+    );
+    write(
+        &root,
+        "crates/bench/src/bin/bench.rs",
+        "fn main() { std::env::args().nth(1).unwrap(); }\n",
+    );
+    let out = run_simlint(&root);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("crates/bench/src/stats.rs:2: error[wall-clock]"),
+        "stats.rs wall clock must be flagged:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("crates/bench/src/timer.rs:2: error[panic-path]"),
+        "timer.rs unwrap must be flagged:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("timer.rs:1"),
+        "timer.rs clock read must be allowed:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("suites.rs") && !stderr.contains("bin/bench.rs"),
+        "bin-tier bench files must be exempt:\n{stderr}"
+    );
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
 fn bin_and_test_tiers_are_exempt() {
     let root = scratch("tiers");
     // Experiments (Bin tier): panic paths allowed.
