@@ -1,0 +1,196 @@
+//! The multi-AP saturation cell model (Panda & Kumar / Bianchi).
+//!
+//! A spatial cell with `n` co-channel saturated transmitters behaves as
+//! one CSMA/CA collision domain. Bianchi's two-equation fixed point —
+//! the backbone of Panda & Kumar's multi-cell WLAN model — gives the
+//! per-station attempt probability `τ` and conditional collision
+//! probability `p`:
+//!
+//! ```text
+//! τ = 2 / (W + 1 + p·W·Σ_{i=0}^{m-1} (2p)^i)      (non-singular form)
+//! p = 1 − (1 − τ)^(n−1)
+//! ```
+//!
+//! with `W` the minimum contention window (in slots) and `m` the number
+//! of backoff stages. Slot-time analysis then yields the aggregate
+//! saturation throughput of the cell and the per-AP share.
+//!
+//! The `geo::contention` co-channel degree is exactly this model's `n`:
+//! the `channel-assignment` experiment uses the pair to score assignment
+//! policies analytically before simulating them.
+
+/// Timing and protocol parameters of one CSMA/CA cell.
+///
+/// All airtimes are microseconds; the defaults in [`CellModel::dsss_11b`]
+/// follow 802.11b DSSS long-preamble timing, matching the paper's
+/// hardware.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellModel {
+    /// Minimum contention window `W` in slots (DSSS: 32).
+    pub cw_min: u32,
+    /// Backoff stages `m` (window doubles up to `2^m · W`; DSSS: 5).
+    pub backoff_stages: u32,
+    /// Idle slot time σ in µs.
+    pub slot_us: f64,
+    /// DIFS in µs.
+    pub difs_us: f64,
+    /// SIFS in µs.
+    pub sifs_us: f64,
+    /// PHY + MAC header airtime per frame in µs.
+    pub header_us: f64,
+    /// ACK airtime in µs.
+    pub ack_us: f64,
+    /// Payload size per frame in bits.
+    pub payload_bits: f64,
+    /// Data rate in bits/sec.
+    pub rate_bps: f64,
+}
+
+impl CellModel {
+    /// 802.11b DSSS long-preamble parameters at 11 Mbit/s with a
+    /// 1500-byte payload.
+    pub fn dsss_11b() -> CellModel {
+        CellModel {
+            cw_min: 32,
+            backoff_stages: 5,
+            slot_us: 20.0,
+            difs_us: 50.0,
+            sifs_us: 10.0,
+            // 192 µs PHY preamble+header (1 Mbit/s) + 34-byte MAC
+            // header/FCS at 11 Mbit/s.
+            header_us: 192.0 + 34.0 * 8.0 / 11.0,
+            // ACK: PHY preamble + 14 bytes at 11 Mbit/s.
+            ack_us: 192.0 + 14.0 * 8.0 / 11.0,
+            payload_bits: 1_500.0 * 8.0,
+            rate_bps: 11e6,
+        }
+    }
+
+    /// τ as a function of the collision probability `p` — the
+    /// non-singular form of Bianchi's Eq. 7 (finite at `p = 1/2`).
+    fn tau_of_p(&self, p: f64) -> f64 {
+        let w = self.cw_min as f64;
+        let geom: f64 = (0..self.backoff_stages)
+            .map(|i| (2.0 * p).powi(i as i32))
+            .sum();
+        2.0 / (1.0 + w + p * w * geom)
+    }
+
+    /// The per-station attempt probability τ for `n` saturated
+    /// co-channel stations: the unique fixed point of the two-equation
+    /// system, found by bisection (the composite map is strictly
+    /// decreasing in τ, so the root is unique).
+    pub fn attempt_probability(&self, n: usize) -> f64 {
+        assert!(n >= 1, "a cell models at least one station");
+        if n == 1 {
+            // p = 0 exactly: τ = 2 / (W + 1).
+            return self.tau_of_p(0.0);
+        }
+        let excess = |tau: f64| {
+            let p = 1.0 - (1.0 - tau).powi(n as i32 - 1);
+            self.tau_of_p(p) - tau
+        };
+        let (mut lo, mut hi) = (0.0_f64, 1.0_f64);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if excess(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// The conditional collision probability `p` seen by each of `n`
+    /// stations.
+    pub fn collision_probability(&self, n: usize) -> f64 {
+        let tau = self.attempt_probability(n);
+        1.0 - (1.0 - tau).powi(n as i32 - 1)
+    }
+
+    /// Aggregate saturation throughput of a cell with `n` co-channel
+    /// stations, in bits/sec (Bianchi's slot-time analysis).
+    pub fn saturation_throughput_bps(&self, n: usize) -> f64 {
+        let tau = self.attempt_probability(n);
+        let nf = n as f64;
+        // Probability some station transmits in a slot, and that a
+        // transmission is a success given one happened.
+        let p_tr = 1.0 - (1.0 - tau).powi(n as i32);
+        if p_tr <= 0.0 {
+            return 0.0;
+        }
+        let p_s = nf * tau * (1.0 - tau).powi(n as i32 - 1) / p_tr;
+        let payload_us = self.payload_bits / self.rate_bps * 1e6;
+        let t_success = self.header_us + payload_us + self.sifs_us + self.ack_us + self.difs_us;
+        let t_collision = self.header_us + payload_us + self.difs_us;
+        let e_slot =
+            (1.0 - p_tr) * self.slot_us + p_tr * p_s * t_success + p_tr * (1.0 - p_s) * t_collision;
+        p_tr * p_s * self.payload_bits / e_slot * 1e6
+    }
+
+    /// The long-run per-AP share of the cell's saturation throughput,
+    /// in bits/sec. This is what one AP in a cell of co-channel degree
+    /// `n` can actually deliver — the analytical score the
+    /// channel-assignment experiment compares policies with.
+    pub fn per_ap_throughput_bps(&self, n: usize) -> f64 {
+        self.saturation_throughput_bps(n) / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_station_tau_is_two_over_w_plus_one() {
+        let m = CellModel::dsss_11b();
+        let tau = m.attempt_probability(1);
+        assert!((tau - 2.0 / 33.0).abs() < 1e-12, "τ(1) = {tau}");
+        assert_eq!(m.collision_probability(1), 0.0);
+    }
+
+    #[test]
+    fn fixed_point_satisfies_both_equations() {
+        let m = CellModel::dsss_11b();
+        for n in [2, 3, 5, 10, 25, 50] {
+            let tau = m.attempt_probability(n);
+            assert!((0.0..1.0).contains(&tau), "τ({n}) = {tau}");
+            let p = 1.0 - (1.0 - tau).powi(n as i32 - 1);
+            assert!(
+                (m.tau_of_p(p) - tau).abs() < 1e-9,
+                "fixed point drifted at n = {n}: τ = {tau}, τ(p(τ)) = {}",
+                m.tau_of_p(p)
+            );
+        }
+    }
+
+    #[test]
+    fn tau_and_per_ap_share_fall_as_the_cell_fills() {
+        let m = CellModel::dsss_11b();
+        let mut last_tau = f64::INFINITY;
+        let mut last_share = f64::INFINITY;
+        for n in 1..=30 {
+            let tau = m.attempt_probability(n);
+            let share = m.per_ap_throughput_bps(n);
+            assert!(tau < last_tau, "τ not decreasing at n = {n}");
+            assert!(share < last_share, "per-AP share not decreasing at n = {n}");
+            last_tau = tau;
+            last_share = share;
+        }
+    }
+
+    #[test]
+    fn throughput_is_bounded_by_the_channel() {
+        let m = CellModel::dsss_11b();
+        for n in 1..=50 {
+            let s = m.saturation_throughput_bps(n);
+            assert!(s > 0.0, "S({n}) = {s}");
+            assert!(s < m.rate_bps, "S({n}) = {s} exceeds the data rate");
+        }
+        // One saturated 11 Mbit/s station with DSSS overhead lands in
+        // the well-known 5–8 Mbit/s goodput band.
+        let one = m.saturation_throughput_bps(1);
+        assert!((5e6..8e6).contains(&one), "S(1) = {one}");
+    }
+}

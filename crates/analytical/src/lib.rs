@@ -15,11 +15,15 @@
 //!   `w`, `βmin`) actually move the answer.
 //! * [`capacity`] — the §4.7 back-of-envelope: encounters, usable seconds,
 //!   and long-run rate as closed forms over speed/density/join cost.
+//! * [`cell`] — the Panda & Kumar / Bianchi saturation cell model: per-AP
+//!   capacity as a function of co-channel degree, the analytical side of
+//!   the metro channel-assignment experiment.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod capacity;
+pub mod cell;
 pub mod join_model;
 pub mod join_sim;
 pub mod optimizer;
@@ -27,6 +31,7 @@ pub mod scenarios;
 pub mod sensitivity;
 
 pub use capacity::CapacityPlan;
+pub use cell::CellModel;
 pub use join_model::JoinModelParams;
 pub use join_sim::{simulate_join_probability, simulate_runs};
 pub use optimizer::{

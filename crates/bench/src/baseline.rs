@@ -117,28 +117,29 @@ impl Baseline {
 }
 
 /// Locate a key in an object's field list.
-fn find<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+pub(crate) fn find<'a>(fields: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
     fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
 }
 
 /// The artifact schema's value space. Booleans/null never appear in what
 /// the harness writes, so they are parse errors — stricter is safer for
-/// a gating input.
+/// a gating input. Shared with `crate::trajectory`, which reads the same
+/// schema one JSONL line at a time.
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub(crate) enum Value {
     Number(f64),
     String(String),
     Array(Vec<Value>),
     Object(Vec<(String, Value)>),
 }
 
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Parser<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn skip_ws(&mut self) {
+    pub(crate) fn skip_ws(&mut self) {
         while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
             self.pos += 1;
         }
@@ -158,7 +159,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Value, String> {
+    pub(crate) fn value(&mut self) -> Result<Value, String> {
         match self.peek() {
             Some(b'{') => self.object(),
             Some(b'[') => self.array(),

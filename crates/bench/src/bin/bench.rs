@@ -9,6 +9,8 @@
 //!       [--confidence 99] [--min-effect 5] [--resamples 2000] \
 //!       [--trajectory target/BENCH_trajectory.jsonl] [--commit abc123]
 //! bench selftest [--budget-ms N] ...
+//! bench trajectory [target/BENCH_trajectory.jsonl] \
+//!       [--min-points 3] [--min-rise 5]
 //! ```
 //!
 //! Exit codes: `0` ok / no regression, `1` could not run (bad args,
@@ -27,7 +29,7 @@ use bench::suites::{self, spin, GATE_SPIN_ITERS};
 use bench::timer::{Harness, Options, EXIT_INCONCLUSIVE};
 
 fn usage() {
-    eprintln!("usage: bench <list|selftest|SUITE> [filter] [--flags]");
+    eprintln!("usage: bench <list|selftest|trajectory|SUITE> [filter] [--flags]");
     eprintln!("suites:");
     for (name, _) in suites::SUITES {
         eprintln!("  {name}");
@@ -44,6 +46,12 @@ fn run() -> i32 {
         usage();
         return 1;
     };
+    // `trajectory` is a log reader with its own tiny flag set; it never
+    // touches Options (no harness is built) and never gates (exit 1 only
+    // for unusable input).
+    if cmd == "trajectory" {
+        return trajectory_cmd(raw.collect());
+    }
     let mut opts = Options::from_env();
     if let Err(e) = opts.apply_args(raw) {
         eprintln!("bench: bad arguments: {e}");
@@ -74,6 +82,78 @@ fn run() -> i32 {
             h.finish()
         }
     }
+}
+
+/// `bench trajectory [file] [--min-points N] [--min-rise PCT]`: join the
+/// append-only gate log into per-commit tables and flag monotone drifts
+/// too slow for any single-commit gate to see. A reader, not a gate —
+/// exits 0 whenever the log was readable (including when drifts are
+/// found; acting on a cross-machine, cross-day log is a human call).
+fn trajectory_cmd(args: Vec<String>) -> i32 {
+    let mut file = std::path::PathBuf::from("target/BENCH_trajectory.jsonl");
+    let mut min_points: usize = 3;
+    let mut min_rise: f64 = 5.0;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--min-points" => {
+                i += 1;
+                match args.get(i).and_then(|s| s.parse().ok()).filter(|&n| n >= 2) {
+                    Some(n) => min_points = n,
+                    None => {
+                        eprintln!("bench trajectory: --min-points needs an integer >= 2");
+                        return 1;
+                    }
+                }
+            }
+            "--min-rise" => {
+                i += 1;
+                match args
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|x| x.is_finite() && *x >= 0.0)
+                {
+                    Some(x) => min_rise = x,
+                    None => {
+                        eprintln!("bench trajectory: --min-rise needs a percentage >= 0");
+                        return 1;
+                    }
+                }
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("bench trajectory: unknown flag {flag}");
+                return 1;
+            }
+            path => file = std::path::PathBuf::from(path),
+        }
+        i += 1;
+    }
+    let text = match std::fs::read_to_string(&file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench trajectory: cannot read {}: {e}", file.display());
+            return 1;
+        }
+    };
+    let points = match bench::trajectory::parse_lines(&text) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("bench trajectory: {}: {e}", file.display());
+            return 1;
+        }
+    };
+    if points.is_empty() {
+        println!(
+            "trajectory: {} is empty — nothing to join yet",
+            file.display()
+        );
+        return 0;
+    }
+    print!(
+        "{}",
+        bench::trajectory::report(&points, min_points, min_rise)
+    );
+    0
 }
 
 /// The A/A + injected-slowdown self-test. Exit 0 when both expectations

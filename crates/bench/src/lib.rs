@@ -27,6 +27,7 @@ pub mod baseline;
 pub mod stats;
 pub mod suites;
 pub mod timer;
+pub mod trajectory;
 
 /// The shared entry point for `harness = false` bench targets: build a
 /// harness from the environment/CLI, run the named suite, and exit with

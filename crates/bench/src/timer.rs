@@ -732,8 +732,9 @@ fn fmt_diff(ci: &Ci) -> String {
     )
 }
 
-/// Render nanoseconds with an adaptive unit, e.g. `12.3 µs`.
-fn fmt_ns(ns: f64) -> String {
+/// Render nanoseconds with an adaptive unit, e.g. `12.3 µs`. Shared with
+/// `crate::trajectory`'s per-commit tables.
+pub(crate) fn fmt_ns(ns: f64) -> String {
     if ns < 1_000.0 {
         format!("{ns:.1} ns")
     } else if ns < 1_000_000.0 {

@@ -8,7 +8,8 @@
 //!
 //! targets: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //!          fig13 fig14 table1 table2 table3 table4 density
-//!          sensitivity ablation speed adaptive encounters capacity all
+//!          sensitivity ablation speed adaptive encounters capacity
+//!          channel-assignment all
 //! ```
 //!
 //! `--scale K` multiplies run lengths by `K` (1 = quick pass; the paper's
@@ -30,6 +31,7 @@ mod common;
 mod eval_figs;
 mod extensions;
 mod join_figs;
+mod metro_figs;
 mod model_figs;
 mod tcp_figs;
 
@@ -142,6 +144,7 @@ fn main() {
         "adaptive" => extensions::adaptive(scale),
         "encounters" => extensions::encounters(scale),
         "capacity" => extensions::capacity(scale),
+        "channel-assignment" => metro_figs::channel_assignment(scale),
         "all" => {
             model_figs::fig2(scale.seed);
             model_figs::fig3();
@@ -164,6 +167,7 @@ fn main() {
             extensions::adaptive(scale);
             extensions::encounters(scale);
             extensions::capacity(scale);
+            metro_figs::channel_assignment(scale);
         }
         other => usage(&format!("unknown target {other}")),
     }
@@ -172,7 +176,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|table4|density|sensitivity|ablation|speed|adaptive|encounters|capacity|all> [--seed N] [--scale K] [--json DIR] [--workers N] [--cache-dir DIR] [--no-cache] [--exec process|in-process]"
+        "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|table4|density|sensitivity|ablation|speed|adaptive|encounters|capacity|channel-assignment|all> [--seed N] [--scale K] [--json DIR] [--workers N] [--cache-dir DIR] [--no-cache] [--exec process|in-process]"
     );
     std::process::exit(2);
 }

@@ -1,0 +1,188 @@
+//! Per-cell channel contention over a deployment.
+//!
+//! Contention is a *spatial* quantity: what matters to an AP is how many
+//! co-channel transmitters share its interference disc, and what matters
+//! to a planner is how that count distributes over the map. This module
+//! computes both from a [`GridIndex`], in O(sites in the disc) per AP
+//! rather than O(sites)², and the result is cross-checked (in tests and
+//! in the `channel-assignment` experiment) against the Panda & Kumar /
+//! Bianchi saturation cell model in `analytical::cell`: the co-channel
+//! degree computed here is exactly the `n` that model takes.
+
+use wifi_mac::channel::Channel;
+
+use crate::grid::{CellKey, GridIndex};
+
+/// One grid cell's channel occupancy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellContention {
+    /// The cell.
+    pub cell: CellKey,
+    /// Total APs in the cell.
+    pub aps: u32,
+    /// APs per channel, ascending by channel number.
+    pub per_channel: Vec<(Channel, u32)>,
+}
+
+/// Contention over a whole deployment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionSummary {
+    /// Per-cell occupancy, ascending by cell key.
+    pub cells: Vec<CellContention>,
+    /// Slot-indexed co-channel degree: for AP `i`, the number of APs on
+    /// `i`'s channel within the interference radius of `i`'s position —
+    /// including `i` itself, so the degree is the `n` of a saturation
+    /// cell model (`n ≥ 1` always).
+    pub co_channel_degree: Vec<u32>,
+}
+
+impl ContentionSummary {
+    /// The worst co-channel degree any AP sees.
+    pub fn max_degree(&self) -> u32 {
+        self.co_channel_degree.iter().copied().max().unwrap_or(0)
+    }
+
+    /// The mean co-channel degree over all APs (0.0 for an empty map).
+    pub fn mean_degree(&self) -> f64 {
+        if self.co_channel_degree.is_empty() {
+            return 0.0;
+        }
+        self.co_channel_degree
+            .iter()
+            .map(|&d| d as f64)
+            .sum::<f64>()
+            / self.co_channel_degree.len() as f64
+    }
+}
+
+/// Compute per-cell occupancy and per-AP co-channel degree.
+///
+/// `channels[slot]` is the channel of the site at dense `slot` in
+/// `grid`; `radius_m` is the interference radius (how far a co-channel
+/// transmitter still contends for the medium).
+pub fn contention(grid: &GridIndex, channels: &[Channel], radius_m: f64) -> ContentionSummary {
+    assert_eq!(
+        grid.len(),
+        channels.len(),
+        "one channel per indexed site, slot-aligned"
+    );
+    let mut cells = Vec::with_capacity(grid.cell_count());
+    for (cell, slots) in grid.cells() {
+        let mut per_channel: Vec<(Channel, u32)> = Vec::new();
+        for &slot in slots {
+            let ch = channels[slot as usize];
+            match per_channel.binary_search_by_key(&ch, |&(c, _)| c) {
+                Ok(i) => per_channel[i].1 += 1,
+                Err(i) => per_channel.insert(i, (ch, 1)),
+            }
+        }
+        cells.push(CellContention {
+            cell,
+            aps: slots.len() as u32,
+            per_channel,
+        });
+    }
+
+    let mut co_channel_degree = Vec::with_capacity(grid.len());
+    let mut near = Vec::new();
+    for slot in 0..grid.len() {
+        grid.query_disc_into(grid.position(slot), radius_m, &mut near);
+        let ch = channels[slot];
+        let degree = near
+            .iter()
+            .filter(|&&other| channels[other as usize] == ch)
+            .count() as u32;
+        co_channel_degree.push(degree);
+    }
+    ContentionSummary {
+        cells,
+        co_channel_degree,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mobility::geometry::Point;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn per_cell_counts_and_degrees_are_exact() {
+        // Two tight clusters 1 km apart: three APs on CH1 + one on CH6
+        // in the first, two on CH1 in the second.
+        let positions = [
+            p(0.0, 0.0),
+            p(10.0, 0.0),
+            p(0.0, 10.0),
+            p(10.0, 10.0),
+            p(1_000.0, 0.0),
+            p(1_010.0, 0.0),
+        ];
+        let channels = [
+            Channel::CH1,
+            Channel::CH1,
+            Channel::CH1,
+            Channel::CH6,
+            Channel::CH1,
+            Channel::CH1,
+        ];
+        let grid = GridIndex::build(&positions, 50.0);
+        let s = contention(&grid, &channels, 100.0);
+        // Degrees: cluster one's CH1 APs see each other (3), its CH6 AP
+        // only itself (1); cluster two's pair see each other (2).
+        assert_eq!(s.co_channel_degree, vec![3, 3, 3, 1, 2, 2]);
+        assert_eq!(s.max_degree(), 3);
+        assert!((s.mean_degree() - 14.0 / 6.0).abs() < 1e-12);
+        // Per-cell occupancy sums to the AP count, per channel.
+        let total: u32 = s.cells.iter().map(|c| c.aps).sum();
+        assert_eq!(total, 6);
+        let first = &s.cells[0];
+        assert_eq!(
+            first.per_channel,
+            vec![(Channel::CH1, 3), (Channel::CH6, 1)]
+        );
+    }
+
+    #[test]
+    fn degree_is_the_n_of_the_analytical_cell_model() {
+        // The cross-check the subsystem promises: feed the computed
+        // co-channel degrees into the Panda & Kumar / Bianchi saturation
+        // model and verify the physics come out right — per-AP capacity
+        // strictly falls as the degree the grid reports rises.
+        use analytical::cell::CellModel;
+        // A dense co-channel cluster (5 APs) and a lone AP far away.
+        let positions = [
+            p(0.0, 0.0),
+            p(5.0, 0.0),
+            p(0.0, 5.0),
+            p(5.0, 5.0),
+            p(2.0, 2.0),
+            p(5_000.0, 0.0),
+        ];
+        let channels = [Channel::CH6; 6];
+        let grid = GridIndex::build(&positions, 100.0);
+        let s = contention(&grid, &channels, 200.0);
+        assert_eq!(s.co_channel_degree, vec![5, 5, 5, 5, 5, 1]);
+
+        let model = CellModel::dsss_11b();
+        let dense = model.per_ap_throughput_bps(s.co_channel_degree[0] as usize);
+        let lone = model.per_ap_throughput_bps(s.co_channel_degree[5] as usize);
+        assert!(
+            dense < lone,
+            "per-AP capacity must fall with co-channel degree: {dense} vs {lone}"
+        );
+        // The shared medium caps the dense cell: five co-channel APs
+        // together still deliver less than two isolated APs would.
+        assert!(5.0 * dense < 2.0 * lone);
+    }
+
+    #[test]
+    #[should_panic(expected = "slot-aligned")]
+    fn channel_slice_must_match_grid() {
+        let grid = GridIndex::build(&[p(0.0, 0.0)], 100.0);
+        let _ = contention(&grid, &[], 100.0);
+    }
+}

@@ -1,0 +1,386 @@
+//! The grid/bucket index: static CSR buckets for fixed sites, a
+//! BTree-backed incremental index for movers.
+
+use std::collections::BTreeMap;
+
+use mobility::geometry::Point;
+
+/// A grid cell's key: `(floor(x / cell_m), floor(y / cell_m))`.
+///
+/// Keys are plain integer pairs so they sort lexicographically and can
+/// index a CSR bucket table with binary search — no hashing anywhere.
+pub type CellKey = (i32, i32);
+
+/// The cell containing `p` at cell size `cell_m`.
+///
+/// `as i32` saturates on out-of-range coordinates, so even absurd
+/// positions map to *some* deterministic cell rather than wrapping.
+pub fn cell_key(p: Point, cell_m: f64) -> CellKey {
+    ((p.x / cell_m).floor() as i32, (p.y / cell_m).floor() as i32)
+}
+
+/// A static spatial index over fixed sites (the AP deployment).
+///
+/// Built once from slot-indexed positions; cells are stored as a CSR
+/// table — sorted cell keys, bucket offsets, and a single slot array —
+/// so lookups are one binary search and queries touch contiguous
+/// memory. Slots within a bucket are ascending, and disc queries return
+/// ascending slots, so downstream iteration order is deterministic and
+/// independent of build order.
+#[derive(Debug, Clone)]
+pub struct GridIndex {
+    cell_m: f64,
+    /// Sorted, deduplicated keys of non-empty cells.
+    cells: Vec<CellKey>,
+    /// CSR offsets into `slots`; `cells.len() + 1` entries.
+    starts: Vec<u32>,
+    /// Site slots grouped by cell, ascending within each bucket.
+    slots: Vec<u32>,
+    /// Slot-indexed positions (a copy, so distance filtering stays in
+    /// one cache-friendly structure).
+    positions: Vec<Point>,
+}
+
+impl GridIndex {
+    /// Build the index over slot-indexed `positions`.
+    ///
+    /// `cell_m` must be positive and finite; positions must be finite
+    /// (the deployment generators guarantee both).
+    pub fn build(positions: &[Point], cell_m: f64) -> GridIndex {
+        assert!(
+            cell_m.is_finite() && cell_m > 0.0,
+            "grid cell size must be positive and finite"
+        );
+        let mut keyed: Vec<(CellKey, u32)> = positions
+            .iter()
+            .enumerate()
+            .map(|(slot, &p)| (cell_key(p, cell_m), slot as u32))
+            .collect();
+        keyed.sort_unstable();
+        let mut cells = Vec::new();
+        let mut starts = Vec::new();
+        let mut slots = Vec::with_capacity(keyed.len());
+        for (key, slot) in keyed {
+            if cells.last() != Some(&key) {
+                cells.push(key);
+                starts.push(slots.len() as u32);
+            }
+            slots.push(slot);
+        }
+        starts.push(slots.len() as u32);
+        GridIndex {
+            cell_m,
+            cells,
+            starts,
+            slots,
+            positions: positions.to_vec(),
+        }
+    }
+
+    /// Number of indexed sites.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when the index holds no sites.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// The cell size in metres.
+    pub fn cell_m(&self) -> f64 {
+        self.cell_m
+    }
+
+    /// Number of non-empty cells.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The indexed position of a slot.
+    pub fn position(&self, slot: usize) -> Point {
+        self.positions[slot]
+    }
+
+    /// The slots in one cell (ascending), empty when the cell has none.
+    pub fn sites_in_cell(&self, key: CellKey) -> &[u32] {
+        match self.cells.binary_search(&key) {
+            Ok(i) => &self.slots[self.starts[i] as usize..self.starts[i + 1] as usize],
+            Err(_) => &[],
+        }
+    }
+
+    /// Iterate non-empty cells in ascending key order with their slots.
+    pub fn cells(&self) -> impl Iterator<Item = (CellKey, &[u32])> {
+        self.cells.iter().enumerate().map(|(i, &key)| {
+            (
+                key,
+                &self.slots[self.starts[i] as usize..self.starts[i + 1] as usize],
+            )
+        })
+    }
+
+    /// Collect every slot within `radius` of `center` into `out`
+    /// (cleared first), in ascending slot order.
+    ///
+    /// Visits only the cells overlapping the disc's bounding square:
+    /// O(cells in square + matches), not O(sites).
+    pub fn query_disc_into(&self, center: Point, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
+        // NaN radii fall through to the empty result, like negatives.
+        if radius < 0.0 || radius.is_nan() {
+            return;
+        }
+        let r2 = radius * radius;
+        let (cx0, cy0) = cell_key(
+            Point::new(center.x - radius, center.y - radius),
+            self.cell_m,
+        );
+        let (cx1, cy1) = cell_key(
+            Point::new(center.x + radius, center.y + radius),
+            self.cell_m,
+        );
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                for &slot in self.sites_in_cell((cx, cy)) {
+                    if self.positions[slot as usize].distance_sq(center) <= r2 {
+                        out.push(slot);
+                    }
+                }
+            }
+        }
+        // Buckets are walked in key order, not slot order; one sort
+        // restores the ascending-slot contract.
+        out.sort_unstable();
+    }
+
+    /// Convenience allocation-per-call form of [`query_disc_into`].
+    ///
+    /// [`query_disc_into`]: GridIndex::query_disc_into
+    pub fn query_disc(&self, center: Point, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.query_disc_into(center, radius, &mut out);
+        out
+    }
+
+    /// Count the slots within `radius` of `center` without collecting
+    /// them (no allocation).
+    pub fn count_in_disc(&self, center: Point, radius: f64) -> usize {
+        // NaN radii fall through to the empty result, like negatives.
+        if radius < 0.0 || radius.is_nan() {
+            return 0;
+        }
+        let r2 = radius * radius;
+        let (cx0, cy0) = cell_key(
+            Point::new(center.x - radius, center.y - radius),
+            self.cell_m,
+        );
+        let (cx1, cy1) = cell_key(
+            Point::new(center.x + radius, center.y + radius),
+            self.cell_m,
+        );
+        let mut n = 0;
+        for cx in cx0..=cx1 {
+            for cy in cy0..=cy1 {
+                for &slot in self.sites_in_cell((cx, cy)) {
+                    if self.positions[slot as usize].distance_sq(center) <= r2 {
+                        n += 1;
+                    }
+                }
+            }
+        }
+        n
+    }
+}
+
+/// Cell-keyed membership for moving entities, updated incrementally.
+///
+/// Each mover owns a dense slot; [`MoverIndex::update`] is a no-op while
+/// the mover stays inside its current cell and otherwise performs one
+/// sorted remove + one sorted insert. Membership vectors keep slots
+/// ascending, and the cell map is a `BTreeMap`, so iteration order is
+/// deterministic.
+#[derive(Debug, Clone)]
+pub struct MoverIndex {
+    cell_m: f64,
+    /// Slot → current cell (`None` before the first update).
+    cell_of: Vec<Option<CellKey>>,
+    /// Cell → ascending member slots; empty cells are removed.
+    members: BTreeMap<CellKey, Vec<u32>>,
+}
+
+impl MoverIndex {
+    /// An index for `movers` dense slots at cell size `cell_m`.
+    pub fn new(cell_m: f64, movers: usize) -> MoverIndex {
+        assert!(
+            cell_m.is_finite() && cell_m > 0.0,
+            "grid cell size must be positive and finite"
+        );
+        MoverIndex {
+            cell_m,
+            cell_of: vec![None; movers],
+            members: BTreeMap::new(),
+        }
+    }
+
+    /// Record `slot`'s new position. Returns `true` when the mover
+    /// crossed into a different cell (membership changed).
+    pub fn update(&mut self, slot: usize, pos: Point) -> bool {
+        let key = cell_key(pos, self.cell_m);
+        if self.cell_of[slot] == Some(key) {
+            return false;
+        }
+        self.detach(slot);
+        self.cell_of[slot] = Some(key);
+        let bucket = self.members.entry(key).or_default();
+        if let Err(i) = bucket.binary_search(&(slot as u32)) {
+            bucket.insert(i, slot as u32);
+        }
+        true
+    }
+
+    /// Remove `slot` from its cell (e.g. the mover left the world).
+    pub fn remove(&mut self, slot: usize) {
+        self.detach(slot);
+        self.cell_of[slot] = None;
+    }
+
+    fn detach(&mut self, slot: usize) {
+        if let Some(old) = self.cell_of[slot] {
+            if let Some(bucket) = self.members.get_mut(&old) {
+                if let Ok(i) = bucket.binary_search(&(slot as u32)) {
+                    bucket.remove(i);
+                }
+                if bucket.is_empty() {
+                    self.members.remove(&old);
+                }
+            }
+        }
+    }
+
+    /// The cell a mover currently occupies.
+    pub fn cell_of(&self, slot: usize) -> Option<CellKey> {
+        self.cell_of[slot]
+    }
+
+    /// Ascending member slots of one cell.
+    pub fn movers_in(&self, key: CellKey) -> &[u32] {
+        self.members.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of non-empty cells.
+    pub fn occupied_cells(&self) -> usize {
+        self.members.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(x: f64, y: f64) -> Point {
+        Point::new(x, y)
+    }
+
+    #[test]
+    fn cell_key_floors_toward_negative_infinity() {
+        assert_eq!(cell_key(p(0.0, 0.0), 100.0), (0, 0));
+        assert_eq!(cell_key(p(99.9, 100.0), 100.0), (0, 1));
+        assert_eq!(cell_key(p(-0.1, -100.0), 100.0), (-1, -1));
+    }
+
+    #[test]
+    fn buckets_group_by_cell_with_ascending_slots() {
+        // Slots 0, 2 share a cell; 1 sits alone.
+        let g = GridIndex::build(&[p(10.0, 10.0), p(250.0, 10.0), p(90.0, 90.0)], 100.0);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.cell_count(), 2);
+        assert_eq!(g.sites_in_cell((0, 0)), &[0, 2]);
+        assert_eq!(g.sites_in_cell((2, 0)), &[1]);
+        assert_eq!(g.sites_in_cell((5, 5)), &[] as &[u32]);
+    }
+
+    #[test]
+    fn disc_query_matches_linear_scan() {
+        // A deterministic pseudo-random scatter, checked exhaustively
+        // against the O(n) reference at several centers and radii.
+        let mut x = 0x9E37_79B9u64;
+        let mut next = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let positions: Vec<Point> = (0..500)
+            .map(|_| p(next() * 2_000.0 - 500.0, next() * 2_000.0 - 500.0))
+            .collect();
+        let g = GridIndex::build(&positions, 130.0);
+        for (cx, cy, r) in [
+            (0.0, 0.0, 400.0),
+            (700.0, 300.0, 150.0),
+            (1_500.0, 1_500.0, 900.0),
+            (-400.0, 900.0, 50.0),
+            (250.0, 250.0, 0.0),
+        ] {
+            let center = p(cx, cy);
+            let expect: Vec<u32> = positions
+                .iter()
+                .enumerate()
+                .filter(|(_, q)| q.distance_sq(center) <= r * r)
+                .map(|(i, _)| i as u32)
+                .collect();
+            assert_eq!(g.query_disc(center, r), expect, "center {center:?} r {r}");
+            assert_eq!(g.count_in_disc(center, r), expect.len());
+        }
+    }
+
+    #[test]
+    fn disc_query_handles_degenerate_radii() {
+        let g = GridIndex::build(&[p(0.0, 0.0)], 100.0);
+        assert!(g.query_disc(p(0.0, 0.0), -1.0).is_empty());
+        assert!(g.query_disc(p(0.0, 0.0), f64::NAN).is_empty());
+        assert_eq!(g.query_disc(p(0.0, 0.0), 0.0), vec![0]);
+    }
+
+    #[test]
+    fn empty_index_answers_empty() {
+        let g = GridIndex::build(&[], 100.0);
+        assert!(g.is_empty());
+        assert_eq!(g.cell_count(), 0);
+        assert!(g.query_disc(p(0.0, 0.0), 1_000.0).is_empty());
+    }
+
+    #[test]
+    fn cells_iterate_in_key_order() {
+        let g = GridIndex::build(&[p(250.0, 10.0), p(10.0, 10.0), p(10.0, 250.0)], 100.0);
+        let keys: Vec<CellKey> = g.cells().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        let total: usize = g.cells().map(|(_, s)| s.len()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn mover_updates_are_incremental() {
+        let mut m = MoverIndex::new(100.0, 2);
+        assert_eq!(m.cell_of(0), None);
+        // First placement lands in a cell.
+        assert!(m.update(0, p(10.0, 10.0)));
+        assert_eq!(m.cell_of(0), Some((0, 0)));
+        assert_eq!(m.movers_in((0, 0)), &[0]);
+        // Movement inside the cell changes nothing.
+        assert!(!m.update(0, p(90.0, 90.0)));
+        // Crossing a boundary migrates membership.
+        assert!(m.update(0, p(110.0, 90.0)));
+        assert_eq!(m.movers_in((0, 0)), &[] as &[u32]);
+        assert_eq!(m.movers_in((1, 0)), &[0]);
+        // A second mover shares the cell with ascending slots.
+        m.update(1, p(150.0, 50.0));
+        assert_eq!(m.movers_in((1, 0)), &[0, 1]);
+        assert_eq!(m.occupied_cells(), 1);
+        m.remove(0);
+        assert_eq!(m.movers_in((1, 0)), &[1]);
+        assert_eq!(m.cell_of(0), None);
+    }
+}

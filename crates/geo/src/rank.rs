@@ -1,0 +1,146 @@
+//! A dense-slot set iterated in an external rank order.
+
+/// A set of dense slots whose iteration order is a fixed, caller-supplied
+/// ranking — not insertion order, not slot order.
+///
+/// The simulation's "heard set" is the motivating use: AP slots with a
+/// live scan-table entry must be walked in **MacAddr order** (the rank)
+/// so that candidate lists — and with them floating-point score sums and
+/// same-score tie-breaks — are byte-identical to a full scan over the
+/// interned BSSID table, while costing O(heard) instead of O(APs).
+///
+/// Membership updates keep `members` sorted by rank with one binary
+/// search + shift; the set is expected to stay small (the slots a mobile
+/// client can currently hear), so the O(len) shift is cheaper than any
+/// tree, and iteration is a contiguous walk.
+#[derive(Debug, Clone)]
+pub struct RankedSet {
+    /// Slot → rank. Ranks are a permutation of `0..rank_of.len()`.
+    rank_of: Vec<u32>,
+    /// Member slots, sorted by `rank_of[slot]` ascending.
+    members: Vec<u32>,
+    /// Slot → membership flag (O(1) `contains`, duplicate-proof insert).
+    present: Vec<bool>,
+}
+
+impl RankedSet {
+    /// An empty set over `rank_of.len()` slots, iterating members by
+    /// ascending `rank_of[slot]`.
+    pub fn new(rank_of: Vec<u32>) -> RankedSet {
+        let n = rank_of.len();
+        assert!(
+            rank_of.iter().all(|&r| (r as usize) < n),
+            "ranks must be a permutation of 0..len"
+        );
+        RankedSet {
+            rank_of,
+            members: Vec::new(),
+            present: vec![false; n],
+        }
+    }
+
+    /// Add `slot`; returns `true` when it was not already present.
+    pub fn insert(&mut self, slot: usize) -> bool {
+        if self.present[slot] {
+            return false;
+        }
+        self.present[slot] = true;
+        let rank = self.rank_of[slot];
+        let i = self
+            .members
+            .partition_point(|&m| self.rank_of[m as usize] < rank);
+        self.members.insert(i, slot as u32);
+        true
+    }
+
+    /// Remove `slot`; returns `true` when it was present.
+    pub fn remove(&mut self, slot: usize) -> bool {
+        if !self.present[slot] {
+            return false;
+        }
+        self.present[slot] = false;
+        let rank = self.rank_of[slot];
+        let i = self
+            .members
+            .partition_point(|&m| self.rank_of[m as usize] < rank);
+        // The slot sits exactly at its rank's partition point.
+        self.members.remove(i);
+        true
+    }
+
+    /// True when `slot` is in the set.
+    pub fn contains(&self, slot: usize) -> bool {
+        self.present[slot]
+    }
+
+    /// Keep only the members for which `keep` returns true, preserving
+    /// rank order.
+    pub fn retain(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        let present = &mut self.present;
+        self.members.retain(|&slot| {
+            let k = keep(slot as usize);
+            if !k {
+                present[slot as usize] = false;
+            }
+            k
+        });
+    }
+
+    /// Iterate member slots in ascending rank order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.members.iter().map(|&s| s as usize)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when no slots are present.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iterates_in_rank_order_not_slot_order() {
+        // Slot 0 ranks last, slot 3 first.
+        let mut s = RankedSet::new(vec![3, 2, 1, 0]);
+        assert!(s.insert(0));
+        assert!(s.insert(3));
+        assert!(s.insert(1));
+        assert!(!s.insert(1), "duplicate insert is a no-op");
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 1, 0]);
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(3) && !s.contains(2));
+    }
+
+    #[test]
+    fn remove_and_retain_preserve_order() {
+        let mut s = RankedSet::new(vec![0, 1, 2, 3, 4]);
+        for slot in [4, 2, 0, 3] {
+            s.insert(slot);
+        }
+        assert!(s.remove(2));
+        assert!(!s.remove(2));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3, 4]);
+        s.retain(|slot| slot != 3);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 4]);
+        assert!(!s.contains(3));
+        s.retain(|_| false);
+        assert!(s.is_empty());
+        // Reinsertion after retain works (present flags were cleared).
+        assert!(s.insert(3));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn out_of_range_rank_is_rejected() {
+        let _ = RankedSet::new(vec![0, 7]);
+    }
+}

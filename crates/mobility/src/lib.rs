@@ -12,6 +12,8 @@
 //!   backhaul and DHCP-responsiveness draws.
 //! * [`encounter`] — analytic in-range windows; the paper's town yields a
 //!   median ≈ 8 s / mean ≈ 22 s encounter, which calibrations target.
+//! * [`metro`] — metro-scale street-grid deployments (thousands of APs)
+//!   with pluggable channel plans, for the channel-assignment experiment.
 //! * [`waypoints`] — plain-text route import/export, so real street
 //!   polylines can be driven.
 
@@ -21,6 +23,7 @@
 pub mod deployment;
 pub mod encounter;
 pub mod geometry;
+pub mod metro;
 pub mod route;
 pub mod waypoints;
 
@@ -30,5 +33,6 @@ pub use deployment::{
 };
 pub use encounter::{encounters, range_intervals, Encounter, EncounterStats};
 pub use geometry::Point;
+pub use metro::{metro_deployment, metro_route, MetroChannelPlan, MetroConfig};
 pub use route::{Route, SpeedProfile, Vehicle};
 pub use waypoints::{format_route, parse_route, WaypointError};

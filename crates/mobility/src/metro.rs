@@ -1,0 +1,287 @@
+//! Metro-scale deployments: thousands of APs on a street grid.
+//!
+//! The road deployments in [`crate::deployment`] model what one car sees
+//! along one route. A metro world models the whole downtown: a
+//! `blocks_x × blocks_y` street grid with `aps_per_block` open APs per
+//! block, under a configurable **channel plan** — the knob the
+//! `channel-assignment` experiment sweeps.
+//!
+//! Determinism contract: `metro_deployment` forks the caller's RNG into
+//! independent placement / channel / network-parameter streams, so two
+//! configs that differ **only in channel plan** produce byte-identical AP
+//! positions, backhauls, and DHCP draws for the same seed. Policy
+//! comparisons therefore measure the plan, not placement noise.
+
+use sim_engine::rng::Rng;
+use sim_engine::time::Duration;
+use wifi_mac::channel::{Channel, ORTHOGONAL};
+
+use crate::deployment::{ApSite, ChannelMix};
+use crate::geometry::Point;
+use crate::route::Route;
+
+/// How a metro deployment assigns channels to APs.
+#[derive(Debug, Clone)]
+pub enum MetroChannelPlan {
+    /// Every AP on one channel (the worst case a planner can do).
+    Single(Channel),
+    /// Orthogonal channels round-robin by AP id, blind to geometry.
+    RoundRobin,
+    /// A proper 3-coloring of the block grid: block `(bx, by)` gets
+    /// `ORTHOGONAL[(bx + 2·by) mod 3]`, so no two adjacent blocks (N/S,
+    /// E/W, or diagonal neighbours in one axis) share a channel.
+    GridColor,
+    /// Channels drawn from a measured mix (what an unplanned city does).
+    Mix(ChannelMix),
+}
+
+impl MetroChannelPlan {
+    /// Short stable name for tables and RunRecord labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MetroChannelPlan::Single(_) => "single",
+            MetroChannelPlan::RoundRobin => "round-robin",
+            MetroChannelPlan::GridColor => "grid-color",
+            MetroChannelPlan::Mix(_) => "measured-mix",
+        }
+    }
+}
+
+/// Parameters of a street-grid metro deployment.
+#[derive(Debug, Clone)]
+pub struct MetroConfig {
+    /// Blocks east–west.
+    pub blocks_x: u32,
+    /// Blocks north–south.
+    pub blocks_y: u32,
+    /// Block edge length, metres.
+    pub block_m: f64,
+    /// Open APs per block, spread along the block perimeter.
+    pub aps_per_block: u32,
+    /// Maximum per-axis placement jitter, metres (buildings are not
+    /// surveyed to the curb).
+    pub jitter_m: f64,
+    /// Channel plan.
+    pub plan: MetroChannelPlan,
+    /// Backhaul draw, bits/s, uniform in `[min, max)`.
+    pub backhaul_bps_min: u64,
+    /// See `backhaul_bps_min`.
+    pub backhaul_bps_max: u64,
+    /// Per-AP DHCP delay floor, uniform in `[min, max)`.
+    pub dhcp_floor_min: Duration,
+    /// See `dhcp_floor_min`.
+    pub dhcp_floor_max: Duration,
+    /// Per-AP DHCP delay ceiling, uniform in `[min, max)`.
+    pub dhcp_ceiling_min: Duration,
+    /// See `dhcp_ceiling_min`.
+    pub dhcp_ceiling_max: Duration,
+}
+
+impl MetroConfig {
+    /// A dense downtown: 16 × 16 blocks of 80 m with 4 open APs per
+    /// block — 1024 APs over ≈ 1.6 km², with Amherst-like backhaul and
+    /// DHCP heterogeneity.
+    pub fn downtown() -> MetroConfig {
+        MetroConfig {
+            blocks_x: 16,
+            blocks_y: 16,
+            block_m: 80.0,
+            aps_per_block: 4,
+            jitter_m: 6.0,
+            plan: MetroChannelPlan::Mix(ChannelMix::amherst()),
+            backhaul_bps_min: 512_000,
+            backhaul_bps_max: 4_000_000,
+            dhcp_floor_min: Duration::from_millis(100),
+            dhcp_floor_max: Duration::from_millis(400),
+            dhcp_ceiling_min: Duration::from_millis(400),
+            dhcp_ceiling_max: Duration::from_millis(2_200),
+        }
+    }
+
+    /// Total APs the config will place.
+    pub fn ap_count(&self) -> usize {
+        self.blocks_x as usize * self.blocks_y as usize * self.aps_per_block as usize
+    }
+
+    /// The same config under a different channel plan (placement and
+    /// network draws stay byte-identical for the same seed).
+    pub fn with_plan(mut self, plan: MetroChannelPlan) -> MetroConfig {
+        self.plan = plan;
+        self
+    }
+}
+
+/// Generate the metro deployment: ids are monotone from 0, blocks in
+/// row-major `(by, bx)` order, APs spread along each block's perimeter.
+pub fn metro_deployment(config: &MetroConfig, rng: &mut Rng) -> Vec<ApSite> {
+    assert!(
+        config.blocks_x >= 1 && config.blocks_y >= 1 && config.aps_per_block >= 1,
+        "metro_deployment: empty grid"
+    );
+    assert!(
+        config.block_m > 0.0 && config.jitter_m >= 0.0,
+        "metro_deployment: bad geometry"
+    );
+    // Independent streams: differing channel plans must not perturb
+    // placement or network parameters.
+    let mut place_rng = rng.fork(1);
+    let mut chan_rng = rng.fork(2);
+    let mut net_rng = rng.fork(3);
+
+    let per_ap_step = 4.0 * config.block_m / config.aps_per_block as f64;
+    let mut sites = Vec::with_capacity(config.ap_count());
+    let mut id = 0u32;
+    for by in 0..config.blocks_y {
+        for bx in 0..config.blocks_x {
+            let x0 = bx as f64 * config.block_m;
+            let y0 = by as f64 * config.block_m;
+            for k in 0..config.aps_per_block {
+                // Walk the block perimeter counter-clockwise from the
+                // south-west corner.
+                let along = (k as f64 + 0.5) * per_ap_step;
+                let b = config.block_m;
+                let (px, py) = if along < b {
+                    (x0 + along, y0)
+                } else if along < 2.0 * b {
+                    (x0 + b, y0 + (along - b))
+                } else if along < 3.0 * b {
+                    (x0 + b - (along - 2.0 * b), y0 + b)
+                } else {
+                    (x0, y0 + b - (along - 3.0 * b))
+                };
+                let dx = place_rng.range_f64(-config.jitter_m, config.jitter_m);
+                let dy = place_rng.range_f64(-config.jitter_m, config.jitter_m);
+                let channel = match &config.plan {
+                    MetroChannelPlan::Single(ch) => *ch,
+                    MetroChannelPlan::RoundRobin => ORTHOGONAL[id as usize % ORTHOGONAL.len()],
+                    MetroChannelPlan::GridColor => {
+                        ORTHOGONAL[(bx as usize + 2 * by as usize) % ORTHOGONAL.len()]
+                    }
+                    MetroChannelPlan::Mix(mix) => mix.draw(&mut chan_rng),
+                };
+                let floor = net_rng.duration_between(config.dhcp_floor_min, config.dhcp_floor_max);
+                let ceiling = net_rng
+                    .duration_between(config.dhcp_ceiling_min, config.dhcp_ceiling_max)
+                    .max(floor + Duration::from_millis(100));
+                sites.push(ApSite {
+                    id,
+                    position: Point::new(px + dx, py + dy),
+                    channel,
+                    backhaul_bps: net_rng
+                        .range_u64(config.backhaul_bps_min, config.backhaul_bps_max),
+                    dhcp_delay_min: floor,
+                    dhcp_delay_max: ceiling,
+                });
+                id += 1;
+            }
+        }
+    }
+    sites
+}
+
+/// The canonical metro drive: a rectangular lap inset one block from the
+/// grid's edge, so the car passes dense interior blocks on both sides.
+///
+/// # Panics
+/// Panics when the grid is smaller than 3 × 3 blocks (no interior lap).
+pub fn metro_route(config: &MetroConfig) -> Route {
+    assert!(
+        config.blocks_x >= 3 && config.blocks_y >= 3,
+        "metro_route: grid too small for an interior lap"
+    );
+    let b = config.block_m;
+    Route::new(
+        vec![
+            Point::new(b, b),
+            Point::new((config.blocks_x - 1) as f64 * b, b),
+            Point::new(
+                (config.blocks_x - 1) as f64 * b,
+                (config.blocks_y - 1) as f64 * b,
+            ),
+            Point::new(b, (config.blocks_y - 1) as f64 * b),
+        ],
+        true,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downtown_places_1024_aps_in_bounds() {
+        let cfg = MetroConfig::downtown();
+        assert_eq!(cfg.ap_count(), 1024);
+        let sites = metro_deployment(&cfg, &mut Rng::new(1));
+        assert_eq!(sites.len(), 1024);
+        let extent_x = cfg.blocks_x as f64 * cfg.block_m + cfg.jitter_m;
+        let extent_y = cfg.blocks_y as f64 * cfg.block_m + cfg.jitter_m;
+        for (i, s) in sites.iter().enumerate() {
+            assert_eq!(s.id, i as u32, "ids monotone from 0");
+            assert!((-cfg.jitter_m..=extent_x).contains(&s.position.x));
+            assert!((-cfg.jitter_m..=extent_y).contains(&s.position.y));
+            assert!(s.dhcp_delay_min < s.dhcp_delay_max);
+        }
+    }
+
+    #[test]
+    fn placement_is_invariant_under_channel_plan() {
+        let base = MetroConfig::downtown();
+        let a = metro_deployment(&base, &mut Rng::new(77));
+        let b = metro_deployment(
+            &base.clone().with_plan(MetroChannelPlan::GridColor),
+            &mut Rng::new(77),
+        );
+        let c = metro_deployment(
+            &base.with_plan(MetroChannelPlan::Single(Channel::CH6)),
+            &mut Rng::new(77),
+        );
+        for ((x, y), z) in a.iter().zip(&b).zip(&c) {
+            assert_eq!(x.position, y.position);
+            assert_eq!(x.position, z.position);
+            assert_eq!(x.backhaul_bps, y.backhaul_bps);
+            assert_eq!(x.dhcp_delay_min, z.dhcp_delay_min);
+            assert_eq!(x.dhcp_delay_max, z.dhcp_delay_max);
+        }
+        assert!(c.iter().all(|s| s.channel == Channel::CH6));
+    }
+
+    #[test]
+    fn grid_color_gives_adjacent_blocks_distinct_channels() {
+        let cfg = MetroConfig::downtown().with_plan(MetroChannelPlan::GridColor);
+        let sites = metro_deployment(&cfg, &mut Rng::new(5));
+        let per_block = cfg.aps_per_block as usize;
+        let block_channel =
+            |bx: usize, by: usize| sites[(by * cfg.blocks_x as usize + bx) * per_block].channel;
+        for by in 0..cfg.blocks_y as usize {
+            for bx in 0..cfg.blocks_x as usize {
+                let ch = block_channel(bx, by);
+                assert!(ORTHOGONAL.contains(&ch));
+                if bx + 1 < cfg.blocks_x as usize {
+                    assert_ne!(ch, block_channel(bx + 1, by), "E/W neighbours share");
+                }
+                if by + 1 < cfg.blocks_y as usize {
+                    assert_ne!(ch, block_channel(bx, by + 1), "N/S neighbours share");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let cfg = MetroConfig::downtown().with_plan(MetroChannelPlan::RoundRobin);
+        let sites = metro_deployment(&cfg, &mut Rng::new(2));
+        for ch in ORTHOGONAL {
+            let n = sites.iter().filter(|s| s.channel == ch).count();
+            assert!((341..=342).contains(&n), "{ch:?}: {n}");
+        }
+    }
+
+    #[test]
+    fn route_laps_the_interior() {
+        let cfg = MetroConfig::downtown();
+        let route = metro_route(&cfg);
+        // 14 blocks a side, 4 sides.
+        assert!((route.length() - 4.0 * 14.0 * 80.0).abs() < 1e-9);
+    }
+}

@@ -293,9 +293,16 @@ impl<E> EventQueue<E> {
         self.heap.len() - self.cancelled
     }
 
-    /// True if the heap holds nothing at all (not even cancelled entries).
+    /// True if no live event remains — the complement of
+    /// [`EventQueue::live_len`], O(1) and `&self`.
+    ///
+    /// This deliberately does **not** mirror [`EventQueue::len`]: a queue
+    /// holding only cancelled tombstones is empty for every purpose a
+    /// caller can observe (nothing will fire), and an `is_empty()` that
+    /// said `false` there was a footgun. For the physical heap size —
+    /// tombstones included — compare `len()` to zero explicitly.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.live_len() == 0
     }
 
     /// True if at least one non-cancelled event remains.
@@ -396,6 +403,21 @@ mod tests {
         assert_eq!(q.len(), 2); // cancelled entry still physically queued
         while q.pop().is_some() {}
         assert_eq!(q.live_len(), 0);
+    }
+
+    #[test]
+    fn is_empty_ignores_tombstones() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.push(Instant::from_millis(1), ());
+        assert!(!q.is_empty());
+        q.cancel(a);
+        // Only a cancelled tombstone remains: nothing will fire, so the
+        // queue is empty even though the heap is physically occupied.
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 1);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
     }
 
     #[test]

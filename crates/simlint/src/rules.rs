@@ -4,7 +4,7 @@
 //!
 //! | tier | crates | rules enforced |
 //! |------|--------|----------------|
-//! | **sim** | `sim-engine`, `wifi-mac`, `dhcp`, `tcp-lite`, `mobility`, `workload`, `analytical`, `spider-core` | `unordered-map`, `wall-clock`, `panic-path` |
+//! | **sim** | `sim-engine`, `wifi-mac`, `dhcp`, `tcp-lite`, `mobility`, `geo`, `workload`, `analytical`, `spider-core` | `unordered-map`, `wall-clock`, `panic-path` |
 //! | **lib** | `campaign`, `simlint`, `bench` (harness/baseline), the root `src/` facade | `panic-path` |
 //! | **bin** | `experiments`, `bench` suite bodies (`suites.rs`, `src/bin/`) | *(none)* |
 //!
@@ -113,6 +113,7 @@ pub const SIM_CRATES: &[&str] = &[
     "dhcp",
     "tcp-lite",
     "mobility",
+    "geo",
     "workload",
     "analytical",
     "spider-core",
@@ -550,6 +551,18 @@ mod tests {
         let unwrap = "fn f() { x.unwrap(); }\n";
         assert!(!run("crates/bench/src/timer.rs", unwrap).is_empty());
         assert!(run("crates/bench/src/suites.rs", unwrap).is_empty());
+    }
+
+    #[test]
+    fn geo_is_sim_tier() {
+        assert_eq!(tier_of("crates/geo/src/grid.rs"), Tier::Sim);
+        assert_eq!(tier_of("crates/geo/src/lib.rs"), Tier::Sim);
+        // Spatial queries feed simulation state, so the full determinism
+        // tier applies: no hash maps, no wall clocks, no panic paths.
+        let hash = "use std::collections::HashMap;\n";
+        assert!(!run("crates/geo/src/grid.rs", hash).is_empty());
+        let unwrap = "fn f() { x.unwrap(); }\n";
+        assert!(!run("crates/geo/src/rank.rs", unwrap).is_empty());
     }
 
     #[test]

@@ -7,8 +7,6 @@
 //! [`ApHistory`] table records both: join outcomes with an EWMA of join
 //! latency, and the last DHCP lease per AP for INIT-REBOOT rejoins.
 
-use std::collections::BTreeMap;
-
 use dhcp::client::Lease;
 use sim_engine::time::{Duration, Instant};
 use wifi_mac::addr::MacAddr;
@@ -49,22 +47,55 @@ impl ApRecord {
 const EWMA_ALPHA: f64 = 0.3;
 
 /// The driver's per-AP knowledge base.
+///
+/// Storage follows the workspace's dense-index pattern (`MacIntern`):
+/// a sorted `(bssid, slot)` table resolves an address with one binary
+/// search, and the records themselves live in a flat slot-indexed `Vec` —
+/// no per-node pointer chasing on the scoring hot path. Slots are
+/// allocated lazily, on the first **mutating** touch of a bssid: an AP
+/// the driver never attempted stays unslotted and scores the neutral
+/// prior, exactly as the map-backed history did.
 #[derive(Debug, Clone, Default)]
 pub struct ApHistory {
-    records: BTreeMap<MacAddr, ApRecord>,
+    /// `(bssid, slot)` pairs sorted by bssid.
+    index: Vec<(MacAddr, u32)>,
+    /// Slot-indexed records, in first-touch order.
+    records: Vec<ApRecord>,
 }
 
 impl ApHistory {
     /// Empty history.
     pub fn new() -> ApHistory {
         ApHistory {
-            records: BTreeMap::new(),
+            index: Vec::new(),
+            records: Vec::new(),
+        }
+    }
+
+    /// The dense slot for `bssid`, if it has one.
+    fn slot(&self, bssid: MacAddr) -> Option<usize> {
+        self.index
+            .binary_search_by(|&(a, _)| a.cmp(&bssid))
+            .ok()
+            .map(|pos| self.index[pos].1 as usize)
+    }
+
+    /// The slot for `bssid`, allocating one on first mutating touch.
+    fn ensure_slot(&mut self, bssid: MacAddr) -> usize {
+        match self.index.binary_search_by(|&(a, _)| a.cmp(&bssid)) {
+            Ok(pos) => self.index[pos].1 as usize,
+            Err(pos) => {
+                let slot = self.records.len();
+                self.index.insert(pos, (bssid, slot as u32));
+                self.records.push(ApRecord::new());
+                slot
+            }
         }
     }
 
     /// The record for `bssid`, if any joins were attempted.
     pub fn record(&self, bssid: MacAddr) -> Option<&ApRecord> {
-        self.records.get(&bssid)
+        self.slot(bssid).map(|s| &self.records[s])
     }
 
     /// Number of APs with any history.
@@ -79,7 +110,8 @@ impl ApHistory {
 
     /// Record a successful join that took `join_time`.
     pub fn record_success(&mut self, bssid: MacAddr, join_time: Duration) {
-        let rec = self.records.entry(bssid).or_insert_with(ApRecord::new);
+        let slot = self.ensure_slot(bssid);
+        let rec = &mut self.records[slot];
         rec.successes += 1;
         rec.join_time_ewma = Some(match rec.join_time_ewma {
             None => join_time,
@@ -93,31 +125,28 @@ impl ApHistory {
 
     /// Record a failed join attempt at `now`.
     pub fn record_failure(&mut self, bssid: MacAddr, now: Instant) {
-        let rec = self.records.entry(bssid).or_insert_with(ApRecord::new);
+        let slot = self.ensure_slot(bssid);
+        let rec = &mut self.records[slot];
         rec.failures += 1;
         rec.last_failure = Some(now);
     }
 
     /// Store a granted lease for the cache.
     pub fn store_lease(&mut self, bssid: MacAddr, lease: Lease) {
-        self.records
-            .entry(bssid)
-            .or_insert_with(ApRecord::new)
-            .lease = Some(lease);
+        let slot = self.ensure_slot(bssid);
+        self.records[slot].lease = Some(lease);
     }
 
     /// A still-valid cached lease for `bssid`, if any.
     pub fn cached_lease(&self, bssid: MacAddr, now: Instant) -> Option<Lease> {
-        self.records
-            .get(&bssid)
+        self.record(bssid)
             .and_then(|r| r.lease)
             .filter(|l| l.is_valid(now))
     }
 
     /// True while `bssid` is inside its retry backoff after a failure.
     pub fn in_backoff(&self, bssid: MacAddr, now: Instant, backoff: Duration) -> bool {
-        self.records
-            .get(&bssid)
+        self.record(bssid)
             .and_then(|r| r.last_failure)
             .is_some_and(|t| now.saturating_since(t) < backoff)
     }
@@ -131,7 +160,7 @@ impl ApHistory {
     /// short encounter. A cached valid lease adds a bonus: the rejoin
     /// skips half the DHCP exchange.
     pub fn score(&self, bssid: MacAddr, now: Instant) -> f64 {
-        let Some(rec) = self.records.get(&bssid) else {
+        let Some(rec) = self.record(bssid) else {
             // Unknown AP: the neutral prior.
             return 0.5;
         };
@@ -226,6 +255,23 @@ mod tests {
         h.store_lease(ap(1), lease);
         let now = Instant::from_secs(10);
         assert!(h.score(ap(1), now) > h.score(ap(2), now));
+    }
+
+    #[test]
+    fn dense_slots_survive_interleaved_first_touches() {
+        // First-touch order deliberately scrambled relative to MacAddr
+        // order: the sorted index must keep resolving every bssid to its
+        // own record.
+        let mut h = ApHistory::new();
+        h.record_success(ap(9), Duration::from_secs(1));
+        h.record_failure(ap(2), Instant::ZERO);
+        h.record_success(ap(5), Duration::from_secs(2));
+        h.record_success(ap(9), Duration::from_secs(1));
+        assert_eq!(h.len(), 3);
+        assert_eq!(h.record(ap(9)).unwrap().successes, 2);
+        assert_eq!(h.record(ap(2)).unwrap().failures, 1);
+        assert_eq!(h.record(ap(5)).unwrap().successes, 1);
+        assert!(h.record(ap(7)).is_none());
     }
 
     #[test]

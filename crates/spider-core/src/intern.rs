@@ -69,6 +69,26 @@ impl MacIntern {
         self.sorted.iter().copied()
     }
 
+    /// Slot → MacAddr-order rank: `ranks()[id]` is the position of id's
+    /// address in ascending MacAddr order. This is the rank table a
+    /// `geo::RankedSet` needs to iterate dense AP slots in the exact
+    /// order a full `iter_sorted()` scan would visit them.
+    ///
+    /// # Panics
+    /// Panics if ids are not dense `0..len` (i.e. the build iterator
+    /// contained duplicate addresses).
+    pub fn ranks(&self) -> Vec<u32> {
+        let mut ranks = vec![u32::MAX; self.sorted.len()];
+        for (rank, (_, id)) in self.iter_sorted().enumerate() {
+            assert!(
+                id < self.sorted.len() && ranks[id] == u32::MAX,
+                "ranks() requires dense ids (no duplicate addresses)"
+            );
+            ranks[id] = rank as u32;
+        }
+        ranks
+    }
+
     /// Number of distinct interned addresses.
     pub fn len(&self) -> usize {
         self.sorted.len()
@@ -119,6 +139,23 @@ mod tests {
         let table = MacIntern::build([a, MacAddr::ap(9), a]);
         assert_eq!(table.get(a), Some(2), "later insert must win");
         assert_eq!(table.len(), 2);
+    }
+
+    #[test]
+    fn ranks_invert_sorted_order() {
+        // Insertion order scrambled: ap(42) gets id 0 but ranks after
+        // ap(1) and local addrs rank after all ap addrs (or wherever the
+        // MacAddr ordering puts them) — whatever iter_sorted says.
+        let addrs = [MacAddr::ap(42), MacAddr::local(7), MacAddr::ap(1)];
+        let table = MacIntern::build(addrs);
+        let ranks = table.ranks();
+        let by_rank: Vec<usize> = {
+            let mut ids: Vec<usize> = (0..addrs.len()).collect();
+            ids.sort_by_key(|&id| ranks[id]);
+            ids
+        };
+        let want: Vec<usize> = table.iter_sorted().map(|(_, id)| id).collect();
+        assert_eq!(by_rank, want);
     }
 
     #[test]

@@ -39,6 +39,7 @@ use std::cell::Cell;
 use dhcp::client::{DhcpAction, DhcpClient, Lease};
 use dhcp::message::DhcpMessage;
 use dhcp::server::{DhcpServer, DhcpServerConfig};
+use geo::{GridIndex, MoverIndex, RankedSet};
 use mobility::deployment::ApSite;
 use mobility::geometry::Point;
 use mobility::route::Vehicle;
@@ -351,6 +352,12 @@ impl ApNode {
     }
 }
 
+/// How long an unrefreshed scan entry stays in the heard set. Must
+/// exceed every consumer's freshness window (`select_aps`: 2 s,
+/// `reconsider`: 3 s) for the heard-set walk to be output-identical to
+/// a full scan-table sweep.
+const HEARD_TTL: Duration = Duration::from_secs(5);
+
 struct World {
     cfg: WorldConfig,
     aps: Vec<ApNode>,
@@ -360,8 +367,27 @@ struct World {
     radio: Radio,
     ifaces: Vec<Iface>,
     /// Scan candidates, indexed by AP id (dense; `None` = never heard).
-    /// MacAddr-ordered iteration goes through `bssids.iter_sorted()`.
+    /// MacAddr-ordered iteration goes through `heard` (see below).
     scan: Vec<Option<Candidate>>,
+    /// Spatial grid over the deployment's AP positions (dense AP slots).
+    /// Range queries (`count_in_disc`) replace linear scans over `aps`.
+    grid: GridIndex,
+    /// Cell membership of the moving client (mover slot 0), updated
+    /// incrementally at Maintenance cadence.
+    client_cell: MoverIndex,
+    /// The **heard set**: AP slots with a recorded scan entry, iterated
+    /// in MacAddr-rank order. Candidate collection walks this instead of
+    /// the full `bssids.iter_sorted()` table — O(heard), not O(APs) —
+    /// and stays byte-identical because `select_aps` (2 s freshness) and
+    /// `reconsider`'s scoring (3 s freshness) both filter before
+    /// ordering/summing, while entries are pruned here only after 5 s.
+    heard: RankedSet,
+    /// High-water mark of APs inside the 400 m hearing disc (1 Hz
+    /// samples via the grid). Diagnostic only — never in `RunRecord`.
+    peak_inrange_aps: u32,
+    /// Grid-cell crossings of the client (MoverIndex updates that moved
+    /// it). Diagnostic only.
+    client_cell_crossings: u64,
     history: ApHistory,
     metrics: Metrics,
     /// Per-channel medium occupancy (next free instant), indexed by
@@ -469,10 +495,25 @@ impl World {
         }
 
         let scan = vec![None; aps.len()];
+        // Cell edge 200 m: a 400 m hearing disc touches at most a 5×5
+        // block of cells, and a vehicular client crosses a cell boundary
+        // every ten-odd seconds, so incremental mover updates are rare.
+        const CELL_M: f64 = 200.0;
+        let grid = GridIndex::build(
+            &aps.iter().map(|a| a.site.position).collect::<Vec<_>>(),
+            CELL_M,
+        );
+        let client_cell = MoverIndex::new(CELL_M, 1);
+        let heard = RankedSet::new(bssids.ranks());
         let world = World {
             cfg,
             aps,
             bssids,
+            grid,
+            client_cell,
+            heard,
+            peak_inrange_aps: 0,
+            client_cell_crossings: 0,
             radio,
             ifaces,
             scan,
@@ -1027,6 +1068,7 @@ impl World {
                     rssi_dbm: rssi,
                     last_heard: now,
                 });
+                self.heard.insert(slot);
             }
         }
         // Route to the interface talking to this AP.
@@ -1168,17 +1210,17 @@ impl World {
         if budget == 0 || self.radio.is_busy(now) || now < self.dhcp_idle_until {
             return 0;
         }
-        // Iterating through `bssids.iter_sorted()` keeps this in MacAddr
-        // order — exactly the order the old BTreeMap-keyed scan table
-        // produced: candidate order feeds tie-breaking in `select_aps`, and
-        // a process-randomized order here once meant two identical runs
+        // The heard set iterates in MacAddr-rank order — exactly the
+        // order the old full `bssids.iter_sorted()` scan produced:
+        // candidate order feeds tie-breaking in `select_aps`, and a
+        // process-randomized order here once meant two identical runs
         // could join APs in different orders (the simlint `unordered-map`
-        // rule still rejects any hash-keyed state).
-        let candidates: Vec<Candidate> = self
-            .bssids
-            .iter_sorted()
-            .filter_map(|(_, id)| self.scan[id])
-            .collect();
+        // rule still rejects any hash-keyed state). Walking only heard
+        // slots is output-identical because `select_aps` drops anything
+        // older than its 2 s freshness window and Maintenance prunes the
+        // heard set only after 5 s — so every candidate that can survive
+        // the filter is still a member. Cost: O(heard), not O(APs).
+        let candidates: Vec<Candidate> = self.heard.iter().filter_map(|id| self.scan[id]).collect();
         let joined: Vec<MacAddr> = self
             .ifaces
             .iter()
@@ -1359,23 +1401,26 @@ impl World {
             return;
         };
         let freshness = Duration::from_secs(3);
-        // MacAddr-ordered iteration (via the sorted id table) keeps the
-        // floating-point sum in the same order the BTreeMap produced.
+        // The heard set iterates in MacAddr-rank order, so this
+        // floating-point sum visits candidates in the same order the full
+        // sorted-table walk (and before it, the BTreeMap) produced; the
+        // 3 s freshness filter keeps the summed subset identical too,
+        // since heard entries outlive it (5 s prune).
         let score_of =
-            |ch: Channel, bssids: &MacIntern, scan: &[Option<Candidate>], history: &ApHistory| {
-                bssids
-                    .iter_sorted()
-                    .filter_map(|(_, id)| scan[id].as_ref())
+            |ch: Channel, heard: &RankedSet, scan: &[Option<Candidate>], history: &ApHistory| {
+                heard
+                    .iter()
+                    .filter_map(|id| scan[id].as_ref())
                     .filter(|c| c.channel == ch)
                     .filter(|c| now.saturating_since(c.last_heard) <= freshness)
                     .map(|c| history.score(c.bssid, now))
                     .sum::<f64>()
             };
         let current = self.radio.channel();
-        let current_score = score_of(current, &self.bssids, &self.scan, &self.history);
+        let current_score = score_of(current, &self.heard, &self.scan, &self.history);
         let mut best = (current, current_score);
         for ch in wifi_mac::ORTHOGONAL {
-            let s = score_of(ch, &self.bssids, &self.scan, &self.history);
+            let s = score_of(ch, &self.heard, &self.scan, &self.history);
             if s > best.1 {
                 best = (ch, s);
             }
@@ -1634,7 +1679,32 @@ impl Handler<Event> for World {
                         }
                     }
                 }
+                // Spatial upkeep, 1 Hz: move the client's cell membership
+                // and sample how many APs its 400 m hearing disc covers —
+                // a grid range query, not a scan over `aps`. Neither
+                // touches event state, so RunRecords are unaffected.
+                let pos = self.client_pos(now);
+                if self.client_cell.update(0, pos) {
+                    self.client_cell_crossings += 1;
+                }
+                let inrange = self.grid.count_in_disc(pos, 400.0) as u32;
+                self.peak_inrange_aps = self.peak_inrange_aps.max(inrange);
+                // Drop scan entries not refreshed in 5 s from the heard
+                // set. Both consumers filter at ≤ 3 s, so pruning at 5 s
+                // can never change what they see.
+                let scan = &self.scan;
+                self.heard.retain(|slot| {
+                    scan[slot].is_some_and(|c| now.saturating_since(c.last_heard) <= HEARD_TTL)
+                });
                 for ap in 0..self.aps.len() {
+                    // An AP with no stations has nothing to expire:
+                    // `expire_idle` over an empty table is a no-op, so
+                    // skipping it cannot change event order. This turns
+                    // the 1 Hz full-fleet walk into O(associated APs)
+                    // of real work on metro-scale worlds.
+                    if self.aps[ap].mac.station_count() == 0 {
+                        continue;
+                    }
                     let mut actions = self.aps[ap].mac.expire_idle(now);
                     self.process_ap_actions(ap, &mut actions, queue, now);
                 }
@@ -1669,6 +1739,12 @@ pub struct RunDiagnostics {
     /// Cancelled-but-still-queued entries do not count — see
     /// `EventQueue::peak_depth`.
     pub peak_queue_depth: usize,
+    /// High-water mark of APs inside the client's 400 m hearing disc,
+    /// sampled at 1 Hz through the spatial grid (deterministic).
+    pub peak_inrange_aps: u32,
+    /// Grid-cell crossings the client made, from the incremental mover
+    /// index (deterministic).
+    pub client_cell_crossings: u64,
 }
 
 /// Run one experiment to completion.
@@ -1684,6 +1760,8 @@ pub fn run_with_diagnostics(config: WorldConfig) -> (RunResult, RunDiagnostics) 
     let diagnostics = RunDiagnostics {
         events_delivered: queue.delivered(),
         peak_queue_depth: queue.peak_depth(),
+        peak_inrange_aps: world.peak_inrange_aps,
+        client_cell_crossings: world.client_cell_crossings,
     };
     (world.result(), diagnostics)
 }

@@ -16,6 +16,9 @@
 //!   paper's `β` response-delay model.
 //! * [`tcp`] — NewReno + SACK + timestamps TCP, the workload's transport.
 //! * [`mobility`] — routes, vehicular motion, AP deployments, encounters.
+//! * [`geo`] — spatial indexing for metro-scale worlds: grid/bucket range
+//!   queries over deployments, incremental mover membership, per-cell
+//!   channel contention.
 //! * [`model`] — the paper's Eqs. 1–10: join probability and the
 //!   throughput optimizer with its dividing speed.
 //! * [`traffic`] — backhaul shapers, download plans, mesh-user traces.
@@ -82,6 +85,11 @@ pub mod tcp {
 /// Mobility and deployment.
 pub mod mobility {
     pub use mobility::*;
+}
+
+/// Spatial indexing for metro-scale worlds.
+pub mod geo {
+    pub use geo::*;
 }
 
 /// The paper's analytical framework.

@@ -982,3 +982,118 @@ fn world_codec_rejects_every_strict_prefix() {
         Ok(())
     });
 }
+
+// ---------------------------------------------------- metro deployments
+
+use spider_repro::mobility::deployment::ChannelMix;
+use spider_repro::mobility::{metro_deployment, metro_route, MetroChannelPlan, MetroConfig};
+
+fn gen_metro_plan(g: &mut Gen) -> MetroChannelPlan {
+    match g.u32_in(0, 3) {
+        0 => MetroChannelPlan::Single(gen_channel(g)),
+        1 => MetroChannelPlan::RoundRobin,
+        2 => MetroChannelPlan::GridColor,
+        _ => MetroChannelPlan::Mix(ChannelMix::amherst()),
+    }
+}
+
+fn gen_metro_config(g: &mut Gen) -> MetroConfig {
+    // `metro_route` laps the interior rectangle, which needs ≥ 3 blocks
+    // per axis; the generator stays above that floor so every config it
+    // produces supports both the deployment and the drive.
+    MetroConfig {
+        blocks_x: g.u32_in(3, 8),
+        blocks_y: g.u32_in(3, 8),
+        block_m: g.f64_in(40.0, 120.0),
+        aps_per_block: g.u32_in(1, 4),
+        jitter_m: g.f64_in(0.0, 10.0),
+        plan: gen_metro_plan(g),
+        ..MetroConfig::downtown()
+    }
+}
+
+/// Same config + same seed → the same deployment, draw for draw; and
+/// every AP lands inside the street grid's jitter-padded bounding box
+/// with ids monotone from 0.
+#[test]
+fn metro_deployment_is_deterministic_and_in_bounds() {
+    check("metro_deployment_is_deterministic_and_in_bounds", |g| {
+        let cfg = gen_metro_config(g);
+        let seed = g.u64();
+        let a = metro_deployment(&cfg, &mut Rng::new(seed));
+        let b = metro_deployment(&cfg, &mut Rng::new(seed));
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        prop_assert_eq!(a.len(), cfg.ap_count());
+        let (w, h) = (
+            cfg.blocks_x as f64 * cfg.block_m,
+            cfg.blocks_y as f64 * cfg.block_m,
+        );
+        for (i, site) in a.iter().enumerate() {
+            prop_assert_eq!(site.id as usize, i);
+            prop_assert!(
+                site.position.x >= -cfg.jitter_m
+                    && site.position.x <= w + cfg.jitter_m
+                    && site.position.y >= -cfg.jitter_m
+                    && site.position.y <= h + cfg.jitter_m,
+                "AP {i} at {:?} escapes the {w}x{h} grid (+{} m jitter)",
+                site.position,
+                cfg.jitter_m
+            );
+            prop_assert!(site.dhcp_delay_min < site.dhcp_delay_max);
+            prop_assert!((cfg.backhaul_bps_min..cfg.backhaul_bps_max).contains(&site.backhaul_bps));
+        }
+        Ok(())
+    });
+}
+
+/// The RNG-fork contract: two configs that differ only in channel plan
+/// place the same APs with the same backhaul and DHCP draws — policy
+/// sweeps measure the plan, never placement noise.
+#[test]
+fn metro_placement_is_invariant_under_channel_plan() {
+    check("metro_placement_is_invariant_under_channel_plan", |g| {
+        let cfg = gen_metro_config(g);
+        let seed = g.u64();
+        let a = metro_deployment(&cfg, &mut Rng::new(seed));
+        let b = metro_deployment(
+            &cfg.clone().with_plan(gen_metro_plan(g)),
+            &mut Rng::new(seed),
+        );
+        prop_assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert_eq!(x.id, y.id);
+            prop_assert_eq!(x.position, y.position);
+            prop_assert_eq!(x.backhaul_bps, y.backhaul_bps);
+            prop_assert_eq!(x.dhcp_delay_min, y.dhcp_delay_min);
+            prop_assert_eq!(x.dhcp_delay_max, y.dhcp_delay_max);
+        }
+        Ok(())
+    });
+}
+
+/// Metro worlds ride the same fleet/cache rails as every other shard, so
+/// a full metro `WorldConfig` (grid deployment + interior drive) must
+/// round-trip the world codec bit-exactly, shard hash included.
+#[test]
+fn metro_worlds_roundtrip_the_world_codec() {
+    check("metro_worlds_roundtrip_the_world_codec", |g| {
+        let cfg = gen_metro_config(g);
+        let sites = metro_deployment(&cfg, &mut Rng::new(g.u64()));
+        let vehicle = Vehicle::new(
+            metro_route(&cfg),
+            g.f64_in(1.0, 30.0),
+            Instant::from_nanos(g.u64_in(0, 1_000_000_000)),
+        );
+        let world = WorldConfig::new(
+            g.u64(),
+            sites,
+            ClientMotion::Route(vehicle),
+            gen_spider(g),
+            Duration::from_secs(g.u64_in(5, 120)),
+        );
+        let decoded = decode_world(&encode_world(&world)).expect("decode");
+        prop_assert_eq!(format!("{decoded:?}"), format!("{world:?}"));
+        prop_assert_eq!(shard_hash(&decoded), shard_hash(&world));
+        Ok(())
+    });
+}
