@@ -218,6 +218,7 @@ where
 {
     // Failure replay: if the caller pinned this property to a case, run
     // that case first and report it directly.
+    // simlint: allow(env-read) — test-harness replay hook: reads the pinned case; runs under `cargo test`, never inside a simulation
     if let Ok(replay) = std::env::var(REPLAY_ENV) {
         if let Some((seed, size)) = parse_replay(&replay, name) {
             match run_case(&property, seed, size) {

@@ -1,0 +1,556 @@
+//! The incremental fact cache (`target/simlint-cache.json`).
+//!
+//! [`crate::parse::FileFacts`] is a pure function of a file's bytes, so
+//! it is cached per **content hash** (FNV-1a 64): a warm run re-hashes
+//! every file (cheap) and skips lexing + parsing for unchanged ones
+//! (the expensive part). Only the *syntax facts* are cached — the rule
+//! matching and the call-graph/reachability phases re-run every time,
+//! which is what keeps cross-file diagnostics (`panic-reach`,
+//! workspace-wide `waiver-unused`) correct when one file changes out
+//! from under its unchanged neighbors.
+//!
+//! The cache document embeds a fingerprint derived from
+//! [`crate::rules::RULES_REVISION`]; bumping that constant (any change
+//! to parsing or rule semantics) invalidates every entry at once. Any
+//! read failure — missing file, malformed JSON, wrong fingerprint,
+//! wrong shape — degrades silently to a cold run: the cache can slow
+//! simlint down, never wrong it.
+//!
+//! The JSON reader below is deliberately minimal (objects, arrays,
+//! strings, booleans, `null`, and *non-negative integers* — the only
+//! shapes the writer emits) and panic-free: every index is checked,
+//! every surprise returns `None`.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::parse::{CallFact, CallKind, FileFacts, FnFact, SiteFact, WaiverDiag, WaiverFact};
+use crate::report::json_string;
+use crate::rules::{Rule, RULES_REVISION};
+
+/// FNV-1a 64-bit over `bytes`.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn fingerprint() -> String {
+    format!("simlint-facts-r{RULES_REVISION}")
+}
+
+/// A loaded cache: content-hash-keyed facts per workspace-relative path.
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: BTreeMap<String, (u64, FileFacts)>,
+}
+
+impl Cache {
+    /// Load from `path`. Any failure (missing, corrupt, stale
+    /// fingerprint) yields an empty cache — a cold run, never an error.
+    pub fn load(path: &Path) -> Cache {
+        let Ok(text) = fs::read_to_string(path) else {
+            return Cache::default();
+        };
+        parse_cache(&text).unwrap_or_default()
+    }
+
+    /// The cached facts for `rel`, iff its content hash still matches.
+    pub fn lookup(&self, rel: &str, hash: u64) -> Option<&FileFacts> {
+        match self.entries.get(rel) {
+            Some((h, facts)) if *h == hash => Some(facts),
+            _ => None,
+        }
+    }
+}
+
+/// Write the cache document for this run's `(rel, hash, facts)` set.
+pub fn store(path: &Path, entries: &[(String, u64, &FileFacts)]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent)?;
+    }
+    let mut out = String::with_capacity(entries.len() * 512);
+    out.push_str("{\"fingerprint\": ");
+    out.push_str(&json_string(&fingerprint()));
+    out.push_str(", \"files\": [");
+    for (i, (rel, hash, facts)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n {\"path\": ");
+        out.push_str(&json_string(rel));
+        out.push_str(&format!(", \"hash\": \"{hash:016x}\", \"facts\": "));
+        write_facts(&mut out, facts);
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    fs::write(path, out)
+}
+
+// ---------------------------------------------------------------------
+// Facts -> JSON
+
+fn write_facts(out: &mut String, f: &FileFacts) {
+    out.push_str("{\"rel\": ");
+    out.push_str(&json_string(&f.rel));
+    out.push_str(", \"fns\": [");
+    for (i, x) in f.functions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\": {}, \"qual\": {}, \"mod\": {}, \"line\": {}, \"end\": {}, \
+             \"pub\": {}, \"test\": {}}}",
+            json_string(&x.name),
+            match &x.qualifier {
+                Some(q) => json_string(q),
+                None => "null".to_string(),
+            },
+            json_string(&x.module),
+            x.line,
+            x.end_line,
+            x.is_pub,
+            x.test
+        ));
+    }
+    out.push_str("], \"calls\": [");
+    for (i, x) in f.calls.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let segs: Vec<String> = x.segs.iter().map(|s| json_string(s)).collect();
+        out.push_str(&format!(
+            "{{\"caller\": {}, \"kind\": \"{}\", \"segs\": [{}], \"line\": {}}}",
+            x.caller,
+            match x.kind {
+                CallKind::Method => "m",
+                CallKind::Path => "p",
+            },
+            segs.join(","),
+            x.line
+        ));
+    }
+    out.push_str("], \"sites\": [");
+    for (i, x) in f.sites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\": {}, \"detail\": {}, \"line\": {}, \"func\": {}, \"test\": {}}}",
+            json_string(x.rule.name()),
+            json_string(&x.detail),
+            x.line,
+            match x.func {
+                Some(n) => n.to_string(),
+                None => "null".to_string(),
+            },
+            x.test
+        ));
+    }
+    out.push_str("], \"waivers\": [");
+    for (i, x) in f.waivers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"line\": {}, \"rule\": {}, \"standalone\": {}}}",
+            x.line,
+            json_string(x.rule.name()),
+            x.standalone
+        ));
+    }
+    out.push_str("], \"diags\": [");
+    for (i, x) in f.waiver_diags.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"line\": {}, \"code\": {}, \"msg\": {}}}",
+            x.line,
+            json_string(&x.code),
+            json_string(&x.message)
+        ));
+    }
+    out.push_str("]}");
+}
+
+// ---------------------------------------------------------------------
+// JSON -> Facts
+
+/// The JSON shapes the writer emits.
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+    fn num(&self) -> Option<usize> {
+        match self {
+            Json::Num(n) => usize::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+    fn boolean(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+    fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items.as_slice()),
+            _ => None,
+        }
+    }
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+const MAX_DEPTH: usize = 64;
+
+impl<'a> Reader<'a> {
+    fn ws(&mut self) {
+        while matches!(self.b.get(self.i), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Option<()> {
+        self.ws();
+        if self.b.get(self.i) == Some(&c) {
+            self.i += 1;
+            Some(())
+        } else {
+            None
+        }
+    }
+
+    fn lit(&mut self, word: &[u8]) -> bool {
+        if self.b.len() - self.i >= word.len() && &self.b[self.i..self.i + word.len()] == word {
+            self.i += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Option<Json> {
+        if depth > MAX_DEPTH {
+            return None;
+        }
+        self.ws();
+        match self.b.get(self.i)? {
+            b'{' => {
+                self.i += 1;
+                let mut pairs = Vec::new();
+                self.ws();
+                if self.b.get(self.i) == Some(&b'}') {
+                    self.i += 1;
+                    return Some(Json::Obj(pairs));
+                }
+                loop {
+                    self.eat(b'"')?;
+                    let key = self.string_body()?;
+                    self.eat(b':')?;
+                    let val = self.value(depth + 1)?;
+                    pairs.push((key, val));
+                    self.ws();
+                    match self.b.get(self.i)? {
+                        b',' => self.i += 1,
+                        b'}' => {
+                            self.i += 1;
+                            return Some(Json::Obj(pairs));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'[' => {
+                self.i += 1;
+                let mut items = Vec::new();
+                self.ws();
+                if self.b.get(self.i) == Some(&b']') {
+                    self.i += 1;
+                    return Some(Json::Arr(items));
+                }
+                loop {
+                    items.push(self.value(depth + 1)?);
+                    self.ws();
+                    match self.b.get(self.i)? {
+                        b',' => self.i += 1,
+                        b']' => {
+                            self.i += 1;
+                            return Some(Json::Arr(items));
+                        }
+                        _ => return None,
+                    }
+                }
+            }
+            b'"' => {
+                self.i += 1;
+                Some(Json::Str(self.string_body()?))
+            }
+            b't' if self.lit(b"true") => Some(Json::Bool(true)),
+            b'f' if self.lit(b"false") => Some(Json::Bool(false)),
+            b'n' if self.lit(b"null") => Some(Json::Null),
+            b'0'..=b'9' => {
+                let mut n: u64 = 0;
+                while let Some(d @ b'0'..=b'9') = self.b.get(self.i) {
+                    n = n.checked_mul(10)?.checked_add((d - b'0') as u64)?;
+                    self.i += 1;
+                }
+                // Floats/exponents never come from our writer.
+                if matches!(self.b.get(self.i), Some(b'.' | b'e' | b'E')) {
+                    return None;
+                }
+                Some(Json::Num(n))
+            }
+            _ => None,
+        }
+    }
+
+    /// The body of a string whose opening quote is already consumed.
+    fn string_body(&mut self) -> Option<String> {
+        let mut out = String::new();
+        loop {
+            match self.b.get(self.i)? {
+                b'"' => {
+                    self.i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.b.get(self.i)? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self.b.get(self.i + 1..self.i + 5)?;
+                            let s = std::str::from_utf8(hex).ok()?;
+                            let code = u32::from_str_radix(s, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.i += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.i += 1;
+                }
+                &c if c < 0x80 => {
+                    out.push(c as char);
+                    self.i += 1;
+                }
+                _ => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let rest = std::str::from_utf8(self.b.get(self.i..)?).ok()?;
+                    let ch = rest.chars().next()?;
+                    out.push(ch);
+                    self.i += ch.len_utf8();
+                }
+            }
+        }
+    }
+}
+
+fn parse_json(text: &str) -> Option<Json> {
+    let mut r = Reader {
+        b: text.as_bytes(),
+        i: 0,
+    };
+    let v = r.value(0)?;
+    r.ws();
+    if r.i == r.b.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+fn parse_cache(text: &str) -> Option<Cache> {
+    let root = parse_json(text)?;
+    if root.get("fingerprint")?.str()? != fingerprint() {
+        return None;
+    }
+    let mut entries = BTreeMap::new();
+    for item in root.get("files")?.arr()? {
+        let rel = item.get("path")?.str()?.to_string();
+        let hash = u64::from_str_radix(item.get("hash")?.str()?, 16).ok()?;
+        let facts = parse_facts(item.get("facts")?)?;
+        entries.insert(rel, (hash, facts));
+    }
+    Some(Cache { entries })
+}
+
+fn parse_facts(v: &Json) -> Option<FileFacts> {
+    let mut facts = FileFacts {
+        rel: v.get("rel")?.str()?.to_string(),
+        ..FileFacts::default()
+    };
+    for x in v.get("fns")?.arr()? {
+        facts.functions.push(FnFact {
+            name: x.get("name")?.str()?.to_string(),
+            qualifier: match x.get("qual")? {
+                Json::Null => None,
+                other => Some(other.str()?.to_string()),
+            },
+            module: x.get("mod")?.str()?.to_string(),
+            line: x.get("line")?.num()?,
+            end_line: x.get("end")?.num()?,
+            is_pub: x.get("pub")?.boolean()?,
+            test: x.get("test")?.boolean()?,
+        });
+    }
+    for x in v.get("calls")?.arr()? {
+        let mut segs = Vec::new();
+        for s in x.get("segs")?.arr()? {
+            segs.push(s.str()?.to_string());
+        }
+        facts.calls.push(CallFact {
+            caller: x.get("caller")?.num()?,
+            kind: match x.get("kind")?.str()? {
+                "m" => CallKind::Method,
+                "p" => CallKind::Path,
+                _ => return None,
+            },
+            segs,
+            line: x.get("line")?.num()?,
+        });
+    }
+    for x in v.get("sites")?.arr()? {
+        facts.sites.push(SiteFact {
+            rule: Rule::from_name(x.get("rule")?.str()?)?,
+            detail: x.get("detail")?.str()?.to_string(),
+            line: x.get("line")?.num()?,
+            func: match x.get("func")? {
+                Json::Null => None,
+                other => Some(other.num()?),
+            },
+            test: x.get("test")?.boolean()?,
+        });
+    }
+    for x in v.get("waivers")?.arr()? {
+        facts.waivers.push(WaiverFact {
+            line: x.get("line")?.num()?,
+            rule: Rule::from_name(x.get("rule")?.str()?)?,
+            standalone: x.get("standalone")?.boolean()?,
+        });
+    }
+    for x in v.get("diags")?.arr()? {
+        facts.waiver_diags.push(WaiverDiag {
+            line: x.get("line")?.num()?,
+            code: x.get("code")?.str()?.to_string(),
+            message: x.get("msg")?.str()?.to_string(),
+        });
+    }
+    Some(facts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::extract;
+
+    #[test]
+    fn fnv_known_vectors() {
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(fnv1a64(b"abc"), fnv1a64(b"acb"));
+    }
+
+    #[test]
+    fn facts_roundtrip_through_cache_file() {
+        let src = "use std::collections::HashMap; // simlint: allow(unordered-map) — docs\n\
+                   pub fn entry() { mid(); }\n\
+                   fn mid(v: Option<u8>) -> u8 { v.unwrap() }\n\
+                   // simlint: allow(bogus) — not a rule\n";
+        let facts = extract("crates/spider-core/src/x.rs", src);
+        assert!(!facts.functions.is_empty());
+        assert!(!facts.calls.is_empty());
+        assert!(!facts.sites.is_empty());
+        assert!(!facts.waivers.is_empty());
+        assert!(!facts.waiver_diags.is_empty());
+
+        let dir = std::env::temp_dir().join(format!("simlint-cache-test-{}", std::process::id()));
+        let path = dir.join("cache.json");
+        let hash = fnv1a64(src.as_bytes());
+        store(
+            &path,
+            &[("crates/spider-core/src/x.rs".to_string(), hash, &facts)],
+        )
+        .unwrap();
+
+        let cache = Cache::load(&path);
+        let loaded = cache.lookup("crates/spider-core/src/x.rs", hash).unwrap();
+        assert_eq!(loaded, &facts);
+        // Stale hash misses.
+        assert!(cache
+            .lookup("crates/spider-core/src/x.rs", hash ^ 1)
+            .is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_or_stale_cache_degrades_to_cold() {
+        let dir = std::env::temp_dir().join(format!("simlint-cache-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(Cache::load(&path).entries.is_empty());
+
+        std::fs::write(
+            &path,
+            "{\"fingerprint\": \"simlint-facts-r0\", \"files\": []}",
+        )
+        .unwrap();
+        assert!(Cache::load(&path).entries.is_empty());
+
+        // Missing file entirely.
+        assert!(Cache::load(&dir.join("nope.json")).entries.is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn mini_json_rejects_trailing_garbage_and_floats() {
+        assert!(parse_json("{\"a\": 1} extra").is_none());
+        assert!(parse_json("{\"a\": 1.5}").is_none());
+        assert!(parse_json("{\"a\": -1}").is_none());
+        assert_eq!(
+            parse_json("[true, false, null, 7, \"x\\u0041\"]"),
+            Some(Json::Arr(vec![
+                Json::Bool(true),
+                Json::Bool(false),
+                Json::Null,
+                Json::Num(7),
+                Json::Str("xA".to_string()),
+            ]))
+        );
+    }
+}

@@ -1,22 +1,36 @@
 //! The `simlint` CLI: lint the workspace (or `--root <dir>`), print
-//! rustc-style diagnostics to stderr, write the JSON summary, exit non-zero
-//! on any violation.
+//! rustc-style diagnostics to stderr, write the JSON summary, exit
+//! non-zero on any violation.
 //!
 //! ```text
-//! simlint [--root <dir>] [--json <path>] [--quiet]
+//! simlint [--root <dir>] [--json <path>] [--cache <path>] [--no-cache] [--quiet]
 //! ```
 //!
 //! Defaults: root = the workspace this binary was built in (its own
-//! manifest dir's grandparent), json = `<root>/target/simlint.json`.
+//! manifest dir's grandparent), json = `<root>/target/SIMLINT.json`,
+//! cache = `<root>/target/simlint-cache.json`.
+//!
+//! # Exit-code contract
+//!
+//! Mirrors the bench binary's contract so scripts can branch without
+//! parsing output:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0 | tree is clean |
+//! | 1 | at least one violation (diagnostics on stderr) |
+//! | 2 | usage or IO error (bad flag, unreadable root, unwritable json) |
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use simlint::{json_summary, lint_tree, Summary};
+use simlint::{analyze_tree, json_summary, AnalyzeOptions};
 
 struct Args {
     root: PathBuf,
     json: Option<PathBuf>,
+    cache: Option<PathBuf>,
+    no_cache: bool,
     quiet: bool,
 }
 
@@ -31,6 +45,8 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: default_root,
         json: None,
+        cache: None,
+        no_cache: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -48,9 +64,20 @@ fn parse_args() -> Result<Args, String> {
                         .ok_or_else(|| "--json needs a value".to_string())?,
                 ));
             }
+            "--cache" => {
+                args.cache = Some(PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--cache needs a value".to_string())?,
+                ));
+            }
+            "--no-cache" => args.no_cache = true,
             "--quiet" | "-q" => args.quiet = true,
             "--help" | "-h" => {
-                println!("usage: simlint [--root <dir>] [--json <path>] [--quiet]");
+                println!(
+                    "usage: simlint [--root <dir>] [--json <path>] [--cache <path>] \
+                     [--no-cache] [--quiet]\n\
+                     exit codes: 0 clean, 1 violations, 2 usage/IO error"
+                );
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument `{other}`")),
@@ -61,33 +88,57 @@ fn parse_args() -> Result<Args, String> {
 
 fn run() -> Result<bool, String> {
     let args = parse_args()?;
-    let (files_checked, violations) =
-        lint_tree(&args.root).map_err(|e| format!("walking {}: {e}", args.root.display()))?;
-    let summary = Summary {
-        files_checked,
-        violations,
+    let opts = AnalyzeOptions {
+        cache_path: if args.no_cache {
+            None
+        } else {
+            Some(
+                args.cache
+                    .clone()
+                    .unwrap_or_else(|| args.root.join("target/simlint-cache.json")),
+            )
+        },
     };
+    let summary = analyze_tree(&args.root, &opts)
+        .map_err(|e| format!("walking {}: {e}", args.root.display()))?;
     for v in &summary.violations {
         eprintln!("{}", v.render());
     }
     let json_path = args
         .json
-        .unwrap_or_else(|| args.root.join("target/simlint.json"));
+        .unwrap_or_else(|| args.root.join("target/SIMLINT.json"));
     if let Some(dir) = json_path.parent() {
         std::fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
     }
     std::fs::write(&json_path, json_summary(&summary))
         .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
     if !args.quiet {
+        let cache_line = if !summary.cache.enabled {
+            "cache off".to_string()
+        } else if summary.cache.warm() {
+            format!(
+                "cache: {}/{} files warm (100%)",
+                summary.cache.hits, summary.files_checked
+            )
+        } else {
+            format!(
+                "cache: {} warm / {} parsed",
+                summary.cache.hits, summary.cache.misses
+            )
+        };
+        let graph_line = format!(
+            "graph: {} fns, {} edges, {} panic sources",
+            summary.graph.functions, summary.graph.edges, summary.graph.panic_sources
+        );
         if summary.is_clean() {
             println!(
-                "simlint: {} files checked, 0 errors ({})",
+                "simlint: {} files checked, 0 errors; {cache_line}; {graph_line} ({})",
                 summary.files_checked,
                 json_path.display()
             );
         } else {
             eprintln!(
-                "simlint: {} files checked, {} error(s); see {}",
+                "simlint: {} files checked, {} error(s); {cache_line}; {graph_line}; see {}",
                 summary.files_checked,
                 summary.violations.len(),
                 json_path.display()

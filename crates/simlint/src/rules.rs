@@ -1,41 +1,58 @@
-//! The rule engine: tiered policy, per-line checks, and waiver handling.
+//! The rule engine: tiered policy, fact-based checks, and waiver handling.
 //!
 //! # Policy tiers
 //!
 //! | tier | crates | rules enforced |
 //! |------|--------|----------------|
-//! | **sim** | `sim-engine`, `wifi-mac`, `dhcp`, `tcp-lite`, `mobility`, `geo`, `workload`, `analytical`, `spider-core` | `unordered-map`, `wall-clock`, `panic-path` |
-//! | **lib** | `campaign`, `simlint`, `bench` (harness/baseline), the root `src/` facade | `panic-path` |
+//! | **sim** | `sim-engine`, `wifi-mac`, `dhcp`, `tcp-lite`, `mobility`, `geo`, `workload`, `analytical`, `spider-core` | all six line rules + `panic-reach` |
+//! | **lib** | `campaign`, `simlint`, `fleet` (except `proto.rs`), `bench` (harness/baseline), the root `src/` facade | `panic-path`, `panic-reach` |
 //! | **bin** | `experiments`, `bench` suite bodies (`suites.rs`, `src/bin/`) | *(none)* |
 //!
 //! Two files get per-file overrides: `crates/fleet/src/proto.rs` and
 //! `crates/bench/src/stats.rs` are **sim**-tier — the wire codec and the
 //! bootstrap statistics both promise bit-identical results across
-//! machines, so wall clocks and unordered maps are banned there even
-//! though their crates are not simulation crates.
+//! machines. Test code is exempt everywhere: files under `tests/`,
+//! `benches/`, or `examples/` directories, and `#[cfg(test)]` items.
 //!
-//! Test code is exempt everywhere: files under `tests/`, `benches/`, or
-//! `examples/` directories, and `#[cfg(test)]` items inside `src/` files.
+//! The tier table is **default-deny**: a directory under `crates/` with
+//! no explicit entry here is itself a violation (`unclassified-crate`),
+//! so a future crate cannot silently skip enforcement.
 //!
 //! # Rules
 //!
-//! * `unordered-map` — `HashMap`, `HashSet`, `hash_map`, `hash_set`, or
-//!   `RandomState`: iteration order is randomized per process, which breaks
-//!   the byte-identical-`RunRecord` contract the campaign cache depends on.
-//!   Use `BTreeMap`/`BTreeSet`.
-//! * `wall-clock` — `SystemTime`, `std::time`, or `Instant::now`: real time
-//!   must never leak into simulation state; use `sim_engine::time`.
-//! * `panic-path` — `unwrap(`, `expect(`, `panic!`, `todo!`,
+//! * `unordered-map` — `HashMap`/`HashSet`/`RandomState`: iteration order
+//!   is randomized per process; use `BTreeMap`/`BTreeSet`.
+//! * `wall-clock` — `SystemTime`, `std::time`, `Instant::now()`: real
+//!   time must never leak into simulation state; use `sim_engine::time`.
+//! * `panic-path` — `unwrap()`/`expect()` *calls*, `panic!`, `todo!`,
 //!   `unimplemented!` outside test code: library crates surface typed
 //!   errors instead of crashing the whole campaign. (`assert!`,
 //!   `debug_assert!`, and `unreachable!` are *not* flagged: they state
-//!   invariants, and a deterministic simulation wants violated invariants
-//!   loud.)
+//!   invariants, and a deterministic simulation wants violated
+//!   invariants loud.)
+//! * `float-order` — `partial_cmp` *calls* (including inside `sort_by`
+//!   comparators): NaN makes `partial_cmp` return `None`, and every
+//!   recovery (`unwrap_or(Equal)`) yields a non-total order whose sort
+//!   result depends on the input permutation. Use `total_cmp`.
+//! * `env-read` — `std::env::var`/`args`/…, `env!`, `option_env!`:
+//!   cross-process byte-identity means results cannot depend on the
+//!   environment block.
+//! * `ambient-rng` — `thread_rng`, `from_entropy`, `OsRng`, `getrandom`,
+//!   `std::process::id()`: every random draw must flow from an
+//!   explicitly seeded/forked `sim_engine::rng::Rng`; entropy-seeded
+//!   construction and per-process identity are nondeterminism by
+//!   definition.
+//! * `panic-reach` — a `pub` function in a sim/lib file whose call graph
+//!   transitively reaches an **unwaived** panic site (computed by
+//!   [`crate::graph`]; the diagnostic renders the shortest witness call
+//!   path). Fires only for paths of length ≥ 1 — the direct site itself
+//!   is already a `panic-path` diagnostic.
 //!
 //! # Waivers
 //!
 //! A rule can be waived for one line with a comment, either trailing the
-//! line or on the line directly above it:
+//! line or alone on the line directly above it (for `panic-reach`, the
+//! line is the `fn` declaration line):
 //!
 //! ```text
 //! // simlint: allow(unordered-map) — membership-only set, never iterated
@@ -43,10 +60,12 @@
 //!
 //! The reason is mandatory (`waiver-missing-reason` otherwise), the rule
 //! name must exist (`waiver-unknown-rule`), and a waiver that suppresses
-//! nothing is itself an error (`waiver-unused`) so stale exceptions cannot
-//! linger.
+//! nothing is itself an error (`waiver-unused`) so stale exceptions
+//! cannot linger — including waivers orphaned by a rule engine that got
+//! more precise.
 
-use crate::lexer::{find_word, LexedFile};
+use crate::lexer::LexedFile;
+use crate::parse::{extract_lexed, FileFacts, WaiverFact};
 
 /// Every deniable rule.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -58,6 +77,16 @@ pub enum Rule {
     /// `unwrap()`/`expect()`/`panic!`/`todo!`/`unimplemented!` in library
     /// code.
     PanicPath,
+    /// `partial_cmp` calls in simulation code (NaN ⇒ non-total order).
+    FloatOrder,
+    /// Ambient environment reads in simulation code.
+    EnvRead,
+    /// Entropy-seeded randomness / per-process identity in simulation
+    /// code.
+    AmbientRng,
+    /// A public function that can transitively reach an unwaived panic
+    /// site (graph-level; see [`crate::graph`]).
+    PanicReach,
 }
 
 impl Rule {
@@ -68,6 +97,10 @@ impl Rule {
             Rule::UnorderedMap => "unordered-map",
             Rule::WallClock => "wall-clock",
             Rule::PanicPath => "panic-path",
+            Rule::FloatOrder => "float-order",
+            Rule::EnvRead => "env-read",
+            Rule::AmbientRng => "ambient-rng",
+            Rule::PanicReach => "panic-reach",
         }
     }
 
@@ -77,10 +110,19 @@ impl Rule {
             "unordered-map" => Some(Rule::UnorderedMap),
             "wall-clock" => Some(Rule::WallClock),
             "panic-path" => Some(Rule::PanicPath),
+            "float-order" => Some(Rule::FloatOrder),
+            "env-read" => Some(Rule::EnvRead),
+            "ambient-rng" => Some(Rule::AmbientRng),
+            "panic-reach" => Some(Rule::PanicReach),
             _ => None,
         }
     }
 }
+
+/// A fingerprint of the rule engine, baked into the incremental cache:
+/// bump [`RULES_REVISION`] whenever parsing or rule semantics change so
+/// stale cached facts can never survive a tool upgrade.
+pub const RULES_REVISION: u32 = 2;
 
 /// Which rule set applies to a file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,13 +138,27 @@ pub enum Tier {
 }
 
 impl Tier {
-    /// The rules enforced at this tier.
+    /// The line-level rules enforced at this tier (`panic-reach` is
+    /// enforced at the graph level for Sim and Lib, see
+    /// [`Tier::reach_enforced`]).
     pub fn rules(self) -> &'static [Rule] {
         match self {
-            Tier::Sim => &[Rule::UnorderedMap, Rule::WallClock, Rule::PanicPath],
+            Tier::Sim => &[
+                Rule::UnorderedMap,
+                Rule::WallClock,
+                Rule::PanicPath,
+                Rule::FloatOrder,
+                Rule::EnvRead,
+                Rule::AmbientRng,
+            ],
             Tier::Lib => &[Rule::PanicPath],
             Tier::Bin | Tier::Test => &[],
         }
+    }
+
+    /// Is `panic-reach` enforced for public functions in this tier?
+    pub fn reach_enforced(self) -> bool {
+        matches!(self, Tier::Sim | Tier::Lib)
     }
 }
 
@@ -119,7 +175,20 @@ pub const SIM_CRATES: &[&str] = &[
     "spider-core",
 ];
 
+/// Non-sim crates with an explicit tier. The union of this list and
+/// [`SIM_CRATES`] is the complete allow-list: any other directory under
+/// `crates/` is an `unclassified-crate` violation.
+pub const OTHER_CRATES: &[&str] = &["bench", "campaign", "experiments", "fleet", "simlint"];
+
+/// Is `name` a crate the tier table knows about?
+pub fn known_crate(name: &str) -> bool {
+    SIM_CRATES.contains(&name) || OTHER_CRATES.contains(&name)
+}
+
 /// Classify a workspace-relative path (forward slashes) into a tier.
+/// Unknown crates fall back to `Lib` (the safe default: panic policy
+/// still applies) — but the walker reports them as `unclassified-crate`
+/// so the fallback can never be load-bearing for long.
 pub fn tier_of(rel_path: &str) -> Tier {
     let parts: Vec<&str> = rel_path.split('/').collect();
     // Anything under a tests/, benches/, or examples/ directory is test
@@ -187,23 +256,11 @@ impl Violation {
     }
 }
 
-/// A parsed `// simlint: allow(rule) — reason` comment.
-#[derive(Debug, Clone)]
-struct Waiver {
-    /// 0-based line the comment starts on.
-    line: usize,
-    rule: Rule,
-    used: bool,
-    /// True when the waiver's line has no code of its own, so it shields
-    /// the next line instead.
-    standalone: bool,
-}
-
 const WAIVER_MARKER: &str = "simlint:";
 
 /// Scan one comment for a waiver. Returns `Ok(None)` when the comment is
 /// not a waiver at all, `Err(violation-parts)` for malformed waivers.
-fn parse_waiver(comment: &str) -> Result<Option<(Rule, String)>, (String, String)> {
+pub(crate) fn parse_waiver(comment: &str) -> Result<Option<(Rule, String)>, (String, String)> {
     // A waiver must *begin* the comment. This deliberately excludes doc
     // comments (their text starts with the extra `/` or `!`), so prose that
     // merely quotes the syntax is never parsed as a waiver.
@@ -258,150 +315,124 @@ fn parse_waiver(comment: &str) -> Result<Option<(Rule, String)>, (String, String
     Ok(Some((rule, reason.to_string())))
 }
 
-/// Check one line of blanked code against `rule`. Returns the message of
-/// the first hit, if any.
-fn check_line(rule: Rule, code: &str) -> Option<String> {
+/// The diagnostic message for a matched site.
+fn site_message(rule: Rule, detail: &str) -> String {
     match rule {
-        Rule::UnorderedMap => {
-            for word in ["HashMap", "HashSet", "RandomState", "hash_map", "hash_set"] {
-                if find_word(code, word).is_some() {
-                    return Some(format!(
-                        "`{word}` has process-randomized iteration order; use BTreeMap/BTreeSet \
-                         (or justify with `// simlint: allow(unordered-map) — <reason>`)"
-                    ));
-                }
-            }
-            None
-        }
-        Rule::WallClock => {
-            if find_word(code, "SystemTime").is_some() {
-                return Some(
-                    "`SystemTime` reads the wall clock; simulation code must use \
-                     `sim_engine::time`"
-                        .to_string(),
-                );
-            }
-            if let Some(pos) = find_word(code, "std") {
-                let after = code[pos + 3..].trim_start();
-                if let Some(t) = after.strip_prefix("::") {
-                    if t.trim_start().starts_with("time") {
-                        return Some(
-                            "`std::time` is wall-clock time; simulation code must use \
+        Rule::UnorderedMap => format!(
+            "`{detail}` has process-randomized iteration order; use BTreeMap/BTreeSet \
+             (or justify with `// simlint: allow(unordered-map) — <reason>`)"
+        ),
+        Rule::WallClock => match detail {
+            "SystemTime" => "`SystemTime` reads the wall clock; simulation code must use \
                              `sim_engine::time`"
-                                .to_string(),
-                        );
-                    }
-                }
-            }
-            if let Some(pos) = find_word(code, "Instant") {
-                let after = code[pos + "Instant".len()..].trim_start();
-                if let Some(t) = after.strip_prefix("::") {
-                    if t.trim_start().starts_with("now") {
-                        return Some(
-                            "`Instant::now()` reads the wall clock; virtual time comes from \
-                             the event queue"
-                                .to_string(),
-                        );
-                    }
-                }
-            }
-            None
-        }
-        Rule::PanicPath => {
-            for word in ["unwrap", "expect"] {
-                if let Some(pos) = find_word(code, word) {
-                    let after = code[pos + word.len()..].trim_start();
-                    if after.starts_with('(') {
-                        return Some(format!(
-                            "`{word}()` panics on the error path; return a typed error \
-                             (or justify with `// simlint: allow(panic-path) — <reason>`)"
-                        ));
-                    }
-                }
-            }
-            for mac in ["panic", "todo", "unimplemented"] {
-                if let Some(pos) = find_word(code, mac) {
-                    let after = code[pos + mac.len()..].trim_start();
-                    if after.starts_with('!') {
-                        return Some(format!(
-                            "`{mac}!` aborts the campaign; return a typed error instead"
-                        ));
-                    }
-                }
-            }
-            None
-        }
+                .to_string(),
+            "Instant::now" => "`Instant::now()` reads the wall clock; virtual time comes from \
+                               the event queue"
+                .to_string(),
+            _ => "`std::time` is wall-clock time; simulation code must use `sim_engine::time`"
+                .to_string(),
+        },
+        Rule::PanicPath => match detail {
+            "unwrap" | "expect" => format!(
+                "`{detail}()` panics on the error path; return a typed error \
+                 (or justify with `// simlint: allow(panic-path) — <reason>`)"
+            ),
+            _ => format!("`{detail}!` aborts the campaign; return a typed error instead"),
+        },
+        Rule::FloatOrder => "`partial_cmp` is not a total order (NaN compares as `None`), so \
+                             float sorts depend on the input permutation; use `f64::total_cmp` \
+                             (or justify with `// simlint: allow(float-order) — <reason>`)"
+            .to_string(),
+        Rule::EnvRead => format!(
+            "`{detail}` reads the ambient environment; cross-process byte-identity forbids it \
+             in simulation code (or justify with `// simlint: allow(env-read) — <reason>`)"
+        ),
+        Rule::AmbientRng => format!(
+            "`{detail}` is ambient entropy/process identity; randomness must flow from an \
+             explicitly seeded `sim_engine::rng::Rng` fork \
+             (or justify with `// simlint: allow(ambient-rng) — <reason>`)"
+        ),
+        Rule::PanicReach => detail.to_string(),
     }
 }
 
-/// Lint one lexed file.
-///
-/// `rel_path` is the workspace-relative path (used for tier selection and
-/// diagnostics); `test_scoped` marks lines inside `#[cfg(test)]` items.
-pub fn lint_file(rel_path: &str, file: &LexedFile, test_scoped: &[bool]) -> Vec<Violation> {
-    let tier = tier_of(rel_path);
-    let mut violations: Vec<Violation> = Vec::new();
-    let mut waivers: Vec<Waiver> = Vec::new();
+/// The per-file lint outcome, plus the cross-file facts the graph phase
+/// needs (which panic sites were waived, and which `panic-reach` waivers
+/// exist — their used/unused status is only decidable globally).
+#[derive(Debug, Clone, Default)]
+pub struct LocalOutcome {
+    /// Local violations (everything except `panic-reach` and
+    /// `waiver-unused` for `panic-reach` waivers).
+    pub violations: Vec<Violation>,
+    /// Indices into `facts.sites` of panic sites suppressed by a waiver —
+    /// these do not count as panic sources in the reachability analysis.
+    pub waived_panic_sites: Vec<usize>,
+    /// `allow(panic-reach)` waivers, usage decided by [`crate::graph`].
+    pub reach_waivers: Vec<WaiverFact>,
+}
 
-    // Pass 1: collect (and validate) waivers from every comment. Waiver
-    // syntax is validated even in exempt tiers/test code — a malformed
-    // waiver anywhere is noise worth rejecting.
-    for (ln, line) in file.lines.iter().enumerate() {
-        for comment in &line.comments {
-            match parse_waiver(comment) {
-                Ok(None) => {}
-                Ok(Some((rule, _reason))) => {
-                    let standalone = line.code.trim().is_empty();
-                    waivers.push(Waiver {
-                        line: ln,
-                        rule,
-                        used: false,
-                        standalone,
-                    });
-                }
-                Err((code, message)) => violations.push(Violation {
-                    file: rel_path.to_string(),
-                    line: ln + 1,
-                    code,
-                    message,
-                }),
-            }
-        }
+/// Run the tier's line rules over one file's facts.
+pub fn lint_local(facts: &FileFacts) -> LocalOutcome {
+    let tier = tier_of(&facts.rel);
+    let mut out = LocalOutcome::default();
+
+    // Malformed waivers are rejected in every tier — noise is noise.
+    for d in &facts.waiver_diags {
+        out.violations.push(Violation {
+            file: facts.rel.clone(),
+            line: d.line,
+            code: d.code.clone(),
+            message: d.message.clone(),
+        });
     }
 
-    // Pass 2: run the tier's rules over non-test lines.
-    for (ln, line) in file.lines.iter().enumerate() {
-        if test_scoped.get(ln).copied().unwrap_or(false) {
+    let mut used = vec![false; facts.waivers.len()];
+    let enforced = tier.rules();
+    // One diagnostic per (rule, line): the parser may record several
+    // pattern matches for one construct (`std::time::Instant::now()`).
+    let mut seen: Vec<(Rule, usize)> = Vec::new();
+
+    for (sx, site) in facts.sites.iter().enumerate() {
+        if site.test || !enforced.contains(&site.rule) {
             continue;
         }
-        for &rule in tier.rules() {
-            let Some(message) = check_line(rule, &line.code) else {
-                continue;
-            };
-            // A waiver covers the hit when it names the rule and sits on
-            // the same line (trailing) or alone on the line above.
-            let waived = waivers
-                .iter_mut()
-                .find(|w| w.rule == rule && (w.line == ln || (w.standalone && w.line + 1 == ln)));
-            match waived {
-                Some(w) => w.used = true,
-                None => violations.push(Violation {
-                    file: rel_path.to_string(),
-                    line: ln + 1,
-                    code: rule.name().to_string(),
-                    message,
-                }),
+        // A waiver covers the hit when it names the rule and sits on the
+        // same line (trailing) or alone on the line above. Waiver lines
+        // are 0-based, site lines 1-based.
+        let waiver = facts.waivers.iter().position(|w| {
+            w.rule == site.rule
+                && (w.line + 1 == site.line || (w.standalone && w.line + 2 == site.line))
+        });
+        if let Some(wx) = waiver {
+            used[wx] = true;
+            if site.rule == Rule::PanicPath {
+                out.waived_panic_sites.push(sx);
             }
+            continue;
         }
+        if seen.contains(&(site.rule, site.line)) {
+            continue;
+        }
+        seen.push((site.rule, site.line));
+        out.violations.push(Violation {
+            file: facts.rel.clone(),
+            line: site.line,
+            code: site.rule.name().to_string(),
+            message: site_message(site.rule, &site.detail),
+        });
     }
 
-    // Pass 3: waivers that shielded nothing are stale — reject them so the
-    // exception list can only shrink. (Waivers inside test code are
-    // pointless but harmless; still flagged, to keep them out entirely.)
-    for w in &waivers {
-        if !w.used {
-            violations.push(Violation {
-                file: rel_path.to_string(),
+    // Waivers that shielded nothing are stale — reject them so the
+    // exception list can only shrink. `panic-reach` waivers are deferred
+    // to the graph phase, which alone knows whether they are used.
+    for (wx, w) in facts.waivers.iter().enumerate() {
+        if w.rule == Rule::PanicReach {
+            out.reach_waivers.push(w.clone());
+            continue;
+        }
+        if !used[wx] {
+            out.violations.push(Violation {
+                file: facts.rel.clone(),
                 line: w.line + 1,
                 code: "waiver-unused".to_string(),
                 message: format!(
@@ -413,7 +444,33 @@ pub fn lint_file(rel_path: &str, file: &LexedFile, test_scoped: &[bool]) -> Vec<
         }
     }
 
-    violations.sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.code.cmp(&b.code)));
+    out.violations
+        .sort_by(|a, b| a.line.cmp(&b.line).then_with(|| a.code.cmp(&b.code)));
+    out
+}
+
+/// Lint one lexed file, including single-file `panic-reach` analysis.
+///
+/// `rel_path` is the workspace-relative path (used for tier selection and
+/// diagnostics); `test_scoped` marks lines inside `#[cfg(test)]` items.
+pub fn lint_file(rel_path: &str, file: &LexedFile, test_scoped: &[bool]) -> Vec<Violation> {
+    let facts = extract_lexed(rel_path, file, test_scoped);
+    lint_facts(&[facts])
+}
+
+/// Lint a set of files' facts as one workspace: local rules per file,
+/// then the cross-file call-graph analysis.
+pub fn lint_facts(files: &[FileFacts]) -> Vec<Violation> {
+    let outcomes: Vec<LocalOutcome> = files.iter().map(lint_local).collect();
+    let graph = crate::graph::analyze(files, &outcomes);
+    let mut violations: Vec<Violation> = outcomes.into_iter().flat_map(|o| o.violations).collect();
+    violations.extend(graph.violations);
+    violations.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.code.cmp(&b.code))
+    });
     violations
 }
 
@@ -456,6 +513,17 @@ mod tests {
         let v = run(
             SIM,
             "let a = x.unwrap_or(0); let b = y.unwrap_or_default();\n",
+        );
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn fn_named_unwrap_is_a_definition_not_a_site() {
+        // v1's lexer flagged `fn unwrap(` as a panic path; the parser
+        // knows a definition from a call.
+        let v = run(
+            SIM,
+            "impl Wrapper {\n    fn unwrap(self) -> u8 { self.0 }\n}\n",
         );
         assert!(v.is_empty(), "{v:?}");
     }
@@ -507,9 +575,103 @@ mod tests {
     fn wall_clock_denied_in_sim() {
         let v = run(SIM, "let t = std::time::Instant::now();\n");
         assert!(v.iter().any(|x| x.code == "wall-clock"), "{v:?}");
+        // One diagnostic, not one per matched pattern.
+        assert_eq!(v.len(), 1, "{v:?}");
         // sim_engine's virtual Instant is fine.
         let ok = run(SIM, "let t: sim_engine::time::Instant = queue.now();\n");
         assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn float_order_flags_partial_cmp_calls_not_impls() {
+        let call = "fn f(a: f64, b: f64) -> bool { a.partial_cmp(&b).is_some() }\n";
+        let v = run(SIM, call);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].code, "float-order");
+        // A PartialOrd impl *defining* partial_cmp is not a call.
+        let imp = "impl PartialOrd for S {\n\
+                   \x20   fn partial_cmp(&self, o: &Self) -> Option<Ordering> { Some(self.cmp(o)) }\n\
+                   }\n";
+        assert!(run(SIM, imp).is_empty());
+        // Lib tier does not enforce float-order.
+        assert!(run("crates/campaign/src/lib.rs", call).is_empty());
+    }
+
+    #[test]
+    fn env_read_flagged_in_sim_only() {
+        let src = "fn f() -> bool { std::env::var(\"X\").is_ok() }\n";
+        let v = run(SIM, src);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].code, "env-read");
+        assert!(run("crates/campaign/src/lib.rs", src).is_empty());
+        let mac = "fn f() -> &'static str { env!(\"CARGO_MANIFEST_DIR\") }\n";
+        assert!(run(SIM, mac).iter().any(|x| x.code == "env-read"));
+    }
+
+    #[test]
+    fn ambient_rng_flagged_in_sim() {
+        for src in [
+            "fn f() { let r = thread_rng(); }\n",
+            "fn f() -> u32 { std::process::id() }\n",
+            "fn f() { let r = Rng::from_entropy(); }\n",
+        ] {
+            let v = run(SIM, src);
+            assert!(v.iter().any(|x| x.code == "ambient-rng"), "{src}: {v:?}");
+        }
+        // Seeded construction is the sanctioned path.
+        assert!(run(SIM, "fn f() { let r = Rng::new(42); }\n").is_empty());
+    }
+
+    #[test]
+    fn panic_reach_flags_public_transitive_panic_with_witness() {
+        let src = "pub fn entry() { mid() }\n\
+                   fn mid() { deep() }\n\
+                   fn deep(v: Option<u8>) -> u8 { v.unwrap() }\n";
+        let v = run(SIM, src);
+        let reach: Vec<&Violation> = v.iter().filter(|x| x.code == "panic-reach").collect();
+        assert_eq!(reach.len(), 1, "{v:?}");
+        assert_eq!(reach[0].line, 1);
+        assert!(
+            reach[0].message.contains("entry") && reach[0].message.contains("deep"),
+            "witness path missing: {}",
+            reach[0].message
+        );
+        // The direct site is still its own panic-path diagnostic.
+        assert!(v.iter().any(|x| x.code == "panic-path" && x.line == 3));
+    }
+
+    #[test]
+    fn panic_reach_not_raised_for_direct_sites_or_waived_panics() {
+        // Direct site: panic-path only (path length 0).
+        let direct = "pub fn f(v: Option<u8>) -> u8 { v.unwrap() }\n";
+        let v = run(SIM, direct);
+        assert!(v.iter().all(|x| x.code != "panic-reach"), "{v:?}");
+        // A waived panic site is not a reachability source.
+        let waived = "pub fn entry() { deep(None) }\n\
+                      fn deep(v: Option<u8>) -> u8 {\n\
+                      \x20   // simlint: allow(panic-path) — invariant: callers pass Some\n\
+                      \x20   v.unwrap()\n\
+                      }\n";
+        assert!(run(SIM, waived).is_empty(), "{:?}", run(SIM, waived));
+    }
+
+    #[test]
+    fn panic_reach_waiver_on_the_fn_suppresses_and_unused_is_flagged() {
+        let src = "// simlint: allow(panic-reach) — documented: entry() panics on empty input\n\
+                   pub fn entry() { deep(None); }\n\
+                   fn deep(v: Option<u8>) -> u8 { v.unwrap() }\n";
+        let v = run(SIM, src);
+        assert!(
+            v.iter().all(|x| x.code != "panic-reach"),
+            "waiver must suppress: {v:?}"
+        );
+        // The deep unwrap is still a local violation.
+        assert!(v.iter().any(|x| x.code == "panic-path"));
+        // A reach waiver that shields nothing is stale.
+        let stale = "// simlint: allow(panic-reach) — nothing here panics\n\
+                     pub fn quiet() {}\n";
+        let v = run(SIM, stale);
+        assert!(v.iter().any(|x| x.code == "waiver-unused"), "{v:?}");
     }
 
     #[test]
@@ -527,7 +689,7 @@ mod tests {
         assert_eq!(tier_of("crates/fleet/tests/scheduler_e2e.rs"), Tier::Test);
         // The codec must not read wall clocks; the scheduler may (its
         // deadlines are real time), but still answers for panic paths.
-        let clock = "let t = std::time::Instant::now();\n";
+        let clock = "fn f() { let t = std::time::Instant::now(); }\n";
         assert!(!run("crates/fleet/src/proto.rs", clock).is_empty());
         assert!(run("crates/fleet/src/scheduler.rs", clock).is_empty());
         let unwrap = "fn f() { x.unwrap(); }\n";
@@ -545,7 +707,7 @@ mod tests {
         // The statistics must be deterministic: no wall clock, no
         // unordered maps; the harness may read real time (it measures
         // it) but still answers for panic paths.
-        let clock = "let t = std::time::Instant::now();\n";
+        let clock = "fn f() { let t = std::time::Instant::now(); }\n";
         assert!(!run("crates/bench/src/stats.rs", clock).is_empty());
         assert!(run("crates/bench/src/timer.rs", clock).is_empty());
         let unwrap = "fn f() { x.unwrap(); }\n";
@@ -563,6 +725,14 @@ mod tests {
         assert!(!run("crates/geo/src/grid.rs", hash).is_empty());
         let unwrap = "fn f() { x.unwrap(); }\n";
         assert!(!run("crates/geo/src/rank.rs", unwrap).is_empty());
+    }
+
+    #[test]
+    fn unknown_crate_falls_back_to_lib_tier() {
+        assert!(!known_crate("mystery"));
+        assert_eq!(tier_of("crates/mystery/src/lib.rs"), Tier::Lib);
+        // The panic policy still applies while the crate is unclassified.
+        assert!(!run("crates/mystery/src/lib.rs", "fn f() { x.unwrap(); }\n").is_empty());
     }
 
     #[test]

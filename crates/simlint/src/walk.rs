@@ -1,12 +1,17 @@
-//! Workspace traversal: find every `.rs` file under a root, lint each one,
-//! and aggregate the results.
+//! Workspace traversal: find every `.rs` file under a root, extract
+//! facts (through the incremental cache when enabled), lint locally,
+//! run the call-graph analysis, and aggregate everything into a
+//! [`Summary`].
 
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
-use crate::lexer::{lex, test_scoped_lines};
-use crate::rules::{lint_file, Violation};
+use crate::cache::{fnv1a64, store, Cache};
+use crate::graph;
+use crate::parse::{extract, FileFacts};
+use crate::report::{CacheStats, Summary};
+use crate::rules::{known_crate, lint_local, Violation};
 
 /// Directories never descended into, wherever they appear.
 const SKIP_DIRS: &[&str] = &["target", ".git", ".github"];
@@ -41,12 +46,63 @@ pub fn rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
     Ok(out)
 }
 
-/// Lint every `.rs` file under `root`. Returns `(files_checked, violations)`
-/// with violations sorted by file then line.
-pub fn lint_tree(root: &Path) -> io::Result<(usize, Vec<Violation>)> {
-    let mut violations = Vec::new();
+/// How [`analyze_tree`] should use the incremental cache.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeOptions {
+    /// Where the fact cache lives; `None` disables caching entirely.
+    pub cache_path: Option<PathBuf>,
+}
+
+/// Every directory under `root/crates/` with no entry in the tier table
+/// is a violation: the tier mapping is default-deny so a future crate
+/// cannot silently skip enforcement. (There is nothing to waive — the
+/// fix is a one-line tier entry in `rules.rs`.)
+fn unclassified_crates(root: &Path) -> io::Result<Vec<Violation>> {
+    let crates_dir = root.join("crates");
+    let mut out = Vec::new();
+    if !crates_dir.is_dir() {
+        return Ok(out);
+    }
+    let mut names: Vec<String> = fs::read_dir(&crates_dir)?
+        .collect::<io::Result<Vec<_>>>()?
+        .into_iter()
+        .filter(|e| e.path().is_dir())
+        .filter_map(|e| e.file_name().to_str().map(str::to_string))
+        .collect();
+    names.sort();
+    for name in names {
+        if !known_crate(&name) {
+            out.push(Violation {
+                file: format!("crates/{name}"),
+                line: 1,
+                code: "unclassified-crate".to_string(),
+                message: format!(
+                    "crate `{name}` has no tier entry; add it to the tier table in \
+                     `crates/simlint/src/rules.rs` (the mapping is default-deny)"
+                ),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// The full pipeline over every `.rs` file under `root`: hash + fact
+/// extraction (cache-aware), per-file rules, call-graph reachability,
+/// and the default-deny crate-tier check.
+pub fn analyze_tree(root: &Path, opts: &AnalyzeOptions) -> io::Result<Summary> {
     let sources = rust_sources(root)?;
-    let checked = sources.len();
+    let cache = match &opts.cache_path {
+        Some(p) => Cache::load(p),
+        None => Cache::default(),
+    };
+    let mut stats = CacheStats {
+        enabled: opts.cache_path.is_some(),
+        hits: 0,
+        misses: 0,
+    };
+
+    let mut files: Vec<FileFacts> = Vec::with_capacity(sources.len());
+    let mut hashes: Vec<u64> = Vec::with_capacity(sources.len());
     for path in &sources {
         let rel = path
             .strip_prefix(root)
@@ -54,12 +110,59 @@ pub fn lint_tree(root: &Path) -> io::Result<(usize, Vec<Violation>)> {
             .to_string_lossy()
             .replace('\\', "/");
         let source = fs::read_to_string(path)?;
-        let lexed = lex(&source);
-        let scoped = test_scoped_lines(&lexed);
-        violations.extend(lint_file(&rel, &lexed, &scoped));
+        let hash = fnv1a64(source.as_bytes());
+        let facts = match cache.lookup(&rel, hash) {
+            Some(cached) => {
+                stats.hits += 1;
+                cached.clone()
+            }
+            None => {
+                stats.misses += 1;
+                extract(&rel, &source)
+            }
+        };
+        hashes.push(hash);
+        files.push(facts);
     }
-    violations.sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
-    Ok((checked, violations))
+
+    if let Some(p) = &opts.cache_path {
+        let entries: Vec<(String, u64, &FileFacts)> = files
+            .iter()
+            .zip(&hashes)
+            .map(|(f, h)| (f.rel.clone(), *h, f))
+            .collect();
+        store(p, &entries)?;
+    }
+
+    // The rule + graph phases always run fresh: cross-file diagnostics
+    // (panic-reach, workspace-wide waiver-unused) must see today's
+    // workspace, not the one some cache entry was born in.
+    let outcomes: Vec<_> = files.iter().map(lint_local).collect();
+    let graph = graph::analyze(&files, &outcomes);
+
+    let mut violations: Vec<Violation> = outcomes.into_iter().flat_map(|o| o.violations).collect();
+    violations.extend(graph.violations);
+    violations.extend(unclassified_crates(root)?);
+    violations.sort_by(|a, b| {
+        a.file
+            .cmp(&b.file)
+            .then_with(|| a.line.cmp(&b.line))
+            .then_with(|| a.code.cmp(&b.code))
+    });
+
+    Ok(Summary {
+        files_checked: files.len(),
+        violations,
+        cache: stats,
+        graph: graph.stats,
+    })
+}
+
+/// Lint every `.rs` file under `root` with no cache. Returns
+/// `(files_checked, violations)` sorted by file then line.
+pub fn lint_tree(root: &Path) -> io::Result<(usize, Vec<Violation>)> {
+    let summary = analyze_tree(root, &AnalyzeOptions::default())?;
+    Ok((summary.files_checked, summary.violations))
 }
 
 #[cfg(test)]
@@ -96,6 +199,62 @@ mod tests {
         assert!(violations
             .iter()
             .all(|v| v.file == "crates/spider-core/src/bad.rs"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn unknown_crate_dir_is_flagged_known_ones_are_not() {
+        let root = scratch("tiers");
+        for name in ["spider-core", "rogue"] {
+            fs::create_dir_all(root.join("crates").join(name).join("src")).unwrap();
+            fs::write(
+                root.join("crates").join(name).join("src/lib.rs"),
+                "pub fn ok() {}\n",
+            )
+            .unwrap();
+        }
+        let (_, violations) = lint_tree(&root).unwrap();
+        let tiers: Vec<&Violation> = violations
+            .iter()
+            .filter(|v| v.code == "unclassified-crate")
+            .collect();
+        assert_eq!(tiers.len(), 1, "{violations:?}");
+        assert_eq!(tiers[0].file, "crates/rogue");
+        assert!(tiers[0].message.contains("default-deny"));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn second_run_is_fully_warm_and_invalidates_on_edit() {
+        let root = scratch("cache");
+        let src_dir = root.join("crates/spider-core/src");
+        fs::create_dir_all(&src_dir).unwrap();
+        fs::write(src_dir.join("a.rs"), "pub fn a() {}\n").unwrap();
+        fs::write(src_dir.join("b.rs"), "pub fn b() { a(); }\n").unwrap();
+        let opts = AnalyzeOptions {
+            cache_path: Some(root.join("target/simlint-cache.json")),
+        };
+
+        let cold = analyze_tree(&root, &opts).unwrap();
+        assert_eq!((cold.cache.hits, cold.cache.misses), (0, 2));
+        assert!(!cold.cache.warm());
+
+        let warm = analyze_tree(&root, &opts).unwrap();
+        assert_eq!((warm.cache.hits, warm.cache.misses), (2, 0));
+        assert!(warm.cache.warm());
+        assert_eq!(warm.violations, cold.violations);
+        assert_eq!(warm.graph.functions, cold.graph.functions);
+        assert_eq!(warm.graph.edges, cold.graph.edges);
+
+        // Editing one file re-parses just that file — and the graph
+        // phase still sees the change (b now reaches a panic in a).
+        fs::write(src_dir.join("a.rs"), "pub fn a() { x.unwrap(); }\n").unwrap();
+        let edited = analyze_tree(&root, &opts).unwrap();
+        assert_eq!((edited.cache.hits, edited.cache.misses), (1, 1));
+        assert!(edited
+            .violations
+            .iter()
+            .any(|v| v.code == "panic-reach" && v.file == "crates/spider-core/src/b.rs"));
         let _ = fs::remove_dir_all(&root);
     }
 }

@@ -209,3 +209,175 @@ fn bin_and_test_tiers_are_exempt() {
     );
     fs::remove_dir_all(&root).ok();
 }
+
+#[test]
+fn usage_and_io_errors_exit_2() {
+    // Unknown flag: usage error.
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg("--bogus")
+        .output()
+        .expect("spawn simlint binary");
+    assert_eq!(out.status.code(), Some(2), "unknown flag is a usage error");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown argument"));
+    // Unreadable root: IO error.
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg("--root")
+        .arg("/nonexistent-simlint-root")
+        .output()
+        .expect("spawn simlint binary");
+    assert_eq!(out.status.code(), Some(2), "unreadable root is an IO error");
+}
+
+#[test]
+fn new_sim_tier_rules_flag_and_lib_tier_does_not() {
+    let root = scratch("v2-rules");
+    write(
+        &root,
+        "crates/spider-core/src/bad.rs",
+        "pub fn order(a: f64, b: f64) -> bool { a.partial_cmp(&b).is_some() }\n\
+         pub fn gate() -> bool { std::env::var(\"X\").is_ok() }\n\
+         pub fn seed() -> u64 { thread_rng().gen() }\n",
+    );
+    // The same constructs are legal in lib tier (campaign reads env for
+    // cache dirs, etc.).
+    write(
+        &root,
+        "crates/campaign/src/lib.rs",
+        "pub fn gate() -> bool { std::env::var(\"X\").is_ok() }\n",
+    );
+    let out = run_simlint(&root);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("crates/spider-core/src/bad.rs:1: error[float-order]"),
+        "partial_cmp call must be flagged:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("crates/spider-core/src/bad.rs:2: error[env-read]"),
+        "env read must be flagged:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("crates/spider-core/src/bad.rs:3: error[ambient-rng]"),
+        "entropy-seeded rng must be flagged:\n{stderr}"
+    );
+    assert!(
+        !stderr.contains("crates/campaign"),
+        "lib tier must not enforce sim-only rules:\n{stderr}"
+    );
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn partial_cmp_definition_is_not_flagged() {
+    // The v1 lexer could not tell a PartialOrd impl from a call site;
+    // the parser can — this is the "parse, don't grep" acceptance test.
+    let root = scratch("defn-not-call");
+    write(
+        &root,
+        "crates/sim-engine/src/order.rs",
+        "impl PartialOrd for Entry {\n\
+         \x20   fn partial_cmp(&self, other: &Self) -> Option<Ordering> {\n\
+         \x20       Some(self.cmp(other))\n\
+         \x20   }\n\
+         }\n",
+    );
+    let out = run_simlint(&root);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(out.status.success(), "stderr:\n{stderr}");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn panic_reach_renders_witness_path_across_files() {
+    let root = scratch("reach");
+    write(
+        &root,
+        "crates/spider-core/src/world.rs",
+        "pub fn drive() { geo::rank::pick(1); }\n",
+    );
+    write(
+        &root,
+        "crates/geo/src/rank.rs",
+        "pub fn pick(i: usize) -> u8 { inner(i) }\n\
+         fn inner(i: usize) -> u8 { TABLE.get(i).copied().unwrap() }\n",
+    );
+    let out = run_simlint(&root);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("crates/spider-core/src/world.rs:1: error[panic-reach]"),
+        "transitive reach must be flagged at the pub fn:\n{stderr}"
+    );
+    assert!(
+        stderr.contains(
+            "drive (crates/spider-core/src/world.rs:1) -> \
+             pick (crates/geo/src/rank.rs:1) -> \
+             inner (crates/geo/src/rank.rs:2) -> \
+             unwrap() at crates/geo/src/rank.rs:2"
+        ),
+        "diagnostic must render the shortest witness call path:\n{stderr}"
+    );
+    // The artifact carries the reachability section.
+    let json = fs::read_to_string(root.join("simlint.json")).expect("json summary");
+    assert!(json.contains("\"reachability\""), "{json}");
+    assert!(json.contains("\"witness\""), "{json}");
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn unclassified_crate_is_a_lint_error() {
+    let root = scratch("unclassified");
+    write(&root, "crates/newcomer/src/lib.rs", "pub fn ok() {}\n");
+    let out = run_simlint(&root);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("crates/newcomer:1: error[unclassified-crate]"),
+        "unknown crate dirs must be denied by default:\n{stderr}"
+    );
+    fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn warm_run_hits_cache_for_every_file_and_reports_it() {
+    let root = scratch("cache");
+    write(&root, "crates/spider-core/src/a.rs", "pub fn a() {}\n");
+    write(&root, "crates/geo/src/b.rs", "pub fn b() {}\n");
+    let cold = run_simlint(&root);
+    assert!(cold.status.success());
+    assert!(
+        String::from_utf8_lossy(&cold.stdout).contains("0 warm / 2 parsed"),
+        "cold run parses everything: {}",
+        String::from_utf8_lossy(&cold.stdout)
+    );
+    let warm = run_simlint(&root);
+    assert!(warm.status.success());
+    let stdout = String::from_utf8_lossy(&warm.stdout);
+    assert!(
+        stdout.contains("cache: 2/2 files warm (100%)"),
+        "warm run must hit the cache for every file and say so: {stdout}"
+    );
+    // --no-cache forces a full parse again.
+    let nocache = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg("--root")
+        .arg(&root)
+        .arg("--json")
+        .arg(root.join("simlint.json"))
+        .arg("--no-cache")
+        .output()
+        .expect("spawn simlint binary");
+    assert!(
+        String::from_utf8_lossy(&nocache.stdout).contains("cache off"),
+        "{}",
+        String::from_utf8_lossy(&nocache.stdout)
+    );
+    // Editing a file invalidates exactly that file.
+    write(&root, "crates/geo/src/b.rs", "pub fn b() { let _x = 1; }\n");
+    let edited = run_simlint(&root);
+    assert!(
+        String::from_utf8_lossy(&edited.stdout).contains("cache: 1 warm / 1 parsed"),
+        "{}",
+        String::from_utf8_lossy(&edited.stdout)
+    );
+    fs::remove_dir_all(&root).ok();
+}

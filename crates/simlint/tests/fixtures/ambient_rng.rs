@@ -1,0 +1,19 @@
+// Every random draw must flow from an explicitly seeded, forkable
+// generator; entropy-seeded construction and per-process identity are
+// nondeterminism by definition. Seeded construction is fine.
+pub fn bad_seed() -> u64 {
+    let rng = thread_rng();
+    rng.gen()
+}
+
+pub fn bad_entropy() -> Rng {
+    Rng::from_entropy()
+}
+
+pub fn bad_identity() -> u32 {
+    std::process::id()
+}
+
+pub fn good(seed: u64) -> Rng {
+    Rng::new(seed)
+}

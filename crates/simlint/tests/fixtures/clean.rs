@@ -1,0 +1,12 @@
+// A sim-tier file with nothing to flag: ordered maps, virtual time,
+// typed errors, total float ordering, seeded randomness.
+use std::collections::BTreeMap;
+
+pub fn percentile(xs: &mut Vec<f64>) -> Option<f64> {
+    xs.sort_by(f64::total_cmp);
+    xs.first().copied()
+}
+
+pub fn lookup(m: &BTreeMap<u32, u32>, k: u32) -> Result<u32, String> {
+    m.get(&k).copied().ok_or_else(|| format!("missing {k}"))
+}

@@ -1,0 +1,14 @@
+// Cross-process byte-identity forbids environment reads in sim code:
+// two workers with different environments must produce identical
+// RunRecords.
+pub fn debug_enabled() -> bool {
+    std::env::var("SPIDER_DEBUG").is_ok()
+}
+
+pub fn manifest_dir() -> &'static str {
+    env!("CARGO_MANIFEST_DIR")
+}
+
+pub fn maybe() -> Option<&'static str> {
+    option_env!("SPIDER_PROFILE")
+}

@@ -1,0 +1,18 @@
+// partial_cmp is not a total order over floats (NaN -> None), so sorts
+// built on it depend on the input permutation. A PartialOrd *impl* is a
+// definition, not a call, and total_cmp is the sanctioned comparator.
+pub fn sort_rssi(xs: &mut Vec<f64>) {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+}
+
+pub fn sorted_ok(xs: &mut Vec<f64>) {
+    xs.sort_by(f64::total_cmp);
+}
+
+pub struct Score(pub f64);
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}

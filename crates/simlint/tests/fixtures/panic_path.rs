@@ -1,0 +1,21 @@
+// Library code surfaces typed errors; unwrap/expect/panic crash the
+// whole campaign. A fn *named* unwrap is not a call site.
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn must(v: Option<u32>) -> u32 {
+    v.expect("always present")
+}
+
+pub fn unfinished() {
+    todo!()
+}
+
+pub struct Wrapper(u32);
+
+impl Wrapper {
+    pub fn unwrap(self) -> u32 {
+        self.0
+    }
+}

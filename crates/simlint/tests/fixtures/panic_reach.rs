@@ -1,0 +1,14 @@
+// The transitive case the lexer could never see: `entry` contains no
+// panic of its own, but its call chain bottoms out in an unwaived
+// unwrap. The diagnostic renders the shortest witness path.
+pub fn entry(world: &World) -> u32 {
+    middle(world)
+}
+
+fn middle(world: &World) -> u32 {
+    deepest(world.slot)
+}
+
+fn deepest(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

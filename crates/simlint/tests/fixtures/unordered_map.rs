@@ -1,0 +1,8 @@
+// Sim-tier state must iterate deterministically: HashMap/HashSet have
+// process-randomized order. (Doc-comment mentions of HashMap are fine.)
+use std::collections::HashMap;
+
+/// Not a violation: the word HashMap in a doc comment.
+pub struct Topology {
+    pub links: HashMap<u32, u32>,
+}

@@ -1,0 +1,9 @@
+// Sim-tier code must take time from the event queue, never the host.
+pub fn stamp() -> u128 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos()
+}
+
+pub fn epoch() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

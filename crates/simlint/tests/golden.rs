@@ -1,0 +1,117 @@
+//! Golden-file fixtures: one minimal `.rs` per rule (plus a transitive
+//! panic chain and a clean file), each paired with a `.expected` file
+//! holding the exact rendered diagnostics — rule names, lines, and
+//! witness paths are asserted byte-for-byte.
+//!
+//! Each fixture is linted *as if* it lived at
+//! `crates/spider-core/src/fixture_<name>.rs` (sim tier); on disk it
+//! lives under `tests/fixtures/`, which the real workspace walk
+//! classifies as test tier, so the fixtures never trip the gate on
+//! simlint's own tree. For the same reason fixtures must not contain
+//! waiver comments: an un-matching waiver in a test-tier file would be
+//! `waiver-unused` workspace-wide.
+//!
+//! To regenerate after an intentional diagnostic change:
+//!
+//! ```text
+//! SIMLINT_BLESS=1 cargo test -p simlint --test golden
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use simlint::lint_source;
+
+const FIXTURES: &[&str] = &[
+    "unordered_map",
+    "wall_clock",
+    "panic_path",
+    "float_order",
+    "env_read",
+    "ambient_rng",
+    "panic_reach",
+    "clean",
+];
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn rendered_diagnostics(name: &str) -> String {
+    let src =
+        fs::read_to_string(fixture_dir().join(format!("{name}.rs"))).expect("read fixture source");
+    let virtual_path = format!("crates/spider-core/src/fixture_{name}.rs");
+    let mut lines: Vec<String> = lint_source(&virtual_path, &src)
+        .iter()
+        .map(|v| v.render())
+        .collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[test]
+fn every_fixture_matches_its_golden_diagnostics() {
+    let bless = std::env::var("SIMLINT_BLESS").is_ok();
+    let mut failures = Vec::new();
+    for name in FIXTURES {
+        let got = rendered_diagnostics(name);
+        let expected_path = fixture_dir().join(format!("{name}.expected"));
+        if bless {
+            fs::write(&expected_path, &got).expect("bless golden file");
+            continue;
+        }
+        let want = fs::read_to_string(&expected_path)
+            .unwrap_or_else(|e| panic!("missing golden file {}: {e}", expected_path.display()));
+        if got != want {
+            failures.push(format!(
+                "fixture `{name}` diverged from its golden file.\n--- expected\n{want}--- got\n{got}"
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+#[test]
+fn fixture_inventory_covers_every_rule() {
+    // Each of the six line rules appears in at least one golden file,
+    // panic-reach has its dedicated chain, and the clean fixture is
+    // genuinely clean — so a rule silently losing its fixture fails here
+    // rather than going unnoticed.
+    let mut all = String::new();
+    for name in FIXTURES {
+        all.push_str(&rendered_diagnostics(name));
+    }
+    for rule in [
+        "unordered-map",
+        "wall-clock",
+        "panic-path",
+        "float-order",
+        "env-read",
+        "ambient-rng",
+        "panic-reach",
+    ] {
+        assert!(
+            all.contains(&format!("error[{rule}]")),
+            "no fixture exercises `{rule}`"
+        );
+    }
+    assert_eq!(rendered_diagnostics("clean"), "", "clean fixture flagged");
+}
+
+#[test]
+fn panic_reach_golden_includes_full_witness_chain() {
+    let got = rendered_diagnostics("panic_reach");
+    assert!(
+        got.contains(
+            "entry (crates/spider-core/src/fixture_panic_reach.rs:4) -> \
+             middle (crates/spider-core/src/fixture_panic_reach.rs:8) -> \
+             deepest (crates/spider-core/src/fixture_panic_reach.rs:12) -> \
+             unwrap() at crates/spider-core/src/fixture_panic_reach.rs:13"
+        ),
+        "witness chain missing or wrong:\n{got}"
+    );
+}
