@@ -126,6 +126,37 @@ if ! grep -q 'campaign: [0-9]* shards — [0-9]* hits, 0 misses, 0 cancelled' \
 fi
 echo "ok: 1024-AP metro campaign byte-identical across processes, second pass all hits"
 
+step "client-fleet smoke test (N=1 identity + 8-client world across exec modes)"
+# Two latches on the fleet subsystem. First: a world built with an
+# explicitly empty fleet must replay the historical single-client world
+# byte-for-byte at RunRecord fidelity — the fleet-identity target exits
+# nonzero on any divergence, and two separate processes must print the
+# same record. Second: the fleet-contention campaign (convoys up to 8
+# clients over the 1024-AP metro grid) must be byte-identical between
+# in-process threads and worker OS processes, each on a fresh cache —
+# this drives fleet WorldConfigs through the codec-v2 worker protocol.
+./target/release/experiments fleet-identity \
+    >"$smoke_dir/ident1.out" 2>/dev/null
+./target/release/experiments fleet-identity \
+    >"$smoke_dir/ident2.out" 2>/dev/null
+if ! cmp -s "$smoke_dir/ident1.out" "$smoke_dir/ident2.out"; then
+    echo "error: fleet-identity output differs between processes" >&2
+    diff "$smoke_dir/ident1.out" "$smoke_dir/ident2.out" >&2 || true
+    exit 1
+fi
+./target/release/experiments fleet-contention --scale 1 \
+    --cache-dir "$smoke_dir/convoy-threads" \
+    >"$smoke_dir/convoy1.out" 2>"$smoke_dir/convoy1.err"
+./target/release/experiments fleet-contention --scale 1 --workers 4 --exec process \
+    --cache-dir "$smoke_dir/convoy-procs" \
+    >"$smoke_dir/convoy2.out" 2>"$smoke_dir/convoy2.err"
+if ! cmp -s "$smoke_dir/convoy1.out" "$smoke_dir/convoy2.out"; then
+    echo "error: fleet-contention differs between threads and worker processes" >&2
+    diff "$smoke_dir/convoy1.out" "$smoke_dir/convoy2.out" >&2 || true
+    exit 1
+fi
+echo "ok: empty fleet replays the single-client world; 8-client convoy byte-identical across exec modes"
+
 step "bench regression check (gating)"
 # The gate runs through ./target/release/bench (built above): cargo bench
 # swallows bench-target exit codes, a first-class binary does not. Exit
@@ -226,6 +257,33 @@ elif [ "$machine_quiet" -eq 1 ]; then
     exit 1
 else
     echo "report: grid-vs-scan verdict not 'improvement' on a machine that failed its self-check — not gating"
+fi
+
+step "bench des_fleet (one fleet world vs N-times replication, verdict greped)"
+# One 8-client fleet world must beat running the whole world 8 times —
+# the shared deployment, AP timers, and event queue are the point of the
+# subsystem. Same grep-the-verdict contract as des_metro: bench_pair
+# verdicts never feed the exit code, and the gate demotes to a report
+# when the machine failed its self-check. The 1→64 scaling sweep lands
+# per-client wall-clock in the trajectory artifact either way.
+rc=0
+"$BENCH" des_fleet --budget-ms 1000 \
+    --json "$PWD/target/BENCH_fleet.json" \
+    --trajectory "$trajectory" --commit "$commit" \
+    >target/BENCH_fleet.out 2>&1 || rc=$?
+if [ "$rc" -ne 0 ]; then
+    cat target/BENCH_fleet.out >&2
+    echo "error: bench des_fleet failed to run (exit $rc)" >&2; exit 1
+fi
+if grep -q 'fleet8_one_world_vs_8x_replication.* — improvement ' \
+    target/BENCH_fleet.out; then
+    echo "ok: one 8-client world beats 8x replication (target/BENCH_fleet.json)"
+elif [ "$machine_quiet" -eq 1 ]; then
+    cat target/BENCH_fleet.out >&2
+    echo "error: fleet world did not beat replication on a machine that passed its self-check" >&2
+    exit 1
+else
+    echo "report: fleet-vs-replication verdict not 'improvement' on a machine that failed its self-check — not gating"
 fi
 
 step "bench artifact (campaign substrates)"

@@ -136,6 +136,26 @@ impl CellModel {
     pub fn per_ap_throughput_bps(&self, n: usize) -> f64 {
         self.saturation_throughput_bps(n) / n as f64
     }
+
+    /// Offered-load extension: the goodput one of `n` co-channel
+    /// stations achieves when each offers `offered_bps` of traffic.
+    ///
+    /// Below saturation the cell carries everything that is offered;
+    /// once the aggregate offer exceeds the Bianchi saturation point the
+    /// stations split the saturation throughput evenly (the long-run
+    /// fairness of the binary-exponential backoff). This is the curve
+    /// the `fleet-contention` experiment checks the DES against: it is
+    /// monotone non-increasing in `n` for any fixed offer.
+    pub fn per_station_goodput_bps(&self, n: usize, offered_bps: f64) -> f64 {
+        assert!(offered_bps >= 0.0, "negative offered load {offered_bps}");
+        offered_bps.min(self.saturation_throughput_bps(n) / n as f64)
+    }
+
+    /// Aggregate carried load of a cell of `n` stations each offering
+    /// `offered_bps`: `n` times [`CellModel::per_station_goodput_bps`].
+    pub fn carried_load_bps(&self, n: usize, offered_bps: f64) -> f64 {
+        n as f64 * self.per_station_goodput_bps(n, offered_bps)
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +212,43 @@ mod tests {
         // the well-known 5–8 Mbit/s goodput band.
         let one = m.saturation_throughput_bps(1);
         assert!((5e6..8e6).contains(&one), "S(1) = {one}");
+    }
+
+    #[test]
+    fn offered_load_is_carried_until_saturation_then_shared() {
+        let m = CellModel::dsss_11b();
+        // A light offer is carried in full regardless of cell size.
+        for n in 1..=10 {
+            let g = m.per_station_goodput_bps(n, 100e3);
+            assert!(
+                (g - 100e3).abs() < 1e-6,
+                "light offer clipped at n={n}: {g}"
+            );
+        }
+        // A saturating offer gets exactly the fair share.
+        let g = m.per_station_goodput_bps(4, 50e6);
+        assert!((g - m.saturation_throughput_bps(4) / 4.0).abs() < 1e-6);
+        // Carried load is station count times the per-station goodput.
+        assert!((m.carried_load_bps(4, 50e6) - 4.0 * g).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_station_goodput_is_monotone_non_increasing_in_n() {
+        let m = CellModel::dsss_11b();
+        for &offered in &[50e3, 500e3, 2e6, 20e6] {
+            let mut last = f64::INFINITY;
+            for n in 1..=64 {
+                let g = m.per_station_goodput_bps(n, offered);
+                assert!(
+                    g <= last + 1e-9,
+                    "goodput rose at n={n}, offer={offered}: {g} > {last}"
+                );
+                last = g;
+            }
+            // And it eventually bites: by n=64 a 2 Mb/s offer cannot fit.
+            if offered >= 2e6 {
+                assert!(last < offered, "offer {offered} never saturated");
+            }
+        }
     }
 }

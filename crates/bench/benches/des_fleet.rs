@@ -1,0 +1,3 @@
+fn main() {
+    bench::bench_target_main("des_fleet");
+}

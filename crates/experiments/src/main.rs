@@ -9,7 +9,7 @@
 //! targets: fig2 fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //!          fig13 fig14 table1 table2 table3 table4 density
 //!          sensitivity ablation speed adaptive encounters capacity
-//!          channel-assignment all
+//!          channel-assignment fleet-contention fleet-identity all
 //! ```
 //!
 //! `--scale K` multiplies run lengths by `K` (1 = quick pass; the paper's
@@ -30,6 +30,7 @@
 mod common;
 mod eval_figs;
 mod extensions;
+mod fleet_figs;
 mod join_figs;
 mod metro_figs;
 mod model_figs;
@@ -145,6 +146,8 @@ fn main() {
         "encounters" => extensions::encounters(scale),
         "capacity" => extensions::capacity(scale),
         "channel-assignment" => metro_figs::channel_assignment(scale),
+        "fleet-contention" => fleet_figs::fleet_contention(scale),
+        "fleet-identity" => fleet_figs::fleet_identity(scale),
         "all" => {
             model_figs::fig2(scale.seed);
             model_figs::fig3();
@@ -168,6 +171,8 @@ fn main() {
             extensions::encounters(scale);
             extensions::capacity(scale);
             metro_figs::channel_assignment(scale);
+            fleet_figs::fleet_contention(scale);
+            fleet_figs::fleet_identity(scale);
         }
         other => usage(&format!("unknown target {other}")),
     }
@@ -176,7 +181,7 @@ fn main() {
 fn usage(err: &str) -> ! {
     eprintln!("error: {err}");
     eprintln!(
-        "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|table4|density|sensitivity|ablation|speed|adaptive|encounters|capacity|channel-assignment|all> [--seed N] [--scale K] [--json DIR] [--workers N] [--cache-dir DIR] [--no-cache] [--exec process|in-process]"
+        "usage: experiments <fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|table1|table2|table3|table4|density|sensitivity|ablation|speed|adaptive|encounters|capacity|channel-assignment|fleet-contention|fleet-identity|all> [--seed N] [--scale K] [--json DIR] [--workers N] [--cache-dir DIR] [--no-cache] [--exec process|in-process]"
     );
     std::process::exit(2);
 }

@@ -100,6 +100,48 @@ pub fn contention(grid: &GridIndex, channels: &[Channel], radius_m: f64) -> Cont
     }
 }
 
+/// Station-weighted co-channel load: for AP `i`, the total number of
+/// live stations associated to APs on `i`'s channel within `radius_m`
+/// of `i` — including `i`'s own stations.
+///
+/// This is the fleet-world refinement of [`contention`]: the plain
+/// co-channel *degree* counts transmitters that could contend, while
+/// the load counts the stations actually camped on them, which Panda &
+/// Kumar's model says is what governs per-cell throughput. An AP with
+/// no stations contributes nothing, so an idle dense deployment scores
+/// zero everywhere; with exactly one station per AP the load equals the
+/// co-channel degree.
+pub fn co_channel_load(
+    grid: &GridIndex,
+    channels: &[Channel],
+    radius_m: f64,
+    stations: &[u32],
+) -> Vec<u64> {
+    assert_eq!(
+        grid.len(),
+        channels.len(),
+        "one channel per indexed site, slot-aligned"
+    );
+    assert_eq!(
+        grid.len(),
+        stations.len(),
+        "one station count per indexed site, slot-aligned"
+    );
+    let mut load = Vec::with_capacity(grid.len());
+    let mut near = Vec::new();
+    for slot in 0..grid.len() {
+        grid.query_disc_into(grid.position(slot), radius_m, &mut near);
+        let ch = channels[slot];
+        let total: u64 = near
+            .iter()
+            .filter(|&&other| channels[other as usize] == ch)
+            .map(|&other| stations[other as usize] as u64)
+            .sum();
+        load.push(total);
+    }
+    load
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,5 +226,50 @@ mod tests {
     fn channel_slice_must_match_grid() {
         let grid = GridIndex::build(&[p(0.0, 0.0)], 100.0);
         let _ = contention(&grid, &[], 100.0);
+    }
+
+    #[test]
+    fn station_weighted_load_reduces_to_degree_at_one_station_each() {
+        let positions = [
+            p(0.0, 0.0),
+            p(10.0, 0.0),
+            p(0.0, 10.0),
+            p(10.0, 10.0),
+            p(1_000.0, 0.0),
+            p(1_010.0, 0.0),
+        ];
+        let channels = [
+            Channel::CH1,
+            Channel::CH1,
+            Channel::CH1,
+            Channel::CH6,
+            Channel::CH1,
+            Channel::CH1,
+        ];
+        let grid = GridIndex::build(&positions, 50.0);
+        let degrees = contention(&grid, &channels, 100.0).co_channel_degree;
+
+        // Idle deployment: nothing contends.
+        let idle = co_channel_load(&grid, &channels, 100.0, &[0; 6]);
+        assert_eq!(idle, vec![0; 6]);
+
+        // One station per AP: load is exactly the co-channel degree.
+        let uniform = co_channel_load(&grid, &channels, 100.0, &[1; 6]);
+        assert_eq!(
+            uniform,
+            degrees.iter().map(|&d| d as u64).collect::<Vec<_>>()
+        );
+
+        // A fleet of 5 camped on the first AP loads its co-channel
+        // neighbours but not the CH6 AP or the far cluster.
+        let load = co_channel_load(&grid, &channels, 100.0, &[5, 0, 0, 0, 0, 0]);
+        assert_eq!(load, vec![5, 5, 5, 0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one station count")]
+    fn station_slice_must_match_grid() {
+        let grid = GridIndex::build(&[p(0.0, 0.0)], 100.0);
+        let _ = co_channel_load(&grid, &[Channel::CH1], 100.0, &[]);
     }
 }

@@ -383,4 +383,70 @@ mod tests {
         assert_eq!(m.movers_in((1, 0)), &[1]);
         assert_eq!(m.cell_of(0), None);
     }
+
+    /// Fleet-world property: N movers random-walking across cell
+    /// boundaries, all updated in the same tick. The index must (a)
+    /// match a from-scratch reference at every tick, (b) report a
+    /// crossing exactly when the reference says the cell changed, and
+    /// (c) reach the same state no matter what order the same-tick
+    /// updates are applied in.
+    #[test]
+    fn n_movers_crossing_in_the_same_tick_match_reference() {
+        const MOVERS: usize = 16;
+        const TICKS: usize = 200;
+        const CELL: f64 = 100.0;
+        let mut x = 0xD1B5_4A32u64;
+        let mut next = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (x >> 33) as f64 / (1u64 << 31) as f64
+        };
+        // Steps comparable to the cell size so same-tick multi-crossings
+        // are common; walks wander negative too (floor-division cells).
+        let mut pos = vec![p(0.0, 0.0); MOVERS];
+        let mut fwd = MoverIndex::new(CELL, MOVERS);
+        let mut rev = MoverIndex::new(CELL, MOVERS);
+        for tick in 0..TICKS {
+            for q in pos.iter_mut() {
+                *q = p(
+                    q.x + (next() - 0.5) * 2.5 * CELL,
+                    q.y + (next() - 0.5) * 2.5 * CELL,
+                );
+            }
+            // Apply the same tick in ascending and descending slot order.
+            for (slot, q) in pos.iter().enumerate() {
+                let expect_cross = fwd.cell_of(slot) != Some(cell_key(*q, CELL));
+                assert_eq!(
+                    fwd.update(slot, *q),
+                    expect_cross,
+                    "crossing flag wrong for slot {slot} at tick {tick}"
+                );
+            }
+            for slot in (0..MOVERS).rev() {
+                rev.update(slot, pos[slot]);
+            }
+            // Reference: rebuild membership from scratch.
+            let mut reference: BTreeMap<CellKey, Vec<u32>> = BTreeMap::new();
+            for (slot, q) in pos.iter().enumerate() {
+                reference
+                    .entry(cell_key(*q, CELL))
+                    .or_default()
+                    .push(slot as u32);
+            }
+            for m in [&fwd, &rev] {
+                assert_eq!(m.occupied_cells(), reference.len(), "tick {tick}");
+                for (key, slots) in &reference {
+                    assert_eq!(
+                        m.movers_in(*key),
+                        slots.as_slice(),
+                        "cell {key:?} tick {tick}"
+                    );
+                }
+                for (slot, q) in pos.iter().enumerate() {
+                    assert_eq!(m.cell_of(slot), Some(cell_key(*q, CELL)));
+                }
+            }
+        }
+    }
 }

@@ -277,6 +277,17 @@ impl Vehicle {
     pub fn position_at(&self, now: Instant) -> Point {
         self.route.position_at_distance(self.distance_at(now))
     }
+
+    /// The same drive shifted `by` later: identical route and profile,
+    /// departure delayed. `delayed(ZERO)` is the vehicle itself — this is
+    /// the per-client route offset a client fleet staggers a convoy with.
+    pub fn delayed(&self, by: sim_engine::time::Duration) -> Vehicle {
+        Vehicle {
+            route: self.route.clone(),
+            profile: self.profile.clone(),
+            departed: self.departed + by,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -410,5 +421,24 @@ mod tests {
     #[should_panic(expected = "bad speed")]
     fn zero_speed_panics() {
         Vehicle::new(Route::rectangle(1.0, 1.0), 0.0, Instant::ZERO);
+    }
+
+    #[test]
+    fn delayed_vehicle_trails_by_exactly_the_offset() {
+        let r = Route::straight(Point::new(0.0, 0.0), Point::new(1_000.0, 0.0));
+        let lead = Vehicle::new(r, 10.0, Instant::ZERO);
+        let tail = lead.delayed(sim_engine::time::Duration::from_secs(5));
+        // Zero offset is the identity.
+        let same = lead.delayed(sim_engine::time::Duration::ZERO);
+        let t = Instant::ZERO + sim_engine::time::Duration::from_secs(20);
+        assert_eq!(same.position_at(t), lead.position_at(t));
+        // Before its departure the trailer sits at the route start.
+        let early = Instant::ZERO + sim_engine::time::Duration::from_secs(3);
+        assert_eq!(tail.position_at(early), Point::new(0.0, 0.0));
+        // Afterwards it is exactly 5 s behind the leader.
+        assert_eq!(
+            tail.position_at(t),
+            lead.position_at(t - sim_engine::time::Duration::from_secs(5))
+        );
     }
 }

@@ -716,6 +716,20 @@ mod tests {
     }
 
     #[test]
+    fn spider_core_fleet_module_is_sim_tier() {
+        // Client fleets are world state: per-client RNG streams, station
+        // addressing, and counters all feed the byte-identity contract,
+        // so the module answers to the full determinism tier.
+        assert_eq!(tier_of("crates/spider-core/src/fleet.rs"), Tier::Sim);
+        let hash = "use std::collections::HashMap;\n";
+        assert!(!run("crates/spider-core/src/fleet.rs", hash).is_empty());
+        let clock = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert!(!run("crates/spider-core/src/fleet.rs", clock).is_empty());
+        let unwrap = "fn f() { x.unwrap(); }\n";
+        assert!(!run("crates/spider-core/src/fleet.rs", unwrap).is_empty());
+    }
+
+    #[test]
     fn geo_is_sim_tier() {
         assert_eq!(tier_of("crates/geo/src/grid.rs"), Tier::Sim);
         assert_eq!(tier_of("crates/geo/src/lib.rs"), Tier::Sim);

@@ -55,6 +55,7 @@ pub struct WorldBuilder {
     tcp: Option<TcpConfig>,
     backhaul_latency: Option<Duration>,
     plan: Option<DownloadPlan>,
+    fleet: Vec<ClientMotion>,
 }
 
 impl WorldBuilder {
@@ -71,6 +72,7 @@ impl WorldBuilder {
             tcp: None,
             backhaul_latency: None,
             plan: None,
+            fleet: Vec::new(),
         }
     }
 
@@ -134,6 +136,14 @@ impl WorldBuilder {
         self
     }
 
+    /// Extra clients beyond the primary one (default: none). Each runs
+    /// its own Spider instance against the same deployment; see
+    /// [`crate::fleet`] for the determinism contract.
+    pub fn fleet(mut self, fleet: Vec<ClientMotion>) -> Self {
+        self.fleet = fleet;
+        self
+    }
+
     /// Materialize the [`WorldConfig`].
     ///
     /// # Panics
@@ -163,6 +173,7 @@ impl WorldBuilder {
         if let Some(p) = self.plan {
             cfg.plan = p;
         }
+        cfg.fleet = self.fleet;
         cfg
     }
 
@@ -232,6 +243,20 @@ mod tests {
             fast.total_bytes,
             slow.total_bytes
         );
+    }
+
+    #[test]
+    fn fleet_setter_populates_extra_clients() {
+        let built = WorldBuilder::new(7)
+            .sites(vec![a_site()])
+            .fixed_client(Point::new(0.0, 10.0))
+            .driver(SpiderConfig::single_channel_multi_ap(Channel::CH1))
+            .duration(Duration::from_secs(12))
+            .fleet(vec![ClientMotion::Fixed(Point::new(0.0, 12.0))])
+            .build();
+        assert_eq!(built.fleet.len(), 1);
+        let result = run(built);
+        assert_eq!(result.per_client.len(), 2, "one slot per client");
     }
 
     #[test]

@@ -32,14 +32,16 @@ use crate::world::{ClientMotion, WorldConfig};
 use dhcp::client::DhcpClientConfig;
 
 /// Version byte pair leading every encoded configuration. Bump on any
-/// layout change; decoders reject other versions outright.
-pub const WORLD_CODEC_VERSION: u16 = 1;
+/// layout change; decoders reject other versions outright. v2 appended
+/// the fleet section (extra client motions) and the `WebMix` plan tag.
+pub const WORLD_CODEC_VERSION: u16 = 2;
 
 /// Hard ceilings on decoded collection sizes: a corrupt or adversarial
 /// length prefix must not translate into an unbounded allocation.
 const MAX_SITES: u32 = 1 << 16;
 const MAX_VERTICES: u32 = 1 << 20;
 const MAX_SLICES: u32 = 1 << 16;
+const MAX_FLEET: u32 = 1 << 12;
 
 /// Why a buffer failed to decode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -85,6 +87,10 @@ pub fn encode_world_into(world: &WorldConfig, w: &mut Writer) {
     put_duration(w, world.backhaul_latency);
     w.put_u64(world.bytes_per_connection);
     put_plan(w, &world.plan);
+    w.put_u32(world.fleet.len() as u32);
+    for motion in &world.fleet {
+        put_motion(w, motion);
+    }
 }
 
 /// Encode `world` into a fresh buffer.
@@ -120,6 +126,14 @@ pub fn decode_world(buf: &[u8]) -> Result<WorldConfig, CodecError> {
     let backhaul_latency = get_duration(&mut r)?;
     let bytes_per_connection = r.get_u64()?;
     let plan = get_plan(&mut r)?;
+    let n_fleet = r.get_u32()?;
+    if n_fleet > MAX_FLEET {
+        return Err(CodecError::Invalid("fleet size"));
+    }
+    let mut fleet = Vec::with_capacity(n_fleet as usize);
+    for _ in 0..n_fleet {
+        fleet.push(get_motion(&mut r)?);
+    }
     if !r.is_empty() {
         return Err(CodecError::Invalid("trailing bytes"));
     }
@@ -135,6 +149,7 @@ pub fn decode_world(buf: &[u8]) -> Result<WorldConfig, CodecError> {
         backhaul_latency,
         bytes_per_connection,
         plan,
+        fleet,
     })
 }
 
@@ -514,6 +529,10 @@ fn put_plan(w: &mut Writer, plan: &DownloadPlan) {
             w.put_u64(object_bytes);
             put_duration(w, think);
         }
+        DownloadPlan::WebMix { think } => {
+            w.put_u8(2);
+            put_duration(w, think);
+        }
     }
 }
 
@@ -528,6 +547,9 @@ fn get_plan(r: &mut Reader) -> Result<DownloadPlan, CodecError> {
                 think,
             })
         }
+        2 => Ok(DownloadPlan::WebMix {
+            think: get_duration(r)?,
+        }),
         _ => Err(CodecError::Invalid("plan tag")),
     }
 }
@@ -618,6 +640,39 @@ mod tests {
         let world = vehicular_sample(42);
         let back = decode_world(&encode_world(&world)).expect("decode");
         assert_eq!(debug_of(&world), debug_of(&back));
+    }
+
+    #[test]
+    fn fleet_world_round_trips() {
+        // A fleet mixing both motion kinds plus the WebMix plan — every
+        // v2 codec addition in one buffer.
+        let mut world = vehicular_sample(3);
+        world.plan = DownloadPlan::WebMix {
+            think: Duration::from_millis(900),
+        };
+        world.fleet = vec![
+            ClientMotion::Fixed(Point::new(55.0, -2.0)),
+            ClientMotion::Route(Vehicle::with_profile(
+                Route::rectangle(300.0, 150.0),
+                SpeedProfile::Constant(9.0),
+                Instant::from_nanos(7_000_000_000),
+            )),
+        ];
+        let back = decode_world(&encode_world(&world)).expect("decode");
+        assert_eq!(debug_of(&world), debug_of(&back));
+    }
+
+    #[test]
+    fn oversized_fleet_rejected() {
+        let world = fixed_sample(5);
+        let mut bytes = encode_world(&world);
+        // The fleet count is the last four bytes of an empty-fleet buffer.
+        let at = bytes.len() - 4;
+        bytes[at..].copy_from_slice(&(MAX_FLEET + 1).to_be_bytes());
+        assert!(matches!(
+            decode_world(&bytes),
+            Err(CodecError::Invalid("fleet size"))
+        ));
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! * [`builder`] — a fluent constructor over [`world::WorldConfig`].
 //! * [`config`] — the driver's policy knobs and the four §4 evaluation
 //!   configurations plus the stock-MadWiFi baseline.
+//! * [`fleet`] — client fleets: per-client addressing, counters, convoy
+//!   construction, and the fleet determinism contract.
 //! * [`history`] — per-AP join history and lease cache.
 //! * [`selection`] — multi-AP selection: NP-hardness (knapsack) and the
 //!   history-driven greedy heuristic.
@@ -29,6 +31,7 @@
 pub mod builder;
 pub mod codec;
 pub mod config;
+pub mod fleet;
 pub mod history;
 pub mod intern;
 pub mod metrics;
@@ -38,6 +41,7 @@ pub mod world;
 
 pub use builder::WorldBuilder;
 pub use config::{SchedulePolicy, SelectionPolicy, SpiderConfig};
+pub use fleet::ClientCounters;
 pub use history::ApHistory;
 pub use intern::MacIntern;
 pub use metrics::Metrics;

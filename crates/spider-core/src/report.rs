@@ -18,6 +18,7 @@
 use sim_engine::stats::Samples;
 use sim_engine::time::Duration;
 
+use crate::fleet::ClientCounters;
 use crate::world::RunResult;
 
 /// A five-number summary of a sample set.
@@ -94,6 +95,9 @@ pub struct Report {
     pub disruptions_s: Quantiles,
     /// Instantaneous bandwidth, bytes per connected second (Fig. 10c).
     pub instantaneous_bps: Quantiles,
+    /// Per-client counters, indexed by client slot (client 0 first).
+    /// Empty when parsed from a pre-fleet report, which predates the key.
+    pub per_client: Vec<ClientCounters>,
 }
 
 impl Report {
@@ -116,19 +120,20 @@ impl Report {
             connections_s: Quantiles::of(&result.connection_durations),
             disruptions_s: Quantiles::of(&result.disruption_durations),
             instantaneous_bps: Quantiles::of(&result.instantaneous_bandwidth),
+            per_client: result.per_client.clone(),
         }
     }
 
     /// Serialize to a single JSON object (stable key order, no external
     /// JSON dependency).
     pub fn to_json(&self) -> String {
-        format!(
+        let mut out = format!(
             concat!(
                 r#"{{"duration_secs":{},"total_bytes":{},"avg_throughput_kbps":{},"#,
                 r#""connectivity":{},"joins":{},"assoc_attempts":{},"assoc_failures":{},"#,
                 r#""dhcp_attempts":{},"dhcp_failures":{},"switch_count":{},"#,
                 r#""max_concurrent_aps":{},"tcp_rtos":{},"join_times_s":{},"#,
-                r#""connections_s":{},"disruptions_s":{},"instantaneous_bps":{}}}"#
+                r#""connections_s":{},"disruptions_s":{},"instantaneous_bps":{}"#
             ),
             fmt_f64(self.duration_secs),
             self.total_bytes,
@@ -146,7 +151,10 @@ impl Report {
             self.connections_s.json(),
             self.disruptions_s.json(),
             self.instantaneous_bps.json(),
-        )
+        );
+        push_per_client(&mut out, &self.per_client);
+        out.push('}');
+        out
     }
 
     /// Parse a report previously emitted by [`Report::to_json`].
@@ -203,8 +211,63 @@ impl Report {
             connections_s: quantiles("connections_s")?,
             disruptions_s: quantiles("disruptions_s")?,
             instantaneous_bps: quantiles("instantaneous_bps")?,
+            per_client: per_client_field(&fields)?,
         })
     }
+}
+
+/// Serialize `per_client` as an object keyed by decimal client slot —
+/// `"per_client":{"0":{"joins":…,"bytes":…,"cell_crossings":…},…}` —
+/// appended after the legacy keys so pre-fleet parsers (which ignore
+/// unknown keys) still read everything they understand.
+fn push_per_client(out: &mut String, per_client: &[ClientCounters]) {
+    out.push_str(",\"per_client\":{");
+    for (slot, c) in per_client.iter().enumerate() {
+        if slot > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{slot}\":{{\"joins\":{},\"bytes\":{},\"cell_crossings\":{}}}",
+            c.joins, c.bytes, c.cell_crossings
+        ));
+    }
+    out.push('}');
+}
+
+/// Read the optional `per_client` object. Absent key — a record written
+/// before the fleet subsystem — parses as an empty vector; counters come
+/// back u64-exact via the [`JsonValue::Int`] path.
+fn per_client_field(
+    fields: &[(String, JsonValue)],
+) -> Result<Vec<ClientCounters>, ReportParseError> {
+    let outer = match fields.iter().find(|(k, _)| k == "per_client") {
+        Some((_, JsonValue::Object(inner))) => inner,
+        Some(_) => return Err(ReportParseError::WrongType("per_client")),
+        None => return Ok(Vec::new()),
+    };
+    let mut out = vec![ClientCounters::default(); outer.len()];
+    for (slot, value) in outer {
+        let idx: usize = slot
+            .parse()
+            .map_err(|_| ReportParseError::Malformed("per_client slot is not an index"))?;
+        let entry = out
+            .get_mut(idx)
+            .ok_or(ReportParseError::Malformed("per_client slot out of range"))?;
+        let JsonValue::Object(counters) = value else {
+            return Err(ReportParseError::WrongType("per_client"));
+        };
+        let uint = |key: &'static str| match counters.iter().find(|(k, _)| k == key) {
+            Some((_, JsonValue::Int(v))) => Ok(*v),
+            Some(_) => Err(ReportParseError::WrongType(key)),
+            None => Err(ReportParseError::MissingKey(key)),
+        };
+        *entry = ClientCounters {
+            joins: uint("joins")?,
+            bytes: uint("bytes")?,
+            cell_crossings: uint("cell_crossings")?,
+        };
+    }
+    Ok(out)
 }
 
 /// Why [`Report::from_json`] rejected its input.
@@ -311,6 +374,7 @@ impl RunRecord {
             out.push_str(&format!(",\"{key}\":"));
             push_array(&mut out, samples.values(), key)?;
         }
+        push_per_client(&mut out, &result.per_client);
         out.push('}');
         Ok(out)
     }
@@ -376,6 +440,7 @@ impl RunRecord {
             psm_drops: uint("psm_drops")?,
             unassociated_drops: uint("unassociated_drops")?,
             air_drops: uint("air_drops")?,
+            per_client: per_client_field(&fields)?,
         })
     }
 }
@@ -751,6 +816,62 @@ mod tests {
             RunRecord::to_json(&result),
             Err(NonFiniteField("avg_throughput_bps"))
         );
+    }
+
+    #[test]
+    fn per_client_counters_roundtrip_u64_exact() {
+        let mut result = sample_run();
+        // Above 2^53 so the f64 path would silently round — must stay exact.
+        result.per_client = vec![
+            ClientCounters {
+                joins: 3,
+                bytes: u64::MAX - 7,
+                cell_crossings: 12,
+            },
+            ClientCounters::default(),
+        ];
+        let json = RunRecord::to_json(&result).expect("serialize");
+        let back = RunRecord::from_json(&json).expect("parse");
+        assert_eq!(back.per_client, result.per_client);
+        assert_eq!(RunRecord::to_json(&back).expect("serialize"), json);
+        let report_json = Report::from_run(&result).to_json();
+        let parsed = Report::from_json(&report_json).expect("parse");
+        assert_eq!(parsed.per_client, result.per_client);
+    }
+
+    #[test]
+    fn pre_fleet_json_without_per_client_still_parses() {
+        let result = sample_run();
+        let strip = |json: &str| {
+            let start = json.find(",\"per_client\":").expect("per_client emitted");
+            format!("{}}}", &json[..start])
+        };
+        let record = RunRecord::to_json(&result).expect("serialize");
+        let back = RunRecord::from_json(&strip(&record)).expect("legacy record parses");
+        assert!(back.per_client.is_empty());
+        assert_eq!(back.total_bytes, result.total_bytes);
+        assert_eq!(back.join_times.values(), result.join_times.values());
+        let report = Report::from_run(&result).to_json();
+        let parsed = Report::from_json(&strip(&report)).expect("legacy report parses");
+        assert!(parsed.per_client.is_empty());
+        assert_eq!(parsed.total_bytes, result.total_bytes);
+    }
+
+    #[test]
+    fn per_client_rejects_bad_slots_and_types() {
+        let mut result = sample_run();
+        result.per_client = vec![ClientCounters::default()];
+        let json = RunRecord::to_json(&result).expect("serialize");
+        let bad_slot = json.replacen("\"per_client\":{\"0\":", "\"per_client\":{\"9\":", 1);
+        assert!(matches!(
+            RunRecord::from_json(&bad_slot),
+            Err(ReportParseError::Malformed("per_client slot out of range"))
+        ));
+        let bad_type = json.replacen("\"per_client\":{\"0\":", "\"per_client\":{\"x\":", 1);
+        assert!(matches!(
+            RunRecord::from_json(&bad_type),
+            Err(ReportParseError::Malformed(_))
+        ));
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! The full-system simulation: one vehicle, many APs, and the Spider
-//! driver (or a baseline) in between.
+//! The full-system simulation: a fleet of clients, many APs, and the
+//! Spider driver (or a baseline) in between.
 //!
 //! This module is the substitute for the paper's outdoor testbed. It wires
 //! together every substrate crate under a single deterministic event loop:
@@ -13,10 +13,17 @@
 //!   `dhcp::DhcpServer` with per-AP response delays, plus a shaped
 //!   backhaul (`workload::SerialLink`) behind which a `tcp_lite`
 //!   bulk sender plays the content server.
-//! * **Client** — a `wifi-mac::Radio` scheduled by the configured
-//!   [`SchedulePolicy`], up to seven
-//!   virtual interfaces each running the join FSM, DHCP client, and a TCP
-//!   receiver; opportunistic scanning feeds the selection heuristic.
+//! * **Clients** — one or more [`ClientNode`]s (see [`crate::fleet`]),
+//!   each a `wifi-mac::Radio` scheduled by the configured
+//!   [`SchedulePolicy`], up to seven virtual interfaces each running the
+//!   join FSM, DHCP client, and a TCP receiver; opportunistic scanning
+//!   feeds the selection heuristic. All clients share the deployment, the
+//!   event queue, and the per-channel medium, so contention between them
+//!   is **endogenous**: every transmitted frame seizes the same medium,
+//!   every association loads the same AP station sets, and each client's
+//!   uplink backoff bound scales with how many fleet members share its
+//!   grid cell (the occupancy the `analytical::cell` offered-load model
+//!   takes as `n`).
 //!
 //! Protocol discrimination on the data path uses a 1-byte IP-protocol tag
 //! (17 = UDP/DHCP, 6 = TCP) prefixed to payloads — the moral equivalent of
@@ -63,6 +70,7 @@ use workload::downloads::DownloadPlan;
 use workload::shaper::SerialLink;
 
 use crate::config::{SchedulePolicy, SpiderConfig};
+use crate::fleet::{station_addr, ClientCounters, CLIENT_ADDR_STRIDE};
 use crate::history::ApHistory;
 use crate::intern::MacIntern;
 use crate::metrics::Metrics;
@@ -127,6 +135,11 @@ pub struct WorldConfig {
     /// What the client fetches: saturating bulk (the paper's evaluation
     /// workload) or segmented objects with think time (streaming-style).
     pub plan: DownloadPlan,
+    /// Motion of every **additional** client beyond the primary one
+    /// described by `motion`. The world runs `1 + fleet.len()` clients;
+    /// an empty fleet is byte-identical to the historical single-client
+    /// world. See [`crate::fleet`] for the determinism contract.
+    pub fleet: Vec<ClientMotion>,
 }
 
 impl WorldConfig {
@@ -150,6 +163,7 @@ impl WorldConfig {
             backhaul_latency: Duration::from_millis(20),
             bytes_per_connection: 512 * 1024 * 1024,
             plan: DownloadPlan::Saturating,
+            fleet: Vec::new(),
         }
     }
 }
@@ -201,6 +215,9 @@ pub struct RunResult {
     pub unassociated_drops: u64,
     /// Data frames dropped at the bounded air transmit queue.
     pub air_drops: u64,
+    /// Per-client counters, indexed by client (0 = the primary client,
+    /// then `fleet` order). Always has at least one entry.
+    pub per_client: Vec<ClientCounters>,
 }
 
 impl RunResult {
@@ -219,19 +236,35 @@ impl RunResult {
     }
 }
 
-/// Simulation events.
+/// Simulation events. Client-scoped events carry the dense client index;
+/// AP- and server-scoped events are unchanged from the single-client
+/// world (frames identify their station by MAC address).
 #[derive(Debug)]
 enum Event {
     /// An AP's periodic beacon timer.
     BeaconTick { ap: usize },
-    /// A frame from AP `ap` reaches the client's antenna.
-    AirToClient { ap: usize, frame: Frame },
-    /// A frame from the client reaches AP `ap`.
+    /// A frame from AP `ap` reaches client `client`'s antenna.
+    AirToClient {
+        client: usize,
+        ap: usize,
+        frame: Frame,
+    },
+    /// A frame from a client reaches AP `ap`.
     AirToAp { ap: usize, frame: Frame },
     /// Link-layer join timer for an interface.
-    MacTimer { iface: usize, gen: u64, token: u64 },
+    MacTimer {
+        client: usize,
+        iface: usize,
+        gen: u64,
+        token: u64,
+    },
     /// DHCP retransmit timer for an interface.
-    DhcpTimer { iface: usize, gen: u64, token: u64 },
+    DhcpTimer {
+        client: usize,
+        iface: usize,
+        gen: u64,
+        token: u64,
+    },
     /// TCP sender RTO at the content server behind AP `ap`.
     SenderTimer { ap: usize, conn: u64, token: u64 },
     /// A TCP segment from the server arrives at AP `ap`.
@@ -245,18 +278,20 @@ enum Event {
         station: MacAddr,
         payload: Bytes,
     },
-    /// Move to schedule slice `idx`.
-    ScheduleSlice { idx: usize },
+    /// Move client `client` to schedule slice `idx`.
+    ScheduleSlice { client: usize, idx: usize },
     /// PSM announcements have drained; begin the hardware retune.
-    SwitchBegin { target: Channel },
-    /// The radio finished retuning.
-    SwitchDone,
+    SwitchBegin { client: usize, target: Channel },
+    /// The client's radio finished retuning.
+    SwitchDone { client: usize },
     /// Periodic driver evaluation: teardown dead links, start joins.
-    Evaluate,
+    Evaluate { client: usize },
     /// Adaptive-channel policy: reconsider which channel to dwell on.
-    Reconsider,
+    Reconsider { client: usize },
     /// A segmented download's think time elapsed: open the next object.
     NextObject {
+        /// Client whose stream continues.
+        client: usize,
         /// Interface whose stream continues.
         iface: usize,
         /// Generation guard.
@@ -266,6 +301,8 @@ enum Event {
     },
     /// A deferred join begins (stock-path scan/supplicant setup elapsed).
     BeginJoin {
+        /// Client doing the join.
+        client: usize,
         /// Interface reserved for the join.
         iface: usize,
         /// Generation guard.
@@ -273,7 +310,7 @@ enum Event {
         /// Target AP index.
         ap: usize,
     },
-    /// Periodic housekeeping (AP idle expiry).
+    /// Periodic housekeeping (AP idle expiry, spatial upkeep).
     Maintenance,
 }
 
@@ -368,23 +405,18 @@ impl ApNode {
 /// a full scan-table sweep.
 const HEARD_TTL: Duration = Duration::from_secs(5);
 
-struct World {
-    cfg: WorldConfig,
-    aps: Vec<ApNode>,
-    /// BSSID → AP index, interned at build time; also drives every
-    /// MacAddr-ordered iteration over per-AP state (see [`MacIntern`]).
-    bssids: MacIntern,
+/// One client of the fleet: motion, radio, virtual interfaces, join
+/// history, scan state, and private RNG streams. Everything that was
+/// world-global in the single-client simulator and is logically *per
+/// station* lives here; the shared medium, AP nodes, and metrics stay on
+/// [`World`].
+struct ClientNode {
+    motion: ClientMotion,
     radio: Radio,
     ifaces: Vec<Iface>,
     /// Scan candidates, indexed by AP id (dense; `None` = never heard).
     /// MacAddr-ordered iteration goes through `heard` (see below).
     scan: Vec<Option<Candidate>>,
-    /// Spatial grid over the deployment's AP positions (dense AP slots).
-    /// Range queries (`count_in_disc`) replace linear scans over `aps`.
-    grid: GridIndex,
-    /// Cell membership of the moving client (mover slot 0), updated
-    /// incrementally at Maintenance cadence.
-    client_cell: MoverIndex,
     /// The **heard set**: AP slots with a recorded scan entry, iterated
     /// in MacAddr-rank order. Candidate collection walks this instead of
     /// the full `bssids.iter_sorted()` table — O(heard), not O(APs) —
@@ -392,18 +424,7 @@ struct World {
     /// `reconsider`'s scoring (3 s freshness) both filter before
     /// ordering/summing, while entries are pruned here only after 5 s.
     heard: RankedSet,
-    /// High-water mark of APs inside the 400 m hearing disc (1 Hz
-    /// samples via the grid). Diagnostic only — never in `RunRecord`.
-    peak_inrange_aps: u32,
-    /// Grid-cell crossings of the client (MoverIndex updates that moved
-    /// it). Diagnostic only.
-    client_cell_crossings: u64,
     history: ApHistory,
-    metrics: Metrics,
-    /// Per-channel medium occupancy (next free instant), indexed by
-    /// [`Channel::index`]. `Instant::ZERO` means the channel was never
-    /// seized — the same default the old map's `or_insert` supplied.
-    medium: [Instant; Channel::COUNT],
     /// Spider's per-channel transmit queues (§3): frames bound for an
     /// off-channel AP wait here and flush when the radio arrives.
     /// Indexed by [`Channel::index`]; buffers are reused across swaps.
@@ -411,8 +432,6 @@ struct World {
     /// Spare queue buffer swapped against `tx_queues` on channel switch so
     /// steady-state flushes never allocate.
     tx_spare: Vec<(Instant, usize, Frame)>,
-    /// Reusable encode buffer for the payload-wrapping hot path.
-    scratch: Writer,
     /// Exact-key one-entry caches for the pure per-frame math. Keys are
     /// the full bit patterns of the inputs, so a hit returns the *same*
     /// f64 the recomputation would — determinism-safe by construction.
@@ -420,31 +439,81 @@ struct World {
     /// `(distance, len)` several times in a single event (send airtime +
     /// delivery probability, then the ACK it triggers at the same `now`).
     pos_cache: Cell<Option<(Instant, Point)>>,
+    fep_cache: Cell<Option<(u64, u32, f64)>>,
+    rssi_cache: Cell<Option<(u64, f64)>>,
+    /// Private RNG streams, forked from the master with client-stable
+    /// stream ids (see [`crate::fleet`]): PHY delivery draws, radio
+    /// switch jitter, and misc draws (DHCP xids, TCP ISNs, object sizes).
+    rng_phy: Rng,
+    rng_radio: Rng,
+    rng_misc: Rng,
+    /// Stock-driver idle scan rotation index.
+    scan_channel_idx: usize,
+    /// Stock DHCP clients go idle after a failed acquisition ("idle for 60
+    /// seconds if it fails"); no joins start before this instant.
+    dhcp_idle_until: Instant,
+    drops_radio_busy: u64,
+    /// Fleet members sharing this client's grid cell (self included), as
+    /// of the last Maintenance tick. Scales the uplink contention bound:
+    /// a fuller cell means a longer expected wait to win the medium.
+    /// Always 1 in a single-client world.
+    cell_occupancy: u32,
+    /// Per-client joins/bytes/cell-crossings, reported in
+    /// [`RunResult::per_client`].
+    counters: ClientCounters,
+    /// High-water mark of APs inside the 400 m hearing disc (1 Hz
+    /// samples via the grid). Diagnostic only — never in `RunRecord`.
+    peak_inrange_aps: u32,
+}
+
+struct World {
+    cfg: WorldConfig,
+    aps: Vec<ApNode>,
+    /// BSSID → AP index, interned at build time; also drives every
+    /// MacAddr-ordered iteration over per-AP state (see [`MacIntern`]).
+    bssids: MacIntern,
+    /// The fleet, indexed densely: client 0 is `cfg.motion`, clients
+    /// 1.. are `cfg.fleet` in order.
+    clients: Vec<ClientNode>,
+    /// Station address → (client, iface), sorted by address for binary
+    /// search: the downlink path resolves `addr1` to the owning client.
+    stations: Vec<(MacAddr, u32, u32)>,
+    /// Spatial grid over the deployment's AP positions (dense AP slots).
+    /// Range queries (`count_in_disc`) replace linear scans over `aps`.
+    grid: GridIndex,
+    /// Cell membership of every moving client (mover slot = client
+    /// index), updated incrementally at Maintenance cadence. Feeds each
+    /// client's `cell_occupancy`.
+    mover_cells: MoverIndex,
+    /// Fleet-wide metrics, fed in event order. With one client this is
+    /// exactly the historical per-client metrics object; with N clients
+    /// throughput/connectivity/concurrency are fleet aggregates and
+    /// [`RunResult::per_client`] carries the per-client split.
+    metrics: Metrics,
+    /// Per-channel medium occupancy (next free instant), indexed by
+    /// [`Channel::index`]. `Instant::ZERO` means the channel was never
+    /// seized — the same default the old map's `or_insert` supplied.
+    /// Shared by every client and AP: this is where fleet contention
+    /// becomes endogenous.
+    medium: [Instant; Channel::COUNT],
+    /// Reusable encode buffer for the payload-wrapping hot path.
+    scratch: Writer,
     /// Reusable per-event action buffers: the hot handlers `mem::take`
     /// one, let the protocol layer push into it, drain it, and put it
     /// back — steady state does zero action-Vec allocations per event.
     ap_actions_scratch: Vec<ApAction>,
     sender_actions_scratch: Vec<SenderAction>,
     receiver_actions_scratch: Vec<ReceiverAction>,
-    fep_cache: Cell<Option<(u64, u32, f64)>>,
-    rssi_cache: Cell<Option<(u64, f64)>>,
-    rng_phy: Rng,
+    /// AP-side draws (DHCP server delays), in event order — shared
+    /// infrastructure, deliberately *not* per client.
     rng_ap: Rng,
-    rng_radio: Rng,
-    rng_misc: Rng,
     next_conn: u64,
-    /// Stock-driver idle scan rotation index.
-    scan_channel_idx: usize,
-    client_drops_radio_busy: u64,
     tcp_rtos: u64,
     air_drops: u64,
     dbg_down_airtime: Duration,
     dbg_up_airtime: Duration,
     dbg_down_frames: u64,
     dbg_up_frames: u64,
-    /// Stock DHCP clients go idle after a failed acquisition ("idle for 60
-    /// seconds if it fails"); no joins start before this instant.
-    dhcp_idle_until: Instant,
 }
 
 impl World {
@@ -481,30 +550,38 @@ impl World {
             SchedulePolicy::ScanWhenIdle { .. } => Channel::CH1,
             SchedulePolicy::AdaptiveChannel { .. } => Channel::CH1,
         };
-        let radio = Radio::new(cfg.radio.clone(), initial_channel);
-        let ifaces = (0..cfg.spider.max_ifaces)
-            .map(|i| Iface::new(MacAddr::local(1_000 + i as u32)))
-            .collect();
+        let n_clients = 1 + cfg.fleet.len();
+        assert!(
+            cfg.spider.max_ifaces < CLIENT_ADDR_STRIDE as usize,
+            "iface count must fit the per-client address stride"
+        );
 
         let mut queue = EventQueue::new();
-        // Stagger beacons so the channel isn't beacon-synchronized.
+        // Stagger beacons so the channel isn't beacon-synchronized. These
+        // draws come from `rng_misc` *before* client 0 takes ownership of
+        // the stream, so the fleet refactor leaves them untouched.
         for i in 0..aps.len() {
             let offset = Duration::from_micros(rng_misc.range_u64(0, 102_400));
             queue.push(Instant::ZERO + offset, Event::BeaconTick { ap: i });
         }
         // De-aligned from slice boundaries so periodic evaluation never
         // lands at the instant the radio is about to leave the channel.
-        queue.push(Instant::from_millis(50), Event::Evaluate);
+        for c in 0..n_clients {
+            queue.push(Instant::from_millis(50), Event::Evaluate { client: c });
+        }
         queue.push(Instant::from_secs(1), Event::Maintenance);
         if let SchedulePolicy::MultiChannel { slices } = &cfg.spider.schedule {
             assert!(!slices.is_empty(), "empty multi-channel schedule");
-            queue.push(Instant::ZERO, Event::ScheduleSlice { idx: 0 });
+            for c in 0..n_clients {
+                queue.push(Instant::ZERO, Event::ScheduleSlice { client: c, idx: 0 });
+            }
         }
         if let SchedulePolicy::AdaptiveChannel { reconsider, .. } = &cfg.spider.schedule {
-            queue.push(Instant::ZERO + *reconsider, Event::Reconsider);
+            for c in 0..n_clients {
+                queue.push(Instant::ZERO + *reconsider, Event::Reconsider { client: c });
+            }
         }
 
-        let scan = vec![None; aps.len()];
         // Cell edge 200 m: a 400 m hearing disc touches at most a 5×5
         // block of cells, and a vehicular client crosses a cell boundary
         // every ten-odd seconds, so incremental mover updates are rare.
@@ -513,84 +590,129 @@ impl World {
             &aps.iter().map(|a| a.site.position).collect::<Vec<_>>(),
             CELL_M,
         );
-        let client_cell = MoverIndex::new(CELL_M, 1);
-        let heard = RankedSet::new(bssids.ranks());
+        let mover_cells = MoverIndex::new(CELL_M, n_clients);
+
+        let make_client =
+            |motion: ClientMotion, c: usize, phy: Rng, radio: Rng, misc: Rng| ClientNode {
+                motion,
+                radio: Radio::new(cfg.radio.clone(), initial_channel),
+                ifaces: (0..cfg.spider.max_ifaces)
+                    .map(|i| Iface::new(station_addr(c, i)))
+                    .collect(),
+                scan: vec![None; aps.len()],
+                heard: RankedSet::new(bssids.ranks()),
+                history: ApHistory::new(),
+                tx_queues: std::array::from_fn(|_| Vec::new()),
+                tx_spare: Vec::new(),
+                pos_cache: Cell::new(None),
+                fep_cache: Cell::new(None),
+                rssi_cache: Cell::new(None),
+                rng_phy: phy,
+                rng_radio: radio,
+                rng_misc: misc,
+                scan_channel_idx: 0,
+                dhcp_idle_until: Instant::ZERO,
+                drops_radio_busy: 0,
+                cell_occupancy: 1,
+                counters: ClientCounters::default(),
+                peak_inrange_aps: 0,
+            };
+        let mut clients = Vec::with_capacity(n_clients);
+        // Client 0 inherits the historical streams, already advanced past
+        // the beacon-stagger draws — a one-client fleet world is
+        // byte-identical to the single-client world it replaced.
+        clients.push(make_client(
+            cfg.motion.clone(),
+            0,
+            rng_phy,
+            rng_radio,
+            rng_misc,
+        ));
+        // Extra clients fork fresh streams from the master with stream
+        // ids that depend only on the client index, so adding client k+1
+        // never perturbs clients 1..k's streams.
+        for (k, motion) in cfg.fleet.iter().enumerate() {
+            let base = 5 + 3 * k as u64;
+            let phy = master.fork(base);
+            let radio = master.fork(base + 1);
+            let misc = master.fork(base + 2);
+            clients.push(make_client(motion.clone(), k + 1, phy, radio, misc));
+        }
+        let mut stations: Vec<(MacAddr, u32, u32)> = clients
+            .iter()
+            .enumerate()
+            .flat_map(|(c, node)| {
+                node.ifaces
+                    .iter()
+                    .enumerate()
+                    .map(move |(i, iface)| (iface.addr, c as u32, i as u32))
+            })
+            .collect();
+        stations.sort_unstable_by_key(|&(a, _, _)| a);
+
         let world = World {
             cfg,
             aps,
             bssids,
+            clients,
+            stations,
             grid,
-            client_cell,
-            heard,
-            peak_inrange_aps: 0,
-            client_cell_crossings: 0,
-            radio,
-            ifaces,
-            scan,
-            history: ApHistory::new(),
+            mover_cells,
             metrics: Metrics::new(),
             medium: [Instant::ZERO; Channel::COUNT],
-            tx_queues: std::array::from_fn(|_| Vec::new()),
-            tx_spare: Vec::new(),
             scratch: Writer::with_capacity(256),
-            pos_cache: Cell::new(None),
             ap_actions_scratch: Vec::new(),
             sender_actions_scratch: Vec::new(),
             receiver_actions_scratch: Vec::new(),
-            fep_cache: Cell::new(None),
-            rssi_cache: Cell::new(None),
-            rng_phy,
             rng_ap,
-            rng_radio,
-            rng_misc,
             next_conn: 1,
-            scan_channel_idx: 0,
-            client_drops_radio_busy: 0,
             tcp_rtos: 0,
             air_drops: 0,
             dbg_down_airtime: Duration::ZERO,
             dbg_up_airtime: Duration::ZERO,
             dbg_down_frames: 0,
             dbg_up_frames: 0,
-            dhcp_idle_until: Instant::ZERO,
         };
         (world, queue)
     }
 
-    fn client_pos(&self, now: Instant) -> Point {
-        if let Some((t, p)) = self.pos_cache.get() {
+    fn client_pos(&self, client: usize, now: Instant) -> Point {
+        let node = &self.clients[client];
+        if let Some((t, p)) = node.pos_cache.get() {
             if t == now {
                 return p;
             }
         }
-        let p = self.cfg.motion.position(now);
-        self.pos_cache.set(Some((now, p)));
+        let p = node.motion.position(now);
+        node.pos_cache.set(Some((now, p)));
         p
     }
 
     /// Per-attempt frame error at `dist` for a `len`-byte frame, memoized
     /// on the exact input bits (see the cache fields' doc comment).
-    fn frame_error_at(&self, dist: f64, len: usize) -> f64 {
+    fn frame_error_at(&self, client: usize, dist: f64, len: usize) -> f64 {
         let key = (dist.to_bits(), len as u32);
-        if let Some((d, l, e)) = self.fep_cache.get() {
+        if let Some((d, l, e)) = self.clients[client].fep_cache.get() {
             if (d, l) == key {
                 return e;
             }
         }
         let e = self.cfg.phy.frame_error_prob(dist, len);
-        self.fep_cache.set(Some((key.0, key.1, e)));
+        self.clients[client].fep_cache.set(Some((key.0, key.1, e)));
         e
     }
 
     /// RSSI at `dist`, memoized on the exact input bits.
-    fn rssi_at(&self, dist: f64) -> f64 {
-        if let Some((d, rssi)) = self.rssi_cache.get() {
+    fn rssi_at(&self, client: usize, dist: f64) -> f64 {
+        if let Some((d, rssi)) = self.clients[client].rssi_cache.get() {
             if d == dist.to_bits() {
                 return rssi;
             }
         }
         let rssi = self.cfg.phy.link_at(dist).rssi_dbm;
-        self.rssi_cache.set(Some((dist.to_bits(), rssi)));
+        self.clients[client]
+            .rssi_cache
+            .set(Some((dist.to_bits(), rssi)));
         rssi
     }
 
@@ -603,13 +725,25 @@ impl World {
         scratch.to_bytes()
     }
 
-    /// The scan-table entry for `bssid`, if that AP has been heard.
-    fn candidate_for(&self, bssid: MacAddr) -> Option<&Candidate> {
-        self.bssids.get(bssid).and_then(|id| self.scan[id].as_ref())
+    /// A client's scan-table entry for `bssid`, if it has heard that AP.
+    fn candidate_for(&self, client: usize, bssid: MacAddr) -> Option<&Candidate> {
+        self.bssids
+            .get(bssid)
+            .and_then(|id| self.clients[client].scan[id].as_ref())
     }
 
-    fn distance_to(&self, ap: usize, now: Instant) -> f64 {
-        self.client_pos(now).distance(self.aps[ap].site.position)
+    /// The (client, iface) owning a station address, via binary search
+    /// over the sorted station map.
+    fn station_owner(&self, addr: MacAddr) -> Option<(usize, usize)> {
+        self.stations
+            .binary_search_by_key(&addr, |&(a, _, _)| a)
+            .ok()
+            .map(|i| (self.stations[i].1 as usize, self.stations[i].2 as usize))
+    }
+
+    fn distance_to(&self, client: usize, ap: usize, now: Instant) -> f64 {
+        self.client_pos(client, now)
+            .distance(self.aps[ap].site.position)
     }
 
     /// Seize the channel medium for `airtime`; returns the arrival instant.
@@ -632,32 +766,35 @@ impl World {
     /// Per-channel TX queue depth cap.
     const TX_QUEUE_CAP: usize = 128;
 
-    /// Client transmits `frame` toward AP `ap`. If the radio is on another
-    /// channel (or mid-switch), the frame goes into that channel's transmit
-    /// queue — Spider keeps "one packet queue per channel that is swapped
-    /// in and out of the driver" (§3) — and flushes when the radio arrives.
+    /// Client `client` transmits `frame` toward AP `ap`. If its radio is
+    /// on another channel (or mid-switch), the frame goes into that
+    /// channel's transmit queue — Spider keeps "one packet queue per
+    /// channel that is swapped in and out of the driver" (§3) — and
+    /// flushes when the radio arrives.
     fn client_send(
         &mut self,
+        client: usize,
         ap: usize,
         frame: Frame,
         queue: &mut EventQueue<Event>,
         now: Instant,
     ) {
         let channel = self.aps[ap].site.channel;
-        if !self.radio.can_hear(channel, now) {
-            let q = &mut self.tx_queues[channel.index()];
+        if !self.clients[client].radio.can_hear(channel, now) {
+            let node = &mut self.clients[client];
+            let q = &mut node.tx_queues[channel.index()];
             if q.len() < Self::TX_QUEUE_CAP {
                 q.push((now, ap, frame));
             } else {
-                self.client_drops_radio_busy += 1;
+                node.drops_radio_busy += 1;
             }
             return;
         }
         let len = frame.wire_len();
         let is_data = matches!(frame.body, FrameBody::Data(_));
-        let dist = self.distance_to(ap, now);
+        let dist = self.distance_to(client, ap, now);
         let (airtime, delivery) = if is_data {
-            let e = self.frame_error_at(dist, len);
+            let e = self.frame_error_at(client, dist, len);
             (
                 self.cfg.phy.expected_data_airtime_from_error(e, len),
                 self.cfg.phy.data_delivery_prob_from_error(e),
@@ -665,28 +802,37 @@ impl World {
         } else {
             (
                 self.cfg.phy.airtime(len),
-                1.0 - self.frame_error_at(dist, len),
+                1.0 - self.frame_error_at(client, dist, len),
             )
         };
         // Uplink frames contend per-frame: the client wins the medium
         // within a couple of frame airtimes even when the AP has a deep
         // committed backlog (a FIFO pipe would wrongly park the client's
-        // PSM announcements behind the AP's entire queue).
+        // PSM announcements behind the AP's entire queue). The bound
+        // scales with the client's cell occupancy: every co-located fleet
+        // member is another station the backoff must share the air with
+        // (the `n` of `analytical::cell`). Occupancy is 1 when alone, so
+        // a single-client world keeps the historical 3 ms cap.
+        let occupancy = self.clients[client].cell_occupancy.max(1) as u64;
         let free = &mut self.medium[channel.index()];
-        let contention = free.saturating_since(now).min(Duration::from_millis(3));
+        let contention = free
+            .saturating_since(now)
+            .min(Duration::from_millis(3) * occupancy);
         let arrival = now + contention + airtime;
         self.dbg_up_airtime += airtime;
         self.dbg_up_frames += 1;
         // The frame still consumes channel capacity.
         *free = (*free).max(now) + airtime;
-        if self.rng_phy.chance(delivery) {
+        if self.clients[client].rng_phy.chance(delivery) {
             queue.push(arrival, Event::AirToAp { ap, frame });
         }
     }
 
-    /// AP transmits `frame` toward the client after `extra_delay`
-    /// (management processing time). Whether the client *hears* it is
-    /// decided at arrival.
+    /// AP transmits `frame` after `extra_delay` (management processing
+    /// time). Unicast frames are routed to the station's owning client;
+    /// broadcast frames fan out to every client (one shared-medium seize
+    /// either way — it is one transmission on the air). Whether a client
+    /// *hears* it is decided at arrival.
     fn ap_send(
         &mut self,
         ap: usize,
@@ -698,6 +844,15 @@ impl World {
         let channel = self.aps[ap].site.channel;
         let len = frame.wire_len();
         let is_data = matches!(frame.body, FrameBody::Data(_));
+        let target = if frame.addr1.is_broadcast() {
+            None
+        } else {
+            match self.station_owner(frame.addr1) {
+                Some((client, _)) => Some(client),
+                // Not one of our stations: nobody can receive it.
+                None => return,
+            }
+        };
         if is_data {
             let backlog = self.medium[channel.index()].saturating_since(now);
             if backlog > Self::AIR_QUEUE_BOUND {
@@ -706,8 +861,11 @@ impl World {
             }
         }
         let airtime = if is_data {
-            let dist = self.distance_to(ap, now);
-            let e = self.frame_error_at(dist, len);
+            // Data frames are always unicast; rate/retry adapt to the
+            // owning client's distance.
+            let client = target.unwrap_or(0);
+            let dist = self.distance_to(client, ap, now);
+            let e = self.frame_error_at(client, dist, len);
             self.cfg.phy.expected_data_airtime_from_error(e, len)
         } else {
             self.cfg.phy.airtime(len)
@@ -715,7 +873,24 @@ impl World {
         self.dbg_down_airtime += airtime;
         self.dbg_down_frames += 1;
         let arrival = self.seize_medium(channel, now + extra_delay, airtime);
-        queue.push(arrival, Event::AirToClient { ap, frame });
+        match target {
+            Some(client) => {
+                queue.push(arrival, Event::AirToClient { client, ap, frame });
+            }
+            None => {
+                // Broadcast: one transmission, every antenna sees it.
+                for client in 0..self.clients.len() {
+                    queue.push(
+                        arrival,
+                        Event::AirToClient {
+                            client,
+                            ap,
+                            frame: frame.clone(),
+                        },
+                    );
+                }
+            }
+        }
     }
 
     fn process_ap_actions(
@@ -806,18 +981,19 @@ impl World {
                 SenderAction::Connected => {}
                 SenderAction::Complete => {
                     self.aps[ap].remove_sender(conn);
-                    if let Some(iface_idx) = self.iface_for_conn(conn) {
+                    if let Some((client, iface_idx)) = self.iface_for_conn(conn) {
                         let think = self.cfg.plan.think_time();
                         if think.is_zero() {
                             // Saturating plan: reopen immediately.
-                            self.open_connection(iface_idx, ap, queue, now);
+                            self.open_connection(client, iface_idx, ap, queue, now);
                         } else {
                             // Segmented plan: pause, then fetch the next
                             // object.
-                            let gen = self.ifaces[iface_idx].gen;
+                            let gen = self.clients[client].ifaces[iface_idx].gen;
                             queue.push(
                                 now + think,
                                 Event::NextObject {
+                                    client,
                                     iface: iface_idx,
                                     gen,
                                     ap,
@@ -830,24 +1006,31 @@ impl World {
                     self.aps[ap].remove_sender(conn);
                     // If the client is still bound to this AP, retry with a
                     // fresh connection (the old one died of timeouts).
-                    if let Some(iface_idx) = self.iface_for_conn(conn) {
-                        self.open_connection(iface_idx, ap, queue, now);
+                    if let Some((client, iface_idx)) = self.iface_for_conn(conn) {
+                        self.open_connection(client, iface_idx, ap, queue, now);
                     }
                 }
             }
         }
     }
 
-    fn iface_for_conn(&self, conn: u64) -> Option<usize> {
-        self.ifaces
-            .iter()
-            .position(|i| i.conn == Some(conn) && i.state == IfaceState::Connected)
+    /// The (client, iface) a live connection terminates at. Connection ids
+    /// are unique across the fleet (minted from one world counter), so at
+    /// most one interface matches.
+    fn iface_for_conn(&self, conn: u64) -> Option<(usize, usize)> {
+        self.clients.iter().enumerate().find_map(|(c, node)| {
+            node.ifaces
+                .iter()
+                .position(|i| i.conn == Some(conn) && i.state == IfaceState::Connected)
+                .map(|i| (c, i))
+        })
     }
 
     /// Open a saturating TCP connection from the server behind `ap` toward
-    /// interface `iface_idx`.
+    /// interface `iface_idx` of `client`.
     fn open_connection(
         &mut self,
+        client: usize,
         iface_idx: usize,
         ap: usize,
         queue: &mut EventQueue<Event>,
@@ -855,22 +1038,24 @@ impl World {
     ) {
         let conn = self.next_conn;
         self.next_conn += 1;
-        let isn = self.rng_misc.next_u64() as u32;
+        let node = &mut self.clients[client];
+        let isn = node.rng_misc.next_u64() as u32;
         let object = self
             .cfg
             .plan
-            .next_object()
+            .next_object_rng(&mut node.rng_misc)
             .min(self.cfg.bytes_per_connection);
         let mut sender = BulkSender::new(self.cfg.tcp.clone(), conn, object, isn);
         let mut actions = sender.start(now);
         self.aps[ap].senders.push((conn, sender));
-        self.ifaces[iface_idx].conn = Some(conn);
-        self.ifaces[iface_idx].receiver = Some(BulkReceiver::new(conn));
+        node.ifaces[iface_idx].conn = Some(conn);
+        node.ifaces[iface_idx].receiver = Some(BulkReceiver::new(conn));
         self.process_sender_actions(ap, conn, &mut actions, queue, now);
     }
 
     fn process_mac_actions(
         &mut self,
+        client: usize,
         iface_idx: usize,
         actions: Vec<MacAction>,
         queue: &mut EventQueue<Event>,
@@ -879,63 +1064,76 @@ impl World {
         for action in actions {
             match action {
                 MacAction::Send(frame) => {
-                    if let Some(ap) = self.ifaces[iface_idx].ap {
-                        self.client_send(ap, frame, queue, now);
+                    if let Some(ap) = self.clients[client].ifaces[iface_idx].ap {
+                        self.client_send(client, ap, frame, queue, now);
                     }
                 }
                 MacAction::ArmTimer { after, token } => {
-                    let gen = self.ifaces[iface_idx].gen;
+                    let gen = self.clients[client].ifaces[iface_idx].gen;
                     queue.push(
                         now + after,
                         Event::MacTimer {
+                            client,
                             iface: iface_idx,
                             gen,
                             token,
                         },
                     );
                 }
-                MacAction::Joined { .. } => self.on_associated(iface_idx, queue, now),
+                MacAction::Joined { .. } => self.on_associated(client, iface_idx, queue, now),
                 MacAction::Failed(_) => {
                     self.metrics.assoc_failures += 1;
-                    if let Some(ap) = self.ifaces[iface_idx].ap {
-                        self.history.record_failure(self.aps[ap].mac.bssid(), now);
+                    if let Some(ap) = self.clients[client].ifaces[iface_idx].ap {
+                        let bssid = self.aps[ap].mac.bssid();
+                        self.clients[client].history.record_failure(bssid, now);
                     }
-                    self.teardown_iface(iface_idx, now);
+                    self.teardown_iface(client, iface_idx, now);
                 }
             }
         }
     }
 
-    fn on_associated(&mut self, iface_idx: usize, queue: &mut EventQueue<Event>, now: Instant) {
-        let started = self.ifaces[iface_idx]
+    fn on_associated(
+        &mut self,
+        client: usize,
+        iface_idx: usize,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
+        let node = &mut self.clients[client];
+        let started = node.ifaces[iface_idx]
             .join_started
             // simlint: allow(panic-path) — join FSM invariant: an Associating iface always has join_started; silent recovery would corrupt join-time metrics
             .expect("associated without a join start");
         self.metrics
             .assoc_times
             .record_duration(now.saturating_since(started));
-        self.ifaces[iface_idx].state = IfaceState::Acquiring;
+        node.ifaces[iface_idx].state = IfaceState::Acquiring;
         self.update_concurrency(now);
         // Kick off DHCP.
-        let addr = self.ifaces[iface_idx].addr;
-        // simlint: allow(panic-path) — join FSM invariant: an Associating iface always has a target AP; a hole here is a driver bug that must be loud
-        let ap = self.ifaces[iface_idx].ap.expect("associated without an AP");
+        let node = &mut self.clients[client];
+        let addr = node.ifaces[iface_idx].addr;
+        let ap = node.ifaces[iface_idx]
+            .ap
+            // simlint: allow(panic-path) — join FSM invariant: an Associating iface always has a target AP; a hole here is a driver bug that must be loud
+            .expect("associated without an AP");
         let bssid = self.aps[ap].mac.bssid();
         let cached = if self.cfg.spider.lease_cache {
-            self.history.cached_lease(bssid, now)
+            node.history.cached_lease(bssid, now)
         } else {
             None
         };
-        let xid_seed = self.rng_misc.next_u64() as u32;
-        let mut client = DhcpClient::new(self.cfg.spider.dhcp.clone(), addr.octets(), xid_seed);
+        let xid_seed = node.rng_misc.next_u64() as u32;
+        let mut dhcp = DhcpClient::new(self.cfg.spider.dhcp.clone(), addr.octets(), xid_seed);
         self.metrics.dhcp_attempts += 1;
-        let actions = client.start(now, cached);
-        self.ifaces[iface_idx].dhcp = Some(client);
-        self.process_dhcp_actions(iface_idx, actions, queue, now);
+        let actions = dhcp.start(now, cached);
+        node.ifaces[iface_idx].dhcp = Some(dhcp);
+        self.process_dhcp_actions(client, iface_idx, actions, queue, now);
     }
 
     fn process_dhcp_actions(
         &mut self,
+        client: usize,
         iface_idx: usize,
         actions: Vec<DhcpAction>,
         queue: &mut EventQueue<Event>,
@@ -944,37 +1142,40 @@ impl World {
         for action in actions {
             match action {
                 DhcpAction::Send(msg) => {
-                    let Some(ap) = self.ifaces[iface_idx].ap else {
+                    let Some(ap) = self.clients[client].ifaces[iface_idx].ap else {
                         continue;
                     };
-                    let station = self.ifaces[iface_idx].addr;
+                    let station = self.clients[client].ifaces[iface_idx].addr;
                     let bssid = self.aps[ap].mac.bssid();
                     let payload =
                         Self::wrap_scratch(&mut self.scratch, PROTO_UDP, |w| msg.encode_into(w));
                     let frame = Frame::data_to_ap(station, bssid, payload);
-                    self.client_send(ap, frame, queue, now);
+                    self.client_send(client, ap, frame, queue, now);
                 }
                 DhcpAction::ArmTimer { after, token } => {
-                    let gen = self.ifaces[iface_idx].gen;
+                    let gen = self.clients[client].ifaces[iface_idx].gen;
                     queue.push(
                         now + after,
                         Event::DhcpTimer {
+                            client,
                             iface: iface_idx,
                             gen,
                             token,
                         },
                     );
                 }
-                DhcpAction::Bound(lease) => self.on_bound(iface_idx, lease, queue, now),
+                DhcpAction::Bound(lease) => self.on_bound(client, iface_idx, lease, queue, now),
                 DhcpAction::Failed => {
                     self.metrics.dhcp_failures += 1;
-                    self.dhcp_idle_until = self
+                    let node = &mut self.clients[client];
+                    node.dhcp_idle_until = node
                         .dhcp_idle_until
                         .max(now + self.cfg.spider.dhcp.idle_after_fail);
-                    if let Some(ap) = self.ifaces[iface_idx].ap {
-                        self.history.record_failure(self.aps[ap].mac.bssid(), now);
+                    if let Some(ap) = node.ifaces[iface_idx].ap {
+                        let bssid = self.aps[ap].mac.bssid();
+                        self.clients[client].history.record_failure(bssid, now);
                     }
-                    self.teardown_iface(iface_idx, now);
+                    self.teardown_iface(client, iface_idx, now);
                 }
             }
         }
@@ -982,41 +1183,48 @@ impl World {
 
     fn on_bound(
         &mut self,
+        client: usize,
         iface_idx: usize,
         lease: Lease,
         queue: &mut EventQueue<Event>,
         now: Instant,
     ) {
-        let started = self.ifaces[iface_idx]
+        let node = &mut self.clients[client];
+        let started = node.ifaces[iface_idx]
             .join_started
             // simlint: allow(panic-path) — join FSM invariant: a Bound iface always has join_started; silent recovery would corrupt join-time metrics
             .expect("bound without a join start");
         let join_time = now.saturating_since(started);
         self.metrics.join_times.record_duration(join_time);
         // simlint: allow(panic-path) — join FSM invariant: a Bound iface always has a target AP; a hole here is a driver bug that must be loud
-        let ap = self.ifaces[iface_idx].ap.expect("bound without an AP");
+        let ap = node.ifaces[iface_idx].ap.expect("bound without an AP");
         let bssid = self.aps[ap].mac.bssid();
-        self.history.record_success(bssid, join_time);
-        self.history.store_lease(bssid, lease);
-        self.ifaces[iface_idx].state = IfaceState::Connected;
+        node.history.record_success(bssid, join_time);
+        node.history.store_lease(bssid, lease);
+        node.ifaces[iface_idx].state = IfaceState::Connected;
+        node.counters.joins += 1;
         self.update_concurrency(now);
-        self.open_connection(iface_idx, ap, queue, now);
+        self.open_connection(client, iface_idx, ap, queue, now);
     }
 
+    /// Fleet-wide concurrent-association count (the §4.4 metric). With one
+    /// client this is exactly the historical per-client count.
     fn update_concurrency(&mut self, now: Instant) {
         let connected = self
-            .ifaces
+            .clients
             .iter()
+            .flat_map(|c| c.ifaces.iter())
             .filter(|i| i.state == IfaceState::Connected)
             .count();
         self.metrics.record_concurrency(now, connected);
     }
 
-    fn teardown_iface(&mut self, iface_idx: usize, now: Instant) {
-        let iface = &mut self.ifaces[iface_idx];
+    fn teardown_iface(&mut self, client: usize, iface_idx: usize, now: Instant) {
+        let iface = &mut self.clients[client].ifaces[iface_idx];
         if let (Some(ap), Some(conn)) = (iface.ap, iface.conn) {
             self.aps[ap].remove_sender(conn);
         }
+        let iface = &mut self.clients[client].ifaces[iface_idx];
         if let Some(dhcp) = iface.dhcp.as_mut() {
             dhcp.abort();
         }
@@ -1024,17 +1232,18 @@ impl World {
         self.update_concurrency(now);
     }
 
-    /// A frame arrived at the client's antenna: deliverable only if the
+    /// A frame arrived at a client's antenna: deliverable only if that
     /// radio is tuned to the AP's channel and the PHY draw succeeds.
     fn on_air_to_client(
         &mut self,
+        client: usize,
         ap: usize,
         frame: Frame,
         queue: &mut EventQueue<Event>,
         now: Instant,
     ) {
         let channel = self.aps[ap].site.channel;
-        if !self.radio.can_hear(channel, now) {
+        if !self.clients[client].radio.can_hear(channel, now) {
             // The station left the channel while this frame was in flight.
             // For a PSM station the AP's MAC-retry failure routes a data
             // frame back into the power-save queue rather than dropping it.
@@ -1053,17 +1262,16 @@ impl World {
             }
             return;
         }
-        let dist = self.distance_to(ap, now);
+        let dist = self.distance_to(client, ap, now);
         let len = frame.wire_len();
         let is_data = matches!(frame.body, FrameBody::Data(_));
         let delivery = if is_data {
-            self.cfg
-                .phy
-                .data_delivery_prob_from_error(self.frame_error_at(dist, len))
+            let e = self.frame_error_at(client, dist, len);
+            self.cfg.phy.data_delivery_prob_from_error(e)
         } else {
-            1.0 - self.frame_error_at(dist, len)
+            1.0 - self.frame_error_at(client, dist, len)
         };
-        if !self.rng_phy.chance(delivery) {
+        if !self.clients[client].rng_phy.chance(delivery) {
             return;
         }
         // Opportunistic scanning: every beacon/probe-response refreshes the
@@ -1071,25 +1279,27 @@ impl World {
         // lookup canonicalizes it to the dense slot the old map keyed by.
         if let FrameBody::Beacon(b) | FrameBody::ProbeResp(b) = &frame.body {
             if let Some(slot) = self.bssids.get(frame.addr2) {
-                let rssi = self.rssi_at(dist);
-                self.scan[slot] = Some(Candidate {
+                let rssi = self.rssi_at(client, dist);
+                let node = &mut self.clients[client];
+                node.scan[slot] = Some(Candidate {
                     bssid: frame.addr2,
                     channel: b.channel,
                     rssi_dbm: rssi,
                     last_heard: now,
                 });
-                self.heard.insert(slot);
+                node.heard.insert(slot);
             }
         }
-        // Route to the interface talking to this AP.
-        let Some(iface_idx) = self
+        // Route to the client's interface talking to this AP.
+        let node = &self.clients[client];
+        let Some(iface_idx) = node
             .ifaces
             .iter()
             .position(|i| i.ap == Some(ap) && i.state != IfaceState::Idle)
         else {
             return;
         };
-        if frame.addr1 != self.ifaces[iface_idx].addr && !frame.addr1.is_broadcast() {
+        if frame.addr1 != node.ifaces[iface_idx].addr && !frame.addr1.is_broadcast() {
             return;
         }
         match &frame.body {
@@ -1100,27 +1310,28 @@ impl World {
                 match proto {
                     PROTO_UDP => {
                         if let Ok(msg) = DhcpMessage::decode(body) {
-                            if let Some(dhcp) = self.ifaces[iface_idx].dhcp.take() {
-                                let mut dhcp = dhcp;
+                            if let Some(mut dhcp) =
+                                self.clients[client].ifaces[iface_idx].dhcp.take()
+                            {
                                 let actions = dhcp.handle_message(&msg, now);
-                                self.ifaces[iface_idx].dhcp = Some(dhcp);
-                                self.process_dhcp_actions(iface_idx, actions, queue, now);
+                                self.clients[client].ifaces[iface_idx].dhcp = Some(dhcp);
+                                self.process_dhcp_actions(client, iface_idx, actions, queue, now);
                             }
                         }
                     }
                     PROTO_TCP => {
                         if let Some(seg) = Segment::decode(body) {
-                            self.on_client_segment(iface_idx, ap, seg, queue, now);
+                            self.on_client_segment(client, iface_idx, ap, seg, queue, now);
                         }
                     }
                     _ => {}
                 }
             }
             _ => {
-                if let Some(mut mac) = self.ifaces[iface_idx].mac.take() {
+                if let Some(mut mac) = self.clients[client].ifaces[iface_idx].mac.take() {
                     let actions = mac.handle_frame(&frame);
-                    self.ifaces[iface_idx].mac = Some(mac);
-                    self.process_mac_actions(iface_idx, actions, queue, now);
+                    self.clients[client].ifaces[iface_idx].mac = Some(mac);
+                    self.process_mac_actions(client, iface_idx, actions, queue, now);
                 }
             }
         }
@@ -1128,30 +1339,32 @@ impl World {
 
     fn on_client_segment(
         &mut self,
+        client: usize,
         iface_idx: usize,
         ap: usize,
         seg: Segment,
         queue: &mut EventQueue<Event>,
         now: Instant,
     ) {
-        let Some(mut receiver) = self.ifaces[iface_idx].receiver.take() else {
+        let Some(mut receiver) = self.clients[client].ifaces[iface_idx].receiver.take() else {
             return;
         };
         let mut actions = std::mem::take(&mut self.receiver_actions_scratch);
         receiver.on_segment_into(&seg, now, &mut actions);
-        self.ifaces[iface_idx].receiver = Some(receiver);
+        self.clients[client].ifaces[iface_idx].receiver = Some(receiver);
         for action in actions.drain(..) {
             match action {
                 ReceiverAction::Transmit(ack) => {
-                    let station = self.ifaces[iface_idx].addr;
+                    let station = self.clients[client].ifaces[iface_idx].addr;
                     let bssid = self.aps[ap].mac.bssid();
                     let payload =
                         Self::wrap_scratch(&mut self.scratch, PROTO_TCP, |w| ack.encode_into(w));
                     let frame = Frame::data_to_ap(station, bssid, payload);
-                    self.client_send(ap, frame, queue, now);
+                    self.client_send(client, ap, frame, queue, now);
                 }
                 ReceiverAction::Deliver { bytes } => {
                     self.metrics.record_bytes(now, bytes);
+                    self.clients[client].counters.bytes += bytes;
                 }
                 ReceiverAction::Finished => {}
             }
@@ -1159,28 +1372,28 @@ impl World {
         self.receiver_actions_scratch = actions;
     }
 
-    /// Driver evaluation: tear down links to vanished APs, start new joins,
-    /// and (stock driver only) rotate channels while idle.
-    fn evaluate(&mut self, queue: &mut EventQueue<Event>, now: Instant) {
+    /// Driver evaluation for one client: tear down links to vanished APs,
+    /// start new joins, and (stock driver only) rotate channels while idle.
+    fn evaluate(&mut self, client: usize, queue: &mut EventQueue<Event>, now: Instant) {
         let loss_timeout = self.cfg.spider.ap_loss_timeout;
         // 1. Teardown: APs unheard for too long (left range).
-        for idx in 0..self.ifaces.len() {
-            if self.ifaces[idx].state == IfaceState::Idle {
+        for idx in 0..self.clients[client].ifaces.len() {
+            if self.clients[client].ifaces[idx].state == IfaceState::Idle {
                 continue;
             }
-            let Some(ap) = self.ifaces[idx].ap else {
+            let Some(ap) = self.clients[client].ifaces[idx].ap else {
                 continue;
             };
             let bssid = self.aps[ap].mac.bssid();
             let heard_recently = self
-                .candidate_for(bssid)
+                .candidate_for(client, bssid)
                 .is_some_and(|c| now.saturating_since(c.last_heard) <= loss_timeout);
             if !heard_recently {
-                self.teardown_iface(idx, now);
+                self.teardown_iface(client, idx, now);
             }
         }
         // 2. Start joins on the current channel.
-        let started = self.try_start_joins(queue, now);
+        let started = self.try_start_joins(client, queue, now);
         // 3. Idle scanning (stock driver and the adaptive extension): if
         //    nothing is joined, joining, or joinable on this channel, move
         //    the radio along to refresh the candidate table.
@@ -1188,36 +1401,47 @@ impl World {
             self.cfg.spider.schedule,
             SchedulePolicy::ScanWhenIdle { .. } | SchedulePolicy::AdaptiveChannel { .. }
         ) {
-            let any_busy = self.ifaces.iter().any(|i| i.state != IfaceState::Idle);
+            let node = &mut self.clients[client];
+            let any_busy = node.ifaces.iter().any(|i| i.state != IfaceState::Idle);
             if !any_busy && started == 0 {
-                self.scan_channel_idx = (self.scan_channel_idx + 1) % wifi_mac::ORTHOGONAL.len();
-                let target = wifi_mac::ORTHOGONAL[self.scan_channel_idx];
-                let latency = self.radio.switch_to(target, now, 0, &mut self.rng_radio);
+                node.scan_channel_idx = (node.scan_channel_idx + 1) % wifi_mac::ORTHOGONAL.len();
+                let target = wifi_mac::ORTHOGONAL[node.scan_channel_idx];
+                let latency = node.radio.switch_to(target, now, 0, &mut node.rng_radio);
                 if !latency.is_zero() {
                     self.metrics.switch_latencies.record_duration(latency);
                 }
             }
         }
-        queue.push(now + self.cfg.spider.evaluate_every, Event::Evaluate);
+        queue.push(
+            now + self.cfg.spider.evaluate_every,
+            Event::Evaluate { client },
+        );
     }
 
-    /// Begin joins toward the best unjoined candidates on the current
-    /// channel, within the interface budget. Returns how many started.
-    fn try_start_joins(&mut self, queue: &mut EventQueue<Event>, now: Instant) -> usize {
+    /// Begin joins toward the best unjoined candidates on the client's
+    /// current channel, within its interface budget. Returns how many
+    /// started.
+    fn try_start_joins(
+        &mut self,
+        client: usize,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) -> usize {
+        let node = &self.clients[client];
         let budget = if self.cfg.spider.single_ap {
             1usize.saturating_sub(
-                self.ifaces
+                node.ifaces
                     .iter()
                     .filter(|i| i.state != IfaceState::Idle)
                     .count(),
             )
         } else {
-            self.ifaces
+            node.ifaces
                 .iter()
                 .filter(|i| i.state == IfaceState::Idle)
                 .count()
         };
-        if budget == 0 || self.radio.is_busy(now) || now < self.dhcp_idle_until {
+        if budget == 0 || node.radio.is_busy(now) || now < node.dhcp_idle_until {
             return 0;
         }
         // The heard set iterates in MacAddr-rank order — exactly the
@@ -1230,8 +1454,8 @@ impl World {
         // older than its 2 s freshness window and Maintenance prunes the
         // heard set only after 5 s — so every candidate that can survive
         // the filter is still a member. Cost: O(heard), not O(APs).
-        let candidates: Vec<Candidate> = self.heard.iter().filter_map(|id| self.scan[id]).collect();
-        let joined: Vec<MacAddr> = self
+        let candidates: Vec<Candidate> = node.heard.iter().filter_map(|id| node.scan[id]).collect();
+        let joined: Vec<MacAddr> = node
             .ifaces
             .iter()
             .filter(|i| i.state != IfaceState::Idle)
@@ -1239,9 +1463,9 @@ impl World {
             .collect();
         let picks = select_aps(
             &candidates,
-            self.radio.channel(),
+            node.radio.channel(),
             self.cfg.spider.selection,
-            &self.history,
+            &node.history,
             now,
             Duration::from_secs(2),
             self.cfg.spider.retry_backoff,
@@ -1259,16 +1483,20 @@ impl World {
             let Some(ap) = self.bssids.get(bssid) else {
                 continue;
             };
-            let Some(idx) = self.ifaces.iter().position(|i| i.state == IfaceState::Idle) else {
+            let Some(idx) = self.clients[client]
+                .ifaces
+                .iter()
+                .position(|i| i.state == IfaceState::Idle)
+            else {
                 break;
             };
             let setup = self.cfg.spider.join_setup_delay;
             if setup.is_zero() {
-                self.start_join(idx, ap, queue, now);
+                self.start_join(client, idx, ap, queue, now);
             } else {
                 // Reserve the interface and defer the handshake by the
                 // scan/supplicant setup time (the stock path).
-                let iface = &mut self.ifaces[idx];
+                let iface = &mut self.clients[client].ifaces[idx];
                 iface.state = IfaceState::Associating;
                 iface.gen += 1;
                 iface.ap = Some(ap);
@@ -1277,6 +1505,7 @@ impl World {
                 queue.push(
                     now + setup,
                     Event::BeginJoin {
+                        client,
                         iface: idx,
                         gen,
                         ap,
@@ -1290,6 +1519,7 @@ impl World {
 
     fn start_join(
         &mut self,
+        client: usize,
         iface_idx: usize,
         ap: usize,
         queue: &mut EventQueue<Event>,
@@ -1299,42 +1529,49 @@ impl World {
         let ssid = self.aps[ap].mac.config().ssid.clone();
         // Opportunistic scanning just heard this AP; skip the probe phase.
         let heard_just_now = self
-            .candidate_for(bssid)
+            .candidate_for(client, bssid)
             .is_some_and(|c| now.saturating_since(c.last_heard) <= Duration::from_secs(1));
         let join_cfg = JoinConfig {
             use_probe: !heard_just_now,
             ..self.cfg.spider.join.clone()
         };
-        let station = self.ifaces[iface_idx].addr;
+        let station = self.clients[client].ifaces[iface_idx].addr;
         let mut mac = ClientMac::new(station, bssid, ssid, join_cfg);
         self.metrics.assoc_attempts += 1;
         let actions = mac.start(now);
         {
-            let iface = &mut self.ifaces[iface_idx];
+            let iface = &mut self.clients[client].ifaces[iface_idx];
             iface.state = IfaceState::Associating;
             iface.gen += 1;
             iface.ap = Some(ap);
             iface.join_started = Some(now);
             iface.mac = Some(mac);
         }
-        self.process_mac_actions(iface_idx, actions, queue, now);
+        self.process_mac_actions(client, iface_idx, actions, queue, now);
     }
 
     /// Multi-channel schedule: enter PSM on the old channel, retune, wake
-    /// interfaces on the new channel.
-    fn schedule_slice(&mut self, idx: usize, queue: &mut EventQueue<Event>, now: Instant) {
+    /// interfaces on the new channel. Each client runs its own slice
+    /// cursor (fleet members need not be slice-synchronized).
+    fn schedule_slice(
+        &mut self,
+        client: usize,
+        idx: usize,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
         let SchedulePolicy::MultiChannel { slices } = &self.cfg.spider.schedule else {
             return;
         };
         let slices = slices.clone();
         let (target, slice_len) = slices[idx % slices.len()];
-        let old = self.radio.channel();
+        let old = self.clients[client].radio.channel();
         if target != old {
             // Announce power-save to every associated AP on the old channel.
             // The radio keeps listening while these drain (the Table 1
             // switch latency *includes* this phase), so the AP's in-flight
             // downlink frames are not lost to the retune.
-            let psm_targets: Vec<(usize, MacAddr, MacAddr)> = self
+            let psm_targets: Vec<(usize, MacAddr, MacAddr)> = self.clients[client]
                 .ifaces
                 .iter()
                 .filter(|i| i.state == IfaceState::Connected)
@@ -1344,35 +1581,48 @@ impl World {
             let connected = psm_targets.len();
             for (ap, station, bssid) in psm_targets {
                 let frame = Frame::psm_enter(station, bssid);
-                self.client_send(ap, frame, queue, now);
+                self.client_send(client, ap, frame, queue, now);
             }
             let grace =
                 Duration::from_micros(3_700) + Duration::from_micros(300) * connected as u64;
-            queue.push(now + grace, Event::SwitchBegin { target });
+            queue.push(now + grace, Event::SwitchBegin { client, target });
         }
-        queue.push(now + slice_len, Event::ScheduleSlice { idx: idx + 1 });
+        queue.push(
+            now + slice_len,
+            Event::ScheduleSlice {
+                client,
+                idx: idx + 1,
+            },
+        );
     }
 
-    fn on_switch_begin(&mut self, target: Channel, queue: &mut EventQueue<Event>, now: Instant) {
-        if target == self.radio.channel() {
+    fn on_switch_begin(
+        &mut self,
+        client: usize,
+        target: Channel,
+        queue: &mut EventQueue<Event>,
+        now: Instant,
+    ) {
+        let node = &mut self.clients[client];
+        if target == node.radio.channel() {
             return;
         }
-        let connected = self
+        let connected = node
             .ifaces
             .iter()
             .filter(|i| i.state == IfaceState::Connected)
             .count();
-        let latency = self
+        let latency = node
             .radio
-            .switch_to(target, now, connected, &mut self.rng_radio);
+            .switch_to(target, now, connected, &mut node.rng_radio);
         self.metrics.switch_latencies.record_duration(latency);
-        queue.push(now + latency, Event::SwitchDone);
+        queue.push(now + latency, Event::SwitchDone { client });
     }
 
-    fn on_switch_done(&mut self, queue: &mut EventQueue<Event>, now: Instant) {
+    fn on_switch_done(&mut self, client: usize, queue: &mut EventQueue<Event>, now: Instant) {
         // Wake every associated AP on the (new) current channel.
-        let channel = self.radio.channel();
-        let wake_targets: Vec<(usize, MacAddr, MacAddr)> = self
+        let channel = self.clients[client].radio.channel();
+        let wake_targets: Vec<(usize, MacAddr, MacAddr)> = self.clients[client]
             .ifaces
             .iter()
             .filter(|i| i.state == IfaceState::Connected)
@@ -1381,32 +1631,33 @@ impl World {
             .collect();
         for (ap, station, bssid) in wake_targets {
             let frame = Frame::psm_exit(station, bssid);
-            self.client_send(ap, frame, queue, now);
+            self.client_send(client, ap, frame, queue, now);
         }
         // Swap in this channel's transmit queue: flush frames that waited
         // out the off-channel period (dropping protocol-stale ones). The
         // queue's buffer is swapped against the spare and handed back after
         // the drain, so steady-state switches reuse the same allocations.
+        let node = &mut self.clients[client];
         let mut pending = std::mem::replace(
-            &mut self.tx_queues[channel.index()],
-            std::mem::take(&mut self.tx_spare),
+            &mut node.tx_queues[channel.index()],
+            std::mem::take(&mut node.tx_spare),
         );
         for (queued_at, ap, frame) in pending.drain(..) {
             if now.saturating_since(queued_at) <= Self::TX_QUEUE_TTL {
-                self.client_send(ap, frame, queue, now);
+                self.client_send(client, ap, frame, queue, now);
             }
         }
-        self.tx_spare = pending;
+        self.clients[client].tx_spare = pending;
         // Freshly on-channel with a whole slice ahead: the best moment to
         // start joins (this is Spider's "parallel per-channel association").
-        self.try_start_joins(queue, now);
+        self.try_start_joins(client, queue, now);
     }
 
     /// The §4.8 extension: periodically dwell on whichever orthogonal
     /// channel offers the best-scoring fresh candidates. A switch tears
     /// down current associations (we will not be coming back for their
     /// PSM buffers), so the bar for moving is a strict improvement.
-    fn reconsider(&mut self, queue: &mut EventQueue<Event>, now: Instant) {
+    fn reconsider(&mut self, client: usize, queue: &mut EventQueue<Event>, now: Instant) {
         let SchedulePolicy::AdaptiveChannel { reconsider, .. } = self.cfg.spider.schedule else {
             return;
         };
@@ -1426,40 +1677,62 @@ impl World {
                     .map(|c| history.score(c.bssid, now))
                     .sum::<f64>()
             };
-        let current = self.radio.channel();
-        let current_score = score_of(current, &self.heard, &self.scan, &self.history);
+        let node = &self.clients[client];
+        let current = node.radio.channel();
+        let current_score = score_of(current, &node.heard, &node.scan, &node.history);
         let mut best = (current, current_score);
         for ch in wifi_mac::ORTHOGONAL {
-            let s = score_of(ch, &self.heard, &self.scan, &self.history);
+            let s = score_of(ch, &node.heard, &node.scan, &node.history);
             if s > best.1 {
                 best = (ch, s);
             }
         }
         // Move only on a clear win: switching abandons live associations.
         if best.0 != current && best.1 > current_score * 1.25 + 0.25 {
-            for idx in 0..self.ifaces.len() {
-                if self.ifaces[idx].state != IfaceState::Idle {
-                    self.teardown_iface(idx, now);
+            for idx in 0..self.clients[client].ifaces.len() {
+                if self.clients[client].ifaces[idx].state != IfaceState::Idle {
+                    self.teardown_iface(client, idx, now);
                 }
             }
-            let latency = self.radio.switch_to(best.0, now, 0, &mut self.rng_radio);
+            let node = &mut self.clients[client];
+            let latency = node.radio.switch_to(best.0, now, 0, &mut node.rng_radio);
             self.metrics.switch_latencies.record_duration(latency);
-            queue.push(now + latency, Event::SwitchDone);
+            queue.push(now + latency, Event::SwitchDone { client });
         }
-        queue.push(now + reconsider, Event::Reconsider);
+        queue.push(now + reconsider, Event::Reconsider { client });
     }
 
     fn beacon_tick(&mut self, ap: usize, queue: &mut EventQueue<Event>, now: Instant) {
-        let dist = self.distance_to(ap, now);
         let interval = self.aps[ap].mac.config().beacon_interval;
-        if dist <= 400.0 {
-            let frame = self.aps[ap].mac.beacon(now);
-            self.ap_send(ap, frame, Duration::ZERO, queue, now);
-            queue.push(now + interval, Event::BeaconTick { ap });
-        } else {
-            // Out of earshot: check back lazily instead of spamming events.
+        // Fan out to every client within earshot: one transmission on the
+        // air (one medium seize, one airtime charge), one arrival per
+        // in-range antenna. Clients are visited in ascending index order.
+        let in_range: Vec<usize> = (0..self.clients.len())
+            .filter(|&c| self.distance_to(c, ap, now) <= 400.0)
+            .collect();
+        if in_range.is_empty() {
+            // Out of everyone's earshot: check back lazily instead of
+            // spamming events.
             queue.push(now + Duration::from_secs(2), Event::BeaconTick { ap });
+            return;
         }
+        let frame = self.aps[ap].mac.beacon(now);
+        let channel = self.aps[ap].site.channel;
+        let airtime = self.cfg.phy.airtime(frame.wire_len());
+        self.dbg_down_airtime += airtime;
+        self.dbg_down_frames += 1;
+        let arrival = self.seize_medium(channel, now, airtime);
+        for client in in_range {
+            queue.push(
+                arrival,
+                Event::AirToClient {
+                    client,
+                    ap,
+                    frame: frame.clone(),
+                },
+            );
+        }
+        queue.push(now + interval, Event::BeaconTick { ap });
     }
 
     fn result(mut self) -> RunResult {
@@ -1500,7 +1773,7 @@ impl World {
             dhcp_failures: self.metrics.dhcp_failures,
             assoc_attempts: self.metrics.assoc_attempts,
             assoc_failures: self.metrics.assoc_failures,
-            switch_count: self.radio.switch_count(),
+            switch_count: self.clients.iter().map(|c| c.radio.switch_count()).sum(),
             max_concurrent_aps: self.metrics.max_concurrent_aps,
             concurrency_seconds: self.metrics.concurrency_seconds.clone(),
             tcp_rtos: self.tcp_rtos,
@@ -1508,6 +1781,7 @@ impl World {
             psm_drops,
             unassociated_drops,
             air_drops: self.air_drops,
+            per_client: self.clients.iter().map(|c| c.counters).collect(),
         }
     }
 }
@@ -1516,7 +1790,9 @@ impl Handler<Event> for World {
     fn handle(&mut self, now: Instant, event: Event, queue: &mut EventQueue<Event>) {
         match event {
             Event::BeaconTick { ap } => self.beacon_tick(ap, queue, now),
-            Event::AirToClient { ap, frame } => self.on_air_to_client(ap, frame, queue, now),
+            Event::AirToClient { client, ap, frame } => {
+                self.on_air_to_client(client, ap, frame, queue, now)
+            }
             Event::AirToAp { ap, frame } => {
                 let mut actions = std::mem::take(&mut self.ap_actions_scratch);
                 {
@@ -1527,24 +1803,34 @@ impl Handler<Event> for World {
                 self.process_ap_actions(ap, &mut actions, queue, now);
                 self.ap_actions_scratch = actions;
             }
-            Event::MacTimer { iface, gen, token } => {
-                if self.ifaces[iface].gen != gen {
+            Event::MacTimer {
+                client,
+                iface,
+                gen,
+                token,
+            } => {
+                if self.clients[client].ifaces[iface].gen != gen {
                     return;
                 }
-                if let Some(mut mac) = self.ifaces[iface].mac.take() {
+                if let Some(mut mac) = self.clients[client].ifaces[iface].mac.take() {
                     let actions = mac.handle_timer(token);
-                    self.ifaces[iface].mac = Some(mac);
-                    self.process_mac_actions(iface, actions, queue, now);
+                    self.clients[client].ifaces[iface].mac = Some(mac);
+                    self.process_mac_actions(client, iface, actions, queue, now);
                 }
             }
-            Event::DhcpTimer { iface, gen, token } => {
-                if self.ifaces[iface].gen != gen {
+            Event::DhcpTimer {
+                client,
+                iface,
+                gen,
+                token,
+            } => {
+                if self.clients[client].ifaces[iface].gen != gen {
                     return;
                 }
-                if let Some(mut dhcp) = self.ifaces[iface].dhcp.take() {
+                if let Some(mut dhcp) = self.clients[client].ifaces[iface].dhcp.take() {
                     let actions = dhcp.handle_timer(token, now);
-                    self.ifaces[iface].dhcp = Some(dhcp);
-                    self.process_dhcp_actions(iface, actions, queue, now);
+                    self.clients[client].ifaces[iface].dhcp = Some(dhcp);
+                    self.process_dhcp_actions(client, iface, actions, queue, now);
                 }
             }
             Event::SenderTimer { ap, conn, token } => {
@@ -1574,21 +1860,25 @@ impl Handler<Event> for World {
                 self.sender_actions_scratch = actions;
             }
             Event::BackhaulToAp { ap, payload } => {
-                // A TCP segment for our client: find which interface.
+                // A TCP segment for one of our clients: find which
+                // interface its connection terminates at.
                 let Some((_, body)) = unwrap_proto(&payload) else {
                     return;
                 };
                 let Some(seg) = Segment::decode(body) else {
                     return;
                 };
-                let Some(iface_idx) = self
-                    .ifaces
-                    .iter()
-                    .position(|i| i.conn == Some(seg.conn) && i.ap == Some(ap))
+                let Some((client, iface_idx)) =
+                    self.clients.iter().enumerate().find_map(|(c, node)| {
+                        node.ifaces
+                            .iter()
+                            .position(|i| i.conn == Some(seg.conn) && i.ap == Some(ap))
+                            .map(|i| (c, i))
+                    })
                 else {
                     return;
                 };
-                let station = self.ifaces[iface_idx].addr;
+                let station = self.clients[client].ifaces[iface_idx].addr;
                 let mut actions = std::mem::take(&mut self.ap_actions_scratch);
                 self.aps[ap]
                     .mac
@@ -1628,33 +1918,45 @@ impl Handler<Event> for World {
                 self.process_ap_actions(ap, &mut actions, queue, now);
                 self.ap_actions_scratch = actions;
             }
-            Event::ScheduleSlice { idx } => self.schedule_slice(idx, queue, now),
-            Event::SwitchBegin { target } => self.on_switch_begin(target, queue, now),
-            Event::SwitchDone => self.on_switch_done(queue, now),
-            Event::Evaluate => self.evaluate(queue, now),
-            Event::Reconsider => self.reconsider(queue, now),
-            Event::NextObject { iface, gen, ap } => {
-                if self.ifaces[iface].gen != gen
-                    || self.ifaces[iface].state != IfaceState::Connected
+            Event::ScheduleSlice { client, idx } => self.schedule_slice(client, idx, queue, now),
+            Event::SwitchBegin { client, target } => {
+                self.on_switch_begin(client, target, queue, now)
+            }
+            Event::SwitchDone { client } => self.on_switch_done(client, queue, now),
+            Event::Evaluate { client } => self.evaluate(client, queue, now),
+            Event::Reconsider { client } => self.reconsider(client, queue, now),
+            Event::NextObject {
+                client,
+                iface,
+                gen,
+                ap,
+            } => {
+                if self.clients[client].ifaces[iface].gen != gen
+                    || self.clients[client].ifaces[iface].state != IfaceState::Connected
                 {
                     return;
                 }
-                self.open_connection(iface, ap, queue, now);
+                self.open_connection(client, iface, ap, queue, now);
             }
-            Event::BeginJoin { iface, gen, ap } => {
-                if self.ifaces[iface].gen != gen {
+            Event::BeginJoin {
+                client,
+                iface,
+                gen,
+                ap,
+            } => {
+                if self.clients[client].ifaces[iface].gen != gen {
                     return;
                 }
                 // The candidate must still be around after the setup delay.
                 let bssid = self.aps[ap].mac.bssid();
                 let fresh = self
-                    .candidate_for(bssid)
+                    .candidate_for(client, bssid)
                     .is_some_and(|c| now.saturating_since(c.last_heard) <= Duration::from_secs(3));
                 if fresh {
-                    self.ifaces[iface].state = IfaceState::Idle;
-                    self.start_join(iface, ap, queue, now);
+                    self.clients[client].ifaces[iface].state = IfaceState::Idle;
+                    self.start_join(client, iface, ap, queue, now);
                 } else {
-                    self.teardown_iface(iface, now);
+                    self.teardown_iface(client, iface, now);
                 }
             }
             Event::Maintenance => {
@@ -1689,23 +1991,40 @@ impl Handler<Event> for World {
                         }
                     }
                 }
-                // Spatial upkeep, 1 Hz: move the client's cell membership
-                // and sample how many APs its 400 m hearing disc covers —
-                // a grid range query, not a scan over `aps`. Neither
-                // touches event state, so RunRecords are unaffected.
-                let pos = self.client_pos(now);
-                if self.client_cell.update(0, pos) {
-                    self.client_cell_crossings += 1;
+                // Spatial upkeep, 1 Hz: move every client's cell membership
+                // and sample how many APs each 400 m hearing disc covers —
+                // grid range queries, not scans over `aps`. The mover index
+                // then feeds back as cell occupancy: how many fleet members
+                // (self included) share each client's cell, which scales
+                // the uplink contention bound in `client_send`. Occupancy
+                // is 1 whenever a client is alone in its cell, so the
+                // single-client world is unaffected.
+                for c in 0..self.clients.len() {
+                    let pos = self.client_pos(c, now);
+                    if self.mover_cells.update(c, pos) {
+                        self.clients[c].counters.cell_crossings += 1;
+                    }
+                    let inrange = self.grid.count_in_disc(pos, 400.0) as u32;
+                    let node = &mut self.clients[c];
+                    node.peak_inrange_aps = node.peak_inrange_aps.max(inrange);
                 }
-                let inrange = self.grid.count_in_disc(pos, 400.0) as u32;
-                self.peak_inrange_aps = self.peak_inrange_aps.max(inrange);
+                for c in 0..self.clients.len() {
+                    let occupancy = self
+                        .mover_cells
+                        .cell_of(c)
+                        .map_or(1, |key| self.mover_cells.movers_in(key).len())
+                        .max(1) as u32;
+                    self.clients[c].cell_occupancy = occupancy;
+                }
                 // Drop scan entries not refreshed in 5 s from the heard
                 // set. Both consumers filter at ≤ 3 s, so pruning at 5 s
                 // can never change what they see.
-                let scan = &self.scan;
-                self.heard.retain(|slot| {
-                    scan[slot].is_some_and(|c| now.saturating_since(c.last_heard) <= HEARD_TTL)
-                });
+                for c in 0..self.clients.len() {
+                    let ClientNode { scan, heard, .. } = &mut self.clients[c];
+                    heard.retain(|slot| {
+                        scan[slot].is_some_and(|c| now.saturating_since(c.last_heard) <= HEARD_TTL)
+                    });
+                }
                 for ap in 0..self.aps.len() {
                     // An AP with no stations has nothing to expire:
                     // `expire_idle` over an empty table is a no-op, so
@@ -1749,11 +2068,13 @@ pub struct RunDiagnostics {
     /// Cancelled-but-still-queued entries do not count — see
     /// `EventQueue::peak_depth`.
     pub peak_queue_depth: usize,
-    /// High-water mark of APs inside the client's 400 m hearing disc,
-    /// sampled at 1 Hz through the spatial grid (deterministic).
+    /// High-water mark of APs inside any client's 400 m hearing disc,
+    /// sampled at 1 Hz through the spatial grid (deterministic; the max
+    /// over the fleet).
     pub peak_inrange_aps: u32,
-    /// Grid-cell crossings the client made, from the incremental mover
-    /// index (deterministic).
+    /// Grid-cell crossings across the whole fleet, from the incremental
+    /// mover index (deterministic; per-client splits are in
+    /// [`RunResult::per_client`]).
     pub client_cell_crossings: u64,
 }
 
@@ -1770,8 +2091,17 @@ pub fn run_with_diagnostics(config: WorldConfig) -> (RunResult, RunDiagnostics) 
     let diagnostics = RunDiagnostics {
         events_delivered: queue.delivered(),
         peak_queue_depth: queue.peak_depth(),
-        peak_inrange_aps: world.peak_inrange_aps,
-        client_cell_crossings: world.client_cell_crossings,
+        peak_inrange_aps: world
+            .clients
+            .iter()
+            .map(|c| c.peak_inrange_aps)
+            .max()
+            .unwrap_or(0),
+        client_cell_crossings: world
+            .clients
+            .iter()
+            .map(|c| c.counters.cell_crossings)
+            .sum(),
     };
     (world.result(), diagnostics)
 }
@@ -2148,5 +2478,96 @@ mod tests {
         );
         // The air could carry ~20× more; the wired side is the bottleneck.
         assert!(result.backhaul_drops > 0 || kbps > 40.0);
+    }
+
+    #[test]
+    fn per_client_counters_cover_the_single_client_world() {
+        let result = run(static_world(
+            vec![site(1, 0.0, Channel::CH1, 2_000_000)],
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            30,
+        ));
+        assert_eq!(result.per_client.len(), 1, "one slot for the one client");
+        assert_eq!(result.per_client[0].bytes, result.total_bytes);
+        assert_eq!(
+            result.per_client[0].joins as usize,
+            result.join_times.count()
+        );
+    }
+
+    #[test]
+    fn two_colocated_clients_split_the_backhaul() {
+        let mk = |fleet: Vec<ClientMotion>| {
+            let mut cfg = static_world(
+                vec![site(1, 0.0, Channel::CH1, 2_000_000)],
+                SpiderConfig::single_channel_multi_ap(Channel::CH1),
+                30,
+            );
+            cfg.fleet = fleet;
+            run(cfg)
+        };
+        let alone = mk(vec![]);
+        let pair = mk(vec![ClientMotion::Fixed(Point::new(0.0, 10.0))]);
+        assert_eq!(pair.per_client.len(), 2);
+        assert!(pair.per_client[0].bytes > 0, "client 0 starved");
+        assert!(pair.per_client[1].bytes > 0, "client 1 starved");
+        assert_eq!(
+            pair.per_client.iter().map(|c| c.bytes).sum::<u64>(),
+            pair.total_bytes,
+            "per-client bytes must partition the fleet total"
+        );
+        // Endogenous contention: sharing one 2 Mb/s backhaul must cost
+        // client 0 real throughput relative to running alone.
+        assert!(
+            pair.per_client[0].bytes < alone.total_bytes,
+            "contended {} vs alone {}",
+            pair.per_client[0].bytes,
+            alone.total_bytes
+        );
+    }
+
+    #[test]
+    fn fleet_runs_are_byte_identical_across_repeats() {
+        let mk = || {
+            let mut cfg = static_world(
+                vec![
+                    site(1, 0.0, Channel::CH1, 2_000_000),
+                    site(2, 40.0, Channel::CH1, 2_000_000),
+                ],
+                SpiderConfig::single_channel_multi_ap(Channel::CH1),
+                20,
+            );
+            cfg.fleet = vec![
+                ClientMotion::Fixed(Point::new(10.0, 10.0)),
+                ClientMotion::Fixed(Point::new(40.0, 10.0)),
+            ];
+            run(cfg)
+        };
+        let a = crate::report::RunRecord::to_json(&mk()).expect("serialize");
+        let b = crate::report::RunRecord::to_json(&mk()).expect("serialize");
+        assert_eq!(a, b, "same fleet config must replay byte-identically");
+    }
+
+    #[test]
+    fn convoy_members_each_cross_cells() {
+        let route = Route::straight(Point::new(-500.0, 0.0), Point::new(500.0, 0.0));
+        let lead = Vehicle::new(route, 10.0, Instant::ZERO);
+        let mut cfg = WorldConfig::new(
+            7,
+            vec![site(1, 0.0, Channel::CH1, 4_000_000)],
+            ClientMotion::Route(lead.clone()),
+            SpiderConfig::single_channel_multi_ap(Channel::CH1),
+            Duration::from_secs(100),
+        );
+        cfg.fleet = crate::fleet::convoy(&ClientMotion::Route(lead), 2, Duration::from_secs(5));
+        let result = run(cfg);
+        assert_eq!(result.per_client.len(), 3);
+        for (i, c) in result.per_client.iter().enumerate() {
+            assert!(
+                c.cell_crossings >= 2,
+                "client {i} crossed only {} cells",
+                c.cell_crossings
+            );
+        }
     }
 }

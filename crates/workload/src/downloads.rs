@@ -23,14 +23,36 @@ pub enum DownloadPlan {
         /// Pause between completions.
         think: Duration,
     },
+    /// Fetch web-sized objects drawn from [`web_object_bytes`] with
+    /// `think` pauses between them. In a fleet world each client draws
+    /// from its own forked RNG stream, so per-client flow sequences are
+    /// independent and stable as the fleet grows.
+    WebMix {
+        /// Pause between completions.
+        think: Duration,
+    },
 }
 
 impl DownloadPlan {
     /// Bytes for the next connection: `u64::MAX` for saturating plans.
+    /// [`DownloadPlan::WebMix`] has no deterministic size; it falls back
+    /// to the distribution median — use [`DownloadPlan::next_object_rng`]
+    /// where a client RNG stream is available.
     pub fn next_object(&self) -> u64 {
         match self {
             DownloadPlan::Saturating => u64::MAX,
             DownloadPlan::Segmented { object_bytes, .. } => *object_bytes,
+            DownloadPlan::WebMix { .. } => 16 * 1024,
+        }
+    }
+
+    /// Bytes for the next connection, drawing from `rng` for plans with
+    /// randomized sizes. Plans with fixed sizes draw nothing, so a world
+    /// running them consumes identical RNG streams either way.
+    pub fn next_object_rng(&self, rng: &mut Rng) -> u64 {
+        match self {
+            DownloadPlan::WebMix { .. } => web_object_bytes(rng),
+            _ => self.next_object(),
         }
     }
 
@@ -39,6 +61,7 @@ impl DownloadPlan {
         match self {
             DownloadPlan::Saturating => Duration::ZERO,
             DownloadPlan::Segmented { think, .. } => *think,
+            DownloadPlan::WebMix { think } => *think,
         }
     }
 }
@@ -84,5 +107,24 @@ mod tests {
         }
         // Most web objects are small.
         assert!(small > 7_000, "small objects {small}/10000");
+    }
+
+    #[test]
+    fn web_mix_draws_from_the_given_stream_only() {
+        let p = DownloadPlan::WebMix {
+            think: Duration::from_secs(2),
+        };
+        assert_eq!(p.think_time(), Duration::from_secs(2));
+        // Same stream, same draws; the plan holds no hidden state.
+        let (mut a, mut b) = (Rng::new(7), Rng::new(7));
+        for _ in 0..100 {
+            assert_eq!(p.next_object_rng(&mut a), p.next_object_rng(&mut b));
+        }
+        // Fixed-size plans never touch the stream.
+        let mut c = Rng::new(7);
+        let before = c.next_u64();
+        let mut c = Rng::new(7);
+        assert_eq!(DownloadPlan::Saturating.next_object_rng(&mut c), u64::MAX);
+        assert_eq!(c.next_u64(), before, "Saturating drew from the rng");
     }
 }

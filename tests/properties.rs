@@ -425,6 +425,11 @@ fn gen_run_result(g: &mut Gen) -> spider_repro::spider::RunResult {
         psm_drops: g.u64(),
         unassociated_drops: g.u64(),
         air_drops: g.u64(),
+        per_client: g.vec(1, 4, |g| spider_repro::spider::ClientCounters {
+            joins: g.u64(),
+            bytes: g.u64(),
+            cell_crossings: g.u64(),
+        }),
     }
 }
 
